@@ -1,0 +1,44 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenarios/experiment.hpp"
+#include "stats/box_plot.hpp"
+
+namespace cherinet::bench {
+
+/// Environment-tunable workload knobs (defaults keep the full harness under
+/// a couple of minutes; raise for paper-scale runs).
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : def;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+/// Run one latency configuration and reduce it to the paper's reporting
+/// pipeline (IQR outlier removal, then summary stats).
+inline std::vector<stats::NamedSummary> reduce_latency(
+    const scen::LatencyOutcome& out) {
+  std::vector<stats::NamedSummary> rows;
+  for (const auto& s : out.series) {
+    rows.push_back({std::string(to_string(out.kind)) + " " + s.label,
+                    stats::summarize(stats::iqr_filter(s.samples_ns))});
+  }
+  return rows;
+}
+
+inline void print_latency(const std::vector<stats::NamedSummary>& rows) {
+  std::printf("%s", stats::render_summary_table(rows).c_str());
+  std::printf("\n%s\n", stats::render_box_plots(rows).c_str());
+}
+
+}  // namespace cherinet::bench

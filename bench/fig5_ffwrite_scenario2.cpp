@@ -1,0 +1,36 @@
+// Figure 5 — ff_write() execution time: Scenario 2 (uncontended) vs
+// Baseline (single process).
+//
+// The measured call now crosses compartments: sealed-entry jump into the
+// network cVM, stack mutex, write, return. The paper bounds the slowdown
+// at ~200 ns over baseline (with writes paced to avoid mutex blocking).
+#include "bench_common.hpp"
+
+using namespace cherinet;
+using namespace cherinet::bench;
+using namespace cherinet::scen;
+
+int main() {
+  print_header("Figure 5: ff_write() — Scenario 2 (uncontended) vs Baseline",
+               "paper Fig. 5 (delta ~200 ns: cross-cVM jump + mutex)");
+  const std::size_t iters =
+      static_cast<std::size_t>(env_u64("CHERINET_BENCH_ITERS", 200'000));
+  std::printf("%zu measured ff_write(1448B) per endpoint "
+              "(paper: 1M; CHERINET_BENCH_ITERS to override), IQR-filtered; "
+              "uncontended writes paced as in the paper\n",
+              iters);
+  TestbedOptions opt;
+  opt.inline_tcp_output = false;
+
+  auto rows = reduce_latency(
+      run_ffwrite_latency(ScenarioKind::kBaseline1Proc, iters, 1448, opt));
+  const auto s2 = reduce_latency(run_ffwrite_latency(
+      ScenarioKind::kScenario2Uncontended, iters, 1448, opt));
+  rows.insert(rows.end(), s2.begin(), s2.end());
+  print_latency(rows);
+
+  std::printf("median delta (Scenario2u - Baseline): %+.0f ns  "
+              "(paper: ~+200 ns)\n",
+              rows[1].summary.median - rows[0].summary.median);
+  return 0;
+}

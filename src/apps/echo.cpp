@@ -1,0 +1,78 @@
+#include "apps/echo.hpp"
+
+#include <algorithm>
+
+namespace cherinet::apps {
+
+EchoServer::EchoServer(FfOps* ops, std::uint16_t port,
+                       machine::CapView scratch)
+    : ops_(ops), scratch_(scratch) {
+  listen_fd_ = ops_->socket_stream();
+  ops_->bind(listen_fd_, fstack::Ipv4Addr{}, port);
+  ops_->listen(listen_fd_, 8);
+}
+
+bool EchoServer::step() {
+  bool progress = false;
+  for (int fd = ops_->accept(listen_fd_); fd >= 0;
+       fd = ops_->accept(listen_fd_)) {
+    conns_.push_back(fd);
+    progress = true;
+  }
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    const std::int64_t r = ops_->read(*it, scratch_, scratch_.size());
+    if (r > 0) {
+      ops_->write(*it, scratch_, static_cast<std::size_t>(r));
+      echoed_ += static_cast<std::uint64_t>(r);
+      progress = true;
+      ++it;
+    } else if (r == 0) {
+      ops_->close(*it);
+      it = conns_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+EchoClient::EchoClient(FfOps* ops, fstack::Ipv4Addr dst, std::uint16_t port,
+                       std::string message, machine::CapView scratch)
+    : ops_(ops), scratch_(scratch), message_(std::move(message)) {
+  fd_ = ops_->socket_stream();
+  ops_->connect(fd_, dst, port);
+}
+
+bool EchoClient::step() {
+  if (done_) return false;
+  bool progress = false;
+  // Push outstanding request bytes through the capability buffer.
+  while (sent_ < message_.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        message_.size() - sent_, static_cast<std::size_t>(scratch_.size()));
+    scratch_.write(0, std::as_bytes(std::span{message_.data() + sent_, n}));
+    const std::int64_t r = ops_->write(fd_, scratch_, n);
+    if (r <= 0) break;
+    sent_ += static_cast<std::size_t>(r);
+    progress = true;
+  }
+  // Collect the echo.
+  while (reply_.size() < message_.size()) {
+    const std::int64_t r = ops_->read(fd_, scratch_, scratch_.size());
+    if (r <= 0) break;
+    std::string chunk(static_cast<std::size_t>(r), '\0');
+    scratch_.read(0, std::as_writable_bytes(
+                         std::span{chunk.data(), chunk.size()}));
+    reply_ += chunk;
+    progress = true;
+  }
+  if (reply_.size() >= message_.size()) {
+    ops_->close(fd_);
+    done_ = true;
+    progress = true;
+  }
+  return progress;
+}
+
+}  // namespace cherinet::apps

@@ -1,0 +1,49 @@
+// TCP echo server/client helpers for examples and integration tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/ff_ops.hpp"
+
+namespace cherinet::apps {
+
+/// Step-driven echo server: reads from every accepted connection and writes
+/// the bytes straight back.
+class EchoServer {
+ public:
+  EchoServer(FfOps* ops, std::uint16_t port, machine::CapView scratch);
+  bool step();
+  [[nodiscard]] std::uint64_t bytes_echoed() const noexcept {
+    return echoed_;
+  }
+
+ private:
+  FfOps* ops_;
+  machine::CapView scratch_;
+  int listen_fd_ = -1;
+  std::vector<int> conns_;
+  std::uint64_t echoed_ = 0;
+};
+
+/// Step-driven echo client: sends `message` and collects the echo.
+class EchoClient {
+ public:
+  EchoClient(FfOps* ops, fstack::Ipv4Addr dst, std::uint16_t port,
+             std::string message, machine::CapView scratch);
+  bool step();
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const std::string& reply() const noexcept { return reply_; }
+
+ private:
+  FfOps* ops_;
+  machine::CapView scratch_;
+  std::string message_;
+  std::string reply_;
+  int fd_ = -1;
+  std::size_t sent_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace cherinet::apps

@@ -1,0 +1,78 @@
+// FfOps: the socket-operation surface applications program against.
+//
+// In Scenario 1 (and Baseline) an application calls F-Stack directly; in
+// Scenario 2 the same application is linked against wrapper functions that
+// perform the cross-compartment jump into the network cVM (paper §III-B:
+// "we also implemented the wrapper functions to the API of F-Stack to do
+// the cross-compartment jump"). Applications therefore depend only on this
+// interface and run unmodified in every scenario — exactly the paper's
+// porting story for iperf3.
+#pragma once
+
+#include <cstdint>
+
+#include "fstack/api.hpp"
+
+namespace cherinet::apps {
+
+class FfOps {
+ public:
+  virtual ~FfOps() = default;
+
+  virtual int socket_stream() = 0;
+  virtual int bind(int fd, fstack::Ipv4Addr ip, std::uint16_t port) = 0;
+  virtual int listen(int fd, int backlog) = 0;
+  virtual int accept(int fd) = 0;
+  virtual int connect(int fd, fstack::Ipv4Addr ip, std::uint16_t port) = 0;
+  virtual std::int64_t write(int fd, const machine::CapView& buf,
+                             std::size_t n) = 0;
+  virtual std::int64_t read(int fd, const machine::CapView& buf,
+                            std::size_t n) = 0;
+  virtual int close(int fd) = 0;
+  virtual int epoll_create() = 0;
+  virtual int epoll_ctl(int epfd, fstack::EpollOp op, int fd,
+                        std::uint32_t events, std::uint64_t data) = 0;
+  virtual int epoll_wait(int epfd, std::span<fstack::FfEpollEvent> out) = 0;
+};
+
+/// Direct binding: app and stack share a compartment (Baseline, Scenario 1).
+class DirectFfOps final : public FfOps {
+ public:
+  explicit DirectFfOps(fstack::FfStack* st) : st_(st) {}
+
+  int socket_stream() override {
+    return fstack::ff_socket(*st_, fstack::kAfInet, fstack::kSockStream, 0);
+  }
+  int bind(int fd, fstack::Ipv4Addr ip, std::uint16_t port) override {
+    return fstack::ff_bind(*st_, fd, {ip, port});
+  }
+  int listen(int fd, int backlog) override {
+    return fstack::ff_listen(*st_, fd, backlog);
+  }
+  int accept(int fd) override { return fstack::ff_accept(*st_, fd, nullptr); }
+  int connect(int fd, fstack::Ipv4Addr ip, std::uint16_t port) override {
+    return fstack::ff_connect(*st_, fd, {ip, port});
+  }
+  std::int64_t write(int fd, const machine::CapView& buf,
+                     std::size_t n) override {
+    return fstack::ff_write(*st_, fd, buf, n);
+  }
+  std::int64_t read(int fd, const machine::CapView& buf,
+                    std::size_t n) override {
+    return fstack::ff_read(*st_, fd, buf, n);
+  }
+  int close(int fd) override { return fstack::ff_close(*st_, fd); }
+  int epoll_create() override { return fstack::ff_epoll_create(*st_); }
+  int epoll_ctl(int epfd, fstack::EpollOp op, int fd, std::uint32_t events,
+                std::uint64_t data) override {
+    return fstack::ff_epoll_ctl(*st_, epfd, op, fd, events, data);
+  }
+  int epoll_wait(int epfd, std::span<fstack::FfEpollEvent> out) override {
+    return fstack::ff_epoll_wait(*st_, epfd, out);
+  }
+
+ private:
+  fstack::FfStack* st_;
+};
+
+}  // namespace cherinet::apps

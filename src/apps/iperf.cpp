@@ -1,0 +1,129 @@
+#include "apps/iperf.hpp"
+
+#include <cerrno>
+
+namespace cherinet::apps {
+
+// ---------------------------------------------------------------- server
+
+IperfServer::IperfServer(FfOps* ops, sim::VirtualClock* clock,
+                         std::uint16_t port, machine::CapView rx,
+                         int expected_connections)
+    : ops_(ops), clock_(clock), rx_(rx), expected_(expected_connections) {
+  listen_fd_ = ops_->socket_stream();
+  ops_->bind(listen_fd_, fstack::Ipv4Addr{}, port);
+  ops_->listen(listen_fd_, 8);
+  epfd_ = ops_->epoll_create();
+  ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, listen_fd_, fstack::kEpollIn,
+                  static_cast<std::uint64_t>(listen_fd_));
+}
+
+void IperfServer::drain(Conn& c) {
+  while (true) {
+    const std::int64_t r = ops_->read(c.fd, rx_, rx_.size());
+    if (r > 0) {
+      if (c.report.bytes == 0) c.report.first_byte = clock_->now();
+      c.report.bytes += static_cast<std::uint64_t>(r);
+      c.report.last_byte = clock_->now();
+      continue;
+    }
+    if (r == 0) {  // EOF: connection complete
+      c.done = true;
+      ops_->epoll_ctl(epfd_, fstack::EpollOp::kDel, c.fd, 0, 0);
+      ops_->close(c.fd);
+      ++completed_;
+      if (total_.bytes == 0 || c.report.first_byte < total_.first_byte) {
+        total_.first_byte = c.report.first_byte;
+      }
+      total_.bytes += c.report.bytes;
+      total_.last_byte = std::max(total_.last_byte, c.report.last_byte);
+    }
+    break;  // -EAGAIN or EOF
+  }
+}
+
+bool IperfServer::step() {
+  bool progress = false;
+  fstack::FfEpollEvent evs[16];
+  const int n = ops_->epoll_wait(epfd_, evs);
+  for (int i = 0; i < n; ++i) {
+    const int fd = static_cast<int>(evs[i].data);
+    if (fd == listen_fd_) {
+      while (static_cast<int>(conns_.size()) < expected_) {
+        const int cfd = ops_->accept(listen_fd_);
+        if (cfd < 0) break;
+        conns_.push_back(Conn{cfd, IperfReport{}, false});
+        ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
+                        static_cast<std::uint64_t>(cfd));
+        progress = true;
+      }
+      continue;
+    }
+    for (Conn& c : conns_) {
+      if (c.fd != fd || c.done) continue;
+      const std::uint64_t before = c.report.bytes;
+      const bool was_done = c.done;
+      drain(c);
+      progress |= c.report.bytes != before || c.done != was_done;
+    }
+  }
+  return progress;
+}
+
+// ---------------------------------------------------------------- client
+
+IperfClient::IperfClient(FfOps* ops, sim::VirtualClock* clock,
+                         fstack::Ipv4Addr dst, std::uint16_t port,
+                         std::uint64_t total_bytes, machine::CapView tx,
+                         std::size_t chunk)
+    : ops_(ops),
+      clock_(clock),
+      dst_(dst),
+      port_(port),
+      total_(total_bytes),
+      tx_(tx),
+      chunk_(std::min(chunk, tx.size() > 0 ? static_cast<std::size_t>(tx.size())
+                                           : chunk)) {
+  fd_ = ops_->socket_stream();
+  ops_->connect(fd_, dst_, port_);
+}
+
+bool IperfClient::step() {
+  if (done_) return false;
+  bool progress = false;
+  switch (state_) {
+    case State::kConnecting: {
+      // Probe connection establishment by attempting a write.
+      const std::int64_t r = ops_->write(fd_, tx_, 1);
+      if (r == 1) {
+        state_ = State::kSending;
+        sent_ = 1;
+        report_.first_byte = clock_->now();
+        progress = true;
+      }
+      break;
+    }
+    case State::kSending: {
+      while (sent_ < total_) {
+        const std::size_t n =
+            std::min<std::uint64_t>(chunk_, total_ - sent_);
+        const std::int64_t r = ops_->write(fd_, tx_, n);
+        if (r <= 0) return progress;  // buffer full: resume next step
+        sent_ += static_cast<std::uint64_t>(r);
+        progress = true;
+      }
+      report_.bytes = sent_;
+      report_.last_byte = clock_->now();
+      ops_->close(fd_);
+      state_ = State::kClosed;
+      done_ = true;
+      progress = true;
+      break;
+    }
+    case State::kClosed:
+      break;
+  }
+  return progress;
+}
+
+}  // namespace cherinet::apps

@@ -1,0 +1,100 @@
+// iperf3-like TCP bandwidth measurement application, ported to the ff_* API
+// with epoll (paper §III-B). Step-driven (never blocks) so it can run inside
+// the F-Stack main loop (Scenario 1) or as a separate compartment thread
+// behind proxied ops (Scenario 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "apps/ff_ops.hpp"
+#include "sim/virtual_clock.hpp"
+#include "stats/stats.hpp"
+
+namespace cherinet::apps {
+
+struct IperfReport {
+  std::uint64_t bytes = 0;
+  sim::Ns first_byte{0};
+  sim::Ns last_byte{0};
+
+  [[nodiscard]] double mbit_per_sec() const {
+    const double secs =
+        static_cast<double>((last_byte - first_byte).count()) / 1e9;
+    return secs > 0 ? static_cast<double>(bytes) * 8.0 / secs / 1e6 : 0.0;
+  }
+};
+
+/// Receiver ("server mode" in the paper's Table II).
+class IperfServer {
+ public:
+  /// `rx` must be a writable capability buffer (>= 16 KiB recommended).
+  IperfServer(FfOps* ops, sim::VirtualClock* clock, std::uint16_t port,
+              machine::CapView rx, int expected_connections = 1);
+
+  /// Drive the server; returns true when progress was made.
+  bool step();
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_ == expected_;
+  }
+  /// Aggregate report across connections.
+  [[nodiscard]] const IperfReport& report() const noexcept { return total_; }
+  [[nodiscard]] int connections_completed() const noexcept {
+    return completed_;
+  }
+  /// Per-connection reports (Table II lists each cVM's stream separately).
+  [[nodiscard]] std::vector<IperfReport> connection_reports() const {
+    std::vector<IperfReport> out;
+    for (const auto& c : conns_) out.push_back(c.report);
+    return out;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    IperfReport report;
+    bool done = false;
+  };
+
+  void drain(Conn& c);
+
+  FfOps* ops_;
+  sim::VirtualClock* clock_;
+  machine::CapView rx_;
+  int listen_fd_ = -1;
+  int epfd_ = -1;  // iperf3 was ported onto epoll (paper §III-B)
+  int expected_;
+  int completed_ = 0;
+  std::vector<Conn> conns_;
+  IperfReport total_;
+};
+
+/// Sender ("client mode").
+class IperfClient {
+ public:
+  IperfClient(FfOps* ops, sim::VirtualClock* clock, fstack::Ipv4Addr dst,
+              std::uint16_t port, std::uint64_t total_bytes,
+              machine::CapView tx, std::size_t chunk = 1448);
+
+  bool step();
+  [[nodiscard]] bool finished() const noexcept { return done_; }
+  [[nodiscard]] const IperfReport& report() const noexcept { return report_; }
+
+ private:
+  enum class State : std::uint8_t { kConnecting, kSending, kClosed };
+
+  FfOps* ops_;
+  sim::VirtualClock* clock_;
+  fstack::Ipv4Addr dst_;
+  std::uint16_t port_;
+  std::uint64_t total_;
+  machine::CapView tx_;
+  std::size_t chunk_;
+  int fd_ = -1;
+  State state_ = State::kConnecting;
+  std::uint64_t sent_ = 0;
+  bool done_ = false;
+  IperfReport report_;
+};
+
+}  // namespace cherinet::apps

@@ -1,0 +1,128 @@
+#include "apps/mavlink.hpp"
+
+#include <cstring>
+
+namespace cherinet::apps {
+
+std::uint8_t mav_crc_extra(MavMsgId id) noexcept {
+  switch (id) {
+    case MavMsgId::kHeartbeat: return 50;
+    case MavMsgId::kAttitude: return 39;
+    case MavMsgId::kCommandLong: return 152;
+  }
+  return 0;
+}
+
+std::uint16_t mav_crc16(std::span<const std::byte> data,
+                        std::uint16_t crc) noexcept {
+  for (std::byte b : data) {
+    std::uint8_t tmp =
+        static_cast<std::uint8_t>(b) ^ static_cast<std::uint8_t>(crc & 0xFF);
+    tmp ^= static_cast<std::uint8_t>(tmp << 4);
+    crc = static_cast<std::uint16_t>((crc >> 8) ^ (tmp << 8) ^ (tmp << 3) ^
+                                     (tmp >> 4));
+  }
+  return crc;
+}
+
+std::vector<std::byte> mav_encode(const MavMessage& m) {
+  std::vector<std::byte> f(kMavHeaderLen + m.payload.size() + kMavCrcLen);
+  f[0] = std::byte{kMavStx};
+  f[1] = static_cast<std::byte>(m.payload.size());
+  f[2] = std::byte{m.seq};
+  f[3] = std::byte{m.sysid};
+  f[4] = std::byte{m.compid};
+  f[5] = static_cast<std::byte>(m.msgid);
+  std::copy(m.payload.begin(), m.payload.end(), f.begin() + kMavHeaderLen);
+  // CRC covers everything after STX, plus CRC_EXTRA.
+  std::uint16_t crc = mav_crc16(
+      std::span<const std::byte>{f.data() + 1,
+                                 kMavHeaderLen - 1 + m.payload.size()});
+  const std::byte extra{mav_crc_extra(m.msgid)};
+  crc = mav_crc16({&extra, 1}, crc);
+  f[f.size() - 2] = static_cast<std::byte>(crc & 0xFF);
+  f[f.size() - 1] = static_cast<std::byte>(crc >> 8);
+  return f;
+}
+
+std::optional<MavMessage> mav_parse_strict(const machine::CapView& buf,
+                                           std::size_t frame_len) {
+  if (frame_len < kMavHeaderLen + kMavCrcLen) return std::nullopt;
+  std::byte hdr[kMavHeaderLen];
+  buf.read(0, hdr);
+  if (hdr[0] != std::byte{kMavStx}) return std::nullopt;
+  const auto plen = static_cast<std::size_t>(hdr[1]);
+  // The fix for the CVE class: validate the declared length against what
+  // was actually received *before* any payload access.
+  if (kMavHeaderLen + plen + kMavCrcLen != frame_len) return std::nullopt;
+
+  MavMessage m;
+  m.seq = static_cast<std::uint8_t>(hdr[2]);
+  m.sysid = static_cast<std::uint8_t>(hdr[3]);
+  m.compid = static_cast<std::uint8_t>(hdr[4]);
+  m.msgid = static_cast<MavMsgId>(hdr[5]);
+  m.payload.resize(plen);
+  buf.read(kMavHeaderLen, m.payload);
+
+  std::byte crc_bytes[2];
+  buf.read(kMavHeaderLen + plen, crc_bytes);
+  const auto wire_crc = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(crc_bytes[0]) |
+      (static_cast<std::uint16_t>(crc_bytes[1]) << 8));
+
+  std::vector<std::byte> crc_input(kMavHeaderLen - 1 + plen);
+  std::copy(hdr + 1, hdr + kMavHeaderLen, crc_input.begin());
+  std::copy(m.payload.begin(), m.payload.end(),
+            crc_input.begin() + kMavHeaderLen - 1);
+  std::uint16_t crc = mav_crc16(crc_input);
+  const std::byte extra{mav_crc_extra(m.msgid)};
+  crc = mav_crc16({&extra, 1}, crc);
+  if (crc != wire_crc) return std::nullopt;
+  return m;
+}
+
+MavMessage mav_parse_trusting(const machine::CapView& buf,
+                              std::size_t frame_len) {
+  (void)frame_len;  // the bug: the declared length is trusted instead
+  std::byte hdr[kMavHeaderLen];
+  buf.read(0, hdr);
+  MavMessage m;
+  const auto plen = static_cast<std::size_t>(hdr[1]);
+  m.seq = static_cast<std::uint8_t>(hdr[2]);
+  m.sysid = static_cast<std::uint8_t>(hdr[3]);
+  m.compid = static_cast<std::uint8_t>(hdr[4]);
+  m.msgid = static_cast<MavMsgId>(hdr[5]);
+  m.payload.resize(plen);
+  // Overread on crafted frames: plen may exceed the received bytes. The
+  // capability's bounds are the only thing standing between this read and
+  // a neighbouring allocation.
+  buf.read(kMavHeaderLen, m.payload);
+  return m;
+}
+
+MavMessage make_heartbeat(std::uint8_t seq) {
+  MavMessage m;
+  m.seq = seq;
+  m.msgid = MavMsgId::kHeartbeat;
+  m.payload.resize(9);
+  m.payload[4] = std::byte{2};  // MAV_TYPE_QUADROTOR
+  m.payload[5] = std::byte{3};  // autopilot
+  m.payload[7] = std::byte{4};  // MAV_STATE_ACTIVE
+  return m;
+}
+
+MavMessage make_attitude(std::uint8_t seq, float roll, float pitch,
+                         float yaw) {
+  MavMessage m;
+  m.seq = seq;
+  m.msgid = MavMsgId::kAttitude;
+  m.payload.resize(28);
+  std::uint32_t ms = seq * 100u;
+  std::memcpy(m.payload.data(), &ms, 4);
+  std::memcpy(m.payload.data() + 4, &roll, 4);
+  std::memcpy(m.payload.data() + 8, &pitch, 4);
+  std::memcpy(m.payload.data() + 12, &yaw, 4);
+  return m;
+}
+
+}  // namespace cherinet::apps

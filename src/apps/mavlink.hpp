@@ -1,0 +1,68 @@
+// MAVLink-v1-style telemetry codec — the drone protocol the paper's
+// motivation centres on (PX4/MAVLink, CVE-2024-38951: "unchecked buffer
+// limits" enabling DoS, §I).
+//
+// Two parsers are provided deliberately:
+//  * parse_strict    — validates the declared payload length against the
+//                      actual frame before touching memory;
+//  * parse_trusting  — the CVE-style legacy parser: it trusts the header's
+//                      length byte and reads that many bytes. On a crafted
+//                      frame it overreads the receive buffer — under CHERI
+//                      the buffer capability faults (kBoundsViolation) and
+//                      the compartment is contained, which is the paper's
+//                      security argument made concrete.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "machine/cap_view.hpp"
+
+namespace cherinet::apps {
+
+inline constexpr std::uint8_t kMavStx = 0xFE;  // MAVLink v1 frame marker
+inline constexpr std::size_t kMavHeaderLen = 6;
+inline constexpr std::size_t kMavCrcLen = 2;
+
+enum class MavMsgId : std::uint8_t {
+  kHeartbeat = 0,
+  kAttitude = 30,
+  kCommandLong = 76,
+};
+
+/// CRC_EXTRA seed per message (MAVLink appends a per-message byte to the
+/// checksum so incompatible dialects fail CRC).
+[[nodiscard]] std::uint8_t mav_crc_extra(MavMsgId id) noexcept;
+
+/// X.25 / CRC-16-CCITT as used by MAVLink.
+[[nodiscard]] std::uint16_t mav_crc16(std::span<const std::byte> data,
+                                      std::uint16_t crc = 0xFFFF) noexcept;
+
+struct MavMessage {
+  std::uint8_t seq = 0;
+  std::uint8_t sysid = 1;
+  std::uint8_t compid = 1;
+  MavMsgId msgid = MavMsgId::kHeartbeat;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize to a complete frame (STX..CRC).
+[[nodiscard]] std::vector<std::byte> mav_encode(const MavMessage& m);
+
+/// Bounds-checked parse of the frame in `buf[0, frame_len)`.
+/// Returns nullopt on malformed/truncated/CRC-failing input.
+[[nodiscard]] std::optional<MavMessage> mav_parse_strict(
+    const machine::CapView& buf, std::size_t frame_len);
+
+/// CVE-2024-38951-style parse: trusts the length byte without validating it
+/// against `frame_len`. Reading through the capability faults on overread.
+[[nodiscard]] MavMessage mav_parse_trusting(const machine::CapView& buf,
+                                            std::size_t frame_len);
+
+/// Telemetry helpers used by the drone example: fixed-layout payloads.
+[[nodiscard]] MavMessage make_heartbeat(std::uint8_t seq);
+[[nodiscard]] MavMessage make_attitude(std::uint8_t seq, float roll,
+                                       float pitch, float yaw);
+
+}  // namespace cherinet::apps

@@ -1,0 +1,154 @@
+#include "cheri/concentrate.hpp"
+
+#include <bit>
+
+namespace cherinet::cheri::cc {
+
+namespace {
+
+constexpr std::uint32_t kMwMask = (1u << kMantissaWidth) - 1;       // 14 bits
+constexpr std::uint32_t kLowExpMask = 0b111;                        // 3 bits
+
+/// Number of significant bits in a 65-bit value.
+unsigned bit_width_u128(U128 v) noexcept {
+  unsigned w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+unsigned exponent_of(const Encoding& enc) noexcept {
+  if (!enc.internal_exponent) return 0;
+  unsigned e = ((enc.t & kLowExpMask) << 3) | (enc.b & kLowExpMask);
+  return e > kMaxExponent ? kMaxExponent : e;
+}
+
+}  // namespace
+
+std::uint64_t granule(const Encoding& enc) noexcept {
+  return enc.internal_exponent ? (std::uint64_t{1} << (exponent_of(enc) + 3))
+                               : 1;
+}
+
+Bounds decode(std::uint64_t address, const Encoding& enc) noexcept {
+  const unsigned e = exponent_of(enc);
+  std::uint32_t b_eff = enc.b & kMwMask;
+  std::uint32_t t_low = enc.t & ((1u << kStoredTopBits) - 1);
+  std::uint32_t l_msb = 0;
+  if (enc.internal_exponent) {
+    // Low 3 bits of B and T carry the exponent; effective mantissa bits are 0.
+    b_eff &= ~kLowExpMask;
+    t_low &= ~kLowExpMask;
+    l_msb = 1;
+  }
+  // Reconstruct the top two bits of T: T[13:12] = B[13:12] + Lcarry + Lmsb.
+  const std::uint32_t b_low = b_eff & ((1u << kStoredTopBits) - 1);
+  const std::uint32_t l_carry = (t_low < b_low) ? 1 : 0;
+  const std::uint32_t t_top2 =
+      (((b_eff >> kStoredTopBits) + l_carry + l_msb) & 0x3u);
+  const std::uint32_t t_eff = (t_top2 << kStoredTopBits) | t_low;
+
+  // Correction terms against the representable-range boundary R = B - 2^12.
+  const std::uint32_t r = (b_eff - (1u << (kMantissaWidth - 2))) & kMwMask;
+  const std::uint32_t a_mid =
+      static_cast<std::uint32_t>((address >> e) & kMwMask);
+  const int a_hi = (a_mid < r) ? 1 : 0;
+  const int ct = ((t_eff < r) ? 1 : 0) - a_hi;
+  const int cb = ((b_eff < r) ? 1 : 0) - a_hi;
+
+  // Compose in 128-bit arithmetic: shift reaches 66 for the root capability
+  // (e = 52) and corrections are signed.
+  const unsigned shift = e + kMantissaWidth;
+  const U128 a_top = (shift >= 64) ? U128{0} : (U128{address} >> shift);
+  const U128 cb128 = static_cast<U128>(static_cast<__int128>(cb));
+  const U128 ct128 = static_cast<U128>(static_cast<__int128>(ct));
+
+  const auto base = static_cast<std::uint64_t>(((a_top + cb128) << shift) +
+                                               (U128{b_eff} << e));
+  U128 top = (((a_top + ct128) << shift) + (U128{t_eff} << e)) &
+             ((U128{1} << 65) - 1);
+
+  // ISA edge-case correction for very large exponents: keep base and top in
+  // the same 2^64 aliasing window.
+  if (e < kMaxExponent - 1) {
+    const auto t_hi2 = static_cast<std::uint32_t>((top >> 63) & 0x3u);
+    const auto b_hi1 = static_cast<std::uint32_t>((base >> 63) & 0x1u);
+    if (static_cast<int>(t_hi2) - static_cast<int>(b_hi1) > 1) {
+      top ^= (U128{1} << 64);
+    }
+  }
+  return Bounds{base, top};
+}
+
+std::optional<EncodeResult> encode(std::uint64_t base, U128 top_req) noexcept {
+  if (top_req > kAddressSpaceTop || top_req < base) return std::nullopt;
+  const U128 length = top_req - base;
+
+  // Byte-exact case: length fits below 2^12, so T needs only 12 stored bits.
+  if (length < (U128{1} << (kMantissaWidth - 2))) {
+    Encoding enc;
+    enc.internal_exponent = false;
+    enc.b = static_cast<std::uint16_t>(base & kMwMask);
+    enc.t = static_cast<std::uint16_t>(static_cast<std::uint64_t>(top_req) &
+                                       ((1u << kStoredTopBits) - 1));
+    const Bounds got = decode(base, enc);
+    EncodeResult res{enc, got, got.base == base && got.top == top_req};
+    return res;
+  }
+
+  // Internal-exponent case: smallest e with length < 2^(e+13); rounding the
+  // top up may overflow the mantissa window, in which case bump e once more.
+  unsigned e = 0;
+  {
+    const U128 l_hi = length >> (kMantissaWidth - 1);
+    e = bit_width_u128(l_hi);
+  }
+  for (; e <= kMaxExponent; ++e) {
+    const unsigned align = e + 3;
+    const std::uint64_t granule_mask = (align >= 64)
+                                           ? ~std::uint64_t{0}
+                                           : ((std::uint64_t{1} << align) - 1);
+    const std::uint64_t b_round = base & ~granule_mask;
+    U128 t_round = (top_req + granule_mask) & ~U128{granule_mask};
+
+    Encoding enc;
+    enc.internal_exponent = true;
+    enc.b = static_cast<std::uint16_t>(
+        ((b_round >> e) & kMwMask & ~kLowExpMask) | (e & kLowExpMask));
+    enc.t = static_cast<std::uint16_t>(
+        ((static_cast<std::uint64_t>(t_round >> e) &
+          ((1u << kStoredTopBits) - 1) & ~kLowExpMask)) |
+        ((e >> 3) & kLowExpMask));
+
+    const Bounds got = decode(base, enc);
+    if (got.base <= base && got.top >= top_req) {
+      EncodeResult res{enc, got, got.base == base && got.top == top_req};
+      return res;
+    }
+  }
+  return std::nullopt;  // unreachable for valid inputs; defensive
+}
+
+bool is_representable(const Encoding& enc, std::uint64_t old_address,
+                      std::uint64_t new_address) noexcept {
+  return decode(old_address, enc) == decode(new_address, enc);
+}
+
+std::uint64_t representable_alignment(std::uint64_t length) noexcept {
+  // Iterate because rounding the length up to a candidate granule can push
+  // it into the next exponent band (at most once).
+  std::uint64_t g = 1;
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::uint64_t len = (length + g - 1) / g * g;
+    if (len < (std::uint64_t{1} << (kMantissaWidth - 2))) return g;
+    const unsigned e = bit_width_u128(U128{len} >> (kMantissaWidth - 1));
+    const std::uint64_t g2 = std::uint64_t{1} << (e + 3);
+    if (g2 == g) return g;
+    g = g2;
+  }
+  return g;
+}
+
+}  // namespace cherinet::cheri::cc

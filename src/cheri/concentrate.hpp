@@ -1,0 +1,86 @@
+// CHERI Concentrate bounds compression (CHERI-128 parameterization).
+//
+// A 128-bit CHERI capability cannot store two full 64-bit bounds next to the
+// 64-bit address; bounds are compressed into a floating-point-like encoding
+// (Woodruff et al., "CHERI Concentrate: Practical Compressed Capabilities",
+// IEEE ToC 2019; CHERI ISAv9 §3). We implement the cc128 layout:
+//
+//   B  : 14-bit "bottom" field
+//   T  : 12 stored bits of "top" (bits [13:12] are reconstructed)
+//   IE : internal-exponent flag. When IE=1 the low 3 bits of both B and T
+//        hold the 6-bit exponent E and the effective mantissa granule is
+//        2^(E+3); when IE=0, E=0 and bounds are byte-exact (length < 2^12).
+//
+// Decoding derives the full 64-bit base and 65-bit top from (address, B, T,
+// IE) using the mid-field comparison against the representable-range
+// boundary R = B - 2^12. Encoding picks the smallest exponent whose rounding
+// still covers the requested region (rounding bases down and tops up —
+// monotonicity is never violated by compression).
+//
+// This module is deliberately self-contained and heavily tested: it is the
+// hardware-fidelity core on which every bounds check in the repository rests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace cherinet::cheri::cc {
+
+/// Unsigned 65-bit quantities (tops can be exactly 2^64).
+using U128 = unsigned __int128;
+
+inline constexpr unsigned kMantissaWidth = 14;          // MW
+inline constexpr unsigned kStoredTopBits = kMantissaWidth - 2;
+inline constexpr unsigned kMaxExponent = 52;            // 64 - MW + 2
+inline constexpr U128 kAddressSpaceTop = U128{1} << 64;
+
+/// Stored compression fields exactly as they would sit in capability bits.
+struct Encoding {
+  std::uint16_t b = 0;        // 14 valid bits
+  std::uint16_t t = 0;        // 12 valid bits
+  bool internal_exponent = false;
+
+  constexpr bool operator==(const Encoding&) const = default;
+};
+
+/// Decoded architectural bounds.
+struct Bounds {
+  std::uint64_t base = 0;
+  U128 top = 0;  // inclusive-exclusive; may equal 2^64
+
+  constexpr bool operator==(const Bounds&) const = default;
+  [[nodiscard]] constexpr U128 length() const noexcept { return top - base; }
+};
+
+/// Result of compressing a requested [base, base+length) region.
+struct EncodeResult {
+  Encoding enc;
+  Bounds bounds;  // the (possibly rounded) bounds the encoding represents
+  bool exact = false;
+};
+
+/// Reconstruct bounds for `enc` as observed from `address`.
+[[nodiscard]] Bounds decode(std::uint64_t address, const Encoding& enc) noexcept;
+
+/// Compress the requested region. Never narrows: result.bounds always
+/// contains [base, top_req). Returns nullopt only if top_req > 2^64 or
+/// top_req < base (caller bug).
+[[nodiscard]] std::optional<EncodeResult> encode(std::uint64_t base,
+                                                 U128 top_req) noexcept;
+
+/// True when moving the cursor to `new_address` leaves the decoded bounds
+/// unchanged (the CSetAddr representability test). Out-of-bounds addresses
+/// may still be representable, as on real CHERI.
+[[nodiscard]] bool is_representable(const Encoding& enc,
+                                    std::uint64_t old_address,
+                                    std::uint64_t new_address) noexcept;
+
+/// Alignment granule implied by an encoding (1 for IE=0, 2^(E+3) otherwise).
+[[nodiscard]] std::uint64_t granule(const Encoding& enc) noexcept;
+
+/// Alignment that base and length must satisfy for a region of `length`
+/// bytes to be *exactly* representable (CRRL/CRAM semantics). Allocators
+/// must pad to this alignment or their capabilities round into neighbours.
+[[nodiscard]] std::uint64_t representable_alignment(std::uint64_t length) noexcept;
+
+}  // namespace cherinet::cheri::cc

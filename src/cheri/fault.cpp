@@ -1,0 +1,43 @@
+#include "cheri/fault.hpp"
+
+#include <sstream>
+
+namespace cherinet::cheri {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kTagViolation: return "tag violation";
+    case FaultKind::kSealViolation: return "seal violation";
+    case FaultKind::kBoundsViolation: return "CAP out-of-bounds";
+    case FaultKind::kPermitLoadViolation: return "permit-load violation";
+    case FaultKind::kPermitStoreViolation: return "permit-store violation";
+    case FaultKind::kPermitExecuteViolation: return "permit-execute violation";
+    case FaultKind::kPermitLoadCapViolation: return "permit-load-capability violation";
+    case FaultKind::kPermitStoreCapViolation: return "permit-store-capability violation";
+    case FaultKind::kPermitSealViolation: return "permit-seal violation";
+    case FaultKind::kPermitInvokeViolation: return "permit-invoke violation";
+    case FaultKind::kPermitSystemViolation: return "permit-system violation";
+    case FaultKind::kMonotonicityViolation: return "monotonicity violation";
+    case FaultKind::kRepresentabilityViolation: return "representability violation";
+    case FaultKind::kOtypeViolation: return "object-type violation";
+    case FaultKind::kUnalignedAccess: return "unaligned capability access";
+  }
+  return "unknown capability fault";
+}
+
+CapFault::CapFault(FaultKind kind, std::uint64_t address, std::uint64_t size,
+                   std::string cap_description, std::string detail)
+    : kind_(kind),
+      address_(address),
+      size_(size),
+      cap_description_(std::move(cap_description)) {
+  std::ostringstream os;
+  os << "In-address space security exception: " << to_string(kind_)
+     << " at 0x" << std::hex << address_;
+  if (size_ > 0) os << " (access size " << std::dec << size_ << ")";
+  os << " via " << cap_description_;
+  if (!detail.empty()) os << " — " << detail;
+  message_ = os.str();
+}
+
+}  // namespace cherinet::cheri

@@ -1,0 +1,62 @@
+// Capability faults: the software-visible form of CHERI hardware exceptions.
+//
+// On Morello a violating access raises a capability exception that CheriBSD
+// delivers as SIGPROT; the paper's Fig. 3 shows compartment-escape attempts
+// dying with "CAP out-of-bounds" style messages. In this emulation every
+// checked operation throws CapFault with the precise architectural fault
+// kind; the Intravisor catches faults at compartment boundaries and converts
+// them to contained FaultReports.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace cherinet::cheri {
+
+enum class FaultKind : std::uint8_t {
+  kTagViolation,            // dereference of an untagged (forged/cleared) cap
+  kSealViolation,           // dereference or misuse of a sealed cap
+  kBoundsViolation,         // access outside [base, top) — "CAP out-of-bounds"
+  kPermitLoadViolation,     // load without kLoad
+  kPermitStoreViolation,    // store without kStore
+  kPermitExecuteViolation,  // fetch without kExecute
+  kPermitLoadCapViolation,  // cap load without kLoadCap
+  kPermitStoreCapViolation, // cap store without kStoreCap
+  kPermitSealViolation,     // CSeal without kSeal / CUnseal without kUnseal
+  kPermitInvokeViolation,   // blrs without kInvoke
+  kPermitSystemViolation,   // system-register access without kSystem
+  kMonotonicityViolation,   // derivation requested wider bounds/perms
+  kRepresentabilityViolation,  // CSetBoundsExact could not represent bounds
+  kOtypeViolation,          // seal/unseal otype mismatch or out of range
+  kUnalignedAccess,         // capability load/store not 16-byte aligned
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+/// Thrown by every checked capability operation. `what()` is formatted the
+/// way the paper's Fig. 3 console output reads.
+class CapFault : public std::exception {
+ public:
+  CapFault(FaultKind kind, std::uint64_t address, std::uint64_t size,
+           std::string cap_description, std::string detail = {});
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+  [[nodiscard]] FaultKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& capability() const noexcept {
+    return cap_description_;
+  }
+
+ private:
+  FaultKind kind_;
+  std::uint64_t address_;
+  std::uint64_t size_;
+  std::string cap_description_;
+  std::string message_;
+};
+
+}  // namespace cherinet::cheri

@@ -1,0 +1,80 @@
+// Capability permission bits and their algebra.
+//
+// Mirrors the architectural permission set of CHERI (ISAv9 / Morello): a
+// capability authorizes only the access kinds whose bits it carries, and
+// derivation may only clear bits (monotonicity) — see Capability::with_perms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cherinet::cheri {
+
+enum class Perm : std::uint32_t {
+  kGlobal = 1u << 0,         // may be stored through non-local-authorizing caps
+  kExecute = 1u << 1,        // PCC fetch
+  kLoad = 1u << 2,           // data load
+  kStore = 1u << 3,          // data store
+  kLoadCap = 1u << 4,        // load of tagged capabilities
+  kStoreCap = 1u << 5,       // store of tagged capabilities
+  kStoreLocalCap = 1u << 6,  // store of non-global capabilities
+  kSeal = 1u << 7,           // authorize CSeal with this cap's otype range
+  kUnseal = 1u << 8,         // authorize CUnseal
+  kInvoke = 1u << 9,         // branch-to-sealed (blrs) operand
+  kSystem = 1u << 10,        // access system registers (Intravisor only)
+};
+
+/// Value-type set of Perm bits.
+class PermSet {
+ public:
+  constexpr PermSet() = default;
+  constexpr explicit PermSet(std::uint32_t bits) : bits_(bits) {}
+  constexpr PermSet(Perm p) : bits_(static_cast<std::uint32_t>(p)) {}  // NOLINT
+
+  [[nodiscard]] constexpr std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool has(Perm p) const noexcept {
+    return (bits_ & static_cast<std::uint32_t>(p)) != 0;
+  }
+  [[nodiscard]] constexpr bool is_subset_of(PermSet other) const noexcept {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  [[nodiscard]] constexpr PermSet operator|(PermSet o) const noexcept {
+    return PermSet{bits_ | o.bits_};
+  }
+  [[nodiscard]] constexpr PermSet operator&(PermSet o) const noexcept {
+    return PermSet{bits_ & o.bits_};
+  }
+  /// Monotonic restriction: keep only bits present in both.
+  [[nodiscard]] constexpr PermSet without(Perm p) const noexcept {
+    return PermSet{bits_ & ~static_cast<std::uint32_t>(p)};
+  }
+  constexpr bool operator==(const PermSet&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// All permissions (root capabilities minted at machine reset).
+  [[nodiscard]] static constexpr PermSet all() noexcept {
+    return PermSet{(1u << 11) - 1};
+  }
+  /// Typical data RW working set.
+  [[nodiscard]] static constexpr PermSet data_rw() noexcept {
+    return PermSet{Perm::kGlobal} | Perm::kLoad | Perm::kStore |
+           Perm::kLoadCap | Perm::kStoreCap | Perm::kStoreLocalCap;
+  }
+  [[nodiscard]] static constexpr PermSet data_ro() noexcept {
+    return PermSet{Perm::kGlobal} | Perm::kLoad | Perm::kLoadCap;
+  }
+  [[nodiscard]] static constexpr PermSet code() noexcept {
+    return PermSet{Perm::kGlobal} | Perm::kExecute | Perm::kLoad |
+           Perm::kInvoke;
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+constexpr PermSet operator|(Perm a, Perm b) noexcept {
+  return PermSet{a} | PermSet{b};
+}
+
+}  // namespace cherinet::cheri

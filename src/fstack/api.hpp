@@ -1,0 +1,70 @@
+// The F-Stack-compatible public API, CHERI-ported.
+//
+// F-Stack exposes ff_socket()/ff_write()/... mirroring the BSD socket API so
+// applications port with minimal changes (paper §III-B). The CHERI port
+// changes exactly the pointer-carrying signatures — the paper's example:
+//
+//   - ssize_t ff_write(int fd, const void*              buf, size_t nbytes);
+//   + ssize_t ff_write(int fd, const void* __capability buf, size_t nbytes);
+//
+// Here the capability-qualified pointer is machine::CapView: a bounded,
+// permission-carrying buffer handle validated on every dereference. This
+// header is the surface Table I's "modified LoC" census counts.
+#pragma once
+
+#include <cstdint>
+
+#include "fstack/stack.hpp"
+
+namespace cherinet::fstack {
+
+inline constexpr int kAfInet = 2;
+inline constexpr int kSockStream = 1;
+inline constexpr int kSockDgram = 2;
+
+/// sockaddr_in analogue (host byte order).
+struct FfSockAddrIn {
+  Ipv4Addr ip{};
+  std::uint16_t port = 0;
+};
+
+/// Create a socket. Returns fd (>= 3) or -errno.
+int ff_socket(FfStack& st, int domain, int type, int protocol);
+
+int ff_bind(FfStack& st, int fd, const FfSockAddrIn& addr);
+int ff_listen(FfStack& st, int fd, int backlog);
+/// Non-blocking accept: fd, -EAGAIN when the queue is empty.
+int ff_accept(FfStack& st, int fd, FfSockAddrIn* peer);
+/// Non-blocking connect: -EINPROGRESS, completion via ff_epoll (EPOLLOUT).
+int ff_connect(FfStack& st, int fd, const FfSockAddrIn& addr);
+
+/// Capability-qualified write: queues into the socket send buffer.
+/// Returns bytes queued, -EAGAIN when the buffer is full, or -errno.
+std::int64_t ff_write(FfStack& st, int fd, const machine::CapView& buf,
+                      std::size_t nbytes);
+/// Capability-qualified read. Returns bytes, 0 at EOF, or -errno.
+std::int64_t ff_read(FfStack& st, int fd, const machine::CapView& buf,
+                     std::size_t nbytes);
+
+std::int64_t ff_sendto(FfStack& st, int fd, const machine::CapView& buf,
+                       std::size_t nbytes, const FfSockAddrIn& to);
+std::int64_t ff_recvfrom(FfStack& st, int fd, const machine::CapView& buf,
+                         std::size_t nbytes, FfSockAddrIn* from);
+
+int ff_close(FfStack& st, int fd);
+
+// epoll (the mechanism the paper ported iperf3 onto).
+int ff_epoll_create(FfStack& st);
+int ff_epoll_ctl(FfStack& st, int epfd, EpollOp op, int fd,
+                 std::uint32_t events, std::uint64_t data);
+int ff_epoll_wait(FfStack& st, int epfd, std::span<FfEpollEvent> events);
+
+/// One iteration of the F-Stack main loop: process ring buffers of the
+/// DPDK driver, then run the user-defined function (paper §III-B).
+template <typename UserFn>
+bool ff_run_once(FfStack& st, UserFn&& user_fn) {
+  const bool progress = st.run_once();
+  return static_cast<bool>(user_fn()) || progress;
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,46 @@
+#include "fstack/arp.hpp"
+
+namespace cherinet::fstack {
+
+std::optional<nic::MacAddr> ArpCache::lookup(Ipv4Addr ip, sim::Ns now) const {
+  const auto it = cache_.find(ip);
+  if (it == cache_.end() || now >= it->second.expires) return std::nullopt;
+  return it->second.mac;
+}
+
+void ArpCache::insert(Ipv4Addr ip, nic::MacAddr mac, sim::Ns now) {
+  cache_[ip] = Entry{mac, now + cfg_.entry_ttl};
+}
+
+bool ArpCache::queue_pending(Ipv4Addr next_hop,
+                             std::vector<std::byte> ip_packet) {
+  auto& q = pending_[next_hop];
+  if (q.size() >= cfg_.max_pending_per_hop) return false;
+  q.push_back(std::move(ip_packet));
+  return true;
+}
+
+std::vector<std::vector<std::byte>> ArpCache::take_pending(Ipv4Addr ip) {
+  const auto it = pending_.find(ip);
+  if (it == pending_.end()) return {};
+  auto out = std::move(it->second);
+  pending_.erase(it);
+  return out;
+}
+
+bool ArpCache::should_request(Ipv4Addr ip, sim::Ns now) {
+  const auto it = last_request_.find(ip);
+  if (it != last_request_.end() && now - it->second < cfg_.request_interval) {
+    return false;
+  }
+  last_request_[ip] = now;
+  return true;
+}
+
+std::size_t ArpCache::pending_packets() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [ip, q] : pending_) n += q.size();
+  return n;
+}
+
+}  // namespace cherinet::fstack

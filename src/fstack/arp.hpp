@@ -1,0 +1,64 @@
+// ARP cache with pending-packet queueing.
+//
+// The stack queues outbound IP packets per unresolved next-hop and flushes
+// them when the reply arrives; requests are rate-limited per address.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fstack/inet.hpp"
+#include "nic/mac.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace cherinet::fstack {
+
+class ArpCache {
+ public:
+  struct Config {
+    sim::Ns entry_ttl{60'000'000'000};      // 60 s
+    sim::Ns request_interval{100'000'000};  // re-request at most every 100 ms
+    std::size_t max_pending_per_hop = 16;
+  };
+
+  ArpCache() : ArpCache(Config{}) {}
+  explicit ArpCache(Config cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::optional<nic::MacAddr> lookup(Ipv4Addr ip,
+                                                   sim::Ns now) const;
+  void insert(Ipv4Addr ip, nic::MacAddr mac, sim::Ns now);
+
+  /// Queue a serialized IP packet until `next_hop` resolves. Returns false
+  /// (drop) when the per-hop queue is full.
+  bool queue_pending(Ipv4Addr next_hop, std::vector<std::byte> ip_packet);
+
+  /// Take all packets waiting on `ip` (called on ARP reply).
+  [[nodiscard]] std::vector<std::vector<std::byte>> take_pending(Ipv4Addr ip);
+
+  /// True if a request to `ip` should be transmitted now (rate limit).
+  [[nodiscard]] bool should_request(Ipv4Addr ip, sim::Ns now);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t pending_packets() const noexcept;
+
+ private:
+  struct Entry {
+    nic::MacAddr mac;
+    sim::Ns expires;
+  };
+  struct IpHash {
+    std::size_t operator()(const Ipv4Addr& a) const noexcept {
+      return std::hash<std::uint32_t>{}(a.value);
+    }
+  };
+
+  Config cfg_;
+  std::unordered_map<Ipv4Addr, Entry, IpHash> cache_;
+  std::unordered_map<Ipv4Addr, std::vector<std::vector<std::byte>>, IpHash>
+      pending_;
+  std::unordered_map<Ipv4Addr, sim::Ns, IpHash> last_request_;
+};
+
+}  // namespace cherinet::fstack

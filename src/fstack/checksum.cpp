@@ -1,0 +1,42 @@
+#include "fstack/checksum.hpp"
+
+#include <cstdio>
+
+namespace cherinet::fstack {
+
+std::uint32_t checksum_partial(std::span<const std::byte> data,
+                               std::uint32_t sum) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) |
+           static_cast<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;  // odd trailing byte
+  }
+  return sum;
+}
+
+std::uint32_t checksum_pseudo(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
+                              std::uint16_t l4_len,
+                              std::uint32_t sum) noexcept {
+  sum += (src.value >> 16) + (src.value & 0xFFFF);
+  sum += (dst.value >> 16) + (dst.value & 0xFFFF);
+  sum += proto;
+  sum += l4_len;
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t sum) noexcept {
+  while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xFF,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+}  // namespace cherinet::fstack

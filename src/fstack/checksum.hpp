@@ -1,0 +1,31 @@
+// Internet checksum (RFC 1071) with pseudo-header support for TCP/UDP.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "fstack/inet.hpp"
+
+namespace cherinet::fstack {
+
+/// Running one's-complement sum; fold with checksum_finish().
+[[nodiscard]] std::uint32_t checksum_partial(std::span<const std::byte> data,
+                                             std::uint32_t sum = 0) noexcept;
+
+/// IPv4 pseudo-header contribution for TCP(6)/UDP(17).
+[[nodiscard]] std::uint32_t checksum_pseudo(Ipv4Addr src, Ipv4Addr dst,
+                                            std::uint8_t proto,
+                                            std::uint16_t l4_len,
+                                            std::uint32_t sum = 0) noexcept;
+
+/// Fold to the final 16-bit one's-complement checksum.
+[[nodiscard]] std::uint16_t checksum_finish(std::uint32_t sum) noexcept;
+
+/// One-shot checksum of a contiguous region.
+[[nodiscard]] inline std::uint16_t checksum(
+    std::span<const std::byte> data) noexcept {
+  return checksum_finish(checksum_partial(data));
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,26 @@
+#include "fstack/epoll.hpp"
+
+#include <cerrno>
+
+namespace cherinet::fstack {
+
+int EpollInstance::ctl(EpollOp op, int fd, std::uint32_t events,
+                       std::uint64_t data) {
+  switch (op) {
+    case EpollOp::kAdd:
+      if (interest_.contains(fd)) return -EEXIST;
+      interest_[fd] = Interest{events, data};
+      return 0;
+    case EpollOp::kMod: {
+      const auto it = interest_.find(fd);
+      if (it == interest_.end()) return -ENOENT;
+      it->second = Interest{events, data};
+      return 0;
+    }
+    case EpollOp::kDel:
+      return interest_.erase(fd) > 0 ? 0 : -ENOENT;
+  }
+  return -EINVAL;
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,43 @@
+// F-Stack epoll: the event mechanism the paper ported iperf3 onto
+// ("we replaced the select function with the epoll mechanism, which adapts
+// better to F-Stack", §III-B).
+//
+// Level-triggered readiness over the stack's socket table. Waiting never
+// blocks — F-Stack applications run inside (or against) the polling main
+// loop, so ff_epoll_wait(timeout=0) is the idiomatic call.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace cherinet::fstack {
+
+inline constexpr std::uint32_t kEpollIn = 0x1;
+inline constexpr std::uint32_t kEpollOut = 0x4;
+inline constexpr std::uint32_t kEpollErr = 0x8;
+inline constexpr std::uint32_t kEpollHup = 0x10;
+
+struct FfEpollEvent {
+  std::uint32_t events = 0;
+  std::uint64_t data = 0;  // user cookie (typically the fd)
+};
+
+enum class EpollOp : std::uint8_t { kAdd = 1, kDel = 2, kMod = 3 };
+
+class EpollInstance {
+ public:
+  struct Interest {
+    std::uint32_t events = 0;
+    std::uint64_t data = 0;
+  };
+
+  int ctl(EpollOp op, int fd, std::uint32_t events, std::uint64_t data);
+  [[nodiscard]] const std::map<int, Interest>& interest() const noexcept {
+    return interest_;
+  }
+
+ private:
+  std::map<int, Interest> interest_;
+};
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,23 @@
+#include "fstack/icmp.hpp"
+
+#include "fstack/checksum.hpp"
+
+namespace cherinet::fstack {
+
+std::vector<std::byte> build_icmp_echo(std::uint8_t type, std::uint16_t id,
+                                       std::uint16_t seq,
+                                       std::span<const std::byte> payload) {
+  std::vector<std::byte> msg(IcmpHeader::kSize + payload.size());
+  IcmpHeader h;
+  h.type = type;
+  h.id = id;
+  h.seq = seq;
+  h.checksum = 0;
+  h.serialize(msg);
+  std::copy(payload.begin(), payload.end(), msg.begin() + IcmpHeader::kSize);
+  const std::uint16_t ck = checksum(msg);
+  put_be16(msg.data() + 2, ck);
+  return msg;
+}
+
+}  // namespace cherinet::fstack

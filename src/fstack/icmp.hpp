@@ -1,0 +1,41 @@
+// ICMP echo (ping) support: request/reply construction and reply tracking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "fstack/headers.hpp"
+
+namespace cherinet::fstack {
+
+/// Build an ICMP echo message (header + payload) with a valid checksum.
+[[nodiscard]] std::vector<std::byte> build_icmp_echo(std::uint8_t type,
+                                                     std::uint16_t id,
+                                                     std::uint16_t seq,
+                                                     std::span<const std::byte>
+                                                         payload);
+
+/// Tracks echo replies per (id, seq) for test/diagnostic pings.
+class PingTracker {
+ public:
+  void on_reply(std::uint16_t id, std::uint16_t seq) {
+    replies_[(std::uint32_t{id} << 16) | seq]++;
+  }
+  [[nodiscard]] std::uint64_t replies(std::uint16_t id,
+                                      std::uint16_t seq) const {
+    const auto it = replies_.find((std::uint32_t{id} << 16) | seq);
+    return it == replies_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (const auto& [k, v] : replies_) n += v;
+    return n;
+  }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> replies_;
+};
+
+}  // namespace cherinet::fstack

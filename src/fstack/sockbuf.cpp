@@ -1,0 +1,80 @@
+#include "fstack/sockbuf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cherinet::fstack {
+
+namespace {
+constexpr std::size_t kScratch = 2048;
+}
+
+std::size_t SockBuf::write_from(const machine::CapView& src,
+                                std::size_t src_off, std::size_t n) {
+  n = std::min(n, free());
+  std::byte scratch[kScratch];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t tail = (head_ + used_) % cap_;
+    const std::size_t contig = std::min(n - done, cap_ - tail);
+    const std::size_t chunk = std::min(contig, sizeof scratch);
+    src.read(src_off + done, std::span<std::byte>{scratch, chunk});
+    mem_.write(tail, std::span<const std::byte>{scratch, chunk});
+    used_ += chunk;
+    done += chunk;
+  }
+  return done;
+}
+
+std::size_t SockBuf::write_bytes(std::span<const std::byte> in) {
+  const std::size_t n = std::min(in.size(), free());
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t tail = (head_ + used_) % cap_;
+    const std::size_t chunk = std::min(n - done, cap_ - tail);
+    mem_.write(tail, in.subspan(done, chunk));
+    used_ += chunk;
+    done += chunk;
+  }
+  return done;
+}
+
+void SockBuf::peek(std::size_t off, std::span<std::byte> out) const {
+  if (off + out.size() > used_) {
+    throw std::out_of_range("SockBuf::peek beyond buffered data");
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t pos = (head_ + off + done) % cap_;
+    const std::size_t chunk = std::min(out.size() - done, cap_ - pos);
+    mem_.read(pos, out.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
+std::size_t SockBuf::read_into(const machine::CapView& dst,
+                               std::size_t dst_off, std::size_t n) {
+  n = std::min(n, used_);
+  std::byte scratch[kScratch];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t contig = std::min(n - done, cap_ - head_);
+    const std::size_t chunk = std::min(contig, sizeof scratch);
+    mem_.read(head_, std::span<std::byte>{scratch, chunk});
+    dst.write(dst_off + done, std::span<const std::byte>{scratch, chunk});
+    head_ = (head_ + chunk) % cap_;
+    used_ -= chunk;
+    done += chunk;
+  }
+  return done;
+}
+
+void SockBuf::consume(std::size_t n) {
+  if (n > used_) {
+    throw std::out_of_range("SockBuf::consume beyond buffered data");
+  }
+  head_ = (head_ + n) % cap_;
+  used_ -= n;
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,53 @@
+// Socket buffers: byte rings over capability-bounded compartment memory.
+//
+// Both directions of every socket keep their bytes in tagged memory behind
+// an exactly-bounded capability (the data plane never leaves the CHERI
+// world). For TCP the send buffer doubles as the retransmission store:
+// bytes stay until cumulatively acknowledged, so the head of the ring is
+// always snd_una.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "machine/cap_view.hpp"
+
+namespace cherinet::fstack {
+
+class SockBuf {
+ public:
+  SockBuf() = default;
+  explicit SockBuf(machine::CapView mem) : mem_(mem), cap_(mem.size()) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t free() const noexcept { return cap_ - used_; }
+  [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+
+  /// Append from a caller capability (checked on both sides). Returns bytes
+  /// actually written (bounded by free space).
+  std::size_t write_from(const machine::CapView& src, std::size_t src_off,
+                         std::size_t n);
+
+  /// Append from host-side bytes (stack-internal producers).
+  std::size_t write_bytes(std::span<const std::byte> in);
+
+  /// Copy bytes out at logical offset `off` from the head, without
+  /// consuming (TCP uses this to build segments from unacked data).
+  void peek(std::size_t off, std::span<std::byte> out) const;
+
+  /// Copy into a caller capability and consume. Returns bytes read.
+  std::size_t read_into(const machine::CapView& dst, std::size_t dst_off,
+                        std::size_t n);
+
+  /// Drop `n` bytes from the head (cumulative ACK).
+  void consume(std::size_t n);
+
+ private:
+  machine::CapView mem_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;  // physical index of logical byte 0
+  std::size_t used_ = 0;
+};
+
+}  // namespace cherinet::fstack

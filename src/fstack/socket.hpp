@@ -1,0 +1,56 @@
+// Socket objects and the fd table.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fstack/epoll.hpp"
+#include "fstack/tcp_pcb.hpp"
+#include "fstack/udp.hpp"
+
+namespace cherinet::fstack {
+
+enum class SockKind : std::uint8_t { kTcp, kUdp, kEpoll };
+
+struct Socket {
+  int fd = -1;
+  SockKind kind = SockKind::kTcp;
+  TcpPcb* pcb = nullptr;                  // kTcp (owned by the stack maps)
+  std::unique_ptr<UdpPcb> udp;            // kUdp
+  std::unique_ptr<EpollInstance> epoll;   // kEpoll
+  bool bound = false;
+  bool listening = false;
+  Ipv4Addr local_ip{};
+  std::uint16_t local_port = 0;
+};
+
+/// fd allocation starting at 3 (F-Stack fds are separate from host fds).
+class SocketTable {
+ public:
+  static constexpr int kFirstFd = 3;
+
+  explicit SocketTable(std::size_t max_sockets) : max_(max_sockets) {}
+
+  /// Allocate a socket; returns nullptr when the table is full.
+  Socket* create(SockKind kind);
+  [[nodiscard]] Socket* get(int fd);
+  [[nodiscard]] const Socket* get(int fd) const;
+  /// Release the fd slot (the caller has already torn down protocol state).
+  void release(int fd);
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_; }
+
+  /// Iterate live sockets.
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& s : slots_) {
+      if (s) f(*s);
+    }
+  }
+
+ private:
+  std::size_t max_;
+  std::size_t open_ = 0;
+  std::vector<std::unique_ptr<Socket>> slots_;
+};
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,714 @@
+#include "fstack/stack.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "fstack/checksum.hpp"
+
+namespace cherinet::fstack {
+
+namespace {
+constexpr std::size_t kRxBurst = 32;
+constexpr std::size_t kFrameScratch = 1664;  // MTU + headers + slack
+}  // namespace
+
+FfStack::FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
+                 machine::CompartmentHeap* heap, sim::VirtualClock* clock)
+    : cfg_(std::move(cfg)),
+      dev_(dev),
+      pool_(pool),
+      heap_(heap),
+      clock_(clock),
+      socks_(cfg_.max_sockets),
+      iss_state_(cfg_.iss_seed) {}
+
+FfStack::~FfStack() = default;
+
+// ===========================================================================
+// Main loop
+// ===========================================================================
+
+bool FfStack::run_once() {
+  bool progress = false;
+
+  updk::Mbuf* rx[kRxBurst];
+  const std::size_t n = dev_->rx_burst({rx, kRxBurst});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::byte scratch[kFrameScratch];
+    const std::size_t len =
+        std::min<std::size_t>(rx[i]->data_len, sizeof scratch);
+    rx[i]->data().read(0, std::span<std::byte>{scratch, len});
+    pool_->free(rx[i]);
+    stats_.rx_frames++;
+    ether_input(std::span<const std::byte>{scratch, len});
+  }
+  progress |= n > 0;
+
+  process_timers(clock_->now(), progress);
+
+  if (!pending_output_.empty()) {
+    for (TcpPcb* pcb : pending_output_) progress |= pcb->output();
+    pending_output_.clear();
+  }
+
+  reap_closed();
+  return progress;
+}
+
+std::optional<sim::Ns> FfStack::next_deadline() const {
+  std::optional<sim::Ns> d = dev_->next_event();
+  const auto merge = [&d](const std::optional<sim::Ns>& t) {
+    if (t && (!d || *t < *d)) d = t;
+  };
+  for (const auto& [tuple, pcb] : tcp_pcbs_) merge(pcb->next_deadline());
+  for (const auto& [port, pcb] : tcp_listeners_) merge(pcb->next_deadline());
+  return d;
+}
+
+void FfStack::process_timers(sim::Ns now, bool& progress) {
+  for (auto& [tuple, pcb] : tcp_pcbs_) {
+    const auto d = pcb->next_deadline();
+    if (d && now >= *d) progress |= pcb->on_timer(now);
+  }
+}
+
+void FfStack::reap_closed() {
+  if (detached_.empty()) return;
+  for (auto it = detached_.begin(); it != detached_.end();) {
+    TcpPcb* pcb = *it;
+    if (pcb->closed()) {
+      pending_output_.erase(pcb);
+      tcp_pcbs_.erase(pcb->tuple());
+      it = detached_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ===========================================================================
+// Input path
+// ===========================================================================
+
+void FfStack::ether_input(std::span<const std::byte> frame) {
+  const auto eh = EtherHeader::parse(frame);
+  if (!eh) {
+    stats_.rx_dropped++;
+    return;
+  }
+  const auto payload = frame.subspan(EtherHeader::kSize);
+  switch (eh->ethertype) {
+    case kEtherTypeArp:
+      arp_input(payload);
+      break;
+    case kEtherTypeIpv4:
+      ipv4_input(payload);
+      break;
+    default:
+      stats_.rx_dropped++;
+      break;
+  }
+}
+
+void FfStack::arp_input(std::span<const std::byte> payload) {
+  const auto ah = ArpHeader::parse(payload);
+  if (!ah) {
+    stats_.rx_dropped++;
+    return;
+  }
+  const sim::Ns now = clock_->now();
+  arp_.insert(ah->spa, ah->sha, now);
+
+  // Flush anything parked on this resolution.
+  for (auto& pkt : arp_.take_pending(ah->spa)) {
+    transmit_frame(ah->sha, kEtherTypeIpv4, pkt);
+  }
+
+  if (ah->oper == ArpHeader::kOpRequest && ah->tpa == cfg_.netif.ip) {
+    send_arp(ArpHeader::kOpReply, ah->sha, ah->spa);
+  }
+}
+
+void FfStack::ipv4_input(std::span<const std::byte> packet) {
+  const auto ih = Ipv4Header::parse(packet);
+  if (!ih) {
+    stats_.csum_errors++;
+    return;
+  }
+  if (packet.size() < ih->total_len || ih->total_len < ih->header_len()) {
+    stats_.rx_dropped++;
+    return;
+  }
+  if (ih->dst != cfg_.netif.ip && !ih->dst.is_broadcast()) {
+    stats_.rx_dropped++;
+    return;
+  }
+  std::span<const std::byte> l4 =
+      packet.subspan(ih->header_len(), ih->total_len - ih->header_len());
+
+  std::vector<std::byte> reassembled;
+  if (ih->more_fragments() || ih->frag_offset_bytes() != 0) {
+    auto whole = reasm_.input(*ih, l4, clock_->now());
+    if (!whole) return;
+    reassembled = std::move(*whole);
+    l4 = reassembled;
+  }
+
+  switch (ih->proto) {
+    case kIpProtoIcmp:
+      icmp_input(*ih, l4);
+      break;
+    case kIpProtoTcp:
+      tcp_input_seg(*ih, l4);
+      break;
+    case kIpProtoUdp:
+      udp_input(*ih, l4);
+      break;
+    default:
+      stats_.rx_dropped++;
+      break;
+  }
+}
+
+void FfStack::icmp_input(const Ipv4Header& ih,
+                         std::span<const std::byte> l4) {
+  const auto icmp = IcmpHeader::parse(l4);
+  if (!icmp) return;
+  if (checksum(l4) != 0) {
+    stats_.csum_errors++;
+    return;
+  }
+  if (icmp->type == IcmpHeader::kEchoRequest) {
+    const auto reply = build_icmp_echo(IcmpHeader::kEchoReply, icmp->id,
+                                       icmp->seq,
+                                       l4.subspan(IcmpHeader::kSize));
+    send_ipv4(ih.src, kIpProtoIcmp, reply);
+  } else if (icmp->type == IcmpHeader::kEchoReply) {
+    pings_.on_reply(icmp->id, icmp->seq);
+  }
+}
+
+void FfStack::udp_input(const Ipv4Header& ih, std::span<const std::byte> l4) {
+  const auto uh = UdpHeader::parse(l4);
+  if (!uh || uh->length < UdpHeader::kSize || l4.size() < uh->length) return;
+  if (uh->checksum != 0) {
+    std::uint32_t sum =
+        checksum_pseudo(ih.src, ih.dst, kIpProtoUdp, uh->length);
+    sum = checksum_partial(l4.subspan(0, uh->length), sum);
+    if (checksum_finish(sum) != 0) {
+      stats_.csum_errors++;
+      return;
+    }
+  }
+  const auto it = udp_binds_.find(uh->dst_port);
+  if (it == udp_binds_.end()) return;
+  UdpDatagram d;
+  d.src = ih.src;
+  d.src_port = uh->src_port;
+  const auto body = l4.subspan(UdpHeader::kSize, uh->length - UdpHeader::kSize);
+  d.data.assign(body.begin(), body.end());
+  it->second->deliver(std::move(d));
+}
+
+void FfStack::tcp_input_seg(const Ipv4Header& ih,
+                            std::span<const std::byte> l4) {
+  const auto th = TcpHeader::parse(l4);
+  if (!th) return;
+  {
+    std::uint32_t sum = checksum_pseudo(
+        ih.src, ih.dst, kIpProtoTcp, static_cast<std::uint16_t>(l4.size()));
+    sum = checksum_partial(l4, sum);
+    if (checksum_finish(sum) != 0) {
+      stats_.csum_errors++;
+      return;
+    }
+  }
+  const TcpOptions opts =
+      TcpOptions::parse(l4.subspan(TcpHeader::kSize,
+                                   th->header_len() - TcpHeader::kSize));
+  const auto payload = l4.subspan(th->header_len());
+
+  const FourTuple tuple{ih.dst, th->dst_port, ih.src, th->src_port};
+  if (const auto it = tcp_pcbs_.find(tuple); it != tcp_pcbs_.end()) {
+    it->second->input(*th, opts, payload);
+    return;
+  }
+  if (const auto lit = tcp_listeners_.find(th->dst_port);
+      lit != tcp_listeners_.end() &&
+      (lit->second->tuple().local_ip == ih.dst ||
+       lit->second->tuple().local_ip == Ipv4Addr{})) {
+    lit->second->pending_remote_ip = ih.src;
+    lit->second->input(*th, opts, payload);
+    return;
+  }
+  if (!th->has(tcpflag::kRst)) send_tcp_rst(ih, *th, payload.size());
+}
+
+void FfStack::send_tcp_rst(const Ipv4Header& ih, const TcpHeader& th,
+                           std::size_t payload_len) {
+  TcpHeader rst;
+  rst.src_port = th.dst_port;
+  rst.dst_port = th.src_port;
+  if (th.has(tcpflag::kAck)) {
+    rst.seq = th.ack;
+    rst.flags = tcpflag::kRst;
+  } else {
+    rst.seq = 0;
+    rst.ack = th.seq + static_cast<std::uint32_t>(payload_len) +
+              (th.has(tcpflag::kSyn) ? 1 : 0) +
+              (th.has(tcpflag::kFin) ? 1 : 0);
+    rst.flags = tcpflag::kRst | tcpflag::kAck;
+  }
+  std::byte seg[TcpHeader::kSize];
+  rst.serialize(seg);
+  std::uint32_t sum =
+      checksum_pseudo(ih.dst, ih.src, kIpProtoTcp, TcpHeader::kSize);
+  sum = checksum_partial(seg, sum);
+  put_be16(seg + 16, checksum_finish(sum));
+  send_ipv4(ih.src, kIpProtoTcp, seg);
+  stats_.tcp_rst_out++;
+}
+
+// ===========================================================================
+// Output path
+// ===========================================================================
+
+Ipv4Addr FfStack::next_hop_for(Ipv4Addr dst) const {
+  if (dst.same_subnet(cfg_.netif.ip, cfg_.netif.netmask) ||
+      cfg_.netif.gateway == Ipv4Addr{}) {
+    return dst;
+  }
+  return cfg_.netif.gateway;
+}
+
+bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
+                        std::span<const std::byte> l4) {
+  const std::uint16_t id = ip_id_++;
+  const auto plan = plan_fragments(l4.size(), cfg_.netif.mtu,
+                                   Ipv4Header::kSize);
+  const Ipv4Addr hop = next_hop_for(dst);
+  bool ok = true;
+  for (const FragmentPlan& f : plan) {
+    std::vector<std::byte> pkt(Ipv4Header::kSize + f.payload_len);
+    Ipv4Header h;
+    h.total_len = static_cast<std::uint16_t>(pkt.size());
+    h.id = id;
+    h.proto = proto;
+    h.src = cfg_.netif.ip;
+    h.dst = dst;
+    h.flags_frag = static_cast<std::uint16_t>(f.payload_off / 8);
+    if (f.more_fragments) h.flags_frag |= Ipv4Header::kFlagMF;
+    if (plan.size() == 1 && proto == kIpProtoTcp) {
+      h.flags_frag |= Ipv4Header::kFlagDF;
+    }
+    h.serialize(pkt);
+    std::copy_n(l4.begin() + f.payload_off, f.payload_len,
+                pkt.begin() + Ipv4Header::kSize);
+    ok &= transmit_ip_packet(pkt, hop);
+  }
+  return ok;
+}
+
+bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
+                                 Ipv4Addr next_hop) {
+  const sim::Ns now = clock_->now();
+  const auto mac = arp_.lookup(next_hop, now);
+  if (!mac) {
+    if (arp_.should_request(next_hop, now)) {
+      send_arp(ArpHeader::kOpRequest, nic::MacAddr{}, next_hop);
+    }
+    return arp_.queue_pending(
+        next_hop,
+        std::vector<std::byte>(ip_packet.begin(), ip_packet.end()));
+  }
+  return transmit_frame(*mac, kEtherTypeIpv4, ip_packet);
+}
+
+bool FfStack::transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
+                             std::span<const std::byte> payload) {
+  updk::Mbuf* m = pool_->alloc();
+  if (m == nullptr) return false;
+  std::byte scratch[kFrameScratch];
+  EtherHeader eh;
+  eh.dst = dst;
+  eh.src = dev_->mac();
+  eh.ethertype = ethertype;
+  eh.serialize(scratch);
+  const std::size_t total = EtherHeader::kSize + payload.size();
+  std::copy(payload.begin(), payload.end(), scratch + EtherHeader::kSize);
+  try {
+    auto view = m->append(static_cast<std::uint32_t>(total));
+    view.write(0, std::span<const std::byte>{scratch, total});
+  } catch (const cheri::CapFault&) {
+    pool_->free(m);
+    return false;
+  }
+  updk::Mbuf* burst[1] = {m};
+  if (dev_->tx_burst({burst, 1}) != 1) {
+    pool_->free(m);
+    return false;
+  }
+  stats_.tx_frames++;
+  return true;
+}
+
+void FfStack::send_arp(std::uint16_t oper, const nic::MacAddr& tha,
+                       Ipv4Addr tpa) {
+  ArpHeader ah;
+  ah.oper = oper;
+  ah.sha = dev_->mac();
+  ah.spa = cfg_.netif.ip;
+  ah.tha = tha;
+  ah.tpa = tpa;
+  std::byte buf[ArpHeader::kSize];
+  ah.serialize(buf);
+  const nic::MacAddr dst =
+      oper == ArpHeader::kOpRequest ? nic::MacAddr::broadcast() : tha;
+  transmit_frame(dst, kEtherTypeArp, buf);
+}
+
+// ===========================================================================
+// TcpEnv
+// ===========================================================================
+
+bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
+                       const TcpOptions& opts, std::size_t payload_off,
+                       std::size_t payload_len) {
+  std::byte seg[kFrameScratch];
+  TcpHeader h = hdr;
+  h.serialize({seg, TcpHeader::kSize});
+  const std::size_t opt_len = opts.serialize(
+      std::span<std::byte>{seg + TcpHeader::kSize, 44});
+  const std::size_t hlen = TcpHeader::kSize + opt_len;
+  seg[12] = static_cast<std::byte>((hlen / 4) << 4);
+  if (payload_len > 0) {
+    pcb.peek_send(payload_off, std::span<std::byte>{seg + hlen, payload_len});
+  }
+  const std::size_t total = hlen + payload_len;
+  std::uint32_t sum = checksum_pseudo(pcb.tuple().local_ip,
+                                      pcb.tuple().remote_ip, kIpProtoTcp,
+                                      static_cast<std::uint16_t>(total));
+  sum = checksum_partial(std::span<const std::byte>{seg, total}, sum);
+  put_be16(seg + 16, checksum_finish(sum));
+  return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp,
+                   std::span<const std::byte>{seg, total});
+}
+
+TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
+  (void)listener;
+  if (tcp_pcbs_.contains(tuple)) return nullptr;
+  auto pcb = std::unique_ptr<TcpPcb>(make_pcb());
+  TcpPcb* raw = pcb.get();
+  tcp_pcbs_.emplace(tuple, std::move(pcb));
+  return raw;
+}
+
+void FfStack::tcp_accept_ready(TcpPcb& listener, TcpPcb& child) {
+  listener.accept_queue.push_back(&child);
+}
+
+TcpPcb* FfStack::make_pcb() {
+  SockBuf snd(heap_->alloc_view(cfg_.tcp.sndbuf_bytes));
+  SockBuf rcv(heap_->alloc_view(cfg_.tcp.rcvbuf_bytes));
+  return new TcpPcb(this, cfg_.tcp, std::move(snd), std::move(rcv));
+}
+
+std::uint32_t FfStack::new_iss() {
+  iss_state_ = iss_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<std::uint32_t>(iss_state_ >> 32);
+}
+
+std::uint16_t FfStack::alloc_ephemeral_port() {
+  for (int tries = 0; tries < 16384; ++tries) {
+    const std::uint16_t p = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
+    bool used = udp_binds_.contains(p) || tcp_listeners_.contains(p);
+    if (!used) {
+      for (const auto& [t, pcb] : tcp_pcbs_) {
+        if (t.local_port == p) {
+          used = true;
+          break;
+        }
+      }
+    }
+    if (!used) return p;
+  }
+  return 0;
+}
+
+// ===========================================================================
+// Socket operations
+// ===========================================================================
+
+int FfStack::sock_socket(SockKind kind) {
+  Socket* s = socks_.create(kind);
+  return s != nullptr ? s->fd : -EMFILE;
+}
+
+int FfStack::sock_bind(int fd, Ipv4Addr ip, std::uint16_t port) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr) return -EBADF;
+  if (s->bound) return -EINVAL;
+  s->local_ip = ip == Ipv4Addr{} ? cfg_.netif.ip : ip;
+  s->local_port = port != 0 ? port : alloc_ephemeral_port();
+  if (s->local_port == 0) return -EADDRINUSE;
+  s->bound = true;
+  if (s->kind == SockKind::kUdp) {
+    if (udp_binds_.contains(s->local_port)) return -EADDRINUSE;
+    s->udp->local_ip = s->local_ip;
+    s->udp->local_port = s->local_port;
+    udp_binds_[s->local_port] = s->udp.get();
+  }
+  return 0;
+}
+
+int FfStack::sock_listen(int fd, int backlog) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kTcp) return -EBADF;
+  if (!s->bound) return -EINVAL;
+  if (tcp_listeners_.contains(s->local_port)) return -EADDRINUSE;
+  auto pcb = std::make_unique<TcpPcb>(this, cfg_.tcp, SockBuf{}, SockBuf{});
+  pcb->open_listen(s->local_ip, s->local_port);
+  pcb->backlog = std::max(backlog, 1);
+  s->pcb = pcb.get();
+  s->listening = true;
+  tcp_listeners_.emplace(s->local_port, std::move(pcb));
+  return 0;
+}
+
+int FfStack::sock_accept(int fd, FourTuple* peer_out) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || !s->listening || s->pcb == nullptr) return -EBADF;
+  auto& q = s->pcb->accept_queue;
+  while (!q.empty()) {
+    TcpPcb* child = q.front();
+    q.pop_front();
+    if (child->closed()) {  // died (reset) before accept
+      detached_.insert(child);
+      continue;
+    }
+    Socket* cs = socks_.create(SockKind::kTcp);
+    if (cs == nullptr) {
+      child->abort(ECONNABORTED);
+      detached_.insert(child);
+      return -EMFILE;
+    }
+    cs->pcb = child;
+    cs->bound = true;
+    cs->local_ip = child->tuple().local_ip;
+    cs->local_port = child->tuple().local_port;
+    if (peer_out != nullptr) *peer_out = child->tuple();
+    return cs->fd;
+  }
+  return -EAGAIN;
+}
+
+int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kTcp) return -EBADF;
+  if (s->pcb != nullptr) return -EISCONN;
+  if (!s->bound) {
+    const int r = sock_bind(fd, Ipv4Addr{}, 0);
+    if (r != 0) return r;
+  }
+  const FourTuple tuple{s->local_ip, s->local_port, ip, port};
+  if (tcp_pcbs_.contains(tuple)) return -EADDRINUSE;
+  auto pcb = std::unique_ptr<TcpPcb>(make_pcb());
+  TcpPcb* raw = pcb.get();
+  tcp_pcbs_.emplace(tuple, std::move(pcb));
+  s->pcb = raw;
+  raw->open_connect(tuple, new_iss());
+  return -EINPROGRESS;
+}
+
+std::int64_t FfStack::sock_write(int fd, const machine::CapView& buf,
+                                 std::size_t n) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kTcp || s->pcb == nullptr) {
+    return -EBADF;
+  }
+  TcpPcb* pcb = s->pcb;
+  if (pcb->error() != 0) return -pcb->error();
+  if (!pcb->connected()) {
+    return pcb->state() == TcpState::kSynSent ? -EAGAIN : -ENOTCONN;
+  }
+  const std::size_t queued = pcb->app_write(buf, n);
+  if (queued == 0) return -EAGAIN;
+  if (cfg_.inline_tcp_output) {
+    pcb->output();
+  } else {
+    pending_output_.insert(pcb);
+  }
+  return static_cast<std::int64_t>(queued);
+}
+
+std::int64_t FfStack::sock_read(int fd, const machine::CapView& buf,
+                                std::size_t n) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kTcp || s->pcb == nullptr) {
+    return -EBADF;
+  }
+  TcpPcb* pcb = s->pcb;
+  const std::size_t got = pcb->app_read(buf, n);
+  if (got > 0) {
+    if (cfg_.inline_tcp_output) pcb->output();
+    return static_cast<std::int64_t>(got);
+  }
+  if (pcb->eof()) return 0;
+  if (pcb->error() != 0) return -pcb->error();
+  return -EAGAIN;
+}
+
+std::int64_t FfStack::sock_sendto(int fd, const machine::CapView& buf,
+                                  std::size_t n, Ipv4Addr ip,
+                                  std::uint16_t port) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  if (!s->bound) {
+    const int r = sock_bind(fd, Ipv4Addr{}, 0);
+    if (r != 0) return r;
+  }
+  if (n > 65535 - UdpHeader::kSize) return -EMSGSIZE;
+
+  std::vector<std::byte> seg(UdpHeader::kSize + n);
+  UdpHeader uh;
+  uh.src_port = s->local_port;
+  uh.dst_port = port;
+  uh.length = static_cast<std::uint16_t>(seg.size());
+  uh.checksum = 0;
+  uh.serialize(seg);
+  buf.read(0, std::span<std::byte>{seg.data() + UdpHeader::kSize, n});
+  std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, ip, kIpProtoUdp,
+                                      uh.length);
+  sum = checksum_partial(seg, sum);
+  std::uint16_t ck = checksum_finish(sum);
+  if (ck == 0) ck = 0xFFFF;  // RFC 768: 0 means "no checksum"
+  put_be16(seg.data() + 6, ck);
+  send_ipv4(ip, kIpProtoUdp, seg);
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t FfStack::sock_recvfrom(int fd, const machine::CapView& buf,
+                                    std::size_t n, FourTuple* from_out) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  if (!s->udp->readable()) return -EAGAIN;
+  UdpDatagram d = s->udp->pop();
+  const std::size_t copy = std::min(n, d.data.size());
+  buf.write(0, std::span<const std::byte>{d.data.data(), copy});
+  if (from_out != nullptr) {
+    from_out->remote_ip = d.src;
+    from_out->remote_port = d.src_port;
+    from_out->local_ip = s->local_ip;
+    from_out->local_port = s->local_port;
+  }
+  return static_cast<std::int64_t>(copy);
+}
+
+int FfStack::sock_close(int fd) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr) return -EBADF;
+  switch (s->kind) {
+    case SockKind::kTcp:
+      if (s->listening) {
+        if (s->pcb != nullptr) {
+          // Abort queued children and any half-open (SYN_RCVD or not yet
+          // accepted) connection spawned by this listener: nobody will ever
+          // accept them (FreeBSD drops the syncache the same way).
+          for (auto& [t, pcb] : tcp_pcbs_) {
+            if (pcb->listener == s->pcb) {
+              pcb->listener = nullptr;
+              if (!detached_.contains(pcb.get())) {
+                pcb->abort(ECONNABORTED);
+                detached_.insert(pcb.get());
+              }
+            }
+          }
+          s->pcb->accept_queue.clear();
+          tcp_listeners_.erase(s->local_port);
+        }
+      } else if (s->pcb != nullptr) {
+        s->pcb->app_close();
+        detached_.insert(s->pcb);
+      }
+      break;
+    case SockKind::kUdp:
+      udp_binds_.erase(s->local_port);
+      break;
+    case SockKind::kEpoll:
+      break;
+  }
+  socks_.release(fd);
+  return 0;
+}
+
+std::uint32_t FfStack::sock_readiness(int fd) const {
+  const Socket* s = socks_.get(fd);
+  if (s == nullptr) return kEpollErr | kEpollHup;
+  std::uint32_t m = 0;
+  switch (s->kind) {
+    case SockKind::kTcp: {
+      if (s->pcb == nullptr) break;
+      if (s->listening) {
+        if (!s->pcb->accept_queue.empty()) m |= kEpollIn;
+        break;
+      }
+      if (s->pcb->readable()) m |= kEpollIn;
+      if (s->pcb->writable()) m |= kEpollOut;
+      if (s->pcb->error() != 0) m |= kEpollErr;
+      if (s->pcb->eof() || s->pcb->closed()) m |= kEpollHup | kEpollIn;
+      break;
+    }
+    case SockKind::kUdp:
+      if (s->udp->readable()) m |= kEpollIn;
+      m |= kEpollOut;
+      break;
+    case SockKind::kEpoll:
+      break;
+  }
+  return m;
+}
+
+int FfStack::epoll_create() { return sock_socket(SockKind::kEpoll); }
+
+int FfStack::epoll_ctl(int epfd, EpollOp op, int fd, std::uint32_t events,
+                       std::uint64_t data) {
+  Socket* e = socks_.get(epfd);
+  if (e == nullptr || e->kind != SockKind::kEpoll) return -EBADF;
+  if (socks_.get(fd) == nullptr) return -EBADF;
+  return e->epoll->ctl(op, fd, events, data);
+}
+
+int FfStack::epoll_wait(int epfd, std::span<FfEpollEvent> out) {
+  Socket* e = socks_.get(epfd);
+  if (e == nullptr || e->kind != SockKind::kEpoll) return -EBADF;
+  int n = 0;
+  for (const auto& [fd, interest] : e->epoll->interest()) {
+    if (n == static_cast<int>(out.size())) break;
+    const std::uint32_t ready =
+        sock_readiness(fd) & (interest.events | kEpollErr | kEpollHup);
+    if (ready != 0) {
+      out[n].events = ready;
+      out[n].data = interest.data;
+      ++n;
+    }
+  }
+  return n;
+}
+
+TcpPcb* FfStack::find_pcb(const FourTuple& t) {
+  const auto it = tcp_pcbs_.find(t);
+  return it != tcp_pcbs_.end() ? it->second.get() : nullptr;
+}
+
+void FfStack::send_ping(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
+                        std::size_t payload_len) {
+  std::vector<std::byte> payload(payload_len, std::byte{0xA5});
+  const auto msg =
+      build_icmp_echo(IcmpHeader::kEchoRequest, id, seq, payload);
+  send_ipv4(dst, kIpProtoIcmp, msg);
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,161 @@
+// FfStack: one F-Stack instance — the user-space TCP/IP stack bound to one
+// DPDK-style port, driven by a polling main loop (paper §II-C/§III-B).
+//
+// Single-threaded by design: in Scenario 1 the application runs inside the
+// loop's user callback; in Scenario 2 cross-compartment ff_* calls are
+// serialized against the loop by the compartment mutex. All packet and
+// socket-buffer memory lives in tagged memory behind bounded capabilities.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fstack/arp.hpp"
+#include "fstack/icmp.hpp"
+#include "fstack/ipv4.hpp"
+#include "fstack/socket.hpp"
+#include "machine/heap.hpp"
+#include "updk/ethdev.hpp"
+#include "updk/mempool.hpp"
+
+namespace cherinet::fstack {
+
+struct NetifConfig {
+  Ipv4Addr ip{};
+  Ipv4Addr netmask = Ipv4Addr{0xFFFFFF00};
+  Ipv4Addr gateway{};
+  std::uint16_t mtu = 1500;
+};
+
+struct StackConfig {
+  NetifConfig netif;
+  TcpConfig tcp;
+  std::size_t max_sockets = 1024;
+  std::uint64_t iss_seed = 0x9E3779B97F4A7C15ull;
+  /// true  -> ff_write drives tcp_output inline (BSD sosend behaviour);
+  /// false -> ff_write only queues into the send buffer and the main loop
+  ///          emits segments (F-Stack's deferred model; what the paper's
+  ///          ~125 ns ff_write measurements correspond to).
+  bool inline_tcp_output = true;
+};
+
+class FfStack final : public TcpEnv {
+ public:
+  FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
+          machine::CompartmentHeap* heap, sim::VirtualClock* clock);
+  ~FfStack() override;
+
+  // ---- main loop ----
+  /// One polling iteration: RX burst -> input, due timers, pending output.
+  /// Returns true if any work was done.
+  bool run_once();
+  /// Earliest future event (wire delivery or protocol timer).
+  [[nodiscard]] std::optional<sim::Ns> next_deadline() const;
+
+  // ---- socket operations (wrapped by the ff_* API) ----
+  int sock_socket(SockKind kind);
+  int sock_bind(int fd, Ipv4Addr ip, std::uint16_t port);
+  int sock_listen(int fd, int backlog);
+  int sock_accept(int fd, FourTuple* peer_out);
+  int sock_connect(int fd, Ipv4Addr ip, std::uint16_t port);
+  std::int64_t sock_write(int fd, const machine::CapView& buf, std::size_t n);
+  std::int64_t sock_read(int fd, const machine::CapView& buf, std::size_t n);
+  std::int64_t sock_sendto(int fd, const machine::CapView& buf, std::size_t n,
+                           Ipv4Addr ip, std::uint16_t port);
+  std::int64_t sock_recvfrom(int fd, const machine::CapView& buf,
+                             std::size_t n, FourTuple* from_out);
+  int sock_close(int fd);
+  [[nodiscard]] std::uint32_t sock_readiness(int fd) const;
+
+  int epoll_create();
+  int epoll_ctl(int epfd, EpollOp op, int fd, std::uint32_t events,
+                std::uint64_t data);
+  int epoll_wait(int epfd, std::span<FfEpollEvent> out);
+
+  // ---- diagnostics / tests ----
+  [[nodiscard]] const NetifConfig& netif() const noexcept {
+    return cfg_.netif;
+  }
+  [[nodiscard]] updk::EthDev& dev() noexcept { return *dev_; }
+  [[nodiscard]] const SocketTable& sockets() const noexcept { return socks_; }
+  [[nodiscard]] TcpPcb* find_pcb(const FourTuple& t);
+  void send_ping(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
+                 std::size_t payload_len);
+  [[nodiscard]] const PingTracker& pings() const noexcept { return pings_; }
+
+  struct Stats {
+    std::uint64_t rx_frames = 0;
+    std::uint64_t tx_frames = 0;
+    std::uint64_t rx_dropped = 0;
+    std::uint64_t tcp_rst_out = 0;
+    std::uint64_t csum_errors = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // ---- TcpEnv ----
+  [[nodiscard]] sim::Ns tcp_now() override { return clock_->now(); }
+  [[nodiscard]] std::uint32_t tcp_ts_now() override {
+    return static_cast<std::uint32_t>(clock_->now().count() / 1000);
+  }
+  bool tcp_emit(TcpPcb& pcb, const TcpHeader& hdr, const TcpOptions& opts,
+                std::size_t payload_off, std::size_t payload_len) override;
+  TcpPcb* tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) override;
+  void tcp_accept_ready(TcpPcb& listener, TcpPcb& child) override;
+
+ private:
+  // input path
+  void ether_input(std::span<const std::byte> frame);
+  void arp_input(std::span<const std::byte> payload);
+  void ipv4_input(std::span<const std::byte> packet);
+  void icmp_input(const Ipv4Header& ih, std::span<const std::byte> l4);
+  void udp_input(const Ipv4Header& ih, std::span<const std::byte> l4);
+  void tcp_input_seg(const Ipv4Header& ih, std::span<const std::byte> l4);
+  void send_tcp_rst(const Ipv4Header& ih, const TcpHeader& th,
+                    std::size_t payload_len);
+
+  // output path
+  bool send_ipv4(Ipv4Addr dst, std::uint8_t proto,
+                 std::span<const std::byte> l4);
+  bool transmit_ip_packet(std::span<const std::byte> ip_packet,
+                          Ipv4Addr next_hop);
+  bool transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
+                      std::span<const std::byte> payload);
+  void send_arp(std::uint16_t oper, const nic::MacAddr& tha, Ipv4Addr tpa);
+  [[nodiscard]] Ipv4Addr next_hop_for(Ipv4Addr dst) const;
+
+  // housekeeping
+  void process_timers(sim::Ns now, bool& progress);
+  void reap_closed();
+  [[nodiscard]] std::uint16_t alloc_ephemeral_port();
+  [[nodiscard]] std::uint32_t new_iss();
+  TcpPcb* make_pcb();
+
+  StackConfig cfg_;
+  updk::EthDev* dev_;
+  updk::Mempool* pool_;
+  machine::CompartmentHeap* heap_;
+  sim::VirtualClock* clock_;
+
+  SocketTable socks_;
+  std::unordered_map<FourTuple, std::unique_ptr<TcpPcb>, FourTupleHash>
+      tcp_pcbs_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<TcpPcb>> tcp_listeners_;
+  std::unordered_map<std::uint16_t, UdpPcb*> udp_binds_;  // port -> pcb
+
+  ArpCache arp_;
+  FragReassembler reasm_;
+  PingTracker pings_;
+  Stats stats_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint16_t ip_id_ = 1;
+  std::uint64_t iss_state_;
+  // PCBs whose socket was closed; reaped once the protocol reaches CLOSED.
+  std::unordered_set<TcpPcb*> detached_;
+  // Deferred-output mode: PCBs with freshly queued app data.
+  std::unordered_set<TcpPcb*> pending_output_;
+};
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,177 @@
+#include "fstack/tcp_pcb.hpp"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace cherinet::fstack {
+
+const char* to_string(TcpState s) noexcept {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpPcb::TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, SockBuf rcv)
+    : env_(env), cfg_(cfg), snd_(std::move(snd)), rcv_(std::move(rcv)),
+      rto_(cfg.initial_rto) {}
+
+void TcpPcb::open_listen(Ipv4Addr local_ip, std::uint16_t local_port) {
+  tuple_.local_ip = local_ip;
+  tuple_.local_port = local_port;
+  state_ = TcpState::kListen;
+}
+
+void TcpPcb::open_connect(const FourTuple& tuple, std::uint32_t iss) {
+  tuple_ = tuple;
+  iss_ = iss;
+  snd_una_ = iss;
+  snd_nxt_ = iss;  // send_control(SYN) advances by one
+  state_ = TcpState::kSynSent;
+  mss_eff_ = cfg_.mss;
+  cwnd_ = cfg_.init_cwnd_segments * cfg_.mss;
+  send_control(tcpflag::kSyn);
+  arm_rexmit();
+}
+
+std::size_t TcpPcb::app_write(const machine::CapView& src, std::size_t n) {
+  if (!connected() || fin_queued_) return 0;
+  return snd_.write_from(src, 0, n);
+}
+
+std::size_t TcpPcb::app_read(const machine::CapView& dst, std::size_t n) {
+  const std::size_t before = rcv_.free();
+  const std::size_t got = rcv_.read_into(dst, 0, n);
+  // If the advertised window had (nearly) collapsed, announce the reopened
+  // window *immediately* — waiting for the delayed-ACK timer would leave
+  // the peer throttled or probing (BSD's sowwakeup -> tcp_output path).
+  if (got > 0 && before < 2u * mss_eff_) {
+    ack_now_ = true;
+    output();
+  }
+  return got;
+}
+
+void TcpPcb::app_close() {
+  if (fin_queued_) return;
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      state_ = TcpState::kClosed;
+      return;
+    case TcpState::kSynSent:
+      state_ = TcpState::kClosed;
+      return;
+    default:
+      fin_queued_ = true;
+      output();
+      return;
+  }
+}
+
+void TcpPcb::abort(int err) {
+  if (connected() || state_ == TcpState::kSynReceived) {
+    send_control(tcpflag::kRst | tcpflag::kAck);
+  }
+  error_ = err;
+  state_ = TcpState::kClosed;
+}
+
+void TcpPcb::negotiate_options(const TcpOptions& opts, bool we_offered) {
+  if (opts.mss) {
+    mss_eff_ = std::min<std::uint16_t>(cfg_.mss, *opts.mss);
+  } else {
+    mss_eff_ = std::min<std::uint16_t>(cfg_.mss, 536);
+  }
+  ts_on_ = we_offered && cfg_.use_timestamps && opts.timestamps.has_value();
+  ws_on_ = we_offered && cfg_.use_wscale && opts.wscale.has_value();
+  if (ws_on_) {
+    snd_wscale_ = std::min<std::uint8_t>(*opts.wscale, 14);
+    rcv_wscale_ = cfg_.wscale;
+  }
+  if (opts.timestamps) ts_recent_ = opts.timestamps->first;
+  cwnd_ = cfg_.init_cwnd_segments * mss_eff_;
+}
+
+void TcpPcb::rtt_sample(sim::Ns rtt) {
+  // RFC 6298 §2: SRTT/RTTVAR update with alpha=1/8, beta=1/4, K=4.
+  if (srtt_.count() == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    const sim::Ns err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = (rttvar_ * 3 + err) / 4;
+    srtt_ = (srtt_ * 7 + rtt) / 8;
+  }
+  rto_ = std::clamp(srtt_ + std::max(sim::Ns{1'000'000}, rttvar_ * 4),
+                    cfg_.min_rto, cfg_.max_rto);
+}
+
+void TcpPcb::cc_on_new_ack(std::uint32_t acked_bytes) {
+  if (cwnd_ < ssthresh_) {
+    // Slow start: cwnd grows by bytes acked (RFC 5681 §3.1).
+    cwnd_ += std::min(acked_bytes, std::uint32_t{mss_eff_});
+  } else {
+    // Congestion avoidance: ~one MSS per RTT.
+    const std::uint32_t inc =
+        std::max<std::uint32_t>(1, std::uint32_t{mss_eff_} * mss_eff_ / cwnd_);
+    cwnd_ += inc;
+  }
+}
+
+void TcpPcb::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  time_wait_deadline_ = env_->tcp_now() + cfg_.time_wait;
+  rexmit_deadline_.reset();
+  persist_deadline_.reset();
+}
+
+void TcpPcb::schedule_ack() {
+  ack_pending_ = true;
+  if (!delack_deadline_) {
+    delack_deadline_ = env_->tcp_now() + cfg_.delack_timeout;
+  }
+}
+
+std::optional<sim::Ns> TcpPcb::next_deadline() const {
+  std::optional<sim::Ns> d;
+  const auto merge = [&d](const std::optional<sim::Ns>& t) {
+    if (t && (!d || *t < *d)) d = t;
+  };
+  merge(rexmit_deadline_);
+  merge(delack_deadline_);
+  merge(persist_deadline_);
+  merge(time_wait_deadline_);
+  return d;
+}
+
+bool TcpPcb::on_timer(sim::Ns now) {
+  bool progress = false;
+  if (time_wait_deadline_ && now >= *time_wait_deadline_) {
+    time_wait_deadline_.reset();
+    state_ = TcpState::kClosed;
+    progress = true;
+  }
+  if (rexmit_deadline_ && now >= *rexmit_deadline_) {
+    progress |= fire_rexmit(now);
+  }
+  if (persist_deadline_ && now >= *persist_deadline_) {
+    progress |= fire_persist(now);
+  }
+  if (delack_deadline_ && now >= *delack_deadline_) {
+    progress |= fire_delack(now);
+  }
+  return progress;
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,294 @@
+// TCP protocol control block: connection state machine, sliding-window flow
+// control, RFC 6298 retransmission timing, and NewReno congestion control —
+// the FreeBSD-derived heart of the F-Stack analogue.
+//
+// The PCB is deliberately single-threaded: it runs under the stack's main
+// loop (Scenario 1) or under the stack mutex (Scenario 2), exactly like
+// F-Stack's FreeBSD stack instance in the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fstack/headers.hpp"
+#include "fstack/sockbuf.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace cherinet::fstack {
+
+enum class TcpState : std::uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+[[nodiscard]] const char* to_string(TcpState s) noexcept;
+
+// 32-bit sequence arithmetic (RFC 793).
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_le(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+[[nodiscard]] constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+[[nodiscard]] constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+struct TcpConfig {
+  std::size_t sndbuf_bytes = 256 * 1024;
+  std::size_t rcvbuf_bytes = 256 * 1024;
+  std::uint16_t mss = 1448;  // with 12-byte timestamp option => 1500 MTU
+  bool use_timestamps = true;
+  bool use_wscale = true;
+  std::uint8_t wscale = 7;
+  sim::Ns delack_timeout{40'000'000};     // 40 ms
+  sim::Ns min_rto{200'000'000};           // 200 ms
+  sim::Ns max_rto{60'000'000'000};        // 60 s
+  sim::Ns initial_rto{1'000'000'000};     // RFC 6298 §2
+  sim::Ns persist_base{500'000'000};      // zero-window probe base
+  sim::Ns time_wait{500'000'000};         // 2*MSL, shortened for simulation
+  std::uint32_t init_cwnd_segments = 10;  // RFC 6928
+  std::uint32_t max_rexmit = 12;          // give up after ~12 backoffs
+  std::uint32_t max_ooo_segments = 64;
+};
+
+class TcpPcb;
+
+/// Services TCP needs from the owning stack instance.
+class TcpEnv {
+ public:
+  virtual ~TcpEnv() = default;
+  [[nodiscard]] virtual sim::Ns tcp_now() = 0;
+  /// Monotonic value for the timestamp option (microsecond granularity).
+  [[nodiscard]] virtual std::uint32_t tcp_ts_now() = 0;
+  /// Emit one segment. `payload_off` indexes the send buffer from its head
+  /// (snd_una). Returns false if the packet could not be queued (no mbuf) —
+  /// the PCB will retry from its retransmission machinery.
+  virtual bool tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
+                        const TcpOptions& opts, std::size_t payload_off,
+                        std::size_t payload_len) = 0;
+  /// Passive open: a listener got a valid SYN. Returns the child PCB (with
+  /// allocated buffers, state kListen->kSynReceived handled by caller) or
+  /// null to refuse (backlog/memory).
+  virtual TcpPcb* tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) = 0;
+  /// Child reached kEstablished: append to the listener's accept queue.
+  virtual void tcp_accept_ready(TcpPcb& listener, TcpPcb& child) = 0;
+};
+
+class TcpPcb {
+ public:
+  TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, SockBuf rcv);
+
+  // ---- lifecycle (socket layer) ----
+  void open_listen(Ipv4Addr local_ip, std::uint16_t local_port);
+  void open_connect(const FourTuple& tuple, std::uint32_t iss);
+  /// Queue application bytes; returns bytes accepted (0 = buffer full).
+  std::size_t app_write(const machine::CapView& src, std::size_t n);
+  /// Read received bytes into the app capability; returns bytes, 0 when
+  /// nothing available (check eof()/error() to distinguish).
+  std::size_t app_read(const machine::CapView& dst, std::size_t n);
+  /// Half-close: queue a FIN after pending data.
+  void app_close();
+  /// Hard reset.
+  void abort(int err);
+
+  // ---- datapath (stack) ----
+  void input(const TcpHeader& h, const TcpOptions& opts,
+             std::span<const std::byte> payload);
+  /// Send whatever the window allows (data, FIN, pending ACK).
+  bool output();
+  [[nodiscard]] std::optional<sim::Ns> next_deadline() const;
+  /// Fire timers due at `now`; returns true if anything was sent/changed.
+  bool on_timer(sim::Ns now);
+
+  // ---- queries ----
+  [[nodiscard]] TcpState state() const noexcept { return state_; }
+  [[nodiscard]] const FourTuple& tuple() const noexcept { return tuple_; }
+  [[nodiscard]] bool readable() const noexcept {
+    return !rcv_.empty() || fin_received_ || error_ != 0;
+  }
+  [[nodiscard]] bool writable() const noexcept {
+    return state_ == TcpState::kEstablished ||
+           state_ == TcpState::kCloseWait
+               ? snd_.free() > 0
+               : false;
+  }
+  [[nodiscard]] bool eof() const noexcept {
+    return fin_received_ && rcv_.empty();
+  }
+  [[nodiscard]] int error() const noexcept { return error_; }
+  [[nodiscard]] bool connected() const noexcept {
+    return state_ == TcpState::kEstablished ||
+           state_ == TcpState::kCloseWait || state_ == TcpState::kFinWait1 ||
+           state_ == TcpState::kFinWait2;
+  }
+  [[nodiscard]] bool closed() const noexcept {
+    return state_ == TcpState::kClosed;
+  }
+  [[nodiscard]] std::uint32_t cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] std::uint32_t ssthresh() const noexcept { return ssthresh_; }
+  [[nodiscard]] sim::Ns srtt() const noexcept { return srtt_; }
+  [[nodiscard]] sim::Ns rto() const noexcept { return rto_; }
+  [[nodiscard]] std::uint16_t mss_eff() const noexcept { return mss_eff_; }
+
+  /// Copy unacknowledged send-buffer bytes (for the stack's segment
+  /// builder); `off` is relative to snd_una.
+  void peek_send(std::size_t off, std::span<std::byte> out) const {
+    snd_.peek(off, out);
+  }
+  /// Receive window currently advertised (bytes).
+  [[nodiscard]] std::uint32_t rcv_wnd() const noexcept {
+    return static_cast<std::uint32_t>(rcv_.free());
+  }
+
+  /// Diagnostic snapshot of the sequence-space state (tests/debugging).
+  struct DebugSnapshot {
+    std::uint32_t snd_una, snd_nxt, snd_wnd, cwnd;
+    std::uint32_t rcv_nxt;
+    std::size_t snd_used, snd_free, rcv_used;
+    bool fin_queued, fin_sent, ack_pending, ack_now, in_recovery;
+    bool rexmit_armed, delack_armed, persist_armed;
+  };
+  [[nodiscard]] DebugSnapshot debug_snapshot() const noexcept {
+    return DebugSnapshot{snd_una_, snd_nxt_, snd_wnd_, cwnd_, rcv_nxt_,
+                         snd_.used(), snd_.free(), rcv_.used(),
+                         fin_queued_, fin_sent_, ack_pending_, ack_now_,
+                         in_recovery_, rexmit_deadline_.has_value(),
+                         delack_deadline_.has_value(),
+                         persist_deadline_.has_value()};
+  }
+
+  struct Counters {
+    std::uint64_t segs_in = 0;
+    std::uint64_t segs_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t rexmits = 0;
+    std::uint64_t fast_rexmits = 0;
+    std::uint64_t dup_acks_in = 0;
+    std::uint64_t ooo_segs = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  // Listener plumbing (owned by the stack / socket layer).
+  TcpPcb* listener = nullptr;
+  std::deque<TcpPcb*> accept_queue;
+  int backlog = 0;
+  /// Source IP of the segment being delivered (set by the stack before
+  /// input() on listeners — TCP headers do not carry addresses).
+  Ipv4Addr pending_remote_ip{};
+
+ private:
+  friend class StackTcpAccess;  // test/diagnostic backdoor
+
+  // --- input helpers (tcp_input.cpp) ---
+  void input_listen(const TcpHeader& h, const TcpOptions& opts);
+  void input_syn_sent(const TcpHeader& h, const TcpOptions& opts);
+  void process_ack(const TcpHeader& h, const TcpOptions& opts);
+  void process_payload(const TcpHeader& h, std::span<const std::byte> payload);
+  void process_fin(const TcpHeader& h, std::size_t payload_len);
+  void absorb_ooo();
+  void enter_time_wait();
+  void rtt_sample(sim::Ns rtt);
+  void cc_on_new_ack(std::uint32_t acked_bytes);
+  void negotiate_options(const TcpOptions& opts, bool we_offered);
+
+  // --- output helpers (tcp_output.cpp) ---
+  bool send_segment(std::uint32_t seq, std::size_t payload_off,
+                    std::size_t len, std::uint8_t flags);
+  bool send_control(std::uint8_t flags);  // SYN / pure ACK / RST
+  void arm_rexmit();
+  void schedule_ack();
+
+  // --- timers (tcp_timer.cpp) ---
+  bool fire_rexmit(sim::Ns now);
+  bool fire_delack(sim::Ns now);
+  bool fire_persist(sim::Ns now);
+
+  TcpEnv* env_;
+  TcpConfig cfg_;
+  SockBuf snd_;
+  SockBuf rcv_;
+
+  TcpState state_ = TcpState::kClosed;
+  FourTuple tuple_{};
+  int error_ = 0;
+
+  // Send sequence space.
+  std::uint32_t iss_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t snd_wnd_ = 0;
+  std::uint32_t snd_wl1_ = 0;
+  std::uint32_t snd_wl2_ = 0;
+  bool syn_acked_ = false;
+
+  // Receive sequence space.
+  std::uint32_t irs_ = 0;
+  std::uint32_t rcv_nxt_ = 0;
+
+  // Options state.
+  std::uint16_t mss_eff_ = 536;
+  bool ts_on_ = false;
+  bool ws_on_ = false;
+  std::uint8_t snd_wscale_ = 0;  // shift applied to peer's advertised window
+  std::uint8_t rcv_wscale_ = 0;  // shift we advertise
+  std::uint32_t ts_recent_ = 0;
+
+  // Congestion control (NewReno).
+  std::uint32_t cwnd_ = 0;
+  std::uint32_t ssthresh_ = 0xFFFFFFFF;
+  std::uint32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::uint32_t recover_ = 0;
+
+  // RTT estimation (RFC 6298).
+  sim::Ns srtt_{0};
+  sim::Ns rttvar_{0};
+  sim::Ns rto_;
+  bool rtt_timing_ = false;
+  std::uint32_t rtt_seq_ = 0;
+  sim::Ns rtt_started_{0};
+
+  // Timers (absolute virtual deadlines; nullopt = disarmed).
+  std::optional<sim::Ns> rexmit_deadline_;
+  std::optional<sim::Ns> delack_deadline_;
+  std::optional<sim::Ns> persist_deadline_;
+  std::optional<sim::Ns> time_wait_deadline_;
+  std::uint32_t rexmit_shift_ = 0;
+  std::uint32_t persist_shift_ = 0;
+
+  // ACK strategy.
+  bool ack_pending_ = false;  // delayed ACK armed
+  bool ack_now_ = false;      // force an immediate ACK on next output()
+  std::uint32_t segs_since_ack_ = 0;
+
+  // FIN bookkeeping.
+  bool fin_queued_ = false;    // app_close() called
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  bool fin_received_ = false;
+
+  // Out-of-order reassembly (seq -> payload).
+  std::map<std::uint32_t, std::vector<std::byte>> ooo_;
+
+  Counters counters_;
+};
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,2 @@
+#include "fstack/udp.hpp"
+namespace cherinet::fstack { static_assert(sizeof(UdpPcb) > 0); }

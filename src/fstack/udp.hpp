@@ -1,0 +1,56 @@
+// UDP protocol control block: bounded datagram receive queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "fstack/inet.hpp"
+
+namespace cherinet::fstack {
+
+struct UdpDatagram {
+  Ipv4Addr src;
+  std::uint16_t src_port = 0;
+  std::vector<std::byte> data;
+};
+
+class UdpPcb {
+ public:
+  explicit UdpPcb(std::size_t max_queued_bytes = 256 * 1024)
+      : max_bytes_(max_queued_bytes) {}
+
+  Ipv4Addr local_ip{};
+  std::uint16_t local_port = 0;
+
+  /// Enqueue a received datagram; drops (and counts) when over budget.
+  bool deliver(UdpDatagram d) {
+    if (queued_bytes_ + d.data.size() > max_bytes_) {
+      ++drops_;
+      return false;
+    }
+    queued_bytes_ += d.data.size();
+    rx_.push_back(std::move(d));
+    return true;
+  }
+
+  [[nodiscard]] bool readable() const noexcept { return !rx_.empty(); }
+  [[nodiscard]] std::size_t queued() const noexcept { return rx_.size(); }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+
+  /// Pop the oldest datagram (caller checked readable()).
+  [[nodiscard]] UdpDatagram pop() {
+    UdpDatagram d = std::move(rx_.front());
+    rx_.pop_front();
+    queued_bytes_ -= d.data.size();
+    return d;
+  }
+
+ private:
+  std::size_t max_bytes_;
+  std::size_t queued_bytes_ = 0;
+  std::deque<UdpDatagram> rx_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,57 @@
+#include "intravisor/compartment_mutex.hpp"
+
+#include <stdexcept>
+
+namespace cherinet::iv {
+
+CompartmentMutex::CompartmentMutex(MuslLibc* libc, machine::CapView word)
+    : libc_(libc), word_(word) {
+  if (!word_.valid() || word_.size() < 4) {
+    throw std::invalid_argument("CompartmentMutex: bad word view");
+  }
+}
+
+std::uint32_t CompartmentMutex::cas(std::uint32_t expected,
+                                    std::uint32_t desired) {
+  return word_.mem().atomic_cas_u32(word_.cap(), word_.address(), expected,
+                                    desired);
+}
+
+bool CompartmentMutex::try_lock() {
+  if (cas(0, 1) == 0) {
+    fast_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void CompartmentMutex::lock(MuslLibc* libc) {
+  // musl __pthread_mutex_lock fast/slow path.
+  if (cas(0, 1) == 0) {
+    fast_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  while (true) {
+    // Announce contention: 1 -> 2 (or observe it already announced).
+    const std::uint32_t prev = cas(1, 2);
+    if (prev == 0) {
+      // Became free while announcing; grab it contended so unlock wakes.
+      if (cas(0, 2) == 0) return;
+      continue;
+    }
+    // Park until unlock() wakes us, then retry the acquisition.
+    libc->futex_wait(word_, 2);
+    if (cas(0, 2) == 0) return;
+  }
+}
+
+void CompartmentMutex::unlock(MuslLibc* libc) {
+  const std::uint32_t prev =
+      word_.mem().atomic_exchange_u32(word_.cap(), word_.address(), 0);
+  if (prev == 2) {
+    libc->futex_wake(word_, 1);
+  }
+}
+
+}  // namespace cherinet::iv

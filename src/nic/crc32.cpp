@@ -1,0 +1,41 @@
+#include "nic/crc32.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "nic/mac.hpp"
+
+namespace cherinet::nic {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+std::uint32_t crc32_ieee(std::span<const std::byte> data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+}  // namespace cherinet::nic

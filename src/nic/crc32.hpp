@@ -1,0 +1,13 @@
+// IEEE 802.3 frame check sequence (CRC-32, reflected, poly 0xEDB88320).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cherinet::nic {
+
+/// CRC-32 as appended to Ethernet frames (init 0xFFFFFFFF, final XOR).
+[[nodiscard]] std::uint32_t crc32_ieee(std::span<const std::byte> data) noexcept;
+
+}  // namespace cherinet::nic

@@ -1,0 +1,132 @@
+#include "nic/e82576.hpp"
+
+#include <stdexcept>
+
+#include "nic/crc32.hpp"
+
+namespace cherinet::nic {
+
+E82576Device::E82576Device(cheri::TaggedMemory* mem, sim::VirtualClock* clock,
+                           std::array<MacAddr, 2> macs)
+    : mem_(mem), clock_(clock) {
+  ports_[0].mac_ = macs[0];
+  ports_[0].index_ = 0;
+  ports_[1].mac_ = macs[1];
+  ports_[1].index_ = 1;
+}
+
+void E82576Device::attach_dma(int port, cheri::Capability dma_cap) {
+  dma_caps_.at(port) = dma_cap;
+}
+
+void E82576Device::connect(int port, Wire* wire, int side) {
+  ports_.at(port).wire_ = wire;
+  ports_.at(port).wire_side_ = side;
+}
+
+void E82576Device::poll(sim::Ns now) {
+  for (auto& p : ports_) p.process(*this, now);
+}
+
+void E82576Port::set_rx_ring(std::uint64_t base, std::uint32_t count,
+                             std::uint32_t buf_size) {
+  rx_base_ = base;
+  rx_count_ = count;
+  rx_buf_size_ = buf_size;
+  rdh_ = 0;
+  rdt_ = 0;
+}
+
+void E82576Port::set_tx_ring(std::uint64_t base, std::uint32_t count) {
+  tx_base_ = base;
+  tx_count_ = count;
+  tdh_ = 0;
+  tdt_ = 0;
+}
+
+void E82576Port::write_tdt(std::uint32_t v) {
+  tdt_ = v % std::max(1u, tx_count_);
+}
+
+void E82576Port::process(E82576Device& dev, sim::Ns now) {
+  if (!enabled_ || wire_ == nullptr) return;
+  process_tx(dev, now);
+  process_rx(dev);
+}
+
+void E82576Port::process_tx(E82576Device& dev, sim::Ns now) {
+  const cheri::Capability& auth = dev.dma_cap(index_);
+  auto& mem = dev.mem();
+  while (tx_count_ != 0 && tdh_ != tdt_) {
+    const std::uint64_t daddr = tx_base_ + std::uint64_t{tdh_} * sizeof(TxDesc);
+    TxDesc d = mem.load_scalar<TxDesc>(auth, daddr);
+    if ((d.cmd & kTxCmdEOP) != 0 && d.length > 0) {
+      // Fetch the frame through the DMA capability (bounds-checked) and
+      // append the FCS the MAC computes.
+      Frame f;
+      f.data.resize(d.length + 4);
+      mem.load(auth, d.buffer_addr,
+               std::span<std::byte>{f.data.data(), d.length});
+      const std::uint32_t fcs = crc32_ieee(
+          std::span<const std::byte>{f.data.data(), d.length});
+      std::memcpy(f.data.data() + d.length, &fcs, 4);
+      stats_.tx_packets++;
+      stats_.tx_bytes += d.length;
+      wire_->transmit(wire_side_, std::move(f), now);
+    }
+    // Descriptor write-back.
+    d.status |= kTxStatusDD;
+    mem.store_scalar<TxDesc>(auth, daddr, d);
+    tdh_ = (tdh_ + 1) % tx_count_;
+  }
+}
+
+void E82576Port::process_rx(E82576Device& dev) {
+  if (rx_count_ == 0) return;
+  const cheri::Capability& auth = dev.dma_cap(index_);
+  auto& mem = dev.mem();
+  for (Frame& f : wire_->poll(wire_side_)) {
+    if (f.data.size() < kEtherHdrLen + 4) {
+      stats_.rx_crc_errors++;
+      continue;
+    }
+    // Verify and strip the FCS.
+    const std::size_t payload_len = f.data.size() - 4;
+    std::uint32_t fcs = 0;
+    std::memcpy(&fcs, f.data.data() + payload_len, 4);
+    if (fcs != crc32_ieee(std::span<const std::byte>{f.data.data(),
+                                                     payload_len})) {
+      stats_.rx_crc_errors++;
+      continue;
+    }
+    // MAC destination filter.
+    MacAddr dst;
+    std::memcpy(dst.bytes.data(), f.data.data(), 6);
+    if (!promisc_ && !(dst == mac_) && !dst.is_broadcast()) {
+      stats_.rx_filtered++;
+      continue;
+    }
+    // Ring occupancy: the device may fill up to (but not including) RDT.
+    if (rdh_ == rdt_) {
+      stats_.rx_no_desc++;
+      continue;
+    }
+    const std::uint64_t daddr = rx_base_ + std::uint64_t{rdh_} * sizeof(RxDesc);
+    RxDesc d = mem.load_scalar<RxDesc>(auth, daddr);
+    if (payload_len > rx_buf_size_) {
+      stats_.rx_crc_errors++;  // oversize for configured buffer
+      continue;
+    }
+    mem.store(auth, d.buffer_addr,
+              std::span<const std::byte>{f.data.data(), payload_len});
+    d.length = static_cast<std::uint16_t>(payload_len);
+    d.status = kRxStatusDD | kRxStatusEOP;
+    d.errors = 0;
+    mem.store_scalar<RxDesc>(auth, daddr, d);
+    stats_.rx_packets++;
+    stats_.rx_bytes += payload_len;
+    rdh_ = (rdh_ + 1) % rx_count_;
+  }
+}
+
+}  // namespace cherinet::nic

@@ -1,0 +1,147 @@
+// Device model of an Intel 82576-style dual-port Gigabit NIC.
+//
+// The programming model is the one DPDK's igb driver speaks: per-port
+// descriptor rings in host memory, head/tail registers, DD status
+// write-back, polling (no interrupts — DPDK detaches the NIC from the
+// kernel and polls, paper §II-C).
+//
+// CHERI twist: the DMA engine holds a *capability* to the region the driver
+// granted at attach time (rings + packet buffers) and every descriptor and
+// buffer access is capability-checked — an IOMMU expressed in the CHERI
+// model, and the reason a compromised compartment cannot aim the NIC at
+// another compartment's memory.
+//
+// Threading: each port is owned by exactly one driver thread (its stack's
+// main loop); the Wire is the only cross-thread boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "cheri/capability.hpp"
+#include "cheri/tagged_memory.hpp"
+#include "nic/mac.hpp"
+#include "nic/wire.hpp"
+
+namespace cherinet::nic {
+
+/// Legacy receive descriptor (16 bytes, 82576 datasheet §7.1.4).
+struct RxDesc {
+  std::uint64_t buffer_addr;
+  std::uint16_t length;
+  std::uint16_t checksum;
+  std::uint8_t status;
+  std::uint8_t errors;
+  std::uint16_t vlan;
+};
+static_assert(sizeof(RxDesc) == 16);
+
+/// Legacy transmit descriptor (16 bytes, 82576 datasheet §7.2.2).
+struct TxDesc {
+  std::uint64_t buffer_addr;
+  std::uint16_t length;
+  std::uint8_t cso;
+  std::uint8_t cmd;
+  std::uint8_t status;
+  std::uint8_t css;
+  std::uint16_t vlan;
+};
+static_assert(sizeof(TxDesc) == 16);
+
+inline constexpr std::uint8_t kRxStatusDD = 0x01;
+inline constexpr std::uint8_t kRxStatusEOP = 0x02;
+inline constexpr std::uint8_t kTxCmdEOP = 0x01;
+inline constexpr std::uint8_t kTxCmdRS = 0x08;
+inline constexpr std::uint8_t kTxStatusDD = 0x01;
+inline constexpr std::uint8_t kRxErrorCRC = 0x02;
+
+class E82576Device;
+
+/// One MAC+PHY port of the card.
+class E82576Port {
+ public:
+  // --- "register" interface used by the poll-mode driver ---
+  void set_rx_ring(std::uint64_t base, std::uint32_t count,
+                   std::uint32_t buf_size);
+  void set_tx_ring(std::uint64_t base, std::uint32_t count);
+  void write_rdt(std::uint32_t v) { rdt_ = v % std::max(1u, rx_count_); }
+  void write_tdt(std::uint32_t v);
+  [[nodiscard]] std::uint32_t read_rdh() const noexcept { return rdh_; }
+  [[nodiscard]] std::uint32_t read_tdh() const noexcept { return tdh_; }
+  void enable() noexcept { enabled_ = true; }
+  void set_promiscuous(bool on) noexcept { promisc_ = on; }
+  [[nodiscard]] bool link_up() const noexcept {
+    return enabled_ && wire_ != nullptr;
+  }
+  [[nodiscard]] const MacAddr& mac() const noexcept { return mac_; }
+
+  struct Stats {
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_no_desc = 0;   // ring-full drops
+    std::uint64_t rx_crc_errors = 0;
+    std::uint64_t rx_filtered = 0;  // MAC filter rejects
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Earliest pending wire delivery (poll deadline for the driver loop).
+  [[nodiscard]] std::optional<sim::Ns> next_rx_event() const {
+    return wire_ != nullptr ? wire_->next_delivery(wire_side_) : std::nullopt;
+  }
+
+ private:
+  friend class E82576Device;
+  void process(E82576Device& dev, sim::Ns now);
+  void process_tx(E82576Device& dev, sim::Ns now);
+  void process_rx(E82576Device& dev);
+
+  MacAddr mac_;
+  Wire* wire_ = nullptr;
+  int wire_side_ = 0;
+  int index_ = 0;  // port number on the card (selects the DMA grant)
+  bool enabled_ = false;
+  bool promisc_ = true;  // DPDK default for these experiments
+
+  std::uint64_t rx_base_ = 0, tx_base_ = 0;
+  std::uint32_t rx_count_ = 0, tx_count_ = 0;
+  std::uint32_t rx_buf_size_ = 0;
+  std::uint32_t rdh_ = 0, rdt_ = 0, tdh_ = 0, tdt_ = 0;
+  Stats stats_;
+};
+
+class E82576Device {
+ public:
+  E82576Device(cheri::TaggedMemory* mem, sim::VirtualClock* clock,
+               std::array<MacAddr, 2> macs);
+
+  /// IOMMU grant: the DMA engine may only touch memory reachable through
+  /// `dma_cap` (descriptor rings + packet buffers of that port's driver).
+  void attach_dma(int port, cheri::Capability dma_cap);
+
+  /// Connect a port to one side of a wire.
+  void connect(int port, Wire* wire, int side);
+
+  [[nodiscard]] E82576Port& port(int i) { return ports_.at(i); }
+
+  /// Device poll: advance TX/RX state machines of both ports. Called from
+  /// driver rx/tx burst paths (polling model).
+  void poll(sim::Ns now);
+  void poll_port(int i, sim::Ns now) { ports_.at(i).process(*this, now); }
+
+  [[nodiscard]] cheri::TaggedMemory& mem() noexcept { return *mem_; }
+  [[nodiscard]] const cheri::Capability& dma_cap(int port) const {
+    return dma_caps_.at(port);
+  }
+  [[nodiscard]] sim::VirtualClock* clock() const noexcept { return clock_; }
+
+ private:
+  cheri::TaggedMemory* mem_;
+  sim::VirtualClock* clock_;
+  std::array<E82576Port, 2> ports_;
+  std::array<cheri::Capability, 2> dma_caps_;
+};
+
+}  // namespace cherinet::nic

@@ -1,0 +1,40 @@
+// Ethernet MAC addresses and frame constants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cherinet::nic {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  constexpr bool operator==(const MacAddr&) const = default;
+
+  [[nodiscard]] constexpr bool is_broadcast() const noexcept {
+    for (auto b : bytes) {
+      if (b != 0xFF) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const noexcept {
+    return (bytes[0] & 0x01) != 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static constexpr MacAddr broadcast() noexcept {
+    return MacAddr{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+  /// Locally-administered unicast address derived from a small id.
+  [[nodiscard]] static constexpr MacAddr local(std::uint8_t id) noexcept {
+    return MacAddr{{0x02, 0x00, 0x00, 0x00, 0x00, id}};
+  }
+};
+
+inline constexpr std::size_t kEtherHdrLen = 14;
+inline constexpr std::size_t kEtherMinPayload = 46;
+inline constexpr std::size_t kEtherMaxFrame = 1518;  // incl. header + FCS
+
+}  // namespace cherinet::nic

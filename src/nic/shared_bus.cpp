@@ -1,0 +1,3 @@
+// shared_bus.cpp anchors the target; SharedBus is header-only.
+#include "nic/shared_bus.hpp"
+namespace cherinet::nic { static_assert(sizeof(SharedBus) > 0); }

@@ -1,0 +1,75 @@
+#include "nic/wire.hpp"
+
+#include <algorithm>
+
+namespace cherinet::nic {
+
+void Wire::transmit(int side, Frame frame, sim::Ns ready) {
+  Endpoint& tx = ep_[side];
+  Endpoint& rx = ep_[1 - side];
+
+  std::uint64_t tx_index;
+  {
+    std::lock_guard lk(tx.m);
+    tx_index = tx.tx_index++;
+    tx.stats.tx_frames++;
+    tx.stats.tx_bytes += frame.size();
+  }
+
+  // DMA out of the sender's host memory, then into the receiver's.
+  sim::Ns t = ready;
+  if (tx.bus != nullptr) t = tx.bus->reserve(SharedBus::Dir::kTx, frame.size(), t);
+  if (rx.bus != nullptr) t = rx.bus->reserve(SharedBus::Dir::kRx, frame.size(), t);
+
+  // Wire serialization at line rate, including preamble + IFG overhead.
+  const std::uint64_t wire_bytes = frame.size() + tb_.preamble_bytes + tb_.ifg_bytes;
+  const auto ser = sim::Ns{static_cast<std::int64_t>(
+      static_cast<double>(wire_bytes) * 8.0 * 1e9 / tb_.wire_bits_per_sec)};
+  sim::Ns arrive;
+  {
+    std::lock_guard lk(tx.m);
+    const sim::Ns start = std::max(t, tx.lane_free);
+    tx.lane_free = start + ser;
+    arrive = tx.lane_free + tb_.wire_latency;
+  }
+
+  if (loss_ && loss_(side, tx_index)) {
+    std::lock_guard lk(tx.m);
+    tx.stats.dropped++;
+    return;
+  }
+
+  {
+    std::lock_guard lk(rx.m);
+    rx.inbox.push_back(InFlight{arrive, std::move(frame)});
+  }
+  if (arbiter_ != nullptr) arbiter_->kick();
+}
+
+std::vector<Frame> Wire::poll(int side) {
+  Endpoint& ep = ep_[side];
+  const sim::Ns now = clock_->now();
+  std::vector<Frame> out;
+  std::lock_guard lk(ep.m);
+  while (!ep.inbox.empty() && ep.inbox.front().arrive <= now) {
+    out.push_back(std::move(ep.inbox.front().frame));
+    ep.inbox.pop_front();
+    ep.stats.rx_frames++;
+  }
+  return out;
+}
+
+std::optional<sim::Ns> Wire::next_delivery(int side) const {
+  const Endpoint& ep = ep_[side];
+  std::lock_guard lk(ep.m);
+  if (ep.inbox.empty()) return std::nullopt;
+  return ep.inbox.front().arrive;
+}
+
+Wire::Stats Wire::stats(int side) const {
+  const Endpoint& ep = ep_[side];
+  std::lock_guard lk(ep.m);
+  return ep.stats;
+}
+
+}  // namespace cherinet::nic

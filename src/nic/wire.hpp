@@ -1,0 +1,94 @@
+// Full-duplex point-to-point Ethernet wire with virtual-time pacing.
+//
+// Each direction serializes frames at the configured line rate including
+// preamble/FCS/inter-frame-gap overhead, then delivers after the propagation
+// latency. If an endpoint's card sits behind a SharedBus (the dual-port PCI
+// card), the frame's DMA slots are reserved *before* wire serialization —
+// lossless backpressure that reproduces the paper's clean PCI-limited
+// plateaus (see shared_bus.hpp).
+//
+// Loss/corruption injection hooks support the TCP robustness tests
+// (retransmission, fast recovery) without touching protocol code.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nic/shared_bus.hpp"
+#include "sim/testbed.hpp"
+#include "sim/time_arbiter.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace cherinet::nic {
+
+/// An L2 frame on the wire: header + payload + FCS (appended by the MAC).
+struct Frame {
+  std::vector<std::byte> data;  // includes the 4-byte FCS at the end
+
+  [[nodiscard]] std::size_t size() const noexcept { return data.size(); }
+};
+
+class Wire {
+ public:
+  /// `arbiter` may be null (pure unit tests advance the clock manually).
+  Wire(sim::VirtualClock* clock, sim::TimeArbiter* arbiter,
+       const sim::Testbed& tb)
+      : clock_(clock), arbiter_(arbiter), tb_(tb) {}
+
+  /// Attach endpoint `side` (0/1) to a shared host bus; `side`'s transmits
+  /// reserve kTx on its own bus and kRx on the peer's bus.
+  void set_bus(int side, SharedBus* bus) { ep_[side].bus = bus; }
+
+  /// Decide per-frame drops (true = drop). Index counts frames per side.
+  using LossFn = std::function<bool(int side, std::uint64_t tx_index)>;
+  void set_loss(LossFn fn) {
+    std::scoped_lock lk(ep_[0].m, ep_[1].m);
+    loss_ = std::move(fn);
+  }
+
+  /// Transmit `frame` out of endpoint `side`, available for DMA at `ready`.
+  void transmit(int side, Frame frame, sim::Ns ready);
+
+  /// Frames whose arrival time has passed at endpoint `side`.
+  [[nodiscard]] std::vector<Frame> poll(int side);
+
+  /// Earliest undelivered arrival at `side` (the arbiter deadline).
+  [[nodiscard]] std::optional<sim::Ns> next_delivery(int side) const;
+
+  struct Stats {
+    std::uint64_t tx_frames = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_frames = 0;
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] Stats stats(int side) const;
+
+  [[nodiscard]] const sim::Testbed& testbed() const noexcept { return tb_; }
+  [[nodiscard]] sim::VirtualClock* clock() const noexcept { return clock_; }
+
+ private:
+  struct InFlight {
+    sim::Ns arrive;
+    Frame frame;
+  };
+  struct Endpoint {
+    mutable std::mutex m;
+    sim::Ns lane_free{0};         // outbound serialization horizon
+    std::deque<InFlight> inbox;   // frames heading *to* this endpoint
+    SharedBus* bus = nullptr;
+    Stats stats;
+    std::uint64_t tx_index = 0;
+  };
+
+  sim::VirtualClock* clock_;
+  sim::TimeArbiter* arbiter_;
+  sim::Testbed tb_;
+  Endpoint ep_[2];
+  LossFn loss_;
+};
+
+}  // namespace cherinet::nic

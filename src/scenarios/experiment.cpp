@@ -1,0 +1,532 @@
+#include "scenarios/experiment.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "scenarios/baseline.hpp"
+#include "scenarios/scenario1.hpp"
+#include "scenarios/scenario2.hpp"
+
+namespace cherinet::scen {
+
+namespace {
+constexpr std::uint16_t kIperfPort = 5201;
+constexpr sim::Ns kHeartbeat{500'000};      // 0.5 ms virtual idle heartbeat
+constexpr sim::Ns kProbeHeartbeat{1'000'000};  // 1 ms for latency probes
+
+sim::Ns capped_deadline(const std::optional<sim::Ns>& d, sim::Ns now,
+                        sim::Ns horizon) {
+  const sim::Ns cap = now + horizon;
+  return d && *d < cap ? *d : cap;
+}
+}  // namespace
+
+const char* to_string(ScenarioKind k) noexcept {
+  switch (k) {
+    case ScenarioKind::kBaseline2Proc: return "Baseline (two processes)";
+    case ScenarioKind::kScenario1: return "Scenario 1";
+    case ScenarioKind::kBaseline1Proc: return "Baseline (single process)";
+    case ScenarioKind::kScenario2Uncontended: return "Scenario 2 (uncontended)";
+    case ScenarioKind::kScenario2Contended: return "Scenario 2 (contended)";
+  }
+  return "?";
+}
+
+const char* to_string(Direction d) noexcept {
+  return d == Direction::kMorelloReceives ? "Server" : "Client";
+}
+
+// ===========================================================================
+// MorelloTestbed
+// ===========================================================================
+
+MorelloTestbed::MorelloTestbed(TestbedOptions opt)
+    : opt_(opt), arb_(clock_) {
+  iv::Intravisor::Config cfg;
+  cfg.memory_bytes = opt_.memory_bytes;
+  cfg.cost = opt_.cost;
+  cfg.vclock = &clock_;
+  iv_ = std::make_unique<iv::Intravisor>(cfg);
+  bus_ = std::make_unique<nic::SharedBus>(opt_.phys.bus_rx_bits_per_sec,
+                                          opt_.phys.bus_tx_bits_per_sec);
+  card_ = std::make_unique<nic::E82576Device>(
+      &iv_->address_space().mem(), &clock_,
+      std::array<nic::MacAddr, 2>{nic::MacAddr::local(1),
+                                  nic::MacAddr::local(2)});
+  for (int i = 0; i < 2; ++i) {
+    wires_[i] = std::make_unique<nic::Wire>(&clock_, &arb_, opt_.phys);
+    wires_[i]->set_bus(0, bus_.get());  // only the Morello card shares a PCI bus
+    card_->connect(i, wires_[i].get(), 0);
+  }
+}
+
+PeerHost& MorelloTestbed::make_peer(int i) {
+  if (!peers_.at(i)) {
+    PeerHost::Config pc;
+    pc.name = "peer" + std::to_string(i);
+    pc.inst = peer_cfg(i);
+    peers_[i] = std::make_unique<PeerHost>(pc, iv_->address_space(), clock_,
+                                           arb_, *wires_[i], 1);
+  }
+  return *peers_[i];
+}
+
+InstanceConfig MorelloTestbed::morello_cfg(int port) const {
+  InstanceConfig c;
+  c.netif.ip = morello_ip(port);
+  c.tcp.mss = opt_.mss;
+  c.inline_tcp_output = opt_.inline_tcp_output;
+  return c;
+}
+
+InstanceConfig MorelloTestbed::peer_cfg(int port) const {
+  InstanceConfig c;
+  c.netif.ip = peer_ip(port);
+  c.tcp.mss = opt_.mss;
+  return c;
+}
+
+// ===========================================================================
+// Generic endpoint loop bodies
+// ===========================================================================
+
+namespace {
+
+/// Loop for an endpoint that owns its stack instance (Baseline, Scenario 1).
+void direct_endpoint_loop(FullStackInstance& inst, apps::IperfServer* srv,
+                          apps::IperfClient* cli, sim::VirtualClock& clock,
+                          sim::TimeArbiter& arb, std::atomic<bool>& stop,
+                          const std::string& name) {
+  sim::Participant part(arb, name);
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::uint64_t token = part.prepare();
+    bool progress = inst.run_once();
+    if (srv != nullptr) progress |= srv->step();
+    if (cli != nullptr) progress |= cli->step();
+    if (progress) continue;
+    part.wait(token,
+              capped_deadline(inst.next_deadline(), clock.now(), kHeartbeat));
+  }
+}
+
+/// Loop for a Scenario 2 application compartment (stack lives in cVM1).
+void proxy_endpoint_loop(apps::IperfServer* srv, apps::IperfClient* cli,
+                         sim::VirtualClock& clock, sim::TimeArbiter& arb,
+                         std::atomic<bool>& stop, const std::string& name) {
+  sim::Participant part(arb, name);
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::uint64_t token = part.prepare();
+    bool progress = false;
+    if (srv != nullptr) progress |= srv->step();
+    if (cli != nullptr) progress |= cli->step();
+    if (progress) continue;
+    part.wait(token, clock.now() + kProbeHeartbeat);
+  }
+}
+
+void wait_all_finished(const std::vector<std::function<bool()>>& done,
+                       std::atomic<bool>& stop, sim::TimeArbiter& arb) {
+  while (true) {
+    bool all = true;
+    for (const auto& f : done) all &= f();
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  arb.kick();
+}
+
+}  // namespace
+
+// ===========================================================================
+// Table II
+// ===========================================================================
+
+BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
+                               std::uint64_t bytes_per_stream,
+                               const TestbedOptions& opt) {
+  MorelloTestbed tb(opt);
+  auto& iv = tb.intravisor();
+  auto& clock = tb.clock();
+  auto& arb = tb.arbiter();
+  BandwidthOutcome out;
+  out.kind = kind;
+  out.dir = dir;
+
+  const bool dual = kind == ScenarioKind::kBaseline2Proc ||
+                    kind == ScenarioKind::kScenario1;
+  const bool s2 = kind == ScenarioKind::kScenario2Uncontended ||
+                  kind == ScenarioKind::kScenario2Contended;
+  std::atomic<bool> stop{false};
+  std::vector<std::function<bool()>> done;
+
+  if (!s2) {
+    const int nports = dual ? 2 : 1;
+    arb.expect_participants(2 * static_cast<std::size_t>(nports));
+    struct Side {
+      std::unique_ptr<BaselineProcess> bp;
+      std::unique_ptr<Scenario1Cvm> s1;
+      std::unique_ptr<apps::IperfServer> srv;
+      std::unique_ptr<apps::IperfClient> cli;
+      std::thread thread;
+      std::string label;
+    };
+    std::vector<Side> sides(static_cast<std::size_t>(nports));
+
+    for (int i = 0; i < nports; ++i) {
+      Side& sd = sides[static_cast<std::size_t>(i)];
+      PeerHost& peer = tb.make_peer(i);
+      FullStackInstance* inst = nullptr;
+      apps::FfOps* ops = nullptr;
+      machine::CapView buf;
+      if (kind == ScenarioKind::kScenario1) {
+        sd.label = "cVM" + std::to_string(i + 1);
+        sd.s1 = std::make_unique<Scenario1Cvm>(iv, tb.card(), i,
+                                               tb.morello_cfg(i), sd.label);
+        inst = &sd.s1->instance();
+        ops = &sd.s1->ops();
+        buf = sd.s1->alloc(64 * 1024);
+      } else {
+        sd.label = dual ? "Baseline (cVM" + std::to_string(i + 1) + ")"
+                        : "Baseline (cVM2)";
+        sd.bp = std::make_unique<BaselineProcess>(
+            iv, tb.card(), i, tb.morello_cfg(i), "proc" + std::to_string(i));
+        inst = &sd.bp->instance();
+        ops = &sd.bp->ops();
+        buf = sd.bp->alloc(64 * 1024);
+      }
+      if (dir == Direction::kMorelloReceives) {
+        sd.srv = std::make_unique<apps::IperfServer>(ops, &clock, kIperfPort,
+                                                     buf, 1);
+        peer.run_iperf_client(MorelloTestbed::morello_ip(i), kIperfPort,
+                              bytes_per_stream);
+        done.push_back([&sd] { return sd.srv->finished(); });
+      } else {
+        sd.cli = std::make_unique<apps::IperfClient>(
+            ops, &clock, MorelloTestbed::peer_ip(i), kIperfPort,
+            bytes_per_stream, buf.window(0, 16 * 1024));
+        peer.serve_iperf(kIperfPort, 1);
+        done.push_back([&peer] { return peer.workload_finished(); });
+      }
+      peer.start();
+    }
+    for (int i = 0; i < nports; ++i) {
+      Side& sd = sides[static_cast<std::size_t>(i)];
+      auto body = [&sd, inst = sd.s1 ? &sd.s1->instance()
+                                     : &sd.bp->instance(),
+                   &clock, &arb, &stop] {
+        direct_endpoint_loop(*inst, sd.srv.get(), sd.cli.get(), clock, arb,
+                             stop, sd.label);
+      };
+      if (sd.s1) {
+        sd.s1->cvm().start(body);
+      } else {
+        sd.thread = std::thread(body);
+      }
+    }
+    wait_all_finished(done, stop, arb);
+    for (auto& sd : sides) {
+      if (sd.s1) sd.s1->cvm().join();
+      if (sd.thread.joinable()) sd.thread.join();
+    }
+    for (int i = 0; i < nports; ++i) {
+      tb.peer(i).request_stop();
+      tb.peer(i).join();
+    }
+    for (int i = 0; i < nports; ++i) {
+      Side& sd = sides[static_cast<std::size_t>(i)];
+      if (dir == Direction::kMorelloReceives) {
+        const auto& r = sd.srv->report();
+        out.endpoints.push_back({sd.label, r.bytes, r.mbit_per_sec()});
+      } else {
+        const auto& r = tb.peer(i).server()->report();
+        out.endpoints.push_back({sd.label, r.bytes, r.mbit_per_sec()});
+      }
+    }
+    return out;
+  }
+
+  // ---- Scenario 2 ----
+  const int napps = kind == ScenarioKind::kScenario2Contended ? 2 : 1;
+  arb.expect_participants(2 + static_cast<std::size_t>(napps));
+  PeerHost& peer = tb.make_peer(0);
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, tb.morello_cfg(0));
+  Scenario2Service svc(iv, cvm1, inst);
+  cvm1.start([&] { svc.run_loop(stop, arb); });
+
+  struct App {
+    iv::CVM* cvm = nullptr;
+    std::unique_ptr<apps::FfOps> ops;
+    std::unique_ptr<apps::IperfServer> srv;
+    std::unique_ptr<apps::IperfClient> cli;
+    std::string label;
+  };
+  std::vector<App> app(static_cast<std::size_t>(napps));
+  for (int j = 0; j < napps; ++j) {
+    App& a = app[static_cast<std::size_t>(j)];
+    a.label = "cVM" + std::to_string(2 + j);
+    a.cvm = &iv.create_cvm(a.label, 16u << 20);
+    a.ops = svc.make_proxy_ops(*a.cvm);
+    machine::CapView buf = a.cvm->alloc(64 * 1024);
+    if (dir == Direction::kMorelloReceives) {
+      const auto port = static_cast<std::uint16_t>(kIperfPort + j);
+      a.srv = std::make_unique<apps::IperfServer>(a.ops.get(), &clock, port,
+                                                  buf, 1);
+      peer.run_iperf_client(MorelloTestbed::morello_ip(0), port,
+                            bytes_per_stream);
+      done.push_back([&a] { return a.srv->finished(); });
+    } else {
+      a.cli = std::make_unique<apps::IperfClient>(
+          a.ops.get(), &clock, MorelloTestbed::peer_ip(0), kIperfPort,
+          bytes_per_stream, buf.window(0, 16 * 1024));
+      done.push_back([&peer] { return peer.workload_finished(); });
+    }
+  }
+  if (dir == Direction::kMorelloSends) peer.serve_iperf(kIperfPort, napps);
+  peer.start();
+  for (auto& a : app) {
+    a.cvm->start([&a, &clock, &arb, &stop] {
+      proxy_endpoint_loop(a.srv.get(), a.cli.get(), clock, arb, stop,
+                          a.label);
+    });
+  }
+  wait_all_finished(done, stop, arb);
+  for (auto& a : app) a.cvm->join();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+
+  if (dir == Direction::kMorelloReceives) {
+    for (auto& a : app) {
+      const auto& r = a.srv->report();
+      out.endpoints.push_back({a.label, r.bytes, r.mbit_per_sec()});
+    }
+  } else {
+    const auto reports = peer.server()->connection_reports();
+    for (std::size_t j = 0; j < reports.size(); ++j) {
+      out.endpoints.push_back({"cVM" + std::to_string(2 + j),
+                               reports[j].bytes,
+                               reports[j].mbit_per_sec()});
+    }
+  }
+  return out;
+}
+
+// ===========================================================================
+// Figures 4-6: ff_write latency probes
+// ===========================================================================
+
+namespace {
+
+/// Probe owning its stack (Baseline / Scenario 1): interleaves measured
+/// writes with main-loop iterations, parking when neither can progress.
+std::vector<double> probe_direct(FullStackInstance& inst, apps::FfOps& ops,
+                                 iv::MuslLibc& libc, sim::VirtualClock& clock,
+                                 sim::TimeArbiter& arb, fstack::Ipv4Addr dst,
+                                 std::uint16_t port, std::size_t iters,
+                                 std::size_t wsize,
+                                 const machine::CapView& buf,
+                                 const std::string& name) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  const int fd = ops.socket_stream();
+  ops.connect(fd, dst, port);
+  sim::Participant part(arb, name);
+  while (samples.size() < iters) {
+    const std::uint64_t token = part.prepare();
+    const std::uint64_t t0 = libc.clock_gettime_mono_raw_ns();
+    const std::int64_t r = ops.write(fd, buf, wsize);
+    const std::uint64_t t1 = libc.clock_gettime_mono_raw_ns();
+    bool progress = false;
+    if (r > 0) {
+      samples.push_back(static_cast<double>(t1 - t0));
+      progress = true;
+    }
+    progress |= inst.run_once();
+    if (!progress) {
+      part.wait(token, capped_deadline(inst.next_deadline(), clock.now(),
+                                       kProbeHeartbeat));
+    }
+  }
+  ops.close(fd);
+  for (int i = 0; i < 10000; ++i) {
+    if (!inst.run_once()) break;  // drain FIN exchange
+  }
+  return samples;
+}
+
+/// Probe in a Scenario 2 application compartment: the write crosses into
+/// cVM1 (sealed entry + stack mutex); the stack loop runs elsewhere.
+/// `pace` > 0 reproduces the paper's uncontended methodology — "we
+/// increased the interval between two consecutive ff_write() to reduce the
+/// possibility to be blocked for a long time by the mutex" (§IV): the probe
+/// idles between writes so the polling loop has drained and released.
+std::vector<double> probe_proxy(apps::FfOps& ops, iv::MuslLibc& libc,
+                                sim::VirtualClock& clock,
+                                sim::TimeArbiter& arb, fstack::Ipv4Addr dst,
+                                std::uint16_t port, std::size_t iters,
+                                std::size_t wsize,
+                                const machine::CapView& buf,
+                                const std::string& name, sim::Ns pace) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  const int fd = ops.socket_stream();
+  ops.connect(fd, dst, port);
+  sim::Participant part(arb, name);
+  int spins = 0;
+  while (samples.size() < iters) {
+    const std::uint64_t token = part.prepare();
+    const std::uint64_t t0 = libc.clock_gettime_mono_raw_ns();
+    const std::int64_t r = ops.write(fd, buf, wsize);
+    const std::uint64_t t1 = libc.clock_gettime_mono_raw_ns();
+    if (r > 0) {
+      samples.push_back(static_cast<double>(t1 - t0));
+      spins = 0;
+      if (pace.count() > 0) part.wait(token, clock.now() + pace);
+    } else if (pace.count() == 0 && ++spins < 64) {
+      // Unpaced (contended) probes retry in a tight loop, racing the
+      // polling main loop and the sibling compartment for the mutex in
+      // real time — the regime the paper's Fig. 6 measures.
+      continue;
+    } else {
+      spins = 0;
+      part.wait(token, clock.now() + kProbeHeartbeat);
+    }
+  }
+  ops.close(fd);
+  return samples;
+}
+
+}  // namespace
+
+LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
+                                   std::size_t write_size,
+                                   const TestbedOptions& opt) {
+  MorelloTestbed tb(opt);
+  auto& iv = tb.intravisor();
+  auto& clock = tb.clock();
+  auto& arb = tb.arbiter();
+  LatencyOutcome out;
+  out.kind = kind;
+  std::atomic<bool> stop{false};
+
+  const bool dual = kind == ScenarioKind::kBaseline2Proc ||
+                    kind == ScenarioKind::kScenario1;
+  const bool s2 = kind == ScenarioKind::kScenario2Uncontended ||
+                  kind == ScenarioKind::kScenario2Contended;
+
+  if (!s2) {
+    const int nports = dual ? 2 : 1;
+    arb.expect_participants(2 * static_cast<std::size_t>(nports));
+    struct Side {
+      std::unique_ptr<BaselineProcess> bp;
+      std::unique_ptr<Scenario1Cvm> s1;
+      std::thread thread;
+      std::vector<double> samples;
+      std::string label;
+    };
+    std::vector<Side> sides(static_cast<std::size_t>(nports));
+    for (int i = 0; i < nports; ++i) {
+      Side& sd = sides[static_cast<std::size_t>(i)];
+      PeerHost& peer = tb.make_peer(i);
+      peer.serve_iperf(kIperfPort, 1);  // discard sink
+      peer.start();
+      if (kind == ScenarioKind::kScenario1) {
+        sd.label = "cVM" + std::to_string(i + 1);
+        sd.s1 = std::make_unique<Scenario1Cvm>(iv, tb.card(), i,
+                                               tb.morello_cfg(i), sd.label);
+      } else {
+        sd.label = dual ? "Baseline (cVM" + std::to_string(i + 1) + ")"
+                        : "Baseline";
+        sd.bp = std::make_unique<BaselineProcess>(
+            iv, tb.card(), i, tb.morello_cfg(i), "proc" + std::to_string(i));
+      }
+    }
+    for (int i = 0; i < nports; ++i) {
+      Side& sd = sides[static_cast<std::size_t>(i)];
+      const fstack::Ipv4Addr dst = MorelloTestbed::peer_ip(i);
+      auto body = [&sd, &clock, &arb, dst, iterations, write_size] {
+        FullStackInstance& inst =
+            sd.s1 ? sd.s1->instance() : sd.bp->instance();
+        apps::FfOps& ops = sd.s1 ? sd.s1->ops() : sd.bp->ops();
+        iv::MuslLibc& libc = sd.s1 ? sd.s1->libc() : sd.bp->libc();
+        machine::CapView buf = sd.s1 ? sd.s1->alloc(4096) : sd.bp->alloc(4096);
+        sd.samples = probe_direct(inst, ops, libc, clock, arb, dst,
+                                  kIperfPort, iterations, write_size, buf,
+                                  sd.label + "-probe");
+      };
+      if (sd.s1) {
+        sd.s1->cvm().start(body);
+      } else {
+        sd.thread = std::thread(body);
+      }
+    }
+    for (auto& sd : sides) {
+      if (sd.s1) sd.s1->cvm().join();
+      if (sd.thread.joinable()) sd.thread.join();
+    }
+    stop.store(true);
+    arb.kick();
+    for (int i = 0; i < nports; ++i) {
+      tb.peer(i).request_stop();
+      tb.peer(i).join();
+    }
+    for (auto& sd : sides) {
+      out.series.push_back({sd.label, std::move(sd.samples)});
+    }
+    return out;
+  }
+
+  // ---- Scenario 2 ----
+  const int napps = kind == ScenarioKind::kScenario2Contended ? 2 : 1;
+  arb.expect_participants(2 + static_cast<std::size_t>(napps));
+  PeerHost& peer = tb.make_peer(0);
+  peer.serve_iperf(kIperfPort, napps);
+  peer.start();
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, tb.morello_cfg(0));
+  Scenario2Service svc(iv, cvm1, inst);
+  cvm1.start([&] { svc.run_loop(stop, arb); });
+
+  struct App {
+    iv::CVM* cvm = nullptr;
+    std::unique_ptr<apps::FfOps> ops;
+    std::vector<double> samples;
+    std::string label;
+  };
+  std::vector<App> app(static_cast<std::size_t>(napps));
+  for (int j = 0; j < napps; ++j) {
+    App& a = app[static_cast<std::size_t>(j)];
+    a.label = "cVM" + std::to_string(2 + j);
+    a.cvm = &iv.create_cvm(a.label, 16u << 20);
+    a.ops = svc.make_proxy_ops(*a.cvm);
+  }
+  // Uncontended runs pace their writes exactly as the paper did; contended
+  // runs hammer flat out so every acquisition races the loop and sibling.
+  const sim::Ns pace = kind == ScenarioKind::kScenario2Uncontended
+                           ? sim::Ns{20'000}
+                           : sim::Ns{0};
+  for (auto& a : app) {
+    a.cvm->start([&a, &clock, &arb, iterations, write_size, pace] {
+      machine::CapView buf = a.cvm->alloc(4096);
+      a.samples = probe_proxy(*a.ops, a.cvm->libc(), clock, arb,
+                              MorelloTestbed::peer_ip(0), kIperfPort,
+                              iterations, write_size, buf,
+                              a.label + "-probe", pace);
+    });
+  }
+  for (auto& a : app) a.cvm->join();
+  stop.store(true);
+  arb.kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+  for (auto& a : app) {
+    out.series.push_back({a.label, std::move(a.samples)});
+  }
+  return out;
+}
+
+}  // namespace cherinet::scen

@@ -1,0 +1,124 @@
+// Experiment harness: builds the full emulated testbed (Morello node +
+// dual-port 82576 + wires + peer hosts) and runs the paper's evaluation
+// configurations end to end. Each bench binary is a thin printer over
+// run_bandwidth() (Table II) and run_ffwrite_latency() (Figures 4-6).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "intravisor/intravisor.hpp"
+#include "nic/e82576.hpp"
+#include "nic/shared_bus.hpp"
+#include "nic/wire.hpp"
+#include "scenarios/peer.hpp"
+#include "scenarios/stack_instance.hpp"
+#include "sim/testbed.hpp"
+#include "sim/time_arbiter.hpp"
+
+namespace cherinet::scen {
+
+/// The five configurations of the paper's Table II / Figures 4-6.
+enum class ScenarioKind : std::uint8_t {
+  kBaseline2Proc,         // two MMU processes, one port each (vs Scenario 1)
+  kScenario1,             // full stack replicated into cVM1/cVM2
+  kBaseline1Proc,         // single process, single port (vs Scenario 2)
+  kScenario2Uncontended,  // app cVM2 + network cVM1
+  kScenario2Contended,    // app cVM2 + cVM3 + network cVM1
+};
+[[nodiscard]] const char* to_string(ScenarioKind k) noexcept;
+
+/// Table II columns: "Server" = the Morello node receives, "Client" = sends.
+enum class Direction : std::uint8_t { kMorelloReceives, kMorelloSends };
+[[nodiscard]] const char* to_string(Direction d) noexcept;
+
+struct TestbedOptions {
+  sim::Testbed phys = sim::Testbed::morello_82576();
+  sim::CostModel cost = sim::CostModel::morello();
+  std::size_t memory_bytes = 448u << 20;
+  bool inline_tcp_output = true;
+  std::uint16_t mss = 1448;
+};
+
+/// The emulated hardware + OS fixture shared by all scenarios.
+class MorelloTestbed {
+ public:
+  MorelloTestbed() : MorelloTestbed(TestbedOptions{}) {}
+  explicit MorelloTestbed(TestbedOptions opt);
+
+  [[nodiscard]] sim::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] sim::TimeArbiter& arbiter() noexcept { return arb_; }
+  [[nodiscard]] iv::Intravisor& intravisor() noexcept { return *iv_; }
+  [[nodiscard]] nic::E82576Device& card() noexcept { return *card_; }
+  [[nodiscard]] nic::Wire& wire(int i) { return *wires_.at(i); }
+  [[nodiscard]] const TestbedOptions& options() const noexcept { return opt_; }
+
+  /// Create the peer host on the far side of wire `i` (idempotent).
+  PeerHost& make_peer(int i);
+  [[nodiscard]] PeerHost& peer(int i) { return *peers_.at(i); }
+
+  [[nodiscard]] static fstack::Ipv4Addr morello_ip(int port) noexcept {
+    return fstack::Ipv4Addr::of(10, 0, static_cast<std::uint8_t>(port), 1);
+  }
+  [[nodiscard]] static fstack::Ipv4Addr peer_ip(int port) noexcept {
+    return fstack::Ipv4Addr::of(10, 0, static_cast<std::uint8_t>(port), 2);
+  }
+  [[nodiscard]] InstanceConfig morello_cfg(int port) const;
+  [[nodiscard]] InstanceConfig peer_cfg(int port) const;
+
+ private:
+  TestbedOptions opt_;
+  sim::VirtualClock clock_;
+  sim::TimeArbiter arb_;
+  std::unique_ptr<iv::Intravisor> iv_;
+  std::unique_ptr<nic::SharedBus> bus_;
+  std::unique_ptr<nic::E82576Device> card_;
+  std::array<std::unique_ptr<nic::Wire>, 2> wires_;
+  std::array<std::unique_ptr<PeerHost>, 2> peers_;
+};
+
+// ---------------------------------------------------------------------------
+// Table II: TCP bandwidth
+// ---------------------------------------------------------------------------
+
+struct EndpointResult {
+  std::string label;     // e.g. "cVM1", "Baseline (cVM2)"
+  std::uint64_t bytes = 0;
+  double mbps = 0.0;
+};
+
+struct BandwidthOutcome {
+  ScenarioKind kind{};
+  Direction dir{};
+  std::vector<EndpointResult> endpoints;
+};
+
+/// Run one Table II cell: `bytes_per_stream` of TCP payload per endpoint.
+[[nodiscard]] BandwidthOutcome run_bandwidth(
+    ScenarioKind kind, Direction dir, std::uint64_t bytes_per_stream,
+    const TestbedOptions& opt = TestbedOptions{});
+
+// ---------------------------------------------------------------------------
+// Figures 4-6: ff_write() execution time
+// ---------------------------------------------------------------------------
+
+struct LatencySeries {
+  std::string label;
+  std::vector<double> samples_ns;
+};
+
+struct LatencyOutcome {
+  ScenarioKind kind{};
+  std::vector<LatencySeries> series;
+};
+
+/// Measure `iterations` successful ff_write() calls of `write_size` bytes
+/// per endpoint, timed with clock_gettime(CLOCK_MONOTONIC_RAW) through the
+/// scenario's own syscall path (direct vs trampolined), as in §IV.
+[[nodiscard]] LatencyOutcome run_ffwrite_latency(
+    ScenarioKind kind, std::size_t iterations, std::size_t write_size = 1448,
+    const TestbedOptions& opt = TestbedOptions{});
+
+}  // namespace cherinet::scen

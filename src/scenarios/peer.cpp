@@ -1,0 +1,82 @@
+#include "scenarios/peer.hpp"
+
+namespace cherinet::scen {
+
+namespace {
+constexpr sim::Ns kHeartbeat{500'000};  // 0.5 ms virtual idle heartbeat
+}
+
+PeerHost::PeerHost(Config cfg, machine::AddressSpace& as,
+                   sim::VirtualClock& clock, sim::TimeArbiter& arb,
+                   nic::Wire& wire, int wire_side)
+    : cfg_(std::move(cfg)), clock_(clock), arb_(arb) {
+  card_ = std::make_unique<nic::E82576Device>(
+      &as.mem(), &clock,
+      std::array<nic::MacAddr, 2>{nic::MacAddr::local(200), nic::MacAddr::local(201)});
+  card_->connect(0, &wire, wire_side);
+  heap_ = std::make_unique<machine::CompartmentHeap>(
+      &as.mem(),
+      as.carve(cfg_.heap_bytes, cheri::PermSet::data_rw(),
+               cfg_.name + "-heap"));
+  inst_ = std::make_unique<FullStackInstance>(*card_, 0, *heap_, clock,
+                                              cfg_.inst);
+  ops_ = std::make_unique<apps::DirectFfOps>(&inst_->stack());
+  app_buf_ = heap_->alloc_view(64 * 1024);
+}
+
+PeerHost::~PeerHost() {
+  request_stop();
+  join();
+}
+
+void PeerHost::serve_iperf(std::uint16_t port, int expected_connections) {
+  server_ = std::make_unique<apps::IperfServer>(ops_.get(), &clock_, port,
+                                                app_buf_,
+                                                expected_connections);
+}
+
+void PeerHost::run_iperf_client(fstack::Ipv4Addr dst, std::uint16_t port,
+                                std::uint64_t total_bytes) {
+  run_iperf_clients(dst, port, total_bytes, 1);
+}
+
+void PeerHost::run_iperf_clients(fstack::Ipv4Addr dst, std::uint16_t port,
+                                 std::uint64_t total_bytes, int count) {
+  for (int i = 0; i < count; ++i) {
+    clients_.push_back(std::make_unique<apps::IperfClient>(
+        ops_.get(), &clock_, dst, port, total_bytes,
+        app_buf_.window(0, 16 * 1024)));
+  }
+}
+
+bool PeerHost::workload_finished() const {
+  if (server_ && !server_->finished()) return false;
+  for (const auto& c : clients_) {
+    if (!c->finished()) return false;
+  }
+  return true;
+}
+
+void PeerHost::start() {
+  thread_ = std::thread([this] { loop(); });
+}
+
+void PeerHost::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeerHost::loop() {
+  sim::Participant part(arb_, cfg_.name);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t token = part.prepare();
+    bool progress = inst_->run_once();
+    if (server_) progress |= server_->step();
+    for (auto& c : clients_) progress |= c->step();
+    if (progress) continue;
+    auto d = inst_->next_deadline();
+    const sim::Ns cap = clock_.now() + kHeartbeat;
+    part.wait(token, d && *d < cap ? *d : cap);
+  }
+}
+
+}  // namespace cherinet::scen

@@ -1,0 +1,14 @@
+#include "scenarios/scenario1.hpp"
+
+namespace cherinet::scen {
+
+Scenario1Cvm::Scenario1Cvm(iv::Intravisor& iv, nic::E82576Device& card,
+                           int port, const InstanceConfig& cfg,
+                           const std::string& name, std::size_t heap_bytes) {
+  cvm_ = &iv.create_cvm(name, heap_bytes);
+  inst_ = std::make_unique<FullStackInstance>(
+      card, port, cvm_->heap(), *iv.host().vclock(), cfg);
+  ops_ = std::make_unique<apps::DirectFfOps>(&inst_->stack());
+}
+
+}  // namespace cherinet::scen

@@ -1,0 +1,264 @@
+#include "scenarios/scenario2.hpp"
+
+#include <thread>
+
+namespace cherinet::scen {
+
+namespace {
+constexpr sim::Ns kHeartbeat{500'000};  // 0.5 ms virtual
+constexpr std::size_t kMaxProxyEvents = 64;
+}  // namespace
+
+Scenario2Service::Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
+                                   FullStackInstance& inst)
+    : iv_(iv), cvm1_(cvm1), inst_(inst) {
+  mutex_word_ = iv_.grant_shared(64, "s2-stack-mutex");
+  mutex_word_.store<std::uint32_t>(0, 0);
+  mutex_ = std::make_unique<iv::CompartmentMutex>(&cvm1_.libc(),
+                                                  mutex_word_.window(0, 4));
+}
+
+void Scenario2Service::run_loop(std::atomic<bool>& stop,
+                                sim::TimeArbiter& arb) {
+  // DPDK/F-Stack's main loop is a *polling* loop: while traffic flows it
+  // iterates continuously with the coordination mutex held, so a
+  // cross-compartment ff_* call almost always finds the mutex taken and
+  // escalates to the futex — the paper's Fig. 6 mechanism. When an
+  // iteration finds nothing to do, the loop parks on the arbiter (the
+  // virtual clock can only advance while every participant is idle).
+  constexpr std::chrono::microseconds kPollWindow{10};
+  constexpr std::chrono::microseconds kWaiterGrace{3};
+  sim::Participant part(arb, "cvm1-netsvc");
+  sim::VirtualClock* clock = iv_.host().vclock();
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::uint64_t token = part.prepare();
+    bool progress;
+    std::optional<sim::Ns> d;
+    {
+      iv::CompartmentLockGuard lk(*mutex_);
+      progress = inst_.run_once();
+      if (progress) {
+        // Busy traffic: keep polling under the lock for one window, as the
+        // real main loop would between two scheduler-visible instants.
+        const auto t_end = std::chrono::steady_clock::now() + kPollWindow;
+        while (std::chrono::steady_clock::now() < t_end) {
+          progress |= inst_.run_once();
+        }
+      }
+      d = inst_.next_deadline();
+    }
+    if (mutex_->has_waiters()) {
+      // Blocked API callers wake through the kernel; give them a real
+      // window to win the word before the loop re-acquires it, otherwise
+      // the polling loop starves them entirely (total starvation is not
+      // what the paper measures — expensive acquisition is).
+      std::this_thread::sleep_for(kWaiterGrace);
+    }
+    if (progress) continue;
+    const sim::Ns cap = clock->now() + kHeartbeat;
+    part.wait(token, d && *d < cap ? *d : cap);
+  }
+}
+
+std::unique_ptr<apps::FfOps> Scenario2Service::make_proxy_ops(iv::CVM& app) {
+  return std::make_unique<ProxyFfOps>(this, &app);
+}
+
+// ---------------------------------------------------------------------------
+// ProxyFfOps
+// ---------------------------------------------------------------------------
+
+ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
+    : svc_(svc), app_(app) {
+  event_buf_ = app_->heap().alloc_view(kMaxProxyEvents * 12);
+
+  auto& reg = svc_->iv_.entries();
+  const machine::CompartmentContext* target = &svc_->cvm1_.context();
+  fstack::FfStack* st = &svc_->inst_.stack();
+  iv::CompartmentMutex* mtx = svc_->mutex_.get();
+  iv::MuslLibc* libc = &app_->libc();  // the *caller's* futex path
+  const std::string tag = app_->name();
+
+  // Each wrapper: take the stack mutex (serializing against the main loop),
+  // run the ff_* function inside cVM1. The sealed entry itself performed
+  // the domain transition before we get here.
+  const auto wrap = [svc, mtx, libc](auto fn) {
+    return [svc, mtx, libc, fn](machine::CrossCallArgs& a) -> std::uint64_t {
+      iv::CompartmentLockGuard lk(*mtx, libc);
+      svc->proxied_calls_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<std::uint64_t>(fn(a));
+    };
+  };
+
+  e_socket_ = reg.install(tag + ":ff_socket", target,
+                          wrap([st](machine::CrossCallArgs&) -> std::int64_t {
+                            return fstack::ff_socket(*st, fstack::kAfInet,
+                                                     fstack::kSockStream, 0);
+                          }));
+  e_bind_ = reg.install(
+      tag + ":ff_bind", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_bind(
+            *st, static_cast<int>(a.a[0]),
+            {fstack::Ipv4Addr{static_cast<std::uint32_t>(a.a[1])},
+             static_cast<std::uint16_t>(a.a[2])});
+      }));
+  e_listen_ = reg.install(tag + ":ff_listen", target,
+                          wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+                            return fstack::ff_listen(
+                                *st, static_cast<int>(a.a[0]),
+                                static_cast<int>(a.a[1]));
+                          }));
+  e_accept_ = reg.install(tag + ":ff_accept", target,
+                          wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+                            return fstack::ff_accept(
+                                *st, static_cast<int>(a.a[0]), nullptr);
+                          }));
+  e_connect_ = reg.install(
+      tag + ":ff_connect", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_connect(
+            *st, static_cast<int>(a.a[0]),
+            {fstack::Ipv4Addr{static_cast<std::uint32_t>(a.a[1])},
+             static_cast<std::uint16_t>(a.a[2])});
+      }));
+  e_write_ = reg.install(tag + ":ff_write", target,
+                         wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+                           return fstack::ff_write(*st,
+                                                   static_cast<int>(a.a[0]),
+                                                   *a.cap0, a.a[1]);
+                         }));
+  e_read_ = reg.install(tag + ":ff_read", target,
+                        wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+                          return fstack::ff_read(*st,
+                                                 static_cast<int>(a.a[0]),
+                                                 *a.cap0, a.a[1]);
+                        }));
+  e_close_ = reg.install(tag + ":ff_close", target,
+                         wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+                           return fstack::ff_close(*st,
+                                                   static_cast<int>(a.a[0]));
+                         }));
+  e_ep_create_ = reg.install(
+      tag + ":ff_epoll_create", target,
+      wrap([st](machine::CrossCallArgs&) -> std::int64_t {
+        return fstack::ff_epoll_create(*st);
+      }));
+  e_ep_ctl_ = reg.install(
+      tag + ":ff_epoll_ctl", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_epoll_ctl(
+            *st, static_cast<int>(a.a[0]),
+            static_cast<fstack::EpollOp>(a.a[1]), static_cast<int>(a.a[2]),
+            static_cast<std::uint32_t>(a.a[3]), a.a[4]);
+      }));
+  e_ep_wait_ = reg.install(
+      tag + ":ff_epoll_wait", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfEpollEvent evs[kMaxProxyEvents];
+        const std::size_t want =
+            std::min<std::uint64_t>(a.a[1], kMaxProxyEvents);
+        const int n = fstack::ff_epoll_wait(*st, static_cast<int>(a.a[0]),
+                                            {evs, want});
+        // Marshal through the app-provided capability buffer.
+        for (int i = 0; i < n; ++i) {
+          a.cap0->store<std::uint32_t>(i * 12u, evs[i].events);
+          a.cap0->store<std::uint64_t>(i * 12u + 4, evs[i].data);
+        }
+        return n;
+      }));
+}
+
+std::int64_t ProxyFfOps::call(const machine::SealedEntry& e,
+                              machine::CrossCallArgs& args) {
+  return static_cast<std::int64_t>(svc_->iv_.entries().invoke(e, args));
+}
+
+int ProxyFfOps::socket_stream() {
+  machine::CrossCallArgs a;
+  return static_cast<int>(call(e_socket_, a));
+}
+
+int ProxyFfOps::bind(int fd, fstack::Ipv4Addr ip, std::uint16_t port) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = ip.value;
+  a.a[2] = port;
+  return static_cast<int>(call(e_bind_, a));
+}
+
+int ProxyFfOps::listen(int fd, int backlog) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = static_cast<std::uint64_t>(backlog);
+  return static_cast<int>(call(e_listen_, a));
+}
+
+int ProxyFfOps::accept(int fd) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  return static_cast<int>(call(e_accept_, a));
+}
+
+int ProxyFfOps::connect(int fd, fstack::Ipv4Addr ip, std::uint16_t port) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = ip.value;
+  a.a[2] = port;
+  return static_cast<int>(call(e_connect_, a));
+}
+
+std::int64_t ProxyFfOps::write(int fd, const machine::CapView& buf,
+                               std::size_t n) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = n;
+  a.cap0 = buf;  // the capability-qualified buffer crosses the boundary
+  return call(e_write_, a);
+}
+
+std::int64_t ProxyFfOps::read(int fd, const machine::CapView& buf,
+                              std::size_t n) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = n;
+  a.cap0 = buf;
+  return call(e_read_, a);
+}
+
+int ProxyFfOps::close(int fd) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  return static_cast<int>(call(e_close_, a));
+}
+
+int ProxyFfOps::epoll_create() {
+  machine::CrossCallArgs a;
+  return static_cast<int>(call(e_ep_create_, a));
+}
+
+int ProxyFfOps::epoll_ctl(int epfd, fstack::EpollOp op, int fd,
+                          std::uint32_t events, std::uint64_t data) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(epfd);
+  a.a[1] = static_cast<std::uint64_t>(op);
+  a.a[2] = static_cast<std::uint64_t>(fd);
+  a.a[3] = events;
+  a.a[4] = data;
+  return static_cast<int>(call(e_ep_ctl_, a));
+}
+
+int ProxyFfOps::epoll_wait(int epfd, std::span<fstack::FfEpollEvent> out) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(epfd);
+  a.a[1] = std::min(out.size(), kMaxProxyEvents);
+  a.cap0 = event_buf_;
+  const int n = static_cast<int>(call(e_ep_wait_, a));
+  for (int i = 0; i < n && i < static_cast<int>(out.size()); ++i) {
+    out[i].events = event_buf_.load<std::uint32_t>(i * 12u);
+    out[i].data = event_buf_.load<std::uint64_t>(i * 12u + 4);
+  }
+  return n;
+}
+
+}  // namespace cherinet::scen

@@ -1,0 +1,86 @@
+// Scenario 2: application cVMs separated from the F-Stack/DPDK cVM
+// (paper Fig. 2).
+//
+// cVM1 owns the network stack and exports the ff_* API as sealed-pair
+// entries; application compartments (cVM2, cVM3) call through ProxyFfOps —
+// the "wrapper functions ... to do the cross-compartment jump" of §III-B.
+// A mutex in shared memory coordinates the F-Stack main loop with the
+// proxied API calls; its contention is the subject of the paper's Fig. 6.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "apps/ff_ops.hpp"
+#include "intravisor/compartment_mutex.hpp"
+#include "intravisor/intravisor.hpp"
+#include "scenarios/stack_instance.hpp"
+#include "sim/time_arbiter.hpp"
+
+namespace cherinet::scen {
+
+class Scenario2Service {
+ public:
+  /// `cvm1` hosts the stack; `inst` must be built on cvm1's heap.
+  Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
+                   FullStackInstance& inst);
+
+  /// Build the proxied ff_* ops for one application compartment. Entries
+  /// are installed per app so each contender's futex escalation goes
+  /// through its own trampoline.
+  [[nodiscard]] std::unique_ptr<apps::FfOps> make_proxy_ops(iv::CVM& app);
+
+  /// The cVM1 main loop body: serialize stack iterations against proxied
+  /// API calls via the shared mutex; park on the arbiter when idle.
+  void run_loop(std::atomic<bool>& stop, sim::TimeArbiter& arb);
+
+  [[nodiscard]] iv::CompartmentMutex& mutex() noexcept { return *mutex_; }
+  [[nodiscard]] FullStackInstance& instance() noexcept { return inst_; }
+  [[nodiscard]] std::uint64_t proxied_calls() const noexcept {
+    return proxied_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ProxyFfOps;
+
+  iv::Intravisor& iv_;
+  iv::CVM& cvm1_;
+  FullStackInstance& inst_;
+  machine::CapView mutex_word_;
+  std::unique_ptr<iv::CompartmentMutex> mutex_;
+  std::atomic<std::uint64_t> proxied_calls_{0};
+};
+
+/// Client-side stubs living in the application compartment.
+class ProxyFfOps final : public apps::FfOps {
+ public:
+  ProxyFfOps(Scenario2Service* svc, iv::CVM* app);
+
+  int socket_stream() override;
+  int bind(int fd, fstack::Ipv4Addr ip, std::uint16_t port) override;
+  int listen(int fd, int backlog) override;
+  int accept(int fd) override;
+  int connect(int fd, fstack::Ipv4Addr ip, std::uint16_t port) override;
+  std::int64_t write(int fd, const machine::CapView& buf,
+                     std::size_t n) override;
+  std::int64_t read(int fd, const machine::CapView& buf,
+                    std::size_t n) override;
+  int close(int fd) override;
+  int epoll_create() override;
+  int epoll_ctl(int epfd, fstack::EpollOp op, int fd, std::uint32_t events,
+                std::uint64_t data) override;
+  int epoll_wait(int epfd, std::span<fstack::FfEpollEvent> out) override;
+
+ private:
+  std::int64_t call(const machine::SealedEntry& e,
+                    machine::CrossCallArgs& args);
+
+  Scenario2Service* svc_;
+  iv::CVM* app_;
+  machine::CapView event_buf_;  // epoll events cross the boundary here
+
+  machine::SealedEntry e_socket_, e_bind_, e_listen_, e_accept_, e_connect_,
+      e_write_, e_read_, e_close_, e_ep_create_, e_ep_ctl_, e_ep_wait_;
+};
+
+}  // namespace cherinet::scen

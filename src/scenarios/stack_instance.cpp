@@ -1,0 +1,19 @@
+#include "scenarios/stack_instance.hpp"
+
+namespace cherinet::scen {
+
+FullStackInstance::FullStackInstance(nic::E82576Device& card, int port,
+                                     machine::CompartmentHeap& heap,
+                                     sim::VirtualClock& clock,
+                                     const InstanceConfig& cfg) {
+  res_ = updk::Eal::attach_port(card, port, heap, clock, cfg.eal,
+                                "eth-p" + std::to_string(port));
+  fstack::StackConfig scfg;
+  scfg.netif = cfg.netif;
+  scfg.tcp = cfg.tcp;
+  scfg.inline_tcp_output = cfg.inline_tcp_output;
+  stack_ = std::make_unique<fstack::FfStack>(scfg, res_.dev.get(),
+                                             res_.pool.get(), &heap, &clock);
+}
+
+}  // namespace cherinet::scen

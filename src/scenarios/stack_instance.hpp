@@ -1,0 +1,42 @@
+// FullStackInstance: the unit every scenario composes — DPDK-style port
+// attach + mempool + one FfStack bound to it, all allocated from one
+// compartment heap (paper Fig. 1/2: the "F-Stack | DPDK" box).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fstack/stack.hpp"
+#include "nic/e82576.hpp"
+#include "updk/eal.hpp"
+
+namespace cherinet::scen {
+
+struct InstanceConfig {
+  fstack::NetifConfig netif;
+  fstack::TcpConfig tcp;
+  bool inline_tcp_output = true;
+  updk::EalConfig eal;
+};
+
+class FullStackInstance {
+ public:
+  FullStackInstance(nic::E82576Device& card, int port,
+                    machine::CompartmentHeap& heap, sim::VirtualClock& clock,
+                    const InstanceConfig& cfg);
+
+  [[nodiscard]] fstack::FfStack& stack() noexcept { return *stack_; }
+  [[nodiscard]] updk::EthDev& dev() noexcept { return *res_.dev; }
+  [[nodiscard]] updk::Mempool& pool() noexcept { return *res_.pool; }
+
+  bool run_once() { return stack_->run_once(); }
+  [[nodiscard]] std::optional<sim::Ns> next_deadline() const {
+    return stack_->next_deadline();
+  }
+
+ private:
+  updk::PortResources res_;
+  std::unique_ptr<fstack::FfStack> stack_;
+};
+
+}  // namespace cherinet::scen

@@ -1,0 +1,13 @@
+#include "sim/cost_model.hpp"
+
+namespace cherinet::sim {
+
+void CostModel::charge(std::chrono::nanoseconds d) const noexcept {
+  if (!enabled || d.count() <= 0) return;
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+    // calibrated busy wait; matches polling-mode behaviour (no yield)
+  }
+}
+
+}  // namespace cherinet::sim

@@ -1,0 +1,6 @@
+#include "sim/testbed.hpp"
+
+// Constants are header-only; this TU anchors the library target.
+namespace cherinet::sim {
+static_assert(sizeof(Testbed) > 0);
+}  // namespace cherinet::sim

@@ -1,0 +1,143 @@
+#include "sim/time_arbiter.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace {
+// CHERINET_ARB_DEBUG=1 prints every large idle advance with the parked
+// participants' deadlines — the first tool to reach for when throughput
+// looks stalled.
+bool arb_debug() {
+  static const bool on = std::getenv("CHERINET_ARB_DEBUG") != nullptr;
+  return on;
+}
+}  // namespace
+
+namespace cherinet::sim {
+
+Participant::Participant(TimeArbiter& arb, std::string name)
+    : arb_(arb), name_(std::move(name)) {
+  arb_.enroll(this);
+}
+
+Participant::~Participant() { arb_.retire(this); }
+
+std::uint64_t Participant::prepare() const noexcept {
+  std::lock_guard lk(arb_.m_);
+  return arb_.kick_epoch_;
+}
+
+bool Participant::wait(std::uint64_t token, std::optional<Ns> deadline) {
+  return arb_.wait_impl(this, token, deadline);
+}
+
+bool Participant::idle_until(std::optional<Ns> deadline) {
+  return wait(prepare(), deadline);
+}
+
+void TimeArbiter::expect_participants(std::size_t n) {
+  std::lock_guard lk(m_);
+  expected_ = n;
+}
+
+void TimeArbiter::enroll(Participant* p) {
+  {
+    std::lock_guard lk(m_);
+    members_.push_back(p);
+    peak_enrolled_ = std::max(peak_enrolled_, members_.size());
+  }
+  cv_.notify_all();  // a late joiner may unblock the startup gate
+}
+
+void TimeArbiter::retire(Participant* p) {
+  {
+    std::lock_guard lk(m_);
+    members_.erase(std::remove(members_.begin(), members_.end(), p),
+                   members_.end());
+    // Our departure may make everyone-else-parked true.
+    if (!members_.empty()) {
+      bool all_parked = std::all_of(members_.begin(), members_.end(),
+                                    [](const Participant* m) { return m->parked_; });
+      if (all_parked) try_advance_locked();
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t TimeArbiter::participant_count() const {
+  std::lock_guard lk(m_);
+  return members_.size();
+}
+
+void TimeArbiter::kick() noexcept {
+  {
+    std::lock_guard lk(m_);
+    ++kick_epoch_;
+  }
+  cv_.notify_all();
+}
+
+bool TimeArbiter::wait_impl(Participant* p, std::uint64_t token,
+                            std::optional<Ns> deadline) {
+  std::unique_lock lk(m_);
+  if (kick_epoch_ != token) return true;  // missed-kick race: re-poll.
+  p->parked_ = true;
+  p->deadline_ = deadline;
+  bool all_parked = std::all_of(members_.begin(), members_.end(),
+                                [](const Participant* m) { return m->parked_; });
+  if (all_parked) try_advance_locked();
+  bool kicked = false;
+  cv_.wait(lk, [&] {
+    if (kick_epoch_ != token) {
+      kicked = true;
+      return true;
+    }
+    return deadline.has_value() && clock_.now() >= *deadline;
+  });
+  p->parked_ = false;
+  p->deadline_.reset();
+  return kicked;
+}
+
+void TimeArbiter::try_advance_locked() {
+  // Startup gate: don't advance until everyone announced has arrived (and
+  // don't re-block during shutdown once the fleet was complete).
+  if (peak_enrolled_ < expected_) return;
+  std::optional<Ns> earliest;
+  for (const Participant* m : members_) {
+    if (m->deadline_ && (!earliest || *m->deadline_ < *earliest)) {
+      earliest = m->deadline_;
+    }
+  }
+  if (!earliest) {
+    std::ostringstream os;
+    os << "SimDeadlock: all " << members_.size()
+       << " participants parked without a deadline:";
+    for (const Participant* m : members_) os << ' ' << m->name();
+    throw SimDeadlock(os.str());
+  }
+  if (*earliest > clock_.now()) {
+    if (arb_debug() && *earliest - clock_.now() > Ns{1'000'000}) {
+      std::fprintf(stderr, "[arb] advance %+.3fms @%.3fms:",
+                   (*earliest - clock_.now()).count() / 1e6,
+                   clock_.now().count() / 1e6);
+      for (const Participant* m : members_) {
+        if (m->deadline_) {
+          std::fprintf(stderr, " %s=+%.3fms", m->name().c_str(),
+                       (*m->deadline_ - clock_.now()).count() / 1e6);
+        } else {
+          std::fprintf(stderr, " %s=inf", m->name().c_str());
+        }
+      }
+      std::fprintf(stderr, "\n");
+    }
+    clock_.advance_to(*earliest);
+  }
+  ++kick_epoch_;  // force every waiter to re-evaluate
+  cv_.notify_all();
+}
+
+}  // namespace cherinet::sim

@@ -1,0 +1,15 @@
+#include "sim/virtual_clock.hpp"
+
+namespace cherinet::sim {
+
+void VirtualClock::advance_to(Ns t) noexcept {
+  std::int64_t want = t.count();
+  std::int64_t cur = now_ns_.load(std::memory_order_relaxed);
+  while (cur < want &&
+         !now_ns_.compare_exchange_weak(cur, want, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    // `cur` reloaded by compare_exchange on failure.
+  }
+}
+
+}  // namespace cherinet::sim

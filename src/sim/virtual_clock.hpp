@@ -1,0 +1,47 @@
+// Virtual (simulated) time base for the emulated testbed.
+//
+// Bandwidth experiments in the paper are limited by wire/bus physics, not by
+// host CPU speed. We therefore account link pacing in *virtual* nanoseconds:
+// the wire and PCI-bus models stamp each frame with its serialization /
+// arbitration completion time and the clock advances monotonically to those
+// stamps (or, when every participant is idle, to the earliest pending timer
+// through the TimeArbiter). This makes goodput numbers deterministic and
+// independent of the emulation host.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cherinet::sim {
+
+/// Nanosecond tick type used for all virtual-time arithmetic.
+using Ns = std::chrono::nanoseconds;
+
+/// Sentinel for "no deadline" (park forever until kicked).
+inline constexpr Ns kNever = Ns::max();
+
+/// Monotonic virtual clock shared by every component of one emulated testbed.
+///
+/// Thread-safe: readers use acquire loads; writers advance with a CAS-max so
+/// the clock never moves backwards regardless of racing producers.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// Current virtual time since testbed reset.
+  [[nodiscard]] Ns now() const noexcept {
+    return Ns{now_ns_.load(std::memory_order_acquire)};
+  }
+
+  /// Advance the clock to at least `t`. Calls racing with a later `t` win;
+  /// the clock is monotone under concurrency.
+  void advance_to(Ns t) noexcept;
+
+ private:
+  std::atomic<std::int64_t> now_ns_{0};
+};
+
+}  // namespace cherinet::sim

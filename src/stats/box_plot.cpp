@@ -1,0 +1,77 @@
+#include "stats/box_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cherinet::stats {
+
+namespace {
+std::size_t to_col(double x, double lo, double hi, std::size_t width) {
+  if (hi <= lo) return 0;
+  double t = (x - lo) / (hi - lo);
+  t = std::clamp(t, 0.0, 1.0);
+  return static_cast<std::size_t>(std::lround(t * static_cast<double>(width - 1)));
+}
+}  // namespace
+
+std::string render_box_plots(const std::vector<NamedSummary>& rows,
+                             std::size_t width) {
+  std::ostringstream os;
+  if (rows.empty()) return {};
+  width = std::max<std::size_t>(width, 16);
+  double lo = rows.front().summary.min, hi = rows.front().summary.max;
+  std::size_t label_w = 0;
+  for (const auto& r : rows) {
+    lo = std::min(lo, r.summary.min);
+    hi = std::max(hi, r.summary.max);
+    label_w = std::max(label_w, r.label.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  for (const auto& r : rows) {
+    const Summary& s = r.summary;
+    std::string line(width, ' ');
+    const std::size_t cmin = to_col(s.min, lo, hi, width);
+    const std::size_t cq1 = to_col(s.q1, lo, hi, width);
+    const std::size_t cmed = to_col(s.median, lo, hi, width);
+    const std::size_t cq3 = to_col(s.q3, lo, hi, width);
+    const std::size_t cmax = to_col(s.max, lo, hi, width);
+    const std::size_t cmean = to_col(s.mean, lo, hi, width);
+    for (std::size_t c = cmin; c <= cmax && c < width; ++c) line[c] = '-';
+    for (std::size_t c = cq1; c <= cq3 && c < width; ++c) line[c] = '=';
+    line[cmin] = '|';
+    line[cmax] = '|';
+    if (cq1 < width) line[cq1] = '[';
+    if (cq3 < width) line[cq3] = ']';
+    if (cmed < width) line[cmed] = '#';
+    if (cmean < width && line[cmean] != '#') line[cmean] = '*';
+    os << std::left << std::setw(static_cast<int>(label_w)) << r.label << " "
+       << line << '\n';
+  }
+  os << std::left << std::setw(static_cast<int>(label_w)) << "" << " "
+     << std::fixed << std::setprecision(0) << lo << " ns"
+     << std::string(width > 24 ? width - 20 : 1, ' ') << hi << " ns\n";
+  os << "(| whisker  [=] interquartile box  # median  * mean)\n";
+  return os.str();
+}
+
+std::string render_summary_table(const std::vector<NamedSummary>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "series" << std::right << std::setw(10)
+     << "n" << std::setw(11) << "mean" << std::setw(11) << "sd"
+     << std::setw(11) << "min" << std::setw(11) << "Q1" << std::setw(11)
+     << "median" << std::setw(11) << "Q3" << std::setw(11) << "max" << '\n';
+  os << std::string(28 + 10 + 11 * 7, '-') << '\n';
+  os << std::fixed << std::setprecision(1);
+  for (const auto& r : rows) {
+    const Summary& s = r.summary;
+    os << std::left << std::setw(28) << r.label << std::right << std::setw(10)
+       << s.n << std::setw(11) << s.mean << std::setw(11) << s.stddev
+       << std::setw(11) << s.min << std::setw(11) << s.q1 << std::setw(11)
+       << s.median << std::setw(11) << s.q3 << std::setw(11) << s.max << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cherinet::stats

@@ -1,0 +1,33 @@
+// ASCII box-plot rendering for the figure-reproduction benches.
+//
+// Each paper figure (4, 5, 6) is a set of labelled box plots of ff_write()
+// execution times. render_box_plots() draws the same visual on a terminal:
+// whiskers at min/max (post IQR filtering), box at Q1..Q3, '|' median,
+// '*' mean.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.hpp"
+
+namespace cherinet::stats {
+
+/// One labelled series of a figure.
+struct NamedSummary {
+  std::string label;
+  Summary summary;
+};
+
+/// Render horizontal ASCII box plots on a shared linear axis.
+/// `width` is the plot-area width in characters.
+[[nodiscard]] std::string render_box_plots(const std::vector<NamedSummary>& rows,
+                                           std::size_t width = 72);
+
+/// Render a numeric table (n, mean, sd, min, Q1, median, Q3, max) — the raw
+/// values behind a figure, for EXPERIMENTS.md.
+[[nodiscard]] std::string render_summary_table(
+    const std::vector<NamedSummary>& rows);
+
+}  // namespace cherinet::stats

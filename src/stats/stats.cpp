@@ -1,0 +1,60 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cherinet::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  double ss = 0.0;
+  for (double x : v) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = v.size() > 1 ? std::sqrt(ss / static_cast<double>(v.size() - 1)) : 0.0;
+  s.min = v.front();
+  s.q1 = quantile_sorted(v, 0.25);
+  s.median = quantile_sorted(v, 0.50);
+  s.q3 = quantile_sorted(v, 0.75);
+  s.max = v.back();
+  return s;
+}
+
+std::vector<double> iqr_filter(std::span<const double> xs, double k) {
+  if (xs.empty()) return {};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = quantile_sorted(sorted, 0.25);
+  const double q3 = quantile_sorted(sorted, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (x >= lo && x <= hi) out.push_back(x);
+  }
+  return out;
+}
+
+Summary LatencyRecorder::report(double k) const {
+  return summarize(iqr_filter(samples_, k));
+}
+
+}  // namespace cherinet::stats

@@ -1,0 +1,57 @@
+// Descriptive statistics used by the evaluation harness.
+//
+// The paper reports ff_write() execution-time distributions as box plots
+// (mean, standard deviation, quartiles) over 1 M iterations with ~10 % of
+// samples removed by a standard IQR outlier strategy (§IV). These helpers
+// reproduce exactly that pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cherinet::stats {
+
+/// Five-number summary plus moments, as plotted in the paper's figures.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolation quantile (type-7, the R/NumPy default) of an
+/// ascending-sorted sample. `q` in [0,1]. Empty input returns 0.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Full summary of an arbitrary (unsorted) sample.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Remove outliers outside [Q1 - k*IQR, Q3 + k*IQR] (k = 1.5 is the
+/// "standard IQR strategy" the paper applies). Order is preserved.
+[[nodiscard]] std::vector<double> iqr_filter(std::span<const double> xs,
+                                             double k = 1.5);
+
+/// Fixed-capacity latency sample recorder (avoids reallocation inside the
+/// measured loop).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t capacity) { samples_.reserve(capacity); }
+
+  void add(double nanos) { samples_.push_back(nanos); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  /// IQR-filter then summarize, mirroring the paper's reporting pipeline.
+  [[nodiscard]] Summary report(double k = 1.5) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace cherinet::stats

@@ -1,0 +1,24 @@
+#include "updk/eal.hpp"
+
+namespace cherinet::updk {
+
+PortResources Eal::attach_port(nic::E82576Device& card, int port,
+                               machine::CompartmentHeap& heap,
+                               sim::VirtualClock& clock, const EalConfig& cfg,
+                               const std::string& name) {
+  // IOMMU grant: data-only (no capability transfer through DMA), bounded to
+  // the driver compartment's region.
+  const cheri::Capability dma_grant =
+      heap.region().with_perms(cheri::PermSet{cheri::Perm::kLoad} |
+                               cheri::Perm::kStore | cheri::Perm::kGlobal);
+  card.attach_dma(port, dma_grant);
+
+  PortResources res;
+  res.pool = std::make_unique<Mempool>(&heap, cfg.n_mbufs, cfg.data_room);
+  res.dev = std::make_unique<E82576Pmd>(name + std::to_string(port), &card,
+                                        port, &heap, res.pool.get(), &clock,
+                                        cfg.eth);
+  return res;
+}
+
+}  // namespace cherinet::updk

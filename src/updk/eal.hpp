@@ -1,0 +1,43 @@
+// Environment Abstraction Layer: user-space takeover of the NIC.
+//
+// DPDK detaches the NIC from the kernel with a small kernel module and
+// rebinds it to user space (paper §II-C); the paper's Morello port had to
+// implement exactly this attach path with correctly-permissioned memory
+// (§III-B "DPDK"). Our EAL performs the equivalent ceremony against the
+// device model: carve the driver's memory from the compartment heap, grant
+// the DMA engine a capability restricted to that memory (never the whole
+// compartment), create the mempool, and bring the port up through the PMD.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "machine/heap.hpp"
+#include "nic/e82576.hpp"
+#include "updk/pmd_e82576.hpp"
+
+namespace cherinet::updk {
+
+struct PortResources {
+  std::unique_ptr<Mempool> pool;
+  std::unique_ptr<EthDev> dev;
+};
+
+struct EalConfig {
+  std::uint32_t n_mbufs = 2048;
+  std::uint32_t data_room = 2048 + kMbufHeadroom;
+  EthConf eth{};
+};
+
+class Eal {
+ public:
+  /// Detach `port` of `card` from the (conceptual) kernel and attach it to
+  /// the compartment owning `heap`. The DMA grant covers the heap region —
+  /// descriptor rings and the mbuf arena — with data RW permissions only.
+  [[nodiscard]] static PortResources attach_port(
+      nic::E82576Device& card, int port, machine::CompartmentHeap& heap,
+      sim::VirtualClock& clock, const EalConfig& cfg = EalConfig{},
+      const std::string& name = "eth");
+};
+
+}  // namespace cherinet::updk

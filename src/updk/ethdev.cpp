@@ -1,0 +1,2 @@
+#include "updk/ethdev.hpp"
+namespace cherinet::updk { static_assert(sizeof(EthConf) > 0); }

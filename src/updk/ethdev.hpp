@@ -1,0 +1,56 @@
+// Ethernet device API (rte_ethdev analogue): burst-oriented, polling.
+//
+// The stack is written against this interface; the e82576 PMD implements it
+// over the device model. rx_burst never blocks — an empty return simply
+// means "nothing arrived yet", and the caller's main loop decides when to
+// yield to the time arbiter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "nic/mac.hpp"
+#include "sim/virtual_clock.hpp"
+#include "updk/mbuf.hpp"
+
+namespace cherinet::updk {
+
+struct EthConf {
+  std::uint32_t rx_ring_size = 512;
+  std::uint32_t tx_ring_size = 512;
+  bool promiscuous = true;
+};
+
+struct EthStats {
+  std::uint64_t ipackets = 0;
+  std::uint64_t opackets = 0;
+  std::uint64_t ibytes = 0;
+  std::uint64_t obytes = 0;
+  std::uint64_t imissed = 0;  // ring-full drops at the device
+  std::uint64_t oerrors = 0;
+};
+
+class EthDev {
+ public:
+  virtual ~EthDev() = default;
+
+  /// Receive up to out.size() packets; returns the number received.
+  virtual std::size_t rx_burst(std::span<Mbuf*> out) = 0;
+
+  /// Transmit up to in.size() packets; consumed mbufs are freed after the
+  /// device fetches them. Returns the number accepted.
+  virtual std::size_t tx_burst(std::span<Mbuf*> in) = 0;
+
+  [[nodiscard]] virtual nic::MacAddr mac() const = 0;
+  [[nodiscard]] virtual bool link_up() const = 0;
+  [[nodiscard]] virtual EthStats stats() const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Earliest future event the device knows about (next wire delivery) —
+  /// the main loop's idle deadline.
+  [[nodiscard]] virtual std::optional<sim::Ns> next_event() const = 0;
+};
+
+}  // namespace cherinet::updk

@@ -1,0 +1,2 @@
+#include "updk/mbuf.hpp"
+namespace cherinet::updk { static_assert(sizeof(Mbuf) > 0); }

@@ -1,0 +1,89 @@
+// Packet buffers (rte_mbuf analogue) backed by capability-bounded data rooms.
+//
+// Each mbuf owns a fixed data room carved from the compartment heap as a
+// *bounded capability*: the NIC's DMA engine and the protocol stack both
+// access packet bytes exclusively through it, so an off-by-one in any layer
+// faults at the mbuf boundary instead of corrupting a neighbour (the
+// fine-grained protection the paper gets from CHERI-porting DPDK, §III-B).
+// Layout mirrors DPDK: headroom for prepending L2/L3 headers, data region,
+// tailroom.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/cap_view.hpp"
+
+namespace cherinet::updk {
+
+class Mempool;
+
+inline constexpr std::uint32_t kMbufHeadroom = 128;
+
+struct Mbuf {
+  machine::CapView room;      // the whole data room (bounded capability)
+  std::uint32_t data_off = kMbufHeadroom;
+  std::uint32_t data_len = 0;
+  std::uint16_t refcnt = 0;
+  std::uint32_t pool_index = 0;
+  Mempool* pool = nullptr;
+
+  [[nodiscard]] std::uint64_t room_size() const noexcept {
+    return room.size();
+  }
+  [[nodiscard]] std::uint32_t headroom() const noexcept { return data_off; }
+  [[nodiscard]] std::uint64_t tailroom() const noexcept {
+    return room_size() - data_off - data_len;
+  }
+
+  /// Capability view of the packet data [data_off, data_off+data_len).
+  [[nodiscard]] machine::CapView data() const {
+    return room.window(data_off, data_len);
+  }
+  /// Address of the first packet byte (what descriptors carry).
+  [[nodiscard]] std::uint64_t data_addr() const noexcept {
+    return room.address() + data_off;
+  }
+
+  void reset() noexcept {
+    data_off = kMbufHeadroom;
+    data_len = 0;
+  }
+
+  /// Grow at the tail; returns a view of the appended region.
+  machine::CapView append(std::uint32_t n) {
+    if (n > tailroom()) {
+      throw cheri::CapFault(cheri::FaultKind::kBoundsViolation,
+                            data_addr() + data_len, n, room.to_string(),
+                            "mbuf append beyond tailroom");
+    }
+    const std::uint32_t off = data_off + data_len;
+    data_len += n;
+    return room.window(off, n);
+  }
+
+  /// Grow at the head (L2/L3 header push); returns the new front view.
+  machine::CapView prepend(std::uint32_t n) {
+    if (n > data_off) {
+      throw cheri::CapFault(cheri::FaultKind::kBoundsViolation,
+                            room.address(), n, room.to_string(),
+                            "mbuf prepend beyond headroom");
+    }
+    data_off -= n;
+    data_len += n;
+    return room.window(data_off, n);
+  }
+
+  /// Shrink at the tail.
+  void trim(std::uint32_t n) {
+    if (n > data_len) n = data_len;
+    data_len -= n;
+  }
+  /// Shrink at the head (header pull).
+  void adj(std::uint32_t n) {
+    if (n > data_len) n = data_len;
+    data_off += n;
+    data_len -= n;
+  }
+};
+
+}  // namespace cherinet::updk

@@ -1,0 +1,51 @@
+#include "updk/mempool.hpp"
+
+#include <stdexcept>
+
+namespace cherinet::updk {
+
+Mempool::Mempool(machine::CompartmentHeap* heap, std::uint32_t n_mbufs,
+                 std::uint32_t data_room)
+    : data_room_(data_room), free_ring_(n_mbufs + 1) {
+  if (heap == nullptr || n_mbufs == 0) {
+    throw std::invalid_argument("Mempool: bad configuration");
+  }
+  mbufs_.resize(n_mbufs);
+  for (std::uint32_t i = 0; i < n_mbufs; ++i) {
+    Mbuf& m = mbufs_[i];
+    m.room = heap->alloc_view(data_room);
+    m.pool_index = i;
+    m.pool = this;
+    m.refcnt = 0;
+    free_ring_.enqueue(i);
+  }
+}
+
+Mbuf* Mempool::alloc() {
+  const auto idx = free_ring_.dequeue();
+  if (!idx.has_value()) {
+    ++stats_.alloc_failures;
+    return nullptr;
+  }
+  Mbuf& m = mbufs_[*idx];
+  m.reset();
+  m.refcnt = 1;
+  ++stats_.allocs;
+  return &m;
+}
+
+void Mempool::free(Mbuf* m) {
+  if (m == nullptr) return;
+  if (m->pool != this) {
+    throw std::invalid_argument("Mempool::free: foreign mbuf");
+  }
+  if (m->refcnt == 0) {
+    throw std::logic_error("Mempool::free: double free");
+  }
+  if (--m->refcnt == 0) {
+    ++stats_.frees;
+    free_ring_.enqueue(m->pool_index);
+  }
+}
+
+}  // namespace cherinet::updk

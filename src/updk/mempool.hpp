@@ -1,0 +1,56 @@
+// Fixed-size mbuf pool over a lock-free ring (rte_mempool analogue).
+//
+// All data rooms are carved from the owning compartment's heap at pool
+// creation, each as its own exactly-bounded capability. The pool region is
+// also what the driver grants to the NIC DMA engine — so device writes are
+// confined to packet memory even if a descriptor is corrupted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/heap.hpp"
+#include "updk/mbuf.hpp"
+#include "updk/ring.hpp"
+
+namespace cherinet::updk {
+
+class Mempool {
+ public:
+  /// Create `n_mbufs` buffers of `data_room` bytes each from `heap`.
+  Mempool(machine::CompartmentHeap* heap, std::uint32_t n_mbufs,
+          std::uint32_t data_room);
+
+  /// Allocate one mbuf (refcnt=1, reset offsets). Null when exhausted.
+  [[nodiscard]] Mbuf* alloc();
+
+  /// Drop one reference; returns the buffer to the ring at zero.
+  void free(Mbuf* m);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(mbufs_.size());
+  }
+  [[nodiscard]] std::uint32_t available() const noexcept {
+    return static_cast<std::uint32_t>(free_ring_.count());
+  }
+  [[nodiscard]] std::uint32_t data_room() const noexcept {
+    return data_room_;
+  }
+  [[nodiscard]] Mbuf& at(std::uint32_t i) { return mbufs_[i]; }
+
+  struct Stats {
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t alloc_failures = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::uint32_t data_room_;
+  std::vector<Mbuf> mbufs_;
+  Ring<std::uint32_t> free_ring_;
+  Stats stats_;
+};
+
+}  // namespace cherinet::updk

@@ -1,0 +1,135 @@
+#include "updk/pmd_e82576.hpp"
+
+#include <stdexcept>
+
+namespace cherinet::updk {
+
+using nic::kRxStatusDD;
+using nic::kTxCmdEOP;
+using nic::kTxCmdRS;
+using nic::kTxStatusDD;
+using nic::RxDesc;
+using nic::TxDesc;
+
+E82576Pmd::E82576Pmd(std::string name, nic::E82576Device* dev, int port,
+                     machine::CompartmentHeap* heap, Mempool* pool,
+                     sim::VirtualClock* clock, const EthConf& conf)
+    : name_(std::move(name)),
+      dev_(dev),
+      port_(port),
+      heap_(heap),
+      pool_(pool),
+      clock_(clock),
+      conf_(conf) {
+  if (conf_.rx_ring_size == 0 || conf_.tx_ring_size == 0) {
+    throw std::invalid_argument("E82576Pmd: zero ring size");
+  }
+  setup_rx_ring();
+  setup_tx_ring();
+  auto& p = dev_->port(port_);
+  p.set_promiscuous(conf_.promiscuous);
+  p.enable();
+}
+
+void E82576Pmd::setup_rx_ring() {
+  rx_ring_ = heap_->alloc_view(conf_.rx_ring_size * sizeof(RxDesc));
+  rx_staged_.resize(conf_.rx_ring_size, nullptr);
+  for (std::uint32_t i = 0; i < conf_.rx_ring_size; ++i) {
+    Mbuf* m = pool_->alloc();
+    if (m == nullptr) {
+      throw std::runtime_error("E82576Pmd: pool too small for RX ring");
+    }
+    rx_staged_[i] = m;
+    RxDesc d{};
+    d.buffer_addr = m->room.address() + kMbufHeadroom;
+    rx_ring_.store<RxDesc>(i * sizeof(RxDesc), d);
+  }
+  auto& p = dev_->port(port_);
+  p.set_rx_ring(rx_ring_.address(), conf_.rx_ring_size,
+                pool_->data_room() - kMbufHeadroom);
+  // Leave one slot of slack: device fills up to (RDT - 1).
+  p.write_rdt(conf_.rx_ring_size - 1);
+}
+
+void E82576Pmd::setup_tx_ring() {
+  tx_ring_ = heap_->alloc_view(conf_.tx_ring_size * sizeof(TxDesc));
+  tx_pending_.resize(conf_.tx_ring_size, nullptr);
+  for (std::uint32_t i = 0; i < conf_.tx_ring_size; ++i) {
+    TxDesc d{};
+    d.status = kTxStatusDD;  // start reclaimable
+    tx_ring_.store<TxDesc>(i * sizeof(TxDesc), d);
+  }
+  dev_->port(port_).set_tx_ring(tx_ring_.address(), conf_.tx_ring_size);
+}
+
+std::size_t E82576Pmd::rx_burst(std::span<Mbuf*> out) {
+  dev_->poll_port(port_, clock_->now());
+  std::size_t got = 0;
+  while (got < out.size()) {
+    RxDesc d = rx_ring_.load<RxDesc>(rx_next_ * sizeof(RxDesc));
+    if ((d.status & kRxStatusDD) == 0) break;
+    // Allocate the replacement *first*: if the pool is dry we leave the
+    // descriptor staged (its buffer still belongs to the ring) and retry on
+    // a later burst, exactly like DPDK's rx_nombuf handling.
+    Mbuf* fresh = pool_->alloc();
+    if (fresh == nullptr) break;
+    Mbuf* filled = rx_staged_[rx_next_];
+    filled->data_off = kMbufHeadroom;
+    filled->data_len = d.length;
+    out[got++] = filled;
+    stats_.ipackets++;
+    stats_.ibytes += d.length;
+
+    rx_staged_[rx_next_] = fresh;
+    RxDesc nd{};
+    nd.buffer_addr = fresh->room.address() + kMbufHeadroom;
+    rx_ring_.store<RxDesc>(rx_next_ * sizeof(RxDesc), nd);
+    // RDT chases the just-refilled slot (igb convention: device may fill
+    // up to RDT-1, keeping one slot of slack).
+    dev_->port(port_).write_rdt(rx_next_);
+    rx_next_ = (rx_next_ + 1) % conf_.rx_ring_size;
+  }
+  stats_.imissed = dev_->port(port_).stats().rx_no_desc;
+  return got;
+}
+
+void E82576Pmd::reclaim_tx() {
+  while (tx_clean_ != tx_next_) {
+    TxDesc d = tx_ring_.load<TxDesc>(tx_clean_ * sizeof(TxDesc));
+    if ((d.status & kTxStatusDD) == 0) break;
+    if (tx_pending_[tx_clean_] != nullptr) {
+      pool_->free(tx_pending_[tx_clean_]);
+      tx_pending_[tx_clean_] = nullptr;
+    }
+    tx_clean_ = (tx_clean_ + 1) % conf_.tx_ring_size;
+  }
+}
+
+std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
+  dev_->poll_port(port_, clock_->now());
+  reclaim_tx();
+  std::size_t sent = 0;
+  for (Mbuf* m : in) {
+    const std::uint32_t next = (tx_next_ + 1) % conf_.tx_ring_size;
+    if (next == tx_clean_) break;  // ring full
+    TxDesc d{};
+    d.buffer_addr = m->data_addr();
+    d.length = static_cast<std::uint16_t>(m->data_len);
+    d.cmd = kTxCmdEOP | kTxCmdRS;
+    tx_ring_.store<TxDesc>(tx_next_ * sizeof(TxDesc), d);
+    tx_pending_[tx_next_] = m;
+    stats_.opackets++;
+    stats_.obytes += m->data_len;
+    tx_next_ = next;
+    ++sent;
+  }
+  dev_->port(port_).write_tdt(tx_next_);
+  // Let the device fetch immediately (polling model), then reclaim.
+  dev_->poll_port(port_, clock_->now());
+  reclaim_tx();
+  return sent;
+}
+
+EthStats E82576Pmd::stats() const { return stats_; }
+
+}  // namespace cherinet::updk

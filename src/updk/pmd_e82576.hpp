@@ -1,0 +1,63 @@
+// Poll-mode driver for the e82576 device model (igb analogue).
+//
+// Owns one port: allocates descriptor rings in compartment memory, keeps an
+// mbuf staged per RX descriptor, refills RDT as it harvests DD-marked
+// descriptors, and reclaims TX descriptors after device write-back. All
+// descriptor and buffer memory is reachable only through the DMA capability
+// granted at attach (see e82576.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "machine/heap.hpp"
+#include "nic/e82576.hpp"
+#include "updk/ethdev.hpp"
+#include "updk/mempool.hpp"
+
+namespace cherinet::updk {
+
+class E82576Pmd final : public EthDev {
+ public:
+  E82576Pmd(std::string name, nic::E82576Device* dev, int port,
+            machine::CompartmentHeap* heap, Mempool* pool,
+            sim::VirtualClock* clock, const EthConf& conf);
+
+  std::size_t rx_burst(std::span<Mbuf*> out) override;
+  std::size_t tx_burst(std::span<Mbuf*> in) override;
+  [[nodiscard]] nic::MacAddr mac() const override {
+    return dev_->port(port_).mac();
+  }
+  [[nodiscard]] bool link_up() const override {
+    return dev_->port(port_).link_up();
+  }
+  [[nodiscard]] EthStats stats() const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::optional<sim::Ns> next_event() const override {
+    return dev_->port(port_).next_rx_event();
+  }
+
+ private:
+  void setup_rx_ring();
+  void setup_tx_ring();
+  void reclaim_tx();
+
+  std::string name_;
+  nic::E82576Device* dev_;
+  int port_;
+  machine::CompartmentHeap* heap_;
+  Mempool* pool_;
+  sim::VirtualClock* clock_;
+  EthConf conf_;
+
+  machine::CapView rx_ring_;   // RxDesc[conf.rx_ring_size]
+  machine::CapView tx_ring_;   // TxDesc[conf.tx_ring_size]
+  std::vector<Mbuf*> rx_staged_;
+  std::vector<Mbuf*> tx_pending_;
+  std::uint32_t rx_next_ = 0;  // next descriptor the driver will harvest
+  std::uint32_t tx_next_ = 0;  // next descriptor the driver will fill
+  std::uint32_t tx_clean_ = 0; // next descriptor to reclaim
+  EthStats stats_;
+};
+
+}  // namespace cherinet::updk

@@ -1,0 +1,2 @@
+#include "updk/ring.hpp"
+namespace cherinet::updk { static_assert(sizeof(Ring<int>) > 0); }

@@ -1,0 +1,105 @@
+// Bounded lock-free MPMC ring (rte_ring-style, two-phase head/tail).
+//
+// DPDK's rte_ring is the backbone of mempools and inter-core handoff. The
+// algorithm: producers reserve slots by CAS-advancing prod.head, write
+// their entries, then publish in order by advancing prod.tail once earlier
+// reservations have been published; consumers mirror the scheme. Capacity
+// is a power of two; one slot is never wasted because occupancy is tracked
+// by index difference (indices wrap modulo 2^32).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cherinet::updk {
+
+template <typename T>
+class Ring {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit Ring(std::size_t capacity) {
+    std::size_t c = 1;
+    while (c < capacity) c <<= 1;
+    slots_.resize(c);
+    mask_ = static_cast<std::uint32_t>(c - 1);
+  }
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept {
+    return prod_tail_.load(std::memory_order_acquire) -
+           cons_tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  bool enqueue(const T& v) { return enqueue_burst({&v, 1}) == 1; }
+
+  /// Enqueue up to in.size() items; returns how many were enqueued
+  /// (all-or-nothing per reservation chunk, DPDK "variable" semantics).
+  std::size_t enqueue_burst(std::span<const T> in) {
+    const auto n = static_cast<std::uint32_t>(in.size());
+    if (n == 0) return 0;
+    std::uint32_t head = prod_head_.load(std::memory_order_relaxed);
+    std::uint32_t take;
+    do {
+      const std::uint32_t free_slots =
+          static_cast<std::uint32_t>(slots_.size()) -
+          (head - cons_tail_.load(std::memory_order_acquire));
+      take = std::min(n, free_slots);
+      if (take == 0) return 0;
+    } while (!prod_head_.compare_exchange_weak(head, head + take,
+                                               std::memory_order_relaxed));
+    for (std::uint32_t i = 0; i < take; ++i) {
+      slots_[(head + i) & mask_] = in[i];
+    }
+    // Publish in reservation order.
+    std::uint32_t expected = head;
+    while (!prod_tail_.compare_exchange_weak(expected, head + take,
+                                             std::memory_order_release)) {
+      expected = head;
+    }
+    return take;
+  }
+
+  std::optional<T> dequeue() {
+    T v{};
+    return dequeue_burst({&v, 1}) == 1 ? std::optional<T>{v} : std::nullopt;
+  }
+
+  std::size_t dequeue_burst(std::span<T> out) {
+    const auto n = static_cast<std::uint32_t>(out.size());
+    if (n == 0) return 0;
+    std::uint32_t head = cons_head_.load(std::memory_order_relaxed);
+    std::uint32_t take;
+    do {
+      const std::uint32_t avail =
+          prod_tail_.load(std::memory_order_acquire) - head;
+      take = std::min(n, avail);
+      if (take == 0) return 0;
+    } while (!cons_head_.compare_exchange_weak(head, head + take,
+                                               std::memory_order_relaxed));
+    for (std::uint32_t i = 0; i < take; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    std::uint32_t expected = head;
+    while (!cons_tail_.compare_exchange_weak(expected, head + take,
+                                             std::memory_order_release)) {
+      expected = head;
+    }
+    return take;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::uint32_t mask_ = 0;
+  alignas(64) std::atomic<std::uint32_t> prod_head_{0};
+  alignas(64) std::atomic<std::uint32_t> prod_tail_{0};
+  alignas(64) std::atomic<std::uint32_t> cons_head_{0};
+  alignas(64) std::atomic<std::uint32_t> cons_tail_{0};
+};
+
+}  // namespace cherinet::updk

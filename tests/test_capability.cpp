@@ -1,0 +1,197 @@
+// Capability semantics: provenance, monotonicity, sealing, access checks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cheri/capability.hpp"
+
+using namespace cherinet::cheri;
+
+namespace {
+Capability root() {
+  return CapabilityMinter::mint_root(0, cc::U128{1} << 32, PermSet::all());
+}
+}  // namespace
+
+TEST(Capability, NullCapabilityIsUntaggedAndFaults) {
+  const Capability c;
+  EXPECT_FALSE(c.tag());
+  EXPECT_THROW(c.check(Access::kLoad, 0, 1), CapFault);
+  try {
+    c.check(Access::kLoad, 0, 1);
+    FAIL();
+  } catch (const CapFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kTagViolation);
+  }
+}
+
+TEST(Capability, BoundsNarrowingWorks) {
+  const Capability r = root();
+  const Capability c = r.with_bounds(0x1000, 0x100);
+  EXPECT_TRUE(c.tag());
+  EXPECT_EQ(c.base(), 0x1000u);
+  EXPECT_EQ(c.top(), cc::U128{0x1100});
+  EXPECT_NO_THROW(c.check(Access::kLoad, 0x1000, 0x100));
+  EXPECT_THROW(c.check(Access::kLoad, 0x1100, 1), CapFault);
+  EXPECT_THROW(c.check(Access::kLoad, 0xFFF, 1), CapFault);
+  // Off-by-one straddling the top: the paper's canonical overflow.
+  EXPECT_THROW(c.check(Access::kStore, 0x10FF, 2), CapFault);
+}
+
+TEST(Capability, WideningIsImpossible) {
+  const Capability c = root().with_bounds(0x1000, 0x100);
+  EXPECT_THROW((void)c.with_bounds(0x0FFF, 0x10), CapFault);   // below base
+  EXPECT_THROW((void)c.with_bounds(0x1000, 0x101), CapFault);  // past top
+  try {
+    (void)c.with_bounds(0x800, 0x1000);
+    FAIL();
+  } catch (const CapFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kMonotonicityViolation);
+  }
+}
+
+TEST(Capability, PermissionsOnlyShrink) {
+  const Capability c = root().with_perms(PermSet::data_rw());
+  const Capability ro = c.with_perms(PermSet::data_ro());
+  EXPECT_FALSE(ro.perms().has(Perm::kStore));
+  EXPECT_NO_THROW(ro.check(Access::kLoad, 0, 1));
+  try {
+    ro.check(Access::kStore, 0, 1);
+    FAIL();
+  } catch (const CapFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kPermitStoreViolation);
+  }
+  // Re-adding a permission via with_perms is a no-op (intersection).
+  const Capability back = ro.with_perms(PermSet::data_rw());
+  EXPECT_FALSE(back.perms().has(Perm::kStore));
+}
+
+TEST(Capability, ClearedTagPropagatesToAllDerivations) {
+  const Capability c = root().cleared();
+  EXPECT_FALSE(c.tag());
+  EXPECT_THROW((void)c.with_bounds(0, 16), CapFault);
+  EXPECT_THROW((void)c.with_perms(PermSet::data_ro()), CapFault);
+}
+
+TEST(Capability, CursorMovesFreelyInBoundsAndChecksAtAccess) {
+  const Capability c = root().with_bounds(0x2000, 0x1000);
+  const Capability moved = c.with_address(0x2800);
+  EXPECT_TRUE(moved.tag());
+  EXPECT_EQ(moved.address(), 0x2800u);
+  EXPECT_NO_THROW(moved.check_cursor(Access::kLoad, 8));
+  // Slightly out-of-bounds cursors remain representable (tag kept) but
+  // dereference faults — the architectural split the paper relies on.
+  const Capability oob = c.with_address(0x3000);
+  EXPECT_TRUE(oob.tag());
+  EXPECT_THROW(oob.check_cursor(Access::kLoad, 1), CapFault);
+}
+
+TEST(Capability, SealUnsealRoundTrip) {
+  const Capability sealer = CapabilityMinter::mint_root(
+      kOtypeFirstUser, 1024, PermSet{Perm::kSeal} | Perm::kUnseal);
+  const Capability c = root().with_bounds(0x1000, 64);
+  const Capability sealed = c.seal_with(sealer.with_address(kOtypeFirstUser + 5));
+  EXPECT_TRUE(sealed.is_sealed());
+  EXPECT_EQ(sealed.otype(), kOtypeFirstUser + 5);
+  EXPECT_THROW(sealed.check(Access::kLoad, 0x1000, 1), CapFault);
+  EXPECT_THROW((void)sealed.with_bounds(0x1000, 16), CapFault);
+
+  const Capability back =
+      sealed.unseal_with(sealer.with_address(kOtypeFirstUser + 5));
+  EXPECT_FALSE(back.is_sealed());
+  EXPECT_NO_THROW(back.check(Access::kLoad, 0x1000, 1));
+}
+
+TEST(Capability, UnsealWithWrongOtypeFaults) {
+  const Capability sealer = CapabilityMinter::mint_root(
+      kOtypeFirstUser, 1024, PermSet{Perm::kSeal} | Perm::kUnseal);
+  const Capability sealed =
+      root().seal_with(sealer.with_address(kOtypeFirstUser + 1));
+  try {
+    (void)sealed.unseal_with(sealer.with_address(kOtypeFirstUser + 2));
+    FAIL();
+  } catch (const CapFault& f) {
+    EXPECT_EQ(f.kind(), FaultKind::kOtypeViolation);
+  }
+}
+
+TEST(Capability, SealRequiresSealPermission) {
+  const Capability no_seal = CapabilityMinter::mint_root(
+      kOtypeFirstUser, 1024, PermSet{Perm::kUnseal});
+  EXPECT_THROW((void)root().seal_with(no_seal.with_address(kOtypeFirstUser)),
+               CapFault);
+}
+
+TEST(Capability, SealedCursorMutationInvalidates) {
+  const Capability sealer = CapabilityMinter::mint_root(
+      kOtypeFirstUser, 1024, PermSet{Perm::kSeal} | Perm::kUnseal);
+  const Capability sealed =
+      root().seal_with(sealer.with_address(kOtypeFirstUser));
+  const Capability mutated = sealed.with_address(0x1234);
+  EXPECT_FALSE(mutated.tag());  // tampering with a sealed cap clears the tag
+}
+
+TEST(Capability, SentryIsSealedExecutable) {
+  const Capability code =
+      root().with_perms(PermSet::code()).with_address(0x4000);
+  const Capability sentry = code.make_sentry();
+  EXPECT_TRUE(sentry.is_sentry());
+  EXPECT_THROW(sentry.check(Access::kExecute, 0x4000, 4), CapFault);
+  // Data caps cannot become sentries.
+  EXPECT_THROW((void)root().with_perms(PermSet::data_rw()).make_sentry(),
+               CapFault);
+}
+
+TEST(Capability, CompressedBoundsRoundOutwardOnLargeUnaligned) {
+  const Capability r = root();
+  // 1 MiB + 1 at an odd base: not exactly representable; CSetBounds rounds
+  // outward but stays inside the authorizing capability.
+  const Capability c = r.with_bounds(0x100001, (1u << 20) + 1);
+  EXPECT_LE(c.base(), 0x100001u);
+  EXPECT_GE(c.top(), cc::U128{0x100001} + (1u << 20) + 1);
+  EXPECT_GE(c.base(), r.base());
+  EXPECT_LE(c.top(), r.top());
+  // And the exact variant refuses.
+  EXPECT_THROW((void)r.with_bounds_exact(0x100001, (1u << 20) + 1), CapFault);
+}
+
+// Property sweep: random monotonic derivation chains never gain authority.
+class DerivationChain : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DerivationChain, NeverGainsAuthority) {
+  std::mt19937_64 rng(GetParam());
+  Capability c = root();
+  for (int step = 0; step < 200 && c.tag(); ++step) {
+    const std::uint64_t old_base = c.base();
+    const cc::U128 old_top = c.top();
+    const PermSet old_perms = c.perms();
+    const std::uint64_t len = static_cast<std::uint64_t>(c.length());
+    if (len == 0) break;
+    switch (rng() % 3) {
+      case 0: {  // narrow bounds
+        const std::uint64_t nb = old_base + rng() % len;
+        const std::uint64_t nl =
+            1 + rng() % (static_cast<std::uint64_t>(old_top - nb));
+        try {
+          c = c.with_bounds(nb, nl);
+        } catch (const CapFault&) {
+          // Rounded bounds exceeding the parent are architecturally refused;
+          // the refusal itself is the property we want.
+        }
+        break;
+      }
+      case 1:
+        c = c.with_perms(PermSet{static_cast<std::uint32_t>(rng())});
+        break;
+      case 2:
+        c = c.with_address(old_base + rng() % len);
+        break;
+    }
+    EXPECT_GE(c.base(), old_base);
+    EXPECT_LE(c.top(), old_top);
+    EXPECT_TRUE(c.perms().is_subset_of(old_perms));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerivationChain,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));

@@ -1,0 +1,136 @@
+// CHERI Concentrate compression: exactness, rounding monotonicity,
+// representability — the properties every bounds check in the system
+// depends on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cheri/concentrate.hpp"
+
+namespace cc = cherinet::cheri::cc;
+
+TEST(Concentrate, SmallLengthsAreByteExact) {
+  // length < 2^12 encodes exactly at any base.
+  for (std::uint64_t base :
+       {0ull, 1ull, 0xFFFull, 0x1000ull, 0xDEADBEEFull, (1ull << 40) + 7}) {
+    for (std::uint64_t len : {0ull, 1ull, 17ull, 100ull, 4095ull}) {
+      const auto r = cc::encode(base, cc::U128{base} + len);
+      ASSERT_TRUE(r.has_value()) << base << "+" << len;
+      EXPECT_TRUE(r->exact) << base << "+" << len;
+      EXPECT_EQ(r->bounds.base, base);
+      EXPECT_EQ(r->bounds.top, cc::U128{base} + len);
+    }
+  }
+}
+
+TEST(Concentrate, RootCapabilityCoversWholeAddressSpace) {
+  const auto r = cc::encode(0, cc::kAddressSpaceTop);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->exact);
+  EXPECT_EQ(r->bounds.base, 0u);
+  EXPECT_EQ(r->bounds.top, cc::kAddressSpaceTop);
+  EXPECT_TRUE(r->enc.internal_exponent);
+}
+
+TEST(Concentrate, EncodingNeverNarrows) {
+  // Fundamental monotonicity: decoded region always contains the request.
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const int shift = static_cast<int>(rng() % 60);
+    const std::uint64_t base = rng() >> (rng() % 64);
+    std::uint64_t len = (rng() & ((1ull << shift) | 0xFFF)) + 1;
+    if (base + len < base) len = ~base;  // avoid wrap past 2^64
+    const auto r = cc::encode(base, cc::U128{base} + len);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_LE(r->bounds.base, base);
+    EXPECT_GE(r->bounds.top, cc::U128{base} + len);
+  }
+}
+
+TEST(Concentrate, RoundingIsBoundedByOneGranulePerSide) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t base = rng() & 0xFFFFFFFFFFFFull;
+    const std::uint64_t len = (rng() & 0xFFFFFFFull) + 1;
+    const auto r = cc::encode(base, cc::U128{base} + len);
+    ASSERT_TRUE(r.has_value());
+    const std::uint64_t g = cc::granule(r->enc);
+    EXPECT_LE(base - r->bounds.base, g) << "base slack";
+    EXPECT_LE(r->bounds.top - (cc::U128{base} + len), cc::U128{g})
+        << "top slack";
+  }
+}
+
+TEST(Concentrate, AlignedLargeRegionsAreExact) {
+  // Power-of-two aligned base+length always representable exactly.
+  for (unsigned e = 12; e <= 40; ++e) {
+    const std::uint64_t len = 1ull << e;
+    const std::uint64_t base = len * 3;
+    const auto r = cc::encode(base, cc::U128{base} + len);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->exact) << "2^" << e;
+  }
+}
+
+TEST(Concentrate, DecodeIsStableWithinBounds) {
+  // Moving the cursor anywhere inside the region decodes identical bounds.
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t base = rng() & 0xFFFFFFFFFFull;
+    const std::uint64_t len = (rng() & 0xFFFFFFull) + 16;
+    const auto r = cc::encode(base, cc::U128{base} + len);
+    ASSERT_TRUE(r.has_value());
+    const std::uint64_t inside =
+        r->bounds.base +
+        static_cast<std::uint64_t>(rng() % static_cast<std::uint64_t>(
+                                             r->bounds.length()));
+    EXPECT_TRUE(cc::is_representable(r->enc, base, inside));
+  }
+}
+
+TEST(Concentrate, FarOutOfBoundsCursorIsUnrepresentable) {
+  // A large region uses a large granule; jumping far outside the
+  // representable window must be flagged.
+  const std::uint64_t base = 1ull << 32;
+  const std::uint64_t len = 1ull << 28;
+  const auto r = cc::encode(base, cc::U128{base} + len);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(cc::is_representable(r->enc, base, base + (1ull << 45)));
+}
+
+TEST(Concentrate, ZeroLengthAtEveryAlignment) {
+  for (std::uint64_t base = 0; base < 64; ++base) {
+    const auto r = cc::encode(base, base);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->exact);
+    EXPECT_EQ(r->bounds.length(), 0u);
+  }
+}
+
+TEST(Concentrate, RejectsInvertedAndOversizedRequests) {
+  EXPECT_FALSE(cc::encode(100, 50).has_value());
+  EXPECT_FALSE(cc::encode(1, cc::kAddressSpaceTop + 1).has_value());
+}
+
+// Parameterized sweep: every exponent band encodes and round-trips.
+class ConcentrateBand : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConcentrateBand, BandRoundTrip) {
+  const unsigned e = GetParam();
+  std::mt19937_64 rng(e * 1234567u + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t len = (1ull << e) + (rng() % (1ull << e));
+    const std::uint64_t base = rng() % (1ull << 50);
+    const auto r = cc::encode(base, cc::U128{base} + len);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_LE(r->bounds.base, base);
+    EXPECT_GE(r->bounds.top, cc::U128{base} + len);
+    // Decode from several cursors inside: bounds identical.
+    const cc::Bounds ref = cc::decode(base, r->enc);
+    EXPECT_EQ(ref, r->bounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExponentBands, ConcentrateBand,
+                         ::testing::Values(12u, 13u, 14u, 16u, 20u, 24u, 28u,
+                                           32u, 36u, 40u, 44u, 48u));

@@ -1,0 +1,280 @@
+// Protocol plumbing: checksums, header parse/serialize round-trips, TCP
+// options, fragmentation planning/reassembly, ARP cache.
+#include <gtest/gtest.h>
+
+#include "fstack/arp.hpp"
+#include "fstack/checksum.hpp"
+#include "fstack/headers.hpp"
+#include "fstack/ipv4.hpp"
+#include "fstack/sockbuf.hpp"
+#include "machine/address_space.hpp"
+#include "machine/heap.hpp"
+
+using namespace cherinet;
+using namespace cherinet::fstack;
+
+TEST(Checksum, Rfc1071ReferenceVector) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::uint8_t raw[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(checksum(std::as_bytes(std::span{raw})), 0x220Du);
+}
+
+TEST(Checksum, OddLengthAndVerification) {
+  const std::uint8_t raw[] = {0x45, 0x00, 0x00};
+  const std::uint16_t ck = checksum(std::as_bytes(std::span{raw}));
+  // Folding the checksum back in verifies to zero.
+  std::uint32_t sum = checksum_partial(std::as_bytes(std::span{raw}));
+  sum += ck;
+  EXPECT_EQ(checksum_finish(sum), 0u);
+}
+
+TEST(Headers, EtherRoundTrip) {
+  EtherHeader h;
+  h.dst = nic::MacAddr::local(9);
+  h.src = nic::MacAddr::local(7);
+  h.ethertype = kEtherTypeIpv4;
+  std::byte buf[EtherHeader::kSize];
+  h.serialize(buf);
+  const auto p = EtherHeader::parse(buf);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->dst, h.dst);
+  EXPECT_EQ(p->src, h.src);
+  EXPECT_EQ(p->ethertype, kEtherTypeIpv4);
+  EXPECT_FALSE(EtherHeader::parse(std::span<const std::byte>{buf, 13}));
+}
+
+TEST(Headers, ArpRoundTrip) {
+  ArpHeader a;
+  a.oper = ArpHeader::kOpRequest;
+  a.sha = nic::MacAddr::local(1);
+  a.spa = Ipv4Addr::of(10, 0, 0, 1);
+  a.tha = nic::MacAddr{};
+  a.tpa = Ipv4Addr::of(10, 0, 0, 2);
+  std::byte buf[ArpHeader::kSize];
+  a.serialize(buf);
+  const auto p = ArpHeader::parse(buf);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->oper, ArpHeader::kOpRequest);
+  EXPECT_EQ(p->spa, a.spa);
+  EXPECT_EQ(p->tpa, a.tpa);
+  EXPECT_EQ(p->sha, a.sha);
+}
+
+TEST(Headers, Ipv4ChecksumValidation) {
+  Ipv4Header h;
+  h.total_len = 40;
+  h.id = 7;
+  h.proto = kIpProtoTcp;
+  h.src = Ipv4Addr::of(10, 0, 0, 1);
+  h.dst = Ipv4Addr::of(10, 0, 0, 2);
+  std::byte buf[Ipv4Header::kSize];
+  h.serialize(buf);
+  auto p = Ipv4Header::parse(buf);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->src, h.src);
+  EXPECT_EQ(p->total_len, 40);
+  // Flip a bit: checksum must now fail.
+  buf[8] ^= std::byte{0x01};
+  EXPECT_FALSE(Ipv4Header::parse(buf));
+}
+
+TEST(Headers, Ipv4FragmentFields) {
+  Ipv4Header h;
+  h.flags_frag = Ipv4Header::kFlagMF | (1480 / 8);
+  EXPECT_TRUE(h.more_fragments());
+  EXPECT_EQ(h.frag_offset_bytes(), 1480);
+}
+
+TEST(Headers, TcpHeaderRoundTrip) {
+  TcpHeader t;
+  t.src_port = 49152;
+  t.dst_port = 5201;
+  t.seq = 0xDEADBEEF;
+  t.ack = 0x12345678;
+  t.flags = tcpflag::kAck | tcpflag::kPsh;
+  t.window = 0x7FFF;
+  std::byte buf[TcpHeader::kSize];
+  t.serialize(buf);
+  const auto p = TcpHeader::parse(buf);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->seq, t.seq);
+  EXPECT_EQ(p->ack, t.ack);
+  EXPECT_TRUE(p->has(tcpflag::kAck));
+  EXPECT_TRUE(p->has(tcpflag::kPsh));
+  EXPECT_FALSE(p->has(tcpflag::kSyn));
+  EXPECT_EQ(p->window, 0x7FFF);
+}
+
+TEST(Headers, TcpOptionsSynRoundTrip) {
+  TcpOptions o;
+  o.mss = 1448;
+  o.wscale = 7;
+  o.timestamps = {1000u, 2000u};
+  EXPECT_EQ(o.encoded_size() % 4, 0u);
+  std::byte buf[44];
+  const std::size_t n = o.serialize(buf);
+  EXPECT_EQ(n, o.encoded_size());
+  const auto p = TcpOptions::parse(std::span<const std::byte>{buf, n});
+  ASSERT_TRUE(p.mss);
+  EXPECT_EQ(*p.mss, 1448);
+  ASSERT_TRUE(p.wscale);
+  EXPECT_EQ(*p.wscale, 7);
+  ASSERT_TRUE(p.timestamps);
+  EXPECT_EQ(p.timestamps->first, 1000u);
+  EXPECT_EQ(p.timestamps->second, 2000u);
+}
+
+TEST(Headers, TcpOptionsTolerateUnknownAndTruncated) {
+  // kind=99 len=4, then MSS.
+  const std::uint8_t raw[] = {99, 4, 0, 0, 2, 4, 0x05, 0xA8};
+  const auto p = TcpOptions::parse(std::as_bytes(std::span{raw}));
+  ASSERT_TRUE(p.mss);
+  EXPECT_EQ(*p.mss, 1448);
+  // Truncated option list parses what it can without reading past the end.
+  const std::uint8_t trunc[] = {2, 4, 0x05};
+  const auto q = TcpOptions::parse(std::as_bytes(std::span{trunc}));
+  EXPECT_FALSE(q.mss);
+}
+
+TEST(Fragmentation, PlanCoversPayloadWithAlignedOffsets) {
+  const auto plan = plan_fragments(3000, 1500, Ipv4Header::kSize);
+  ASSERT_EQ(plan.size(), 3u);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].payload_off % 8, 0u);
+    EXPECT_EQ(plan[i].more_fragments, i + 1 < plan.size());
+    EXPECT_EQ(plan[i].payload_off, covered);
+    covered += plan[i].payload_len;
+  }
+  EXPECT_EQ(covered, 3000u);
+  // Small payload: single fragment, MF clear.
+  const auto single = plan_fragments(100, 1500, Ipv4Header::kSize);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_FALSE(single[0].more_fragments);
+}
+
+TEST(Fragmentation, ReassemblyInOrderAndOutOfOrder) {
+  FragReassembler r;
+  std::vector<std::byte> payload(2000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  const auto plan = plan_fragments(payload.size(), 1500, Ipv4Header::kSize);
+  ASSERT_EQ(plan.size(), 2u);
+
+  const auto mk = [&](const FragmentPlan& f) {
+    Ipv4Header h;
+    h.id = 42;
+    h.proto = kIpProtoUdp;
+    h.src = Ipv4Addr::of(1, 1, 1, 1);
+    h.dst = Ipv4Addr::of(2, 2, 2, 2);
+    h.flags_frag = static_cast<std::uint16_t>(f.payload_off / 8);
+    if (f.more_fragments) h.flags_frag |= Ipv4Header::kFlagMF;
+    return h;
+  };
+  // Out of order: second fragment first.
+  auto r1 = r.input(mk(plan[1]),
+                    std::span{payload}.subspan(plan[1].payload_off),
+                    sim::Ns{0});
+  EXPECT_FALSE(r1.has_value());
+  auto r2 = r.input(mk(plan[0]),
+                    std::span{payload}.subspan(0, plan[0].payload_len),
+                    sim::Ns{0});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, payload);
+  EXPECT_EQ(r.stats().reassembled, 1u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Fragmentation, StalePartialsExpire) {
+  FragReassembler::Config cfg;
+  cfg.timeout = sim::Ns{1000};
+  FragReassembler r(cfg);
+  Ipv4Header h;
+  h.id = 1;
+  h.flags_frag = Ipv4Header::kFlagMF;
+  std::byte data[8]{};
+  EXPECT_FALSE(r.input(h, data, sim::Ns{0}).has_value());
+  EXPECT_EQ(r.pending(), 1u);
+  r.expire(sim::Ns{2000});
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_EQ(r.stats().expired, 1u);
+}
+
+TEST(Arp, CacheLookupInsertExpiry) {
+  ArpCache::Config cfg;
+  cfg.entry_ttl = sim::Ns{1000};
+  ArpCache arp(cfg);
+  const auto ip = Ipv4Addr::of(10, 0, 0, 2);
+  EXPECT_FALSE(arp.lookup(ip, sim::Ns{0}));
+  arp.insert(ip, nic::MacAddr::local(5), sim::Ns{0});
+  ASSERT_TRUE(arp.lookup(ip, sim::Ns{500}));
+  EXPECT_EQ(arp.lookup(ip, sim::Ns{500})->bytes[5], 5);
+  EXPECT_FALSE(arp.lookup(ip, sim::Ns{1500}));  // expired
+}
+
+TEST(Arp, PendingQueueIsBoundedAndFlushable) {
+  ArpCache arp;
+  const auto ip = Ipv4Addr::of(10, 0, 0, 9);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const bool ok = arp.queue_pending(ip, std::vector<std::byte>(64));
+    EXPECT_EQ(ok, i < 16);  // default cap 16 per hop
+  }
+  EXPECT_EQ(arp.pending_packets(), 16u);
+  EXPECT_EQ(arp.take_pending(ip).size(), 16u);
+  EXPECT_EQ(arp.pending_packets(), 0u);
+}
+
+TEST(Arp, RequestRateLimiting) {
+  ArpCache arp;
+  const auto ip = Ipv4Addr::of(10, 0, 0, 9);
+  EXPECT_TRUE(arp.should_request(ip, sim::Ns{0}));
+  EXPECT_FALSE(arp.should_request(ip, sim::Ns{50'000'000}));
+  EXPECT_TRUE(arp.should_request(ip, sim::Ns{200'000'000}));
+}
+
+TEST(SockBuf, RingSemanticsWithCapabilities) {
+  machine::AddressSpace as(1 << 20);
+  machine::CompartmentHeap heap(
+      &as.mem(), as.carve(64 << 10, cheri::PermSet::data_rw(), "h"));
+  SockBuf sb(heap.alloc_view(64));
+  EXPECT_EQ(sb.capacity(), 64u);
+
+  std::uint8_t data[100];
+  for (int i = 0; i < 100; ++i) data[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(sb.write_bytes(std::as_bytes(std::span{data})), 64u);  // clipped
+  EXPECT_EQ(sb.free(), 0u);
+
+  std::byte peeked[10];
+  sb.peek(5, peeked);
+  EXPECT_EQ(static_cast<std::uint8_t>(peeked[0]), 5);
+
+  sb.consume(30);
+  EXPECT_EQ(sb.used(), 34u);
+  // Wrap-around write.
+  EXPECT_EQ(sb.write_bytes(std::as_bytes(std::span{data, 20})), 20u);
+  std::byte tail[54];
+  sb.peek(0, tail);
+  EXPECT_EQ(static_cast<std::uint8_t>(tail[0]), 30);
+  EXPECT_EQ(static_cast<std::uint8_t>(tail[34]), 0);
+  EXPECT_THROW(sb.consume(100), std::out_of_range);
+  EXPECT_THROW(sb.peek(50, tail), std::out_of_range);
+}
+
+TEST(SockBuf, CapabilityCopyInOut) {
+  machine::AddressSpace as(1 << 20);
+  machine::CompartmentHeap heap(
+      &as.mem(), as.carve(64 << 10, cheri::PermSet::data_rw(), "h"));
+  SockBuf sb(heap.alloc_view(4096));
+  auto src = heap.alloc_view(128);
+  auto dst = heap.alloc_view(128);
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    src.store<std::uint8_t>(i, static_cast<std::uint8_t>(i ^ 0x5A));
+  }
+  EXPECT_EQ(sb.write_from(src, 0, 128), 128u);
+  EXPECT_EQ(sb.read_into(dst, 0, 128), 128u);
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(dst.load<std::uint8_t>(i), static_cast<std::uint8_t>(i ^ 0x5A));
+  }
+  EXPECT_TRUE(sb.empty());
+}

@@ -1,0 +1,212 @@
+// Scenario-level integration: the threaded testbed, all five Table II
+// configurations at reduced volume, the ff_write latency probes, the
+// cross-compartment proxy, and compartment-escape containment (Fig. 3).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "scenarios/experiment.hpp"
+#include "scenarios/scenario2.hpp"
+#include "stats/stats.hpp"
+
+using namespace cherinet;
+using namespace cherinet::scen;
+
+namespace {
+TestbedOptions fast_options() {
+  TestbedOptions opt;
+  opt.cost = sim::CostModel::disabled();  // keep CI runtime small
+  return opt;
+}
+constexpr std::uint64_t kSmall = 3 * 1024 * 1024;  // per-stream bytes
+}  // namespace
+
+TEST(Bandwidth, Baseline1ProcReachesSinglePortCeiling) {
+  const auto r = run_bandwidth(ScenarioKind::kBaseline1Proc,
+                               Direction::kMorelloReceives, kSmall,
+                               fast_options());
+  ASSERT_EQ(r.endpoints.size(), 1u);
+  EXPECT_EQ(r.endpoints[0].bytes, kSmall);
+  EXPECT_GT(r.endpoints[0].mbps, 850.0);
+  EXPECT_LE(r.endpoints[0].mbps, 945.0);
+}
+
+TEST(Bandwidth, Scenario1DualPortHitsPciBusLimit) {
+  const auto r = run_bandwidth(ScenarioKind::kScenario1,
+                               Direction::kMorelloReceives, kSmall,
+                               fast_options());
+  ASSERT_EQ(r.endpoints.size(), 2u);
+  for (const auto& e : r.endpoints) {
+    EXPECT_EQ(e.bytes, kSmall);
+    // Paper: 658 Mbit/s per port. Accept a modest band around it.
+    EXPECT_GT(e.mbps, 550.0) << e.label;
+    EXPECT_LT(e.mbps, 750.0) << e.label;
+  }
+}
+
+TEST(Bandwidth, Scenario1MatchesBaselineWithinNoise) {
+  const auto b = run_bandwidth(ScenarioKind::kBaseline2Proc,
+                               Direction::kMorelloSends, kSmall,
+                               fast_options());
+  const auto s = run_bandwidth(ScenarioKind::kScenario1,
+                               Direction::kMorelloSends, kSmall,
+                               fast_options());
+  ASSERT_EQ(b.endpoints.size(), 2u);
+  ASSERT_EQ(s.endpoints.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(s.endpoints[i].mbps, b.endpoints[i].mbps,
+                0.1 * b.endpoints[i].mbps);
+  }
+}
+
+TEST(Bandwidth, Scenario2UncontendedFullRate) {
+  const auto r = run_bandwidth(ScenarioKind::kScenario2Uncontended,
+                               Direction::kMorelloReceives, kSmall,
+                               fast_options());
+  ASSERT_EQ(r.endpoints.size(), 1u);
+  EXPECT_EQ(r.endpoints[0].bytes, kSmall);
+  EXPECT_GT(r.endpoints[0].mbps, 800.0);
+}
+
+TEST(Bandwidth, Scenario2ContendedSplitsButSumsToLink) {
+  const auto r = run_bandwidth(ScenarioKind::kScenario2Contended,
+                               Direction::kMorelloReceives, kSmall,
+                               fast_options());
+  ASSERT_EQ(r.endpoints.size(), 2u);
+  double total = 0;
+  for (const auto& e : r.endpoints) {
+    EXPECT_EQ(e.bytes, kSmall);
+    total += e.mbps;
+  }
+  // Streams complete sequentially-ish in virtual time; the *aggregate*
+  // stays at the port ceiling (the paper's key observation).
+  EXPECT_GT(total, 700.0);
+}
+
+TEST(Latency, Scenario1AddsTrampolineCostOverBaseline) {
+  TestbedOptions opt;  // morello cost model ON: the deltas are the point
+  opt.inline_tcp_output = false;
+  const auto base = run_ffwrite_latency(ScenarioKind::kBaseline2Proc, 12000,
+                                        1448, opt);
+  const auto s1 = run_ffwrite_latency(ScenarioKind::kScenario1, 12000, 1448,
+                                      opt);
+  ASSERT_EQ(base.series.size(), 2u);
+  ASSERT_EQ(s1.series.size(), 2u);
+  const auto m = [](const LatencySeries& s) {
+    return stats::summarize(stats::iqr_filter(s.samples_ns)).median;
+  };
+  // Medians at this sample count carry ~±100 ns of host noise; average the
+  // two endpoints and assert the ordering plus a generous upper bound. The
+  // magnitude (~+175 ns vs the paper's ~+125 ns) is demonstrated by
+  // bench/fig4_ffwrite_scenario1 at 200k+ samples.
+  const double base_med = (m(base.series[0]) + m(base.series[1])) / 2.0;
+  const double s1_med = (m(s1.series[0]) + m(s1.series[1])) / 2.0;
+  EXPECT_GT(s1_med, base_med) << "trampoline delta missing";
+  EXPECT_LT(s1_med, base_med + 1500.0)
+      << "trampoline delta implausibly large";
+}
+
+TEST(Latency, Scenario2ContentionDwarfsUncontended) {
+  TestbedOptions opt;
+  opt.inline_tcp_output = false;
+  const auto unc = run_ffwrite_latency(ScenarioKind::kScenario2Uncontended,
+                                       2000, 1448, opt);
+  const auto con = run_ffwrite_latency(ScenarioKind::kScenario2Contended,
+                                       2000, 1448, opt);
+  ASSERT_EQ(unc.series.size(), 1u);
+  ASSERT_EQ(con.series.size(), 2u);
+  const auto mean = [](const LatencySeries& s) {
+    return stats::summarize(stats::iqr_filter(s.samples_ns)).mean;
+  };
+  const double u = mean(unc.series[0]);
+  const double c = std::max(mean(con.series[0]), mean(con.series[1]));
+  EXPECT_GT(c, 5.0 * u) << "mutex contention should dominate (paper: ~152x)";
+}
+
+TEST(Scenario2Proxy, OpsWorkAcrossCompartments) {
+  MorelloTestbed tb(fast_options());
+  auto& iv = tb.intravisor();
+  tb.arbiter().expect_participants(3);
+  auto& peer = tb.make_peer(0);
+  peer.serve_iperf(5201, 1);
+  peer.start();
+
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 64u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), tb.clock(),
+                         tb.morello_cfg(0));
+  Scenario2Service svc(iv, cvm1, inst);
+  std::atomic<bool> stop{false};
+  cvm1.start([&] { svc.run_loop(stop, tb.arbiter()); });
+
+  iv::CVM& app = iv.create_cvm("cVM2", 8u << 20);
+  auto ops = svc.make_proxy_ops(app);
+  std::atomic<bool> ok{false};
+  app.start([&] {
+    auto buf = app.alloc(2048);
+    const int fd = ops->socket_stream();
+    EXPECT_GE(fd, 3);
+    ops->connect(fd, MorelloTestbed::peer_ip(0), 5201);
+    sim::Participant part(tb.arbiter(), "app-probe");
+    std::uint64_t sent = 0;
+    while (sent < 64 * 1024) {
+      const auto token = part.prepare();
+      const auto r = ops->write(fd, buf, 1448);
+      if (r > 0) {
+        sent += static_cast<std::uint64_t>(r);
+      } else {
+        part.wait(token, tb.clock().now() + sim::Ns{1'000'000});
+      }
+    }
+    ops->close(fd);
+    ok = true;
+  });
+  app.join();
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(app.faulted());
+  EXPECT_GT(svc.proxied_calls(), 40u);
+  EXPECT_GT(iv.entries().crossings(), 40u);
+
+  // Let the FIN exchange drain before tearing the service down.
+  for (int i = 0; i < 5000 && !peer.workload_finished(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop = true;
+  tb.arbiter().kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+  // The bytes actually arrived at the peer (46 writes of 1448 bytes: the
+  // probe loop overshoots the 64 KiB target by a partial chunk).
+  EXPECT_TRUE(peer.workload_finished());
+  EXPECT_EQ(peer.server()->report().bytes, 46u * 1448u);
+}
+
+TEST(Containment, AppCvmEscapeAttemptIsContainedFig3) {
+  MorelloTestbed tb(fast_options());
+  auto& iv = tb.intravisor();
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 32u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), tb.clock(),
+                         tb.morello_cfg(0));
+  iv::CVM& attacker = iv.create_cvm("cVM2", 4u << 20);
+
+  // The stack's socket-buffer memory lives in cVM1's heap; the attacker
+  // tries to read it with an address it guessed.
+  const std::uint64_t secret_addr = cvm1.context().ddc.base() + 4096;
+  attacker.start([&] {
+    (void)iv.address_space().mem().load_scalar<std::uint64_t>(
+        attacker.context().ddc, secret_addr);
+  });
+  attacker.join();
+  EXPECT_TRUE(attacker.faulted());
+  ASSERT_GE(iv.fault_log().size(), 1u);
+  EXPECT_EQ(iv.fault_log()[0].cvm_name, "cVM2");
+  const std::string console = iv.host().console_log().back();
+  EXPECT_NE(console.find("CAP out-of-bounds"), std::string::npos);
+  // cVM1's stack remains functional: its loop still runs.
+  EXPECT_NO_THROW(inst.run_once());
+}
+
+TEST(ScenarioNames, Printable) {
+  EXPECT_STREQ(to_string(ScenarioKind::kScenario1), "Scenario 1");
+  EXPECT_STREQ(to_string(Direction::kMorelloReceives), "Server");
+}

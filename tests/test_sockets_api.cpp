@@ -1,0 +1,203 @@
+// The ff_* API surface: sockets, bind/listen/accept, epoll readiness,
+// UDP datagrams, error paths, capability-qualified buffer enforcement.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "fstack/api.hpp"
+
+using namespace cherinet;
+using namespace cherinet::fstack;
+using cherinet::test::TwoStacks;
+
+TEST(FfApi, SocketCreationAndFdSpace) {
+  TwoStacks ts;
+  const int s1 = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  const int s2 = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  EXPECT_GE(s1, 3);  // F-Stack fds start above stdio
+  EXPECT_EQ(s2, s1 + 1);
+  EXPECT_EQ(ff_socket(ts.a(), 99, kSockStream, 0), -EAFNOSUPPORT);
+  EXPECT_EQ(ff_socket(ts.a(), kAfInet, 77, 0), -EPROTONOSUPPORT);
+  EXPECT_EQ(ff_close(ts.a(), s1), 0);
+  // fd slot is reused.
+  EXPECT_EQ(ff_socket(ts.a(), kAfInet, kSockStream, 0), s1);
+}
+
+TEST(FfApi, BindValidation) {
+  TwoStacks ts;
+  const int fd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  EXPECT_EQ(ff_bind(ts.a(), fd, {Ipv4Addr{}, 5000}), 0);
+  EXPECT_EQ(ff_bind(ts.a(), fd, {Ipv4Addr{}, 5001}), -EINVAL);  // rebind
+  EXPECT_EQ(ff_bind(ts.a(), 999, {Ipv4Addr{}, 1}), -EBADF);
+  const int udp1 = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int udp2 = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  EXPECT_EQ(ff_bind(ts.a(), udp1, {Ipv4Addr{}, 6000}), 0);
+  EXPECT_EQ(ff_bind(ts.a(), udp2, {Ipv4Addr{}, 6000}), -EADDRINUSE);
+}
+
+TEST(FfApi, ListenAcceptErrors) {
+  TwoStacks ts;
+  const int fd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  EXPECT_EQ(ff_listen(ts.a(), fd, 4), -EINVAL);  // not bound
+  EXPECT_EQ(ff_bind(ts.a(), fd, {Ipv4Addr{}, 5000}), 0);
+  EXPECT_EQ(ff_listen(ts.a(), fd, 4), 0);
+  EXPECT_EQ(ff_accept(ts.a(), fd, nullptr), -EAGAIN);  // nothing queued
+  const int fd2 = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  EXPECT_EQ(ff_bind(ts.a(), fd2, {Ipv4Addr{}, 5000}), 0);
+  EXPECT_EQ(ff_listen(ts.a(), fd2, 4), -EADDRINUSE);
+}
+
+TEST(FfApi, AcceptReturnsPeerAddress) {
+  TwoStacks ts;
+  const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_bind(ts.b(), lfd, {Ipv4Addr{}, 5201});
+  ff_listen(ts.b(), lfd, 4);
+  const int cfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_connect(ts.a(), cfd, {ts.ip_b(), 5201});
+  FfSockAddrIn peer{};
+  int bfd = -1;
+  ts.pump_until([&] {
+    bfd = ff_accept(ts.b(), lfd, &peer);
+    return bfd >= 0;
+  });
+  EXPECT_EQ(peer.ip, ts.ip_a());
+  EXPECT_GE(peer.port, 49152);
+}
+
+TEST(FfApi, EpollLifecycleAndReadiness) {
+  TwoStacks ts;
+  const int ep = ff_epoll_create(ts.b());
+  const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_bind(ts.b(), lfd, {Ipv4Addr{}, 5201});
+  ff_listen(ts.b(), lfd, 4);
+  EXPECT_EQ(ff_epoll_ctl(ts.b(), ep, EpollOp::kAdd, lfd, kEpollIn,
+                         static_cast<std::uint64_t>(lfd)),
+            0);
+  EXPECT_EQ(ff_epoll_ctl(ts.b(), ep, EpollOp::kAdd, lfd, kEpollIn, 0),
+            -EEXIST);
+
+  FfEpollEvent evs[4];
+  EXPECT_EQ(ff_epoll_wait(ts.b(), ep, evs), 0);  // not ready yet
+
+  const int cfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_connect(ts.a(), cfd, {ts.ip_b(), 5201});
+  ts.pump_until([&] { return ff_epoll_wait(ts.b(), ep, evs) == 1; });
+  EXPECT_EQ(evs[0].data, static_cast<std::uint64_t>(lfd));
+  EXPECT_TRUE(evs[0].events & kEpollIn);
+
+  const int bfd = ff_accept(ts.b(), lfd, nullptr);
+  ASSERT_GE(bfd, 0);
+  EXPECT_EQ(ff_epoll_ctl(ts.b(), ep, EpollOp::kMod, lfd, 0, 0), 0);
+  EXPECT_EQ(ff_epoll_ctl(ts.b(), ep, EpollOp::kAdd, bfd,
+                         kEpollIn | kEpollOut, 42),
+            0);
+  ts.pump_until([&] { return ff_epoll_wait(ts.b(), ep, evs) >= 1; });
+  EXPECT_EQ(evs[0].data, 42u);
+  EXPECT_TRUE(evs[0].events & kEpollOut);  // writable once established
+  EXPECT_EQ(ff_epoll_ctl(ts.b(), ep, EpollOp::kDel, bfd, 0, 0), 0);
+  EXPECT_EQ(ff_epoll_ctl(ts.b(), ep, EpollOp::kDel, bfd, 0, 0), -ENOENT);
+}
+
+TEST(FfApi, UdpSendtoRecvfromRoundTrip) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int sb = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), sb, {Ipv4Addr{}, 7000}), 0);
+
+  auto buf = ts.heap_a().alloc_view(256);
+  const char msg[] = "telemetry burst";
+  buf.write(0, std::as_bytes(std::span{msg, sizeof msg}));
+  EXPECT_EQ(ff_sendto(ts.a(), sa, buf, sizeof msg, {ts.ip_b(), 7000}),
+            static_cast<std::int64_t>(sizeof msg));
+
+  auto rx = ts.heap_b().alloc_view(256);
+  FfSockAddrIn from{};
+  std::int64_t r = -1;
+  ts.pump_until([&] {
+    r = ff_recvfrom(ts.b(), sb, rx, 256, &from);
+    return r >= 0;
+  });
+  ASSERT_EQ(r, static_cast<std::int64_t>(sizeof msg));
+  char got[sizeof msg];
+  rx.read(0, std::as_writable_bytes(std::span{got}));
+  EXPECT_STREQ(got, msg);
+  EXPECT_EQ(from.ip, ts.ip_a());
+}
+
+TEST(FfApi, UdpLargeDatagramFragmentsAndReassembles) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int sb = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), sb, {Ipv4Addr{}, 7000}), 0);
+  constexpr std::size_t kLen = 4000;  // > MTU: 3 fragments
+  auto buf = ts.heap_a().alloc_view(kLen);
+  for (std::size_t i = 0; i < kLen; i += 8) {
+    buf.store<std::uint64_t>(i, i);
+  }
+  EXPECT_EQ(ff_sendto(ts.a(), sa, buf, kLen, {ts.ip_b(), 7000}),
+            static_cast<std::int64_t>(kLen));
+  auto rx = ts.heap_b().alloc_view(kLen);
+  std::int64_t r = -1;
+  ts.pump_until([&] {
+    r = ff_recvfrom(ts.b(), sb, rx, kLen, nullptr);
+    return r >= 0;
+  });
+  ASSERT_EQ(r, static_cast<std::int64_t>(kLen));
+  for (std::size_t i = 0; i < kLen; i += 8) {
+    ASSERT_EQ(rx.load<std::uint64_t>(i), i);
+  }
+}
+
+TEST(FfApi, UdpOversizeRejected) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  auto buf = ts.heap_a().alloc_view(256);
+  EXPECT_EQ(ff_sendto(ts.a(), sa, buf, 70000, {ts.ip_b(), 7000}), -EMSGSIZE);
+}
+
+TEST(FfApi, WriteValidatesCapabilityNotJustLength) {
+  TwoStacks ts;
+  const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_bind(ts.b(), lfd, {Ipv4Addr{}, 5201});
+  ff_listen(ts.b(), lfd, 4);
+  const int cfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_connect(ts.a(), cfd, {ts.ip_b(), 5201});
+  ts.pump_until([&] { return ff_accept(ts.b(), lfd, nullptr) >= 0; });
+
+  // A 64-byte capability with a 4096-byte claimed length: the capability
+  // check catches the CVE-style unchecked-length pattern at the copy.
+  auto small = ts.heap_a().alloc_view(64);
+  ts.pump_until([&] { return ff_write(ts.a(), cfd, small, 64) == 64; });
+  EXPECT_THROW((void)ff_write(ts.a(), cfd, small, 4096), cheri::CapFault);
+}
+
+TEST(FfApi, ReadWriteOnWrongFdKinds) {
+  TwoStacks ts;
+  const int udp = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  auto buf = ts.heap_a().alloc_view(64);
+  EXPECT_EQ(ff_write(ts.a(), udp, buf, 8), -EBADF);
+  EXPECT_EQ(ff_read(ts.a(), udp, buf, 8), -EBADF);
+  const int ep = ff_epoll_create(ts.a());
+  EXPECT_EQ(ff_write(ts.a(), ep, buf, 8), -EBADF);
+  EXPECT_EQ(ff_epoll_wait(ts.a(), udp, {}), -EBADF);
+}
+
+TEST(FfApi, CloseListenerAbortsQueuedChildren) {
+  TwoStacks ts;
+  const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_bind(ts.b(), lfd, {Ipv4Addr{}, 5201});
+  ff_listen(ts.b(), lfd, 4);
+  const int cfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_connect(ts.a(), cfd, {ts.ip_b(), 5201});
+  auto buf = ts.heap_a().alloc_view(16);
+  ts.pump_until([&] { return ff_write(ts.a(), cfd, buf, 1) == 1; });
+  // Never accepted: closing the listener aborts the pending child.
+  EXPECT_EQ(ff_close(ts.b(), lfd), 0);
+  std::int64_t r = 0;
+  ts.pump_until(
+      [&] {
+        r = ff_write(ts.a(), cfd, buf, 16);
+        return r < 0 && r != -EAGAIN;
+      },
+      2'000'000);
+  EXPECT_TRUE(r == -ECONNRESET || r == -ETIMEDOUT) << r;
+}

@@ -1,0 +1,110 @@
+// Tagged memory: checked data access, capability load/store with tags,
+// tag-clearing on data overwrite (unforgeability), atomic word ops.
+#include <gtest/gtest.h>
+
+#include "cheri/tagged_memory.hpp"
+
+using namespace cherinet::cheri;
+
+namespace {
+struct Fixture : ::testing::Test {
+  TaggedMemory mem{1 << 20};
+  Capability root = CapabilityMinter::mint_root(0, 1 << 20, PermSet::all());
+};
+}  // namespace
+
+using TaggedMemoryTest = Fixture;
+
+TEST_F(TaggedMemoryTest, ScalarRoundTrip) {
+  mem.store_scalar<std::uint64_t>(root, 0x100, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(mem.load_scalar<std::uint64_t>(root, 0x100),
+            0xDEADBEEFCAFEBABEull);
+}
+
+TEST_F(TaggedMemoryTest, LoadOutsideBoundsFaults) {
+  const Capability c = root.with_bounds(0x1000, 64);
+  std::byte buf[16];
+  EXPECT_NO_THROW(mem.load(c, 0x1030, buf));
+  EXPECT_THROW(mem.load(c, 0x1031, buf), CapFault);   // crosses top
+  EXPECT_THROW(mem.load(c, 0x0FFF, buf), CapFault);   // below base
+}
+
+TEST_F(TaggedMemoryTest, StoreWithoutPermissionFaults) {
+  const Capability ro = root.with_perms(PermSet::data_ro());
+  std::byte buf[4] = {};
+  EXPECT_THROW(mem.store(ro, 0, buf), CapFault);
+}
+
+TEST_F(TaggedMemoryTest, CapabilityStoreLoadKeepsTag) {
+  const Capability value = root.with_bounds(0x2000, 0x100);
+  mem.store_cap(root, 0x400, value);
+  EXPECT_TRUE(mem.tag_at(0x400));
+  const Capability loaded = mem.load_cap(root, 0x400);
+  EXPECT_TRUE(loaded.tag());
+  EXPECT_EQ(loaded.base(), 0x2000u);
+  EXPECT_EQ(loaded.address(), value.address());
+}
+
+TEST_F(TaggedMemoryTest, DataOverwriteClearsTag) {
+  mem.store_cap(root, 0x400, root.with_bounds(0x2000, 0x100));
+  ASSERT_TRUE(mem.tag_at(0x400));
+  // Overwrite one byte anywhere in the granule: capability forged no more.
+  mem.store_scalar<std::uint8_t>(root, 0x407, 0xFF);
+  EXPECT_FALSE(mem.tag_at(0x400));
+  const Capability loaded = mem.load_cap(root, 0x400);
+  EXPECT_FALSE(loaded.tag());
+  EXPECT_THROW(loaded.check(Access::kLoad, 0x2000, 1), CapFault);
+}
+
+TEST_F(TaggedMemoryTest, ForgedBytesNeverCarryATag) {
+  // Write 16 bytes that *look* like a capability; the tag stays clear.
+  std::byte fake[16];
+  for (auto& b : fake) b = std::byte{0x41};
+  mem.store(root, 0x500, fake);
+  EXPECT_FALSE(mem.tag_at(0x500));
+  EXPECT_FALSE(mem.load_cap(root, 0x500).tag());
+}
+
+TEST_F(TaggedMemoryTest, UnalignedCapabilityAccessFaults) {
+  EXPECT_THROW((void)mem.load_cap(root, 0x401), CapFault);
+  EXPECT_THROW(mem.store_cap(root, 0x408, root), CapFault);
+}
+
+TEST_F(TaggedMemoryTest, CapLoadNeedsLoadCapPermission) {
+  mem.store_cap(root, 0x400, root.with_bounds(0, 16));
+  const Capability data_only =
+      root.with_perms(PermSet{Perm::kLoad} | Perm::kStore);
+  EXPECT_THROW((void)mem.load_cap(data_only, 0x400), CapFault);
+  EXPECT_THROW(mem.store_cap(data_only, 0x410, root), CapFault);
+}
+
+TEST_F(TaggedMemoryTest, StoreLocalCapRequiresPermission) {
+  const Capability local_value =
+      root.with_bounds(0, 64).with_perms(PermSet::data_rw().without(
+          Perm::kGlobal));
+  const Capability auth_no_local =
+      root.with_perms(PermSet::data_rw().without(Perm::kStoreLocalCap));
+  EXPECT_THROW(mem.store_cap(auth_no_local, 0x600, local_value), CapFault);
+  EXPECT_NO_THROW(mem.store_cap(root, 0x600, local_value));
+}
+
+TEST_F(TaggedMemoryTest, AtomicCasAndExchange) {
+  const Capability w = root.with_bounds(0x800, 16);
+  EXPECT_EQ(mem.atomic_cas_u32(w, 0x800, 0, 1), 0u);   // success, old 0
+  EXPECT_EQ(mem.atomic_cas_u32(w, 0x800, 0, 2), 1u);   // failure, old 1
+  EXPECT_EQ(mem.atomic_exchange_u32(w, 0x800, 7), 1u);
+  EXPECT_EQ(mem.atomic_load_u32(w, 0x800), 7u);
+}
+
+TEST_F(TaggedMemoryTest, AtomicOpsClearTags) {
+  mem.store_cap(root, 0x800, root.with_bounds(0, 16));
+  ASSERT_TRUE(mem.tag_at(0x800));
+  (void)mem.atomic_exchange_u32(root, 0x800, 1);
+  EXPECT_FALSE(mem.tag_at(0x800));
+}
+
+TEST_F(TaggedMemoryTest, SizeRoundsToGranule) {
+  TaggedMemory m(100);
+  EXPECT_EQ(m.size() % TaggedMemory::kGranule, 0u);
+  EXPECT_GE(m.size(), 100u);
+}

@@ -1,0 +1,196 @@
+// updk (DPDK analogue): lock-free rings under contention, mempool
+// accounting, mbuf headroom algebra, PMD rx/tx over the device model.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "machine/address_space.hpp"
+#include "nic/wire.hpp"
+#include "updk/eal.hpp"
+#include "updk/mempool.hpp"
+#include "updk/ring.hpp"
+
+using namespace cherinet;
+
+TEST(Ring, FifoSingleThread) {
+  updk::Ring<int> r(8);
+  EXPECT_TRUE(r.empty());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(r.enqueue(i));
+  EXPECT_FALSE(r.enqueue(99));  // full
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r.dequeue(), i);
+  EXPECT_FALSE(r.dequeue().has_value());
+}
+
+TEST(Ring, BurstSemantics) {
+  updk::Ring<int> r(16);
+  const int in[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(r.enqueue_burst(in), 10u);
+  int out[4];
+  EXPECT_EQ(r.dequeue_burst(out), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 3);
+  EXPECT_EQ(r.count(), 6u);
+}
+
+TEST(Ring, CapacityRoundsToPowerOfTwo) {
+  updk::Ring<int> r(5);
+  EXPECT_EQ(r.capacity(), 8u);
+}
+
+TEST(Ring, MpmcStressConservesItems) {
+  updk::Ring<std::uint64_t> r(1024);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 50000;
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&r, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v = (std::uint64_t{static_cast<unsigned>(p)} << 32) | i;
+        while (!r.enqueue(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&] {
+      while (consumed_count.load() < kProducers * kPerProducer) {
+        if (auto v = r.dequeue()) {
+          consumed_sum += *v & 0xFFFFFFFF;
+          consumed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  const std::uint64_t expect =
+      std::uint64_t{kProducers} * (std::uint64_t{kPerProducer} *
+                                   (kPerProducer - 1) / 2);
+  EXPECT_EQ(consumed_sum.load(), expect);
+}
+
+namespace {
+struct PoolFixture : ::testing::Test {
+  machine::AddressSpace as{32u << 20};
+  machine::CompartmentHeap heap{
+      &as.mem(), as.carve(16u << 20, cheri::PermSet::data_rw(), "pool")};
+};
+}  // namespace
+
+TEST_F(PoolFixture, MempoolAllocFreeCycle) {
+  updk::Mempool pool(&heap, 64, 2048);
+  EXPECT_EQ(pool.available(), 64u);
+  updk::Mbuf* m = pool.alloc();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->refcnt, 1);
+  EXPECT_EQ(pool.available(), 63u);
+  pool.free(m);
+  EXPECT_EQ(pool.available(), 64u);
+  EXPECT_THROW(pool.free(m), std::logic_error);  // double free detected
+}
+
+TEST_F(PoolFixture, ExhaustionReturnsNull) {
+  updk::Mempool pool(&heap, 4, 1024);
+  updk::Mbuf* ms[4];
+  for (auto& m : ms) ASSERT_NE(m = pool.alloc(), nullptr);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.stats().alloc_failures, 1u);
+  for (auto* m : ms) pool.free(m);
+}
+
+TEST_F(PoolFixture, MbufHeadroomAlgebra) {
+  updk::Mempool pool(&heap, 4, 2048);
+  updk::Mbuf* m = pool.alloc();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->headroom(), updk::kMbufHeadroom);
+  auto body = m->append(100);
+  body.store<std::uint8_t>(0, 0xAB);
+  EXPECT_EQ(m->data_len, 100u);
+  auto hdr = m->prepend(14);
+  hdr.store<std::uint8_t>(0, 0xCD);
+  EXPECT_EQ(m->data_len, 114u);
+  EXPECT_EQ(m->headroom(), updk::kMbufHeadroom - 14);
+  EXPECT_EQ(m->data().load<std::uint8_t>(0), 0xCD);
+  EXPECT_EQ(m->data().load<std::uint8_t>(14), 0xAB);
+  m->adj(14);
+  EXPECT_EQ(m->data_len, 100u);
+  m->trim(50);
+  EXPECT_EQ(m->data_len, 50u);
+  // Over-prepend (beyond the headroom) faults at the capability boundary.
+  EXPECT_THROW((void)m->prepend(updk::kMbufHeadroom + 1), cheri::CapFault);
+  pool.free(m);
+}
+
+TEST_F(PoolFixture, MbufDataIsCapabilityBounded) {
+  updk::Mempool pool(&heap, 2, 1024);
+  updk::Mbuf* m = pool.alloc();
+  auto v = m->append(64);
+  EXPECT_THROW(v.store<std::uint64_t>(60, 1), cheri::CapFault);
+  pool.free(m);
+}
+
+// -------- PMD over two connected device models (loopback at L2) ----------
+
+TEST_F(PoolFixture, PmdRoundTrip) {
+  sim::VirtualClock clock;
+  nic::Wire wire(&clock, nullptr, sim::Testbed::unconstrained());
+  nic::E82576Device devA(&as.mem(), &clock,
+                         {nic::MacAddr::local(1), nic::MacAddr::local(2)});
+  nic::E82576Device devB(&as.mem(), &clock,
+                         {nic::MacAddr::local(3), nic::MacAddr::local(4)});
+  devA.connect(0, &wire, 0);
+  devB.connect(0, &wire, 1);
+
+  machine::CompartmentHeap heapB(
+      &as.mem(), as.carve(8u << 20, cheri::PermSet::data_rw(), "B"));
+  auto a = updk::Eal::attach_port(devA, 0, heap, clock);
+  auto b = updk::Eal::attach_port(devB, 0, heapB, clock);
+
+  // Send 5 frames A -> B.
+  for (int i = 0; i < 5; ++i) {
+    updk::Mbuf* m = a.pool->alloc();
+    ASSERT_NE(m, nullptr);
+    auto v = m->append(200);
+    v.store<std::uint8_t>(0, static_cast<std::uint8_t>(0x40 + i));
+    updk::Mbuf* burst[1] = {m};
+    ASSERT_EQ(a.dev->tx_burst({burst, 1}), 1u);
+  }
+  clock.advance_to(sim::Ns{10'000'000});
+  updk::Mbuf* rx[8];
+  const std::size_t n = b.dev->rx_burst({rx, 8});
+  ASSERT_EQ(n, 5u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(rx[i]->data_len, 200u);
+    EXPECT_EQ(rx[i]->data().load<std::uint8_t>(0), 0x40 + i);
+    b.pool->free(rx[i]);
+  }
+  EXPECT_EQ(a.dev->stats().opackets, 5u);
+  EXPECT_EQ(b.dev->stats().ipackets, 5u);
+  EXPECT_TRUE(a.dev->link_up());
+  // Mempools fully recycled after the exchange.
+  EXPECT_EQ(b.pool->available(),
+            b.pool->size() - 512 /* staged in RX ring */);
+}
+
+TEST_F(PoolFixture, PmdTxRingFullBackpressure) {
+  sim::VirtualClock clock;
+  nic::Wire wire(&clock, nullptr, sim::Testbed::unconstrained());
+  nic::E82576Device devA(&as.mem(), &clock,
+                         {nic::MacAddr::local(1), nic::MacAddr::local(2)});
+  devA.connect(0, &wire, 0);
+  updk::EalConfig cfg;
+  cfg.eth.tx_ring_size = 4;
+  auto a = updk::Eal::attach_port(devA, 0, heap, clock, cfg);
+  // The device fetches frames immediately in this model, so the ring never
+  // stays full; what we verify is that burst accounting stays consistent.
+  std::vector<updk::Mbuf*> ms;
+  for (int i = 0; i < 8; ++i) {
+    updk::Mbuf* m = a.pool->alloc();
+    ASSERT_NE(m, nullptr);
+    m->append(64);
+    ms.push_back(m);
+  }
+  const std::size_t sent = a.dev->tx_burst(ms);
+  EXPECT_GT(sent, 0u);
+  for (std::size_t i = sent; i < ms.size(); ++i) a.pool->free(ms[i]);
+}
