@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,6 +40,53 @@ inline std::vector<stats::NamedSummary> reduce_latency(
 inline void print_latency(const std::vector<stats::NamedSummary>& rows) {
   std::printf("%s", stats::render_summary_table(rows).c_str());
   std::printf("\n%s\n", stats::render_box_plots(rows).c_str());
+}
+
+/// API v2 regression gate shared by fig4/fig5: run the crossing census over
+/// the same byte volume through the v1 per-call path and the batched path,
+/// print the table, and require >= 8x crossing amortization plus strictly
+/// lower modeled cost per MiB. Returns the process exit code (0 pass).
+inline int run_census_gate(scen::ScenarioKind kind,
+                           const scen::TestbedOptions& opt) {
+  // Volume floor keeps the gate meaningful: below ~one batch of MSS-sized
+  // chunks both paths degenerate to a single call.
+  const std::uint64_t census_bytes =
+      std::max<std::uint64_t>(env_u64("CHERINET_CENSUS_KB", 4096), 256) * 1024;
+  constexpr std::size_t kBatch = 32;
+  scen::TestbedOptions copt = opt;
+  copt.cost = sim::CostModel::disabled();  // counting, not timing
+  const auto v1 = run_ffwrite_crossing_census(kind, census_bytes, 1, copt);
+  const auto v2 = run_ffwrite_crossing_census(kind, census_bytes, kBatch,
+                                              copt);
+  std::printf("\ncrossing census (%llu KiB, batch=%zu):\n",
+              static_cast<unsigned long long>(census_bytes / 1024), kBatch);
+  std::printf("  v1 ff_write : %8llu calls  %8llu crossings  %10.0f ns/MiB\n",
+              static_cast<unsigned long long>(v1.api_calls),
+              static_cast<unsigned long long>(v1.crossings),
+              v1.modeled_ns_per_mib);
+  std::printf("  v2 ff_writev: %8llu calls  %8llu crossings  %10.0f ns/MiB\n",
+              static_cast<unsigned long long>(v2.api_calls),
+              static_cast<unsigned long long>(v2.crossings),
+              v2.modeled_ns_per_mib);
+  if (v2.crossings * 8 > v1.crossings) {
+    std::fprintf(stderr,
+                 "FAIL: batch path crossed %llu times, v1 %llu — expected "
+                 ">= 8x amortization\n",
+                 static_cast<unsigned long long>(v2.crossings),
+                 static_cast<unsigned long long>(v1.crossings));
+    return 1;
+  }
+  if (!(v2.crossings < v1.crossings) ||
+      !(v2.modeled_ns_per_mib < v1.modeled_ns_per_mib)) {
+    std::fprintf(stderr, "FAIL: batch path must be strictly cheaper per MiB\n");
+    return 1;
+  }
+  std::printf("  amortization: %.1fx fewer crossings, %.1fx lower modeled "
+              "cost/MiB\n",
+              static_cast<double>(v1.crossings) /
+                  static_cast<double>(v2.crossings),
+              v1.modeled_ns_per_mib / v2.modeled_ns_per_mib);
+  return 0;
 }
 
 }  // namespace cherinet::bench

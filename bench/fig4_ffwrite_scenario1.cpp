@@ -34,5 +34,8 @@ int main() {
   std::printf("median delta (Scenario1 - Baseline): %+.0f ns  "
               "(paper: ~+125 ns)\n",
               cheri - base);
-  return 0;
+
+  // API v2 regression gate: the batch path must amortize the measured-
+  // window crossings >= 8x over per-call v1 for the same byte volume.
+  return run_census_gate(ScenarioKind::kScenario1, opt);
 }

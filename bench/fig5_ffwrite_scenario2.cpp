@@ -32,5 +32,8 @@ int main() {
   std::printf("median delta (Scenario2u - Baseline): %+.0f ns  "
               "(paper: ~+200 ns)\n",
               rows[1].summary.median - rows[0].summary.median);
-  return 0;
+
+  // API v2 regression gate: in Scenario 2 every v1 ff_write is its own
+  // cross-cVM jump + mutex acquisition; the batch path must amortize >= 8x.
+  return run_census_gate(ScenarioKind::kScenario2Uncontended, opt);
 }

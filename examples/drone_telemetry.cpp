@@ -58,9 +58,6 @@ int main() {
               {scen::MorelloTestbed::peer_ip(0), 14550});
   }
 
-  machine::CapView rxbuf = ground.stack().sockets().get(gs) != nullptr
-                               ? machine::CapView{}
-                               : machine::CapView{};
   // (ground station buffers come from its own heap inside PeerHost)
   auto gsbuf = iv.grant_shared(512, "gs-rx");  // demo-side receive buffer
   int received = 0, parsed = 0;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI gate: configure + build with warnings-as-errors, then run the full
+# ctest suite (unit/integration tests plus the fig4/fig5 crossing-census
+# smoke gates registered in CMakeLists.txt).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DCHERINET_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -19,10 +19,27 @@ bool EchoServer::step() {
     conns_.push_back(fd);
     progress = true;
   }
+  // Scatter-gather echo: drain into two half-views of the scratch buffer
+  // with one ff_readv, push back with one ff_writev — two crossings per
+  // step regardless of how much data arrived (v1 paid two per buffer).
+  const std::size_t half = static_cast<std::size_t>(scratch_.size()) / 2;
   for (auto it = conns_.begin(); it != conns_.end();) {
-    const std::int64_t r = ops_->read(*it, scratch_, scratch_.size());
+    std::int64_t r;
+    fstack::FfIovec rio[2];
+    if (half > 0) {
+      rio[0] = {scratch_.window(0, half), half};
+      rio[1] = {scratch_.window(half, scratch_.size() - half),
+                static_cast<std::size_t>(scratch_.size()) - half};
+      r = ops_->readv(*it, rio);
+    } else {
+      rio[0] = {scratch_, static_cast<std::size_t>(scratch_.size())};
+      r = ops_->read(*it, scratch_, scratch_.size());
+    }
     if (r > 0) {
-      ops_->write(*it, scratch_, static_cast<std::size_t>(r));
+      const auto got = static_cast<std::size_t>(r);
+      const std::size_t lo = std::min(got, rio[0].len);
+      fstack::FfIovec wio[2] = {{rio[0].buf, lo}, {rio[1].buf, got - lo}};
+      ops_->writev(*it, {wio, got > lo ? 2u : 1u});
       echoed_ += static_cast<std::uint64_t>(r);
       progress = true;
       ++it;

@@ -28,6 +28,34 @@ class FfOps {
                              std::size_t n) = 0;
   virtual std::int64_t read(int fd, const machine::CapView& buf,
                             std::size_t n) = 0;
+
+  // API v2: scatter-gather batches (one compartment crossing per batch in
+  // Scenario 2). The defaults degrade to per-element v1 calls so every
+  // binding keeps working; the Direct/Proxy bindings override them with the
+  // genuinely batched paths.
+  virtual std::int64_t writev(int fd, std::span<const fstack::FfIovec> iov) {
+    std::int64_t total = 0;
+    for (const fstack::FfIovec& e : iov) {
+      if (e.len == 0) continue;
+      const std::int64_t r = write(fd, e.buf, e.len);
+      if (r <= 0) return total > 0 ? total : r;
+      total += r;
+      if (static_cast<std::size_t>(r) < e.len) break;
+    }
+    return total;
+  }
+  virtual std::int64_t readv(int fd, std::span<const fstack::FfIovec> iov) {
+    std::int64_t total = 0;
+    for (const fstack::FfIovec& e : iov) {
+      if (e.len == 0) continue;
+      const std::int64_t r = read(fd, e.buf, e.len);
+      if (r <= 0) return total > 0 ? total : r;
+      total += r;
+      if (static_cast<std::size_t>(r) < e.len) break;
+    }
+    return total;
+  }
+
   virtual int close(int fd) = 0;
   virtual int epoll_create() = 0;
   virtual int epoll_ctl(int epfd, fstack::EpollOp op, int fd,
@@ -60,6 +88,12 @@ class DirectFfOps final : public FfOps {
   std::int64_t read(int fd, const machine::CapView& buf,
                     std::size_t n) override {
     return fstack::ff_read(*st_, fd, buf, n);
+  }
+  std::int64_t writev(int fd, std::span<const fstack::FfIovec> iov) override {
+    return fstack::ff_writev(*st_, fd, iov);
+  }
+  std::int64_t readv(int fd, std::span<const fstack::FfIovec> iov) override {
+    return fstack::ff_readv(*st_, fd, iov);
   }
   int close(int fd) override { return fstack::ff_close(*st_, fd); }
   int epoll_create() override { return fstack::ff_epoll_create(*st_); }

@@ -1,5 +1,6 @@
 #include "apps/iperf.hpp"
 
+#include <algorithm>
 #include <cerrno>
 
 namespace cherinet::apps {
@@ -75,7 +76,7 @@ bool IperfServer::step() {
 IperfClient::IperfClient(FfOps* ops, sim::VirtualClock* clock,
                          fstack::Ipv4Addr dst, std::uint16_t port,
                          std::uint64_t total_bytes, machine::CapView tx,
-                         std::size_t chunk)
+                         std::size_t chunk, std::size_t batch)
     : ops_(ops),
       clock_(clock),
       dst_(dst),
@@ -83,7 +84,8 @@ IperfClient::IperfClient(FfOps* ops, sim::VirtualClock* clock,
       total_(total_bytes),
       tx_(tx),
       chunk_(std::min(chunk, tx.size() > 0 ? static_cast<std::size_t>(tx.size())
-                                           : chunk)) {
+                                           : chunk)),
+      batch_(std::clamp<std::size_t>(batch, 1, kMaxBatch)) {
   fd_ = ops_->socket_stream();
   ops_->connect(fd_, dst_, port_);
 }
@@ -105,9 +107,25 @@ bool IperfClient::step() {
     }
     case State::kSending: {
       while (sent_ < total_) {
-        const std::size_t n =
-            std::min<std::uint64_t>(chunk_, total_ - sent_);
-        const std::int64_t r = ops_->write(fd_, tx_, n);
+        std::int64_t r;
+        if (batch_ > 1) {
+          // Gather path: one ff_writev moves up to batch_ chunks (the
+          // payload is synthetic, so every iovec views the same bytes).
+          fstack::FfIovec iov[kMaxBatch];
+          std::size_t k = 0;
+          std::uint64_t want = 0;
+          for (; k < batch_ && sent_ + want < total_; ++k) {
+            const std::size_t n =
+                std::min<std::uint64_t>(chunk_, total_ - sent_ - want);
+            iov[k] = {tx_.window(0, n), n};
+            want += n;
+          }
+          r = ops_->writev(fd_, {iov, k});
+        } else {
+          const std::size_t n =
+              std::min<std::uint64_t>(chunk_, total_ - sent_);
+          r = ops_->write(fd_, tx_, n);
+        }
         if (r <= 0) return progress;  // buffer full: resume next step
         sent_ += static_cast<std::uint64_t>(r);
         progress = true;

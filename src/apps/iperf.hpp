@@ -69,12 +69,17 @@ class IperfServer {
   IperfReport total_;
 };
 
-/// Sender ("client mode").
+/// Sender ("client mode"). `batch` > 1 drives the API-v2 gather path:
+/// each step submits up to `batch` MSS-sized iovecs through one ff_writev
+/// (one compartment crossing per batch behind proxied ops).
 class IperfClient {
  public:
+  static constexpr std::size_t kMaxBatch = 64;
+
   IperfClient(FfOps* ops, sim::VirtualClock* clock, fstack::Ipv4Addr dst,
               std::uint16_t port, std::uint64_t total_bytes,
-              machine::CapView tx, std::size_t chunk = 1448);
+              machine::CapView tx, std::size_t chunk = 1448,
+              std::size_t batch = 1);
 
   bool step();
   [[nodiscard]] bool finished() const noexcept { return done_; }
@@ -90,6 +95,7 @@ class IperfClient {
   std::uint64_t total_;
   machine::CapView tx_;
   std::size_t chunk_;
+  std::size_t batch_;
   int fd_ = -1;
   State state_ = State::kConnecting;
   std::uint64_t sent_ = 0;

@@ -49,6 +49,33 @@ std::int64_t ff_read(FfStack& st, int fd, const machine::CapView& buf,
   return st.sock_read(fd, buf, nbytes);
 }
 
+std::int64_t ff_writev(FfStack& st, int fd, std::span<const FfIovec> iov) {
+  return st.sock_writev(fd, iov);
+}
+
+std::int64_t ff_readv(FfStack& st, int fd, std::span<const FfIovec> iov) {
+  return st.sock_readv(fd, iov);
+}
+
+std::int64_t ff_sendmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs) {
+  return st.sock_sendmsg_batch(fd, msgs);
+}
+
+std::int64_t ff_recvmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs) {
+  return st.sock_recvmsg_batch(fd, msgs);
+}
+
+int ff_zc_alloc(FfStack& st, std::size_t len, FfZcBuf* out) {
+  return st.sock_zc_alloc(len, out);
+}
+
+std::int64_t ff_zc_send(FfStack& st, int fd, FfZcBuf& zc, std::size_t len,
+                        const FfSockAddrIn& to) {
+  return st.sock_zc_send(fd, zc, len, to.ip, to.port);
+}
+
+int ff_zc_abort(FfStack& st, FfZcBuf& zc) { return st.sock_zc_abort(zc); }
+
 std::int64_t ff_sendto(FfStack& st, int fd, const machine::CapView& buf,
                        std::size_t nbytes, const FfSockAddrIn& to) {
   return st.sock_sendto(fd, buf, nbytes, to.ip, to.port);

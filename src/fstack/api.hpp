@@ -1,19 +1,39 @@
-// The F-Stack-compatible public API, CHERI-ported.
+// The F-Stack-compatible public API, CHERI-ported — v2: batch-first.
 //
-// F-Stack exposes ff_socket()/ff_write()/... mirroring the BSD socket API so
-// applications port with minimal changes (paper §III-B). The CHERI port
-// changes exactly the pointer-carrying signatures — the paper's example:
+// v1 mirrored the BSD socket API one call at a time; every call paid one
+// compartment crossing, one capability validation and one stack-mutex
+// acquisition (paper Fig. 4: ~125 ns of trampoline per ff_write, Fig. 6:
+// the per-call lock is the scaling cliff). v2 redesigns the surface around
+// batches so those fixed costs amortize over N buffers per call, while the
+// v1 calls remain as thin single-element wrappers.
 //
-//   - ssize_t ff_write(int fd, const void*              buf, size_t nbytes);
-//   + ssize_t ff_write(int fd, const void* __capability buf, size_t nbytes);
+// v1 -> v2 migration table
+// ------------------------------------------------------------------------
+//  v1 (one crossing per call)         | v2 (one crossing per batch)
+// ------------------------------------|-----------------------------------
+//  ff_write(fd, cap, n)               | ff_writev(fd, {iov...})
+//  ff_read(fd, cap, n)                | ff_readv(fd, {iov...})
+//  ff_sendto(fd, cap, n, to) x N      | ff_sendmsg_batch(fd, {msg...})
+//  ff_recvfrom(fd, cap, n, &from) x N | ff_recvmsg_batch(fd, {msg...})
+//  copy into cap, then ff_sendto      | ff_zc_alloc + write + ff_zc_send
+// ------------------------------------------------------------------------
+//  semantics deltas:
+//   * one bounds/permission validation sweep covers the whole batch and is
+//     ATOMIC: any invalid element faults (CapFault) before a byte moves;
+//   * short counts replace -EAGAIN when only part of a batch fits;
+//   * zero-length iovecs are legal and skipped; an all-empty batch is 0;
+//   * a consumed FfZcBuf token (double ff_zc_send / send after abort)
+//     returns -EINVAL.
 //
-// Here the capability-qualified pointer is machine::CapView: a bounded,
-// permission-carrying buffer handle validated on every dereference. This
-// header is the surface Table I's "modified LoC" census counts.
+// The capability-qualified buffer handle is machine::CapView — the
+// `void* __capability` of the paper's modified F-Stack API; this header
+// remains the surface Table I's "modified LoC" census counts.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "fstack/api_types.hpp"
 #include "fstack/stack.hpp"
 
 namespace cherinet::fstack {
@@ -21,12 +41,6 @@ namespace cherinet::fstack {
 inline constexpr int kAfInet = 2;
 inline constexpr int kSockStream = 1;
 inline constexpr int kSockDgram = 2;
-
-/// sockaddr_in analogue (host byte order).
-struct FfSockAddrIn {
-  Ipv4Addr ip{};
-  std::uint16_t port = 0;
-};
 
 /// Create a socket. Returns fd (>= 3) or -errno.
 int ff_socket(FfStack& st, int domain, int type, int protocol);
@@ -37,6 +51,9 @@ int ff_listen(FfStack& st, int fd, int backlog);
 int ff_accept(FfStack& st, int fd, FfSockAddrIn* peer);
 /// Non-blocking connect: -EINPROGRESS, completion via ff_epoll (EPOLLOUT).
 int ff_connect(FfStack& st, int fd, const FfSockAddrIn& addr);
+
+// ---------------------------------------------------------------- v1 calls
+// Thin wrappers over the batch path (one-element batches).
 
 /// Capability-qualified write: queues into the socket send buffer.
 /// Returns bytes queued, -EAGAIN when the buffer is full, or -errno.
@@ -50,6 +67,33 @@ std::int64_t ff_sendto(FfStack& st, int fd, const machine::CapView& buf,
                        std::size_t nbytes, const FfSockAddrIn& to);
 std::int64_t ff_recvfrom(FfStack& st, int fd, const machine::CapView& buf,
                          std::size_t nbytes, FfSockAddrIn* from);
+
+// ---------------------------------------------------------------- v2 batch
+// Scatter-gather TCP. One validation sweep, one crossing, one lock for the
+// whole vector. Returns total bytes moved (short count when the socket
+// buffer fills mid-batch), 0 for an all-empty batch (or EOF on readv),
+// -EAGAIN when nothing could move, or -errno.
+std::int64_t ff_writev(FfStack& st, int fd, std::span<const FfIovec> iov);
+std::int64_t ff_readv(FfStack& st, int fd, std::span<const FfIovec> iov);
+
+// UDP bursts. Returns the number of datagrams moved (per-message byte
+// counts land in FfMsg::result), -EAGAIN when none, or -errno. Send is
+// atomic over validation: an invalid buffer anywhere in the burst faults
+// before any datagram is emitted. Receive preserves arrival order.
+std::int64_t ff_sendmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs);
+std::int64_t ff_recvmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs);
+
+// Zero-copy TX (UDP). ff_zc_alloc reserves an mbuf data room and hands the
+// application a bounded capability straight into it; ff_zc_send prepends
+// the UDP/IP/Ethernet headers in the mbuf headroom and transmits — the
+// payload is never copied through the socket layer. Returns 0/-errno from
+// alloc (-EMSGSIZE over MTU, -ENOBUFS pool empty); bytes sent or -errno
+// from send (-EINVAL on a consumed token). ff_zc_abort releases an unsent
+// reservation.
+int ff_zc_alloc(FfStack& st, std::size_t len, FfZcBuf* out);
+std::int64_t ff_zc_send(FfStack& st, int fd, FfZcBuf& zc, std::size_t len,
+                        const FfSockAddrIn& to);
+int ff_zc_abort(FfStack& st, FfZcBuf& zc);
 
 int ff_close(FfStack& st, int fd);
 

@@ -26,6 +26,17 @@ std::size_t SockBuf::write_from(const machine::CapView& src,
   return done;
 }
 
+std::size_t SockBuf::writev_from(std::span<const FfIovec> iov) {
+  std::size_t total = 0;
+  for (const FfIovec& e : iov) {
+    if (e.len == 0) continue;
+    const std::size_t got = write_from(e.buf, 0, e.len);
+    total += got;
+    if (got < e.len) break;  // ring full mid-batch: short count
+  }
+  return total;
+}
+
 std::size_t SockBuf::write_bytes(std::span<const std::byte> in) {
   const std::size_t n = std::min(in.size(), free());
   std::size_t done = 0;

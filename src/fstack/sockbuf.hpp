@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 
+#include "fstack/api_types.hpp"
 #include "machine/cap_view.hpp"
 
 namespace cherinet::fstack {
@@ -28,6 +29,11 @@ class SockBuf {
   /// actually written (bounded by free space).
   std::size_t write_from(const machine::CapView& src, std::size_t src_off,
                          std::size_t n);
+
+  /// Gather-append a pre-validated iovec batch (the API layer has already
+  /// swept bounds/permissions). Fills elements in order until the ring is
+  /// full; returns total bytes appended (a short count, never an error).
+  std::size_t writev_from(std::span<const FfIovec> iov);
 
   /// Append from host-side bytes (stack-internal producers).
   std::size_t write_bytes(std::span<const std::byte> in);

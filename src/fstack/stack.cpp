@@ -11,6 +11,19 @@ namespace cherinet::fstack {
 namespace {
 constexpr std::size_t kRxBurst = 32;
 constexpr std::size_t kFrameScratch = 1664;  // MTU + headers + slack
+
+/// Receive-side sweep: byte counts are clamped to the capability's bounds
+/// (matching v1 read semantics, where a datagram shorter than the claimed
+/// length still lands) but permission/tag/seal violations fault the batch.
+void sweep_msgs_store(std::span<const fstack::FfMsg> msgs) {
+  for (const fstack::FfMsg& m : msgs) {
+    if (m.len == 0) continue;
+    std::size_t probe = std::min<std::size_t>(m.len, m.buf.size());
+    if (probe == 0) probe = 1;  // zero-sized view: surface the bounds fault
+    const cheri::Capability& c = m.buf.cap();
+    c.check(cheri::Access::kStore, c.address(), probe);
+  }
+}
 }  // namespace
 
 FfStack::FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
@@ -23,7 +36,10 @@ FfStack::FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
       socks_(cfg_.max_sockets),
       iss_state_(cfg_.iss_seed) {}
 
-FfStack::~FfStack() = default;
+FfStack::~FfStack() {
+  // Release zero-copy reservations the application never submitted.
+  for (auto& [token, m] : zc_pending_) pool_->free(m);
+}
 
 // ===========================================================================
 // Main loop
@@ -39,10 +55,10 @@ bool FfStack::run_once() {
     const std::size_t len =
         std::min<std::size_t>(rx[i]->data_len, sizeof scratch);
     rx[i]->data().read(0, std::span<std::byte>{scratch, len});
-    pool_->free(rx[i]);
     stats_.rx_frames++;
     ether_input(std::span<const std::byte>{scratch, len});
   }
+  pool_->free_bulk({rx, n});  // return the whole burst in one pass
   progress |= n > 0;
 
   process_timers(clock_->now(), progress);
@@ -525,6 +541,19 @@ int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
 
 std::int64_t FfStack::sock_write(int fd, const machine::CapView& buf,
                                  std::size_t n) {
+  // v1 thin wrapper: a one-element batch through the v2 machinery.
+  api_.v1_calls++;
+  const FfIovec one{buf, n};
+  return writev_impl(fd, {&one, 1});
+}
+
+std::int64_t FfStack::sock_writev(int fd, std::span<const FfIovec> iov) {
+  api_.batch_calls++;
+  api_.batched_items += iov.size();
+  return writev_impl(fd, iov);
+}
+
+std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov) {
   Socket* s = socks_.get(fd);
   if (s == nullptr || s->kind != SockKind::kTcp || s->pcb == nullptr) {
     return -EBADF;
@@ -534,8 +563,14 @@ std::int64_t FfStack::sock_write(int fd, const machine::CapView& buf,
   if (!pcb->connected()) {
     return pcb->state() == TcpState::kSynSent ? -EAGAIN : -ENOTCONN;
   }
-  const std::size_t queued = pcb->app_write(buf, n);
+  ff_sweep_iovecs(iov, cheri::Access::kLoad);
+  api_.validation_sweeps++;
+  bool any_bytes = false;
+  for (const FfIovec& e : iov) any_bytes |= e.len != 0;
+  if (!any_bytes) return 0;  // empty batch / all zero-length: no-op
+  const std::size_t queued = pcb->app_writev(iov);
   if (queued == 0) return -EAGAIN;
+  // One TCP push services the whole batch.
   if (cfg_.inline_tcp_output) {
     pcb->output();
   } else {
@@ -546,32 +581,47 @@ std::int64_t FfStack::sock_write(int fd, const machine::CapView& buf,
 
 std::int64_t FfStack::sock_read(int fd, const machine::CapView& buf,
                                 std::size_t n) {
+  api_.v1_calls++;
+  const FfIovec one{buf, n};
+  return readv_impl(fd, {&one, 1});
+}
+
+std::int64_t FfStack::sock_readv(int fd, std::span<const FfIovec> iov) {
+  api_.batch_calls++;
+  api_.batched_items += iov.size();
+  return readv_impl(fd, iov);
+}
+
+std::int64_t FfStack::readv_impl(int fd, std::span<const FfIovec> iov) {
   Socket* s = socks_.get(fd);
   if (s == nullptr || s->kind != SockKind::kTcp || s->pcb == nullptr) {
     return -EBADF;
   }
   TcpPcb* pcb = s->pcb;
-  const std::size_t got = pcb->app_read(buf, n);
-  if (got > 0) {
-    if (cfg_.inline_tcp_output) pcb->output();
-    return static_cast<std::int64_t>(got);
+  ff_sweep_iovecs(iov, cheri::Access::kStore);
+  api_.validation_sweeps++;
+  std::size_t total = 0;
+  bool any_bytes = false;
+  for (const FfIovec& e : iov) {
+    if (e.len == 0) continue;
+    any_bytes = true;
+    const std::size_t got = pcb->app_read(e.buf, e.len);
+    total += got;
+    if (got < e.len) break;  // receive buffer drained mid-batch
   }
+  if (total > 0) {
+    if (cfg_.inline_tcp_output) pcb->output();
+    return static_cast<std::int64_t>(total);
+  }
+  if (!any_bytes) return 0;
   if (pcb->eof()) return 0;
   if (pcb->error() != 0) return -pcb->error();
   return -EAGAIN;
 }
 
-std::int64_t FfStack::sock_sendto(int fd, const machine::CapView& buf,
-                                  std::size_t n, Ipv4Addr ip,
-                                  std::uint16_t port) {
-  Socket* s = socks_.get(fd);
-  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
-  if (!s->bound) {
-    const int r = sock_bind(fd, Ipv4Addr{}, 0);
-    if (r != 0) return r;
-  }
-  if (n > 65535 - UdpHeader::kSize) return -EMSGSIZE;
-
+std::int64_t FfStack::udp_emit_dgram(Socket* s, const machine::CapView& buf,
+                                     std::size_t n, Ipv4Addr ip,
+                                     std::uint16_t port) {
   std::vector<std::byte> seg(UdpHeader::kSize + n);
   UdpHeader uh;
   uh.src_port = s->local_port;
@@ -590,11 +640,59 @@ std::int64_t FfStack::sock_sendto(int fd, const machine::CapView& buf,
   return static_cast<std::int64_t>(n);
 }
 
+std::int64_t FfStack::sock_sendto(int fd, const machine::CapView& buf,
+                                  std::size_t n, Ipv4Addr ip,
+                                  std::uint16_t port) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  if (!s->bound) {
+    const int r = sock_bind(fd, Ipv4Addr{}, 0);
+    if (r != 0) return r;
+  }
+  if (n > 65535 - UdpHeader::kSize) return -EMSGSIZE;
+  api_.v1_calls++;
+  return udp_emit_dgram(s, buf, n, ip, port);
+}
+
+std::int64_t FfStack::sock_sendmsg_batch(int fd, std::span<FfMsg> msgs) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  if (msgs.empty()) return 0;
+  if (!s->bound) {
+    const int r = sock_bind(fd, Ipv4Addr{}, 0);
+    if (r != 0) return r;
+  }
+  // Atomic pre-flight: sizes and capabilities for the whole burst are
+  // checked before the first datagram is emitted.
+  for (const FfMsg& m : msgs) {
+    if (m.len > 65535 - UdpHeader::kSize) return -EMSGSIZE;
+  }
+  for (const FfMsg& m : msgs) {
+    if (m.len == 0) continue;
+    const cheri::Capability& c = m.buf.cap();
+    c.check(cheri::Access::kLoad, c.address(), m.len);
+  }
+  api_.validation_sweeps++;
+  api_.batch_calls++;
+  api_.batched_items += msgs.size();
+  std::int64_t sent = 0;
+  for (FfMsg& m : msgs) {
+    if (m.len == 0) {  // legal and skipped, like zero-length iovecs
+      m.result = 0;
+      continue;
+    }
+    m.result = udp_emit_dgram(s, m.buf, m.len, m.addr.ip, m.addr.port);
+    ++sent;
+  }
+  return sent;
+}
+
 std::int64_t FfStack::sock_recvfrom(int fd, const machine::CapView& buf,
                                     std::size_t n, FourTuple* from_out) {
   Socket* s = socks_.get(fd);
   if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
   if (!s->udp->readable()) return -EAGAIN;
+  api_.v1_calls++;
   UdpDatagram d = s->udp->pop();
   const std::size_t copy = std::min(n, d.data.size());
   buf.write(0, std::span<const std::byte>{d.data.data(), copy});
@@ -605,6 +703,169 @@ std::int64_t FfStack::sock_recvfrom(int fd, const machine::CapView& buf,
     from_out->local_port = s->local_port;
   }
   return static_cast<std::int64_t>(copy);
+}
+
+std::int64_t FfStack::sock_recvmsg_batch(int fd, std::span<FfMsg> msgs) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  if (msgs.empty()) return 0;
+  if (!s->udp->readable()) return -EAGAIN;
+  sweep_msgs_store(msgs);
+  api_.validation_sweeps++;
+  api_.batch_calls++;
+  api_.batched_items += msgs.size();
+  std::int64_t filled = 0;
+  for (FfMsg& m : msgs) {
+    if (!s->udp->readable()) break;
+    if (m.len == 0) {  // legal and skipped — must NOT consume a datagram
+      m.result = 0;
+      continue;
+    }
+    UdpDatagram d = s->udp->pop();
+    // Clamp to the destination capability as well: the pre-flight sweep
+    // only probed the clamped range, so an unclamped copy could fault
+    // mid-batch and destroy an already-popped datagram.
+    const std::size_t copy = std::min(
+        {m.len, d.data.size(), static_cast<std::size_t>(m.buf.size())});
+    m.buf.write(0, std::span<const std::byte>{d.data.data(), copy});
+    m.addr.ip = d.src;
+    m.addr.port = d.src_port;
+    m.result = static_cast<std::int64_t>(copy);
+    ++filled;
+  }
+  return filled;
+}
+
+// ===========================================================================
+// Zero-copy TX: the application writes its payload through a bounded
+// capability straight into the mbuf data room; send prepends the protocol
+// headers in the mbuf headroom and hands the buffer to the driver — no copy
+// through the socket layer (the fixed-cost memcpy v1 paid per datagram).
+// ===========================================================================
+
+int FfStack::sock_zc_alloc(std::size_t len, FfZcBuf* out) {
+  if (out == nullptr || len == 0) return -EINVAL;
+  const std::size_t max_payload =
+      cfg_.netif.mtu - Ipv4Header::kSize - UdpHeader::kSize;
+  if (len > max_payload) return -EMSGSIZE;  // zc datagrams never fragment
+  updk::Mbuf* m = pool_->alloc();
+  if (m == nullptr) return -ENOBUFS;
+  constexpr std::uint32_t kL2L3L4 =
+      EtherHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize;
+  if (m->headroom() < kL2L3L4 || m->tailroom() < len) {
+    pool_->free(m);
+    return -EMSGSIZE;
+  }
+  out->data = m->append(static_cast<std::uint32_t>(len));
+  out->token = next_zc_token_++;
+  zc_pending_.emplace(out->token, m);
+  api_.zc_allocs++;
+  return 0;
+}
+
+std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
+                                   Ipv4Addr ip, std::uint16_t port) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  const auto it = zc_pending_.find(zc.token);
+  if (zc.token == 0 || it == zc_pending_.end()) {
+    return -EINVAL;  // double submit / send after abort
+  }
+  updk::Mbuf* m = it->second;
+  if (len > m->data_len) return -EMSGSIZE;  // reservation kept for retry
+  if (!s->bound) {
+    const int r = sock_bind(fd, Ipv4Addr{}, 0);
+    if (r != 0) return r;
+  }
+  // The token is consumed from here on, whatever the outcome.
+  zc_pending_.erase(it);
+  zc.token = 0;
+
+  const Ipv4Addr hop = next_hop_for(ip);
+  const auto mac = arp_.lookup(hop, clock_->now());
+  if (!mac) {
+    // Unresolved next hop: fall back to the copying path so the payload can
+    // park on the ARP pending queue (first packet to a fresh destination).
+    const std::int64_t r = udp_emit_dgram(s, m->data(), len, ip, port);
+    pool_->free(m);
+    api_.zc_sends++;
+    return r;
+  }
+  m->trim(static_cast<std::uint32_t>(m->data_len - len));
+  if (!zc_transmit(m, len, s->local_port, ip, port, *mac)) {
+    pool_->free(m);
+    return -ENOBUFS;
+  }
+  api_.zc_sends++;
+  return static_cast<std::int64_t>(len);
+}
+
+bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
+                          std::uint16_t src_port, Ipv4Addr dst,
+                          std::uint16_t dst_port,
+                          const nic::MacAddr& dst_mac) {
+  // UDP checksum over pseudo-header + header + payload. The payload is read
+  // through the mbuf capability for the sum but never copied.
+  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + len);
+  std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, dst, kIpProtoUdp,
+                                      udp_len);
+  std::byte uh_bytes[UdpHeader::kSize];
+  UdpHeader uh;
+  uh.src_port = src_port;
+  uh.dst_port = dst_port;
+  uh.length = udp_len;
+  uh.checksum = 0;
+  uh.serialize(uh_bytes);
+  sum = checksum_partial(uh_bytes, sum);
+  {
+    std::byte scratch[512];  // even-sized chunks keep byte pairing intact
+    const machine::CapView payload = m->data();
+    std::size_t done = 0;
+    while (done < len) {
+      const std::size_t chunk = std::min(len - done, sizeof scratch);
+      payload.read(done, std::span<std::byte>{scratch, chunk});
+      sum = checksum_partial(std::span<const std::byte>{scratch, chunk}, sum);
+      done += chunk;
+    }
+  }
+  std::uint16_t ck = checksum_finish(sum);
+  if (ck == 0) ck = 0xFFFF;  // RFC 768
+  put_be16(uh_bytes + 6, ck);
+  m->prepend(UdpHeader::kSize).write(0, uh_bytes);
+
+  Ipv4Header ih;
+  ih.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize + udp_len);
+  ih.id = ip_id_++;
+  ih.flags_frag = Ipv4Header::kFlagDF;  // bounded to one MTU at alloc time
+  ih.proto = kIpProtoUdp;
+  ih.src = cfg_.netif.ip;
+  ih.dst = dst;
+  std::byte ih_bytes[Ipv4Header::kSize];
+  ih.serialize(ih_bytes);
+  m->prepend(Ipv4Header::kSize).write(0, ih_bytes);
+
+  EtherHeader eh;
+  eh.dst = dst_mac;
+  eh.src = dev_->mac();
+  eh.ethertype = kEtherTypeIpv4;
+  std::byte eh_bytes[EtherHeader::kSize];
+  eh.serialize(eh_bytes);
+  m->prepend(EtherHeader::kSize).write(0, eh_bytes);
+
+  updk::Mbuf* burst[1] = {m};
+  if (dev_->tx_burst({burst, 1}) != 1) return false;
+  stats_.tx_frames++;
+  return true;
+}
+
+int FfStack::sock_zc_abort(FfZcBuf& zc) {
+  const auto it = zc_pending_.find(zc.token);
+  if (zc.token == 0 || it == zc_pending_.end()) return -EINVAL;
+  pool_->free(it->second);
+  zc_pending_.erase(it);
+  zc.token = 0;
+  api_.zc_aborts++;
+  return 0;
 }
 
 int FfStack::sock_close(int fd) {

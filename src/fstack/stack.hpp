@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fstack/api_types.hpp"
 #include "fstack/arp.hpp"
 #include "fstack/icmp.hpp"
 #include "fstack/ipv4.hpp"
@@ -67,6 +69,21 @@ class FfStack final : public TcpEnv {
                            Ipv4Addr ip, std::uint16_t port);
   std::int64_t sock_recvfrom(int fd, const machine::CapView& buf,
                              std::size_t n, FourTuple* from_out);
+
+  // ---- batch socket operations (API v2; see api.hpp migration table) ----
+  // One bounds/permission validation sweep covers the whole batch and is
+  // atomic: any invalid element faults before a byte is queued.
+  std::int64_t sock_writev(int fd, std::span<const FfIovec> iov);
+  std::int64_t sock_readv(int fd, std::span<const FfIovec> iov);
+  std::int64_t sock_sendmsg_batch(int fd, std::span<FfMsg> msgs);
+  std::int64_t sock_recvmsg_batch(int fd, std::span<FfMsg> msgs);
+
+  // ---- zero-copy TX: payload written straight into an mbuf data room ----
+  int sock_zc_alloc(std::size_t len, FfZcBuf* out);
+  std::int64_t sock_zc_send(int fd, FfZcBuf& zc, std::size_t len, Ipv4Addr ip,
+                            std::uint16_t port);
+  int sock_zc_abort(FfZcBuf& zc);
+
   int sock_close(int fd);
   [[nodiscard]] std::uint32_t sock_readiness(int fd) const;
 
@@ -94,6 +111,29 @@ class FfStack final : public TcpEnv {
     std::uint64_t csum_errors = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// API-v2 accounting: how well callers amortize the per-call fixed costs.
+  struct ApiStats {
+    std::uint64_t v1_calls = 0;          // single-element invocations
+    std::uint64_t batch_calls = 0;       // v2 batch invocations
+    std::uint64_t batched_items = 0;     // elements moved through batches
+    std::uint64_t validation_sweeps = 0; // whole-batch capability sweeps
+    std::uint64_t zc_allocs = 0;
+    std::uint64_t zc_sends = 0;
+    std::uint64_t zc_aborts = 0;
+  };
+  [[nodiscard]] const ApiStats& api_stats() const noexcept { return api_; }
+
+  /// The compartment-crossing counter this stack's calls are charged to.
+  /// The scenario layer binds it to the owning cVM's Trampoline (Scenario 1)
+  /// or to the Intravisor's sealed-entry registry (Scenario 2); unbound
+  /// stacks (pure in-process tests) report 0.
+  void set_crossing_probe(std::function<std::uint64_t()> probe) {
+    crossing_probe_ = std::move(probe);
+  }
+  [[nodiscard]] std::uint64_t trampoline_crossings() const {
+    return crossing_probe_ ? crossing_probe_() : 0;
+  }
 
   // ---- TcpEnv ----
   [[nodiscard]] sim::Ns tcp_now() override { return clock_->now(); }
@@ -126,6 +166,15 @@ class FfStack final : public TcpEnv {
   void send_arp(std::uint16_t oper, const nic::MacAddr& tha, Ipv4Addr tpa);
   [[nodiscard]] Ipv4Addr next_hop_for(Ipv4Addr dst) const;
 
+  // batch/zero-copy internals
+  std::int64_t writev_impl(int fd, std::span<const FfIovec> iov);
+  std::int64_t readv_impl(int fd, std::span<const FfIovec> iov);
+  std::int64_t udp_emit_dgram(Socket* s, const machine::CapView& buf,
+                              std::size_t n, Ipv4Addr ip, std::uint16_t port);
+  bool zc_transmit(updk::Mbuf* m, std::size_t len, std::uint16_t src_port,
+                   Ipv4Addr dst, std::uint16_t dst_port,
+                   const nic::MacAddr& dst_mac);
+
   // housekeeping
   void process_timers(sim::Ns now, bool& progress);
   void reap_closed();
@@ -156,6 +205,13 @@ class FfStack final : public TcpEnv {
   std::unordered_set<TcpPcb*> detached_;
   // Deferred-output mode: PCBs with freshly queued app data.
   std::unordered_set<TcpPcb*> pending_output_;
+
+  // Outstanding zero-copy TX reservations (token -> owned mbuf).
+  std::unordered_map<std::uint64_t, updk::Mbuf*> zc_pending_;
+  std::uint64_t next_zc_token_ = 1;
+
+  ApiStats api_;
+  std::function<std::uint64_t()> crossing_probe_;
 };
 
 }  // namespace cherinet::fstack

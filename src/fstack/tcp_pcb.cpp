@@ -49,6 +49,11 @@ std::size_t TcpPcb::app_write(const machine::CapView& src, std::size_t n) {
   return snd_.write_from(src, 0, n);
 }
 
+std::size_t TcpPcb::app_writev(std::span<const FfIovec> iov) {
+  if (!connected() || fin_queued_) return 0;
+  return snd_.writev_from(iov);
+}
+
 std::size_t TcpPcb::app_read(const machine::CapView& dst, std::size_t n) {
   const std::size_t before = rcv_.free();
   const std::size_t got = rcv_.read_into(dst, 0, n);

@@ -100,6 +100,9 @@ class TcpPcb {
   void open_connect(const FourTuple& tuple, std::uint32_t iss);
   /// Queue application bytes; returns bytes accepted (0 = buffer full).
   std::size_t app_write(const machine::CapView& src, std::size_t n);
+  /// Gather-queue a pre-validated iovec batch in one pass; returns total
+  /// bytes accepted (short count when the send buffer fills mid-batch).
+  std::size_t app_writev(std::span<const FfIovec> iov);
   /// Read received bytes into the app capability; returns bytes, 0 when
   /// nothing available (check eof()/error() to distinguish).
   std::size_t app_read(const machine::CapView& dst, std::size_t n);

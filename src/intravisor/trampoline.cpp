@@ -19,36 +19,54 @@ void save_frame(RegisterFrame& f) {
 }
 }  // namespace
 
-std::int64_t Trampoline::invoke(SyscallRequest& req) {
+// Validate the capability argument at the boundary: the Intravisor will
+// dereference it on the caller's behalf, so it must be a valid, unsealed
+// capability — the cVM cannot smuggle authority it does not hold.
+void Trampoline::validate_boundary_cap(const SyscallRequest& req) const {
   using cheri::CapFault;
   using cheri::FaultKind;
+  if (!req.cap.has_value()) return;
+  const cheri::Capability& c = req.cap->cap();
+  if (!c.tag()) {
+    throw CapFault(FaultKind::kTagViolation, c.address(), 0, c.to_string(),
+                   "trampoline: untagged pointer argument");
+  }
+  if (c.is_sealed()) {
+    throw CapFault(FaultKind::kSealViolation, c.address(), 0, c.to_string(),
+                   "trampoline: sealed pointer argument");
+  }
+}
 
+std::int64_t Trampoline::invoke(SyscallRequest& req) {
   RegisterFrame frame;
   save_frame(frame);
 
-  // Validate the capability argument at the boundary: the Intravisor will
-  // dereference it on the caller's behalf, so it must be a valid, unsealed
-  // capability — the cVM cannot smuggle authority it does not hold.
-  if (req.cap.has_value()) {
-    const cheri::Capability& c = req.cap->cap();
-    if (!c.tag()) {
-      throw CapFault(FaultKind::kTagViolation, c.address(), 0, c.to_string(),
-                     "trampoline: untagged pointer argument");
-    }
-    if (c.is_sealed()) {
-      throw CapFault(FaultKind::kSealViolation, c.address(), 0, c.to_string(),
-                     "trampoline: sealed pointer argument");
-    }
-  }
+  validate_boundary_cap(req);
 
   crossings_.fetch_add(1, std::memory_order_relaxed);
-  if (cost_ != nullptr) {
-    cost_->charge(cost_->direct_syscall + cost_->trampoline_extra);
-  }
+  if (cost_ != nullptr) cost_->charge(cost_->trampoline_crossing());
 
   // Enter the Intravisor domain (PCC/DDC reload via blrs on hardware).
   machine::ExecutionContext::Scope scope(*iv_ctx_);
   return router_->route(req);
+}
+
+std::size_t Trampoline::invoke_batch(SyscallBatch& batch) {
+  RegisterFrame frame;
+  save_frame(frame);
+
+  // Whole-envelope validation sweep before anything routes: the batch is
+  // atomic at the boundary, exactly like the ff_* batch calls above it.
+  for (const SyscallRequest& req : batch.reqs) validate_boundary_cap(req);
+
+  // One crossing and one charged crossing cost amortize over the batch —
+  // the entire point of the envelope (Fig. 4's ~125 ns paid once per N).
+  crossings_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch.reqs.size(), std::memory_order_relaxed);
+  if (cost_ != nullptr) cost_->charge(cost_->trampoline_crossing());
+
+  machine::ExecutionContext::Scope scope(*iv_ctx_);
+  return router_->route_batch(batch);
 }
 
 }  // namespace cherinet::iv

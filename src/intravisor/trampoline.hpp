@@ -32,16 +32,29 @@ class Trampoline {
   /// Full trampolined syscall: save state, validate, cross, route, return.
   std::int64_t invoke(SyscallRequest& req);
 
+  /// Batched trampolined syscalls: ONE register-frame save, ONE crossing
+  /// and ONE charged crossing cost service the whole envelope. Capability
+  /// arguments of every element are validated at the boundary *before* any
+  /// element routes — a bad capability faults the batch atomically. Returns
+  /// the number of requests routed.
+  std::size_t invoke_batch(SyscallBatch& batch);
+
   [[nodiscard]] std::uint64_t crossings() const noexcept {
     return crossings_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t batched_requests() const noexcept {
+    return batched_requests_.load(std::memory_order_relaxed);
   }
 
  private:
   SyscallRouter* router_;
   const machine::CompartmentContext* caller_;
   const machine::CompartmentContext* iv_ctx_;
+  void validate_boundary_cap(const SyscallRequest& req) const;
+
   const sim::CostModel* cost_;
   std::atomic<std::uint64_t> crossings_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
 };
 
 }  // namespace cherinet::iv

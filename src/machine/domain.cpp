@@ -75,10 +75,13 @@ std::uint64_t EntryRegistry::invoke(const SealedEntry& entry,
     throw CapFault(FaultKind::kBoundsViolation, code.address(), 4,
                    code.to_string(), "blrs: descriptor out of bounds");
   }
-  // Capability arguments must be valid, unsealed and global to cross.
-  for (const auto* cv : {&args.cap0, &args.cap1}) {
-    if (!cv->has_value()) continue;
-    const cheri::Capability& c = (*cv)->cap();
+  // Capability arguments must be valid, unsealed and global to cross. One
+  // sweep covers the scalar pair and the vector registers — the whole
+  // argument file is validated before the callee runs (atomic at the gate,
+  // and allocation-free: this is the modeled ~200 ns hot path).
+  const auto check_cap_arg = [](const std::optional<CapView>& cv) {
+    if (!cv.has_value()) return;
+    const cheri::Capability& c = cv->cap();
     if (!c.tag()) {
       throw CapFault(FaultKind::kTagViolation, c.address(), 0, c.to_string(),
                      "cross-call capability argument");
@@ -91,7 +94,10 @@ std::uint64_t EntryRegistry::invoke(const SealedEntry& entry,
       throw CapFault(FaultKind::kPermitStoreCapViolation, c.address(), 0,
                      c.to_string(), "cross-call argument is compartment-local");
     }
-  }
+  };
+  check_cap_arg(args.cap0);
+  check_cap_arg(args.cap1);
+  for (const auto& cv : args.caps) check_cap_arg(cv);
 
   // Implicit unseal by the branch: read the descriptor through the unsealed
   // code view to find the target entry.

@@ -14,6 +14,7 @@
 // fault in the callee.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -34,9 +35,16 @@ namespace cherinet::machine {
 /// plus up to two capability arguments (the hybrid-ABI argument classes the
 /// paper's modified ff_* API uses).
 struct CrossCallArgs {
+  /// Vector-capability argument registers available to one crossing (the
+  /// c2..c9 analogues of the hybrid ABI). The batched ff_* proxies move up
+  /// to this many exactly-bounded iovec views per sealed-entry invocation;
+  /// larger batches chunk into ceil(n / kMaxVecCaps) crossings.
+  static constexpr std::size_t kMaxVecCaps = 8;
+
   std::uint64_t a[6] = {0, 0, 0, 0, 0, 0};
   std::optional<CapView> cap0;
   std::optional<CapView> cap1;
+  std::array<std::optional<CapView>, kMaxVecCaps> caps;
 };
 
 using CrossFn = std::function<std::uint64_t(CrossCallArgs&)>;

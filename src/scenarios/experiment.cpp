@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <thread>
 
 #include "scenarios/baseline.hpp"
@@ -177,14 +178,12 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
     for (int i = 0; i < nports; ++i) {
       Side& sd = sides[static_cast<std::size_t>(i)];
       PeerHost& peer = tb.make_peer(i);
-      FullStackInstance* inst = nullptr;
       apps::FfOps* ops = nullptr;
       machine::CapView buf;
       if (kind == ScenarioKind::kScenario1) {
         sd.label = "cVM" + std::to_string(i + 1);
         sd.s1 = std::make_unique<Scenario1Cvm>(iv, tb.card(), i,
                                                tb.morello_cfg(i), sd.label);
-        inst = &sd.s1->instance();
         ops = &sd.s1->ops();
         buf = sd.s1->alloc(64 * 1024);
       } else {
@@ -192,7 +191,6 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
                         : "Baseline (cVM2)";
         sd.bp = std::make_unique<BaselineProcess>(
             iv, tb.card(), i, tb.morello_cfg(i), "proc" + std::to_string(i));
-        inst = &sd.bp->instance();
         ops = &sd.bp->ops();
         buf = sd.bp->alloc(64 * 1024);
       }
@@ -526,6 +524,207 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
   for (auto& a : app) {
     out.series.push_back({a.label, std::move(a.samples)});
   }
+  return out;
+}
+
+// ===========================================================================
+// API v2 crossing census
+// ===========================================================================
+
+namespace {
+
+/// The measured-call loop both census scenarios share: wrap every write in
+/// the clock_gettime envelope of the Fig. 4 methodology (in a cVM those
+/// reads trampoline — they are part of what a measured ff_write costs the
+/// application), submit batch iovecs per call, and drive/yield as the
+/// scenario dictates via `turn` (returns true when the loop may continue).
+/// Crossing counters (`entry_now` = sealed-entry jumps, `tramp_now` =
+/// trampoline syscalls; either may be empty) are sampled AROUND each
+/// measured call, so idle polling and connection setup — real-time noise —
+/// never pollute the per-call attribution.
+struct CensusProbes {
+  std::function<std::uint64_t()> entry_now;
+  std::function<std::uint64_t()> tramp_now;
+  std::uint64_t entry_crossings = 0;
+  std::uint64_t tramp_crossings = 0;
+};
+
+std::uint64_t census_write_loop(apps::FfOps& ops, iv::MuslLibc& libc,
+                                const machine::CapView& buf,
+                                std::uint64_t total_bytes, std::size_t batch,
+                                std::size_t wsize, std::uint64_t* api_calls,
+                                CensusProbes* probes,
+                                const std::function<bool(bool)>& turn) {
+  const int fd = ops.socket_stream();
+  ops.connect(fd, MorelloTestbed::peer_ip(0), kIperfPort);
+  // Gate measured calls on EPOLLOUT, exactly like the ported iperf3
+  // (§III-B): a measured write only issues when it can queue bytes, so the
+  // census counts the crossings of productive calls, not of -EAGAIN spins.
+  const int ep = ops.epoll_create();
+  ops.epoll_ctl(ep, fstack::EpollOp::kAdd, fd, fstack::kEpollOut, 1);
+  std::vector<fstack::FfIovec> iov(batch);
+  std::uint64_t queued = 0;
+  while (queued < total_bytes) {
+    fstack::FfEpollEvent ev[1];
+    const bool writable = ops.epoll_wait(ep, ev) > 0 &&
+                          (ev[0].events & fstack::kEpollOut) != 0;
+    std::int64_t r = 0;
+    if (writable) {
+      const std::uint64_t e0 =
+          probes->entry_now ? probes->entry_now() : 0;
+      const std::uint64_t t0 =
+          probes->tramp_now ? probes->tramp_now() : 0;
+      (void)libc.clock_gettime_mono_raw_ns();
+      if (batch == 1) {
+        const std::size_t n =
+            std::min<std::uint64_t>(wsize, total_bytes - queued);
+        r = ops.write(fd, buf, n);
+      } else {
+        std::size_t k = 0;
+        std::uint64_t want = 0;
+        for (; k < batch && queued + want < total_bytes; ++k) {
+          const std::size_t n =
+              std::min<std::uint64_t>(wsize, total_bytes - queued - want);
+          iov[k] = {buf.window(0, n), n};
+          want += n;
+        }
+        r = ops.writev(fd, {iov.data(), k});
+      }
+      (void)libc.clock_gettime_mono_raw_ns();
+      if (probes->entry_now) {
+        probes->entry_crossings += probes->entry_now() - e0;
+      }
+      if (probes->tramp_now) {
+        probes->tramp_crossings += probes->tramp_now() - t0;
+      }
+      ++*api_calls;
+      if (r > 0) queued += static_cast<std::uint64_t>(r);
+    }
+    if (!turn(writable && r > 0)) break;
+  }
+  ops.close(ep);
+  ops.close(fd);
+  return queued;
+}
+
+}  // namespace
+
+CrossingCensus run_ffwrite_crossing_census(ScenarioKind kind,
+                                           std::uint64_t total_bytes,
+                                           std::size_t batch,
+                                           const TestbedOptions& opt) {
+  CrossingCensus out;
+  batch = std::min<std::size_t>(std::max<std::size_t>(batch, 1), 64);
+  const std::size_t wsize = 1448;
+  const sim::CostModel price = sim::CostModel::morello();
+  const double mib =
+      static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+
+  MorelloTestbed tb(opt);
+  auto& iv = tb.intravisor();
+  auto& clock = tb.clock();
+  auto& arb = tb.arbiter();
+  std::atomic<bool> stop{false};
+
+  // The census measures the cost of *queueing* a byte volume, so the send
+  // buffer holds the whole volume: backpressure would make every call —
+  // batched or not — move only the drained window and mask the per-call
+  // fixed costs being compared.
+  InstanceConfig icfg = tb.morello_cfg(0);
+  icfg.tcp.sndbuf_bytes =
+      std::max<std::size_t>(icfg.tcp.sndbuf_bytes, total_bytes + (64u << 10));
+
+  if (kind == ScenarioKind::kScenario1) {
+    arb.expect_participants(2);
+    PeerHost& peer = tb.make_peer(0);
+    peer.serve_iperf(kIperfPort, 1);  // discard sink
+    peer.start();
+    Scenario1Cvm s1(iv, tb.card(), 0, icfg, "cVM1-census");
+    // Scenario 1's crossings in the measured window are the trampolined
+    // timing syscalls (paper §IV: "in cVMs we can't directly access the
+    // timers"); each costs a full kernel entry + trampoline.
+    CensusProbes probes;
+    probes.tramp_now = [&] { return s1.cvm().trampoline().crossings(); };
+    s1.cvm().start([&] {
+      FullStackInstance& inst = s1.instance();
+      machine::CapView buf = s1.alloc(wsize);
+      sim::Participant part(arb, "census-probe");
+      out.bytes = census_write_loop(
+          s1.ops(), s1.libc(), buf, total_bytes, batch, wsize,
+          &out.api_calls, &probes, [&](bool wrote) {
+            const std::uint64_t token = part.prepare();
+            const bool progress = inst.run_once() || wrote;
+            if (!progress) {
+              part.wait(token, capped_deadline(inst.next_deadline(),
+                                               clock.now(), kProbeHeartbeat));
+            }
+            return true;
+          });
+      for (int i = 0; i < 10000; ++i) {
+        if (!inst.run_once()) break;  // drain FIN exchange
+      }
+    });
+    s1.cvm().join();
+    peer.request_stop();
+    peer.join();
+    out.crossings = probes.tramp_crossings;
+    out.modeled_ns_per_mib =
+        mib > 0 ? static_cast<double>(out.crossings) *
+                      static_cast<double>(price.trampoline_crossing().count()) /
+                      mib
+                : 0.0;
+    return out;
+  }
+
+  if (kind != ScenarioKind::kScenario2Uncontended) return out;
+
+  // ---- Scenario 2 (uncontended): writes cross into the network cVM ----
+  arb.expect_participants(3);
+  PeerHost& peer = tb.make_peer(0);
+  peer.serve_iperf(kIperfPort, 1);
+  peer.start();
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, icfg);
+  Scenario2Service svc(iv, cvm1, inst);
+  cvm1.start([&] { svc.run_loop(stop, arb); });
+
+  iv::CVM& app = iv.create_cvm("cVM2-census", 16u << 20);
+  auto ops = svc.make_proxy_ops(app);
+  CensusProbes probes;
+  probes.entry_now = [&] { return iv.entries().crossings(); };
+  probes.tramp_now = [&] { return app.trampoline().crossings(); };
+  app.start([&] {
+    machine::CapView buf = app.alloc(wsize);
+    sim::Participant part(arb, "census-probe");
+    out.bytes = census_write_loop(
+        *ops, app.libc(), buf, total_bytes, batch, wsize, &out.api_calls,
+        &probes, [&](bool wrote) {
+          const std::uint64_t token = part.prepare();
+          if (!wrote) part.wait(token, clock.now() + kProbeHeartbeat);
+          return true;
+        });
+  });
+  app.join();
+  stop.store(true);
+  arb.kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+
+  const std::uint64_t entry_crossings = probes.entry_crossings;
+  const std::uint64_t tramp_crossings = probes.tramp_crossings;
+  out.crossings = entry_crossings + tramp_crossings;
+  // A sealed-entry ff_* jump pays the full path the paper prices at ~200 ns
+  // over baseline: kernel entry + trampoline indirections + domain switch.
+  const double entry_cost = static_cast<double>(
+      price.trampoline_crossing().count() + price.domain_switch_extra.count());
+  out.modeled_ns_per_mib =
+      mib > 0
+          ? (static_cast<double>(entry_crossings) * entry_cost +
+             static_cast<double>(tramp_crossings) *
+                 static_cast<double>(price.trampoline_crossing().count())) /
+                mib
+          : 0.0;
   return out;
 }
 

@@ -121,4 +121,29 @@ struct LatencyOutcome {
     ScenarioKind kind, std::size_t iterations, std::size_t write_size = 1448,
     const TestbedOptions& opt = TestbedOptions{});
 
+// ---------------------------------------------------------------------------
+// API v2 crossing census: how many compartment crossings does it take to
+// move a byte volume through ff_write (batch = 1, the v1 path) versus
+// ff_writev (batch > 1)?
+// ---------------------------------------------------------------------------
+
+struct CrossingCensus {
+  std::uint64_t bytes = 0;      // payload bytes queued into the stack
+  std::uint64_t api_calls = 0;  // measured write/writev invocations
+  /// Compartment crossings attributed to the measured calls: the timing
+  /// clock_gettime trampolines of the Fig. 4 measurement envelope
+  /// (Scenario 1) plus the sealed-entry ff_* proxy jumps (Scenario 2).
+  std::uint64_t crossings = 0;
+  /// Those crossings priced by the Morello-calibrated CostModel, per MiB of
+  /// payload — the figure the batch API exists to shrink.
+  double modeled_ns_per_mib = 0.0;
+};
+
+/// Drive `total_bytes` of MSS-sized writes through one endpoint of `kind`
+/// (kScenario1 or kScenario2Uncontended) with `batch` iovecs per call and
+/// count the crossings. batch = 1 is exactly the v1 per-call path.
+[[nodiscard]] CrossingCensus run_ffwrite_crossing_census(
+    ScenarioKind kind, std::uint64_t total_bytes, std::size_t batch,
+    const TestbedOptions& opt = TestbedOptions{});
+
 }  // namespace cherinet::scen

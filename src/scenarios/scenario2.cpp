@@ -16,6 +16,10 @@ Scenario2Service::Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
   mutex_word_.store<std::uint32_t>(0, 0);
   mutex_ = std::make_unique<iv::CompartmentMutex>(&cvm1_.libc(),
                                                   mutex_word_.window(0, 4));
+  // Every proxied ff_* call reaches this stack through a sealed-entry
+  // crossing; surface that counter through the stack's own stats.
+  inst_.stack().set_crossing_probe(
+      [reg = &iv_.entries()] { return reg->crossings(); });
 }
 
 void Scenario2Service::run_loop(std::atomic<bool>& stop,
@@ -134,6 +138,39 @@ ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
                                                  static_cast<int>(a.a[0]),
                                                  *a.cap0, a.a[1]);
                         }));
+  // Batched entries: a[1] iovec views arrive in the vector capability
+  // registers, each exactly bounded to its element length (the length IS
+  // the capability's bounds — the tightest possible grant crosses). One
+  // wrap() acquisition serializes the whole batch against the main loop.
+  const auto unpack_iov =
+      [](machine::CrossCallArgs& a,
+         std::span<fstack::FfIovec> out) -> std::int64_t {
+    const std::size_t k = std::min<std::size_t>(
+        a.a[1], machine::CrossCallArgs::kMaxVecCaps);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!a.caps[i].has_value()) return -EFAULT;
+      out[i] = {*a.caps[i], static_cast<std::size_t>(a.caps[i]->size())};
+    }
+    return static_cast<std::int64_t>(k);
+  };
+  e_writev_ = reg.install(
+      tag + ":ff_writev", target,
+      wrap([st, unpack_iov](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfIovec iov[machine::CrossCallArgs::kMaxVecCaps];
+        const std::int64_t k = unpack_iov(a, iov);
+        if (k < 0) return k;
+        return fstack::ff_writev(*st, static_cast<int>(a.a[0]),
+                                 {iov, static_cast<std::size_t>(k)});
+      }));
+  e_readv_ = reg.install(
+      tag + ":ff_readv", target,
+      wrap([st, unpack_iov](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfIovec iov[machine::CrossCallArgs::kMaxVecCaps];
+        const std::int64_t k = unpack_iov(a, iov);
+        if (k < 0) return k;
+        return fstack::ff_readv(*st, static_cast<int>(a.a[0]),
+                                {iov, static_cast<std::size_t>(k)});
+      }));
   e_close_ = reg.install(tag + ":ff_close", target,
                          wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
                            return fstack::ff_close(*st,
@@ -224,6 +261,68 @@ std::int64_t ProxyFfOps::read(int fd, const machine::CapView& buf,
   a.a[1] = n;
   a.cap0 = buf;
   return call(e_read_, a);
+}
+
+namespace {
+/// Marshal one chunk of iovecs into the vector capability registers. Each
+/// element crosses as a sub-capability bounded to exactly [0, len) — the
+/// tightest possible grant is what crosses the boundary.
+std::size_t marshal_chunk(std::span<const fstack::FfIovec> iov,
+                          std::size_t from, machine::CrossCallArgs& a,
+                          std::uint64_t* chunk_bytes) {
+  std::size_t k = 0;
+  *chunk_bytes = 0;
+  for (; k < machine::CrossCallArgs::kMaxVecCaps && from + k < iov.size();
+       ++k) {
+    const fstack::FfIovec& e = iov[from + k];
+    a.caps[k] = e.buf.window(0, e.len);
+    *chunk_bytes += e.len;
+  }
+  return k;
+}
+}  // namespace
+
+std::int64_t ProxyFfOps::writev(int fd, std::span<const fstack::FfIovec> iov) {
+  // Whole-batch pre-flight BEFORE the first chunk crosses: batches wider
+  // than the vector register file submit in chunks, and the documented
+  // "any invalid element faults before a byte moves" guarantee must not be
+  // voided by an invalid element in a later chunk.
+  fstack::ff_sweep_iovecs(iov, cheri::Access::kLoad);
+  std::int64_t total = 0;
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    machine::CrossCallArgs a;
+    a.a[0] = static_cast<std::uint64_t>(fd);
+    std::uint64_t chunk_bytes = 0;
+    const std::size_t k = marshal_chunk(iov, i, a, &chunk_bytes);
+    a.a[1] = k;
+    const std::int64_t r = call(e_writev_, a);
+    if (r < 0) return total > 0 ? total : r;
+    total += r;
+    if (static_cast<std::uint64_t>(r) < chunk_bytes) break;  // short count
+    i += k;
+  }
+  return total;
+}
+
+std::int64_t ProxyFfOps::readv(int fd, std::span<const fstack::FfIovec> iov) {
+  fstack::ff_sweep_iovecs(iov, cheri::Access::kStore);
+  std::int64_t total = 0;
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    machine::CrossCallArgs a;
+    a.a[0] = static_cast<std::uint64_t>(fd);
+    std::uint64_t chunk_bytes = 0;
+    const std::size_t k = marshal_chunk(iov, i, a, &chunk_bytes);
+    a.a[1] = k;
+    const std::int64_t r = call(e_readv_, a);
+    if (r < 0) return total > 0 ? total : r;
+    if (r == 0 && total == 0) return 0;  // EOF / empty batch
+    total += r;
+    if (static_cast<std::uint64_t>(r) < chunk_bytes) break;
+    i += k;
+  }
+  return total;
 }
 
 int ProxyFfOps::close(int fd) {

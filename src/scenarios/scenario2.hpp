@@ -65,6 +65,12 @@ class ProxyFfOps final : public apps::FfOps {
                      std::size_t n) override;
   std::int64_t read(int fd, const machine::CapView& buf,
                     std::size_t n) override;
+  /// Batched crossings: up to CrossCallArgs::kMaxVecCaps exactly-bounded
+  /// iovec views travel per sealed-entry invocation — one domain switch and
+  /// one stack-mutex acquisition service the whole chunk (the amortization
+  /// the paper's Fig. 4/6 costs demand).
+  std::int64_t writev(int fd, std::span<const fstack::FfIovec> iov) override;
+  std::int64_t readv(int fd, std::span<const fstack::FfIovec> iov) override;
   int close(int fd) override;
   int epoll_create() override;
   int epoll_ctl(int epfd, fstack::EpollOp op, int fd, std::uint32_t events,
@@ -80,7 +86,8 @@ class ProxyFfOps final : public apps::FfOps {
   machine::CapView event_buf_;  // epoll events cross the boundary here
 
   machine::SealedEntry e_socket_, e_bind_, e_listen_, e_accept_, e_connect_,
-      e_write_, e_read_, e_close_, e_ep_create_, e_ep_ctl_, e_ep_wait_;
+      e_write_, e_read_, e_writev_, e_readv_, e_close_, e_ep_create_,
+      e_ep_ctl_, e_ep_wait_;
 };
 
 }  // namespace cherinet::scen

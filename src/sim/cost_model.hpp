@@ -37,6 +37,14 @@ struct CostModel {
   /// switches. Paper Fig. 5 implies ~75 ns on top of the trampoline delta.
   std::chrono::nanoseconds domain_switch_extra{75};
 
+  /// Total cost of one trampolined crossing (kernel entry + trampoline
+  /// indirections). Charged ONCE per SyscallBatch envelope — batching N
+  /// requests into one crossing is what amortizes this fixed cost, so it
+  /// must never be charged per batched element.
+  [[nodiscard]] std::chrono::nanoseconds trampoline_crossing() const noexcept {
+    return direct_syscall + trampoline_extra;
+  }
+
   /// Morello-calibrated defaults (values above).
   [[nodiscard]] static CostModel morello() noexcept { return CostModel{}; }
 

@@ -34,6 +34,17 @@ Mbuf* Mempool::alloc() {
   return &m;
 }
 
+std::size_t Mempool::alloc_bulk(std::span<Mbuf*> out) {
+  std::size_t n = 0;
+  for (; n < out.size(); ++n) {
+    Mbuf* m = alloc();
+    if (m == nullptr) break;
+    out[n] = m;
+  }
+  for (std::size_t i = n; i < out.size(); ++i) out[i] = nullptr;
+  return n;
+}
+
 void Mempool::free(Mbuf* m) {
   if (m == nullptr) return;
   if (m->pool != this) {
@@ -45,6 +56,12 @@ void Mempool::free(Mbuf* m) {
   if (--m->refcnt == 0) {
     ++stats_.frees;
     free_ring_.enqueue(m->pool_index);
+  }
+}
+
+void Mempool::free_bulk(std::span<Mbuf* const> ms) {
+  for (Mbuf* m : ms) {
+    if (m != nullptr) free(m);
   }
 }
 

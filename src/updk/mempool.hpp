@@ -25,8 +25,17 @@ class Mempool {
   /// Allocate one mbuf (refcnt=1, reset offsets). Null when exhausted.
   [[nodiscard]] Mbuf* alloc();
 
+  /// Allocate up to `out.size()` mbufs in one call
+  /// (rte_pktmbuf_alloc_bulk); unobtained tail slots are nulled. Returns
+  /// the number obtained.
+  [[nodiscard]] std::size_t alloc_bulk(std::span<Mbuf*> out);
+
   /// Drop one reference; returns the buffer to the ring at zero.
   void free(Mbuf* m);
+
+  /// Free a whole burst (skips null entries) — how the stack's RX loop
+  /// returns each rx_burst to the ring.
+  void free_bulk(std::span<Mbuf* const> ms);
 
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(mbufs_.size());

@@ -181,6 +181,307 @@ TEST(FfApi, ReadWriteOnWrongFdKinds) {
   EXPECT_EQ(ff_epoll_wait(ts.a(), udp, {}), -EBADF);
 }
 
+// ===========================================================================
+// API v2: batched, scatter-gather, zero-copy calls (see api.hpp migration
+// table).
+// ===========================================================================
+
+namespace {
+/// Establish a TCP connection a() -> b() and return {client_fd, server_fd}.
+std::pair<int, int> connect_pair(TwoStacks& ts, std::uint16_t port = 5201) {
+  const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_bind(ts.b(), lfd, {Ipv4Addr{}, port});
+  ff_listen(ts.b(), lfd, 4);
+  const int cfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_connect(ts.a(), cfd, {ts.ip_b(), port});
+  int sfd = -1;
+  ts.pump_until([&] {
+    sfd = ff_accept(ts.b(), lfd, nullptr);
+    return sfd >= 0;
+  });
+  // Wait until the client side is established (writable).
+  auto probe = ts.heap_a().alloc_view(1);
+  ts.pump_until([&] { return ff_write(ts.a(), cfd, probe, 0) != -EAGAIN; });
+  return {cfd, sfd};
+}
+}  // namespace
+
+TEST(FfApiV2, WritevShortCountWhenBufferFillsMidBatch) {
+  TcpConfig tcp;
+  tcp.sndbuf_bytes = 4096;  // small ring so the batch overruns it
+  TwoStacks ts(sim::Testbed::unconstrained(), tcp);
+  const auto [cfd, sfd] = connect_pair(ts);
+
+  auto buf = ts.heap_a().alloc_view(2048);
+  const FfIovec iov[3] = {{buf, 2048}, {buf, 2048}, {buf, 2048}};
+  // Partial queue: some iovecs fit -> short count, NOT -EAGAIN.
+  const std::int64_t r = ff_writev(ts.a(), cfd, iov);
+  EXPECT_GT(r, 0);
+  EXPECT_LT(r, 6144);
+  EXPECT_EQ(r, 4096);  // exactly the ring capacity
+  // Completely full now: -EAGAIN.
+  EXPECT_EQ(ff_writev(ts.a(), cfd, iov), -EAGAIN);
+}
+
+TEST(FfApiV2, WritevEmptyAndZeroLengthEdgeCases) {
+  TwoStacks ts;
+  const auto [cfd, sfd] = connect_pair(ts);
+  auto buf = ts.heap_a().alloc_view(64);
+
+  // Empty batch and all-zero-length batches are no-ops, not errors.
+  EXPECT_EQ(ff_writev(ts.a(), cfd, {}), 0);
+  const FfIovec zeros[2] = {{buf, 0}, {buf, 0}};
+  EXPECT_EQ(ff_writev(ts.a(), cfd, zeros), 0);
+  EXPECT_EQ(ff_readv(ts.a(), cfd, {}), 0);
+  EXPECT_EQ(ff_readv(ts.a(), cfd, zeros), 0);
+
+  // Zero-length elements inside a batch are skipped, not faulted.
+  const FfIovec mixed[3] = {{buf, 0}, {buf, 64}, {buf, 0}};
+  EXPECT_EQ(ff_writev(ts.a(), cfd, mixed), 64);
+}
+
+TEST(FfApiV2, ReadvScattersAcrossIovecs) {
+  TwoStacks ts;
+  const auto [cfd, sfd] = connect_pair(ts);
+
+  auto tx = ts.heap_a().alloc_view(96);
+  for (std::size_t i = 0; i < 96; ++i) {
+    tx.store<std::uint8_t>(i, static_cast<std::uint8_t>(i));
+  }
+  ts.pump_until([&] { return ff_write(ts.a(), cfd, tx, 96) == 96; });
+
+  auto rx = ts.heap_b().alloc_view(96);
+  const FfIovec rio[3] = {{rx.window(0, 32), 32},
+                          {rx.window(32, 32), 32},
+                          {rx.window(64, 32), 32}};
+  std::int64_t r = 0;
+  ts.pump_until([&] {
+    r = ff_readv(ts.b(), sfd, rio);
+    return r == 96;
+  });
+  ASSERT_EQ(r, 96);
+  for (std::size_t i = 0; i < 96; ++i) {
+    ASSERT_EQ(rx.load<std::uint8_t>(i), static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(FfApiV2, UdpBurstPreservesOrdering) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int sb = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), sb, {Ipv4Addr{}, 7000}), 0);
+
+  constexpr int kBurst = 4;
+  auto tx = ts.heap_a().alloc_view(kBurst * 8);
+  FfMsg out[kBurst];
+  for (int i = 0; i < kBurst; ++i) {
+    tx.store<std::uint64_t>(static_cast<std::uint64_t>(i) * 8,
+                            0xB00B5000u + static_cast<std::uint64_t>(i));
+    out[i] = {tx.window(static_cast<std::uint64_t>(i) * 8, 8), 8,
+              {ts.ip_b(), 7000}, 0};
+  }
+  ASSERT_EQ(ff_sendmsg_batch(ts.a(), sa, out), kBurst);
+  for (const FfMsg& m : out) EXPECT_EQ(m.result, 8);
+
+  auto rx = ts.heap_b().alloc_view(kBurst * 8);
+  FfMsg in[kBurst];
+  for (int i = 0; i < kBurst; ++i) {
+    in[i] = {rx.window(static_cast<std::uint64_t>(i) * 8, 8), 8, {}, 0};
+  }
+  // Wait until the whole burst landed, then drain it in ONE batch call.
+  ts.pump_until([&] {
+    const Socket* s = ts.b().sockets().get(sb);
+    return s != nullptr && s->udp->queued() == kBurst;
+  });
+  const std::int64_t n = ff_recvmsg_batch(ts.b(), sb, in);
+  ASSERT_EQ(n, kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(in[i].result, 8);
+    EXPECT_EQ(in[i].addr.ip, ts.ip_a());
+    // Arrival order == submission order (the burst is one FIFO pass).
+    EXPECT_EQ(rx.load<std::uint64_t>(static_cast<std::uint64_t>(i) * 8),
+              0xB00B5000u + static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(ff_recvmsg_batch(ts.b(), sb, in), -EAGAIN);  // queue drained
+}
+
+TEST(FfApiV2, UdpBurstSkipsZeroLengthAndClampsReceive) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int sb = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), sb, {Ipv4Addr{}, 7000}), 0);
+
+  // A zero-length message inside the burst is skipped (no empty datagram
+  // on the wire) and not counted.
+  auto tx = ts.heap_a().alloc_view(64);
+  FfMsg out[3] = {{tx, 64, {ts.ip_b(), 7000}, 0},
+                  {tx, 0, {ts.ip_b(), 7000}, -1},
+                  {tx, 64, {ts.ip_b(), 7000}, 0}};
+  EXPECT_EQ(ff_sendmsg_batch(ts.a(), sa, out), 2);
+  EXPECT_EQ(out[1].result, 0);
+  ts.pump_until([&] {
+    const Socket* s = ts.b().sockets().get(sb);
+    return s != nullptr && s->udp->queued() == 2;
+  });
+  ts.pump(2000);
+  EXPECT_EQ(ts.b().sockets().get(sb)->udp->queued(), 2u);  // not 3
+
+  // Receive with len exceeding the destination capability: the copy clamps
+  // to the bounds (like v1 recvfrom) instead of faulting mid-batch, and
+  // both datagrams survive the drain.
+  // A zero-length receive slot is skipped WITHOUT consuming a datagram.
+  auto small = ts.heap_b().alloc_view(16);  // heap rounds to 16-byte granules
+  FfMsg in[3] = {{small, 0, {}, -1}, {small, 512, {}, 0}, {small, 512, {}, 0}};
+  EXPECT_EQ(ff_recvmsg_batch(ts.b(), sb, in), 2);
+  EXPECT_EQ(in[0].result, 0);
+  EXPECT_EQ(in[1].result, 16);
+  EXPECT_EQ(in[2].result, 16);
+}
+
+TEST(FfApiV2, ZeroCopySendDeliversAndDoubleSubmitIsEinval) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int sb = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), sb, {Ipv4Addr{}, 7000}), 0);
+
+  // Prime the ARP cache so the second zc send takes the true zero-copy
+  // fast path (headers prepended in the mbuf headroom, no payload copy).
+  auto warm = ts.heap_a().alloc_view(8);
+  ASSERT_EQ(ff_sendto(ts.a(), sa, warm, 8, {ts.ip_b(), 7000}), 8);
+  auto sink = ts.heap_b().alloc_view(64);
+  ts.pump_until(
+      [&] { return ff_recvfrom(ts.b(), sb, sink, 64, nullptr) >= 0; });
+
+  FfZcBuf zc;
+  ASSERT_EQ(ff_zc_alloc(ts.a(), 32, &zc), 0);
+  ASSERT_TRUE(zc.valid());
+  for (std::uint64_t i = 0; i < 32; i += 8) {
+    zc.data.store<std::uint64_t>(i, 0xFEED0000 + i);
+  }
+  EXPECT_EQ(ff_zc_send(ts.a(), sa, zc, 32, {ts.ip_b(), 7000}), 32);
+  EXPECT_FALSE(zc.valid());  // token consumed
+  // Double submit: the reservation is spent.
+  EXPECT_EQ(ff_zc_send(ts.a(), sa, zc, 32, {ts.ip_b(), 7000}), -EINVAL);
+
+  auto rx = ts.heap_b().alloc_view(64);
+  FfSockAddrIn from{};
+  std::int64_t r = -1;
+  ts.pump_until([&] {
+    r = ff_recvfrom(ts.b(), sb, rx, 64, &from);
+    return r >= 0;
+  });
+  ASSERT_EQ(r, 32);
+  EXPECT_EQ(from.ip, ts.ip_a());
+  for (std::uint64_t i = 0; i < 32; i += 8) {
+    EXPECT_EQ(rx.load<std::uint64_t>(i), 0xFEED0000 + i);
+  }
+
+  // Abort consumes the token the same way.
+  FfZcBuf zc2;
+  ASSERT_EQ(ff_zc_alloc(ts.a(), 16, &zc2), 0);
+  EXPECT_EQ(ff_zc_abort(ts.a(), zc2), 0);
+  EXPECT_EQ(ff_zc_send(ts.a(), sa, zc2, 16, {ts.ip_b(), 7000}), -EINVAL);
+  EXPECT_EQ(ff_zc_abort(ts.a(), zc2), -EINVAL);
+
+  // Over-MTU reservations are refused outright (zc datagrams never
+  // fragment).
+  FfZcBuf zc3;
+  EXPECT_EQ(ff_zc_alloc(ts.a(), 60000, &zc3), -EMSGSIZE);
+}
+
+TEST(FfApiV2, BatchValidationIsAtomicOnBoundsOverrun) {
+  TwoStacks ts;
+  const auto [cfd, sfd] = connect_pair(ts);
+
+  auto good = ts.heap_a().alloc_view(64);
+  auto small = ts.heap_a().alloc_view(16);
+  good.store<std::uint8_t>(0, 0xAA);
+
+  // iov[1] claims more bytes than its capability authorizes: the whole
+  // batch must fault BEFORE iov[0] is queued.
+  const FfIovec iov[2] = {{good, 64}, {small, 4096}};
+  EXPECT_THROW((void)ff_writev(ts.a(), cfd, iov), cheri::CapFault);
+
+  // No partial leak: the receiver sees exactly the marker byte written
+  // after the faulted batch, nothing from it.
+  ts.pump(2000);
+  auto marker = ts.heap_a().alloc_view(1);
+  marker.store<std::uint8_t>(0, 0x5A);
+  ts.pump_until([&] { return ff_write(ts.a(), cfd, marker, 1) == 1; });
+  auto rx = ts.heap_b().alloc_view(64);
+  std::int64_t r = 0;
+  ts.pump_until([&] {
+    r = ff_read(ts.b(), sfd, rx, 64);
+    return r > 0;
+  });
+  ASSERT_EQ(r, 1);  // only the marker arrived
+  EXPECT_EQ(rx.load<std::uint8_t>(0), 0x5A);
+}
+
+TEST(FfApiV2, BatchValidationIsAtomicOnMissingPermission) {
+  TwoStacks ts;
+  const auto [cfd, sfd] = connect_pair(ts);
+
+  auto tx = ts.heap_a().alloc_view(32);
+  ts.pump_until([&] { return ff_write(ts.a(), cfd, tx, 32) == 32; });
+  auto rx = ts.heap_b().alloc_view(32);
+  ts.pump_until(
+      [&] { return (ts.b().sock_readiness(sfd) & kEpollIn) != 0; });
+
+  // readv into a LOAD-only view: no store permission anywhere in the batch
+  // may consume a single byte.
+  const machine::CapView ro = rx.readonly();
+  const FfIovec rio[2] = {{rx.window(0, 16), 16}, {ro, 16}};
+  EXPECT_THROW((void)ff_readv(ts.b(), sfd, rio), cheri::CapFault);
+
+  // The data is still fully buffered: a clean read gets all 32 bytes.
+  EXPECT_EQ(ff_read(ts.b(), sfd, rx, 32), 32);
+
+  // Same rule on the gather side: a write batch with a store-only (no
+  // LOAD) element faults whole.
+  const machine::CapView wo(&rx.mem(),
+                            tx.cap().with_perms(cheri::PermSet{
+                                cheri::Perm::kGlobal} |
+                                cheri::Perm::kStore));
+  const FfIovec wio[2] = {{tx, 16}, {wo, 16}};
+  EXPECT_THROW((void)ff_writev(ts.a(), cfd, wio), cheri::CapFault);
+}
+
+TEST(FfApiV2, UdpBurstValidationFaultsWholeBatch) {
+  TwoStacks ts;
+  const int sa = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int sb = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), sb, {Ipv4Addr{}, 7000}), 0);
+
+  auto good = ts.heap_a().alloc_view(8);
+  auto small = ts.heap_a().alloc_view(8);
+  FfMsg burst[2] = {{good, 8, {ts.ip_b(), 7000}, 0},
+                    {small, 512, {ts.ip_b(), 7000}, 0}};  // overruns bounds
+  EXPECT_THROW((void)ff_sendmsg_batch(ts.a(), sa, burst), cheri::CapFault);
+
+  // Atomic: not even the valid first datagram went out.
+  ts.pump(2000);
+  auto rx = ts.heap_b().alloc_view(64);
+  EXPECT_EQ(ff_recvfrom(ts.b(), sb, rx, 64, nullptr), -EAGAIN);
+}
+
+TEST(FfApiV2, ApiStatsCountBatchesAndSweeps) {
+  TwoStacks ts;
+  const auto [cfd, sfd] = connect_pair(ts);
+  auto buf = ts.heap_a().alloc_view(64);
+  const auto before = ts.a().api_stats();
+  const FfIovec iov[2] = {{buf, 32}, {buf, 32}};
+  ASSERT_GT(ff_writev(ts.a(), cfd, iov), 0);
+  ASSERT_EQ(ff_write(ts.a(), cfd, buf, 8), 8);
+  const auto& after = ts.a().api_stats();
+  EXPECT_EQ(after.batch_calls, before.batch_calls + 1);
+  EXPECT_EQ(after.batched_items, before.batched_items + 2);
+  EXPECT_EQ(after.v1_calls, before.v1_calls + 1);
+  EXPECT_GE(after.validation_sweeps, before.validation_sweeps + 2);
+  // No crossing probe bound in this in-process fixture.
+  EXPECT_EQ(ts.a().trampoline_crossings(), 0u);
+}
+
 TEST(FfApi, CloseListenerAbortsQueuedChildren) {
   TwoStacks ts;
   const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);

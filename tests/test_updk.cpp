@@ -89,6 +89,25 @@ TEST_F(PoolFixture, MempoolAllocFreeCycle) {
   EXPECT_THROW(pool.free(m), std::logic_error);  // double free detected
 }
 
+TEST_F(PoolFixture, AllocBulkAndFreeBulk) {
+  updk::Mempool pool(&heap, 8, 1024);
+  updk::Mbuf* burst[6] = {};
+  EXPECT_EQ(pool.alloc_bulk(burst), 6u);
+  for (auto* m : burst) {
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->refcnt, 1);
+  }
+  EXPECT_EQ(pool.available(), 2u);
+  // Partial bulk when the pool runs dry: short count, tail nulled.
+  updk::Mbuf* more[4] = {};
+  EXPECT_EQ(pool.alloc_bulk(more), 2u);
+  EXPECT_EQ(more[2], nullptr);
+  EXPECT_EQ(more[3], nullptr);
+  pool.free_bulk(more);  // null-tolerant
+  pool.free_bulk(burst);
+  EXPECT_EQ(pool.available(), 8u);
+}
+
 TEST_F(PoolFixture, ExhaustionReturnsNull) {
   updk::Mempool pool(&heap, 4, 1024);
   updk::Mbuf* ms[4];
