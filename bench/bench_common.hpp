@@ -89,4 +89,77 @@ inline int run_census_gate(scen::ScenarioKind kind,
   return 0;
 }
 
+/// RX census gate shared by fig4/fig5: receive the same byte volume through
+/// the per-call v1 path (epoll_wait + ff_read per MSS, every byte copied
+/// out of the stack) and through the zero-copy pipeline (one armed
+/// multishot event ring + ff_zc_recv loan bursts + batched recycling).
+/// Requires: the zc path copies ZERO receive-side bytes, every loan is
+/// recycled, crossings amortize >= 8x, and modeled cost/MiB is strictly
+/// lower. Returns the process exit code (0 pass).
+inline int run_rx_census_gate(scen::ScenarioKind kind,
+                              const scen::TestbedOptions& opt) {
+  const std::uint64_t census_bytes =
+      std::max<std::uint64_t>(env_u64("CHERINET_CENSUS_KB", 4096), 256) * 1024;
+  scen::TestbedOptions copt = opt;
+  copt.cost = sim::CostModel::disabled();  // counting, not timing
+  const auto v1 = run_ffrecv_rx_census(kind, census_bytes, false, copt);
+  const auto zc = run_ffrecv_rx_census(kind, census_bytes, true, copt);
+  std::printf("\nRX census (%llu KiB received):\n",
+              static_cast<unsigned long long>(census_bytes / 1024));
+  std::printf("  v1 ff_read  : %8llu calls  %8llu crossings  %10llu copied B"
+              "  %10.0f ns/MiB\n",
+              static_cast<unsigned long long>(v1.api_calls),
+              static_cast<unsigned long long>(v1.crossings),
+              static_cast<unsigned long long>(v1.copied_bytes),
+              v1.modeled_ns_per_mib);
+  std::printf("  zc ff_zc_recv: %7llu calls  %8llu crossings  %10llu copied B"
+              "  %10.0f ns/MiB  (%llu loans, %llu recycled)\n",
+              static_cast<unsigned long long>(zc.api_calls),
+              static_cast<unsigned long long>(zc.crossings),
+              static_cast<unsigned long long>(zc.copied_bytes),
+              zc.modeled_ns_per_mib,
+              static_cast<unsigned long long>(zc.zc_loans),
+              static_cast<unsigned long long>(zc.zc_recycles));
+  if (zc.bytes < census_bytes || v1.bytes < census_bytes) {
+    std::fprintf(stderr, "FAIL: RX census did not deliver the byte volume "
+                         "(v1 %llu, zc %llu of %llu)\n",
+                 static_cast<unsigned long long>(v1.bytes),
+                 static_cast<unsigned long long>(zc.bytes),
+                 static_cast<unsigned long long>(census_bytes));
+    return 1;
+  }
+  if (zc.copied_bytes != 0) {
+    std::fprintf(stderr,
+                 "FAIL: zero-copy RX path copied %llu bytes (expected 0)\n",
+                 static_cast<unsigned long long>(zc.copied_bytes));
+    return 1;
+  }
+  if (zc.zc_loans == 0 || zc.zc_recycles != zc.zc_loans) {
+    std::fprintf(stderr,
+                 "FAIL: loan lifecycle broken (%llu loans, %llu recycles)\n",
+                 static_cast<unsigned long long>(zc.zc_loans),
+                 static_cast<unsigned long long>(zc.zc_recycles));
+    return 1;
+  }
+  if (zc.crossings * 8 > v1.crossings) {
+    std::fprintf(stderr,
+                 "FAIL: zc RX path crossed %llu times, v1 %llu — expected "
+                 ">= 8x amortization\n",
+                 static_cast<unsigned long long>(zc.crossings),
+                 static_cast<unsigned long long>(v1.crossings));
+    return 1;
+  }
+  if (!(zc.modeled_ns_per_mib < v1.modeled_ns_per_mib)) {
+    std::fprintf(stderr,
+                 "FAIL: zc RX path must be strictly cheaper per MiB\n");
+    return 1;
+  }
+  std::printf("  amortization: %.1fx fewer crossings, zero sockbuf copies "
+              "(v1 copied %.1f MiB)\n",
+              static_cast<double>(v1.crossings) /
+                  static_cast<double>(zc.crossings),
+              static_cast<double>(v1.copied_bytes) / (1024.0 * 1024.0));
+  return 0;
+}
+
 }  // namespace cherinet::bench

@@ -35,7 +35,11 @@ int main() {
               "(paper: ~+125 ns)\n",
               cheri - base);
 
-  // API v2 regression gate: the batch path must amortize the measured-
-  // window crossings >= 8x over per-call v1 for the same byte volume.
-  return run_census_gate(ScenarioKind::kScenario1, opt);
+  // API v2 regression gates: the TX batch path must amortize the measured-
+  // window crossings >= 8x over per-call v1 for the same byte volume, and
+  // the zero-copy RX pipeline (multishot ring + mbuf loans) must do the
+  // same on the receive side with ZERO receive-sockbuf copies.
+  const int tx = run_census_gate(ScenarioKind::kScenario1, opt);
+  if (tx != 0) return tx;
+  return run_rx_census_gate(ScenarioKind::kScenario1, opt);
 }

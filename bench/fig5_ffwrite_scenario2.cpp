@@ -33,7 +33,11 @@ int main() {
               "(paper: ~+200 ns)\n",
               rows[1].summary.median - rows[0].summary.median);
 
-  // API v2 regression gate: in Scenario 2 every v1 ff_write is its own
+  // API v2 regression gates: in Scenario 2 every v1 ff_write is its own
   // cross-cVM jump + mutex acquisition; the batch path must amortize >= 8x.
-  return run_census_gate(ScenarioKind::kScenario2Uncontended, opt);
+  // On the receive side, the armed multishot ring + loan bursts must beat
+  // per-call epoll_wait + ff_read by the same factor with zero copies.
+  const int tx = run_census_gate(ScenarioKind::kScenario2Uncontended, opt);
+  if (tx != 0) return tx;
+  return run_rx_census_gate(ScenarioKind::kScenario2Uncontended, opt);
 }

@@ -41,5 +41,31 @@ int main() {
               "the order-of-magnitude blowup from futex escalation while "
               "Table II bandwidth stays at the ceiling)\n",
               c / u);
+
+  // --- batch-size sweep: the contention knob of API v2 ---
+  // proxied_calls_ counts BATCHES, so each ff_writev of N iovecs is one
+  // mutex acquisition moving N x 1448 bytes: widening the batch divides
+  // the number of contended acquisitions needed for the same byte volume.
+  // Reported per batch size: per-CALL latency and the per-MSS-chunk share
+  // (latency / batch) — the figure that should fall as the batch widens.
+  const std::size_t iters_sweep = static_cast<std::size_t>(
+      env_u64("CHERINET_FIG6_SWEEP_ITERS", 5'000));
+  const std::size_t batches[] = {1, 8, 32};
+  std::printf("\nbatch-size sweep, contended (%zu batched writes per cVM):\n",
+              iters_sweep);
+  std::printf("  %-6s %14s %16s %14s\n", "batch", "mean ns/call",
+              "mean ns/chunk", "contended/unc");
+  for (const std::size_t b : batches) {
+    const auto unc = reduce_latency(run_ffwrite_latency(
+        ScenarioKind::kScenario2Uncontended, iters_sweep, 1448, opt, b));
+    const auto con = reduce_latency(run_ffwrite_latency(
+        ScenarioKind::kScenario2Contended, iters_sweep, 1448, opt, b));
+    double con_mean = 0.0;
+    for (const auto& r : con) con_mean = std::max(con_mean, r.summary.mean);
+    const double unc_mean = unc[0].summary.mean;
+    const double bd = static_cast<double>(b);
+    std::printf("  %-6zu %14.0f %16.0f %13.1fx\n", b, con_mean,
+                con_mean / bd, con_mean / unc_mean);
+  }
   return 0;
 }

@@ -1,14 +1,31 @@
 #!/usr/bin/env bash
 # CI gate: configure + build with warnings-as-errors, then run the full
 # ctest suite (unit/integration tests plus the fig4/fig5 crossing-census
-# smoke gates registered in CMakeLists.txt).
+# and RX-census smoke gates registered in CMakeLists.txt).
+#
+# SANITIZE=1 switches to the AddressSanitizer + UBSan configuration in its
+# own build tree — the memory-safety net over the loan-based RX pipeline
+# (mbuf refcounts, capability views, SPSC event rings).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-check}"
+SANITIZE="${SANITIZE:-0}"
+if [[ "$SANITIZE" == "1" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+  EXTRA_FLAGS=(-DCHERINET_SANITIZE=ON)
+  # Abort on the first report; UBSan prints stacks for its diagnostics.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+  # Sanitizer slowdown distorts wall-clock contention ratios; this leg is
+  # for the memory-safety signal, not the timing figures.
+  export CHERINET_SKIP_TIMING_TESTS=1
+else
+  BUILD_DIR="${BUILD_DIR:-build-check}"
+  EXTRA_FLAGS=()
+fi
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S . -DCHERINET_WERROR=ON
+cmake -B "$BUILD_DIR" -S . -DCHERINET_WERROR=ON "${EXTRA_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

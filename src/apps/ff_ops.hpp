@@ -9,6 +9,7 @@
 // porting story for iperf3.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 
 #include "fstack/api.hpp"
@@ -56,6 +57,48 @@ class FfOps {
     return total;
   }
 
+  /// Drain the accept queue in one go (one compartment crossing for the
+  /// whole fd batch behind proxied ops). Returns fds accepted; the default
+  /// degrades to per-fd accept() so every binding keeps working.
+  virtual int accept_batch(int fd, std::span<int> out) {
+    int n = 0;
+    for (int& slot : out) {
+      const int r = accept(fd);
+      if (r < 0) break;
+      slot = r;
+      ++n;
+    }
+    return n;
+  }
+
+  // Zero-copy RX (API v2). The defaults report -ENOTSUP: unlike the
+  // scatter-gather calls there is no per-element fallback that preserves
+  // the zero-copy contract, so bindings either implement the loan path or
+  // honestly decline (callers fall back to read()).
+  virtual std::int64_t zc_recv(int fd, std::span<fstack::FfZcRxBuf> out) {
+    (void)fd;
+    (void)out;
+    return -ENOTSUP;
+  }
+  virtual std::int64_t zc_recycle_batch(std::span<fstack::FfZcRxBuf> zcs) {
+    (void)zcs;
+    return -ENOTSUP;
+  }
+
+  /// Multishot epoll: arm once, consume event batches from the capability
+  /// ring with no further calls (see fstack/event_ring.hpp).
+  virtual int epoll_wait_multishot(int epfd, const machine::CapView& ring,
+                                   std::uint32_t capacity) {
+    (void)epfd;
+    (void)ring;
+    (void)capacity;
+    return -ENOTSUP;
+  }
+  virtual int epoll_cancel_multishot(int epfd) {
+    (void)epfd;
+    return -ENOTSUP;
+  }
+
   virtual int close(int fd) = 0;
   virtual int epoll_create() = 0;
   virtual int epoll_ctl(int epfd, fstack::EpollOp op, int fd,
@@ -94,6 +137,19 @@ class DirectFfOps final : public FfOps {
   }
   std::int64_t readv(int fd, std::span<const fstack::FfIovec> iov) override {
     return fstack::ff_readv(*st_, fd, iov);
+  }
+  std::int64_t zc_recv(int fd, std::span<fstack::FfZcRxBuf> out) override {
+    return fstack::ff_zc_recv(*st_, fd, out);
+  }
+  std::int64_t zc_recycle_batch(std::span<fstack::FfZcRxBuf> zcs) override {
+    return fstack::ff_zc_recycle_batch(*st_, zcs);
+  }
+  int epoll_wait_multishot(int epfd, const machine::CapView& ring,
+                           std::uint32_t capacity) override {
+    return fstack::ff_epoll_wait_multishot(*st_, epfd, ring, capacity);
+  }
+  int epoll_cancel_multishot(int epfd) override {
+    return fstack::ff_epoll_cancel_multishot(*st_, epfd);
   }
   int close(int fd) override { return fstack::ff_close(*st_, fd); }
   int epoll_create() override { return fstack::ff_epoll_create(*st_); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 
 namespace cherinet::apps {
 
@@ -9,8 +10,12 @@ namespace cherinet::apps {
 
 IperfServer::IperfServer(FfOps* ops, sim::VirtualClock* clock,
                          std::uint16_t port, machine::CapView rx,
-                         int expected_connections)
-    : ops_(ops), clock_(clock), rx_(rx), expected_(expected_connections) {
+                         int expected_connections, bool zero_copy)
+    : ops_(ops),
+      clock_(clock),
+      rx_(rx),
+      expected_(expected_connections),
+      zero_copy_(zero_copy) {
   listen_fd_ = ops_->socket_stream();
   ops_->bind(listen_fd_, fstack::Ipv4Addr{}, port);
   ops_->listen(listen_fd_, 8);
@@ -19,49 +24,138 @@ IperfServer::IperfServer(FfOps* ops, sim::VirtualClock* clock,
                   static_cast<std::uint64_t>(listen_fd_));
 }
 
+int IperfServer::use_multishot(machine::CapView ring_mem,
+                               std::uint32_t capacity) {
+  // Initialize the ring header before the stack starts publishing into it.
+  fstack::FfEventRing ring(ring_mem, capacity);
+  const int r = ops_->epoll_wait_multishot(epfd_, ring_mem, capacity);
+  if (r < 0) return r;  // -ENOTSUP bindings keep the classic wait path
+  ring_ = ring;
+  return 0;
+}
+
+void IperfServer::interval_report(const Conn& c) {
+  if (!reporter_.due(clock_->now())) return;
+  char line[128];
+  std::snprintf(line, sizeof line, "iperf[fd %d]: %llu bytes, %.1f Mbit/s",
+                c.fd, static_cast<unsigned long long>(c.report.bytes),
+                c.report.mbit_per_sec());
+  reporter_.sink()->add_line(line);
+}
+
+void IperfServer::finish(Conn& c) {
+  c.done = true;
+  ops_->epoll_ctl(epfd_, fstack::EpollOp::kDel, c.fd, 0, 0);
+  ops_->close(c.fd);
+  ++completed_;
+  if (total_.bytes == 0 || c.report.first_byte < total_.first_byte) {
+    total_.first_byte = c.report.first_byte;
+  }
+  total_.bytes += c.report.bytes;
+  total_.last_byte = std::max(total_.last_byte, c.report.last_byte);
+  if (reporter_) {
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "iperf[fd %d]: done, %llu bytes, %.1f Mbit/s", c.fd,
+                  static_cast<unsigned long long>(c.report.bytes),
+                  c.report.mbit_per_sec());
+    reporter_.sink()->add_line(line);
+    reporter_.sink()->flush();  // whole report: ONE SyscallBatch envelope
+  }
+}
+
+void IperfServer::drain_zero_copy(Conn& c) {
+  while (true) {
+    fstack::FfZcRxBuf loans[kZcBatch];
+    const std::int64_t r = ops_->zc_recv(c.fd, loans);
+    if (r > 0) {
+      std::uint64_t got = 0;
+      for (std::int64_t i = 0; i < r; ++i) got += loans[i].data.size();
+      if (c.report.bytes == 0) c.report.first_byte = clock_->now();
+      c.report.bytes += got;
+      c.report.last_byte = clock_->now();
+      // The payload is consumed in place (a real receiver would parse it
+      // through the read-only loan); recycling is what returns the data
+      // rooms — and the receive window — in one batched call.
+      ops_->zc_recycle_batch({loans, static_cast<std::size_t>(r)});
+      interval_report(c);
+      continue;
+    }
+    if (r == -ENOTSUP) {  // binding has no loan path: copy from here on
+      zero_copy_ = false;
+      drain(c);
+      return;
+    }
+    if (r == 0) finish(c);  // EOF
+    return;  // -EAGAIN or EOF
+  }
+}
+
 void IperfServer::drain(Conn& c) {
+  if (zero_copy_) {
+    drain_zero_copy(c);
+    return;
+  }
   while (true) {
     const std::int64_t r = ops_->read(c.fd, rx_, rx_.size());
     if (r > 0) {
       if (c.report.bytes == 0) c.report.first_byte = clock_->now();
       c.report.bytes += static_cast<std::uint64_t>(r);
       c.report.last_byte = clock_->now();
+      interval_report(c);
       continue;
     }
-    if (r == 0) {  // EOF: connection complete
-      c.done = true;
-      ops_->epoll_ctl(epfd_, fstack::EpollOp::kDel, c.fd, 0, 0);
-      ops_->close(c.fd);
-      ++completed_;
-      if (total_.bytes == 0 || c.report.first_byte < total_.first_byte) {
-        total_.first_byte = c.report.first_byte;
-      }
-      total_.bytes += c.report.bytes;
-      total_.last_byte = std::max(total_.last_byte, c.report.last_byte);
-    }
+    if (r == 0) finish(c);  // EOF: connection complete
     break;  // -EAGAIN or EOF
+  }
+}
+
+void IperfServer::accept_ready() {
+  while (static_cast<int>(conns_.size()) < expected_) {
+    int fds[8];
+    const std::size_t want = std::min<std::size_t>(
+        sizeof fds / sizeof fds[0],
+        static_cast<std::size_t>(expected_) - conns_.size());
+    const int k = ops_->accept_batch(listen_fd_, {fds, want});
+    if (k <= 0) break;
+    for (int i = 0; i < k; ++i) {
+      conns_.push_back(Conn{fds[i], IperfReport{}, false});
+      ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, fds[i], fstack::kEpollIn,
+                      static_cast<std::uint64_t>(fds[i]));
+    }
   }
 }
 
 bool IperfServer::step() {
   bool progress = false;
   fstack::FfEpollEvent evs[16];
-  const int n = ops_->epoll_wait(epfd_, evs);
+  // Multishot mode consumes the event ring with plain capability loads —
+  // no epoll_wait call (and, behind proxied ops, no crossing) per step.
+  const int n = ring_.has_value()
+                    ? static_cast<int>(ring_->pop(evs))
+                    : ops_->epoll_wait(epfd_, evs);
   for (int i = 0; i < n; ++i) {
     const int fd = static_cast<int>(evs[i].data);
     if (fd == listen_fd_) {
-      while (static_cast<int>(conns_.size()) < expected_) {
-        const int cfd = ops_->accept(listen_fd_);
-        if (cfd < 0) break;
-        conns_.push_back(Conn{cfd, IperfReport{}, false});
-        ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
-                        static_cast<std::uint64_t>(cfd));
-        progress = true;
-      }
+      const std::size_t before = conns_.size();
+      accept_ready();
+      progress |= conns_.size() != before;
       continue;
     }
     for (Conn& c : conns_) {
       if (c.fd != fd || c.done) continue;
+      const std::uint64_t before = c.report.bytes;
+      const bool was_done = c.done;
+      drain(c);
+      progress |= c.report.bytes != before || c.done != was_done;
+    }
+  }
+  // Delta-triggered ring events can announce data once for a stream that
+  // keeps arriving while the mask stays kEpollIn; re-drain active
+  // connections every step in multishot mode.
+  if (ring_.has_value() && n == 0) {
+    for (Conn& c : conns_) {
+      if (c.done) continue;
       const std::uint64_t before = c.report.bytes;
       const bool was_done = c.done;
       drain(c);
@@ -129,6 +223,14 @@ bool IperfClient::step() {
         if (r <= 0) return progress;  // buffer full: resume next step
         sent_ += static_cast<std::uint64_t>(r);
         progress = true;
+        if (reporter_.due(clock_->now())) {
+          char line[128];
+          std::snprintf(line, sizeof line,
+                        "iperf-client[fd %d]: %llu/%llu bytes", fd_,
+                        static_cast<unsigned long long>(sent_),
+                        static_cast<unsigned long long>(total_));
+          reporter_.sink()->add_line(line);
+        }
       }
       report_.bytes = sent_;
       report_.last_byte = clock_->now();
@@ -136,6 +238,15 @@ bool IperfClient::step() {
       state_ = State::kClosed;
       done_ = true;
       progress = true;
+      if (reporter_) {
+        char line[128];
+        std::snprintf(line, sizeof line,
+                      "iperf-client[fd %d]: done, %llu bytes, %.1f Mbit/s",
+                      fd_, static_cast<unsigned long long>(report_.bytes),
+                      report_.mbit_per_sec());
+        reporter_.sink()->add_line(line);
+        reporter_.sink()->flush();
+      }
       break;
     }
     case State::kClosed:

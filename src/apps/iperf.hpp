@@ -8,6 +8,8 @@
 #include <optional>
 
 #include "apps/ff_ops.hpp"
+#include "apps/telemetry.hpp"
+#include "fstack/event_ring.hpp"
 #include "sim/virtual_clock.hpp"
 #include "stats/stats.hpp"
 
@@ -28,9 +30,26 @@ struct IperfReport {
 /// Receiver ("server mode" in the paper's Table II).
 class IperfServer {
  public:
+  static constexpr std::size_t kZcBatch = 16;
+
   /// `rx` must be a writable capability buffer (>= 16 KiB recommended).
+  /// With `zero_copy`, connections drain through ff_zc_recv loans +
+  /// ff_zc_recycle instead of copying reads (falls back automatically when
+  /// the binding reports -ENOTSUP).
   IperfServer(FfOps* ops, sim::VirtualClock* clock, std::uint16_t port,
-              machine::CapView rx, int expected_connections = 1);
+              machine::CapView rx, int expected_connections = 1,
+              bool zero_copy = false);
+
+  /// Switch readiness to a multishot event ring backed by `ring_mem`
+  /// (FfEventRing::bytes_for(capacity) bytes of app memory): one arming
+  /// call replaces every subsequent epoll_wait. Returns 0 or -errno.
+  int use_multishot(machine::CapView ring_mem, std::uint32_t capacity);
+
+  /// Report per-interval throughput lines through a batched telemetry
+  /// sink (one SyscallBatch envelope per flush, not one write per line).
+  void set_telemetry(TelemetryBatch* sink, sim::Ns interval) {
+    reporter_.configure(sink, interval);
+  }
 
   /// Drive the server; returns true when progress was made.
   bool step();
@@ -57,6 +76,10 @@ class IperfServer {
   };
 
   void drain(Conn& c);
+  void drain_zero_copy(Conn& c);
+  void finish(Conn& c);
+  void accept_ready();
+  void interval_report(const Conn& c);
 
   FfOps* ops_;
   sim::VirtualClock* clock_;
@@ -65,6 +88,9 @@ class IperfServer {
   int epfd_ = -1;  // iperf3 was ported onto epoll (paper §III-B)
   int expected_;
   int completed_ = 0;
+  bool zero_copy_;
+  std::optional<fstack::FfEventRing> ring_;  // multishot consumer side
+  IntervalReporter reporter_;
   std::vector<Conn> conns_;
   IperfReport total_;
 };
@@ -80,6 +106,11 @@ class IperfClient {
               std::uint16_t port, std::uint64_t total_bytes,
               machine::CapView tx, std::size_t chunk = 1448,
               std::size_t batch = 1);
+
+  /// Batched interval/summary reporting (same contract as the server's).
+  void set_telemetry(TelemetryBatch* sink, sim::Ns interval) {
+    reporter_.configure(sink, interval);
+  }
 
   bool step();
   [[nodiscard]] bool finished() const noexcept { return done_; }
@@ -100,6 +131,7 @@ class IperfClient {
   State state_ = State::kConnecting;
   std::uint64_t sent_ = 0;
   bool done_ = false;
+  IntervalReporter reporter_;
   IperfReport report_;
 };
 

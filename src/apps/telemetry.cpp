@@ -1,0 +1,39 @@
+#include "apps/telemetry.hpp"
+
+#include <algorithm>
+
+namespace cherinet::apps {
+
+void TelemetryBatch::add_line(std::string_view line) {
+  if (pending_.size() >= kMaxLines || used_ + line.size() + 1 > buf_.size()) {
+    flush();
+  }
+  const std::size_t room = static_cast<std::size_t>(buf_.size()) - used_;
+  const std::size_t n = std::min(line.size(), room > 0 ? room - 1 : 0);
+  buf_.write(used_, std::as_bytes(std::span{line.data(), n}));
+  const char nl = '\n';
+  buf_.write(used_ + n, std::as_bytes(std::span{&nl, 1}));
+  pending_.push_back(Line{used_, n + 1});
+  used_ += n + 1;
+  ++lines_total_;
+}
+
+std::size_t TelemetryBatch::flush() {
+  if (pending_.empty()) return 0;
+  iv::SyscallRequest reqs[kMaxLines];
+  std::int64_t results[kMaxLines] = {};
+  const std::size_t n = std::min(pending_.size(), kMaxLines);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].nr = host::MuslSyscall::kWrite;
+    reqs[i].args[0] = 1;  // stdout
+    reqs[i].args[2] = pending_[i].len;
+    reqs[i].cap = buf_.window(pending_[i].off, pending_[i].len);
+  }
+  libc_->batch({reqs, n}, {results, n});
+  pending_.clear();
+  used_ = 0;
+  ++flushes_;
+  return n;
+}
+
+}  // namespace cherinet::apps

@@ -1,0 +1,95 @@
+// TelemetryBatch: batched stats/telemetry flushing for applications.
+//
+// The first in-tree producer of the SyscallBatch envelope: interval report
+// lines (iperf's per-second throughput rows, drone link stats, …)
+// accumulate in a capability-qualified buffer and flush through ONE
+// MuslLibc::batch call — one trampoline crossing, one boundary validation
+// sweep and one charged crossing cost for the whole report, instead of one
+// write(2) crossing per line. Timing reads cannot batch (t0 and t1 are
+// different instants by definition); console output is the natural fit the
+// ROADMAP called for.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "intravisor/musl.hpp"
+#include "machine/cap_view.hpp"
+#include "sim/virtual_clock.hpp"
+
+namespace cherinet::apps {
+
+class TelemetryBatch {
+ public:
+  /// Lines per envelope before an automatic flush (the SyscallBatch the
+  /// libc issues holds one write(2) image per line).
+  static constexpr std::size_t kMaxLines = 16;
+
+  /// `buf` is the marshalling area the line bytes live in until the flush;
+  /// each line crosses as its own exactly-bounded sub-capability.
+  TelemetryBatch(iv::MuslLibc* libc, machine::CapView buf)
+      : libc_(libc), buf_(buf) {}
+
+  /// Append one report line (a newline is added). Auto-flushes when the
+  /// line table or the buffer fills. Oversized lines are truncated to the
+  /// buffer.
+  void add_line(std::string_view line);
+
+  /// Issue everything accumulated as one syscall batch. Returns the number
+  /// of lines flushed (0 when there was nothing to do).
+  std::size_t flush();
+
+  [[nodiscard]] std::uint64_t lines_total() const noexcept {
+    return lines_total_;
+  }
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct Line {
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
+  iv::MuslLibc* libc_;
+  machine::CapView buf_;
+  std::size_t used_ = 0;
+  std::vector<Line> pending_;
+  std::uint64_t lines_total_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+/// The interval-report throttle iperf's client and server share: one sink,
+/// one cadence, first tick one full interval after the first check.
+class IntervalReporter {
+ public:
+  void configure(TelemetryBatch* sink, sim::Ns interval) noexcept {
+    sink_ = sink;
+    interval_ = interval;
+    next_ = sim::Ns{0};
+  }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return sink_ != nullptr && interval_.count() > 0;
+  }
+  [[nodiscard]] TelemetryBatch* sink() const noexcept { return sink_; }
+  /// True when a report is due at `now` (advances the schedule).
+  [[nodiscard]] bool due(sim::Ns now) noexcept {
+    if (sink_ == nullptr || interval_.count() == 0) return false;
+    if (next_.count() == 0 || now < next_) {
+      if (next_.count() == 0) next_ = now + interval_;
+      return false;
+    }
+    next_ = now + interval_;
+    return true;
+  }
+
+ private:
+  TelemetryBatch* sink_ = nullptr;
+  sim::Ns interval_{0};
+  sim::Ns next_{0};
+};
+
+}  // namespace cherinet::apps

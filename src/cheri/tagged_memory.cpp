@@ -148,6 +148,15 @@ std::uint32_t TaggedMemory::atomic_load_u32(const Capability& auth,
   return word.load(std::memory_order_acquire);
 }
 
+void TaggedMemory::atomic_store_u32(const Capability& auth,
+                                    std::uint64_t addr, std::uint32_t value) {
+  auth.check(Access::kStore, addr, sizeof(std::uint32_t));
+  bounds_or_die(addr, sizeof(std::uint32_t));
+  clear_tags(addr, sizeof(std::uint32_t));
+  std::atomic_ref<std::uint32_t> word(*aligned_word(mem_.data(), addr));
+  word.store(value, std::memory_order_release);
+}
+
 bool TaggedMemory::tag_at(std::uint64_t addr) const {
   if (addr >= mem_.size()) return false;
   return tags_[addr / kGranule] != 0;

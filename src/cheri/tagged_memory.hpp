@@ -84,6 +84,10 @@ class TaggedMemory {
                                     std::uint64_t addr, std::uint32_t value);
   [[nodiscard]] std::uint32_t atomic_load_u32(const Capability& auth,
                                               std::uint64_t addr) const;
+  /// Atomic store with release ordering — publishes an event-ring index
+  /// after its payload bytes (the STLR of an SPSC ring producer).
+  void atomic_store_u32(const Capability& auth, std::uint64_t addr,
+                        std::uint32_t value);
 
   /// Tag of the granule containing `addr` (diagnostics / tests).
   [[nodiscard]] bool tag_at(std::uint64_t addr) const;

@@ -76,6 +76,22 @@ std::int64_t ff_zc_send(FfStack& st, int fd, FfZcBuf& zc, std::size_t len,
 
 int ff_zc_abort(FfStack& st, FfZcBuf& zc) { return st.sock_zc_abort(zc); }
 
+std::int64_t ff_zc_recv(FfStack& st, int fd, std::span<FfZcRxBuf> out) {
+  return st.sock_zc_recv(fd, out);
+}
+
+int ff_zc_recycle(FfStack& st, FfZcRxBuf& zc) {
+  return st.sock_zc_recycle(zc);
+}
+
+std::int64_t ff_zc_recycle_batch(FfStack& st, std::span<FfZcRxBuf> zcs) {
+  std::int64_t n = 0;
+  for (FfZcRxBuf& zc : zcs) {
+    if (st.sock_zc_recycle(zc) == 0) ++n;
+  }
+  return n;
+}
+
 std::int64_t ff_sendto(FfStack& st, int fd, const machine::CapView& buf,
                        std::size_t nbytes, const FfSockAddrIn& to) {
   return st.sock_sendto(fd, buf, nbytes, to.ip, to.port);
@@ -103,6 +119,16 @@ int ff_epoll_ctl(FfStack& st, int epfd, EpollOp op, int fd,
 
 int ff_epoll_wait(FfStack& st, int epfd, std::span<FfEpollEvent> events) {
   return st.epoll_wait(epfd, events);
+}
+
+int ff_epoll_wait_multishot(FfStack& st, int epfd,
+                            const machine::CapView& ring,
+                            std::uint32_t capacity) {
+  return st.epoll_wait_multishot(epfd, ring, capacity);
+}
+
+int ff_epoll_cancel_multishot(FfStack& st, int epfd) {
+  return st.epoll_cancel_multishot(epfd);
 }
 
 }  // namespace cherinet::fstack

@@ -16,6 +16,13 @@
 //  ff_sendto(fd, cap, n, to) x N      | ff_sendmsg_batch(fd, {msg...})
 //  ff_recvfrom(fd, cap, n, &from) x N | ff_recvmsg_batch(fd, {msg...})
 //  copy into cap, then ff_sendto      | ff_zc_alloc + write + ff_zc_send
+//  ff_read copies out of the stack    | ff_zc_recv(fd, {loan...}) +
+//    (RX byte ring memcpy per call)   |   ff_zc_recycle[_batch]: read-only
+//                                     |   mbuf loans, zero receive copies
+//  ff_epoll_wait(epfd, evs) per loop  | ff_epoll_wait_multishot(epfd, ring)
+//    (one crossing per wait)          |   armed ONCE; event batches land in
+//                                     |   the caller's capability ring every
+//                                     |   main-loop iteration, no re-cross
 // ------------------------------------------------------------------------
 //  semantics deltas:
 //   * one bounds/permission validation sweep covers the whole batch and is
@@ -23,7 +30,19 @@
 //   * short counts replace -EAGAIN when only part of a batch fits;
 //   * zero-length iovecs are legal and skipped; an all-empty batch is 0;
 //   * a consumed FfZcBuf token (double ff_zc_send / send after abort)
-//     returns -EINVAL.
+//     returns -EINVAL;
+//   * ff_zc_recv loans are exactly bounded and READ-ONLY; the data room
+//     returns to the pool only through ff_zc_recycle, and a double recycle
+//     or forged token is -EINVAL; outstanding loans stay charged against
+//     the receive window, so a slow recycler throttles its peer;
+//   * ff_read/ff_readv interleave freely with outstanding loans: bytes
+//     still arrive in order (the copy is simply taken lazily from the
+//     queued RX chain instead of an eager per-segment memcpy);
+//   * multishot events are activity-triggered: an fd re-reports when its
+//     readiness mask changes OR when new readiness activity lands (more
+//     bytes / another queued connection) while the mask is unchanged —
+//     consumers must drain and tolerate events for data already consumed
+//     (io_uring multishot discipline).
 //
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
@@ -95,6 +114,18 @@ std::int64_t ff_zc_send(FfStack& st, int fd, FfZcBuf& zc, std::size_t len,
                         const FfSockAddrIn& to);
 int ff_zc_abort(FfStack& st, FfZcBuf& zc);
 
+// Zero-copy RX (TCP and UDP). ff_zc_recv pops up to out.size() queued
+// receive slices as exactly-bounded READ-ONLY capability loans into the RX
+// mbuf data rooms — the bytes are never copied through a socket buffer.
+// Returns loans filled, 0 at EOF, -EAGAIN when nothing is queued, or
+// -errno. Each loan must be returned with ff_zc_recycle (the ONLY path by
+// which the data room goes back to the pool); a double recycle or forged
+// token is -EINVAL. ff_zc_recycle_batch recycles a whole burst and returns
+// the number recycled.
+std::int64_t ff_zc_recv(FfStack& st, int fd, std::span<FfZcRxBuf> out);
+int ff_zc_recycle(FfStack& st, FfZcRxBuf& zc);
+std::int64_t ff_zc_recycle_batch(FfStack& st, std::span<FfZcRxBuf> zcs);
+
 int ff_close(FfStack& st, int fd);
 
 // epoll (the mechanism the paper ported iperf3 onto).
@@ -102,6 +133,16 @@ int ff_epoll_create(FfStack& st);
 int ff_epoll_ctl(FfStack& st, int epfd, EpollOp op, int fd,
                  std::uint32_t events, std::uint64_t data);
 int ff_epoll_wait(FfStack& st, int epfd, std::span<FfEpollEvent> events);
+/// Multishot wait: arm ONCE with a caller-provided capability ring (layout
+/// in event_ring.hpp; capacity must be a power of two); the stack's main
+/// loop then publishes readiness batches into the ring across iterations
+/// with no further call — and, in Scenario 2, no further compartment
+/// crossing. Returns events published immediately, or -errno. Re-arming
+/// replaces the ring and republishes.
+int ff_epoll_wait_multishot(FfStack& st, int epfd,
+                            const machine::CapView& ring,
+                            std::uint32_t capacity);
+int ff_epoll_cancel_multishot(FfStack& st, int epfd);
 
 /// One iteration of the F-Stack main loop: process ring buffers of the
 /// DPDK driver, then run the user-defined function (paper §III-B).

@@ -53,6 +53,22 @@ inline void ff_sweep_iovecs(std::span<const FfIovec> iov,
   }
 }
 
+/// One zero-copy RX loan: `data` is an exactly-bounded READ-ONLY capability
+/// straight into the RX mbuf data room that received the bytes — no copy
+/// through any socket buffer. The application reads the payload in place
+/// and returns the buffer with ff_zc_recycle; until then the loaned bytes
+/// stay charged against the socket's receive window. The token is consumed
+/// by recycle; a reused or forged token is -EINVAL.
+struct FfZcRxBuf {
+  std::uint64_t token = 0;  // 0 = invalid / already recycled
+  machine::CapView data;
+  FfSockAddrIn from{};  // datagram source (UDP; the peer for TCP)
+
+  [[nodiscard]] bool valid() const noexcept {
+    return token != 0 && data.valid();
+  }
+};
+
 /// A zero-copy TX reservation: `data` is a bounded capability directly into
 /// an updk::Mbuf data room — the application writes its payload through it
 /// and submits with ff_zc_send, skipping the copy through the socket layer.

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 
+#include "fstack/event_ring.hpp"
+
 namespace cherinet::fstack {
 
 int EpollInstance::ctl(EpollOp op, int fd, std::uint32_t events,
@@ -18,9 +20,50 @@ int EpollInstance::ctl(EpollOp op, int fd, std::uint32_t events,
       return 0;
     }
     case EpollOp::kDel:
+      last_.erase(fd);
       return interest_.erase(fd) > 0 ? 0 : -ENOENT;
   }
   return -EINVAL;
+}
+
+void EpollInstance::arm_multishot(machine::CapView ring,
+                                  std::uint32_t capacity) {
+  ring_ = ring;
+  ring_capacity_ = capacity;
+  last_.clear();  // re-arming republishes the current readiness
+}
+
+void EpollInstance::disarm_multishot() {
+  ring_.reset();
+  ring_capacity_ = 0;
+  last_.clear();
+}
+
+bool EpollInstance::publish(int fd, std::uint32_t ready, std::uint64_t gen) {
+  auto& last = last_[fd];
+  if (ready == 0) {  // went quiet: remember, but epoll delivers no event
+    last.mask = 0;
+    last.gen = gen;
+    return false;
+  }
+  if (ready == last.mask && gen == last.gen) return false;
+  const machine::CapView& r = *ring_;
+  const std::uint32_t head = r.atomic_load_u32(0);
+  const std::uint32_t tail = r.atomic_load_u32(4);
+  if (tail - head >= ring_capacity_) {  // full: drop, retry next iteration
+    r.atomic_store_u32(12, r.atomic_load_u32(12) + 1);
+    return false;
+  }
+  const std::uint32_t slot = tail & (ring_capacity_ - 1);
+  const std::uint64_t off = FfEventRing::kHeaderBytes +
+                            static_cast<std::uint64_t>(slot) *
+                                FfEventRing::kEventBytes;
+  r.store<std::uint32_t>(off, ready);
+  r.store<std::uint64_t>(off + 4, interest_.at(fd).data);
+  r.atomic_store_u32(4, tail + 1);  // release: payload before index
+  last.mask = ready;
+  last.gen = gen;
+  return true;
 }
 
 }  // namespace cherinet::fstack

@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+
+#include "machine/cap_view.hpp"
 
 namespace cherinet::fstack {
 
@@ -36,8 +39,40 @@ class EpollInstance {
     return interest_;
   }
 
+  // ---- multishot arming (see event_ring.hpp for the ring contract) ----
+  // While armed, the owning stack publishes readiness-CHANGE events into
+  // the caller-provided capability ring every main-loop iteration; the
+  // application consumes them without crossing back in. Delta-triggered:
+  // an fd re-reports only after its ready mask changes (drain fully, like
+  // io_uring multishot poll).
+
+  /// Arm (or re-arm) with a writable ring of `capacity` event slots.
+  void arm_multishot(machine::CapView ring, std::uint32_t capacity);
+  void disarm_multishot();
+  [[nodiscard]] bool multishot_armed() const noexcept {
+    return ring_.has_value();
+  }
+
+  /// Publish `ready` for `fd` if the mask changed OR new readiness
+  /// activity happened since the last publication (`gen` is a monotonic
+  /// per-fd activity counter: bytes delivered, connections queued, …).
+  /// Without the generation, a consumer that drains to -EAGAIN right
+  /// before more data lands would never see another event — the classic
+  /// edge-trigger lost wakeup. Returns true when an event was written
+  /// (false: no change, empty mask, or ring full — counted in the ring's
+  /// overflow word).
+  bool publish(int fd, std::uint32_t ready, std::uint64_t gen);
+
  private:
+  struct Published {
+    std::uint32_t mask = 0;
+    std::uint64_t gen = 0;
+  };
+
   std::map<int, Interest> interest_;
+  std::optional<machine::CapView> ring_;
+  std::uint32_t ring_capacity_ = 0;
+  std::map<int, Published> last_;
 };
 
 }  // namespace cherinet::fstack

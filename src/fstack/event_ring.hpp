@@ -1,0 +1,96 @@
+// FfEventRing: the caller-provided capability ring multishot epoll fills.
+//
+// One armed ff_epoll_wait_multishot hands the stack a bounded, writable
+// capability into application memory; from then on the stack's main loop
+// publishes readiness-change events into the ring across iterations and the
+// application consumes them with plain capability loads — ZERO compartment
+// crossings per wait (io_uring-style multishot, paper ROADMAP item). The
+// ring is SPSC: the stack is the only producer (tail), the application the
+// only consumer (head); both indices are free-running u32s published with
+// release stores and read with acquire loads through tagged memory's atomic
+// word ops, so the two compartments never race on payload bytes.
+//
+// Layout (all little-endian host order, offsets in bytes):
+//   [0]  u32 head      — consumer cursor (app-owned)
+//   [4]  u32 tail      — producer cursor (stack-owned)
+//   [8]  u32 capacity  — event slots (written at arm time, diagnostic)
+//   [12] u32 overflow  — publish attempts blocked by a full ring. Blocked
+//        events are RETRIED (not lost) on later iterations, so this is a
+//        backpressure indicator and may count one slow-to-drain event
+//        several times
+//   [16] events: capacity * 12 bytes, each { u32 events, u64 data }
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fstack/epoll.hpp"
+#include "machine/cap_view.hpp"
+
+namespace cherinet::fstack {
+
+class FfEventRing {
+ public:
+  static constexpr std::uint32_t kHeaderBytes = 16;
+  static constexpr std::uint32_t kEventBytes = 12;
+
+  /// Bytes of backing memory a ring of `capacity` slots needs.
+  [[nodiscard]] static constexpr std::size_t bytes_for(
+      std::uint32_t capacity) noexcept {
+    return kHeaderBytes + static_cast<std::size_t>(capacity) * kEventBytes;
+  }
+
+  /// Capacities must be powers of two: the free-running u32 cursors map to
+  /// slots with a mask, which stays continuous across index wraparound
+  /// (a modulo by a non-power-of-two would jump slots at 2^32).
+  [[nodiscard]] static constexpr bool valid_capacity(
+      std::uint32_t capacity) noexcept {
+    return capacity != 0 && (capacity & (capacity - 1)) == 0;
+  }
+
+  FfEventRing() = default;
+  /// Wrap (and zero-initialize) ring memory of at least bytes_for(capacity).
+  FfEventRing(machine::CapView mem, std::uint32_t capacity)
+      : mem_(mem), capacity_(capacity) {
+    mem_.atomic_store_u32(0, 0);
+    mem_.atomic_store_u32(4, 0);
+    mem_.atomic_store_u32(8, capacity);
+    mem_.atomic_store_u32(12, 0);
+  }
+
+  [[nodiscard]] const machine::CapView& memory() const noexcept {
+    return mem_;
+  }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Consume up to out.size() published events — pure capability loads, no
+  /// crossing. Returns the number popped.
+  std::size_t pop(std::span<FfEpollEvent> out) {
+    const std::uint32_t tail = mem_.atomic_load_u32(4);  // acquire
+    std::uint32_t head = mem_.atomic_load_u32(0);
+    std::size_t n = 0;
+    while (n < out.size() && head != tail) {
+      const std::uint32_t slot = head & (capacity_ - 1);
+      const std::uint64_t off =
+          kHeaderBytes + static_cast<std::uint64_t>(slot) * kEventBytes;
+      out[n].events = mem_.load<std::uint32_t>(off);
+      out[n].data = mem_.load<std::uint64_t>(off + 4);
+      ++head;
+      ++n;
+    }
+    if (n > 0) mem_.atomic_store_u32(0, head);  // release the slots
+    return n;
+  }
+
+  /// Publish attempts the producer had to defer because the ring was full
+  /// (a backpressure signal — deferred events retry and are never lost).
+  [[nodiscard]] std::uint32_t overflows() const {
+    return mem_.atomic_load_u32(12);
+  }
+
+ private:
+  machine::CapView mem_;
+  std::uint32_t capacity_ = 0;
+};
+
+}  // namespace cherinet::fstack

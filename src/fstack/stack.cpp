@@ -5,12 +5,29 @@
 #include <cstring>
 
 #include "fstack/checksum.hpp"
+#include "fstack/event_ring.hpp"
 
 namespace cherinet::fstack {
 
 namespace {
 constexpr std::size_t kRxBurst = 32;
 constexpr std::size_t kFrameScratch = 1664;  // MTU + headers + slack
+
+/// Copy a queued datagram out to a caller capability (loan- or copy-backed
+/// alike) — the one block ff_recvfrom and ff_recvmsg_batch share, so the
+/// clamping and census accounting cannot diverge.
+std::size_t udp_copy_out(const fstack::UdpDatagram& d,
+                         const machine::CapView& dst, std::size_t n) {
+  const std::size_t copy = std::min(n, d.size());
+  if (d.mbuf != nullptr) {
+    std::byte scratch[512];
+    machine::cap_copy(dst, 0, d.mbuf->room.window(d.off, copy), 0, copy,
+                      scratch);
+  } else {
+    dst.write(0, std::span<const std::byte>{d.data.data(), copy});
+  }
+  return copy;
+}
 
 /// Receive-side sweep: byte counts are clamped to the capability's bounds
 /// (matching v1 read semantics, where a datagram shorter than the claimed
@@ -37,8 +54,10 @@ FfStack::FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
       iss_state_(cfg_.iss_seed) {}
 
 FfStack::~FfStack() {
-  // Release zero-copy reservations the application never submitted.
+  // Release zero-copy reservations the application never submitted and
+  // loans it never recycled.
   for (auto& [token, m] : zc_pending_) pool_->free(m);
+  for (auto& [token, loan] : zc_rx_loans_) pool_->recycle(loan.m);
 }
 
 // ===========================================================================
@@ -56,9 +75,24 @@ bool FfStack::run_once() {
         std::min<std::size_t>(rx[i]->data_len, sizeof scratch);
     rx[i]->data().read(0, std::span<std::byte>{scratch, len});
     stats_.rx_frames++;
+    // The scratch read above is the emulated capability-checked load of
+    // the frame for HEADER parsing (on hardware the stack reads the same
+    // bytes through the mbuf capability); the copy the zero-copy pipeline
+    // eliminates — and the RX census counts — is the per-byte transfer of
+    // PAYLOAD into socket buffers. While this frame is in flight, protocol
+    // handlers convert payload spans back into (mbuf, offset) slices and
+    // queue them zero-copy.
+    rx_cur_ = rx[i];
+    rx_cur_base_ = scratch;
+    rx_cur_len_ = len;
     ether_input(std::span<const std::byte>{scratch, len});
+    rx_cur_ = nullptr;
+    rx_cur_base_ = nullptr;
+    rx_cur_len_ = 0;
   }
-  pool_->free_bulk({rx, n});  // return the whole burst in one pass
+  // Return the burst in one pass; data rooms queued onward as loans stay
+  // alive through their extra reference and return via Mempool::recycle.
+  pool_->free_bulk({rx, n});
   progress |= n > 0;
 
   process_timers(clock_->now(), progress);
@@ -69,7 +103,25 @@ bool FfStack::run_once() {
   }
 
   reap_closed();
+  publish_multishot();
   return progress;
+}
+
+std::optional<MbufSlice> FfStack::rx_slice_of(
+    std::span<const std::byte> bytes) const {
+  if (rx_cur_ == nullptr || bytes.empty()) return std::nullopt;
+  const std::byte* base = rx_cur_base_;
+  if (bytes.data() < base || bytes.data() + bytes.size() > base + rx_cur_len_) {
+    return std::nullopt;  // reassembled or stack-synthesized bytes
+  }
+  const auto off = static_cast<std::uint32_t>(bytes.data() - base);
+  return MbufSlice{rx_cur_, rx_cur_->data_off + off,
+                   static_cast<std::uint32_t>(bytes.size())};
+}
+
+std::optional<MbufSlice> FfStack::tcp_rx_loan(
+    std::span<const std::byte> payload) {
+  return rx_slice_of(payload);
 }
 
 std::optional<sim::Ns> FfStack::next_deadline() const {
@@ -94,6 +146,11 @@ void FfStack::reap_closed() {
   for (auto it = detached_.begin(); it != detached_.end();) {
     TcpPcb* pcb = *it;
     if (pcb->closed()) {
+      // Outstanding loans outlive their connection: detach them from the
+      // dying PCB so recycling degrades to a pure pool return.
+      for (auto& [token, loan] : zc_rx_loans_) {
+        if (loan.pcb == pcb) loan.pcb = nullptr;
+      }
       pending_output_.erase(pcb);
       tcp_pcbs_.erase(pcb->tuple());
       it = detached_.erase(it);
@@ -101,6 +158,44 @@ void FfStack::reap_closed() {
       ++it;
     }
   }
+}
+
+std::uint64_t FfStack::sock_rx_activity(int fd) const {
+  const Socket* s = socks_.get(fd);
+  if (s == nullptr) return 0;
+  switch (s->kind) {
+    case SockKind::kTcp:
+      if (s->pcb == nullptr) return 0;
+      if (s->listening) return s->pcb->accept_ready_total;
+      return s->pcb->counters().bytes_in;
+    case SockKind::kUdp:
+      return s->udp->delivered_total();
+    case SockKind::kEpoll:
+      break;
+  }
+  return 0;
+}
+
+int FfStack::publish_ready(EpollInstance& ep) {
+  int published = 0;
+  for (const auto& [fd, interest] : ep.interest()) {
+    const std::uint32_t ready =
+        sock_readiness(fd) & (interest.events | kEpollErr | kEpollHup);
+    if (ep.publish(fd, ready, sock_rx_activity(fd))) {
+      api_.multishot_events++;
+      ++published;
+    }
+  }
+  return published;
+}
+
+void FfStack::publish_multishot() {
+  socks_.for_each([this](Socket& s) {
+    if (s.kind == SockKind::kEpoll && s.epoll &&
+        s.epoll->multishot_armed()) {
+      publish_ready(*s.epoll);
+    }
+  });
 }
 
 // ===========================================================================
@@ -223,7 +318,22 @@ void FfStack::udp_input(const Ipv4Header& ih, std::span<const std::byte> l4) {
   d.src = ih.src;
   d.src_port = uh->src_port;
   const auto body = l4.subspan(UdpHeader::kSize, uh->length - UdpHeader::kSize);
-  d.data.assign(body.begin(), body.end());
+  // Queue the datagram as a loan of the RX data room whenever the payload
+  // sits in one mbuf; reassembled fragments fall back to a copy. The
+  // queue's budget charges loans at data-room granularity (UdpDatagram::
+  // charge), so a small-datagram flood throttles its own socket instead
+  // of pinning the shared pool.
+  if (const auto slice = rx_slice_of(body); slice.has_value()) {
+    pool_->retain(slice->m);
+    d.mbuf = slice->m;
+    d.off = slice->off;
+    d.len = slice->len;
+    rx_stats_.loaned_segs++;
+    rx_stats_.loaned_bytes += slice->len;
+  } else {
+    d.data.assign(body.begin(), body.end());
+    rx_stats_.fallback_bytes += body.size();
+  }
   it->second->deliver(std::move(d));
 }
 
@@ -422,11 +532,14 @@ TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
 
 void FfStack::tcp_accept_ready(TcpPcb& listener, TcpPcb& child) {
   listener.accept_queue.push_back(&child);
+  listener.accept_ready_total++;
 }
 
 TcpPcb* FfStack::make_pcb() {
   SockBuf snd(heap_->alloc_view(cfg_.tcp.sndbuf_bytes));
-  SockBuf rcv(heap_->alloc_view(cfg_.tcp.rcvbuf_bytes));
+  // The receive side is a loan chain over RX mbufs — no byte ring, no
+  // eager copy; the budget replaces the old buffer's capacity.
+  RxChain rcv(cfg_.tcp.rcvbuf_bytes, pool_, &rx_stats_);
   return new TcpPcb(this, cfg_.tcp, std::move(snd), std::move(rcv));
 }
 
@@ -460,7 +573,9 @@ std::uint16_t FfStack::alloc_ephemeral_port() {
 
 int FfStack::sock_socket(SockKind kind) {
   Socket* s = socks_.create(kind);
-  return s != nullptr ? s->fd : -EMFILE;
+  if (s == nullptr) return -EMFILE;
+  if (s->kind == SockKind::kUdp) s->udp->set_pool(pool_);
+  return s->fd;
 }
 
 int FfStack::sock_bind(int fd, Ipv4Addr ip, std::uint16_t port) {
@@ -485,7 +600,7 @@ int FfStack::sock_listen(int fd, int backlog) {
   if (s == nullptr || s->kind != SockKind::kTcp) return -EBADF;
   if (!s->bound) return -EINVAL;
   if (tcp_listeners_.contains(s->local_port)) return -EADDRINUSE;
-  auto pcb = std::make_unique<TcpPcb>(this, cfg_.tcp, SockBuf{}, SockBuf{});
+  auto pcb = std::make_unique<TcpPcb>(this, cfg_.tcp, SockBuf{}, RxChain{});
   pcb->open_listen(s->local_ip, s->local_port);
   pcb->backlog = std::max(backlog, 1);
   s->pcb = pcb.get();
@@ -694,14 +809,15 @@ std::int64_t FfStack::sock_recvfrom(int fd, const machine::CapView& buf,
   if (!s->udp->readable()) return -EAGAIN;
   api_.v1_calls++;
   UdpDatagram d = s->udp->pop();
-  const std::size_t copy = std::min(n, d.data.size());
-  buf.write(0, std::span<const std::byte>{d.data.data(), copy});
+  const std::size_t copy = udp_copy_out(d, buf, n);
+  rx_stats_.copied_bytes += copy;
   if (from_out != nullptr) {
     from_out->remote_ip = d.src;
     from_out->remote_port = d.src_port;
     from_out->local_ip = s->local_ip;
     from_out->local_port = s->local_port;
   }
+  s->udp->release(std::move(d));
   return static_cast<std::int64_t>(copy);
 }
 
@@ -725,12 +841,13 @@ std::int64_t FfStack::sock_recvmsg_batch(int fd, std::span<FfMsg> msgs) {
     // Clamp to the destination capability as well: the pre-flight sweep
     // only probed the clamped range, so an unclamped copy could fault
     // mid-batch and destroy an already-popped datagram.
-    const std::size_t copy = std::min(
-        {m.len, d.data.size(), static_cast<std::size_t>(m.buf.size())});
-    m.buf.write(0, std::span<const std::byte>{d.data.data(), copy});
+    const std::size_t copy = udp_copy_out(
+        d, m.buf, std::min(m.len, static_cast<std::size_t>(m.buf.size())));
+    rx_stats_.copied_bytes += copy;
     m.addr.ip = d.src;
     m.addr.port = d.src_port;
     m.result = static_cast<std::int64_t>(copy);
+    s->udp->release(std::move(d));
     ++filled;
   }
   return filled;
@@ -745,6 +862,13 @@ std::int64_t FfStack::sock_recvmsg_batch(int fd, std::span<FfMsg> msgs) {
 
 int FfStack::sock_zc_alloc(std::size_t len, FfZcBuf* out) {
   if (out == nullptr || len == 0) return -EINVAL;
+  // Every failure path invalidates the caller's handle: a stale token left
+  // in a reused FfZcBuf after a failed re-alloc (the classic case: retrying
+  // against an exhausted pool) must not keep granting the previous
+  // reservation, or an abort-on-failure cleanup would release a buffer the
+  // application still believes is in flight.
+  out->token = 0;
+  out->data = machine::CapView{};
   const std::size_t max_payload =
       cfg_.netif.mtu - Ipv4Header::kSize - UdpHeader::kSize;
   if (len > max_payload) return -EMSGSIZE;  // zc datagrams never fragment
@@ -777,9 +901,12 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     const int r = sock_bind(fd, Ipv4Addr{}, 0);
     if (r != 0) return r;
   }
-  // The token is consumed from here on, whatever the outcome.
+  // The token is consumed from here on, whatever the outcome — and so is
+  // the data view: a consumed handle must not keep aliasing a data room the
+  // pool may hand to another flow.
   zc_pending_.erase(it);
   zc.token = 0;
+  zc.data = machine::CapView{};
 
   const Ipv4Addr hop = next_hop_for(ip);
   const auto mac = arp_.lookup(hop, clock_->now());
@@ -864,7 +991,112 @@ int FfStack::sock_zc_abort(FfZcBuf& zc) {
   pool_->free(it->second);
   zc_pending_.erase(it);
   zc.token = 0;
+  zc.data = machine::CapView{};  // drop the alias along with the token
   api_.zc_aborts++;
+  return 0;
+}
+
+// ===========================================================================
+// Zero-copy RX: pop queued mbuf slices as exactly-bounded read-only loans.
+// The loan's data room returns to the pool ONLY through sock_zc_recycle —
+// the token table and the per-socket window accounting both outlive the
+// connection that produced the bytes.
+// ===========================================================================
+
+std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr) return -EBADF;
+  if (out.empty()) return 0;
+  api_.batch_calls++;
+  api_.batched_items += out.size();
+
+  const auto issue = [this](FfZcRxBuf& o, const MbufSlice& slice,
+                            std::size_t charge, const FfSockAddrIn& from,
+                            TcpPcb* pcb, UdpPcb* udp) {
+    const std::uint64_t token = next_zc_rx_token_++;
+    zc_rx_loans_.emplace(
+        token,
+        ZcRxLoan{slice.m, pcb, udp, static_cast<std::uint32_t>(charge)});
+    if (udp != nullptr) udp->charge_loan(charge);
+    o.token = token;
+    o.data = slice.m->loan(slice.off, slice.len);
+    o.from = from;
+    api_.zc_rx_loans++;
+  };
+
+  std::int64_t filled = 0;
+  if (s->kind == SockKind::kTcp) {
+    if (s->pcb == nullptr || s->listening) return -EBADF;
+    TcpPcb* pcb = s->pcb;
+    const FfSockAddrIn peer{pcb->tuple().remote_ip, pcb->tuple().remote_port};
+    for (FfZcRxBuf& o : out) {
+      const bool had_data = pcb->rx_used() > 0;
+      std::size_t charge = 0;
+      const auto slice = pcb->zc_rx_pop(&charge);
+      if (!slice.has_value()) {
+        if (had_data) return filled > 0 ? filled : -ENOBUFS;  // bounce failed
+        break;
+      }
+      issue(o, *slice, charge, peer, pcb, nullptr);
+      ++filled;
+    }
+    if (filled > 0) return filled;
+    if (pcb->eof()) return 0;
+    if (pcb->error() != 0) return -pcb->error();
+    return -EAGAIN;
+  }
+  if (s->kind == SockKind::kUdp) {
+    for (FfZcRxBuf& o : out) {
+      if (!s->udp->readable()) break;
+      if (s->udp->front().mbuf == nullptr) {
+        // Copy-backed datagram (reassembled): bounce through a fresh mbuf
+        // so the recycle lifecycle stays uniform. A datagram too large for
+        // any data room can NEVER bounce — report -EMSGSIZE (receive it
+        // with ff_recvfrom instead) rather than an -ENOBUFS no recycling
+        // could ever clear. Within-room bounces happen BEFORE the pop, so
+        // -ENOBUFS leaves the datagram queued and genuinely retriable.
+        if (s->udp->front().data.size() + updk::kMbufHeadroom >
+            pool_->data_room()) {
+          return filled > 0 ? filled : -EMSGSIZE;
+        }
+        updk::Mbuf* fresh =
+            bounce_into_mbuf(pool_, s->udp->front().data, &rx_stats_);
+        if (fresh == nullptr) {
+          return filled > 0 ? filled : -ENOBUFS;
+        }
+        const UdpDatagram d = s->udp->pop();
+        issue(o,
+              MbufSlice{fresh, fresh->data_off,
+                        static_cast<std::uint32_t>(d.data.size())},
+              fresh->room_size(), {d.src, d.src_port}, nullptr,
+              s->udp.get());
+      } else {
+        // The queue's reference transfers to the loan table; the loan
+        // pins (and charges) the whole data room until recycled.
+        UdpDatagram d = s->udp->pop();
+        issue(o, MbufSlice{d.mbuf, d.off, d.len}, d.mbuf->room_size(),
+              {d.src, d.src_port}, nullptr, s->udp.get());
+      }
+      ++filled;
+    }
+    return filled > 0 ? filled : -EAGAIN;
+  }
+  return -EBADF;
+}
+
+int FfStack::sock_zc_recycle(FfZcRxBuf& zc) {
+  const auto it = zc_rx_loans_.find(zc.token);
+  if (zc.token == 0 || it == zc_rx_loans_.end()) {
+    return -EINVAL;  // double recycle / forged token
+  }
+  const ZcRxLoan loan = it->second;
+  zc_rx_loans_.erase(it);
+  pool_->recycle(loan.m);
+  if (loan.pcb != nullptr) loan.pcb->zc_rx_credit(loan.charge);
+  if (loan.udp != nullptr) loan.udp->credit_loan(loan.charge);
+  zc.token = 0;
+  zc.data = machine::CapView{};
+  api_.zc_rx_recycles++;
   return 0;
 }
 
@@ -897,6 +1129,11 @@ int FfStack::sock_close(int fd) {
       break;
     case SockKind::kUdp:
       udp_binds_.erase(s->local_port);
+      // The UdpPcb dies with the fd; outstanding loans detach from its
+      // budget and recycle as pure pool returns.
+      for (auto& [token, loan] : zc_rx_loans_) {
+        if (loan.udp == s->udp.get()) loan.udp = nullptr;
+      }
       break;
     case SockKind::kEpoll:
       break;
@@ -957,6 +1194,34 @@ int FfStack::epoll_wait(int epfd, std::span<FfEpollEvent> out) {
     }
   }
   return n;
+}
+
+int FfStack::epoll_wait_multishot(int epfd, const machine::CapView& ring,
+                                  std::uint32_t capacity) {
+  Socket* e = socks_.get(epfd);
+  if (e == nullptr || e->kind != SockKind::kEpoll) return -EBADF;
+  if (!FfEventRing::valid_capacity(capacity) ||
+      ring.size() < FfEventRing::bytes_for(capacity)) {
+    return -EINVAL;
+  }
+  // The arming call is the ONE crossing this wait stream ever pays: the
+  // ring capability is validated for store access over its whole extent
+  // here, exactly once (a bad grant faults now, not mid-publication).
+  ring.cap().check(cheri::Access::kStore, ring.address(),
+                   FfEventRing::bytes_for(capacity));
+  e->epoll->arm_multishot(ring, capacity);
+  api_.multishot_arms++;
+  // Publish current readiness immediately so the caller need not wait for
+  // the next main-loop iteration.
+  return publish_ready(*e->epoll);
+}
+
+int FfStack::epoll_cancel_multishot(int epfd) {
+  Socket* e = socks_.get(epfd);
+  if (e == nullptr || e->kind != SockKind::kEpoll) return -EBADF;
+  if (!e->epoll->multishot_armed()) return -EINVAL;
+  e->epoll->disarm_multishot();
+  return 0;
 }
 
 TcpPcb* FfStack::find_pcb(const FourTuple& t) {

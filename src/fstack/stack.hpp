@@ -84,13 +84,32 @@ class FfStack final : public TcpEnv {
                             std::uint16_t port);
   int sock_zc_abort(FfZcBuf& zc);
 
+  // ---- zero-copy RX: loan mbuf data rooms to the application ----
+  /// Fill up to out.size() read-only loans from fd's receive queue.
+  /// Returns loans filled, 0 at EOF, -EAGAIN when nothing is queued,
+  /// -ENOBUFS when a copy-backed slice could not bounce (retriable after
+  /// recycling), -EMSGSIZE when the queued datagram can never fit a data
+  /// room (drain it with the copy path), or -errno.
+  std::int64_t sock_zc_recv(int fd, std::span<FfZcRxBuf> out);
+  /// Return one loan to the pool; -EINVAL on a consumed or forged token.
+  int sock_zc_recycle(FfZcRxBuf& zc);
+
   int sock_close(int fd);
   [[nodiscard]] std::uint32_t sock_readiness(int fd) const;
+  /// Monotonic readiness-activity counter (bytes delivered / connections
+  /// queued): the generation multishot publication keys on.
+  [[nodiscard]] std::uint64_t sock_rx_activity(int fd) const;
 
   int epoll_create();
   int epoll_ctl(int epfd, EpollOp op, int fd, std::uint32_t events,
                 std::uint64_t data);
   int epoll_wait(int epfd, std::span<FfEpollEvent> out);
+  /// Arm multishot delivery: `ring` (see event_ring.hpp) receives event
+  /// batches from every subsequent main-loop iteration with no further
+  /// call. Returns events published immediately, or -errno.
+  int epoll_wait_multishot(int epfd, const machine::CapView& ring,
+                           std::uint32_t capacity);
+  int epoll_cancel_multishot(int epfd);
 
   // ---- diagnostics / tests ----
   [[nodiscard]] const NetifConfig& netif() const noexcept {
@@ -121,8 +140,15 @@ class FfStack final : public TcpEnv {
     std::uint64_t zc_allocs = 0;
     std::uint64_t zc_sends = 0;
     std::uint64_t zc_aborts = 0;
+    std::uint64_t zc_rx_loans = 0;     // loans handed out by ff_zc_recv
+    std::uint64_t zc_rx_recycles = 0;  // loans returned via ff_zc_recycle
+    std::uint64_t multishot_arms = 0;
+    std::uint64_t multishot_events = 0;  // events published into rings
   };
   [[nodiscard]] const ApiStats& api_stats() const noexcept { return api_; }
+  /// Receive-path copy/loan accounting across all sockets (the RX census
+  /// gates on the zero-copy path reporting zero copied bytes).
+  [[nodiscard]] const RxStats& rx_stats() const noexcept { return rx_stats_; }
 
   /// The compartment-crossing counter this stack's calls are charged to.
   /// The scenario layer binds it to the owning cVM's Trampoline (Scenario 1)
@@ -144,9 +170,16 @@ class FfStack final : public TcpEnv {
                 std::size_t payload_off, std::size_t payload_len) override;
   TcpPcb* tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) override;
   void tcp_accept_ready(TcpPcb& listener, TcpPcb& child) override;
+  [[nodiscard]] std::optional<MbufSlice> tcp_rx_loan(
+      std::span<const std::byte> payload) override;
 
  private:
   // input path
+  /// Map a span inside the frame currently being delivered onto its RX
+  /// mbuf; nullopt when no burst mbuf is current or the span escaped it
+  /// (reassembled fragments).
+  [[nodiscard]] std::optional<MbufSlice> rx_slice_of(
+      std::span<const std::byte> bytes) const;
   void ether_input(std::span<const std::byte> frame);
   void arp_input(std::span<const std::byte> payload);
   void ipv4_input(std::span<const std::byte> packet);
@@ -178,6 +211,11 @@ class FfStack final : public TcpEnv {
   // housekeeping
   void process_timers(sim::Ns now, bool& progress);
   void reap_closed();
+  void publish_multishot();
+  /// Publish current readiness of every interest-set fd into `ep`'s armed
+  /// ring; returns events written (shared by arm-time and per-iteration
+  /// publication so the masking/generation keying cannot diverge).
+  int publish_ready(EpollInstance& ep);
   [[nodiscard]] std::uint16_t alloc_ephemeral_port();
   [[nodiscard]] std::uint32_t new_iss();
   TcpPcb* make_pcb();
@@ -210,6 +248,24 @@ class FfStack final : public TcpEnv {
   std::unordered_map<std::uint64_t, updk::Mbuf*> zc_pending_;
   std::uint64_t next_zc_token_ = 1;
 
+  // Outstanding zero-copy RX loans. `pcb`/`udp` point at the budget to
+  // credit on recycle and are nulled if the owning connection/socket dies
+  // while the loan is out; recycling is then a pure pool return.
+  struct ZcRxLoan {
+    updk::Mbuf* m = nullptr;
+    TcpPcb* pcb = nullptr;  // TCP: receive window to credit
+    UdpPcb* udp = nullptr;  // UDP: queue budget to credit
+    std::uint32_t charge = 0;  // pinned-memory charge held until recycle
+  };
+  std::unordered_map<std::uint64_t, ZcRxLoan> zc_rx_loans_;
+  std::uint64_t next_zc_rx_token_ = 1;
+
+  // The RX-burst mbuf whose frame is currently being parsed (loan source).
+  updk::Mbuf* rx_cur_ = nullptr;
+  const std::byte* rx_cur_base_ = nullptr;  // scratch copy of its payload
+  std::size_t rx_cur_len_ = 0;
+
+  RxStats rx_stats_;
   ApiStats api_;
   std::function<std::uint64_t()> crossing_probe_;
 };

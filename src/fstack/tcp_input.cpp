@@ -26,7 +26,7 @@ void TcpPcb::input(const TcpHeader& h, const TcpOptions& opts,
   }
 
   // ---- sequence acceptability (RFC 793 p.69) ----
-  const auto rcv_wnd_now = static_cast<std::uint32_t>(rcv_.free());
+  const auto rcv_wnd_now = static_cast<std::uint32_t>(rx_.window_free());
   const auto seg_len = static_cast<std::uint32_t>(payload.size()) +
                        (h.has(tcpflag::kFin) ? 1u : 0u);
   const std::uint32_t seg_end = h.seq + seg_len;
@@ -284,7 +284,17 @@ void TcpPcb::process_payload(const TcpHeader& h,
   }
 
   if (seq == rcv_nxt_) {
-    const std::size_t n = rcv_.write_bytes(data);
+    // In-order delivery queues a zero-copy loan of the RX mbuf when the
+    // bytes live in a single data room; reassembled fragments (and PCBs
+    // with no delivering stack) fall back to a copy into the chain. Small
+    // segments still loan — the room-granular window charge makes a
+    // sliver flood throttle itself instead of pinning the shared pool.
+    std::size_t n;
+    if (const auto loan = env_->tcp_rx_loan(data); loan.has_value()) {
+      n = rx_.push_loan(*loan);
+    } else {
+      n = rx_.push_bytes(data);
+    }
     rcv_nxt_ += static_cast<std::uint32_t>(n);
     counters_.bytes_in += n;
     absorb_ooo();
@@ -315,7 +325,7 @@ void TcpPcb::absorb_ooo() {
       if (seq_le(seq, rcv_nxt_)) {
         if (seq_gt(seq + len, rcv_nxt_)) {
           const std::uint32_t skip = rcv_nxt_ - seq;
-          const std::size_t n = rcv_.write_bytes(
+          const std::size_t n = rx_.push_bytes(
               std::span<const std::byte>{it->second}.subspan(skip));
           rcv_nxt_ += static_cast<std::uint32_t>(n);
           counters_.bytes_in += n;

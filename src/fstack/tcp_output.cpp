@@ -18,7 +18,7 @@ bool TcpPcb::send_segment(std::uint32_t seq, std::size_t payload_off,
     h.ack = rcv_nxt_;
   }
   // Advertised window: free receive buffer, scaled when negotiated.
-  const auto wnd_bytes = static_cast<std::uint32_t>(rcv_.free());
+  const auto wnd_bytes = static_cast<std::uint32_t>(rx_.window_free());
   if ((flags & tcpflag::kSyn) != 0) {
     h.window = static_cast<std::uint16_t>(std::min(wnd_bytes, 65535u));
   } else if (ws_on_) {

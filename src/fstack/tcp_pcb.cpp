@@ -22,8 +22,8 @@ const char* to_string(TcpState s) noexcept {
   return "?";
 }
 
-TcpPcb::TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, SockBuf rcv)
-    : env_(env), cfg_(cfg), snd_(std::move(snd)), rcv_(std::move(rcv)),
+TcpPcb::TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, RxChain rcv)
+    : env_(env), cfg_(cfg), snd_(std::move(snd)), rx_(std::move(rcv)),
       rto_(cfg.initial_rto) {}
 
 void TcpPcb::open_listen(Ipv4Addr local_ip, std::uint16_t local_port) {
@@ -44,19 +44,14 @@ void TcpPcb::open_connect(const FourTuple& tuple, std::uint32_t iss) {
   arm_rexmit();
 }
 
-std::size_t TcpPcb::app_write(const machine::CapView& src, std::size_t n) {
-  if (!connected() || fin_queued_) return 0;
-  return snd_.write_from(src, 0, n);
-}
-
 std::size_t TcpPcb::app_writev(std::span<const FfIovec> iov) {
   if (!connected() || fin_queued_) return 0;
   return snd_.writev_from(iov);
 }
 
 std::size_t TcpPcb::app_read(const machine::CapView& dst, std::size_t n) {
-  const std::size_t before = rcv_.free();
-  const std::size_t got = rcv_.read_into(dst, 0, n);
+  const std::size_t before = rx_.window_free();
+  const std::size_t got = rx_.read_into(dst, 0, n);
   // If the advertised window had (nearly) collapsed, announce the reopened
   // window *immediately* — waiting for the delayed-ACK timer would leave
   // the peer throttled or probing (BSD's sowwakeup -> tcp_output path).
@@ -65,6 +60,15 @@ std::size_t TcpPcb::app_read(const machine::CapView& dst, std::size_t n) {
     output();
   }
   return got;
+}
+
+void TcpPcb::zc_rx_credit(std::size_t charge) {
+  const std::size_t before = rx_.window_free();
+  rx_.credit_loan(charge);
+  if (charge > 0 && before < 2u * mss_eff_ && connected()) {
+    ack_now_ = true;
+    output();
+  }
 }
 
 void TcpPcb::app_close() {

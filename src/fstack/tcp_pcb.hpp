@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fstack/headers.hpp"
+#include "fstack/rx_chain.hpp"
 #include "fstack/sockbuf.hpp"
 #include "sim/virtual_clock.hpp"
 
@@ -89,23 +90,42 @@ class TcpEnv {
   virtual TcpPcb* tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) = 0;
   /// Child reached kEstablished: append to the listener's accept queue.
   virtual void tcp_accept_ready(TcpPcb& listener, TcpPcb& child) = 0;
+  /// Map an in-order payload span onto the mbuf currently being delivered
+  /// by the RX burst, if the bytes live in a single data room. The default
+  /// (no loan available) keeps standalone PCBs on the copy path.
+  [[nodiscard]] virtual std::optional<MbufSlice> tcp_rx_loan(
+      std::span<const std::byte> payload) {
+    (void)payload;
+    return std::nullopt;
+  }
 };
 
 class TcpPcb {
  public:
-  TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, SockBuf rcv);
+  TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, RxChain rcv);
 
   // ---- lifecycle (socket layer) ----
   void open_listen(Ipv4Addr local_ip, std::uint16_t local_port);
   void open_connect(const FourTuple& tuple, std::uint32_t iss);
-  /// Queue application bytes; returns bytes accepted (0 = buffer full).
-  std::size_t app_write(const machine::CapView& src, std::size_t n);
   /// Gather-queue a pre-validated iovec batch in one pass; returns total
   /// bytes accepted (short count when the send buffer fills mid-batch).
+  /// Single v1 writes arrive here too, as one-element batches.
   std::size_t app_writev(std::span<const FfIovec> iov);
-  /// Read received bytes into the app capability; returns bytes, 0 when
-  /// nothing available (check eof()/error() to distinguish).
+  /// Read received bytes into the app capability — a LAZY copy out of the
+  /// queued RX chain; returns bytes, 0 when nothing available (check
+  /// eof()/error() to distinguish).
   std::size_t app_read(const machine::CapView& dst, std::size_t n);
+  /// Pop the next in-order slice as a zero-copy loan (ff_zc_recv). The
+  /// slice's charge (`*charge_out`) stays held against the receive window
+  /// until zc_rx_credit() reopens it at recycle time.
+  std::optional<MbufSlice> zc_rx_pop(std::size_t* charge_out) {
+    return rx_.pop_loan(charge_out);
+  }
+  /// Bytes queued and readable in the RX chain.
+  [[nodiscard]] std::size_t rx_used() const noexcept { return rx_.used(); }
+  /// A loan of `charge` was recycled: reopen the window (and announce it
+  /// if it had collapsed).
+  void zc_rx_credit(std::size_t charge);
   /// Half-close: queue a FIN after pending data.
   void app_close();
   /// Hard reset.
@@ -124,7 +144,7 @@ class TcpPcb {
   [[nodiscard]] TcpState state() const noexcept { return state_; }
   [[nodiscard]] const FourTuple& tuple() const noexcept { return tuple_; }
   [[nodiscard]] bool readable() const noexcept {
-    return !rcv_.empty() || fin_received_ || error_ != 0;
+    return !rx_.empty() || fin_received_ || error_ != 0;
   }
   [[nodiscard]] bool writable() const noexcept {
     return state_ == TcpState::kEstablished ||
@@ -133,7 +153,7 @@ class TcpPcb {
                : false;
   }
   [[nodiscard]] bool eof() const noexcept {
-    return fin_received_ && rcv_.empty();
+    return fin_received_ && rx_.empty();
   }
   [[nodiscard]] int error() const noexcept { return error_; }
   [[nodiscard]] bool connected() const noexcept {
@@ -155,9 +175,11 @@ class TcpPcb {
   void peek_send(std::size_t off, std::span<std::byte> out) const {
     snd_.peek(off, out);
   }
-  /// Receive window currently advertised (bytes).
+  /// Receive window currently advertised (bytes). Queued chain bytes AND
+  /// outstanding zero-copy loans both consume it: a slow recycler throttles
+  /// its sender instead of draining the mbuf pool.
   [[nodiscard]] std::uint32_t rcv_wnd() const noexcept {
-    return static_cast<std::uint32_t>(rcv_.free());
+    return static_cast<std::uint32_t>(rx_.window_free());
   }
 
   /// Diagnostic snapshot of the sequence-space state (tests/debugging).
@@ -170,7 +192,7 @@ class TcpPcb {
   };
   [[nodiscard]] DebugSnapshot debug_snapshot() const noexcept {
     return DebugSnapshot{snd_una_, snd_nxt_, snd_wnd_, cwnd_, rcv_nxt_,
-                         snd_.used(), snd_.free(), rcv_.used(),
+                         snd_.used(), snd_.free(), rx_.used(),
                          fin_queued_, fin_sent_, ack_pending_, ack_now_,
                          in_recovery_, rexmit_deadline_.has_value(),
                          delack_deadline_.has_value(),
@@ -192,6 +214,9 @@ class TcpPcb {
   // Listener plumbing (owned by the stack / socket layer).
   TcpPcb* listener = nullptr;
   std::deque<TcpPcb*> accept_queue;
+  /// Monotonic count of children ever queued for accept — the readiness
+  /// generation multishot epoll needs (queue length is not monotonic).
+  std::uint64_t accept_ready_total = 0;
   int backlog = 0;
   /// Source IP of the segment being delivered (set by the stack before
   /// input() on listeners — TCP headers do not carry addresses).
@@ -227,7 +252,7 @@ class TcpPcb {
   TcpEnv* env_;
   TcpConfig cfg_;
   SockBuf snd_;
-  SockBuf rcv_;
+  RxChain rx_;  // loan-based receive queue (replaced the receive SockBuf)
 
   TcpState state_ = TcpState::kClosed;
   FourTuple tuple_{};

@@ -58,6 +58,16 @@ class CapView {
     mem_->store_scalar<T>(cap_, cap_.address() + off, v);
   }
 
+  /// Atomic u32 access at byte offset `off` (4-byte aligned). The event
+  /// rings of multishot epoll publish their head/tail indices through
+  /// these: acquire loads pair with release stores across compartments.
+  [[nodiscard]] std::uint32_t atomic_load_u32(std::uint64_t off) const {
+    return mem_->atomic_load_u32(cap_, cap_.address() + off);
+  }
+  void atomic_store_u32(std::uint64_t off, std::uint32_t v) const {
+    mem_->atomic_store_u32(cap_, cap_.address() + off, v);
+  }
+
   /// Derive a sub-view [off, off+len) with monotonically narrowed bounds.
   [[nodiscard]] CapView window(std::uint64_t off, std::uint64_t len) const {
     return CapView(mem_, cap_.with_bounds(cap_.address() + off, len));

@@ -257,6 +257,7 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
   struct App {
     iv::CVM* cvm = nullptr;
     std::unique_ptr<apps::FfOps> ops;
+    std::unique_ptr<apps::TelemetryBatch> telemetry;
     std::unique_ptr<apps::IperfServer> srv;
     std::unique_ptr<apps::IperfClient> cli;
     std::string label;
@@ -268,10 +269,15 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
     a.cvm = &iv.create_cvm(a.label, 16u << 20);
     a.ops = svc.make_proxy_ops(*a.cvm);
     machine::CapView buf = a.cvm->alloc(64 * 1024);
+    // Interval reports flush through ONE SyscallBatch envelope per report
+    // instead of one write(2) crossing per line (apps::TelemetryBatch).
+    a.telemetry = std::make_unique<apps::TelemetryBatch>(
+        &a.cvm->libc(), a.cvm->alloc(2048));
     if (dir == Direction::kMorelloReceives) {
       const auto port = static_cast<std::uint16_t>(kIperfPort + j);
       a.srv = std::make_unique<apps::IperfServer>(a.ops.get(), &clock, port,
                                                   buf, 1);
+      a.srv->set_telemetry(a.telemetry.get(), sim::Ns{250'000'000});
       peer.run_iperf_client(MorelloTestbed::morello_ip(0), port,
                             bytes_per_stream);
       done.push_back([&a] { return a.srv->finished(); });
@@ -279,6 +285,7 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
       a.cli = std::make_unique<apps::IperfClient>(
           a.ops.get(), &clock, MorelloTestbed::peer_ip(0), kIperfPort,
           bytes_per_stream, buf.window(0, 16 * 1024));
+      a.cli->set_telemetry(a.telemetry.get(), sim::Ns{250'000'000});
       done.push_back([&peer] { return peer.workload_finished(); });
     }
   }
@@ -318,6 +325,20 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
 
 namespace {
 
+/// One measured call of the Fig. 4-6 probes: batch = 1 is the classic
+/// ff_write; batch > 1 issues the same bytes as one gather ff_writev (the
+/// Fig. 6 sweep's contention knob — one mutex acquisition per batch).
+std::int64_t measured_write(apps::FfOps& ops, int fd,
+                            const machine::CapView& buf, std::size_t wsize,
+                            std::size_t batch) {
+  if (batch <= 1) return ops.write(fd, buf, wsize);
+  fstack::FfIovec iov[apps::IperfClient::kMaxBatch];
+  const std::size_t k =
+      std::min<std::size_t>(batch, apps::IperfClient::kMaxBatch);
+  for (std::size_t i = 0; i < k; ++i) iov[i] = {buf.window(0, wsize), wsize};
+  return ops.writev(fd, {iov, k});
+}
+
 /// Probe owning its stack (Baseline / Scenario 1): interleaves measured
 /// writes with main-loop iterations, parking when neither can progress.
 std::vector<double> probe_direct(FullStackInstance& inst, apps::FfOps& ops,
@@ -326,7 +347,8 @@ std::vector<double> probe_direct(FullStackInstance& inst, apps::FfOps& ops,
                                  std::uint16_t port, std::size_t iters,
                                  std::size_t wsize,
                                  const machine::CapView& buf,
-                                 const std::string& name) {
+                                 const std::string& name,
+                                 std::size_t batch = 1) {
   std::vector<double> samples;
   samples.reserve(iters);
   const int fd = ops.socket_stream();
@@ -335,7 +357,7 @@ std::vector<double> probe_direct(FullStackInstance& inst, apps::FfOps& ops,
   while (samples.size() < iters) {
     const std::uint64_t token = part.prepare();
     const std::uint64_t t0 = libc.clock_gettime_mono_raw_ns();
-    const std::int64_t r = ops.write(fd, buf, wsize);
+    const std::int64_t r = measured_write(ops, fd, buf, wsize, batch);
     const std::uint64_t t1 = libc.clock_gettime_mono_raw_ns();
     bool progress = false;
     if (r > 0) {
@@ -367,7 +389,8 @@ std::vector<double> probe_proxy(apps::FfOps& ops, iv::MuslLibc& libc,
                                 std::uint16_t port, std::size_t iters,
                                 std::size_t wsize,
                                 const machine::CapView& buf,
-                                const std::string& name, sim::Ns pace) {
+                                const std::string& name, sim::Ns pace,
+                                std::size_t batch = 1) {
   std::vector<double> samples;
   samples.reserve(iters);
   const int fd = ops.socket_stream();
@@ -377,7 +400,7 @@ std::vector<double> probe_proxy(apps::FfOps& ops, iv::MuslLibc& libc,
   while (samples.size() < iters) {
     const std::uint64_t token = part.prepare();
     const std::uint64_t t0 = libc.clock_gettime_mono_raw_ns();
-    const std::int64_t r = ops.write(fd, buf, wsize);
+    const std::int64_t r = measured_write(ops, fd, buf, wsize, batch);
     const std::uint64_t t1 = libc.clock_gettime_mono_raw_ns();
     if (r > 0) {
       samples.push_back(static_cast<double>(t1 - t0));
@@ -401,7 +424,8 @@ std::vector<double> probe_proxy(apps::FfOps& ops, iv::MuslLibc& libc,
 
 LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
                                    std::size_t write_size,
-                                   const TestbedOptions& opt) {
+                                   const TestbedOptions& opt,
+                                   std::size_t batch) {
   MorelloTestbed tb(opt);
   auto& iv = tb.intravisor();
   auto& clock = tb.clock();
@@ -445,7 +469,7 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
     for (int i = 0; i < nports; ++i) {
       Side& sd = sides[static_cast<std::size_t>(i)];
       const fstack::Ipv4Addr dst = MorelloTestbed::peer_ip(i);
-      auto body = [&sd, &clock, &arb, dst, iterations, write_size] {
+      auto body = [&sd, &clock, &arb, dst, iterations, write_size, batch] {
         FullStackInstance& inst =
             sd.s1 ? sd.s1->instance() : sd.bp->instance();
         apps::FfOps& ops = sd.s1 ? sd.s1->ops() : sd.bp->ops();
@@ -453,7 +477,7 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
         machine::CapView buf = sd.s1 ? sd.s1->alloc(4096) : sd.bp->alloc(4096);
         sd.samples = probe_direct(inst, ops, libc, clock, arb, dst,
                                   kIperfPort, iterations, write_size, buf,
-                                  sd.label + "-probe");
+                                  sd.label + "-probe", batch);
       };
       if (sd.s1) {
         sd.s1->cvm().start(body);
@@ -507,12 +531,12 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
                            ? sim::Ns{20'000}
                            : sim::Ns{0};
   for (auto& a : app) {
-    a.cvm->start([&a, &clock, &arb, iterations, write_size, pace] {
+    a.cvm->start([&a, &clock, &arb, iterations, write_size, pace, batch] {
       machine::CapView buf = a.cvm->alloc(4096);
       a.samples = probe_proxy(*a.ops, a.cvm->libc(), clock, arb,
                               MorelloTestbed::peer_ip(0), kIperfPort,
                               iterations, write_size, buf,
-                              a.label + "-probe", pace);
+                              a.label + "-probe", pace, batch);
     });
   }
   for (auto& a : app) a.cvm->join();
@@ -722,6 +746,255 @@ CrossingCensus run_ffwrite_crossing_census(ScenarioKind kind,
       mib > 0
           ? (static_cast<double>(entry_crossings) * entry_cost +
              static_cast<double>(tramp_crossings) *
+                 static_cast<double>(price.trampoline_crossing().count())) /
+                mib
+          : 0.0;
+  return out;
+}
+
+// ===========================================================================
+// RX census
+// ===========================================================================
+
+namespace {
+
+constexpr std::uint32_t kRxRingSlots = 64;
+constexpr std::size_t kRxZcBatch = 32;
+// The zero-copy receiver COALESCES: it lets segments accumulate in the RX
+// chain for this many loop turns before draining one loan burst, the way a
+// batching receiver (or interrupt-coalescing NIC) amortizes per-wakeup
+// costs. The receive window (256 KiB) comfortably holds the accrual.
+constexpr std::uint32_t kRxCoalesceTurns = 40;
+
+/// The measured receive loop both RX-census scenarios share. The readiness
+/// gate (epoll_wait / event-ring pop + accept) stays OUTSIDE the measured
+/// envelope, mirroring census_write_loop: the envelope prices exactly what
+/// one productive receive iteration costs the application. v1 envelopes
+/// wrap one MSS-sized ff_read; zero-copy envelopes wrap one ff_zc_recv
+/// burst plus its batched recycle.
+std::uint64_t census_recv_loop(apps::FfOps& ops, iv::MuslLibc& libc,
+                               const machine::CapView& rx_buf,
+                               const machine::CapView& ring_mem,
+                               std::uint64_t total_bytes, bool zero_copy,
+                               std::uint64_t* api_calls, CensusProbes* probes,
+                               const std::function<bool(bool)>& turn) {
+  const int lfd = ops.socket_stream();
+  ops.bind(lfd, fstack::Ipv4Addr{}, kIperfPort);
+  ops.listen(lfd, 4);
+  const int ep = ops.epoll_create();
+  ops.epoll_ctl(ep, fstack::EpollOp::kAdd, lfd, fstack::kEpollIn,
+                static_cast<std::uint64_t>(lfd));
+  std::optional<fstack::FfEventRing> ring;
+  if (zero_copy) {
+    // ONE arming crossing replaces every subsequent wait.
+    ring.emplace(ring_mem, kRxRingSlots);
+    ops.epoll_wait_multishot(ep, ring_mem, kRxRingSlots);
+  }
+  int cfd = -1;
+  bool hot = false;  // zc mode: data expected without a fresh ring event
+  bool eof = false;
+  std::uint32_t coalesce = 0;  // turns since the last zc drain
+  std::uint64_t got = 0;
+  while (got < total_bytes && !eof) {
+    bool progress = false;
+    bool readable = false;
+    if (zero_copy) {
+      fstack::FfEpollEvent evs[8];
+      const std::size_t n = ring->pop(evs);  // local loads, no crossing
+      if (n > 0) hot = true;
+      if (cfd < 0) {
+        int fds[1];
+        if (ops.accept_batch(lfd, fds) == 1) {
+          cfd = fds[0];
+          ops.epoll_ctl(ep, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
+                        static_cast<std::uint64_t>(cfd));
+          hot = true;
+          progress = true;
+        }
+      }
+      ++coalesce;
+      readable = cfd >= 0 && hot && coalesce >= kRxCoalesceTurns;
+    } else {
+      fstack::FfEpollEvent evs[8];
+      const int n = ops.epoll_wait(ep, evs);
+      for (int i = 0; i < n; ++i) {
+        const int fd = static_cast<int>(evs[i].data);
+        if (fd == lfd) {
+          const int a = ops.accept(lfd);
+          if (a >= 0) {
+            cfd = a;
+            ops.epoll_ctl(ep, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
+                          static_cast<std::uint64_t>(cfd));
+            progress = true;
+          }
+        } else if (fd == cfd &&
+                   (evs[i].events & (fstack::kEpollIn | fstack::kEpollHup))) {
+          readable = true;
+        }
+      }
+    }
+    if (readable) {
+      const std::uint64_t e0 = probes->entry_now ? probes->entry_now() : 0;
+      const std::uint64_t t0 = probes->tramp_now ? probes->tramp_now() : 0;
+      (void)libc.clock_gettime_mono_raw_ns();
+      if (zero_copy) {
+        fstack::FfZcRxBuf loans[kRxZcBatch];
+        const std::int64_t r = ops.zc_recv(cfd, loans);
+        if (r > 0) {
+          for (std::int64_t i = 0; i < r; ++i) {
+            got += loans[i].data.size();
+          }
+          ops.zc_recycle_batch({loans, static_cast<std::size_t>(r)});
+          progress = true;
+          // A full burst means more may already be queued: drain again
+          // next turn instead of re-coalescing from zero.
+          coalesce = static_cast<std::size_t>(r) == kRxZcBatch
+                         ? kRxCoalesceTurns
+                         : 0;
+        } else if (r == 0) {
+          eof = true;
+        } else {
+          hot = false;  // drained: wait for the next published event
+          coalesce = 0;
+        }
+      } else {
+        const std::int64_t r = ops.read(cfd, rx_buf, 1448);  // v1: per-MSS
+        if (r > 0) {
+          got += static_cast<std::uint64_t>(r);
+          progress = true;
+        } else if (r == 0) {
+          eof = true;
+        }
+      }
+      (void)libc.clock_gettime_mono_raw_ns();
+      if (probes->entry_now) {
+        probes->entry_crossings += probes->entry_now() - e0;
+      }
+      if (probes->tramp_now) {
+        probes->tramp_crossings += probes->tramp_now() - t0;
+      }
+      ++*api_calls;
+    }
+    if (!turn(progress)) break;
+  }
+  if (cfd >= 0) ops.close(cfd);
+  ops.close(ep);
+  ops.close(lfd);
+  return got;
+}
+
+}  // namespace
+
+RxCensus run_ffrecv_rx_census(ScenarioKind kind, std::uint64_t total_bytes,
+                              bool zero_copy, const TestbedOptions& opt) {
+  RxCensus out;
+  const sim::CostModel price = sim::CostModel::morello();
+  const double mib = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+
+  MorelloTestbed tb(opt);
+  auto& iv = tb.intravisor();
+  auto& clock = tb.clock();
+  auto& arb = tb.arbiter();
+  std::atomic<bool> stop{false};
+  const InstanceConfig icfg = tb.morello_cfg(0);
+
+  const auto sample_stack = [&out](fstack::FfStack& st) {
+    out.copied_bytes = st.rx_stats().copied_bytes;
+    out.zc_loans = st.api_stats().zc_rx_loans;
+    out.zc_recycles = st.api_stats().zc_rx_recycles;
+  };
+
+  if (kind == ScenarioKind::kScenario1) {
+    arb.expect_participants(2);
+    PeerHost& peer = tb.make_peer(0);
+    peer.run_iperf_client(MorelloTestbed::morello_ip(0), kIperfPort,
+                          total_bytes);
+    peer.start();
+    Scenario1Cvm s1(iv, tb.card(), 0, icfg, "cVM1-rx-census");
+    CensusProbes probes;
+    probes.tramp_now = [&] { return s1.cvm().trampoline().crossings(); };
+    s1.cvm().start([&] {
+      FullStackInstance& inst = s1.instance();
+      const machine::CapView rx_buf = s1.alloc(4096);
+      const machine::CapView ring_mem =
+          s1.alloc(fstack::FfEventRing::bytes_for(kRxRingSlots));
+      sim::Participant part(arb, "rx-census-probe");
+      out.bytes = census_recv_loop(
+          s1.ops(), s1.libc(), rx_buf, ring_mem, total_bytes, zero_copy,
+          &out.api_calls, &probes, [&](bool made_progress) {
+            const std::uint64_t token = part.prepare();
+            const bool progress = inst.run_once() || made_progress;
+            if (!progress) {
+              part.wait(token, capped_deadline(inst.next_deadline(),
+                                               clock.now(), kProbeHeartbeat));
+            }
+            return true;
+          });
+      for (int i = 0; i < 10000; ++i) {
+        if (!inst.run_once()) break;  // drain FIN exchange
+      }
+      sample_stack(inst.stack());
+    });
+    s1.cvm().join();
+    peer.request_stop();
+    peer.join();
+    out.crossings = probes.tramp_crossings;
+    out.modeled_ns_per_mib =
+        mib > 0 ? static_cast<double>(out.crossings) *
+                      static_cast<double>(price.trampoline_crossing().count()) /
+                      mib
+                : 0.0;
+    return out;
+  }
+
+  if (kind != ScenarioKind::kScenario2Uncontended) return out;
+
+  // ---- Scenario 2 (uncontended): the receive side lives across the
+  // compartment boundary; the zero-copy path's loans and event batches are
+  // exactly what keeps the app from crossing per packet.
+  arb.expect_participants(3);
+  PeerHost& peer = tb.make_peer(0);
+  peer.run_iperf_client(MorelloTestbed::morello_ip(0), kIperfPort,
+                        total_bytes);
+  peer.start();
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, icfg);
+  Scenario2Service svc(iv, cvm1, inst);
+  cvm1.start([&] { svc.run_loop(stop, arb); });
+
+  iv::CVM& app = iv.create_cvm("cVM2-rx-census", 16u << 20);
+  auto ops = svc.make_proxy_ops(app);
+  CensusProbes probes;
+  probes.entry_now = [&] { return iv.entries().crossings(); };
+  probes.tramp_now = [&] { return app.trampoline().crossings(); };
+  app.start([&] {
+    const machine::CapView rx_buf = app.alloc(4096);
+    const machine::CapView ring_mem =
+        app.alloc(fstack::FfEventRing::bytes_for(kRxRingSlots));
+    sim::Participant part(arb, "rx-census-probe");
+    out.bytes = census_recv_loop(
+        *ops, app.libc(), rx_buf, ring_mem, total_bytes, zero_copy,
+        &out.api_calls, &probes, [&](bool made_progress) {
+          const std::uint64_t token = part.prepare();
+          if (!made_progress) part.wait(token, clock.now() + kProbeHeartbeat);
+          return true;
+        });
+  });
+  app.join();
+  stop.store(true);
+  arb.kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+  sample_stack(inst.stack());
+
+  const double entry_cost = static_cast<double>(
+      price.trampoline_crossing().count() + price.domain_switch_extra.count());
+  out.crossings = probes.entry_crossings + probes.tramp_crossings;
+  out.modeled_ns_per_mib =
+      mib > 0
+          ? (static_cast<double>(probes.entry_crossings) * entry_cost +
+             static_cast<double>(probes.tramp_crossings) *
                  static_cast<double>(price.trampoline_crossing().count())) /
                 mib
           : 0.0;

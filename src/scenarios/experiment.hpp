@@ -117,9 +117,13 @@ struct LatencyOutcome {
 /// Measure `iterations` successful ff_write() calls of `write_size` bytes
 /// per endpoint, timed with clock_gettime(CLOCK_MONOTONIC_RAW) through the
 /// scenario's own syscall path (direct vs trampolined), as in §IV.
+/// `batch` > 1 issues each measured call as ff_writev of `batch`
+/// write_size-sized iovecs — the contention knob of the Fig. 6 sweep: with
+/// proxied_calls_ counting batches, batch size scales bytes moved per
+/// mutex acquisition.
 [[nodiscard]] LatencyOutcome run_ffwrite_latency(
     ScenarioKind kind, std::size_t iterations, std::size_t write_size = 1448,
-    const TestbedOptions& opt = TestbedOptions{});
+    const TestbedOptions& opt = TestbedOptions{}, std::size_t batch = 1);
 
 // ---------------------------------------------------------------------------
 // API v2 crossing census: how many compartment crossings does it take to
@@ -144,6 +148,34 @@ struct CrossingCensus {
 /// count the crossings. batch = 1 is exactly the v1 per-call path.
 [[nodiscard]] CrossingCensus run_ffwrite_crossing_census(
     ScenarioKind kind, std::uint64_t total_bytes, std::size_t batch,
+    const TestbedOptions& opt = TestbedOptions{});
+
+// ---------------------------------------------------------------------------
+// RX census: what does it cost to RECEIVE a byte volume? The v1 path pays
+// one measured envelope (epoll-gated ff_read) per MSS and copies every byte
+// out of the stack; the zero-copy path arms one multishot event ring and
+// drains ff_zc_recv loan batches, recycling in batches — zero receive-side
+// copies and an amortized fraction of the crossings.
+// ---------------------------------------------------------------------------
+
+struct RxCensus {
+  std::uint64_t bytes = 0;      // payload bytes delivered to the app
+  std::uint64_t api_calls = 0;  // measured receive envelopes issued
+  std::uint64_t crossings = 0;  // crossings attributed to those envelopes
+  /// Bytes the stack copied on the receive side (chain lazy copy, UDP copy
+  /// out, zc bounces) — the zero-copy gate requires exactly 0.
+  std::uint64_t copied_bytes = 0;
+  std::uint64_t zc_loans = 0;      // loans handed out (zero_copy runs)
+  std::uint64_t zc_recycles = 0;   // loans returned
+  double modeled_ns_per_mib = 0.0;
+};
+
+/// Receive `total_bytes` of TCP payload from the peer through one endpoint
+/// of `kind` (kScenario1 or kScenario2Uncontended). zero_copy = false is
+/// the per-call v1 path (epoll_wait + ff_read per envelope); true is the
+/// multishot + ff_zc_recv/ff_zc_recycle_batch pipeline.
+[[nodiscard]] RxCensus run_ffrecv_rx_census(
+    ScenarioKind kind, std::uint64_t total_bytes, bool zero_copy,
     const TestbedOptions& opt = TestbedOptions{});
 
 }  // namespace cherinet::scen

@@ -7,6 +7,11 @@ namespace cherinet::scen {
 namespace {
 constexpr sim::Ns kHeartbeat{500'000};  // 0.5 ms virtual
 constexpr std::size_t kMaxProxyEvents = 64;
+// One marshalling record per zc loan: u64 token, u32 src ip, u16 src port
+// (+2 bytes padding). The same buffer carries recycle token batches and
+// accepted-fd batches.
+constexpr std::size_t kZcRecordBytes = 16;
+constexpr std::size_t kMaxZcRecords = 64;
 }  // namespace
 
 Scenario2Service::Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
@@ -75,6 +80,7 @@ std::unique_ptr<apps::FfOps> Scenario2Service::make_proxy_ops(iv::CVM& app) {
 ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
     : svc_(svc), app_(app) {
   event_buf_ = app_->heap().alloc_view(kMaxProxyEvents * 12);
+  zc_buf_ = app_->heap().alloc_view(kMaxZcRecords * kZcRecordBytes);
 
   auto& reg = svc_->iv_.entries();
   const machine::CompartmentContext* target = &svc_->cvm1_.context();
@@ -204,6 +210,73 @@ ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
         }
         return n;
       }));
+  // Batched accept: ONE crossing and ONE mutex acquisition drain up to
+  // a[1] queued connections; fds marshal through the shared buffer.
+  e_accept_batch_ = reg.install(
+      tag + ":ff_accept_batch", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        const std::size_t want =
+            std::min<std::uint64_t>(a.a[1], kMaxZcRecords);
+        std::int64_t n = 0;
+        while (static_cast<std::size_t>(n) < want) {
+          const int fd =
+              fstack::ff_accept(*st, static_cast<int>(a.a[0]), nullptr);
+          if (fd < 0) break;
+          a.cap0->store<std::int32_t>(static_cast<std::uint64_t>(n) * 4u, fd);
+          ++n;
+        }
+        return n;
+      }));
+  // Zero-copy RX: the loans themselves return in the vector capability
+  // registers — each one an exactly-bounded read-only view into cVM1's RX
+  // mbuf arena (the CompartOS-style delegation: the app compartment gets
+  // authority over exactly the payload bytes, nothing else). Tokens and
+  // datagram sources marshal through the shared record buffer.
+  e_zc_recv_ = reg.install(
+      tag + ":ff_zc_recv", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfZcRxBuf loans[machine::CrossCallArgs::kMaxVecCaps];
+        const std::size_t want = std::min<std::uint64_t>(
+            a.a[1], machine::CrossCallArgs::kMaxVecCaps);
+        const std::int64_t r =
+            fstack::ff_zc_recv(*st, static_cast<int>(a.a[0]), {loans, want});
+        for (std::int64_t i = 0; i < r; ++i) {
+          a.caps[static_cast<std::size_t>(i)] = loans[i].data;
+          const auto off = static_cast<std::uint64_t>(i) * kZcRecordBytes;
+          a.cap0->store<std::uint64_t>(off, loans[i].token);
+          a.cap0->store<std::uint32_t>(off + 8, loans[i].from.ip.value);
+          a.cap0->store<std::uint16_t>(off + 12, loans[i].from.port);
+        }
+        return r;
+      }));
+  // Recycling moves a whole token batch back per crossing: the costly
+  // direction (per-buffer returns) amortizes exactly like writev.
+  e_zc_recycle_ = reg.install(
+      tag + ":ff_zc_recycle", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        const std::size_t n = std::min<std::uint64_t>(a.a[0], kMaxZcRecords);
+        std::int64_t ok = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          fstack::FfZcRxBuf z;
+          z.token = a.cap0->load<std::uint64_t>(i * kZcRecordBytes);
+          if (fstack::ff_zc_recycle(*st, z) == 0) ++ok;
+        }
+        return ok;
+      }));
+  e_ep_arm_ms_ = reg.install(
+      tag + ":ff_epoll_wait_multishot", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        if (!a.cap0.has_value()) return -EFAULT;
+        return fstack::ff_epoll_wait_multishot(
+            *st, static_cast<int>(a.a[0]), *a.cap0,
+            static_cast<std::uint32_t>(a.a[1]));
+      }));
+  e_ep_cancel_ms_ = reg.install(
+      tag + ":ff_epoll_cancel_multishot", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_epoll_cancel_multishot(*st,
+                                                 static_cast<int>(a.a[0]));
+      }));
 }
 
 std::int64_t ProxyFfOps::call(const machine::SealedEntry& e,
@@ -323,6 +396,86 @@ std::int64_t ProxyFfOps::readv(int fd, std::span<const fstack::FfIovec> iov) {
     i += k;
   }
   return total;
+}
+
+int ProxyFfOps::accept_batch(int fd, std::span<int> out) {
+  if (out.empty()) return 0;
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = std::min<std::uint64_t>(out.size(), kMaxZcRecords);
+  a.cap0 = zc_buf_;
+  const int n = static_cast<int>(call(e_accept_batch_, a));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        zc_buf_.load<std::int32_t>(static_cast<std::uint64_t>(i) * 4u);
+  }
+  return n;
+}
+
+std::int64_t ProxyFfOps::zc_recv(int fd, std::span<fstack::FfZcRxBuf> out) {
+  std::int64_t filled = 0;
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::size_t want = std::min<std::size_t>(
+        out.size() - i, machine::CrossCallArgs::kMaxVecCaps);
+    machine::CrossCallArgs a;
+    a.a[0] = static_cast<std::uint64_t>(fd);
+    a.a[1] = want;
+    a.cap0 = zc_buf_;
+    const std::int64_t r = call(e_zc_recv_, a);
+    if (r <= 0) return filled > 0 ? filled : r;
+    for (std::int64_t k = 0; k < r; ++k) {
+      fstack::FfZcRxBuf& o = out[i + static_cast<std::size_t>(k)];
+      const auto off = static_cast<std::uint64_t>(k) * kZcRecordBytes;
+      o.token = zc_buf_.load<std::uint64_t>(off);
+      o.data = *a.caps[static_cast<std::size_t>(k)];  // the loan capability
+      o.from.ip = fstack::Ipv4Addr{zc_buf_.load<std::uint32_t>(off + 8)};
+      o.from.port = zc_buf_.load<std::uint16_t>(off + 12);
+    }
+    filled += r;
+    i += static_cast<std::size_t>(r);
+    if (static_cast<std::size_t>(r) < want) break;  // queue drained
+  }
+  return filled;
+}
+
+std::int64_t ProxyFfOps::zc_recycle_batch(std::span<fstack::FfZcRxBuf> zcs) {
+  std::int64_t total = 0;
+  std::size_t i = 0;
+  while (i < zcs.size()) {
+    const std::size_t n = std::min<std::size_t>(zcs.size() - i,
+                                                kMaxZcRecords);
+    for (std::size_t k = 0; k < n; ++k) {
+      zc_buf_.store<std::uint64_t>(k * kZcRecordBytes, zcs[i + k].token);
+    }
+    machine::CrossCallArgs a;
+    a.a[0] = n;
+    a.cap0 = zc_buf_;
+    const std::int64_t r = call(e_zc_recycle_, a);
+    if (r < 0) return total > 0 ? total : r;
+    for (std::size_t k = 0; k < n; ++k) {  // consumed either way
+      zcs[i + k].token = 0;
+      zcs[i + k].data = machine::CapView{};
+    }
+    total += r;
+    i += n;
+  }
+  return total;
+}
+
+int ProxyFfOps::epoll_wait_multishot(int epfd, const machine::CapView& ring,
+                                     std::uint32_t capacity) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(epfd);
+  a.a[1] = capacity;
+  a.cap0 = ring;  // the app delegates a bounded write view of its ring
+  return static_cast<int>(call(e_ep_arm_ms_, a));
+}
+
+int ProxyFfOps::epoll_cancel_multishot(int epfd) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(epfd);
+  return static_cast<int>(call(e_ep_cancel_ms_, a));
 }
 
 int ProxyFfOps::close(int fd) {

@@ -71,6 +71,23 @@ class ProxyFfOps final : public apps::FfOps {
   /// the paper's Fig. 4/6 costs demand).
   std::int64_t writev(int fd, std::span<const fstack::FfIovec> iov) override;
   std::int64_t readv(int fd, std::span<const fstack::FfIovec> iov) override;
+  /// Whole fd batch per sealed-entry crossing (one mutex acquisition
+  /// drains the accept queue).
+  int accept_batch(int fd, std::span<int> out) override;
+  /// Zero-copy RX across the compartment boundary: each crossing returns
+  /// up to CrossCallArgs::kMaxVecCaps exactly-bounded read-only loans in
+  /// the vector capability registers (tokens + sources marshal through the
+  /// shared buffer); recycling sends a whole token batch back in ONE
+  /// crossing under one mutex acquisition.
+  std::int64_t zc_recv(int fd, std::span<fstack::FfZcRxBuf> out) override;
+  std::int64_t zc_recycle_batch(std::span<fstack::FfZcRxBuf> zcs) override;
+  /// Multishot epoll: the arming crossing delegates a bounded write
+  /// capability into the app's event ring to the network cVM; every
+  /// subsequent main-loop iteration publishes event batches with ZERO
+  /// crossings — the app consumes them with local capability loads.
+  int epoll_wait_multishot(int epfd, const machine::CapView& ring,
+                           std::uint32_t capacity) override;
+  int epoll_cancel_multishot(int epfd) override;
   int close(int fd) override;
   int epoll_create() override;
   int epoll_ctl(int epfd, fstack::EpollOp op, int fd, std::uint32_t events,
@@ -84,10 +101,12 @@ class ProxyFfOps final : public apps::FfOps {
   Scenario2Service* svc_;
   iv::CVM* app_;
   machine::CapView event_buf_;  // epoll events cross the boundary here
+  machine::CapView zc_buf_;     // zc tokens/sources + accept fd batches
 
   machine::SealedEntry e_socket_, e_bind_, e_listen_, e_accept_, e_connect_,
       e_write_, e_read_, e_writev_, e_readv_, e_close_, e_ep_create_,
-      e_ep_ctl_, e_ep_wait_;
+      e_ep_ctl_, e_ep_wait_, e_accept_batch_, e_zc_recv_, e_zc_recycle_,
+      e_ep_arm_ms_, e_ep_cancel_ms_;
 };
 
 }  // namespace cherinet::scen

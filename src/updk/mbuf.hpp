@@ -44,6 +44,15 @@ struct Mbuf {
     return room.address() + data_off;
   }
 
+  /// Exactly-bounded READ-ONLY view of [off, off+len) within the data room:
+  /// the capability ff_zc_recv loans the application. The bounds are the
+  /// payload, nothing more; store permission is dropped so a loan can never
+  /// corrupt the room it aliases (CompartOS-style bounded delegation).
+  [[nodiscard]] machine::CapView loan(std::uint32_t off,
+                                      std::uint32_t len) const {
+    return room.window(off, len).readonly();
+  }
+
   void reset() noexcept {
     data_off = kMbufHeadroom;
     data_len = 0;

@@ -27,8 +27,9 @@ Mbuf* Mempool::alloc() {
     ++stats_.alloc_failures;
     return nullptr;
   }
+  // Buffers enter the ring pre-reset (constructor, free, recycle), so the
+  // hot path hands them out untouched.
   Mbuf& m = mbufs_[*idx];
-  m.reset();
   m.refcnt = 1;
   ++stats_.allocs;
   return &m;
@@ -45,6 +46,32 @@ std::size_t Mempool::alloc_bulk(std::span<Mbuf*> out) {
   return n;
 }
 
+void Mempool::retain(Mbuf* m) {
+  if (m == nullptr || m->pool != this) {
+    throw std::invalid_argument("Mempool::retain: foreign mbuf");
+  }
+  if (m->refcnt == 0) {
+    throw std::logic_error("Mempool::retain: dead mbuf");
+  }
+  ++m->refcnt;
+  ++stats_.retains;
+}
+
+void Mempool::recycle(Mbuf* m) {
+  if (m == nullptr) return;
+  if (m->pool != this) {
+    throw std::invalid_argument("Mempool::recycle: foreign mbuf");
+  }
+  if (m->refcnt == 0) {
+    throw std::logic_error("Mempool::recycle: double recycle");
+  }
+  if (--m->refcnt == 0) {
+    m->reset();  // data room returns pre-reset: no free/alloc round trip
+    ++stats_.recycles;
+    free_ring_.enqueue(m->pool_index);
+  }
+}
+
 void Mempool::free(Mbuf* m) {
   if (m == nullptr) return;
   if (m->pool != this) {
@@ -54,6 +81,7 @@ void Mempool::free(Mbuf* m) {
     throw std::logic_error("Mempool::free: double free");
   }
   if (--m->refcnt == 0) {
+    m->reset();
     ++stats_.frees;
     free_ring_.enqueue(m->pool_index);
   }

@@ -30,8 +30,21 @@ class Mempool {
   /// the number obtained.
   [[nodiscard]] std::size_t alloc_bulk(std::span<Mbuf*> out);
 
+  /// Take an additional reference (shared ownership). The RX path uses this
+  /// to loan a received data room onward — to a socket's RX chain or to the
+  /// application via ff_zc_recv — while the driver burst still holds its
+  /// own reference.
+  void retain(Mbuf* m);
+
   /// Drop one reference; returns the buffer to the ring at zero.
   void free(Mbuf* m);
+
+  /// Drop one reference from a *loan*: at zero the data room goes straight
+  /// back onto the free ring. Buffers always enter the ring pre-reset
+  /// (constructor/free/recycle), so alloc() hands them out untouched.
+  /// Counted separately so the RX census can prove loaned buffers return
+  /// through recycling and nothing else.
+  void recycle(Mbuf* m);
 
   /// Free a whole burst (skips null entries) — how the stack's RX loop
   /// returns each rx_burst to the ring.
@@ -52,6 +65,8 @@ class Mempool {
     std::uint64_t allocs = 0;
     std::uint64_t frees = 0;
     std::uint64_t alloc_failures = 0;
+    std::uint64_t retains = 0;
+    std::uint64_t recycles = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -17,7 +17,8 @@ namespace cherinet::test {
 class TwoStacks {
  public:
   explicit TwoStacks(sim::Testbed phys = sim::Testbed::unconstrained(),
-                     fstack::TcpConfig tcp = fstack::TcpConfig{})
+                     fstack::TcpConfig tcp = fstack::TcpConfig{},
+                     updk::EalConfig eal = updk::EalConfig{})
       : as_(96u << 20),
         wire_(&clock_, nullptr, phys),
         card_a_(&as_.mem(), &clock_,
@@ -33,6 +34,7 @@ class TwoStacks {
     scen::InstanceConfig ca;
     ca.netif.ip = fstack::Ipv4Addr::of(10, 0, 0, 1);
     ca.tcp = tcp;
+    ca.eal = eal;
     scen::InstanceConfig cb = ca;
     cb.netif.ip = fstack::Ipv4Addr::of(10, 0, 0, 2);
     a_ = std::make_unique<scen::FullStackInstance>(card_a_, 0, *heap_a_,
@@ -43,6 +45,8 @@ class TwoStacks {
 
   [[nodiscard]] fstack::FfStack& a() { return a_->stack(); }
   [[nodiscard]] fstack::FfStack& b() { return b_->stack(); }
+  [[nodiscard]] updk::Mempool& pool_a() { return a_->pool(); }
+  [[nodiscard]] updk::Mempool& pool_b() { return b_->pool(); }
   [[nodiscard]] machine::CompartmentHeap& heap_a() { return *heap_a_; }
   [[nodiscard]] machine::CompartmentHeap& heap_b() { return *heap_b_; }
   [[nodiscard]] sim::VirtualClock& clock() { return clock_; }

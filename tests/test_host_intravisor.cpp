@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "apps/telemetry.hpp"
 #include "intravisor/compartment_mutex.hpp"
 #include "intravisor/intravisor.hpp"
 
@@ -102,6 +103,32 @@ TEST(Intravisor, ConsoleWriteCrossesWithCapabilityBuffer) {
   const auto log = ivr.host().console_log();
   ASSERT_FALSE(log.empty());
   EXPECT_EQ(log.back(), "hello from cVM1");
+}
+
+TEST(Intravisor, TelemetryBatchFlushesWholeReportInOneCrossing) {
+  // The SyscallBatch envelope's first in-tree producer: an app-layer
+  // telemetry sink marshals N report lines and flushes them through ONE
+  // trampoline crossing instead of N write(2) crossings.
+  iv::Intravisor ivr(fast_config());
+  auto& cvm = ivr.create_cvm("cVM1", 1u << 20);
+  apps::TelemetryBatch sink(&cvm.libc(), cvm.alloc(1024));
+  sink.add_line("iperf[fd 4]: 1048576 bytes, 911.2 Mbit/s");
+  sink.add_line("iperf[fd 4]: 2097152 bytes, 922.7 Mbit/s");
+  sink.add_line("iperf[fd 4]: done");
+  const std::uint64_t crossings0 = cvm.trampoline().crossings();
+  const std::uint64_t batched0 = cvm.trampoline().batched_requests();
+  EXPECT_EQ(sink.flush(), 3u);
+  EXPECT_EQ(cvm.trampoline().crossings(), crossings0 + 1);  // ONE envelope
+  EXPECT_EQ(cvm.trampoline().batched_requests(), batched0 + 3);
+  const auto log = ivr.host().console_log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log[log.size() - 3], "iperf[fd 4]: 1048576 bytes, 911.2 Mbit/s\n");
+  EXPECT_EQ(log.back(), "iperf[fd 4]: done\n");
+  // An empty flush is free: no crossing, no envelope.
+  EXPECT_EQ(sink.flush(), 0u);
+  EXPECT_EQ(cvm.trampoline().crossings(), crossings0 + 1);
+  EXPECT_EQ(sink.lines_total(), 3u);
+  EXPECT_EQ(sink.flushes(), 1u);
 }
 
 TEST(Intravisor, FutexRoutesThroughUmtxTranslation) {

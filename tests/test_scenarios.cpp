@@ -3,6 +3,7 @@
 // cross-compartment proxy, and compartment-escape containment (Fig. 3).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "scenarios/experiment.hpp"
@@ -83,7 +84,19 @@ TEST(Bandwidth, Scenario2ContendedSplitsButSumsToLink) {
   EXPECT_GT(total, 700.0);
 }
 
+namespace {
+/// Wall-clock-ratio assertions need real scheduler behavior; constrained
+/// or sanitizer-slowed environments opt out (scripts/check.sh SANITIZE=1
+/// sets this) rather than fail on scheduling noise.
+bool timing_tests_disabled() {
+  return std::getenv("CHERINET_SKIP_TIMING_TESTS") != nullptr;
+}
+}  // namespace
+
 TEST(Latency, Scenario1AddsTrampolineCostOverBaseline) {
+  if (timing_tests_disabled()) {
+    GTEST_SKIP() << "CHERINET_SKIP_TIMING_TESTS set";
+  }
   TestbedOptions opt;  // morello cost model ON: the deltas are the point
   opt.inline_tcp_output = false;
   const auto base = run_ffwrite_latency(ScenarioKind::kBaseline2Proc, 12000,
@@ -107,6 +120,9 @@ TEST(Latency, Scenario1AddsTrampolineCostOverBaseline) {
 }
 
 TEST(Latency, Scenario2ContentionDwarfsUncontended) {
+  if (timing_tests_disabled()) {
+    GTEST_SKIP() << "CHERINET_SKIP_TIMING_TESTS set";
+  }
   TestbedOptions opt;
   opt.inline_tcp_output = false;
   const auto unc = run_ffwrite_latency(ScenarioKind::kScenario2Uncontended,
@@ -179,6 +195,105 @@ TEST(Scenario2Proxy, OpsWorkAcrossCompartments) {
   // probe loop overshoots the 64 KiB target by a partial chunk).
   EXPECT_TRUE(peer.workload_finished());
   EXPECT_EQ(peer.server()->report().bytes, 46u * 1448u);
+}
+
+TEST(Scenario2Proxy, ZeroCopyRecvAndMultishotRingAcrossCompartments) {
+  // The RX pipeline end to end in Scenario 2: the peer streams into cVM1's
+  // stack; the app compartment consumes via an armed multishot event ring
+  // (no crossing per wait) and ff_zc_recv loan bursts (read-only bounded
+  // views into cVM1's mbuf arena), recycling in batches.
+  MorelloTestbed tb(fast_options());
+  auto& iv = tb.intravisor();
+  tb.arbiter().expect_participants(3);
+  constexpr std::uint64_t kVolume = 256 * 1024;
+  auto& peer = tb.make_peer(0);
+  peer.run_iperf_client(MorelloTestbed::morello_ip(0), 5201, kVolume);
+  peer.start();
+
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 64u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), tb.clock(),
+                         tb.morello_cfg(0));
+  Scenario2Service svc(iv, cvm1, inst);
+  std::atomic<bool> stop{false};
+  cvm1.start([&] { svc.run_loop(stop, tb.arbiter()); });
+
+  iv::CVM& app = iv.create_cvm("cVM2", 8u << 20);
+  auto ops = svc.make_proxy_ops(app);
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<bool> clean{true};
+  app.start([&] {
+    const int lfd = ops->socket_stream();
+    ops->bind(lfd, fstack::Ipv4Addr{}, 5201);
+    ops->listen(lfd, 4);
+    const int ep = ops->epoll_create();
+    ops->epoll_ctl(ep, fstack::EpollOp::kAdd, lfd, fstack::kEpollIn,
+                   static_cast<std::uint64_t>(lfd));
+    machine::CapView ring_mem =
+        app.alloc(fstack::FfEventRing::bytes_for(32));
+    fstack::FfEventRing ring(ring_mem, 32);
+    EXPECT_GE(ops->epoll_wait_multishot(ep, ring_mem, 32), 0);
+
+    sim::Participant part(tb.arbiter(), "zc-app");
+    int cfd = -1;
+    bool eof = false;
+    while (!eof && received.load() < kVolume) {
+      const auto token = part.prepare();
+      bool progress = false;
+      fstack::FfEpollEvent evs[8];
+      (void)ring.pop(evs);  // consumed locally; drains gate on data below
+      if (cfd < 0) {
+        int fds[1];
+        if (ops->accept_batch(lfd, fds) == 1) {
+          cfd = fds[0];
+          ops->epoll_ctl(ep, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
+                         static_cast<std::uint64_t>(cfd));
+          progress = true;
+        }
+      } else {
+        fstack::FfZcRxBuf loans[8];
+        const std::int64_t n = ops->zc_recv(cfd, loans);
+        if (n > 0) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            received += loans[i].data.size();
+            // Loans must be read-only views.
+            const std::byte poison[1] = {std::byte{0xFF}};
+            EXPECT_THROW(loans[i].data.write(0, poison), cheri::CapFault);
+          }
+          if (ops->zc_recycle_batch({loans, static_cast<std::size_t>(n)}) !=
+              n) {
+            clean = false;
+          }
+          progress = true;
+        } else if (n == 0) {
+          eof = true;
+        }
+      }
+      if (!progress) part.wait(token, tb.clock().now() + sim::Ns{1'000'000});
+    }
+    ops->close(cfd);
+    ops->close(ep);
+    ops->close(lfd);
+  });
+  app.join();
+  stop = true;
+  tb.arbiter().kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+
+  EXPECT_FALSE(app.faulted());
+  EXPECT_TRUE(clean.load());
+  EXPECT_GE(received.load(), kVolume);
+  // The whole volume moved with ZERO receive-side copies, every loan went
+  // back through recycle, and the ring carried events without wait calls.
+  const auto& rx = inst.stack().rx_stats();
+  const auto& api = inst.stack().api_stats();
+  EXPECT_EQ(rx.copied_bytes, 0u);
+  EXPECT_GT(api.zc_rx_loans, 0u);
+  EXPECT_EQ(api.zc_rx_recycles, api.zc_rx_loans);
+  EXPECT_GT(api.multishot_events, 0u);
+  // Nothing leaked: every loaned data room went back through recycle.
+  EXPECT_GE(inst.pool().stats().recycles, api.zc_rx_loans);
 }
 
 TEST(Containment, AppCvmEscapeAttemptIsContainedFig3) {

@@ -389,6 +389,49 @@ TEST(FfApiV2, ZeroCopySendDeliversAndDoubleSubmitIsEinval) {
   EXPECT_EQ(ff_zc_alloc(ts.a(), 60000, &zc3), -EMSGSIZE);
 }
 
+TEST(FfApiV2, ZcAbortAfterPoolExhaustionRestoresCapacityExactlyOnce) {
+  // Tiny pool so reservations can exhaust it quickly.
+  updk::EalConfig eal;
+  eal.n_mbufs = 16;
+  eal.eth.rx_ring_size = 4;
+  eal.eth.tx_ring_size = 4;
+  TwoStacks ts(sim::Testbed::unconstrained(), fstack::TcpConfig{}, eal);
+
+  // Reserve until the pool is dry.
+  std::vector<FfZcBuf> held;
+  FfZcBuf z;
+  int r;
+  while ((r = ff_zc_alloc(ts.a(), 256, &z)) == 0) held.push_back(z);
+  ASSERT_EQ(r, -ENOBUFS);
+  ASSERT_FALSE(held.empty());
+  ASSERT_EQ(ts.pool_a().available(), 0u);
+  // Regression: the failed alloc must invalidate the caller's handle — `z`
+  // still holds the LAST successful reservation's token otherwise, and an
+  // abort-on-failure cleanup would release a buffer the application still
+  // owns through `held`, restoring capacity twice.
+  EXPECT_EQ(z.token, 0u);
+  EXPECT_EQ(ff_zc_abort(ts.a(), z), -EINVAL);
+  EXPECT_EQ(ts.pool_a().available(), 0u);
+
+  // Aborting each reservation restores capacity exactly once...
+  const std::uint32_t before = ts.pool_a().available();
+  for (FfZcBuf& h : held) {
+    EXPECT_EQ(ff_zc_abort(ts.a(), h), 0);
+    EXPECT_FALSE(h.valid());  // token gone AND the data alias dropped
+  }
+  EXPECT_EQ(ts.pool_a().available(),
+            before + static_cast<std::uint32_t>(held.size()));
+  // ...and a second abort of any handle is -EINVAL with no double credit.
+  for (FfZcBuf& h : held) EXPECT_EQ(ff_zc_abort(ts.a(), h), -EINVAL);
+  EXPECT_EQ(ts.pool_a().available(),
+            before + static_cast<std::uint32_t>(held.size()));
+
+  // The pool is usable again end to end.
+  FfZcBuf again;
+  EXPECT_EQ(ff_zc_alloc(ts.a(), 256, &again), 0);
+  EXPECT_EQ(ff_zc_abort(ts.a(), again), 0);
+}
+
 TEST(FfApiV2, BatchValidationIsAtomicOnBoundsOverrun) {
   TwoStacks ts;
   const auto [cfd, sfd] = connect_pair(ts);

@@ -108,6 +108,41 @@ TEST_F(PoolFixture, AllocBulkAndFreeBulk) {
   EXPECT_EQ(pool.available(), 8u);
 }
 
+TEST_F(PoolFixture, RetainSharesOwnershipRecycleReturnsAtZero) {
+  updk::Mempool pool(&heap, 4, 1024);
+  updk::Mbuf* m = pool.alloc();
+  ASSERT_NE(m, nullptr);
+  pool.retain(m);  // RX loan: driver burst + chain share the buffer
+  EXPECT_EQ(m->refcnt, 2);
+  EXPECT_EQ(pool.stats().retains, 1u);
+  pool.free(m);  // the burst's reference drops first
+  EXPECT_EQ(m->refcnt, 1);
+  EXPECT_EQ(pool.available(), 3u);  // still loaned out
+  m->append(100);
+  pool.recycle(m);  // the loan's return is what refills the ring...
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  EXPECT_EQ(m->data_len, 0u);  // ...with offsets pre-reset
+  EXPECT_EQ(m->data_off, updk::kMbufHeadroom);
+  EXPECT_THROW(pool.recycle(m), std::logic_error);  // double recycle
+  EXPECT_THROW(pool.retain(m), std::logic_error);   // dead mbuf
+}
+
+TEST_F(PoolFixture, LoanViewIsReadOnlyAndExactlyBounded) {
+  updk::Mempool pool(&heap, 2, 1024);
+  updk::Mbuf* m = pool.alloc();
+  ASSERT_NE(m, nullptr);
+  auto body = m->append(64);
+  body.store<std::uint8_t>(10, 0x5A);
+  const machine::CapView loan = m->loan(m->data_off + 10, 20);
+  EXPECT_EQ(loan.size(), 20u);
+  EXPECT_EQ(loan.load<std::uint8_t>(0), 0x5A);
+  EXPECT_THROW(loan.store<std::uint8_t>(0, 1), cheri::CapFault);
+  std::byte probe[1];
+  EXPECT_THROW(loan.read(20, probe), cheri::CapFault);
+  pool.free(m);
+}
+
 TEST_F(PoolFixture, ExhaustionReturnsNull) {
   updk::Mempool pool(&heap, 4, 1024);
   updk::Mbuf* ms[4];
