@@ -42,12 +42,26 @@ inline void print_latency(const std::vector<stats::NamedSummary>& rows) {
   std::printf("\n%s\n", stats::render_box_plots(rows).c_str());
 }
 
+/// Everything the fig4/fig5 gates measure, kept so the bench can emit one
+/// JSON artifact per figure (scripts/check.sh surfaces them as
+/// BENCH_fig4.json / BENCH_fig5.json — the cross-PR perf trajectory).
+struct BenchArtifacts {
+  std::uint64_t census_bytes = 0;
+  scen::CrossingCensus tx_v1;
+  scen::CrossingCensus tx_v2;
+  scen::RxCensus rx_v1;
+  scen::RxCensus rx_zc;
+  scen::UringCensus tx_uring;
+  scen::UringCensus rx_uring;
+};
+
 /// API v2 regression gate shared by fig4/fig5: run the crossing census over
 /// the same byte volume through the v1 per-call path and the batched path,
 /// print the table, and require >= 8x crossing amortization plus strictly
 /// lower modeled cost per MiB. Returns the process exit code (0 pass).
 inline int run_census_gate(scen::ScenarioKind kind,
-                           const scen::TestbedOptions& opt) {
+                           const scen::TestbedOptions& opt,
+                           BenchArtifacts* art = nullptr) {
   // Volume floor keeps the gate meaningful: below ~one batch of MSS-sized
   // chunks both paths degenerate to a single call.
   const std::uint64_t census_bytes =
@@ -58,6 +72,11 @@ inline int run_census_gate(scen::ScenarioKind kind,
   const auto v1 = run_ffwrite_crossing_census(kind, census_bytes, 1, copt);
   const auto v2 = run_ffwrite_crossing_census(kind, census_bytes, kBatch,
                                               copt);
+  if (art != nullptr) {
+    art->census_bytes = census_bytes;
+    art->tx_v1 = v1;
+    art->tx_v2 = v2;
+  }
   std::printf("\ncrossing census (%llu KiB, batch=%zu):\n",
               static_cast<unsigned long long>(census_bytes / 1024), kBatch);
   std::printf("  v1 ff_write : %8llu calls  %8llu crossings  %10.0f ns/MiB\n",
@@ -97,13 +116,18 @@ inline int run_census_gate(scen::ScenarioKind kind,
 /// recycled, crossings amortize >= 8x, and modeled cost/MiB is strictly
 /// lower. Returns the process exit code (0 pass).
 inline int run_rx_census_gate(scen::ScenarioKind kind,
-                              const scen::TestbedOptions& opt) {
+                              const scen::TestbedOptions& opt,
+                              BenchArtifacts* art = nullptr) {
   const std::uint64_t census_bytes =
       std::max<std::uint64_t>(env_u64("CHERINET_CENSUS_KB", 4096), 256) * 1024;
   scen::TestbedOptions copt = opt;
   copt.cost = sim::CostModel::disabled();  // counting, not timing
   const auto v1 = run_ffrecv_rx_census(kind, census_bytes, false, copt);
   const auto zc = run_ffrecv_rx_census(kind, census_bytes, true, copt);
+  if (art != nullptr) {
+    art->rx_v1 = v1;
+    art->rx_zc = zc;
+  }
   std::printf("\nRX census (%llu KiB received):\n",
               static_cast<unsigned long long>(census_bytes / 1024));
   std::printf("  v1 ff_read  : %8llu calls  %8llu crossings  %10llu copied B"
@@ -160,6 +184,149 @@ inline int run_rx_census_gate(scen::ScenarioKind kind,
                   static_cast<double>(zc.crossings),
               static_cast<double>(v1.copied_bytes) / (1024.0 * 1024.0));
   return 0;
+}
+
+/// API v3 regression gate shared by fig4/fig5: move the same byte volume
+/// through the ff_uring ring, both directions, and require
+///   * >= 2x fewer crossings than the PR-2 batch path (TX) and zero-copy
+///     path (RX) it replaces, and
+///   * zero crossings per op under sustained load: the crossing count must
+///     stay a small constant (arm + doorbells + one-time setup) while SQEs
+///     scale with the volume — at most one crossing per 8 ring ops, with a
+///     floor for tiny smoke volumes.
+/// Requires the PR-2 censuses already recorded in `art` (run the v2 gates
+/// first). Returns the process exit code (0 pass).
+inline int run_uring_gate(scen::ScenarioKind kind,
+                          const scen::TestbedOptions& opt,
+                          BenchArtifacts* art) {
+  const std::uint64_t census_bytes =
+      std::max<std::uint64_t>(env_u64("CHERINET_CENSUS_KB", 4096), 256) * 1024;
+  scen::TestbedOptions copt = opt;
+  copt.cost = sim::CostModel::disabled();  // counting, not timing
+  const auto tx = run_uring_tx_census(kind, census_bytes, copt);
+  const auto rx = run_uring_rx_census(kind, census_bytes, copt);
+  art->tx_uring = tx;
+  art->rx_uring = rx;
+  std::printf("\nuring census (%llu KiB each way):\n",
+              static_cast<unsigned long long>(census_bytes / 1024));
+  std::printf("  v3 TX ring : %8llu sqes  %8llu cqes  %4llu crossings "
+              "(%llu doorbells)  %10.0f ns/MiB\n",
+              static_cast<unsigned long long>(tx.sqes),
+              static_cast<unsigned long long>(tx.cqes),
+              static_cast<unsigned long long>(tx.crossings),
+              static_cast<unsigned long long>(tx.doorbells),
+              tx.modeled_ns_per_mib);
+  std::printf("  v3 RX ring : %8llu sqes  %8llu cqes  %4llu crossings "
+              "(%llu doorbells)  %10.0f ns/MiB\n",
+              static_cast<unsigned long long>(rx.sqes),
+              static_cast<unsigned long long>(rx.cqes),
+              static_cast<unsigned long long>(rx.crossings),
+              static_cast<unsigned long long>(rx.doorbells),
+              rx.modeled_ns_per_mib);
+  if (tx.bytes < census_bytes || rx.bytes < census_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: uring census did not move the byte volume "
+                 "(tx %llu, rx %llu of %llu)\n",
+                 static_cast<unsigned long long>(tx.bytes),
+                 static_cast<unsigned long long>(rx.bytes),
+                 static_cast<unsigned long long>(census_bytes));
+    return 1;
+  }
+  if (tx.crossings * 2 > art->tx_v2.crossings) {
+    std::fprintf(stderr,
+                 "FAIL: uring TX crossed %llu times, v2 batch %llu — "
+                 "expected >= 2x fewer\n",
+                 static_cast<unsigned long long>(tx.crossings),
+                 static_cast<unsigned long long>(art->tx_v2.crossings));
+    return 1;
+  }
+  if (rx.crossings * 2 > art->rx_zc.crossings) {
+    std::fprintf(stderr,
+                 "FAIL: uring RX crossed %llu times, PR-2 zc path %llu — "
+                 "expected >= 2x fewer\n",
+                 static_cast<unsigned long long>(rx.crossings),
+                 static_cast<unsigned long long>(art->rx_zc.crossings));
+    return 1;
+  }
+  // Steady-state: crossings must not scale with ops. The floors cover the
+  // fixed setup (arm; RX also one accept-time epoll_ctl) plus doorbell
+  // slack on tiny smoke volumes.
+  const auto steady = [](const scen::UringCensus& c,
+                         std::uint64_t floor_) {
+    return c.crossings <= std::max<std::uint64_t>(floor_, c.sqes / 8);
+  };
+  if (!steady(tx, 6) || !steady(rx, 8)) {
+    std::fprintf(stderr,
+                 "FAIL: uring path is crossing per op (tx %llu/%llu sqes, "
+                 "rx %llu/%llu sqes) — steady state must be doorbell-only\n",
+                 static_cast<unsigned long long>(tx.crossings),
+                 static_cast<unsigned long long>(tx.sqes),
+                 static_cast<unsigned long long>(rx.crossings),
+                 static_cast<unsigned long long>(rx.sqes));
+    return 1;
+  }
+  std::printf("  steady state: zero crossings per op (TX %llu crossings / "
+              "%llu ops, RX %llu / %llu)\n",
+              static_cast<unsigned long long>(tx.crossings),
+              static_cast<unsigned long long>(tx.sqes),
+              static_cast<unsigned long long>(rx.crossings),
+              static_cast<unsigned long long>(rx.sqes));
+  return 0;
+}
+
+/// Write the figure's census numbers as one JSON artifact (the perf
+/// trajectory scripts/check.sh tracks across PRs). Path:
+/// $CHERINET_BENCH_JSON_DIR/BENCH_<fig>.json, cwd when the env is unset.
+inline void emit_bench_json(const char* fig, const BenchArtifacts& a) {
+  const char* dir = std::getenv("CHERINET_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+      "BENCH_" + fig + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"census_bytes\": %llu,\n",
+               fig, u(a.census_bytes));
+  std::fprintf(f,
+               "  \"tx\": {\n"
+               "    \"v1\":    {\"calls\": %llu, \"crossings\": %llu, "
+               "\"ns_per_mib\": %.0f},\n"
+               "    \"v2\":    {\"calls\": %llu, \"crossings\": %llu, "
+               "\"ns_per_mib\": %.0f},\n"
+               "    \"uring\": {\"sqes\": %llu, \"cqes\": %llu, "
+               "\"crossings\": %llu, \"doorbells\": %llu, "
+               "\"ns_per_mib\": %.0f}\n  },\n",
+               u(a.tx_v1.api_calls), u(a.tx_v1.crossings),
+               a.tx_v1.modeled_ns_per_mib, u(a.tx_v2.api_calls),
+               u(a.tx_v2.crossings), a.tx_v2.modeled_ns_per_mib,
+               u(a.tx_uring.sqes), u(a.tx_uring.cqes),
+               u(a.tx_uring.crossings), u(a.tx_uring.doorbells),
+               a.tx_uring.modeled_ns_per_mib);
+  std::fprintf(f,
+               "  \"rx\": {\n"
+               "    \"v1\":    {\"calls\": %llu, \"crossings\": %llu, "
+               "\"copied_bytes\": %llu, \"ns_per_mib\": %.0f},\n"
+               "    \"zc\":    {\"calls\": %llu, \"crossings\": %llu, "
+               "\"copied_bytes\": %llu, \"loans\": %llu, "
+               "\"recycles\": %llu, \"ns_per_mib\": %.0f},\n"
+               "    \"uring\": {\"sqes\": %llu, \"cqes\": %llu, "
+               "\"crossings\": %llu, \"doorbells\": %llu, "
+               "\"ns_per_mib\": %.0f}\n  }\n}\n",
+               u(a.rx_v1.api_calls), u(a.rx_v1.crossings),
+               u(a.rx_v1.copied_bytes), a.rx_v1.modeled_ns_per_mib,
+               u(a.rx_zc.api_calls), u(a.rx_zc.crossings),
+               u(a.rx_zc.copied_bytes), u(a.rx_zc.zc_loans),
+               u(a.rx_zc.zc_recycles), a.rx_zc.modeled_ns_per_mib,
+               u(a.rx_uring.sqes), u(a.rx_uring.cqes),
+               u(a.rx_uring.crossings), u(a.rx_uring.doorbells),
+               a.rx_uring.modeled_ns_per_mib);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace cherinet::bench

@@ -38,8 +38,19 @@ int main() {
   // API v2 regression gates: the TX batch path must amortize the measured-
   // window crossings >= 8x over per-call v1 for the same byte volume, and
   // the zero-copy RX pipeline (multishot ring + mbuf loans) must do the
-  // same on the receive side with ZERO receive-sockbuf copies.
-  const int tx = run_census_gate(ScenarioKind::kScenario1, opt);
-  if (tx != 0) return tx;
-  return run_rx_census_gate(ScenarioKind::kScenario1, opt);
+  // same on the receive side with ZERO receive-sockbuf copies. The v3
+  // uring gate then requires >= 2x fewer crossings than those batch paths
+  // with zero crossings per op in steady state, and the whole census lands
+  // in BENCH_fig4.json for the cross-PR trajectory.
+  BenchArtifacts art;
+  const int tx = run_census_gate(ScenarioKind::kScenario1, opt, &art);
+  const int rx =
+      tx == 0 ? run_rx_census_gate(ScenarioKind::kScenario1, opt, &art) : 0;
+  const int ur =
+      tx == 0 && rx == 0 ? run_uring_gate(ScenarioKind::kScenario1, opt, &art)
+                         : 0;
+  // Emit whatever was measured even when a gate failed: a stale artifact
+  // from a previous (passing) run would misreport the perf trajectory.
+  emit_bench_json("fig4", art);
+  return tx != 0 ? tx : rx != 0 ? rx : ur;
 }

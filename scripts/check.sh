@@ -28,4 +28,17 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DCHERINET_WERROR=ON "${EXTRA_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+status=0
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" || status=$?
+
+# Surface the crossing-census artifacts the fig4/fig5 smoke gates emit
+# (v1 / v2-batch / v3-uring crossings per byte volume): the perf
+# trajectory tracked across PRs. Printed even when ctest failed — a
+# failing run's numbers are exactly the ones worth reading.
+for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json; do
+  if [[ -f "$f" ]]; then
+    echo "== bench artifact: $f"
+    cat "$f"
+  fi
+done
+exit "$status"

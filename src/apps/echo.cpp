@@ -12,12 +12,45 @@ EchoServer::EchoServer(FfOps* ops, std::uint16_t port,
   ops_->listen(listen_fd_, 8);
 }
 
+EchoServer::~EchoServer() {
+  if (uring_.has_value()) ops_->uring_detach(uring_id_);
+}
+
+int EchoServer::use_uring(machine::CapView ring_mem,
+                          std::uint32_t sq_capacity,
+                          std::uint32_t cq_capacity) {
+  fstack::FfUring ring(ring_mem, sq_capacity, cq_capacity);
+  const int id = ops_->uring_attach(ring_mem, sq_capacity, cq_capacity);
+  if (id < 0) return id;
+  uring_ = ring;
+  uring_id_ = id;
+  fstack::FfUringSqe arm;
+  arm.op = fstack::UringOp::kAcceptMultishot;
+  arm.fd = listen_fd_;
+  uring_->sq_push(arm);
+  if (uring_->stack_parked()) ops_->uring_doorbell(uring_id_);
+  return 0;
+}
+
 bool EchoServer::step() {
   bool progress = false;
-  for (int fd = ops_->accept(listen_fd_); fd >= 0;
-       fd = ops_->accept(listen_fd_)) {
-    conns_.push_back(fd);
-    progress = true;
+  if (uring_.has_value()) {
+    // Accepted fds arrive as multishot CQEs — no accept crossing, ever.
+    fstack::FfUringCqe cq[8];
+    const std::size_t n = uring_->cq_pop(cq);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cq[i].op == fstack::UringOp::kAcceptMultishot &&
+          cq[i].result >= 0) {
+        conns_.push_back(static_cast<int>(cq[i].result));
+        progress = true;
+      }
+    }
+  } else {
+    for (int fd = ops_->accept(listen_fd_); fd >= 0;
+         fd = ops_->accept(listen_fd_)) {
+      conns_.push_back(fd);
+      progress = true;
+    }
   }
   // Scatter-gather echo: drain into two half-views of the scratch buffer
   // with one ff_readv, push back with one ff_writev — two crossings per

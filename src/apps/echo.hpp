@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/ff_ops.hpp"
+#include "fstack/uring.hpp"
 
 namespace cherinet::apps {
 
@@ -14,6 +16,16 @@ namespace cherinet::apps {
 class EchoServer {
  public:
   EchoServer(FfOps* ops, std::uint16_t port, machine::CapView scratch);
+  ~EchoServer();  // detaches a still-armed ff_uring
+
+  /// API v3 port: accept through an ff_uring OP_ACCEPT_MULTISHOT arm.
+  /// The classic path calls accept() every step — behind proxied ops that
+  /// is one sealed-entry crossing per step even when the queue is empty;
+  /// armed, accepted fds arrive as CQEs with zero crossings. Returns 0 or
+  /// -errno (-ENOTSUP bindings keep the per-step accept).
+  int use_uring(machine::CapView ring_mem, std::uint32_t sq_capacity,
+                std::uint32_t cq_capacity);
+
   bool step();
   [[nodiscard]] std::uint64_t bytes_echoed() const noexcept {
     return echoed_;
@@ -23,6 +35,8 @@ class EchoServer {
   FfOps* ops_;
   machine::CapView scratch_;
   int listen_fd_ = -1;
+  std::optional<fstack::FfUring> uring_;  // v3: multishot accept CQEs
+  int uring_id_ = -1;
   std::vector<int> conns_;
   std::uint64_t echoed_ = 0;
 };

@@ -85,6 +85,29 @@ class FfOps {
     return -ENOTSUP;
   }
 
+  // API v3: the ff_uring unified boundary (fstack/uring.hpp). One attach
+  // crossing arms a submission/completion capability-ring pair; from then
+  // on the application submits with plain capability stores and reaps with
+  // plain loads — zero crossings per operation in steady state, a doorbell
+  // crossing only on an empty->non-empty SQ transition while the stack is
+  // parked. Defaults report -ENOTSUP; the Direct/Proxy bindings override.
+  virtual int uring_attach(const machine::CapView& mem,
+                           std::uint32_t sq_capacity,
+                           std::uint32_t cq_capacity) {
+    (void)mem;
+    (void)sq_capacity;
+    (void)cq_capacity;
+    return -ENOTSUP;
+  }
+  virtual int uring_detach(int id) {
+    (void)id;
+    return -ENOTSUP;
+  }
+  virtual int uring_doorbell(int id) {
+    (void)id;
+    return -ENOTSUP;
+  }
+
   /// Multishot epoll: arm once, consume event batches from the capability
   /// ring with no further calls (see fstack/event_ring.hpp).
   virtual int epoll_wait_multishot(int epfd, const machine::CapView& ring,
@@ -105,6 +128,18 @@ class FfOps {
                         std::uint32_t events, std::uint64_t data) = 0;
   virtual int epoll_wait(int epfd, std::span<fstack::FfEpollEvent> out) = 0;
 };
+
+/// The FfUringRecycler fallback every ring consumer shares: a token batch
+/// the SQ refused goes back through ONE classic zc_recycle_batch crossing
+/// instead of piling up while the loans stay window-charged.
+inline fstack::FfUringRecycler::Fallback classic_recycle_fallback(
+    FfOps* ops) {
+  return [ops](std::span<const std::uint64_t> toks) {
+    fstack::FfZcRxBuf zcs[fstack::FfUringSqe::kMaxTokens];
+    for (std::size_t i = 0; i < toks.size(); ++i) zcs[i].token = toks[i];
+    ops->zc_recycle_batch({zcs, toks.size()});
+  };
+}
 
 /// Direct binding: app and stack share a compartment (Baseline, Scenario 1).
 class DirectFfOps final : public FfOps {
@@ -150,6 +185,16 @@ class DirectFfOps final : public FfOps {
   }
   int epoll_cancel_multishot(int epfd) override {
     return fstack::ff_epoll_cancel_multishot(*st_, epfd);
+  }
+  int uring_attach(const machine::CapView& mem, std::uint32_t sq_capacity,
+                   std::uint32_t cq_capacity) override {
+    return fstack::ff_uring_attach(*st_, mem, sq_capacity, cq_capacity);
+  }
+  int uring_detach(int id) override {
+    return fstack::ff_uring_detach(*st_, id);
+  }
+  int uring_doorbell(int id) override {
+    return fstack::ff_uring_doorbell(*st_, id);
   }
   int close(int fd) override { return fstack::ff_close(*st_, fd); }
   int epoll_create() override { return fstack::ff_epoll_create(*st_); }

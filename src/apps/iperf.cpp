@@ -6,6 +6,12 @@
 
 namespace cherinet::apps {
 
+namespace {
+// user_data tags of the uring-mode arms (zc bursts tag with the conn fd).
+constexpr std::uint64_t kUdAccept = 1;
+constexpr std::uint64_t kUdEpoll = 2;
+}  // namespace
+
 // ---------------------------------------------------------------- server
 
 IperfServer::IperfServer(FfOps* ops, sim::VirtualClock* clock,
@@ -22,6 +28,162 @@ IperfServer::IperfServer(FfOps* ops, sim::VirtualClock* clock,
   epfd_ = ops_->epoll_create();
   ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, listen_fd_, fstack::kEpollIn,
                   static_cast<std::uint64_t>(listen_fd_));
+}
+
+IperfServer::~IperfServer() {
+  if (uring_.has_value()) uring_teardown();
+}
+
+void IperfServer::uring_teardown() {
+  // Tokens still in the accumulator go back synchronously, and ring-queued
+  // OP_RECYCLE entries are drained NOW via the (synchronous) doorbell —
+  // detaching with entries pending would drop their tokens and pin the
+  // loaned data rooms forever. Reap the CQ between rings: a full CQ makes
+  // every drain a no-op, so the doorbell alone cannot make progress.
+  ur_recycler_.flush_sync();
+  const auto reap = [this] {
+    fstack::FfUringCqe cq[16];
+    for (std::size_t n = uring_->cq_pop(cq); n > 0; n = uring_->cq_pop(cq)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        // A straggler loan CQE reaped here still owes its token back.
+        if (cq[i].op == fstack::UringOp::kZcRecv && cq[i].result >= 0 &&
+            (cq[i].flags & fstack::kCqeEof) == 0 && cq[i].aux0 != 0) {
+          fstack::FfZcRxBuf z;
+          z.token = cq[i].aux0;
+          ops_->zc_recycle_batch({&z, 1});
+        }
+      }
+    }
+  };
+  for (int spins = 0; spins < 64 && uring_->sq_pending() > 0; ++spins) {
+    reap();
+    ops_->uring_doorbell(uring_id_);
+  }
+  reap();
+  ops_->uring_detach(uring_id_);
+  uring_.reset();
+  ur_recycler_ = fstack::FfUringRecycler();  // no dangling ring pointer
+}
+
+int IperfServer::use_uring(machine::CapView ring_mem,
+                           std::uint32_t sq_capacity,
+                           std::uint32_t cq_capacity) {
+  fstack::FfUring ring(ring_mem, sq_capacity, cq_capacity);
+  const int id = ops_->uring_attach(ring_mem, sq_capacity, cq_capacity);
+  if (id < 0) return id;  // -ENOTSUP bindings keep the classic paths
+  uring_ = ring;
+  uring_id_ = id;
+  ur_recycler_ =
+      fstack::FfUringRecycler(&*uring_, classic_recycle_fallback(ops_));
+  // Arm once: accepted fds and readiness arrive as CQEs from here on.
+  fstack::FfUringSqe acc;
+  acc.op = fstack::UringOp::kAcceptMultishot;
+  acc.fd = listen_fd_;
+  acc.user_data = kUdAccept;
+  uring_->sq_push(acc);
+  fstack::FfUringSqe ep;
+  ep.op = fstack::UringOp::kEpollArm;
+  ep.fd = epfd_;
+  ep.user_data = kUdEpoll;
+  uring_->sq_push(ep);
+  if (uring_->stack_parked()) ops_->uring_doorbell(uring_id_);
+  return 0;
+}
+
+bool IperfServer::step_uring() {
+  bool progress = false;
+  fstack::FfUringCqe cq[16];
+  const std::size_t n = uring_->cq_pop(cq);
+  for (std::size_t i = 0; i < n; ++i) {
+    progress = true;
+    switch (cq[i].op) {
+      case fstack::UringOp::kAcceptMultishot:
+        if (cq[i].result >= 0) {
+          const int fd = static_cast<int>(cq[i].result);
+          if (static_cast<int>(conns_.size()) < expected_) {
+            conns_.push_back(Conn{fd, IperfReport{}, false, true});
+            ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, fd,
+                            fstack::kEpollIn,
+                            static_cast<std::uint64_t>(fd));
+          } else {
+            // The multishot arm accepts past expected_ (the classic path
+            // simply stopped calling accept): close the surplus rather
+            // than leak it and strand the peer.
+            ops_->close(fd);
+          }
+        }
+        break;
+      case fstack::UringOp::kEpollArm:
+        // Publications fire on any mask CHANGE, including readable->quiet:
+        // only a readable/hangup mask makes a drain burst worth submitting.
+        if ((cq[i].result & (fstack::kEpollIn | fstack::kEpollHup)) != 0) {
+          for (Conn& c : conns_) {
+            if (c.fd == static_cast<int>(cq[i].aux0)) c.hot = true;
+          }
+        }
+        break;
+      case fstack::UringOp::kZcRecv: {
+        const int fd = static_cast<int>(cq[i].user_data);
+        for (Conn& c : conns_) {
+          if (c.fd != fd || c.done) continue;
+          if ((cq[i].flags & fstack::kCqeEof) != 0) {
+            // EOF: return the tail tokens SYNCHRONOUSLY (one teardown
+            // crossing) — a ring entry pushed now might never drain once
+            // the server stops stepping, and loans must not outlive it.
+            ur_recycler_.flush_sync();
+            finish(c);
+          } else if (cq[i].result >= 0) {
+            // A loan (zero-length datagrams included: the token must
+            // still go back even when no bytes came with it).
+            if (c.report.bytes == 0 && cq[i].result > 0) {
+              c.report.first_byte = clock_->now();
+            }
+            c.report.bytes += static_cast<std::uint64_t>(cq[i].result);
+            c.report.last_byte = clock_->now();
+            ur_recycler_.add(cq[i].aux0);
+            interval_report(c);
+          } else {
+            c.hot = false;  // drained: wait for the next readiness CQE
+          }
+        }
+        if ((cq[i].flags & fstack::kCqeMore) == 0) ur_inflight_fd_ = -1;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // One zc burst in flight at a time, rotated round-robin across the
+  // connections: a saturating sender that stays hot must not starve its
+  // siblings of harvest bursts (the classic path drained every readable
+  // connection per step).
+  if (ur_inflight_fd_ < 0 && !conns_.empty()) {
+    for (std::size_t k = 0; k < conns_.size(); ++k) {
+      Conn& c = conns_[(ur_next_conn_ + k) % conns_.size()];
+      if (c.done || !c.hot) continue;
+      fstack::FfUringSqe sqe;
+      sqe.op = fstack::UringOp::kZcRecv;
+      sqe.fd = c.fd;
+      sqe.a[0] = fstack::FfUringSqe::kMaxCaps;
+      sqe.user_data = static_cast<std::uint64_t>(c.fd);
+      if (uring_->sq_push(sqe) != fstack::FfUring::Push::kFull) {
+        ur_inflight_fd_ = c.fd;
+        ur_next_conn_ = (ur_next_conn_ + k + 1) % conns_.size();
+        progress = true;
+      }
+      break;
+    }
+  }
+  if (ur_bell_.should_ring(*uring_, progress)) {
+    ops_->uring_doorbell(uring_id_);
+  }
+  if (finished()) {
+    // End the stack's use of the delegated ring capability as soon as the
+    // last connection completes — the ring region is app memory and must
+    // not be drained (or written) past the server's lifetime.
+    uring_teardown();
+  }
+  return progress;
 }
 
 int IperfServer::use_multishot(machine::CapView ring_mem,
@@ -127,6 +289,7 @@ void IperfServer::accept_ready() {
 }
 
 bool IperfServer::step() {
+  if (uring_.has_value()) return step_uring();
   bool progress = false;
   fstack::FfEpollEvent evs[16];
   // Multishot mode consumes the event ring with plain capability loads —
@@ -184,6 +347,96 @@ IperfClient::IperfClient(FfOps* ops, sim::VirtualClock* clock,
   ops_->connect(fd_, dst_, port_);
 }
 
+IperfClient::~IperfClient() {
+  if (uring_.has_value()) ops_->uring_detach(uring_id_);
+}
+
+int IperfClient::use_uring(machine::CapView ring_mem,
+                           std::uint32_t sq_capacity,
+                           std::uint32_t cq_capacity) {
+  fstack::FfUring ring(ring_mem, sq_capacity, cq_capacity);
+  const int id = ops_->uring_attach(ring_mem, sq_capacity, cq_capacity);
+  if (id < 0) return id;  // -ENOTSUP bindings keep the classic writev path
+  uring_ = ring;
+  uring_id_ = id;
+  return 0;
+}
+
+/// Close-out shared by the classic and ring send paths.
+void IperfClient::client_summary() {
+  report_.bytes = sent_;
+  report_.last_byte = clock_->now();
+  ops_->close(fd_);
+  state_ = State::kClosed;
+  done_ = true;
+  if (reporter_) {
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "iperf-client[fd %d]: done, %llu bytes, %.1f Mbit/s", fd_,
+                  static_cast<unsigned long long>(report_.bytes),
+                  report_.mbit_per_sec());
+    reporter_.sink()->add_line(line);
+    reporter_.sink()->flush();
+  }
+}
+
+bool IperfClient::step_uring_send() {
+  bool progress = false;
+  if (offered_ < sent_) offered_ = sent_;  // cover the connect probe byte
+  fstack::FfUringCqe cq[16];
+  const std::size_t n = uring_->cq_pop(cq);
+  bool bytes_advanced = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t exp = cq[i].user_data;
+    const std::uint64_t got =
+        cq[i].result > 0 ? static_cast<std::uint64_t>(cq[i].result) : 0;
+    sent_ += got;
+    bytes_advanced |= got > 0;
+    if (got < exp) offered_ -= exp - got;  // re-offer the remainder
+    progress |= got > 0;
+  }
+  if (n > 0 && !bytes_advanced) {
+    // Every completion bounced off a full send buffer: back off for one
+    // step instead of churning the same SQEs through the ring.
+    return progress;
+  }
+  while (offered_ < total_) {  // submit: plain capability stores
+    fstack::FfUringSqe sqe;
+    sqe.op = fstack::UringOp::kWritev;
+    sqe.fd = fd_;
+    const std::size_t per =
+        std::min<std::size_t>(batch_, fstack::FfUringSqe::kMaxCaps);
+    std::uint64_t chunk = 0;
+    for (; sqe.ncaps < per && offered_ + chunk < total_; ++sqe.ncaps) {
+      const std::size_t c =
+          std::min<std::uint64_t>(chunk_, total_ - offered_ - chunk);
+      sqe.caps[sqe.ncaps] = tx_.window(0, c);
+      chunk += c;
+    }
+    sqe.user_data = chunk;
+    if (uring_->sq_push(sqe) == fstack::FfUring::Push::kFull) break;
+    offered_ += chunk;
+    progress = true;
+  }
+  if (bell_.should_ring(*uring_, progress)) {
+    ops_->uring_doorbell(uring_id_);
+  }
+  if (reporter_ && progress && reporter_.due(clock_->now())) {
+    char line[128];
+    std::snprintf(line, sizeof line, "iperf-client[fd %d]: %llu/%llu bytes",
+                  fd_, static_cast<unsigned long long>(sent_),
+                  static_cast<unsigned long long>(total_));
+    reporter_.sink()->add_line(line);
+  }
+  if (sent_ >= total_) {
+    ops_->uring_detach(uring_id_);
+    uring_.reset();
+    client_summary();
+    progress = true;
+  }
+  return progress;
+}
+
 bool IperfClient::step() {
   if (done_) return false;
   bool progress = false;
@@ -200,6 +453,10 @@ bool IperfClient::step() {
       break;
     }
     case State::kSending: {
+      if (uring_.has_value()) {
+        progress = step_uring_send();
+        break;
+      }
       while (sent_ < total_) {
         std::int64_t r;
         if (batch_ > 1) {
@@ -232,21 +489,8 @@ bool IperfClient::step() {
           reporter_.sink()->add_line(line);
         }
       }
-      report_.bytes = sent_;
-      report_.last_byte = clock_->now();
-      ops_->close(fd_);
-      state_ = State::kClosed;
-      done_ = true;
+      client_summary();
       progress = true;
-      if (reporter_) {
-        char line[128];
-        std::snprintf(line, sizeof line,
-                      "iperf-client[fd %d]: done, %llu bytes, %.1f Mbit/s",
-                      fd_, static_cast<unsigned long long>(report_.bytes),
-                      report_.mbit_per_sec());
-        reporter_.sink()->add_line(line);
-        reporter_.sink()->flush();
-      }
       break;
     }
     case State::kClosed:

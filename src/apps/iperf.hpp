@@ -10,6 +10,7 @@
 #include "apps/ff_ops.hpp"
 #include "apps/telemetry.hpp"
 #include "fstack/event_ring.hpp"
+#include "fstack/uring.hpp"
 #include "sim/virtual_clock.hpp"
 #include "stats/stats.hpp"
 
@@ -39,11 +40,22 @@ class IperfServer {
   IperfServer(FfOps* ops, sim::VirtualClock* clock, std::uint16_t port,
               machine::CapView rx, int expected_connections = 1,
               bool zero_copy = false);
+  /// Detaches a still-armed ff_uring (the ring region is app memory; the
+  /// stack's delegated capability must not outlive the server).
+  ~IperfServer();
 
   /// Switch readiness to a multishot event ring backed by `ring_mem`
   /// (FfEventRing::bytes_for(capacity) bytes of app memory): one arming
   /// call replaces every subsequent epoll_wait. Returns 0 or -errno.
   int use_multishot(machine::CapView ring_mem, std::uint32_t capacity);
+
+  /// API v3 port: run the whole receive side over one ff_uring — accepted
+  /// fds, readiness, zc loans and recycles all flow through the ring's CQ/
+  /// SQ with zero crossings per op (the arming call is the one crossing).
+  /// `ring_mem` must hold FfUring::bytes_for(sq, cq) bytes of app memory.
+  /// Returns 0 or -errno (-ENOTSUP bindings keep the classic paths).
+  int use_uring(machine::CapView ring_mem, std::uint32_t sq_capacity,
+                std::uint32_t cq_capacity);
 
   /// Report per-interval throughput lines through a batched telemetry
   /// sink (one SyscallBatch envelope per flush, not one write per line).
@@ -73,6 +85,7 @@ class IperfServer {
     int fd = -1;
     IperfReport report;
     bool done = false;
+    bool hot = false;  // uring mode: a drain burst is worth submitting
   };
 
   void drain(Conn& c);
@@ -80,6 +93,9 @@ class IperfServer {
   void finish(Conn& c);
   void accept_ready();
   void interval_report(const Conn& c);
+  bool step_uring();
+  /// Drain queued recycle entries, return tail tokens, detach the ring.
+  void uring_teardown();
 
   FfOps* ops_;
   sim::VirtualClock* clock_;
@@ -90,6 +106,12 @@ class IperfServer {
   int completed_ = 0;
   bool zero_copy_;
   std::optional<fstack::FfEventRing> ring_;  // multishot consumer side
+  std::optional<fstack::FfUring> uring_;     // v3: the whole RX pipeline
+  int uring_id_ = -1;
+  int ur_inflight_fd_ = -1;  // conn with an OP_ZC_RECV burst in flight
+  std::size_t ur_next_conn_ = 0;  // round-robin cursor for burst fairness
+  fstack::FfUringRecycler ur_recycler_;
+  fstack::FfUringDoorbellPolicy ur_bell_;
   IntervalReporter reporter_;
   std::vector<Conn> conns_;
   IperfReport total_;
@@ -106,11 +128,19 @@ class IperfClient {
               std::uint16_t port, std::uint64_t total_bytes,
               machine::CapView tx, std::size_t chunk = 1448,
               std::size_t batch = 1);
+  ~IperfClient();  // detaches a still-armed ff_uring
 
   /// Batched interval/summary reporting (same contract as the server's).
   void set_telemetry(TelemetryBatch* sink, sim::Ns interval) {
     reporter_.configure(sink, interval);
   }
+
+  /// API v3 port: submit the send stream as OP_WRITEV SQEs (up to 8
+  /// exactly-bounded iovec caps each) and account completions from the CQ
+  /// — zero crossings per batch after the one arming call. Returns 0 or
+  /// -errno (-ENOTSUP bindings keep the classic writev path).
+  int use_uring(machine::CapView ring_mem, std::uint32_t sq_capacity,
+                std::uint32_t cq_capacity);
 
   bool step();
   [[nodiscard]] bool finished() const noexcept { return done_; }
@@ -118,6 +148,9 @@ class IperfClient {
 
  private:
   enum class State : std::uint8_t { kConnecting, kSending, kClosed };
+
+  bool step_uring_send();
+  void client_summary();
 
   FfOps* ops_;
   sim::VirtualClock* clock_;
@@ -131,6 +164,10 @@ class IperfClient {
   State state_ = State::kConnecting;
   std::uint64_t sent_ = 0;
   bool done_ = false;
+  std::optional<fstack::FfUring> uring_;  // v3: ring-submitted send stream
+  int uring_id_ = -1;
+  std::uint64_t offered_ = 0;  // bytes covered by in-flight SQEs
+  fstack::FfUringDoorbellPolicy bell_;
   IntervalReporter reporter_;
   IperfReport report_;
 };

@@ -40,6 +40,7 @@ void TaggedMemory::clear_tags(std::uint64_t addr, std::uint64_t size) {
 
 void TaggedMemory::load(const Capability& auth, std::uint64_t addr,
                         std::span<std::byte> out) const {
+  if (out.empty()) return;  // a 0-byte span may carry a null data pointer
   auth.check(Access::kLoad, addr, out.size());
   bounds_or_die(addr, out.size());
   std::memcpy(out.data(), mem_.data() + addr, out.size());
@@ -47,6 +48,7 @@ void TaggedMemory::load(const Capability& auth, std::uint64_t addr,
 
 void TaggedMemory::store(const Capability& auth, std::uint64_t addr,
                          std::span<const std::byte> in) {
+  if (in.empty()) return;  // a 0-byte span may carry a null data pointer
   auth.check(Access::kStore, addr, in.size());
   bounds_or_die(addr, in.size());
   clear_tags(addr, in.size());

@@ -131,4 +131,13 @@ int ff_epoll_cancel_multishot(FfStack& st, int epfd) {
   return st.epoll_cancel_multishot(epfd);
 }
 
+int ff_uring_attach(FfStack& st, const machine::CapView& mem,
+                    std::uint32_t sq_capacity, std::uint32_t cq_capacity) {
+  return st.uring_attach(mem, sq_capacity, cq_capacity);
+}
+
+int ff_uring_detach(FfStack& st, int id) { return st.uring_detach(id); }
+
+int ff_uring_doorbell(FfStack& st, int id) { return st.uring_doorbell(id); }
+
 }  // namespace cherinet::fstack

@@ -44,6 +44,50 @@
 //     consumers must drain and tolerate events for data already consumed
 //     (io_uring multishot discipline).
 //
+// v2 -> v3 migration table: the ff_uring unified boundary
+// ------------------------------------------------------------------------
+// v3 converges the three separate v2 amortization channels — SyscallBatch
+// envelopes, the multishot epoll event ring, and the zc loan/recycle token
+// calls — into ONE io_uring-style submission/completion capability-ring
+// pair (fstack/uring.hpp) armed by a single ff_uring_attach crossing and
+// drained by the stack's main loop with ZERO crossings per operation in
+// steady state (doorbell crossings only on empty->non-empty SQ transitions
+// while the stack is parked).
+//
+//  v2 (one crossing per batch)         | v3 (zero crossings per op)
+// -------------------------------------|----------------------------------
+//  ff_writev(fd, {iov...})             | SQE OP_WRITEV: <= 8 exactly-
+//                                      |   bounded iovec caps per entry
+//  ff_sendmsg_batch(fd, {msg...})      | SQE OP_SENDMSG_BATCH: <= 8
+//                                      |   datagram caps to one peer
+//  ff_zc_send(fd, zc, len, to)         | SQE OP_ZC_SEND (token in a0)
+//  ff_zc_recv(fd, {loan...})           | SQE OP_ZC_RECV: one CQE per loan
+//                                      |   (token + source + loan cap)
+//  ff_zc_recycle_batch({zc...})        | SQE OP_RECYCLE: <= 16 tokens per
+//                                      |   entry, per-token verdicts
+//  ff_accept x N / accept_batch        | SQE OP_ACCEPT_MULTISHOT: armed
+//                                      |   once; every accepted conn posts
+//                                      |   a CQE with the new fd
+//  ff_epoll_wait_multishot(epfd, ring) | SQE OP_EPOLL_ARM: readiness lands
+//                                      |   as CQEs in the same CQ as every
+//                                      |   other completion
+//  SyscallBatch + invoke_batch         | unchanged surface; the envelope
+//                                      |   now marshals through the same
+//                                      |   ring shape (iv::SyscallRing)
+// ------------------------------------------------------------------------
+//  semantics deltas (v3):
+//   * the whole pending SQ window is capability-validated in ONE sweep per
+//     drain (amortized like Trampoline::invoke_batch), but verdicts are
+//     PER ENTRY: a forged/replayed SQE capability earns that entry alone
+//     -EINVAL — it cannot poison the rest of the sweep;
+//   * a full CQ backpressures: the stack defers the SQE (and multishot
+//     publications) and retries next iteration — no CQE is ever dropped;
+//   * SQE buffer caps belong to the app again once its CQE is reaped; CQE
+//     loan caps follow the PR-2 recycle contract (window-charged until
+//     OP_RECYCLE);
+//   * every v2 call above keeps working as a thin shim over the same
+//     stack internals — v3 is additive, not a flag day.
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.
@@ -54,6 +98,7 @@
 
 #include "fstack/api_types.hpp"
 #include "fstack/stack.hpp"
+#include "fstack/uring.hpp"
 
 namespace cherinet::fstack {
 
@@ -143,6 +188,21 @@ int ff_epoll_wait_multishot(FfStack& st, int epfd,
                             const machine::CapView& ring,
                             std::uint32_t capacity);
 int ff_epoll_cancel_multishot(FfStack& st, int epfd);
+
+// ---------------------------------------------------------------- v3 uring
+// The unified ring boundary (see fstack/uring.hpp for the ABI and the
+// v2 -> v3 table above for the opcode mapping).
+
+/// Arm: delegate a caller-initialized FfUring region (one crossing, whole
+/// ring validated once). Returns a positive ring id or -errno.
+int ff_uring_attach(FfStack& st, const machine::CapView& mem,
+                    std::uint32_t sq_capacity, std::uint32_t cq_capacity);
+/// Disarm: end the stack's use of the delegated ring capability.
+int ff_uring_detach(FfStack& st, int id);
+/// The doorbell crossing: kick an immediate drain. Only needed when the SQ
+/// went empty->non-empty while the stack reported itself parked; a polling
+/// stack drains every iteration on its own. Returns SQEs consumed.
+int ff_uring_doorbell(FfStack& st, int id);
 
 /// One iteration of the F-Stack main loop: process ring buffers of the
 /// DPDK driver, then run the user-defined function (paper §III-B).

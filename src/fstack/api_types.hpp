@@ -32,11 +32,23 @@ struct FfIovec {
 /// One datagram of a UDP burst (sendmmsg/recvmmsg analogue). On send,
 /// `addr` is the destination and `len` the payload size; on receive the
 /// stack fills `addr` with the source and `result` with the byte count.
+///
+/// v3 loan mode (receive only): pass the entry DEFAULT-CONSTRUCTED (`buf`
+/// invalid AND `len` == 0 — the explicit opt-in) and the stack routes the
+/// datagram through the zero-copy loan path instead of copying — `buf`
+/// comes back as an exactly-bounded READ-ONLY capability straight into
+/// the RX data room, `token` identifies the loan, and `result` is the
+/// payload length. Return the loan with ff_zc_recycle (identical token
+/// accounting to ff_zc_recv: the data room stays charged against the
+/// socket's queue budget until recycled). Copy entries leave `token` == 0.
+/// An invalid `buf` WITH a nonzero `len` is a forged destination and
+/// faults the batch, exactly as in v2.
 struct FfMsg {
   machine::CapView buf;
   std::size_t len = 0;
   FfSockAddrIn addr{};
   std::int64_t result = 0;
+  std::uint64_t token = 0;
 };
 
 /// The whole-batch capability sweep of API v2: tag, seal, permission and

@@ -30,12 +30,22 @@ void EpollInstance::arm_multishot(machine::CapView ring,
                                   std::uint32_t capacity) {
   ring_ = ring;
   ring_capacity_ = capacity;
+  sink_ = nullptr;
   last_.clear();  // re-arming republishes the current readiness
+}
+
+void EpollInstance::arm_multishot_sink(
+    std::function<bool(std::uint32_t, std::uint64_t)> sink) {
+  sink_ = std::move(sink);
+  ring_.reset();
+  ring_capacity_ = 0;
+  last_.clear();
 }
 
 void EpollInstance::disarm_multishot() {
   ring_.reset();
   ring_capacity_ = 0;
+  sink_ = nullptr;
   last_.clear();
 }
 
@@ -47,6 +57,12 @@ bool EpollInstance::publish(int fd, std::uint32_t ready, std::uint64_t gen) {
     return false;
   }
   if (ready == last.mask && gen == last.gen) return false;
+  if (sink_ != nullptr) {  // uring CQ delivery (OP_EPOLL_ARM)
+    if (!sink_(ready, interest_.at(fd).data)) return false;  // CQ full: retry
+    last.mask = ready;
+    last.gen = gen;
+    return true;
+  }
   const machine::CapView& r = *ring_;
   const std::uint32_t head = r.atomic_load_u32(0);
   const std::uint32_t tail = r.atomic_load_u32(4);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -48,9 +49,17 @@ class EpollInstance {
 
   /// Arm (or re-arm) with a writable ring of `capacity` event slots.
   void arm_multishot(machine::CapView ring, std::uint32_t capacity);
+  /// Arm (or re-arm) with a completion sink instead of an event ring — the
+  /// ff_uring OP_EPOLL_ARM path: each publication calls sink(ready, data);
+  /// a false return means the sink deferred (full CQ) and the event stays
+  /// unpublished, to retry on a later iteration. The same mask/generation
+  /// dedup state drives both delivery shapes, so the edge-trigger
+  /// lost-wakeup fix of PR 2 cannot diverge between them.
+  void arm_multishot_sink(
+      std::function<bool(std::uint32_t, std::uint64_t)> sink);
   void disarm_multishot();
   [[nodiscard]] bool multishot_armed() const noexcept {
-    return ring_.has_value();
+    return ring_.has_value() || sink_ != nullptr;
   }
 
   /// Publish `ready` for `fd` if the mask changed OR new readiness
@@ -72,6 +81,7 @@ class EpollInstance {
   std::map<int, Interest> interest_;
   std::optional<machine::CapView> ring_;
   std::uint32_t ring_capacity_ = 0;
+  std::function<bool(std::uint32_t, std::uint64_t)> sink_;
   std::map<int, Published> last_;
 };
 

@@ -1,5 +1,12 @@
 // FfEventRing: the caller-provided capability ring multishot epoll fills.
 //
+// v3 note: ff_uring (fstack/uring.hpp) generalizes this channel — an
+// OP_EPOLL_ARM submission routes the SAME readiness stream (same
+// EpollInstance mask/generation dedup) into the unified completion queue
+// alongside accepted fds and zc loans. This dedicated event ring remains
+// as the v2 surface behind ff_epoll_wait_multishot; see the v2->v3 table
+// in api.hpp.
+//
 // One armed ff_epoll_wait_multishot hands the stack a bounded, writable
 // capability into application memory; from then on the stack's main loop
 // publishes readiness-change events into the ring across iterations and the

@@ -32,8 +32,12 @@ std::size_t udp_copy_out(const fstack::UdpDatagram& d,
 /// Receive-side sweep: byte counts are clamped to the capability's bounds
 /// (matching v1 read semantics, where a datagram shorter than the claimed
 /// length still lands) but permission/tag/seal violations fault the batch.
+/// Loan-mode requests (INVALID buf AND len == 0 — the explicit v3 opt-in)
+/// have no destination to validate; an invalid buf WITH a byte count is a
+/// forged destination and still faults the batch like v2.
 void sweep_msgs_store(std::span<const fstack::FfMsg> msgs) {
   for (const fstack::FfMsg& m : msgs) {
+    if (!m.buf.valid() && m.len == 0) continue;  // loan-mode request
     if (m.len == 0) continue;
     std::size_t probe = std::min<std::size_t>(m.len, m.buf.size());
     if (probe == 0) probe = 1;  // zero-sized view: surface the bounds fault
@@ -101,6 +105,10 @@ bool FfStack::run_once() {
     for (TcpPcb* pcb : pending_output_) progress |= pcb->output();
     pending_output_.clear();
   }
+
+  // Drain every attached ff_uring: consume submissions, publish
+  // completions, service multishot accept arms — zero crossings per op.
+  progress |= drain_urings();
 
   reap_closed();
   publish_multishot();
@@ -668,7 +676,8 @@ std::int64_t FfStack::sock_writev(int fd, std::span<const FfIovec> iov) {
   return writev_impl(fd, iov);
 }
 
-std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov) {
+std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov,
+                                  bool swept) {
   Socket* s = socks_.get(fd);
   if (s == nullptr || s->kind != SockKind::kTcp || s->pcb == nullptr) {
     return -EBADF;
@@ -678,8 +687,10 @@ std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov) {
   if (!pcb->connected()) {
     return pcb->state() == TcpState::kSynSent ? -EAGAIN : -ENOTCONN;
   }
-  ff_sweep_iovecs(iov, cheri::Access::kLoad);
-  api_.validation_sweeps++;
+  if (!swept) {  // ff_uring drains sweep the whole pending window instead
+    ff_sweep_iovecs(iov, cheri::Access::kLoad);
+    api_.validation_sweeps++;
+  }
   bool any_bytes = false;
   for (const FfIovec& e : iov) any_bytes |= e.len != 0;
   if (!any_bytes) return 0;  // empty batch / all zero-length: no-op
@@ -770,6 +781,11 @@ std::int64_t FfStack::sock_sendto(int fd, const machine::CapView& buf,
 }
 
 std::int64_t FfStack::sock_sendmsg_batch(int fd, std::span<FfMsg> msgs) {
+  return sendmsg_impl(fd, msgs, false);
+}
+
+std::int64_t FfStack::sendmsg_impl(int fd, std::span<FfMsg> msgs,
+                                   bool swept) {
   Socket* s = socks_.get(fd);
   if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
   if (msgs.empty()) return 0;
@@ -782,12 +798,14 @@ std::int64_t FfStack::sock_sendmsg_batch(int fd, std::span<FfMsg> msgs) {
   for (const FfMsg& m : msgs) {
     if (m.len > 65535 - UdpHeader::kSize) return -EMSGSIZE;
   }
-  for (const FfMsg& m : msgs) {
-    if (m.len == 0) continue;
-    const cheri::Capability& c = m.buf.cap();
-    c.check(cheri::Access::kLoad, c.address(), m.len);
+  if (!swept) {  // ff_uring drains sweep the whole pending window instead
+    for (const FfMsg& m : msgs) {
+      if (m.len == 0) continue;
+      const cheri::Capability& c = m.buf.cap();
+      c.check(cheri::Access::kLoad, c.address(), m.len);
+    }
+    api_.validation_sweeps++;
   }
-  api_.validation_sweeps++;
   api_.batch_calls++;
   api_.batched_items += msgs.size();
   std::int64_t sent = 0;
@@ -833,6 +851,31 @@ std::int64_t FfStack::sock_recvmsg_batch(int fd, std::span<FfMsg> msgs) {
   std::int64_t filled = 0;
   for (FfMsg& m : msgs) {
     if (!s->udp->readable()) break;
+    if (!m.buf.valid() && m.len == 0) {
+      // v3 loan mode (ROADMAP "UDP RX loan bursts"): the EXPLICIT opt-in —
+      // no destination buffer and no byte count (a default-constructed
+      // FfMsg) — rides the zero-copy loan path: the datagram comes back
+      // as an exactly-bounded read-only view of its RX data room with a
+      // recycle token, not as a copy. (An invalid buf WITH a length is a
+      // forged destination; the sweep above faulted it.)
+      FfZcRxBuf z;
+      const std::int64_t r = udp_pop_loan(s, z);
+      if (r != 1) {
+        // -EMSGSIZE / -ENOBUFS: the datagram stays queued; report it on
+        // this entry and stop so the caller can react (copy it out /
+        // recycle and retry) without losing burst ordering.
+        m.result = r;
+        if (filled == 0) return r;
+        break;
+      }
+      m.buf = z.data;
+      m.token = z.token;
+      m.addr = z.from;
+      m.result = static_cast<std::int64_t>(z.data.size());
+      ++filled;
+      continue;
+    }
+    m.token = 0;  // copy path: no loan to recycle
     if (m.len == 0) {  // legal and skipped — must NOT consume a datagram
       m.result = 0;
       continue;
@@ -1003,26 +1046,57 @@ int FfStack::sock_zc_abort(FfZcBuf& zc) {
 // connection that produced the bytes.
 // ===========================================================================
 
+void FfStack::zc_issue_loan(FfZcRxBuf& o, const MbufSlice& slice,
+                            std::size_t charge, const FfSockAddrIn& from,
+                            TcpPcb* pcb, UdpPcb* udp) {
+  const std::uint64_t token = next_zc_rx_token_++;
+  zc_rx_loans_.emplace(
+      token, ZcRxLoan{slice.m, pcb, udp, static_cast<std::uint32_t>(charge)});
+  if (udp != nullptr) udp->charge_loan(charge);
+  o.token = token;
+  o.data = slice.m->loan(slice.off, slice.len);
+  o.from = from;
+  api_.zc_rx_loans++;
+}
+
+std::int64_t FfStack::udp_pop_loan(Socket* s, FfZcRxBuf& o) {
+  if (!s->udp->readable()) return -EAGAIN;
+  if (s->udp->front().mbuf == nullptr) {
+    // Copy-backed datagram (reassembled): bounce through a fresh mbuf so
+    // the recycle lifecycle stays uniform. A datagram too large for any
+    // data room can NEVER bounce — report -EMSGSIZE (receive it with the
+    // copy path instead) rather than an -ENOBUFS no recycling could ever
+    // clear. Within-room bounces happen BEFORE the pop, so -ENOBUFS
+    // leaves the datagram queued and genuinely retriable.
+    if (s->udp->front().data.size() + updk::kMbufHeadroom >
+        pool_->data_room()) {
+      return -EMSGSIZE;
+    }
+    updk::Mbuf* fresh =
+        bounce_into_mbuf(pool_, s->udp->front().data, &rx_stats_);
+    if (fresh == nullptr) return -ENOBUFS;
+    const UdpDatagram d = s->udp->pop();
+    zc_issue_loan(o,
+                  MbufSlice{fresh, fresh->data_off,
+                            static_cast<std::uint32_t>(d.data.size())},
+                  fresh->room_size(), {d.src, d.src_port}, nullptr,
+                  s->udp.get());
+  } else {
+    // The queue's reference transfers to the loan table; the loan pins
+    // (and charges) the whole data room until recycled.
+    UdpDatagram d = s->udp->pop();
+    zc_issue_loan(o, MbufSlice{d.mbuf, d.off, d.len}, d.mbuf->room_size(),
+                  {d.src, d.src_port}, nullptr, s->udp.get());
+  }
+  return 1;
+}
+
 std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
   Socket* s = socks_.get(fd);
   if (s == nullptr) return -EBADF;
   if (out.empty()) return 0;
   api_.batch_calls++;
   api_.batched_items += out.size();
-
-  const auto issue = [this](FfZcRxBuf& o, const MbufSlice& slice,
-                            std::size_t charge, const FfSockAddrIn& from,
-                            TcpPcb* pcb, UdpPcb* udp) {
-    const std::uint64_t token = next_zc_rx_token_++;
-    zc_rx_loans_.emplace(
-        token,
-        ZcRxLoan{slice.m, pcb, udp, static_cast<std::uint32_t>(charge)});
-    if (udp != nullptr) udp->charge_loan(charge);
-    o.token = token;
-    o.data = slice.m->loan(slice.off, slice.len);
-    o.from = from;
-    api_.zc_rx_loans++;
-  };
 
   std::int64_t filled = 0;
   if (s->kind == SockKind::kTcp) {
@@ -1037,7 +1111,7 @@ std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
         if (had_data) return filled > 0 ? filled : -ENOBUFS;  // bounce failed
         break;
       }
-      issue(o, *slice, charge, peer, pcb, nullptr);
+      zc_issue_loan(o, *slice, charge, peer, pcb, nullptr);
       ++filled;
     }
     if (filled > 0) return filled;
@@ -1047,36 +1121,9 @@ std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
   }
   if (s->kind == SockKind::kUdp) {
     for (FfZcRxBuf& o : out) {
-      if (!s->udp->readable()) break;
-      if (s->udp->front().mbuf == nullptr) {
-        // Copy-backed datagram (reassembled): bounce through a fresh mbuf
-        // so the recycle lifecycle stays uniform. A datagram too large for
-        // any data room can NEVER bounce — report -EMSGSIZE (receive it
-        // with ff_recvfrom instead) rather than an -ENOBUFS no recycling
-        // could ever clear. Within-room bounces happen BEFORE the pop, so
-        // -ENOBUFS leaves the datagram queued and genuinely retriable.
-        if (s->udp->front().data.size() + updk::kMbufHeadroom >
-            pool_->data_room()) {
-          return filled > 0 ? filled : -EMSGSIZE;
-        }
-        updk::Mbuf* fresh =
-            bounce_into_mbuf(pool_, s->udp->front().data, &rx_stats_);
-        if (fresh == nullptr) {
-          return filled > 0 ? filled : -ENOBUFS;
-        }
-        const UdpDatagram d = s->udp->pop();
-        issue(o,
-              MbufSlice{fresh, fresh->data_off,
-                        static_cast<std::uint32_t>(d.data.size())},
-              fresh->room_size(), {d.src, d.src_port}, nullptr,
-              s->udp.get());
-      } else {
-        // The queue's reference transfers to the loan table; the loan
-        // pins (and charges) the whole data room until recycled.
-        UdpDatagram d = s->udp->pop();
-        issue(o, MbufSlice{d.mbuf, d.off, d.len}, d.mbuf->room_size(),
-              {d.src, d.src_port}, nullptr, s->udp.get());
-      }
+      const std::int64_t r = udp_pop_loan(s, o);
+      if (r == -EAGAIN) break;
+      if (r != 1) return filled > 0 ? filled : r;
       ++filled;
     }
     return filled > 0 ? filled : -EAGAIN;
@@ -1122,6 +1169,13 @@ int FfStack::sock_close(int fd) {
           s->pcb->accept_queue.clear();
           tcp_listeners_.erase(s->local_port);
         }
+        // A dying listener ends its multishot accept arms.
+        for (auto& [id, r] : urings_) {
+          std::erase_if(r.accept_arms,
+                        [fd](const UringReg::AcceptArm& a) {
+                          return a.fd == fd;
+                        });
+        }
       } else if (s->pcb != nullptr) {
         s->pcb->app_close();
         detached_.insert(s->pcb);
@@ -1136,6 +1190,9 @@ int FfStack::sock_close(int fd) {
       }
       break;
     case SockKind::kEpoll:
+      // The fd may be reused: forget uring CQ sinks armed through it so a
+      // later detach cannot disarm an unrelated successor instance.
+      for (auto& [id, r] : urings_) std::erase(r.epoll_arms, fd);
       break;
   }
   socks_.release(fd);
@@ -1209,6 +1266,9 @@ int FfStack::epoll_wait_multishot(int epfd, const machine::CapView& ring,
   // here, exactly once (a bad grant faults now, not mid-publication).
   ring.cap().check(cheri::Access::kStore, ring.address(),
                    FfEventRing::bytes_for(capacity));
+  // Arming the v2 event ring replaces any uring CQ sink: release the
+  // rings' claims so a later uring_detach cannot disarm this delivery.
+  uring_forget_epoll_arm(epfd);
   e->epoll->arm_multishot(ring, capacity);
   api_.multishot_arms++;
   // Publish current readiness immediately so the caller need not wait for
@@ -1221,7 +1281,443 @@ int FfStack::epoll_cancel_multishot(int epfd) {
   if (e == nullptr || e->kind != SockKind::kEpoll) return -EBADF;
   if (!e->epoll->multishot_armed()) return -EINVAL;
   e->epoll->disarm_multishot();
+  uring_forget_epoll_arm(epfd);  // no ring claim may outlive the arm
   return 0;
+}
+
+// ===========================================================================
+// ff_uring (API v3): the unified submission/completion boundary. One arming
+// crossing delegates the ring capability; from then on the main loop drains
+// the SQ every iteration — ONE validation sweep over the whole pending
+// window (amortized like Trampoline::invoke_batch), per-entry -EINVAL
+// verdicts that never poison the rest of the sweep, and CQ backpressure
+// that defers (never drops) completions.
+// ===========================================================================
+
+namespace {
+
+/// One decoded submission, produced by the per-drain validation sweep.
+struct DecodedSqe {
+  UringOp op{};
+  int fd = -1;
+  std::uint64_t user_data = 0;
+  std::array<std::uint64_t, 4> a{};
+  std::uint32_t ncaps = 0;
+  std::array<machine::CapView, FfUringSqe::kMaxCaps> caps{};
+  std::array<std::uint64_t, FfUringSqe::kMaxTokens> tokens{};
+  std::int64_t err = 0;  // sweep verdict: 0 ok, else -EINVAL
+};
+
+/// Per-iteration drain budget: bounds the work one loop turn absorbs
+/// however deep the application sized its SQ.
+constexpr std::uint32_t kUringDrainBudget = 64;
+
+void decode_sqe(const machine::CapView& mem, std::uint64_t off,
+                DecodedSqe& d) {
+  d.err = 0;  // the decode target is reused scratch: reset the verdict
+  d.op = static_cast<UringOp>(mem.load<std::uint32_t>(off));
+  d.fd = mem.load<std::int32_t>(off + 4);
+  d.user_data = mem.load<std::uint64_t>(off + 8);
+  for (std::size_t i = 0; i < 4; ++i) {
+    d.a[i] = mem.load<std::uint64_t>(off + 16 + i * 8);
+  }
+  d.ncaps = std::min(mem.load<std::uint32_t>(off + 48),
+                     static_cast<std::uint32_t>(FfUringSqe::kMaxCaps));
+  if (d.op == UringOp::kRecycle) {
+    for (std::size_t i = 0; i < FfUringSqe::kMaxTokens; ++i) {
+      d.tokens[i] =
+          mem.load<std::uint64_t>(off + FfUring::kSqePayloadOff + i * 8);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < d.ncaps; ++i) {
+      d.caps[i] = mem.load_cap(off + FfUring::kSqePayloadOff + i * 16u);
+    }
+  }
+}
+
+/// The per-entry half of the drain's validation sweep: a forged capability
+/// (untagged granule — a data overwrite cleared the tag), a sealed one, or
+/// one whose bounds don't cover its own extent earns THIS entry -EINVAL;
+/// the surrounding entries are untouched.
+void validate_sqe(DecodedSqe& d) {
+  switch (d.op) {
+    case UringOp::kNop:
+    case UringOp::kZcSend:
+    case UringOp::kZcRecv:
+    case UringOp::kRecycle:
+    case UringOp::kAcceptMultishot:
+    case UringOp::kEpollArm:
+      return;  // no SQE capability payload; tokens/fds verify at execution
+    case UringOp::kWritev:
+    case UringOp::kSendmsgBatch:
+      for (std::uint32_t i = 0; i < d.ncaps; ++i) {
+        const cheri::Capability& c = d.caps[i].cap();
+        const std::uint64_t len = d.caps[i].size();
+        if (!c.tag() || c.is_sealed()) {
+          d.err = -EINVAL;
+          return;
+        }
+        if (len == 0) continue;  // zero-length iovecs are legal and skipped
+        try {
+          c.check(cheri::Access::kLoad, c.address(), len);
+        } catch (const cheri::CapFault&) {
+          d.err = -EINVAL;
+          return;
+        }
+      }
+      return;
+  }
+  d.err = -EINVAL;  // unknown opcode
+}
+
+}  // namespace
+
+int FfStack::uring_attach(const machine::CapView& mem,
+                          std::uint32_t sq_capacity,
+                          std::uint32_t cq_capacity) {
+  if (!FfUring::valid_capacity(sq_capacity) ||
+      !FfUring::valid_capacity(cq_capacity)) {
+    return -EINVAL;
+  }
+  const std::size_t need = FfUring::bytes_for(sq_capacity, cq_capacity);
+  if (!mem.valid() || mem.size() < need) return -EINVAL;
+  // The arming crossing is the ONE whole-ring validation this attachment
+  // ever pays: data and capability access over the full extent, checked
+  // here and never per-operation (a bad grant faults now, not mid-drain).
+  mem.cap().check(cheri::Access::kLoad, mem.address(), need);
+  mem.cap().check(cheri::Access::kStore, mem.address(), need);
+  mem.cap().check(cheri::Access::kLoadCap, mem.address(), need);
+  mem.cap().check(cheri::Access::kStoreCap, mem.address(), need);
+  if (mem.load<std::uint32_t>(FfUring::kSqCapacity) != sq_capacity ||
+      mem.load<std::uint32_t>(FfUring::kCqCapacity) != cq_capacity) {
+    return -EINVAL;  // header not initialized (FfUring ctor does that)
+  }
+  const int id = next_uring_id_++;
+  urings_.emplace(id, UringReg{mem, sq_capacity, cq_capacity, {}, {}});
+  // A ring attached while the loop is between park and wake still gets an
+  // accurate doorbell hint.
+  if (urings_parked_) mem.atomic_store_u32(FfUring::kStackState, kStackParked);
+  api_.uring_attaches++;
+  return id;
+}
+
+int FfStack::uring_detach(int id) {
+  const auto it = urings_.find(id);
+  if (it == urings_.end()) return -EBADF;
+  for (const int epfd : it->second.epoll_arms) {
+    Socket* e = socks_.get(epfd);
+    if (e != nullptr && e->kind == SockKind::kEpoll && e->epoll) {
+      e->epoll->disarm_multishot();
+    }
+  }
+  urings_.erase(it);
+  return 0;
+}
+
+int FfStack::uring_doorbell(int id) {
+  const auto it = urings_.find(id);
+  if (it == urings_.end()) return -EBADF;
+  api_.uring_doorbells++;
+  const std::uint32_t before =
+      it->second.mem.atomic_load_u32(FfUring::kSqHead);
+  uring_drain_one(it->second);
+  const std::uint32_t after =
+      it->second.mem.atomic_load_u32(FfUring::kSqHead);
+  // The doorbell runs on the CALLER's sealed jump; the main loop may well
+  // still be parked. Leave the header telling the truth, or the next
+  // empty->non-empty push would wrongly skip its doorbell and sit until
+  // the heartbeat — the lost wakeup the bell exists to prevent.
+  it->second.mem.atomic_store_u32(
+      FfUring::kStackState, urings_parked_ ? kStackParked : kStackPolling);
+  return static_cast<int>(after - before);
+}
+
+void FfStack::urings_set_parked(bool parked) {
+  for (auto& [id, r] : urings_) {
+    r.mem.atomic_store_u32(FfUring::kStackState,
+                           parked ? kStackParked : kStackPolling);
+  }
+  urings_parked_ = parked;
+}
+
+bool FfStack::drain_urings() {
+  if (urings_parked_) urings_set_parked(false);  // transition store only
+  bool progress = false;
+  for (auto& [id, r] : urings_) progress |= uring_drain_one(r);
+  return progress;
+}
+
+std::uint32_t FfStack::uring_cq_space(const UringReg& r) const {
+  const std::uint32_t head = r.mem.atomic_load_u32(FfUring::kCqHead);
+  const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kCqTail);
+  return r.cq_cap - (tail - head);
+}
+
+bool FfStack::uring_cq_emit(UringReg& r, std::uint64_t user_data,
+                            std::int64_t result, UringOp op,
+                            std::uint32_t flags, std::uint64_t aux0,
+                            std::uint64_t aux1,
+                            const machine::CapView* cap) {
+  const std::uint32_t head = r.mem.atomic_load_u32(FfUring::kCqHead);
+  const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kCqTail);
+  if (tail - head >= r.cq_cap) {  // full: defer (retry later), never drop
+    r.mem.atomic_store_u32(FfUring::kCqOverflow,
+                           r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+    return false;
+  }
+  const std::uint64_t off =
+      FfUring::cqe_off(r.sq_cap, tail & (r.cq_cap - 1));
+  r.mem.store<std::uint64_t>(off, user_data);
+  r.mem.store<std::int64_t>(off + 8, result);
+  r.mem.store<std::uint32_t>(off + 16, static_cast<std::uint32_t>(op));
+  r.mem.store<std::uint32_t>(off + 20, flags);
+  r.mem.store<std::uint64_t>(off + 24, aux0);
+  r.mem.store<std::uint64_t>(off + 32, aux1);
+  if (cap != nullptr) {
+    r.mem.store_cap(off + FfUring::kCqeCapOff, *cap);
+  }
+  r.mem.atomic_store_u32(FfUring::kCqTail, tail + 1);  // release: payload 1st
+  api_.uring_cqes++;
+  return true;
+}
+
+bool FfStack::uring_drain_one(UringReg& r) {
+  bool progress = false;
+  const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kSqTail);
+  std::uint32_t head = r.mem.atomic_load_u32(FfUring::kSqHead);
+  std::uint32_t pending = tail - head;
+  if (pending > 0) {
+    // Peek the HEAD entry's completion demand before committing to a
+    // sweep: the drain is FIFO, so if the head cannot complete, nothing
+    // can — skip entirely rather than re-decode the same window every
+    // iteration (and inflate the very sweep counters the census gates on).
+    const std::uint64_t hoff =
+        FfUring::sqe_off(r.sq_cap, head & (r.sq_cap - 1));
+    std::uint32_t head_need = 1;
+    if (static_cast<UringOp>(r.mem.load<std::uint32_t>(hoff)) ==
+        UringOp::kZcRecv) {
+      head_need = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+          r.mem.load<std::uint64_t>(hoff + 16), 1,
+          std::min<std::uint32_t>(FfUringSqe::kMaxCaps, r.cq_cap)));
+    }
+    if (uring_cq_space(r) < head_need) {
+      r.mem.atomic_store_u32(
+          FfUring::kCqOverflow,
+          r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+      pending = 0;
+    }
+  }
+  if (pending > 0) {
+    pending = std::min(pending, kUringDrainBudget);
+    api_.uring_drains++;
+    // Pass 1: ONE capability validation sweep over the whole pending
+    // window — the amortization Trampoline::invoke_batch performs for
+    // syscall envelopes, applied to the ring. Verdicts are per entry.
+    // The decode scratch persists per thread: constructing (zeroing) 64
+    // entries of CapView arrays on every drain would tax the hot loop;
+    // decode_sqe fully rewrites every field it later reads.
+    static thread_local std::array<DecodedSqe, kUringDrainBudget> win;
+    for (std::uint32_t i = 0; i < pending; ++i) {
+      decode_sqe(r.mem,
+                 FfUring::sqe_off(r.sq_cap, (head + i) & (r.sq_cap - 1)),
+                 win[i]);
+      validate_sqe(win[i]);
+    }
+    api_.validation_sweeps++;
+
+    // Pass 2: execute in order. An entry whose completions don't fit the
+    // CQ stops the drain BEFORE executing (backpressure: it stays queued
+    // and re-runs next iteration; the stack never drops a CQE).
+    for (std::uint32_t i = 0; i < pending; ++i) {
+      DecodedSqe& d = win[i];
+      std::uint32_t need_cq = 1;
+      if (d.op == UringOp::kZcRecv && d.err == 0) {
+        need_cq = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+            d.a[0], 1, std::min<std::uint32_t>(FfUringSqe::kMaxCaps,
+                                               r.cq_cap)));
+      }
+      if (uring_cq_space(r) < need_cq) {
+        r.mem.atomic_store_u32(
+            FfUring::kCqOverflow,
+            r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+        break;
+      }
+      if (d.err != 0) {  // sweep verdict: this entry alone fails
+        uring_cq_emit(r, d.user_data, d.err, d.op, 0, 0, 0, nullptr);
+        api_.uring_sqe_errors++;
+      } else {
+        switch (d.op) {
+          case UringOp::kNop:
+            uring_cq_emit(r, d.user_data, 0, d.op, 0, 0, 0, nullptr);
+            break;
+          case UringOp::kWritev: {
+            FfIovec iov[FfUringSqe::kMaxCaps];
+            for (std::uint32_t k = 0; k < d.ncaps; ++k) {
+              iov[k] = {d.caps[k],
+                        static_cast<std::size_t>(d.caps[k].size())};
+            }
+            api_.batch_calls++;
+            api_.batched_items += d.ncaps;
+            const std::int64_t res =
+                writev_impl(d.fd, {iov, d.ncaps}, /*swept=*/true);
+            uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
+            break;
+          }
+          case UringOp::kSendmsgBatch: {
+            FfMsg msgs[FfUringSqe::kMaxCaps];
+            const FfSockAddrIn to{
+                Ipv4Addr{static_cast<std::uint32_t>(d.a[0])},
+                static_cast<std::uint16_t>(d.a[1])};
+            for (std::uint32_t k = 0; k < d.ncaps; ++k) {
+              msgs[k] = {d.caps[k],
+                         static_cast<std::size_t>(d.caps[k].size()), to, 0};
+            }
+            const std::int64_t res =
+                sendmsg_impl(d.fd, {msgs, d.ncaps}, /*swept=*/true);
+            uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
+            break;
+          }
+          case UringOp::kZcSend: {
+            FfZcBuf z;
+            z.token = d.a[0];
+            const std::int64_t res = sock_zc_send(
+                d.fd, z, d.a[1], Ipv4Addr{static_cast<std::uint32_t>(d.a[2])},
+                static_cast<std::uint16_t>(d.a[3]));
+            uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
+            break;
+          }
+          case UringOp::kZcRecv: {
+            FfZcRxBuf loans[FfUringSqe::kMaxCaps];
+            const std::int64_t res =
+                sock_zc_recv(d.fd, {loans, need_cq});
+            if (res > 0) {
+              for (std::int64_t k = 0; k < res; ++k) {
+                FfZcRxBuf& ln = loans[k];
+                uring_cq_emit(
+                    r, d.user_data,
+                    static_cast<std::int64_t>(ln.data.size()), d.op,
+                    k + 1 < res ? kCqeMore : 0, ln.token,
+                    uring_pack_addr(ln.from), &ln.data);
+              }
+            } else {
+              // EOF carries its own flag: result 0 alone could also be a
+              // legal zero-length datagram loan (token in aux0).
+              uring_cq_emit(r, d.user_data, res, d.op,
+                            res == 0 ? kCqeEof : 0, 0, 0, nullptr);
+            }
+            break;
+          }
+          case UringOp::kRecycle: {
+            const auto cnt = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(d.a[0], FfUringSqe::kMaxTokens));
+            std::int64_t ok = 0;
+            for (std::uint32_t k = 0; k < cnt; ++k) {
+              FfZcRxBuf z;
+              z.token = d.tokens[k];
+              if (sock_zc_recycle(z) == 0) ++ok;
+            }
+            // Forged/replayed tokens are per-token rejections (aux0 counts
+            // them); an entry with NOTHING valid answers -EINVAL.
+            if (cnt > 0 && ok == 0) {
+              uring_cq_emit(r, d.user_data, -EINVAL, d.op, 0, cnt, 0,
+                            nullptr);
+              api_.uring_sqe_errors++;
+            } else {
+              uring_cq_emit(r, d.user_data, ok, d.op, 0, cnt - ok, 0,
+                            nullptr);
+            }
+            break;
+          }
+          case UringOp::kAcceptMultishot: {
+            Socket* s = socks_.get(d.fd);
+            if (s == nullptr || s->kind != SockKind::kTcp ||
+                !s->listening) {
+              uring_cq_emit(r, d.user_data, -EBADF, d.op, 0, 0, 0, nullptr);
+              break;
+            }
+            // Arm (or re-arm) the listener: every accepted connection from
+            // here on posts a CQE carrying the new fd — no ack CQE on
+            // success, exactly io_uring's multishot accept discipline.
+            std::erase_if(r.accept_arms,
+                          [&d](const UringReg::AcceptArm& a) {
+                            return a.fd == d.fd;
+                          });
+            r.accept_arms.push_back({d.fd, d.user_data});
+            break;
+          }
+          case UringOp::kEpollArm: {
+            Socket* e = socks_.get(d.fd);
+            if (e == nullptr || e->kind != SockKind::kEpoll || !e->epoll) {
+              uring_cq_emit(r, d.user_data, -EBADF, d.op, 0, 0, 0, nullptr);
+              break;
+            }
+            // Re-arming moves ownership: no other ring may keep a claim
+            // on this epfd (its detach would disarm OUR delivery).
+            uring_forget_epoll_arm(d.fd);
+            UringReg* reg = &r;  // std::map references are stable
+            const std::uint64_t ud = d.user_data;
+            e->epoll->arm_multishot_sink(
+                [this, reg, ud](std::uint32_t ready, std::uint64_t data) {
+                  return uring_cq_emit(*reg, ud,
+                                       static_cast<std::int64_t>(ready),
+                                       UringOp::kEpollArm, kCqeMore, data, 0,
+                                       nullptr);
+                });
+            if (std::find(r.epoll_arms.begin(), r.epoll_arms.end(), d.fd) ==
+                r.epoll_arms.end()) {
+              r.epoll_arms.push_back(d.fd);
+            }
+            api_.multishot_arms++;
+            publish_ready(*e->epoll);  // immediate readiness snapshot
+            break;
+          }
+        }
+      }
+      ++head;
+      api_.uring_sqes++;
+      progress = true;
+    }
+    r.mem.atomic_store_u32(FfUring::kSqHead, head);  // release consumed
+  }
+  progress |= uring_service_accept(r);
+  return progress;
+}
+
+void FfStack::uring_forget_epoll_arm(int epfd) {
+  for (auto& [id, reg] : urings_) std::erase(reg.epoll_arms, epfd);
+}
+
+bool FfStack::uring_service_accept(UringReg& r) {
+  bool progress = false;
+  for (auto it = r.accept_arms.begin(); it != r.accept_arms.end();) {
+    Socket* s = socks_.get(it->fd);
+    if (s == nullptr || s->kind != SockKind::kTcp || !s->listening ||
+        s->pcb == nullptr) {
+      it = r.accept_arms.erase(it);  // listener died: the arm ends
+      continue;
+    }
+    while (true) {
+      if (uring_cq_space(r) == 0) {
+        if (!s->pcb->accept_queue.empty()) {
+          // Connections stay queued; defer (never drop) the CQEs.
+          r.mem.atomic_store_u32(
+              FfUring::kCqOverflow,
+              r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+        }
+        break;
+      }
+      FourTuple peer;
+      const int nfd = sock_accept(it->fd, &peer);
+      if (nfd < 0) break;
+      uring_cq_emit(r, it->user_data, nfd, UringOp::kAcceptMultishot,
+                    kCqeMore,
+                    uring_pack_addr({peer.remote_ip, peer.remote_port}), 0,
+                    nullptr);
+      progress = true;
+    }
+    ++it;
+  }
+  return progress;
 }
 
 TcpPcb* FfStack::find_pcb(const FourTuple& t) {

@@ -9,12 +9,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "fstack/api_types.hpp"
+#include "fstack/uring.hpp"
 #include "fstack/arp.hpp"
 #include "fstack/icmp.hpp"
 #include "fstack/ipv4.hpp"
@@ -94,6 +97,26 @@ class FfStack final : public TcpEnv {
   /// Return one loan to the pool; -EINVAL on a consumed or forged token.
   int sock_zc_recycle(FfZcRxBuf& zc);
 
+  // ---- ff_uring (API v3): the unified submission/completion boundary ----
+  /// Attach a caller-initialized FfUring region (see uring.hpp). The ONE
+  /// arming crossing: the whole ring capability is validated here — data
+  /// and capability access over the full extent — and never again; from
+  /// then on the main loop drains the SQ every iteration with zero
+  /// crossings per operation. Returns a positive ring id or -errno.
+  int uring_attach(const machine::CapView& mem, std::uint32_t sq_capacity,
+                   std::uint32_t cq_capacity);
+  /// End the stack's use of the delegated ring capability. Multishot arms
+  /// (accept / epoll) registered through the ring are cancelled.
+  int uring_detach(int id);
+  /// The doorbell crossing: kick an immediate drain of ring `id` (the app
+  /// rings it only on an empty->non-empty SQ transition while the stack
+  /// reports itself parked). Returns SQEs consumed or -errno.
+  int uring_doorbell(int id);
+  /// Publish the park state into every attached ring's header (the loop
+  /// harness calls this around its arbiter waits; the app-side push uses
+  /// it to decide whether a doorbell crossing is needed at all).
+  void urings_set_parked(bool parked);
+
   int sock_close(int fd);
   [[nodiscard]] std::uint32_t sock_readiness(int fd) const;
   /// Monotonic readiness-activity counter (bytes delivered / connections
@@ -144,6 +167,13 @@ class FfStack final : public TcpEnv {
     std::uint64_t zc_rx_recycles = 0;  // loans returned via ff_zc_recycle
     std::uint64_t multishot_arms = 0;
     std::uint64_t multishot_events = 0;  // events published into rings
+    // ---- ff_uring (API v3) ----
+    std::uint64_t uring_attaches = 0;
+    std::uint64_t uring_doorbells = 0;  // drain kicks (a crossing each in S2)
+    std::uint64_t uring_drains = 0;     // drain sweeps that found SQEs
+    std::uint64_t uring_sqes = 0;       // submissions consumed
+    std::uint64_t uring_cqes = 0;       // completions published
+    std::uint64_t uring_sqe_errors = 0; // per-entry -EINVAL verdicts
   };
   [[nodiscard]] const ApiStats& api_stats() const noexcept { return api_; }
   /// Receive-path copy/loan accounting across all sockets (the RX census
@@ -199,14 +229,59 @@ class FfStack final : public TcpEnv {
   void send_arp(std::uint16_t oper, const nic::MacAddr& tha, Ipv4Addr tpa);
   [[nodiscard]] Ipv4Addr next_hop_for(Ipv4Addr dst) const;
 
-  // batch/zero-copy internals
-  std::int64_t writev_impl(int fd, std::span<const FfIovec> iov);
+  // batch/zero-copy internals. `swept` skips the per-call capability sweep
+  // when the ff_uring drain already validated the whole pending window
+  // (one amortized sweep per drain, like Trampoline::invoke_batch).
+  std::int64_t writev_impl(int fd, std::span<const FfIovec> iov,
+                           bool swept = false);
   std::int64_t readv_impl(int fd, std::span<const FfIovec> iov);
+  std::int64_t sendmsg_impl(int fd, std::span<FfMsg> msgs, bool swept);
+  /// Register a loan in the token table and hand out the bounded read-only
+  /// view (shared by ff_zc_recv, the uring OP_ZC_RECV path and the
+  /// recvmsg_batch loan mode, so the accounting cannot diverge).
+  void zc_issue_loan(FfZcRxBuf& o, const MbufSlice& slice, std::size_t charge,
+                     const FfSockAddrIn& from, TcpPcb* pcb, UdpPcb* udp);
+  /// Pop one queued UDP datagram as a loan into `o`. Returns 1, -EAGAIN
+  /// (queue empty), -EMSGSIZE (copy-backed datagram can never bounce into
+  /// a data room — drain it with the copy path), or -ENOBUFS (bounce pool
+  /// empty; retriable after recycling). Failed bounces leave the datagram
+  /// queued.
+  std::int64_t udp_pop_loan(Socket* s, FfZcRxBuf& o);
   std::int64_t udp_emit_dgram(Socket* s, const machine::CapView& buf,
                               std::size_t n, Ipv4Addr ip, std::uint16_t port);
   bool zc_transmit(updk::Mbuf* m, std::size_t len, std::uint16_t src_port,
                    Ipv4Addr dst, std::uint16_t dst_port,
                    const nic::MacAddr& dst_mac);
+
+  // ff_uring internals: one registration per attached ring. References
+  // into `urings_` stay valid across insertions (std::map), which the
+  // epoll CQ sinks rely on.
+  struct UringReg {
+    machine::CapView mem;
+    std::uint32_t sq_cap = 0;
+    std::uint32_t cq_cap = 0;
+    struct AcceptArm {
+      int fd = -1;
+      std::uint64_t user_data = 0;
+    };
+    std::vector<AcceptArm> accept_arms;  // OP_ACCEPT_MULTISHOT listeners
+    std::vector<int> epoll_arms;         // epfds sinking CQEs into this ring
+  };
+  bool drain_urings();
+  bool uring_drain_one(UringReg& r);
+  /// Publish one CQE; false (and the ring's overflow word bumped) when the
+  /// CQ is full — the caller defers, never drops.
+  bool uring_cq_emit(UringReg& r, std::uint64_t user_data,
+                     std::int64_t result, UringOp op, std::uint32_t flags,
+                     std::uint64_t aux0, std::uint64_t aux1,
+                     const machine::CapView* cap);
+  [[nodiscard]] std::uint32_t uring_cq_space(const UringReg& r) const;
+  bool uring_service_accept(UringReg& r);
+  /// Drop `epfd` from every ring's epoll_arms list. Called whenever an
+  /// epoll instance's multishot delivery is replaced (re-armed onto
+  /// another ring, onto a v2 event ring, or cancelled): the OLD ring must
+  /// not disarm the new owner's delivery when it detaches later.
+  void uring_forget_epoll_arm(int epfd);
 
   // housekeeping
   void process_timers(sim::Ns now, bool& progress);
@@ -259,6 +334,13 @@ class FfStack final : public TcpEnv {
   };
   std::unordered_map<std::uint64_t, ZcRxLoan> zc_rx_loans_;
   std::uint64_t next_zc_rx_token_ = 1;
+
+  // Attached ff_uring rings (id -> registration), drained every iteration.
+  std::map<int, UringReg> urings_;
+  int next_uring_id_ = 1;
+  // Last park state published into the ring headers: the polling word is
+  // rewritten only on the parked->polling transition, not every iteration.
+  bool urings_parked_ = false;
 
   // The RX-burst mbuf whose frame is currently being parsed (loan source).
   updk::Mbuf* rx_cur_ = nullptr;

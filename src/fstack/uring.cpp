@@ -1,0 +1,95 @@
+// FfUring application side: submission by capability store, completion by
+// capability load. The stack side of the same ABI — the drain sweep, the
+// per-entry verdicts, the CQ backpressure — lives with the stack's main
+// loop in stack.cpp (FfStack::uring_*); this file is everything the
+// APPLICATION compartment touches, so the boundary of trust between the
+// two halves is the ring memory itself, nothing more.
+#include "fstack/uring.hpp"
+
+namespace cherinet::fstack {
+
+FfUring::FfUring(machine::CapView mem, std::uint32_t sq_capacity,
+                 std::uint32_t cq_capacity)
+    : mem_(mem), sq_cap_(sq_capacity), cq_cap_(cq_capacity) {
+  mem_.atomic_store_u32(kSqHead, 0);
+  mem_.atomic_store_u32(kSqTail, 0);
+  mem_.atomic_store_u32(kCqHead, 0);
+  mem_.atomic_store_u32(kCqTail, 0);
+  mem_.atomic_store_u32(kSqCapacity, sq_capacity);
+  mem_.atomic_store_u32(kCqCapacity, cq_capacity);
+  mem_.atomic_store_u32(kCqOverflow, 0);
+  mem_.atomic_store_u32(kSqDropped, 0);
+  mem_.atomic_store_u32(kStackState, kStackPolling);
+}
+
+FfUring::Push FfUring::sq_push(const FfUringSqe& e) {
+  const std::uint32_t head = mem_.atomic_load_u32(kSqHead);  // acquire
+  const std::uint32_t tail = mem_.atomic_load_u32(kSqTail);
+  if (tail - head >= sq_cap_) {
+    mem_.atomic_store_u32(kSqDropped, mem_.atomic_load_u32(kSqDropped) + 1);
+    return Push::kFull;
+  }
+  const std::uint64_t off = sqe_off(sq_cap_, tail & (sq_cap_ - 1));
+  mem_.store<std::uint32_t>(off, static_cast<std::uint32_t>(e.op));
+  mem_.store<std::int32_t>(off + 4, e.fd);
+  mem_.store<std::uint64_t>(off + 8, e.user_data);
+  for (std::size_t i = 0; i < 4; ++i) {
+    mem_.store<std::uint64_t>(off + 16 + i * 8, e.a[i]);
+  }
+  mem_.store<std::uint32_t>(off + 48, e.ncaps);
+  if (e.op == UringOp::kRecycle) {
+    // Tokens are data, not capabilities: the payload granules carry them
+    // tag-free (and the stores clear any stale tags from a previous lap).
+    for (std::size_t i = 0; i < FfUringSqe::kMaxTokens; ++i) {
+      mem_.store<std::uint64_t>(off + kSqePayloadOff + i * 8, e.tokens[i]);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < e.ncaps && i < FfUringSqe::kMaxCaps; ++i) {
+      mem_.store_cap(off + kSqePayloadOff + i * 16u, e.caps[i]);
+    }
+  }
+  mem_.atomic_store_u32(kSqTail, tail + 1);  // release: payload first
+  const bool was_empty = head == tail;
+  const bool parked = mem_.atomic_load_u32(kStackState) == kStackParked;
+  return was_empty && parked ? Push::kDoorbell : Push::kQueued;
+}
+
+std::size_t FfUring::cq_pop(std::span<FfUringCqe> out) {
+  const std::uint32_t tail = mem_.atomic_load_u32(kCqTail);  // acquire
+  std::uint32_t head = mem_.atomic_load_u32(kCqHead);
+  std::size_t n = 0;
+  while (n < out.size() && head != tail) {
+    const std::uint64_t off = cqe_off(sq_cap_, head & (cq_cap_ - 1));
+    FfUringCqe& c = out[n];
+    c.user_data = mem_.load<std::uint64_t>(off);
+    c.result = mem_.load<std::int64_t>(off + 8);
+    c.op = static_cast<UringOp>(mem_.load<std::uint32_t>(off + 16));
+    c.flags = mem_.load<std::uint32_t>(off + 20);
+    c.aux0 = mem_.load<std::uint64_t>(off + 24);
+    c.aux1 = mem_.load<std::uint64_t>(off + 32);
+    // A loan CQE (any non-negative result without the EOF flag) carries
+    // the loan capability — including zero-length datagram loans.
+    c.cap = c.op == UringOp::kZcRecv && c.result >= 0 &&
+                    (c.flags & kCqeEof) == 0 && c.aux0 != 0
+                ? mem_.load_cap(off + kCqeCapOff)
+                : machine::CapView{};
+    ++head;
+    ++n;
+  }
+  if (n > 0) mem_.atomic_store_u32(kCqHead, head);  // release the slots
+  return n;
+}
+
+std::uint32_t FfUring::sq_pending() const {
+  return mem_.atomic_load_u32(kSqTail) - mem_.atomic_load_u32(kSqHead);
+}
+
+std::uint32_t FfUring::cq_overflows() const {
+  return mem_.atomic_load_u32(kCqOverflow);
+}
+
+bool FfUring::stack_parked() const {
+  return mem_.atomic_load_u32(kStackState) == kStackParked;
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,96 @@
+// SyscallRing: the ring-shaped carriage of the SyscallBatch envelope.
+//
+// API v3 converges every compartment-boundary channel on one linkage
+// shape — a submission/completion ring drained in amortized sweeps (see
+// fstack/uring.hpp for the socket-side twin). The syscall envelope of PR 1
+// (`SyscallBatch` + `Trampoline::invoke_batch`) keeps its public surface
+// and its exact semantics — ONE crossing, ONE charged crossing cost, ONE
+// atomic boundary validation sweep per envelope — but the marshalling now
+// flows through this per-trampoline SPSC ring: musl fills submission
+// slots, the Intravisor-side drain routes the whole window, and the
+// results reap back in submission order. That makes the trampoline's batch
+// ABI structurally identical to the ff_uring drain (window in, verdicts
+// out), which is the CompartOS "single principled linkage" argument.
+//
+// The ring is deliberately host-side state of the trampoline (the one
+// component that already spans both domains): on hardware it would live in
+// memory shared between the cVM's musl and the Intravisor, like the
+// futex word the CompartmentMutex uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "intravisor/syscall_router.hpp"
+
+namespace cherinet::iv {
+
+class SyscallRing {
+ public:
+  static constexpr std::uint32_t kSlots = 64;  // power of two
+
+  /// Drop all ring state. invoke_batch calls this before marshalling each
+  /// envelope: a CapFault thrown by a handler mid-drain unwinds through
+  /// the trampoline with cursors parted and request pointers aimed at the
+  /// dead envelope — the next batch must not reap those stale slots.
+  void reset() noexcept {
+    head_ = 0;
+    drain_ = 0;
+    tail_ = 0;
+  }
+
+  /// Fill submission slots from `reqs` (as many as fit the free window).
+  /// Returns the number submitted.
+  std::size_t submit(std::span<SyscallRequest> reqs) {
+    std::size_t n = 0;
+    while (n < reqs.size() && tail_ - head_ < kSlots) {
+      slots_[tail_ & (kSlots - 1)].req = &reqs[n];
+      ++tail_;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Route every submitted-but-unrouted slot in order (the caller has
+  /// already performed the envelope's boundary validation sweep and
+  /// crossed into the Intravisor). Returns the number routed.
+  std::size_t drain(SyscallRouter& router) {
+    std::size_t n = 0;
+    while (drain_ != tail_) {
+      Slot& s = slots_[drain_ & (kSlots - 1)];
+      s.result = router.route(*s.req);
+      ++drain_;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Pop completed results in submission order into `results`.
+  std::size_t reap(std::span<std::int64_t> results) {
+    std::size_t n = 0;
+    while (n < results.size() && head_ != drain_) {
+      results[n] = slots_[head_ & (kSlots - 1)].result;
+      ++head_;
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint32_t pending() const noexcept {
+    return tail_ - head_;
+  }
+
+ private:
+  struct Slot {
+    SyscallRequest* req = nullptr;
+    std::int64_t result = 0;
+  };
+
+  std::array<Slot, kSlots> slots_{};
+  std::uint32_t head_ = 0;   // reap cursor
+  std::uint32_t drain_ = 0;  // route cursor
+  std::uint32_t tail_ = 0;   // submit cursor
+};
+
+}  // namespace cherinet::iv

@@ -65,8 +65,25 @@ std::size_t Trampoline::invoke_batch(SyscallBatch& batch) {
   batched_requests_.fetch_add(batch.reqs.size(), std::memory_order_relaxed);
   if (cost_ != nullptr) cost_->charge(cost_->trampoline_crossing());
 
+  // v3: the envelope rides the trampoline's SyscallRing — submit the
+  // request window, drain it inside the Intravisor domain, reap results
+  // in submission order. Envelopes wider than the ring drain in windows
+  // WITHIN the one crossing already paid above (the scope spans the whole
+  // loop), so the cost contract is unchanged; what changed is the shape:
+  // the same submit/drain/reap discipline as the ff_uring boundary.
   machine::ExecutionContext::Scope scope(*iv_ctx_);
-  return router_->route_batch(batch);
+  ring_.reset();  // a prior faulted envelope must not leave stale slots
+  const std::size_t total =
+      std::min(batch.reqs.size(), batch.results.size());
+  std::size_t done = 0;
+  while (done < total) {
+    const std::size_t pushed = ring_.submit(
+        batch.reqs.subspan(done, total - done));
+    ring_.drain(*router_);
+    ring_drains_.fetch_add(1, std::memory_order_relaxed);
+    done += ring_.reap(batch.results.subspan(done, pushed));
+  }
+  return done;
 }
 
 }  // namespace cherinet::iv

@@ -68,6 +68,19 @@ class CapView {
     mem_->atomic_store_u32(cap_, cap_.address() + off, v);
   }
 
+  /// Checked capability load/store at byte offset `off` (16-byte aligned
+  /// granule). The ff_uring SQ/CQ rings carry their payload capabilities —
+  /// iovec grants travelling app->stack, loan grants travelling
+  /// stack->app — through these: a real tagged store into ring memory, so
+  /// a data overwrite (or a forged entry) clears the tag and the drain
+  /// sweep sees an invalid capability instead of smuggled authority.
+  [[nodiscard]] CapView load_cap(std::uint64_t off) const {
+    return CapView(mem_, mem_->load_cap(cap_, cap_.address() + off));
+  }
+  void store_cap(std::uint64_t off, const CapView& v) const {
+    mem_->store_cap(cap_, cap_.address() + off, v.cap());
+  }
+
   /// Derive a sub-view [off, off+len) with monotonically narrowed bounds.
   [[nodiscard]] CapView window(std::uint64_t off, std::uint64_t len) const {
     return CapView(mem_, cap_.with_bounds(cap_.address() + off, len));

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 
@@ -761,10 +762,39 @@ namespace {
 constexpr std::uint32_t kRxRingSlots = 64;
 constexpr std::size_t kRxZcBatch = 32;
 // The zero-copy receiver COALESCES: it lets segments accumulate in the RX
-// chain for this many loop turns before draining one loan burst, the way a
-// batching receiver (or interrupt-coalescing NIC) amortizes per-wakeup
-// costs. The receive window (256 KiB) comfortably holds the accrual.
-constexpr std::uint32_t kRxCoalesceTurns = 40;
+// chain before draining one loan burst, the way a batching receiver (or
+// interrupt-coalescing NIC) amortizes per-wakeup costs. PR 2 fixed the
+// window statically; the drain is now ADAPTIVE, loan-count driven: a drain
+// that fills its whole burst halves the window (the queue is outrunning
+// the receiver — harvest sooner), a short drain doubles it (let more
+// accrue per wakeup), clamped to [1, kRxCoalesceMax]. The receive window
+// (256 KiB) comfortably holds the accrual either way. The old static knob
+// survives as the CHERINET_RX_COALESCE_TURNS override.
+constexpr std::uint32_t kRxCoalesceMax = 64;
+constexpr std::uint32_t kRxCoalesceStart = 8;
+
+struct RxDrainPacer {
+  std::uint32_t window = kRxCoalesceStart;
+  bool fixed = false;
+
+  RxDrainPacer() {
+    if (const char* env = std::getenv("CHERINET_RX_COALESCE_TURNS")) {
+      fixed = true;
+      window = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+      if (window == 0) window = 1;
+    }
+  }
+  /// Feed back one drain's loan count (`full` = the burst size that means
+  /// the queue was not emptied); returns the new window.
+  std::uint32_t on_drain(std::size_t loans, std::size_t full = kRxZcBatch) {
+    if (!fixed) {
+      window = loans >= full
+                   ? std::max<std::uint32_t>(window / 2, 1)
+                   : std::min<std::uint32_t>(window * 2, kRxCoalesceMax);
+    }
+    return window;
+  }
+};
 
 /// The measured receive loop both RX-census scenarios share. The readiness
 /// gate (epoll_wait / event-ring pop + accept) stays OUTSIDE the measured
@@ -793,6 +823,7 @@ std::uint64_t census_recv_loop(apps::FfOps& ops, iv::MuslLibc& libc,
   int cfd = -1;
   bool hot = false;  // zc mode: data expected without a fresh ring event
   bool eof = false;
+  RxDrainPacer pacer;         // adaptive coalescing window
   std::uint32_t coalesce = 0;  // turns since the last zc drain
   std::uint64_t got = 0;
   while (got < total_bytes && !eof) {
@@ -813,7 +844,7 @@ std::uint64_t census_recv_loop(apps::FfOps& ops, iv::MuslLibc& libc,
         }
       }
       ++coalesce;
-      readable = cfd >= 0 && hot && coalesce >= kRxCoalesceTurns;
+      readable = cfd >= 0 && hot && coalesce >= pacer.window;
     } else {
       fstack::FfEpollEvent evs[8];
       const int n = ops.epoll_wait(ep, evs);
@@ -846,11 +877,13 @@ std::uint64_t census_recv_loop(apps::FfOps& ops, iv::MuslLibc& libc,
           }
           ops.zc_recycle_batch({loans, static_cast<std::size_t>(r)});
           progress = true;
-          // A full burst means more may already be queued: drain again
-          // next turn instead of re-coalescing from zero.
-          coalesce = static_cast<std::size_t>(r) == kRxZcBatch
-                         ? kRxCoalesceTurns
-                         : 0;
+          // Feed the loan count back into the adaptive window. A full
+          // burst means more may already be queued: drain again next turn
+          // instead of re-coalescing from zero.
+          const std::uint32_t window =
+              pacer.on_drain(static_cast<std::size_t>(r));
+          coalesce =
+              static_cast<std::size_t>(r) == kRxZcBatch ? window : 0;
         } else if (r == 0) {
           eof = true;
         } else {
@@ -987,6 +1020,467 @@ RxCensus run_ffrecv_rx_census(ScenarioKind kind, std::uint64_t total_bytes,
   peer.request_stop();
   peer.join();
   sample_stack(inst.stack());
+
+  const double entry_cost = static_cast<double>(
+      price.trampoline_crossing().count() + price.domain_switch_extra.count());
+  out.crossings = probes.entry_crossings + probes.tramp_crossings;
+  out.modeled_ns_per_mib =
+      mib > 0
+          ? (static_cast<double>(probes.entry_crossings) * entry_cost +
+             static_cast<double>(probes.tramp_crossings) *
+                 static_cast<double>(price.trampoline_crossing().count())) /
+                mib
+          : 0.0;
+  return out;
+}
+
+// ===========================================================================
+// API v3 uring census: the byte volumes of the v2 censuses above, moved
+// through the ff_uring ring. Submissions are plain capability stores,
+// completions plain loads; the measured phase begins at the arming
+// crossing, so the crossing count is exactly arm + doorbells (+ the
+// one-time epoll_ctl of an accepted fd on the receive side).
+// ===========================================================================
+
+namespace {
+
+constexpr std::uint32_t kUringSqSlots = 64;
+constexpr std::uint32_t kUringCqSlots = 128;
+// CQE reap batch and user_data tags of the census loops.
+constexpr std::size_t kUringReap = 16;
+constexpr std::uint64_t kUdAccept = 1;
+constexpr std::uint64_t kUdEpoll = 2;
+// Doorbell policy of the census apps: the shared stall-based
+// FfUringDoorbellPolicy (ring only when submissions genuinely sat
+// unclaimed; a parked stack wakes on its own heartbeat regardless).
+
+/// Begin/end markers of the measured phase (crossing attribution).
+void probes_begin(CensusProbes* p, std::uint64_t* e0, std::uint64_t* t0) {
+  *e0 = p->entry_now ? p->entry_now() : 0;
+  *t0 = p->tramp_now ? p->tramp_now() : 0;
+}
+void probes_end(CensusProbes* p, std::uint64_t e0, std::uint64_t t0) {
+  if (p->entry_now) p->entry_crossings += p->entry_now() - e0;
+  if (p->tramp_now) p->tramp_crossings += p->tramp_now() - t0;
+}
+
+/// TX over the ring: cover `total_bytes` with OP_WRITEV SQEs of up to 8
+/// MSS-sized iovec capabilities each; completions confirm (or shrink) the
+/// offered window. user_data carries the entry's offered byte count, so a
+/// short count or -EAGAIN re-offers the remainder.
+std::uint64_t uring_tx_loop(apps::FfOps& ops, const machine::CapView& buf,
+                            const machine::CapView& ring_mem,
+                            std::uint64_t total_bytes, std::size_t wsize,
+                            UringCensus* out, CensusProbes* probes,
+                            const std::function<bool(bool)>& turn) {
+  const int fd = ops.socket_stream();
+  ops.connect(fd, MorelloTestbed::peer_ip(0), kIperfPort);
+  // Establish the connection with the classic readiness path; the ring
+  // phase begins — and is measured — from the arming crossing on.
+  const int ep = ops.epoll_create();
+  ops.epoll_ctl(ep, fstack::EpollOp::kAdd, fd, fstack::kEpollOut, 1);
+  for (bool writable = false; !writable;) {
+    fstack::FfEpollEvent ev[1];
+    writable = ops.epoll_wait(ep, ev) > 0 &&
+               (ev[0].events & fstack::kEpollOut) != 0;
+    if (!turn(false)) return 0;
+  }
+
+  std::uint64_t e0 = 0;
+  std::uint64_t t0 = 0;
+  probes_begin(probes, &e0, &t0);
+  fstack::FfUring ring(ring_mem, kUringSqSlots, kUringCqSlots);
+  const int id = ops.uring_attach(ring_mem, kUringSqSlots, kUringCqSlots);
+  if (id < 0) return 0;
+
+  std::uint64_t offered = 0;  // bytes covered by in-flight SQEs
+  std::uint64_t acked = 0;    // bytes confirmed queued by CQEs
+  fstack::FfUringDoorbellPolicy bell;
+  while (acked < total_bytes) {
+    bool progress = false;
+    while (offered < total_bytes) {  // submit: plain capability stores
+      fstack::FfUringSqe sqe;
+      sqe.op = fstack::UringOp::kWritev;
+      sqe.fd = fd;
+      std::uint64_t chunk = 0;
+      for (; sqe.ncaps < fstack::FfUringSqe::kMaxCaps &&
+             offered + chunk < total_bytes;
+           ++sqe.ncaps) {
+        const std::size_t n =
+            std::min<std::uint64_t>(wsize, total_bytes - offered - chunk);
+        sqe.caps[sqe.ncaps] = buf.window(0, n);
+        chunk += n;
+      }
+      sqe.user_data = chunk;
+      if (ring.sq_push(sqe) == fstack::FfUring::Push::kFull) break;
+      offered += chunk;
+      out->sqes++;
+      progress = true;
+    }
+    fstack::FfUringCqe cq[kUringReap];
+    const std::size_t n = ring.cq_pop(cq);
+    for (std::size_t i = 0; i < n; ++i) {
+      out->cqes++;
+      const std::uint64_t exp = cq[i].user_data;
+      const std::uint64_t got =
+          cq[i].result > 0 ? static_cast<std::uint64_t>(cq[i].result) : 0;
+      acked += got;
+      if (got < exp) offered -= exp - got;  // re-offer the remainder
+      progress = true;
+    }
+    if (bell.should_ring(ring, progress)) {
+      ops.uring_doorbell(id);  // genuinely unclaimed work: one crossing
+      out->doorbells++;
+    }
+    if (!turn(progress)) break;
+  }
+  probes_end(probes, e0, t0);
+  ops.uring_detach(id);
+  ops.close(ep);
+  ops.close(fd);
+  return acked;
+}
+
+/// RX over the ring: the full v3 pipeline. OP_ACCEPT_MULTISHOT posts the
+/// accepted fd, OP_EPOLL_ARM posts readiness, OP_ZC_RECV bursts post one
+/// loan CQE each, OP_RECYCLE returns token batches — all with zero
+/// crossings per op; the adaptive pacer decides when a drain is worth
+/// submitting.
+std::uint64_t uring_rx_loop(apps::FfOps& ops,
+                            const machine::CapView& ring_mem,
+                            std::uint64_t total_bytes, UringCensus* out,
+                            CensusProbes* probes,
+                            const std::function<bool(bool)>& turn) {
+  const int lfd = ops.socket_stream();
+  ops.bind(lfd, fstack::Ipv4Addr{}, kIperfPort);
+  ops.listen(lfd, 4);
+  const int ep = ops.epoll_create();
+
+  std::uint64_t e0 = 0;
+  std::uint64_t t0 = 0;
+  probes_begin(probes, &e0, &t0);
+  fstack::FfUring ring(ring_mem, kUringSqSlots, kUringCqSlots);
+  const int id = ops.uring_attach(ring_mem, kUringSqSlots, kUringCqSlots);
+  if (id < 0) return 0;
+
+  const auto push_sqe = [&](const fstack::FfUringSqe& sqe) -> bool {
+    if (ring.sq_push(sqe) == fstack::FfUring::Push::kFull) return false;
+    out->sqes++;
+    return true;
+  };
+
+  {
+    fstack::FfUringSqe arm;
+    arm.op = fstack::UringOp::kAcceptMultishot;
+    arm.fd = lfd;
+    arm.user_data = kUdAccept;
+    push_sqe(arm);
+    fstack::FfUringSqe eparm;
+    eparm.op = fstack::UringOp::kEpollArm;
+    eparm.fd = ep;
+    eparm.user_data = kUdEpoll;
+    push_sqe(eparm);
+  }
+
+  int cfd = -1;
+  bool hot = false;
+  bool eof = false;
+  bool zc_inflight = false;
+  std::uint64_t got = 0;
+  std::uint32_t burst_loans = 0;
+  RxDrainPacer pacer;
+  std::uint32_t coalesce = 0;
+  // Token batches ride OP_RECYCLE entries; a refused push falls back to
+  // one classic recycle crossing so tokens can never pile up unreturned.
+  fstack::FfUringRecycler recycler(&ring,
+                                   apps::classic_recycle_fallback(&ops));
+  fstack::FfUringDoorbellPolicy bell;
+
+  while ((got < total_bytes && !eof) || zc_inflight) {
+    bool progress = false;
+    fstack::FfUringCqe cq[kUringReap];
+    const std::size_t n = ring.cq_pop(cq);
+    for (std::size_t i = 0; i < n; ++i) {
+      out->cqes++;
+      progress = true;
+      switch (cq[i].op) {
+        case fstack::UringOp::kAcceptMultishot:
+          if (cq[i].result >= 0 && cfd < 0) {
+            cfd = static_cast<int>(cq[i].result);
+            // The one residual classic call of the pipeline: register the
+            // accepted fd's readiness interest (one-time, per connection).
+            ops.epoll_ctl(ep, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
+                          static_cast<std::uint64_t>(cfd));
+            hot = true;
+          }
+          break;
+        case fstack::UringOp::kEpollArm:
+          // Mask-change publications include readable->quiet; only a
+          // readable/hangup mask warrants a drain burst.
+          if ((cq[i].result & (fstack::kEpollIn | fstack::kEpollHup)) != 0) {
+            hot = true;
+          }
+          break;
+        case fstack::UringOp::kZcRecv:
+          if ((cq[i].flags & fstack::kCqeEof) != 0) {
+            eof = true;
+          } else if (cq[i].result >= 0) {  // loan (0-length ones included)
+            got += static_cast<std::uint64_t>(cq[i].result);
+            burst_loans++;
+            recycler.add(cq[i].aux0);
+          } else {
+            hot = false;  // drained: wait for the next readiness CQE
+          }
+          if ((cq[i].flags & fstack::kCqeMore) == 0) {
+            zc_inflight = false;
+            const std::uint32_t window = pacer.on_drain(
+                burst_loans, fstack::FfUringSqe::kMaxCaps);
+            coalesce =
+                burst_loans == fstack::FfUringSqe::kMaxCaps ? window : 0;
+            burst_loans = 0;
+          }
+          break;
+        case fstack::UringOp::kRecycle:
+        default:
+          break;
+      }
+    }
+    ++coalesce;
+    if (cfd >= 0 && hot && !zc_inflight && !eof && got < total_bytes &&
+        coalesce >= pacer.window) {
+      fstack::FfUringSqe sqe;
+      sqe.op = fstack::UringOp::kZcRecv;
+      sqe.fd = cfd;
+      sqe.a[0] = fstack::FfUringSqe::kMaxCaps;
+      if (push_sqe(sqe)) {
+        zc_inflight = true;
+        burst_loans = 0;
+      }
+    }
+    if (bell.should_ring(ring, progress)) {
+      ops.uring_doorbell(id);  // genuinely unclaimed work: one crossing
+      out->doorbells++;
+    }
+    if (!turn(progress)) break;
+  }
+  // Return every outstanding loan and let the stack consume the entries.
+  recycler.flush();
+  for (int spins = 0; spins < 10000 && ring.sq_pending() > 0; ++spins) {
+    fstack::FfUringCqe cq[kUringReap];
+    const bool popped = ring.cq_pop(cq) > 0;
+    if (!turn(popped)) break;
+  }
+  recycler.flush_sync();  // teardown: nothing may stay window-charged
+  out->sqes += recycler.ring_pushes();
+  probes_end(probes, e0, t0);
+  ops.uring_detach(id);
+  if (cfd >= 0) ops.close(cfd);
+  ops.close(ep);
+  ops.close(lfd);
+  return got;
+}
+
+}  // namespace
+
+UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
+                                const TestbedOptions& opt) {
+  UringCensus out;
+  const std::size_t wsize = 1448;
+  const sim::CostModel price = sim::CostModel::morello();
+  const double mib = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  const std::size_t ring_bytes =
+      fstack::FfUring::bytes_for(kUringSqSlots, kUringCqSlots);
+
+  MorelloTestbed tb(opt);
+  auto& iv = tb.intravisor();
+  auto& clock = tb.clock();
+  auto& arb = tb.arbiter();
+  std::atomic<bool> stop{false};
+
+  // Like the v1/v2 census: the send buffer holds the whole volume so the
+  // comparison prices the per-call fixed costs, not backpressure.
+  InstanceConfig icfg = tb.morello_cfg(0);
+  icfg.tcp.sndbuf_bytes =
+      std::max<std::size_t>(icfg.tcp.sndbuf_bytes, total_bytes + (64u << 10));
+
+  CensusProbes probes;
+  if (kind == ScenarioKind::kScenario1) {
+    arb.expect_participants(2);
+    PeerHost& peer = tb.make_peer(0);
+    peer.serve_iperf(kIperfPort, 1);
+    peer.start();
+    Scenario1Cvm s1(iv, tb.card(), 0, icfg, "cVM1-uring-census");
+    probes.tramp_now = [&] { return s1.cvm().trampoline().crossings(); };
+    s1.cvm().start([&] {
+      FullStackInstance& inst = s1.instance();
+      const machine::CapView buf = s1.alloc(wsize);
+      const machine::CapView ring_mem = s1.alloc(ring_bytes);
+      sim::Participant part(arb, "uring-census-probe");
+      out.bytes = uring_tx_loop(
+          s1.ops(), buf, ring_mem, total_bytes, wsize, &out, &probes,
+          [&](bool did) {
+            const std::uint64_t token = part.prepare();
+            const bool progress = inst.run_once() || did;
+            if (!progress) {
+              part.wait(token, capped_deadline(inst.next_deadline(),
+                                               clock.now(), kProbeHeartbeat));
+            }
+            return true;
+          });
+      for (int i = 0; i < 10000; ++i) {
+        if (!inst.run_once()) break;  // drain FIN exchange
+      }
+    });
+    s1.cvm().join();
+    peer.request_stop();
+    peer.join();
+    out.crossings = probes.entry_crossings + probes.tramp_crossings;
+    out.modeled_ns_per_mib =
+        mib > 0 ? static_cast<double>(out.crossings) *
+                      static_cast<double>(price.trampoline_crossing().count()) /
+                      mib
+                : 0.0;
+    return out;
+  }
+
+  if (kind != ScenarioKind::kScenario2Uncontended) return out;
+
+  arb.expect_participants(3);
+  PeerHost& peer = tb.make_peer(0);
+  peer.serve_iperf(kIperfPort, 1);
+  peer.start();
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, icfg);
+  Scenario2Service svc(iv, cvm1, inst);
+  cvm1.start([&] { svc.run_loop(stop, arb); });
+
+  iv::CVM& app = iv.create_cvm("cVM2-uring-census", 16u << 20);
+  auto ops = svc.make_proxy_ops(app);
+  probes.entry_now = [&] { return iv.entries().crossings(); };
+  probes.tramp_now = [&] { return app.trampoline().crossings(); };
+  app.start([&] {
+    const machine::CapView buf = app.alloc(wsize);
+    const machine::CapView ring_mem = app.alloc(ring_bytes);
+    sim::Participant part(arb, "uring-census-probe");
+    out.bytes = uring_tx_loop(*ops, buf, ring_mem, total_bytes, wsize, &out,
+                              &probes, [&](bool did) {
+                                const std::uint64_t token = part.prepare();
+                                if (!did) {
+                                  part.wait(token,
+                                            clock.now() + kProbeHeartbeat);
+                                }
+                                return true;
+                              });
+  });
+  app.join();
+  stop.store(true);
+  arb.kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
+
+  const double entry_cost = static_cast<double>(
+      price.trampoline_crossing().count() + price.domain_switch_extra.count());
+  out.crossings = probes.entry_crossings + probes.tramp_crossings;
+  out.modeled_ns_per_mib =
+      mib > 0
+          ? (static_cast<double>(probes.entry_crossings) * entry_cost +
+             static_cast<double>(probes.tramp_crossings) *
+                 static_cast<double>(price.trampoline_crossing().count())) /
+                mib
+          : 0.0;
+  return out;
+}
+
+UringCensus run_uring_rx_census(ScenarioKind kind, std::uint64_t total_bytes,
+                                const TestbedOptions& opt) {
+  UringCensus out;
+  const sim::CostModel price = sim::CostModel::morello();
+  const double mib = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  const std::size_t ring_bytes =
+      fstack::FfUring::bytes_for(kUringSqSlots, kUringCqSlots);
+
+  MorelloTestbed tb(opt);
+  auto& iv = tb.intravisor();
+  auto& clock = tb.clock();
+  auto& arb = tb.arbiter();
+  std::atomic<bool> stop{false};
+  const InstanceConfig icfg = tb.morello_cfg(0);
+
+  CensusProbes probes;
+  if (kind == ScenarioKind::kScenario1) {
+    arb.expect_participants(2);
+    PeerHost& peer = tb.make_peer(0);
+    peer.run_iperf_client(MorelloTestbed::morello_ip(0), kIperfPort,
+                          total_bytes);
+    peer.start();
+    Scenario1Cvm s1(iv, tb.card(), 0, icfg, "cVM1-uring-rx");
+    probes.tramp_now = [&] { return s1.cvm().trampoline().crossings(); };
+    s1.cvm().start([&] {
+      FullStackInstance& inst = s1.instance();
+      const machine::CapView ring_mem = s1.alloc(ring_bytes);
+      sim::Participant part(arb, "uring-rx-probe");
+      out.bytes = uring_rx_loop(
+          s1.ops(), ring_mem, total_bytes, &out, &probes, [&](bool did) {
+            const std::uint64_t token = part.prepare();
+            const bool progress = inst.run_once() || did;
+            if (!progress) {
+              part.wait(token, capped_deadline(inst.next_deadline(),
+                                               clock.now(), kProbeHeartbeat));
+            }
+            return true;
+          });
+      for (int i = 0; i < 10000; ++i) {
+        if (!inst.run_once()) break;
+      }
+    });
+    s1.cvm().join();
+    peer.request_stop();
+    peer.join();
+    out.crossings = probes.entry_crossings + probes.tramp_crossings;
+    out.modeled_ns_per_mib =
+        mib > 0 ? static_cast<double>(out.crossings) *
+                      static_cast<double>(price.trampoline_crossing().count()) /
+                      mib
+                : 0.0;
+    return out;
+  }
+
+  if (kind != ScenarioKind::kScenario2Uncontended) return out;
+
+  arb.expect_participants(3);
+  PeerHost& peer = tb.make_peer(0);
+  peer.run_iperf_client(MorelloTestbed::morello_ip(0), kIperfPort,
+                        total_bytes);
+  peer.start();
+  iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
+  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, icfg);
+  Scenario2Service svc(iv, cvm1, inst);
+  cvm1.start([&] { svc.run_loop(stop, arb); });
+
+  iv::CVM& app = iv.create_cvm("cVM2-uring-rx", 16u << 20);
+  auto ops = svc.make_proxy_ops(app);
+  probes.entry_now = [&] { return iv.entries().crossings(); };
+  probes.tramp_now = [&] { return app.trampoline().crossings(); };
+  app.start([&] {
+    const machine::CapView ring_mem = app.alloc(ring_bytes);
+    sim::Participant part(arb, "uring-rx-probe");
+    out.bytes = uring_rx_loop(*ops, ring_mem, total_bytes, &out, &probes,
+                              [&](bool did) {
+                                const std::uint64_t token = part.prepare();
+                                if (!did) {
+                                  part.wait(token,
+                                            clock.now() + kProbeHeartbeat);
+                                }
+                                return true;
+                              });
+  });
+  app.join();
+  stop.store(true);
+  arb.kick();
+  cvm1.join();
+  peer.request_stop();
+  peer.join();
 
   const double entry_cost = static_cast<double>(
       price.trampoline_crossing().count() + price.domain_switch_extra.count());

@@ -178,4 +178,38 @@ struct RxCensus {
     ScenarioKind kind, std::uint64_t total_bytes, bool zero_copy,
     const TestbedOptions& opt = TestbedOptions{});
 
+// ---------------------------------------------------------------------------
+// API v3 uring census: the same byte volumes through the ff_uring ring —
+// submissions by capability store, completions by capability load, ONE
+// arming crossing and doorbells only when the stack parked. The fig4/fig5
+// gates require >= 2x fewer crossings than the PR-2 batch paths above and
+// ZERO crossings per op in sustained load (crossings stay a small constant
+// while SQEs scale with the volume).
+// ---------------------------------------------------------------------------
+
+struct UringCensus {
+  std::uint64_t bytes = 0;      // payload bytes moved
+  std::uint64_t sqes = 0;       // submissions pushed (ring ops issued)
+  std::uint64_t cqes = 0;       // completions reaped
+  /// Crossings in the measured phase: the arm, the doorbells, and any
+  /// residual per-call setup (e.g. the one epoll_ctl for an accepted fd).
+  std::uint64_t crossings = 0;
+  std::uint64_t doorbells = 0;  // doorbell crossings the app chose to make
+  double modeled_ns_per_mib = 0.0;
+};
+
+/// Send `total_bytes` of MSS-sized TCP payload through OP_WRITEV SQEs
+/// (8 exactly-bounded iovec caps per entry).
+[[nodiscard]] UringCensus run_uring_tx_census(
+    ScenarioKind kind, std::uint64_t total_bytes,
+    const TestbedOptions& opt = TestbedOptions{});
+
+/// Receive `total_bytes` through the full ring pipeline: OP_ACCEPT_MULTISHOT
+/// (accepted fds as CQEs), OP_EPOLL_ARM (readiness as CQEs), OP_ZC_RECV
+/// (loans as CQEs) and OP_RECYCLE (token batches back) — zero receive-side
+/// copies and zero crossings per op in steady state.
+[[nodiscard]] UringCensus run_uring_rx_census(
+    ScenarioKind kind, std::uint64_t total_bytes,
+    const TestbedOptions& opt = TestbedOptions{});
+
 }  // namespace cherinet::scen

@@ -55,6 +55,11 @@ void Scenario2Service::run_loop(std::atomic<bool>& stop,
         }
       }
       d = inst_.next_deadline();
+      // About to park: tell attached ff_urings so an app pushing into an
+      // empty SQ knows the one doorbell crossing is worth making (a
+      // polling loop would pick the SQE up by itself — that is the
+      // zero-crossings-per-op steady state).
+      if (!progress) inst_.stack().urings_set_parked(true);
     }
     if (mutex_->has_waiters()) {
       // Blocked API callers wake through the kernel; give them a real
@@ -277,6 +282,28 @@ ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
         return fstack::ff_epoll_cancel_multishot(*st,
                                                  static_cast<int>(a.a[0]));
       }));
+  // ff_uring: the arming crossing delegates the app's whole ring region in
+  // cap0; doorbell/detach carry only the ring id. Each is one sealed jump
+  // under one wrap() mutex acquisition — and the doorbell's acquisition
+  // covers the entire drain sweep, not one op.
+  e_uring_attach_ = reg.install(
+      tag + ":ff_uring_attach", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        if (!a.cap0.has_value()) return -EFAULT;
+        return fstack::ff_uring_attach(*st, *a.cap0,
+                                       static_cast<std::uint32_t>(a.a[0]),
+                                       static_cast<std::uint32_t>(a.a[1]));
+      }));
+  e_uring_detach_ = reg.install(
+      tag + ":ff_uring_detach", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_uring_detach(*st, static_cast<int>(a.a[0]));
+      }));
+  e_uring_doorbell_ = reg.install(
+      tag + ":ff_uring_doorbell", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_uring_doorbell(*st, static_cast<int>(a.a[0]));
+      }));
 }
 
 std::int64_t ProxyFfOps::call(const machine::SealedEntry& e,
@@ -476,6 +503,28 @@ int ProxyFfOps::epoll_cancel_multishot(int epfd) {
   machine::CrossCallArgs a;
   a.a[0] = static_cast<std::uint64_t>(epfd);
   return static_cast<int>(call(e_ep_cancel_ms_, a));
+}
+
+int ProxyFfOps::uring_attach(const machine::CapView& mem,
+                             std::uint32_t sq_capacity,
+                             std::uint32_t cq_capacity) {
+  machine::CrossCallArgs a;
+  a.a[0] = sq_capacity;
+  a.a[1] = cq_capacity;
+  a.cap0 = mem;  // the app delegates its whole ring region, bounded
+  return static_cast<int>(call(e_uring_attach_, a));
+}
+
+int ProxyFfOps::uring_detach(int id) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(id);
+  return static_cast<int>(call(e_uring_detach_, a));
+}
+
+int ProxyFfOps::uring_doorbell(int id) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(id);
+  return static_cast<int>(call(e_uring_doorbell_, a));
 }
 
 int ProxyFfOps::close(int fd) {

@@ -88,6 +88,16 @@ class ProxyFfOps final : public apps::FfOps {
   int epoll_wait_multishot(int epfd, const machine::CapView& ring,
                            std::uint32_t capacity) override;
   int epoll_cancel_multishot(int epfd) override;
+  /// ff_uring (API v3): the attach crossing delegates one bounded RW view
+  /// of the app's ring region to the network cVM — the single arming
+  /// crossing of the whole attachment. Submissions and completions then
+  /// move by plain capability stores/loads; the doorbell entry exists only
+  /// for the empty->non-empty-while-parked transition, and its one sealed
+  /// jump performs the whole drain under ONE stack-mutex acquisition.
+  int uring_attach(const machine::CapView& mem, std::uint32_t sq_capacity,
+                   std::uint32_t cq_capacity) override;
+  int uring_detach(int id) override;
+  int uring_doorbell(int id) override;
   int close(int fd) override;
   int epoll_create() override;
   int epoll_ctl(int epfd, fstack::EpollOp op, int fd, std::uint32_t events,
@@ -106,7 +116,8 @@ class ProxyFfOps final : public apps::FfOps {
   machine::SealedEntry e_socket_, e_bind_, e_listen_, e_accept_, e_connect_,
       e_write_, e_read_, e_writev_, e_readv_, e_close_, e_ep_create_,
       e_ep_ctl_, e_ep_wait_, e_accept_batch_, e_zc_recv_, e_zc_recycle_,
-      e_ep_arm_ms_, e_ep_cancel_ms_;
+      e_ep_arm_ms_, e_ep_cancel_ms_, e_uring_attach_, e_uring_detach_,
+      e_uring_doorbell_;
 };
 
 }  // namespace cherinet::scen

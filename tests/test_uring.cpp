@@ -1,0 +1,610 @@
+// ff_uring (API v3): ring attach/drain lifecycle, SQ/CQ wrap-around,
+// full-CQ backpressure, per-entry -EINVAL isolation for forged/replayed
+// submissions, multishot accept, epoll-arm CQEs, the zc loan flow over the
+// ring, the recvmsg_batch UDP loan mode, and the iperf/echo app ports.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "apps/echo.hpp"
+#include "apps/ff_ops.hpp"
+#include "apps/iperf.hpp"
+#include "cheri/fault.hpp"
+#include "fixtures.hpp"
+#include "fstack/api.hpp"
+#include "fstack/uring.hpp"
+
+using namespace cherinet;
+using namespace cherinet::fstack;
+using cherinet::test::TwoStacks;
+
+namespace {
+
+struct TcpPair {
+  int listen_fd = -1;
+  int a_fd = -1;
+  int b_fd = -1;
+};
+
+TcpPair connect_b_to_a(TwoStacks& ts, std::uint16_t port = 5201) {
+  TcpPair p;
+  p.listen_fd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_bind(ts.a(), p.listen_fd, {Ipv4Addr{}, port});
+  ff_listen(ts.a(), p.listen_fd, 4);
+  p.b_fd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_connect(ts.b(), p.b_fd, {ts.ip_a(), port});
+  ts.pump_until([&] {
+    p.a_fd = ff_accept(ts.a(), p.listen_fd, nullptr);
+    return p.a_fd >= 0;
+  });
+  EXPECT_GE(p.a_fd, 0);
+  return p;
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed + i * 7) & 0xFF);
+  }
+  return v;
+}
+
+/// Allocate + header-init a ring on stack A's heap and attach it.
+struct AttachedRing {
+  machine::CapView mem;
+  FfUring ring;
+  int id = -1;
+};
+
+AttachedRing attach_ring(TwoStacks& ts, std::uint32_t sq, std::uint32_t cq) {
+  AttachedRing r;
+  r.mem = ts.heap_a().alloc_view(FfUring::bytes_for(sq, cq));
+  r.ring = FfUring(r.mem, sq, cq);
+  r.id = ff_uring_attach(ts.a(), r.mem, sq, cq);
+  EXPECT_GT(r.id, 0);
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle and validation
+// ---------------------------------------------------------------------------
+
+TEST(Uring, AttachValidatesCapacitiesRegionAndHeader) {
+  TwoStacks ts;
+  machine::CapView mem =
+      ts.heap_a().alloc_view(FfUring::bytes_for(8, 8));
+  // Capacities must be powers of two.
+  EXPECT_EQ(ff_uring_attach(ts.a(), mem, 6, 8), -EINVAL);
+  EXPECT_EQ(ff_uring_attach(ts.a(), mem, 8, 0), -EINVAL);
+  // Region must cover bytes_for(sq, cq).
+  EXPECT_EQ(ff_uring_attach(ts.a(), mem, 8, 16), -EINVAL);
+  // Header must be initialized (FfUring ctor) before arming.
+  FfUring ring(mem, 8, 8);
+  const int id = ff_uring_attach(ts.a(), mem, 8, 8);
+  EXPECT_GT(id, 0);
+  EXPECT_EQ(ff_uring_detach(ts.a(), id), 0);
+  EXPECT_EQ(ff_uring_detach(ts.a(), id), -EBADF);
+  EXPECT_EQ(ff_uring_doorbell(ts.a(), id), -EBADF);
+  EXPECT_EQ(ts.a().api_stats().uring_attaches, 1u);
+}
+
+TEST(Uring, NopCursorsWrapAcrossPowerOfTwoBoundaries) {
+  TwoStacks ts;
+  AttachedRing ar = attach_ring(ts, 4, 4);
+  // Push far more entries than the capacity: the free-running u32 cursors
+  // must map to slots continuously across every wrap.
+  std::uint64_t next_ud = 1;
+  std::uint64_t expect_ud = 1;
+  for (int round = 0; round < 100; ++round) {
+    for (int k = 0; k < 3; ++k) {
+      FfUringSqe sqe;
+      sqe.op = UringOp::kNop;
+      sqe.user_data = next_ud++;
+      ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+    }
+    ts.a().run_once();  // one drain sweep consumes the window
+    FfUringCqe cq[4];
+    const std::size_t n = ar.ring.cq_pop(cq);
+    ASSERT_EQ(n, 3u);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(cq[i].user_data, expect_ud++);
+      EXPECT_EQ(cq[i].result, 0);
+      EXPECT_EQ(cq[i].op, UringOp::kNop);
+    }
+  }
+  EXPECT_EQ(ts.a().api_stats().uring_sqes, 300u);
+  EXPECT_EQ(ts.a().api_stats().uring_cqes, 300u);
+}
+
+TEST(Uring, FullCqBackpressuresWithoutDroppingCompletions) {
+  TwoStacks ts;
+  AttachedRing ar = attach_ring(ts, 8, 4);
+  for (std::uint64_t ud = 1; ud <= 8; ++ud) {
+    FfUringSqe sqe;
+    sqe.op = UringOp::kNop;
+    sqe.user_data = ud;
+    ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+  }
+  ts.a().run_once();
+  // Only 4 completions fit; the other 4 SQEs must stay QUEUED (deferred,
+  // not dropped) and the overflow word must record the backpressure.
+  EXPECT_EQ(ar.ring.sq_pending(), 4u);
+  EXPECT_GT(ar.ring.cq_overflows(), 0u);
+  FfUringCqe cq[8];
+  std::vector<std::uint64_t> seen;
+  std::size_t n = ar.ring.cq_pop(cq);
+  EXPECT_EQ(n, 4u);
+  for (std::size_t i = 0; i < n; ++i) seen.push_back(cq[i].user_data);
+  ts.a().run_once();  // space now: the deferred entries complete
+  n = ar.ring.cq_pop(cq);
+  EXPECT_EQ(n, 4u);
+  for (std::size_t i = 0; i < n; ++i) seen.push_back(cq[i].user_data);
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::uint64_t ud = 1; ud <= 8; ++ud) {
+    EXPECT_EQ(seen[ud - 1], ud) << "completions must keep submission order";
+  }
+  EXPECT_EQ(ar.ring.sq_pending(), 0u);
+}
+
+TEST(Uring, DoorbellDrainsAParkedStackImmediately) {
+  TwoStacks ts;
+  AttachedRing ar = attach_ring(ts, 8, 8);
+  ts.a().urings_set_parked(true);
+  EXPECT_TRUE(ar.ring.stack_parked());
+  FfUringSqe sqe;
+  sqe.op = UringOp::kNop;
+  sqe.user_data = 7;
+  // Empty -> non-empty while parked: the push itself says "ring the bell".
+  EXPECT_EQ(ar.ring.sq_push(sqe), FfUring::Push::kDoorbell);
+  EXPECT_EQ(ff_uring_doorbell(ts.a(), ar.id), 1);  // one SQE consumed
+  FfUringCqe cq[1];
+  ASSERT_EQ(ar.ring.cq_pop(cq), 1u);
+  EXPECT_EQ(cq[0].user_data, 7u);
+  // The bell ran on the CALLER's crossing; the loop itself is still
+  // parked, and the header must keep saying so (a later empty->non-empty
+  // push still needs to know a doorbell is worth making).
+  EXPECT_TRUE(ar.ring.stack_parked());
+  EXPECT_EQ(ts.a().api_stats().uring_doorbells, 1u);
+  // Only the loop's own drain (run_once) publishes the un-park.
+  ts.a().run_once();
+  EXPECT_FALSE(ar.ring.stack_parked());
+}
+
+// ---------------------------------------------------------------------------
+// Data plane opcodes
+// ---------------------------------------------------------------------------
+
+TEST(Uring, WritevSqeDeliversBytesToThePeer) {
+  TwoStacks ts;
+  const TcpPair p = connect_b_to_a(ts);
+  AttachedRing ar = attach_ring(ts, 8, 8);
+
+  const auto payload = pattern(3 * 512);
+  machine::CapView tx = ts.heap_a().alloc_view(payload.size());
+  tx.write(0, payload);
+  FfUringSqe sqe;
+  sqe.op = UringOp::kWritev;
+  sqe.fd = p.a_fd;
+  sqe.user_data = 42;
+  sqe.ncaps = 3;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    sqe.caps[i] = tx.window(i * 512, 512);  // exactly-bounded iovec grants
+  }
+  ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+
+  machine::CapView rx = ts.heap_b().alloc_view(payload.size());
+  std::size_t got = 0;
+  ts.pump_until([&] {
+    const std::int64_t r =
+        ff_read(ts.b(), p.b_fd, rx.at(got), payload.size() - got);
+    if (r > 0) got += static_cast<std::size_t>(r);
+    return got == payload.size();
+  });
+  ASSERT_EQ(got, payload.size());
+  std::vector<std::byte> echo(payload.size());
+  rx.read(0, echo);
+  EXPECT_EQ(0, std::memcmp(echo.data(), payload.data(), payload.size()));
+
+  FfUringCqe cq[2];
+  ASSERT_EQ(ar.ring.cq_pop(cq), 1u);
+  EXPECT_EQ(cq[0].user_data, 42u);
+  EXPECT_EQ(cq[0].result, static_cast<std::int64_t>(payload.size()));
+}
+
+TEST(Uring, ForgedSqeCapabilityIsPerEntryEinvalWithoutPoisoningTheSweep) {
+  TwoStacks ts;
+  const TcpPair p = connect_b_to_a(ts);
+  AttachedRing ar = attach_ring(ts, 8, 8);
+  machine::CapView tx = ts.heap_a().alloc_view(1024);
+  tx.write(0, pattern(1024));
+
+  const auto push_writev = [&](std::uint64_t ud) {
+    FfUringSqe sqe;
+    sqe.op = UringOp::kWritev;
+    sqe.fd = p.a_fd;
+    sqe.user_data = ud;
+    sqe.ncaps = 1;
+    sqe.caps[0] = tx.window(0, 256);
+    ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+  };
+  push_writev(1);
+  push_writev(2);
+  push_writev(3);
+  // Forge entry 2's capability: overwrite its granule with plain data.
+  // Exactly what a compromised compartment could do to ring memory — the
+  // tag clears, and the drain sweep must fail THIS entry alone.
+  const std::uint64_t slot1_cap0 =
+      FfUring::sqe_off(8, 1) + FfUring::kSqePayloadOff;
+  ar.mem.store<std::uint64_t>(slot1_cap0, 0xDEADBEEFCAFEF00Dull);
+  ts.a().run_once();
+
+  FfUringCqe cq[4];
+  ASSERT_EQ(ar.ring.cq_pop(cq), 3u);
+  EXPECT_EQ(cq[0].user_data, 1u);
+  EXPECT_EQ(cq[0].result, 256);
+  EXPECT_EQ(cq[1].user_data, 2u);
+  EXPECT_EQ(cq[1].result, -EINVAL);  // the forged entry, and only it
+  EXPECT_EQ(cq[2].user_data, 3u);
+  EXPECT_EQ(cq[2].result, 256);
+  EXPECT_EQ(ts.a().api_stats().uring_sqe_errors, 1u);
+}
+
+TEST(Uring, SendmsgBatchSqeEmitsAUdpBurst) {
+  TwoStacks ts;
+  const int a_udp = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int b_udp = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.b(), b_udp, {Ipv4Addr{}, 9000}), 0);
+  ASSERT_EQ(ff_bind(ts.a(), a_udp, {Ipv4Addr{}, 9001}), 0);
+  AttachedRing ar = attach_ring(ts, 8, 8);
+
+  machine::CapView tx = ts.heap_a().alloc_view(3 * 100);
+  tx.write(0, pattern(300));
+  FfUringSqe sqe;
+  sqe.op = UringOp::kSendmsgBatch;
+  sqe.fd = a_udp;
+  sqe.user_data = 5;
+  sqe.a[0] = ts.ip_b().value;
+  sqe.a[1] = 9000;
+  sqe.ncaps = 3;
+  for (std::uint32_t i = 0; i < 3; ++i) sqe.caps[i] = tx.window(i * 100, 100);
+  ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+
+  machine::CapView rx = ts.heap_b().alloc_view(256);
+  int got = 0;
+  ts.pump_until([&] {
+    FfSockAddrIn from;
+    while (ff_recvfrom(ts.b(), b_udp, rx, 256, &from) > 0) ++got;
+    return got == 3;
+  });
+  EXPECT_EQ(got, 3);
+  FfUringCqe cq[2];
+  ASSERT_EQ(ar.ring.cq_pop(cq), 1u);
+  EXPECT_EQ(cq[0].result, 3);  // datagrams emitted
+}
+
+TEST(Uring, ZcRecvLoansAndRecycleTokensFlowThroughTheRing) {
+  TwoStacks ts;
+  const TcpPair p = connect_b_to_a(ts);
+  AttachedRing ar = attach_ring(ts, 8, 16);
+
+  // Push 4 KiB from B and let it queue on A's RX chain.
+  const auto payload = pattern(4096);
+  machine::CapView tx = ts.heap_b().alloc_view(payload.size());
+  tx.write(0, payload);
+  std::size_t sent = 0;
+  ts.pump_until([&] {
+    if (sent < payload.size()) {
+      const std::int64_t r =
+          ff_write(ts.b(), p.b_fd, tx.at(sent), payload.size() - sent);
+      if (r > 0) sent += static_cast<std::size_t>(r);
+    }
+    return sent == payload.size();
+  });
+  ts.pump(50);
+
+  FfUringSqe sqe;
+  sqe.op = UringOp::kZcRecv;
+  sqe.fd = p.a_fd;
+  sqe.user_data = 11;
+  sqe.a[0] = 8;
+  ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+  ts.a().run_once();
+
+  FfUringCqe cq[8];
+  const std::size_t n = ar.ring.cq_pop(cq);
+  ASSERT_GT(n, 0u);
+  std::uint64_t loaned = 0;
+  FfUringSqe rec;
+  rec.op = UringOp::kRecycle;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(cq[i].op, UringOp::kZcRecv);
+    ASSERT_GT(cq[i].result, 0);
+    // The loan capability rides in the CQE: exactly bounded, read-only.
+    ASSERT_TRUE(cq[i].cap.valid());
+    EXPECT_EQ(cq[i].cap.size(), static_cast<std::uint64_t>(cq[i].result));
+    std::vector<std::byte> chunk(static_cast<std::size_t>(cq[i].result));
+    cq[i].cap.read(0, chunk);
+    EXPECT_EQ(0, std::memcmp(chunk.data(), payload.data() + loaned,
+                             chunk.size()));
+    const std::byte junk[1] = {std::byte{0xFF}};
+    EXPECT_THROW(cq[i].cap.write(0, junk), cheri::CapFault);
+    // kCqeMore marks every loan of the burst but the last.
+    EXPECT_EQ((cq[i].flags & kCqeMore) != 0, i + 1 < n);
+    loaned += static_cast<std::uint64_t>(cq[i].result);
+    rec.tokens[rec.a[0]++] = cq[i].aux0;
+  }
+  // Return the whole burst through ONE recycle entry...
+  ASSERT_NE(ar.ring.sq_push(rec), FfUring::Push::kFull);
+  ts.a().run_once();
+  FfUringCqe rc[2];
+  ASSERT_EQ(ar.ring.cq_pop(rc), 1u);
+  EXPECT_EQ(rc[0].result, static_cast<std::int64_t>(n));
+  EXPECT_EQ(rc[0].aux0, 0u);  // no rejected tokens
+  EXPECT_EQ(ts.a().api_stats().zc_rx_recycles,
+            ts.a().api_stats().zc_rx_loans);
+
+  // ...and prove a REPLAYED token batch is -EINVAL without side effects.
+  ASSERT_NE(ar.ring.sq_push(rec), FfUring::Push::kFull);
+  ts.a().run_once();
+  ASSERT_EQ(ar.ring.cq_pop(rc), 1u);
+  EXPECT_EQ(rc[0].result, -EINVAL);
+  EXPECT_EQ(rc[0].aux0, static_cast<std::uint64_t>(n));  // all rejected
+}
+
+TEST(Uring, ZeroLengthDatagramLoanIsNotEof) {
+  TwoStacks ts;
+  const int a_udp = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int b_udp = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.a(), a_udp, {Ipv4Addr{}, 9200}), 0);
+  ASSERT_EQ(ff_bind(ts.b(), b_udp, {Ipv4Addr{}, 9201}), 0);
+  AttachedRing ar = attach_ring(ts, 8, 8);
+
+  machine::CapView tx = ts.heap_b().alloc_view(16);
+  ASSERT_EQ(ff_sendto(ts.b(), b_udp, tx, 0, {ts.ip_a(), 9200}), 0);
+  const auto* sock = ts.a().sockets().get(a_udp);
+  ASSERT_NE(sock, nullptr);
+  ts.pump_until([&] { return sock->udp->queued() == 1; });
+
+  FfUringSqe sqe;
+  sqe.op = UringOp::kZcRecv;
+  sqe.fd = a_udp;
+  sqe.a[0] = 4;
+  ASSERT_NE(ar.ring.sq_push(sqe), FfUring::Push::kFull);
+  ts.a().run_once();
+  FfUringCqe cq[2];
+  ASSERT_EQ(ar.ring.cq_pop(cq), 1u);
+  // result 0 — but it is a LOAN (token present, no EOF flag), and the
+  // token still owes a recycle; treating it as EOF would leak the
+  // window-charged data room.
+  EXPECT_EQ(cq[0].result, 0);
+  EXPECT_EQ(cq[0].flags & kCqeEof, 0u);
+  ASSERT_NE(cq[0].aux0, 0u);
+  FfUringSqe rec;
+  rec.op = UringOp::kRecycle;
+  rec.a[0] = 1;
+  rec.tokens[0] = cq[0].aux0;
+  ASSERT_NE(ar.ring.sq_push(rec), FfUring::Push::kFull);
+  ts.a().run_once();
+  ASSERT_EQ(ar.ring.cq_pop(cq), 1u);
+  EXPECT_EQ(cq[0].result, 1);
+  EXPECT_EQ(ts.a().api_stats().zc_rx_recycles,
+            ts.a().api_stats().zc_rx_loans);
+}
+
+// ---------------------------------------------------------------------------
+// Multishot arms
+// ---------------------------------------------------------------------------
+
+TEST(Uring, AcceptMultishotPublishesEveryAcceptedFd) {
+  TwoStacks ts;
+  const int lfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ff_bind(ts.a(), lfd, {Ipv4Addr{}, 5300});
+  ff_listen(ts.a(), lfd, 8);
+  AttachedRing ar = attach_ring(ts, 8, 8);
+  FfUringSqe arm;
+  arm.op = UringOp::kAcceptMultishot;
+  arm.fd = lfd;
+  arm.user_data = 77;
+  ASSERT_NE(ar.ring.sq_push(arm), FfUring::Push::kFull);
+
+  const int b1 = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  const int b2 = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ff_connect(ts.b(), b1, {ts.ip_a(), 5300});
+  ff_connect(ts.b(), b2, {ts.ip_a(), 5300});
+
+  std::vector<FfUringCqe> accepted;
+  ts.pump_until([&] {
+    FfUringCqe cq[4];
+    const std::size_t n = ar.ring.cq_pop(cq);
+    for (std::size_t i = 0; i < n; ++i) accepted.push_back(cq[i]);
+    return accepted.size() >= 2;
+  });
+  ASSERT_EQ(accepted.size(), 2u);
+  for (const FfUringCqe& c : accepted) {
+    EXPECT_EQ(c.op, UringOp::kAcceptMultishot);
+    EXPECT_EQ(c.user_data, 77u);
+    EXPECT_GE(c.result, 0);
+    EXPECT_NE(c.flags & kCqeMore, 0u);  // the arm stays live
+    EXPECT_EQ(uring_unpack_addr(c.aux0).ip, ts.ip_b());
+  }
+  EXPECT_NE(accepted[0].result, accepted[1].result);
+  // The classic accept_batch shim keeps working alongside (empty now).
+  apps::DirectFfOps ops(&ts.a());
+  int fds[4];
+  EXPECT_EQ(ops.accept_batch(lfd, fds), 0);
+}
+
+TEST(Uring, EpollArmDeliversReadinessAsCqes) {
+  TwoStacks ts;
+  const TcpPair p = connect_b_to_a(ts);
+  AttachedRing ar = attach_ring(ts, 8, 8);
+  const int ep = ff_epoll_create(ts.a());
+  ff_epoll_ctl(ts.a(), ep, EpollOp::kAdd, p.a_fd, kEpollIn, 0xC00C1Eull);
+  FfUringSqe arm;
+  arm.op = UringOp::kEpollArm;
+  arm.fd = ep;
+  arm.user_data = 99;
+  ASSERT_NE(ar.ring.sq_push(arm), FfUring::Push::kFull);
+  ts.a().run_once();  // consume the arm (no data yet: no event)
+
+  machine::CapView tx = ts.heap_b().alloc_view(512);
+  tx.write(0, pattern(512));
+  ASSERT_GT(ff_write(ts.b(), p.b_fd, tx, 512), 0);
+  FfUringCqe ev;
+  ts.pump_until([&] {
+    FfUringCqe cq[4];
+    const std::size_t n = ar.ring.cq_pop(cq);
+    if (n > 0) ev = cq[0];
+    return n > 0;
+  });
+  EXPECT_EQ(ev.op, UringOp::kEpollArm);
+  EXPECT_EQ(ev.user_data, 99u);
+  EXPECT_NE(ev.result & kEpollIn, 0);
+  EXPECT_EQ(ev.aux0, 0xC00C1Eull);  // the interest cookie
+  EXPECT_NE(ev.flags & kCqeMore, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// UDP RX loan bursts through ff_recvmsg_batch (v3 loan mode)
+// ---------------------------------------------------------------------------
+
+TEST(RecvmsgBatch, InvalidBufMeansLoanModeWithTokensAndZeroCopies) {
+  TwoStacks ts;
+  const int a_udp = ff_socket(ts.a(), kAfInet, kSockDgram, 0);
+  const int b_udp = ff_socket(ts.b(), kAfInet, kSockDgram, 0);
+  ASSERT_EQ(ff_bind(ts.a(), a_udp, {Ipv4Addr{}, 9100}), 0);
+  ASSERT_EQ(ff_bind(ts.b(), b_udp, {Ipv4Addr{}, 9101}), 0);
+
+  machine::CapView tx = ts.heap_b().alloc_view(300);
+  tx.write(0, pattern(300));
+  for (int i = 0; i < 3; ++i) {
+    ff_sendto(ts.b(), b_udp, tx.at(static_cast<std::uint64_t>(i) * 100), 100,
+              {ts.ip_a(), 9100});
+  }
+  const auto* sock = ts.a().sockets().get(a_udp);
+  ASSERT_NE(sock, nullptr);
+  ts.pump_until([&] { return sock->udp->queued() == 3; });
+
+  const std::uint64_t copied_before = ts.a().rx_stats().copied_bytes;
+  FfMsg msgs[4];  // default-constructed: INVALID bufs -> loan mode
+  const std::int64_t n = ff_recvmsg_batch(ts.a(), a_udp, msgs);
+  ASSERT_EQ(n, 3);
+  EXPECT_EQ(ts.a().rx_stats().copied_bytes, copied_before)
+      << "loan mode must not copy a byte";
+  const auto payload = pattern(300);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(msgs[i].buf.valid());
+    ASSERT_NE(msgs[i].token, 0u);
+    EXPECT_EQ(msgs[i].result, 100);
+    EXPECT_EQ(msgs[i].buf.size(), 100u);
+    EXPECT_EQ(msgs[i].addr.ip, ts.ip_b());
+    EXPECT_EQ(msgs[i].addr.port, 9101);
+    std::vector<std::byte> chunk(100);
+    msgs[i].buf.read(0, chunk);
+    EXPECT_EQ(0, std::memcmp(chunk.data(),
+                             payload.data() + static_cast<std::size_t>(i) * 100,
+                             100));
+    const std::byte junk[1] = {std::byte{0xFF}};
+    EXPECT_THROW(msgs[i].buf.write(0, junk), cheri::CapFault);
+    // The existing token accounting: recycle exactly once.
+    FfZcRxBuf z;
+    z.token = msgs[i].token;
+    z.data = msgs[i].buf;
+    EXPECT_EQ(ff_zc_recycle(ts.a(), z), 0);
+    EXPECT_EQ(ff_zc_recycle(ts.a(), z), -EINVAL);
+  }
+  EXPECT_EQ(ts.a().api_stats().zc_rx_recycles,
+            ts.a().api_stats().zc_rx_loans);
+  // A msg WITH a destination buffer still takes the copy path (token 0).
+  for (int i = 0; i < 2; ++i) {
+    ff_sendto(ts.b(), b_udp, tx, 100, {ts.ip_a(), 9100});
+  }
+  ts.pump_until([&] { return sock->udp->queued() == 2; });
+  machine::CapView rx = ts.heap_a().alloc_view(128);
+  FfMsg copy_msgs[2];
+  copy_msgs[0].buf = rx;
+  copy_msgs[0].len = 128;
+  // copy_msgs[1] stays invalid: mixed bursts are legal.
+  ASSERT_EQ(ff_recvmsg_batch(ts.a(), a_udp, copy_msgs), 2);
+  EXPECT_EQ(copy_msgs[0].token, 0u);
+  EXPECT_EQ(copy_msgs[0].result, 100);
+  EXPECT_GT(ts.a().rx_stats().copied_bytes, copied_before);
+  ASSERT_NE(copy_msgs[1].token, 0u);
+  FfZcRxBuf z;
+  z.token = copy_msgs[1].token;
+  EXPECT_EQ(ff_zc_recycle(ts.a(), z), 0);
+
+  // Loan mode is an EXPLICIT opt-in (invalid buf AND len 0): a FORGED
+  // destination — tag cleared but a byte count claimed — still faults the
+  // batch exactly like v2, it does not silently become a loan.
+  ff_sendto(ts.b(), b_udp, tx, 100, {ts.ip_a(), 9100});
+  ts.pump_until([&] { return sock->udp->queued() == 1; });
+  FfMsg forged[1];
+  forged[0].buf = machine::CapView(&rx.mem(), rx.cap().cleared());
+  forged[0].len = 64;
+  EXPECT_THROW(ff_recvmsg_batch(ts.a(), a_udp, forged), cheri::CapFault);
+}
+
+// ---------------------------------------------------------------------------
+// App ports
+// ---------------------------------------------------------------------------
+
+TEST(UringApps, IperfRunsEndToEndOverRings) {
+  TwoStacks ts;
+  apps::DirectFfOps ops_a(&ts.a());
+  apps::DirectFfOps ops_b(&ts.b());
+  constexpr std::uint64_t kBytes = 256 * 1024;
+
+  machine::CapView srv_rx = ts.heap_a().alloc_view(16 * 1024);
+  apps::IperfServer srv(&ops_a, &ts.clock(), 5201, srv_rx, 1);
+  machine::CapView srv_ring =
+      ts.heap_a().alloc_view(FfUring::bytes_for(32, 64));
+  ASSERT_EQ(srv.use_uring(srv_ring, 32, 64), 0);
+
+  machine::CapView cli_tx = ts.heap_b().alloc_view(16 * 1024);
+  apps::IperfClient cli(&ops_b, &ts.clock(), ts.ip_a(), 5201, kBytes,
+                        cli_tx.window(0, 8 * 1448), 1448, 8);
+  ASSERT_EQ(cli.use_uring(ts.heap_b().alloc_view(FfUring::bytes_for(32, 64)),
+                          32, 64),
+            0);
+
+  const bool done = ts.pump_until([&] {
+    srv.step();
+    cli.step();
+    return srv.finished() && cli.finished();
+  });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(srv.report().bytes, kBytes);
+  EXPECT_EQ(cli.report().bytes, kBytes);
+  // Both sides really rode the rings.
+  EXPECT_GT(ts.a().api_stats().uring_sqes, 0u);
+  EXPECT_GT(ts.b().api_stats().uring_sqes, 0u);
+  // Server side: every loan the drain handed out came back (the EOF path
+  // returns tail tokens synchronously, so nothing is left in flight).
+  EXPECT_EQ(ts.a().api_stats().zc_rx_recycles,
+            ts.a().api_stats().zc_rx_loans);
+}
+
+TEST(UringApps, EchoServerAcceptsOverMultishotRing) {
+  TwoStacks ts;
+  apps::DirectFfOps ops_a(&ts.a());
+  apps::DirectFfOps ops_b(&ts.b());
+  apps::EchoServer srv(&ops_a, 7000, ts.heap_a().alloc_view(4096));
+  ASSERT_EQ(
+      srv.use_uring(ts.heap_a().alloc_view(FfUring::bytes_for(8, 8)), 8, 8),
+      0);
+  apps::EchoClient cli(&ops_b, ts.ip_a(), 7000, "ring the bell, not the api",
+                       ts.heap_b().alloc_view(512));
+  const bool done = ts.pump_until([&] {
+    srv.step();
+    cli.step();
+    return cli.done();
+  });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(cli.reply(), "ring the bell, not the api");
+  EXPECT_GT(ts.a().api_stats().uring_cqes, 0u);
+}
