@@ -52,6 +52,7 @@ struct BenchArtifacts {
   scen::RxCensus rx_v1;
   scen::RxCensus rx_zc;
   scen::UringCensus tx_uring;
+  scen::UringCensus tx_uring_zc;  // TCP zc TX (OP_ZC_ALLOC + OP_ZC_SEND)
   scen::UringCensus rx_uring;
 };
 
@@ -204,8 +205,11 @@ inline int run_uring_gate(scen::ScenarioKind kind,
   scen::TestbedOptions copt = opt;
   copt.cost = sim::CostModel::disabled();  // counting, not timing
   const auto tx = run_uring_tx_census(kind, census_bytes, copt);
+  const auto txz =
+      run_uring_tx_census(kind, census_bytes, copt, /*zero_copy=*/true);
   const auto rx = run_uring_rx_census(kind, census_bytes, copt);
   art->tx_uring = tx;
+  art->tx_uring_zc = txz;
   art->rx_uring = rx;
   std::printf("\nuring census (%llu KiB each way):\n",
               static_cast<unsigned long long>(census_bytes / 1024));
@@ -216,6 +220,14 @@ inline int run_uring_gate(scen::ScenarioKind kind,
               static_cast<unsigned long long>(tx.crossings),
               static_cast<unsigned long long>(tx.doorbells),
               tx.modeled_ns_per_mib);
+  std::printf("  v3 TX zc   : %8llu sqes  %8llu cqes  %4llu crossings "
+              "(%llu doorbells)  %10llu tx copies  %10llu zc B\n",
+              static_cast<unsigned long long>(txz.sqes),
+              static_cast<unsigned long long>(txz.cqes),
+              static_cast<unsigned long long>(txz.crossings),
+              static_cast<unsigned long long>(txz.doorbells),
+              static_cast<unsigned long long>(txz.tx_copied_bytes),
+              static_cast<unsigned long long>(txz.tx_zc_bytes));
   std::printf("  v3 RX ring : %8llu sqes  %8llu cqes  %4llu crossings "
               "(%llu doorbells)  %10.0f ns/MiB\n",
               static_cast<unsigned long long>(rx.sqes),
@@ -223,12 +235,32 @@ inline int run_uring_gate(scen::ScenarioKind kind,
               static_cast<unsigned long long>(rx.crossings),
               static_cast<unsigned long long>(rx.doorbells),
               rx.modeled_ns_per_mib);
-  if (tx.bytes < census_bytes || rx.bytes < census_bytes) {
+  if (tx.bytes < census_bytes || rx.bytes < census_bytes ||
+      txz.bytes < census_bytes) {
     std::fprintf(stderr,
                  "FAIL: uring census did not move the byte volume "
-                 "(tx %llu, rx %llu of %llu)\n",
+                 "(tx %llu, tx-zc %llu, rx %llu of %llu)\n",
                  static_cast<unsigned long long>(tx.bytes),
+                 static_cast<unsigned long long>(txz.bytes),
                  static_cast<unsigned long long>(rx.bytes),
+                 static_cast<unsigned long long>(census_bytes));
+    return 1;
+  }
+  // The TCP zc TX gate: the whole volume rides retained mbuf references —
+  // ZERO send-side byte copies — while the crossing budget stays the
+  // doorbell-only one of the OP_WRITEV path (the alloc round trip is ring
+  // traffic, not crossings).
+  if (txz.tx_copied_bytes != 0) {
+    std::fprintf(stderr,
+                 "FAIL: TCP zc TX path copied %llu send-side bytes "
+                 "(expected 0)\n",
+                 static_cast<unsigned long long>(txz.tx_copied_bytes));
+    return 1;
+  }
+  if (txz.tx_zc_bytes < census_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: TCP zc TX path queued only %llu zc bytes of %llu\n",
+                 static_cast<unsigned long long>(txz.tx_zc_bytes),
                  static_cast<unsigned long long>(census_bytes));
     return 1;
   }
@@ -255,12 +287,15 @@ inline int run_uring_gate(scen::ScenarioKind kind,
                          std::uint64_t floor_) {
     return c.crossings <= std::max<std::uint64_t>(floor_, c.sqes / 8);
   };
-  if (!steady(tx, 6) || !steady(rx, 8)) {
+  if (!steady(tx, 6) || !steady(rx, 8) || !steady(txz, 6)) {
     std::fprintf(stderr,
                  "FAIL: uring path is crossing per op (tx %llu/%llu sqes, "
-                 "rx %llu/%llu sqes) — steady state must be doorbell-only\n",
+                 "tx-zc %llu/%llu, rx %llu/%llu sqes) — steady state must "
+                 "be doorbell-only\n",
                  static_cast<unsigned long long>(tx.crossings),
                  static_cast<unsigned long long>(tx.sqes),
+                 static_cast<unsigned long long>(txz.crossings),
+                 static_cast<unsigned long long>(txz.sqes),
                  static_cast<unsigned long long>(rx.crossings),
                  static_cast<unsigned long long>(rx.sqes));
     return 1;
@@ -300,13 +335,19 @@ inline void emit_bench_json(const char* fig, const BenchArtifacts& a) {
                "\"ns_per_mib\": %.0f},\n"
                "    \"uring\": {\"sqes\": %llu, \"cqes\": %llu, "
                "\"crossings\": %llu, \"doorbells\": %llu, "
-               "\"ns_per_mib\": %.0f}\n  },\n",
+               "\"ns_per_mib\": %.0f},\n"
+               "    \"zc\":    {\"sqes\": %llu, \"cqes\": %llu, "
+               "\"crossings\": %llu, \"doorbells\": %llu, "
+               "\"tx_copies\": %llu, \"zc_bytes\": %llu}\n  },\n",
                u(a.tx_v1.api_calls), u(a.tx_v1.crossings),
                a.tx_v1.modeled_ns_per_mib, u(a.tx_v2.api_calls),
                u(a.tx_v2.crossings), a.tx_v2.modeled_ns_per_mib,
                u(a.tx_uring.sqes), u(a.tx_uring.cqes),
                u(a.tx_uring.crossings), u(a.tx_uring.doorbells),
-               a.tx_uring.modeled_ns_per_mib);
+               a.tx_uring.modeled_ns_per_mib, u(a.tx_uring_zc.sqes),
+               u(a.tx_uring_zc.cqes), u(a.tx_uring_zc.crossings),
+               u(a.tx_uring_zc.doorbells), u(a.tx_uring_zc.tx_copied_bytes),
+               u(a.tx_uring_zc.tx_zc_bytes));
   std::fprintf(f,
                "  \"rx\": {\n"
                "    \"v1\":    {\"calls\": %llu, \"crossings\": %llu, "

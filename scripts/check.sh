@@ -39,6 +39,9 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json; do
   if [[ -f "$f" ]]; then
     echo "== bench artifact: $f"
     cat "$f"
+    # The TCP zc TX gate's persisted evidence: send-side byte copies on
+    # the zero-copy path (must be 0 — grep'able across PR runs).
+    grep -o '"tx_copies": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
   fi
 done
 exit "$status"

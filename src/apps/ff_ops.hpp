@@ -71,6 +71,30 @@ class FfOps {
     return n;
   }
 
+  // Zero-copy TX (API v2): reserve an mbuf data room, fill it in place
+  // through the bounded capability, submit. Works for UDP datagrams and —
+  // since the TxChain retransmission store — TCP streams (the stack holds
+  // the mbuf reference until cumulative ACK; `to` is ignored on TCP).
+  // Defaults report -ENOTSUP; bindings either delegate the data room or
+  // honestly decline (callers fall back to write()).
+  virtual int zc_alloc(std::size_t len, fstack::FfZcBuf* out) {
+    (void)len;
+    (void)out;
+    return -ENOTSUP;
+  }
+  virtual std::int64_t zc_send(int fd, fstack::FfZcBuf& zc, std::size_t len,
+                               const fstack::FfSockAddrIn& to) {
+    (void)fd;
+    (void)zc;
+    (void)len;
+    (void)to;
+    return -ENOTSUP;
+  }
+  virtual int zc_abort(fstack::FfZcBuf& zc) {
+    (void)zc;
+    return -ENOTSUP;
+  }
+
   // Zero-copy RX (API v2). The defaults report -ENOTSUP: unlike the
   // scatter-gather calls there is no per-element fallback that preserves
   // the zero-copy contract, so bindings either implement the loan path or
@@ -172,6 +196,16 @@ class DirectFfOps final : public FfOps {
   }
   std::int64_t readv(int fd, std::span<const fstack::FfIovec> iov) override {
     return fstack::ff_readv(*st_, fd, iov);
+  }
+  int zc_alloc(std::size_t len, fstack::FfZcBuf* out) override {
+    return fstack::ff_zc_alloc(*st_, len, out);
+  }
+  std::int64_t zc_send(int fd, fstack::FfZcBuf& zc, std::size_t len,
+                       const fstack::FfSockAddrIn& to) override {
+    return fstack::ff_zc_send(*st_, fd, zc, len, to);
+  }
+  int zc_abort(fstack::FfZcBuf& zc) override {
+    return fstack::ff_zc_abort(*st_, zc);
   }
   std::int64_t zc_recv(int fd, std::span<fstack::FfZcRxBuf> out) override {
     return fstack::ff_zc_recv(*st_, fd, out);

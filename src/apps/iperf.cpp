@@ -76,82 +76,84 @@ int IperfServer::use_uring(machine::CapView ring_mem,
   ur_recycler_ =
       fstack::FfUringRecycler(&*uring_, classic_recycle_fallback(ops_));
   // Arm once: accepted fds and readiness arrive as CQEs from here on.
-  fstack::FfUringSqe acc;
-  acc.op = fstack::UringOp::kAcceptMultishot;
-  acc.fd = listen_fd_;
-  acc.user_data = kUdAccept;
-  uring_->sq_push(acc);
-  fstack::FfUringSqe ep;
-  ep.op = fstack::UringOp::kEpollArm;
-  ep.fd = epfd_;
-  ep.user_data = kUdEpoll;
-  uring_->sq_push(ep);
+  push_accept_arm(*uring_, listen_fd_, kUdAccept);
+  push_epoll_arm(*uring_, epfd_, kUdEpoll);
   if (uring_->stack_parked()) ops_->uring_doorbell(uring_id_);
   return 0;
 }
+
+/// The shared receive-pipeline CQE discipline (apps/uring_proto.hpp)
+/// applied to the server's per-connection state. zc bursts tag user_data
+/// with the connection fd.
+struct IperfServer::RxDispatch {
+  IperfServer& s;
+
+  Conn* conn_of(std::uint64_t user_data) {
+    for (Conn& c : s.conns_) {
+      if (c.fd == static_cast<int>(user_data) && !c.done) return &c;
+    }
+    return nullptr;
+  }
+  void on_accept(int fd, const fstack::FfSockAddrIn&) {
+    if (static_cast<int>(s.conns_.size()) < s.expected_) {
+      s.conns_.push_back(Conn{fd, IperfReport{}, false, true});
+      s.ops_->epoll_ctl(s.epfd_, fstack::EpollOp::kAdd, fd, fstack::kEpollIn,
+                        static_cast<std::uint64_t>(fd));
+    } else {
+      // The multishot arm accepts past expected_ (the classic path simply
+      // stopped calling accept): close the surplus rather than leak it
+      // and strand the peer.
+      s.ops_->close(fd);
+    }
+  }
+  void on_readiness(std::uint32_t mask, std::uint64_t data) {
+    // Publications fire on any mask CHANGE, including readable->quiet:
+    // only a readable/hangup mask makes a drain burst worth submitting.
+    if ((mask & (fstack::kEpollIn | fstack::kEpollHup)) != 0) {
+      for (Conn& c : s.conns_) {
+        if (c.fd == static_cast<int>(data)) c.hot = true;
+      }
+    }
+  }
+  void on_loan(const fstack::FfUringCqe& cqe) {
+    Conn* c = conn_of(cqe.user_data);
+    if (c == nullptr) return;
+    if (c->report.bytes == 0 && cqe.result > 0) {
+      c->report.first_byte = s.clock_->now();
+    }
+    c->report.bytes += static_cast<std::uint64_t>(cqe.result);
+    c->report.last_byte = s.clock_->now();
+    s.ur_recycler_.add(cqe.aux0);
+    s.interval_report(*c);
+  }
+  void on_eof(std::uint64_t user_data) {
+    Conn* c = conn_of(user_data);
+    if (c == nullptr) return;
+    // EOF: return the tail tokens SYNCHRONOUSLY (one teardown crossing) —
+    // a ring entry pushed now might never drain once the server stops
+    // stepping, and loans must not outlive it.
+    s.ur_recycler_.flush_sync();
+    s.finish(*c);
+  }
+  void on_drained(std::uint64_t user_data) {
+    Conn* c = conn_of(user_data);
+    if (c != nullptr) c->hot = false;  // wait for the next readiness CQE
+  }
+  void on_coalescing(std::uint64_t) {
+    // Datagrams ARE queued, the burst timeout is still running: stay hot
+    // and repoll — an unchanged readiness mask will never re-publish.
+  }
+  void on_burst_end(std::uint64_t) { s.ur_inflight_fd_ = -1; }
+};
 
 bool IperfServer::step_uring() {
   bool progress = false;
   fstack::FfUringCqe cq[16];
   const std::size_t n = uring_->cq_pop(cq);
+  RxDispatch h{*this};
   for (std::size_t i = 0; i < n; ++i) {
     progress = true;
-    switch (cq[i].op) {
-      case fstack::UringOp::kAcceptMultishot:
-        if (cq[i].result >= 0) {
-          const int fd = static_cast<int>(cq[i].result);
-          if (static_cast<int>(conns_.size()) < expected_) {
-            conns_.push_back(Conn{fd, IperfReport{}, false, true});
-            ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, fd,
-                            fstack::kEpollIn,
-                            static_cast<std::uint64_t>(fd));
-          } else {
-            // The multishot arm accepts past expected_ (the classic path
-            // simply stopped calling accept): close the surplus rather
-            // than leak it and strand the peer.
-            ops_->close(fd);
-          }
-        }
-        break;
-      case fstack::UringOp::kEpollArm:
-        // Publications fire on any mask CHANGE, including readable->quiet:
-        // only a readable/hangup mask makes a drain burst worth submitting.
-        if ((cq[i].result & (fstack::kEpollIn | fstack::kEpollHup)) != 0) {
-          for (Conn& c : conns_) {
-            if (c.fd == static_cast<int>(cq[i].aux0)) c.hot = true;
-          }
-        }
-        break;
-      case fstack::UringOp::kZcRecv: {
-        const int fd = static_cast<int>(cq[i].user_data);
-        for (Conn& c : conns_) {
-          if (c.fd != fd || c.done) continue;
-          if ((cq[i].flags & fstack::kCqeEof) != 0) {
-            // EOF: return the tail tokens SYNCHRONOUSLY (one teardown
-            // crossing) — a ring entry pushed now might never drain once
-            // the server stops stepping, and loans must not outlive it.
-            ur_recycler_.flush_sync();
-            finish(c);
-          } else if (cq[i].result >= 0) {
-            // A loan (zero-length datagrams included: the token must
-            // still go back even when no bytes came with it).
-            if (c.report.bytes == 0 && cq[i].result > 0) {
-              c.report.first_byte = clock_->now();
-            }
-            c.report.bytes += static_cast<std::uint64_t>(cq[i].result);
-            c.report.last_byte = clock_->now();
-            ur_recycler_.add(cq[i].aux0);
-            interval_report(c);
-          } else {
-            c.hot = false;  // drained: wait for the next readiness CQE
-          }
-        }
-        if ((cq[i].flags & fstack::kCqeMore) == 0) ur_inflight_fd_ = -1;
-        break;
-      }
-      default:
-        break;
-    }
+    dispatch_rx_cqe(cq[i], h);
   }
   // One zc burst in flight at a time, rotated round-robin across the
   // connections: a saturating sender that stays hot must not starve its
@@ -161,12 +163,8 @@ bool IperfServer::step_uring() {
     for (std::size_t k = 0; k < conns_.size(); ++k) {
       Conn& c = conns_[(ur_next_conn_ + k) % conns_.size()];
       if (c.done || !c.hot) continue;
-      fstack::FfUringSqe sqe;
-      sqe.op = fstack::UringOp::kZcRecv;
-      sqe.fd = c.fd;
-      sqe.a[0] = fstack::FfUringSqe::kMaxCaps;
-      sqe.user_data = static_cast<std::uint64_t>(c.fd);
-      if (uring_->sq_push(sqe) != fstack::FfUring::Push::kFull) {
+      if (push_zc_recv(*uring_, c.fd, fstack::FfUringSqe::kMaxCaps,
+                       static_cast<std::uint64_t>(c.fd))) {
         ur_inflight_fd_ = c.fd;
         ur_next_conn_ = (ur_next_conn_ + k + 1) % conns_.size();
         progress = true;
@@ -353,12 +351,28 @@ IperfClient::~IperfClient() {
 
 int IperfClient::use_uring(machine::CapView ring_mem,
                            std::uint32_t sq_capacity,
-                           std::uint32_t cq_capacity) {
+                           std::uint32_t cq_capacity, bool zero_copy) {
   fstack::FfUring ring(ring_mem, sq_capacity, cq_capacity);
   const int id = ops_->uring_attach(ring_mem, sq_capacity, cq_capacity);
   if (id < 0) return id;  // -ENOTSUP bindings keep the classic writev path
   uring_ = ring;
   uring_id_ = id;
+  ur_zero_copy_ = zero_copy;
+  if (zero_copy) {
+    // The payload is composed straight into the granted data room through
+    // the writable bounded capability — the stack never copies a byte and
+    // holds the mbuf reference until cumulative ACK.
+    zc_proto_ = UringZcTxProto(
+        &*uring_, fd_, chunk_,
+        [this](const machine::CapView& room, std::size_t len) {
+          std::byte scratch[512];
+          machine::cap_copy(room, 0, tx_, 0, len, scratch);
+        });
+  } else {
+    tx_proto_ = UringTxProto(
+        &*uring_, fd_, tx_, chunk_,
+        std::min<std::size_t>(batch_, fstack::FfUringSqe::kMaxCaps));
+  }
   return 0;
 }
 
@@ -382,41 +396,39 @@ void IperfClient::client_summary() {
 
 bool IperfClient::step_uring_send() {
   bool progress = false;
-  if (offered_ < sent_) offered_ = sent_;  // cover the connect probe byte
+  // Bytes that moved outside the ring (the 1-byte connect probe) count as
+  // externally confirmed so the protocols cover exactly the remainder.
+  if (ur_ext_ == 0 && sent_ > 0) {
+    ur_ext_ = sent_;
+    if (!ur_zero_copy_) tx_proto_.note_external(sent_);
+  }
   fstack::FfUringCqe cq[16];
   const std::size_t n = uring_->cq_pop(cq);
   bool bytes_advanced = false;
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t exp = cq[i].user_data;
-    const std::uint64_t got =
-        cq[i].result > 0 ? static_cast<std::uint64_t>(cq[i].result) : 0;
+    const std::uint64_t got = ur_zero_copy_ ? zc_proto_.on_cqe(cq[i])
+                                            : tx_proto_.on_cqe(cq[i]);
     sent_ += got;
     bytes_advanced |= got > 0;
-    if (got < exp) offered_ -= exp - got;  // re-offer the remainder
     progress |= got > 0;
   }
   if (n > 0 && !bytes_advanced) {
-    // Every completion bounced off a full send buffer: back off for one
-    // step instead of churning the same SQEs through the ring.
-    return progress;
+    // Every completion bounced off a full send buffer (or was an alloc
+    // grant): back off for one step instead of churning the ring.
+    if (!ur_zero_copy_) return progress;
   }
-  while (offered_ < total_) {  // submit: plain capability stores
-    fstack::FfUringSqe sqe;
-    sqe.op = fstack::UringOp::kWritev;
-    sqe.fd = fd_;
-    const std::size_t per =
-        std::min<std::size_t>(batch_, fstack::FfUringSqe::kMaxCaps);
-    std::uint64_t chunk = 0;
-    for (; sqe.ncaps < per && offered_ + chunk < total_; ++sqe.ncaps) {
-      const std::size_t c =
-          std::min<std::uint64_t>(chunk_, total_ - offered_ - chunk);
-      sqe.caps[sqe.ncaps] = tx_.window(0, c);
-      chunk += c;
-    }
-    sqe.user_data = chunk;
-    if (uring_->sq_push(sqe) == fstack::FfUring::Push::kFull) break;
-    offered_ += chunk;
-    progress = true;
+  // Submit: plain capability stores, no crossing.
+  const std::uint32_t pushed = ur_zero_copy_
+                                   ? zc_proto_.pump(total_ - ur_ext_)
+                                   : tx_proto_.offer(total_);
+  progress |= pushed > 0;
+  if (ur_zero_copy_ && zc_proto_.failed()) {
+    // Permanent failure (connection died, impossible chunk): wind down
+    // with whatever was confirmed instead of livelocking on resubmission.
+    ops_->uring_detach(uring_id_);
+    uring_.reset();
+    client_summary();
+    return true;
   }
   if (bell_.should_ring(*uring_, progress)) {
     ops_->uring_doorbell(uring_id_);

@@ -9,6 +9,7 @@
 
 #include "apps/ff_ops.hpp"
 #include "apps/telemetry.hpp"
+#include "apps/uring_proto.hpp"
 #include "fstack/event_ring.hpp"
 #include "fstack/uring.hpp"
 #include "sim/virtual_clock.hpp"
@@ -87,6 +88,7 @@ class IperfServer {
     bool done = false;
     bool hot = false;  // uring mode: a drain burst is worth submitting
   };
+  struct RxDispatch;  // uring_proto CQE handler (defined in iperf.cpp)
 
   void drain(Conn& c);
   void drain_zero_copy(Conn& c);
@@ -137,10 +139,14 @@ class IperfClient {
 
   /// API v3 port: submit the send stream as OP_WRITEV SQEs (up to 8
   /// exactly-bounded iovec caps each) and account completions from the CQ
-  /// — zero crossings per batch after the one arming call. Returns 0 or
+  /// — zero crossings per batch after the one arming call. With
+  /// `zero_copy`, the stream instead rides the TCP zc TX pipeline:
+  /// OP_ZC_ALLOC grants writable mbuf data rooms, the payload is composed
+  /// in place, and OP_ZC_SEND queues retained references the stack holds
+  /// until cumulative ACK — zero send-side byte copies. Returns 0 or
   /// -errno (-ENOTSUP bindings keep the classic writev path).
   int use_uring(machine::CapView ring_mem, std::uint32_t sq_capacity,
-                std::uint32_t cq_capacity);
+                std::uint32_t cq_capacity, bool zero_copy = false);
 
   bool step();
   [[nodiscard]] bool finished() const noexcept { return done_; }
@@ -166,7 +172,10 @@ class IperfClient {
   bool done_ = false;
   std::optional<fstack::FfUring> uring_;  // v3: ring-submitted send stream
   int uring_id_ = -1;
-  std::uint64_t offered_ = 0;  // bytes covered by in-flight SQEs
+  bool ur_zero_copy_ = false;
+  UringTxProto tx_proto_;      // OP_WRITEV offer/re-offer (shared protocol)
+  UringZcTxProto zc_proto_;    // OP_ZC_ALLOC/OP_ZC_SEND pipeline
+  std::uint64_t ur_ext_ = 0;   // bytes that moved outside the ring (probe)
   fstack::FfUringDoorbellPolicy bell_;
   IntervalReporter reporter_;
   IperfReport report_;

@@ -65,6 +65,11 @@ std::int64_t ff_recvmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs) {
   return st.sock_recvmsg_batch(fd, msgs);
 }
 
+std::int64_t ff_recvmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs,
+                              const FfMsgBatchOpts& opts) {
+  return st.sock_recvmsg_batch(fd, msgs, opts);
+}
+
 int ff_zc_alloc(FfStack& st, std::size_t len, FfZcBuf* out) {
   return st.sock_zc_alloc(len, out);
 }
@@ -78,6 +83,11 @@ int ff_zc_abort(FfStack& st, FfZcBuf& zc) { return st.sock_zc_abort(zc); }
 
 std::int64_t ff_zc_recv(FfStack& st, int fd, std::span<FfZcRxBuf> out) {
   return st.sock_zc_recv(fd, out);
+}
+
+std::int64_t ff_zc_recv(FfStack& st, int fd, std::span<FfZcRxBuf> out,
+                        const FfMsgBatchOpts& opts) {
+  return st.sock_zc_recv(fd, out, opts);
 }
 
 int ff_zc_recycle(FfStack& st, FfZcRxBuf& zc) {

@@ -60,9 +60,19 @@
 //                                      |   bounded iovec caps per entry
 //  ff_sendmsg_batch(fd, {msg...})      | SQE OP_SENDMSG_BATCH: <= 8
 //                                      |   datagram caps to one peer
-//  ff_zc_send(fd, zc, len, to)         | SQE OP_ZC_SEND (token in a0)
+//  ff_zc_alloc(len, &zc) x N           | SQE OP_ZC_ALLOC: one CQE per
+//                                      |   reservation (token + WRITABLE
+//                                      |   bounded cap into the data room)
+//                                      |   — zc TX with no per-alloc
+//                                      |   crossing
+//  ff_zc_send(fd, zc, len, to)         | SQE OP_ZC_SEND (token in a0);
+//                                      |   on a TCP fd the slice joins the
+//                                      |   send queue as a retained mbuf
+//                                      |   ref held until cumulative ACK
 //  ff_zc_recv(fd, {loan...})           | SQE OP_ZC_RECV: one CQE per loan
-//                                      |   (token + source + loan cap)
+//                                      |   (token + source + loan cap);
+//                                      |   UDP: a1 = recvmmsg-style burst
+//                                      |   timeout ns
 //  ff_zc_recycle_batch({zc...})        | SQE OP_RECYCLE: <= 16 tokens per
 //                                      |   entry, per-token verdicts
 //  ff_accept x N / accept_batch        | SQE OP_ACCEPT_MULTISHOT: armed
@@ -85,6 +95,14 @@
 //   * SQE buffer caps belong to the app again once its CQE is reaped; CQE
 //     loan caps follow the PR-2 recycle contract (window-charged until
 //     OP_RECYCLE);
+//   * TCP zc TX ownership: an OP_ZC_ALLOC grant belongs to the app until
+//     OP_ZC_SEND succeeds (or ff_zc_abort); from then on the STACK owns
+//     the mbuf reference until the bytes are cumulatively ACKed — a
+//     partial ACK trims the head slice, retransmission re-reads the live
+//     data room, and connection teardown (FIN completion / RST / RTO
+//     give-up) releases every retained reference. A consumed or forged
+//     token answers -EINVAL before any TCP state mutates; -EAGAIN (send
+//     window full) keeps the reservation valid for retry;
 //   * every v2 call above keeps working as a thin shim over the same
 //     stack internals — v3 is additive, not a flag day.
 //
@@ -144,16 +162,30 @@ std::int64_t ff_readv(FfStack& st, int fd, std::span<const FfIovec> iov);
 // counts land in FfMsg::result), -EAGAIN when none, or -errno. Send is
 // atomic over validation: an invalid buffer anywhere in the burst faults
 // before any datagram is emitted. Receive preserves arrival order.
+// The opts overload adds the recvmmsg-style burst timeout
+// (FfMsgBatchOpts::timeout_ns): the call coalesces — answering -EAGAIN —
+// until the batch fills or the oldest queued datagram has waited out the
+// timeout, then returns the short count. timeout_ns 0 keeps the classic
+// return-what-is-queued semantics.
 std::int64_t ff_sendmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs);
 std::int64_t ff_recvmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs);
+std::int64_t ff_recvmsg_batch(FfStack& st, int fd, std::span<FfMsg> msgs,
+                              const FfMsgBatchOpts& opts);
 
-// Zero-copy TX (UDP). ff_zc_alloc reserves an mbuf data room and hands the
-// application a bounded capability straight into it; ff_zc_send prepends
-// the UDP/IP/Ethernet headers in the mbuf headroom and transmits — the
-// payload is never copied through the socket layer. Returns 0/-errno from
-// alloc (-EMSGSIZE over MTU, -ENOBUFS pool empty); bytes sent or -errno
-// from send (-EINVAL on a consumed token). ff_zc_abort releases an unsent
-// reservation.
+// Zero-copy TX. ff_zc_alloc reserves an mbuf data room and hands the
+// application a bounded capability straight into it; ff_zc_send submits the
+// filled reservation — the payload is never copied through the socket
+// layer. On a UDP socket the headers prepend in the mbuf headroom and the
+// buffer goes to the driver. On a TCP socket (`to` is ignored — the
+// connection addresses the peer) the slice joins the send queue as a
+// RETAINED MBUF REFERENCE: tcp_output gathers segments directly out of the
+// data room, retransmission re-reads the still-live buffer, and cumulative
+// ACK is what finally releases the reference (a partial ACK trims the head
+// slice). Returns 0/-errno from alloc (-EMSGSIZE over MTU, -ENOBUFS pool
+// empty); bytes queued/sent or -errno from send: -EINVAL on a consumed or
+// forged token BEFORE any protocol state mutates, -EAGAIN (TCP send window
+// full) and -EMSGSIZE keep the reservation valid for retry. ff_zc_abort
+// releases an unsent reservation.
 int ff_zc_alloc(FfStack& st, std::size_t len, FfZcBuf* out);
 std::int64_t ff_zc_send(FfStack& st, int fd, FfZcBuf& zc, std::size_t len,
                         const FfSockAddrIn& to);
@@ -168,6 +200,10 @@ int ff_zc_abort(FfStack& st, FfZcBuf& zc);
 // token is -EINVAL. ff_zc_recycle_batch recycles a whole burst and returns
 // the number recycled.
 std::int64_t ff_zc_recv(FfStack& st, int fd, std::span<FfZcRxBuf> out);
+/// UDP loan bursts honor the recvmmsg-style FfMsgBatchOpts::timeout_ns
+/// (see ff_recvmsg_batch); TCP sockets ignore the opts.
+std::int64_t ff_zc_recv(FfStack& st, int fd, std::span<FfZcRxBuf> out,
+                        const FfMsgBatchOpts& opts);
 int ff_zc_recycle(FfStack& st, FfZcRxBuf& zc);
 std::int64_t ff_zc_recycle_batch(FfStack& st, std::span<FfZcRxBuf> zcs);
 

@@ -65,6 +65,18 @@ inline void ff_sweep_iovecs(std::span<const FfIovec> iov,
   }
 }
 
+/// Batch options for the UDP receive burst calls (recvmmsg analogue).
+/// `timeout_ns` == 0 keeps the classic semantics: return immediately with
+/// whatever is queued. With a timeout the burst COALESCES: the call answers
+/// -EAGAIN until either the full batch is queued or the oldest queued
+/// datagram has waited `timeout_ns`, then returns the short count — a
+/// sparse sender no longer costs its receiver one wakeup per datagram, and
+/// a short burst is bounded by the timeout instead of waiting for the
+/// batch to fill. The same knob rides OP_ZC_RECV's a1 on UDP sockets.
+struct FfMsgBatchOpts {
+  std::uint64_t timeout_ns = 0;
+};
+
 /// One zero-copy RX loan: `data` is an exactly-bounded READ-ONLY capability
 /// straight into the RX mbuf data room that received the bytes — no copy
 /// through any socket buffer. The application reads the payload in place

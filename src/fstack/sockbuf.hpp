@@ -1,10 +1,12 @@
 // Socket buffers: byte rings over capability-bounded compartment memory.
 //
-// Both directions of every socket keep their bytes in tagged memory behind
-// an exactly-bounded capability (the data plane never leaves the CHERI
-// world). For TCP the send buffer doubles as the retransmission store:
-// bytes stay until cumulatively acknowledged, so the head of the ring is
-// always snd_una.
+// Bytes live in tagged memory behind an exactly-bounded capability (the
+// data plane never leaves the CHERI world). Since the TCP send queue
+// became a TxChain (tx_chain.hpp), SockBuf is the chain's COPY-PATH
+// backing ring: plain ff_write payload lands here and stays until
+// cumulatively acknowledged, interleaved in sequence order with the
+// chain's zero-copy mbuf slices; the head of the ring is always the first
+// unacked copied byte.
 #pragma once
 
 #include <cstdint>

@@ -325,6 +325,7 @@ void FfStack::udp_input(const Ipv4Header& ih, std::span<const std::byte> l4) {
   UdpDatagram d;
   d.src = ih.src;
   d.src_port = uh->src_port;
+  d.arrived = clock_->now();  // the burst-timeout reference point
   const auto body = l4.subspan(UdpHeader::kSize, uh->length - UdpHeader::kSize);
   // Queue the datagram as a loan of the RX data room whenever the payload
   // sits in one mbuf; reassembled fragments fall back to a copy. The
@@ -544,9 +545,11 @@ void FfStack::tcp_accept_ready(TcpPcb& listener, TcpPcb& child) {
 }
 
 TcpPcb* FfStack::make_pcb() {
-  SockBuf snd(heap_->alloc_view(cfg_.tcp.sndbuf_bytes));
-  // The receive side is a loan chain over RX mbufs — no byte ring, no
-  // eager copy; the budget replaces the old buffer's capacity.
+  // The send side interleaves the copy ring with retained zc mbuf slices
+  // (TxChain) — ff_zc_send payload is never byte-copied; the receive side
+  // is a loan chain over RX mbufs.
+  TxChain snd(SockBuf(heap_->alloc_view(cfg_.tcp.sndbuf_bytes)), pool_,
+              &tx_stats_);
   RxChain rcv(cfg_.tcp.rcvbuf_bytes, pool_, &rx_stats_);
   return new TcpPcb(this, cfg_.tcp, std::move(snd), std::move(rcv));
 }
@@ -608,7 +611,7 @@ int FfStack::sock_listen(int fd, int backlog) {
   if (s == nullptr || s->kind != SockKind::kTcp) return -EBADF;
   if (!s->bound) return -EINVAL;
   if (tcp_listeners_.contains(s->local_port)) return -EADDRINUSE;
-  auto pcb = std::make_unique<TcpPcb>(this, cfg_.tcp, SockBuf{}, RxChain{});
+  auto pcb = std::make_unique<TcpPcb>(this, cfg_.tcp, TxChain{}, RxChain{});
   pcb->open_listen(s->local_ip, s->local_port);
   pcb->backlog = std::max(backlog, 1);
   s->pcb = pcb.get();
@@ -756,6 +759,7 @@ std::int64_t FfStack::udp_emit_dgram(Socket* s, const machine::CapView& buf,
   uh.checksum = 0;
   uh.serialize(seg);
   buf.read(0, std::span<std::byte>{seg.data() + UdpHeader::kSize, n});
+  tx_stats_.copied_bytes += n;  // app payload copied into the TX datagram
   std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, ip, kIpProtoUdp,
                                       uh.length);
   sum = checksum_partial(seg, sum);
@@ -839,11 +843,26 @@ std::int64_t FfStack::sock_recvfrom(int fd, const machine::CapView& buf,
   return static_cast<std::int64_t>(copy);
 }
 
-std::int64_t FfStack::sock_recvmsg_batch(int fd, std::span<FfMsg> msgs) {
+bool FfStack::udp_burst_ready(const UdpPcb& u, std::size_t want,
+                              std::uint64_t timeout_ns) const {
+  if (!u.readable()) return false;
+  if (timeout_ns == 0 || u.queued() >= want) return true;
+  // recvmmsg-style coalescing: a short burst waits for the batch to fill,
+  // but never longer than the timeout measured from the OLDEST queued
+  // datagram's delivery — then the caller gets the short count.
+  const sim::Ns waited = clock_->now() - u.front().arrived;
+  return waited.count() >= 0 &&
+         static_cast<std::uint64_t>(waited.count()) >= timeout_ns;
+}
+
+std::int64_t FfStack::sock_recvmsg_batch(int fd, std::span<FfMsg> msgs,
+                                         const FfMsgBatchOpts& opts) {
   Socket* s = socks_.get(fd);
   if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
   if (msgs.empty()) return 0;
-  if (!s->udp->readable()) return -EAGAIN;
+  if (!udp_burst_ready(*s->udp, msgs.size(), opts.timeout_ns)) {
+    return -EAGAIN;
+  }
   sweep_msgs_store(msgs);
   api_.validation_sweeps++;
   api_.batch_calls++;
@@ -915,6 +934,14 @@ int FfStack::sock_zc_alloc(std::size_t len, FfZcBuf* out) {
   const std::size_t max_payload =
       cfg_.netif.mtu - Ipv4Header::kSize - UdpHeader::kSize;
   if (len > max_payload) return -EMSGSIZE;  // zc datagrams never fragment
+  // Keep a driver reserve: TCP zc reservations can now sit in send queues
+  // until cumulatively ACKed, and a sender allowed to pin the WHOLE pool
+  // would starve the RX burst of the very buffers that receive its ACKs —
+  // a self-inflicted deadlock no backoff could clear. -ENOBUFS is
+  // retriable; the reserve (an eighth of the pool, capped at 64 rooms)
+  // guarantees the datapath keeps moving.
+  const std::uint32_t reserve = std::min<std::uint32_t>(64, pool_->size() / 8);
+  if (pool_->available() <= reserve) return -ENOBUFS;
   updk::Mbuf* m = pool_->alloc();
   if (m == nullptr) return -ENOBUFS;
   constexpr std::uint32_t kL2L3L4 =
@@ -933,13 +960,58 @@ int FfStack::sock_zc_alloc(std::size_t len, FfZcBuf* out) {
 std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
                                    Ipv4Addr ip, std::uint16_t port) {
   Socket* s = socks_.get(fd);
-  if (s == nullptr || s->kind != SockKind::kUdp) return -EBADF;
+  if (s == nullptr ||
+      (s->kind != SockKind::kUdp && s->kind != SockKind::kTcp)) {
+    return -EBADF;
+  }
+  // Token lifecycle BEFORE anything else mutates: a replayed or forged
+  // token must answer -EINVAL while every byte of protocol state — TCP
+  // sequence space included — is still exactly as it was.
   const auto it = zc_pending_.find(zc.token);
   if (zc.token == 0 || it == zc_pending_.end()) {
-    return -EINVAL;  // double submit / send after abort
+    return -EINVAL;  // double submit / send after abort / forged token
   }
   updk::Mbuf* m = it->second;
   if (len > m->data_len) return -EMSGSIZE;  // reservation kept for retry
+
+  if (s->kind == SockKind::kTcp) {
+    // TCP zc TX: the slice joins the send queue as a retained reference —
+    // no byte store; tcp_output gathers segments straight from the data
+    // room and cumulative ACK releases it (ip/port are ignored: the
+    // connection addresses the peer).
+    TcpPcb* pcb = s->pcb;
+    if (pcb == nullptr || s->listening) return -EBADF;
+    if (pcb->error() != 0) {
+      // The connection is DEAD (reset / timed out): this payload can never
+      // be submitted, so the reservation is consumed and the buffer freed —
+      // a caller need not keep an abort path for a peer it can no longer
+      // talk to (and a retry pipeline must not leak one room per attempt).
+      const int err = pcb->error();
+      pool_->free(m);
+      zc_pending_.erase(it);
+      zc.token = 0;
+      zc.data = machine::CapView{};
+      return -err;
+    }
+    if (!pcb->connected()) {
+      return pcb->state() == TcpState::kSynSent ? -EAGAIN : -ENOTCONN;
+    }
+    if (!pcb->app_zc_send(m, m->data_off, static_cast<std::uint32_t>(len))) {
+      return -EAGAIN;  // send window full: reservation kept for retry
+    }
+    // Ownership moved to the send chain; the token is consumed.
+    zc_pending_.erase(it);
+    zc.token = 0;
+    zc.data = machine::CapView{};
+    api_.zc_sends++;
+    if (cfg_.inline_tcp_output) {
+      pcb->output();
+    } else {
+      pending_output_.insert(pcb);
+    }
+    return static_cast<std::int64_t>(len);
+  }
+
   if (!s->bound) {
     const int r = sock_bind(fd, Ipv4Addr{}, 0);
     if (r != 0) return r;
@@ -967,6 +1039,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     return -ENOBUFS;
   }
   api_.zc_sends++;
+  tx_stats_.zc_bytes += len;
   return static_cast<std::int64_t>(len);
 }
 
@@ -1091,7 +1164,8 @@ std::int64_t FfStack::udp_pop_loan(Socket* s, FfZcRxBuf& o) {
   return 1;
 }
 
-std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
+std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out,
+                                   const FfMsgBatchOpts& opts) {
   Socket* s = socks_.get(fd);
   if (s == nullptr) return -EBADF;
   if (out.empty()) return 0;
@@ -1120,6 +1194,12 @@ std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
     return -EAGAIN;
   }
   if (s->kind == SockKind::kUdp) {
+    // The recvmmsg-style burst gate: with a timeout, a short burst
+    // coalesces (-EAGAIN) until it fills or the oldest datagram has
+    // waited long enough — then the short count goes out.
+    if (!udp_burst_ready(*s->udp, out.size(), opts.timeout_ns)) {
+      return -EAGAIN;
+    }
     for (FfZcRxBuf& o : out) {
       const std::int64_t r = udp_pop_loan(s, o);
       if (r == -EAGAIN) break;
@@ -1309,7 +1389,10 @@ struct DecodedSqe {
 };
 
 /// Per-iteration drain budget: bounds the work one loop turn absorbs
-/// however deep the application sized its SQ.
+/// however deep the applications sized their SQs. The budget is shared by
+/// ALL attached rings, split fair-share with unused shares redistributed
+/// (drain_urings) — a heavy ring cannot starve a light one within an
+/// iteration.
 constexpr std::uint32_t kUringDrainBudget = 64;
 
 void decode_sqe(const machine::CapView& mem, std::uint64_t off,
@@ -1344,6 +1427,7 @@ void validate_sqe(DecodedSqe& d) {
     case UringOp::kNop:
     case UringOp::kZcSend:
     case UringOp::kZcRecv:
+    case UringOp::kZcAlloc:
     case UringOp::kRecycle:
     case UringOp::kAcceptMultishot:
     case UringOp::kEpollArm:
@@ -1418,18 +1502,19 @@ int FfStack::uring_doorbell(int id) {
   const auto it = urings_.find(id);
   if (it == urings_.end()) return -EBADF;
   api_.uring_doorbells++;
-  const std::uint32_t before =
-      it->second.mem.atomic_load_u32(FfUring::kSqHead);
-  uring_drain_one(it->second);
-  const std::uint32_t after =
-      it->second.mem.atomic_load_u32(FfUring::kSqHead);
+  // A doorbell is the one ring's own crossing: it gets the full budget
+  // (fair-sharing applies to the loop's per-iteration drain, where every
+  // attached ring competes).
+  const std::uint32_t consumed =
+      uring_drain_sqes(it->second, kUringDrainBudget);
+  uring_service_accept(it->second);
   // The doorbell runs on the CALLER's sealed jump; the main loop may well
   // still be parked. Leave the header telling the truth, or the next
   // empty->non-empty push would wrongly skip its doorbell and sit until
   // the heartbeat — the lost wakeup the bell exists to prevent.
   it->second.mem.atomic_store_u32(
       FfUring::kStackState, urings_parked_ ? kStackParked : kStackPolling);
-  return static_cast<int>(after - before);
+  return static_cast<int>(consumed);
 }
 
 void FfStack::urings_set_parked(bool parked) {
@@ -1443,7 +1528,29 @@ void FfStack::urings_set_parked(bool parked) {
 bool FfStack::drain_urings() {
   if (urings_parked_) urings_set_parked(false);  // transition store only
   bool progress = false;
-  for (auto& [id, r] : urings_) progress |= uring_drain_one(r);
+  if (!urings_.empty()) {
+    // Fair-share the per-iteration budget across attached rings: every
+    // ring gets an equal slice of the 64-SQE allowance each pass, and a
+    // pass's unused remainder redistributes to rings that still have
+    // pending submissions — a saturated ring can take at most the leftover
+    // after every light ring drained its share.
+    std::uint32_t budget = kUringDrainBudget;
+    bool spent_any = true;
+    while (budget > 0 && spent_any) {
+      spent_any = false;
+      const auto share = std::max<std::uint32_t>(
+          1, budget / static_cast<std::uint32_t>(urings_.size()));
+      for (auto& [id, r] : urings_) {
+        if (budget == 0) break;
+        const std::uint32_t spent =
+            uring_drain_sqes(r, std::min(share, budget));
+        budget -= spent;
+        spent_any |= spent > 0;
+        progress |= spent > 0;
+      }
+    }
+  }
+  for (auto& [id, r] : urings_) progress |= uring_service_accept(r);
   return progress;
 }
 
@@ -1481,12 +1588,13 @@ bool FfStack::uring_cq_emit(UringReg& r, std::uint64_t user_data,
   return true;
 }
 
-bool FfStack::uring_drain_one(UringReg& r) {
-  bool progress = false;
+std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
+  std::uint32_t consumed = 0;
+  budget = std::min(budget, kUringDrainBudget);  // decode scratch bound
   const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kSqTail);
   std::uint32_t head = r.mem.atomic_load_u32(FfUring::kSqHead);
   std::uint32_t pending = tail - head;
-  if (pending > 0) {
+  if (pending > 0 && budget > 0) {
     // Peek the HEAD entry's completion demand before committing to a
     // sweep: the drain is FIFO, so if the head cannot complete, nothing
     // can — skip entirely rather than re-decode the same window every
@@ -1494,8 +1602,9 @@ bool FfStack::uring_drain_one(UringReg& r) {
     const std::uint64_t hoff =
         FfUring::sqe_off(r.sq_cap, head & (r.sq_cap - 1));
     std::uint32_t head_need = 1;
-    if (static_cast<UringOp>(r.mem.load<std::uint32_t>(hoff)) ==
-        UringOp::kZcRecv) {
+    const auto head_op =
+        static_cast<UringOp>(r.mem.load<std::uint32_t>(hoff));
+    if (head_op == UringOp::kZcRecv || head_op == UringOp::kZcAlloc) {
       head_need = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
           r.mem.load<std::uint64_t>(hoff + 16), 1,
           std::min<std::uint32_t>(FfUringSqe::kMaxCaps, r.cq_cap)));
@@ -1507,8 +1616,8 @@ bool FfStack::uring_drain_one(UringReg& r) {
       pending = 0;
     }
   }
-  if (pending > 0) {
-    pending = std::min(pending, kUringDrainBudget);
+  if (pending > 0 && budget > 0) {
+    pending = std::min(pending, budget);
     api_.uring_drains++;
     // Pass 1: ONE capability validation sweep over the whole pending
     // window — the amortization Trampoline::invoke_batch performs for
@@ -1531,7 +1640,8 @@ bool FfStack::uring_drain_one(UringReg& r) {
     for (std::uint32_t i = 0; i < pending; ++i) {
       DecodedSqe& d = win[i];
       std::uint32_t need_cq = 1;
-      if (d.op == UringOp::kZcRecv && d.err == 0) {
+      if ((d.op == UringOp::kZcRecv || d.op == UringOp::kZcAlloc) &&
+          d.err == 0) {
         need_cq = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
             d.a[0], 1, std::min<std::uint32_t>(FfUringSqe::kMaxCaps,
                                                r.cq_cap)));
@@ -1586,10 +1696,40 @@ bool FfStack::uring_drain_one(UringReg& r) {
             uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
             break;
           }
+          case UringOp::kZcAlloc: {
+            // Ring-native zc TX reservations: each CQE hands back a token
+            // plus a WRITABLE exactly-bounded capability into a fresh mbuf
+            // data room — the app fills its payload in place and submits
+            // OP_ZC_SEND, with zero crossings for the whole round trip.
+            FfZcBuf bufs[FfUringSqe::kMaxCaps];
+            std::uint32_t got = 0;
+            std::int64_t err = 0;
+            for (; got < need_cq; ++got) {
+              const int rc = sock_zc_alloc(d.a[1], &bufs[got]);
+              if (rc != 0) {
+                err = rc;
+                break;
+              }
+            }
+            if (got == 0) {
+              uring_cq_emit(r, d.user_data, err, d.op, 0, 0, 0, nullptr);
+              api_.uring_sqe_errors++;
+            } else {
+              for (std::uint32_t k = 0; k < got; ++k) {
+                uring_cq_emit(r, d.user_data,
+                              static_cast<std::int64_t>(bufs[k].data.size()),
+                              d.op, k + 1 < got ? kCqeMore : 0,
+                              bufs[k].token, 0, &bufs[k].data);
+              }
+            }
+            break;
+          }
           case UringOp::kZcRecv: {
             FfZcRxBuf loans[FfUringSqe::kMaxCaps];
+            FfMsgBatchOpts opts;
+            opts.timeout_ns = d.a[1];  // UDP loan bursts: recvmmsg timeout
             const std::int64_t res =
-                sock_zc_recv(d.fd, {loans, need_cq});
+                sock_zc_recv(d.fd, {loans, need_cq}, opts);
             if (res > 0) {
               for (std::int64_t k = 0; k < res; ++k) {
                 FfZcRxBuf& ln = loans[k];
@@ -1601,9 +1741,21 @@ bool FfStack::uring_drain_one(UringReg& r) {
               }
             } else {
               // EOF carries its own flag: result 0 alone could also be a
-              // legal zero-length datagram loan (token in aux0).
+              // legal zero-length datagram loan (token in aux0). A burst
+              // still COALESCING (queued datagrams waiting out the a1
+              // timeout) marks aux1: readiness will NOT re-publish for an
+              // unchanged mask, so the consumer must repoll on its own
+              // schedule rather than wait for an event that never comes.
+              std::uint64_t coalescing = 0;
+              if (res == -EAGAIN) {
+                const Socket* sk = socks_.get(d.fd);
+                if (sk != nullptr && sk->kind == SockKind::kUdp &&
+                    sk->udp->readable()) {
+                  coalescing = 1;
+                }
+              }
               uring_cq_emit(r, d.user_data, res, d.op,
-                            res == 0 ? kCqeEof : 0, 0, 0, nullptr);
+                            res == 0 ? kCqeEof : 0, 0, coalescing, nullptr);
             }
             break;
           }
@@ -1674,13 +1826,12 @@ bool FfStack::uring_drain_one(UringReg& r) {
         }
       }
       ++head;
+      ++consumed;
       api_.uring_sqes++;
-      progress = true;
     }
     r.mem.atomic_store_u32(FfUring::kSqHead, head);  // release consumed
   }
-  progress |= uring_service_accept(r);
-  return progress;
+  return consumed;
 }
 
 void FfStack::uring_forget_epoll_arm(int epfd) {

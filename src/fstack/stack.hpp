@@ -79,10 +79,24 @@ class FfStack final : public TcpEnv {
   std::int64_t sock_writev(int fd, std::span<const FfIovec> iov);
   std::int64_t sock_readv(int fd, std::span<const FfIovec> iov);
   std::int64_t sock_sendmsg_batch(int fd, std::span<FfMsg> msgs);
-  std::int64_t sock_recvmsg_batch(int fd, std::span<FfMsg> msgs);
+  std::int64_t sock_recvmsg_batch(int fd, std::span<FfMsg> msgs) {
+    return sock_recvmsg_batch(fd, msgs, FfMsgBatchOpts{});
+  }
+  /// With opts.timeout_ns: coalesce until msgs.size() datagrams are queued
+  /// or the oldest has waited the timeout (-EAGAIN meanwhile), then return
+  /// the short count — both loan-mode and copy entries.
+  std::int64_t sock_recvmsg_batch(int fd, std::span<FfMsg> msgs,
+                                  const FfMsgBatchOpts& opts);
 
   // ---- zero-copy TX: payload written straight into an mbuf data room ----
   int sock_zc_alloc(std::size_t len, FfZcBuf* out);
+  /// Submit a zc reservation. UDP: headers prepend in the mbuf headroom and
+  /// the buffer goes to the driver. TCP (`ip`/`port` ignored): the slice
+  /// joins the send queue as a retained mbuf reference held until
+  /// cumulatively ACKed — retransmission re-reads the live data room; no
+  /// byte is ever copied into a socket buffer. A consumed/forged token is
+  /// -EINVAL BEFORE any protocol state mutates; -EAGAIN (TCP window full)
+  /// and -EMSGSIZE keep the reservation valid for retry.
   std::int64_t sock_zc_send(int fd, FfZcBuf& zc, std::size_t len, Ipv4Addr ip,
                             std::uint16_t port);
   int sock_zc_abort(FfZcBuf& zc);
@@ -93,7 +107,14 @@ class FfStack final : public TcpEnv {
   /// -ENOBUFS when a copy-backed slice could not bounce (retriable after
   /// recycling), -EMSGSIZE when the queued datagram can never fit a data
   /// room (drain it with the copy path), or -errno.
-  std::int64_t sock_zc_recv(int fd, std::span<FfZcRxBuf> out);
+  std::int64_t sock_zc_recv(int fd, std::span<FfZcRxBuf> out) {
+    return sock_zc_recv(fd, out, FfMsgBatchOpts{});
+  }
+  /// UDP loan bursts honor FfMsgBatchOpts::timeout_ns (recvmmsg-style
+  /// coalescing: -EAGAIN until the batch fills or the oldest queued
+  /// datagram has waited out the timeout, then the short count).
+  std::int64_t sock_zc_recv(int fd, std::span<FfZcRxBuf> out,
+                            const FfMsgBatchOpts& opts);
   /// Return one loan to the pool; -EINVAL on a consumed or forged token.
   int sock_zc_recycle(FfZcRxBuf& zc);
 
@@ -179,6 +200,9 @@ class FfStack final : public TcpEnv {
   /// Receive-path copy/loan accounting across all sockets (the RX census
   /// gates on the zero-copy path reporting zero copied bytes).
   [[nodiscard]] const RxStats& rx_stats() const noexcept { return rx_stats_; }
+  /// Send-path copy/zc accounting across all sockets (the TX census gates
+  /// on the TCP zc path reporting zero send-side byte copies).
+  [[nodiscard]] const TxStats& tx_stats() const noexcept { return tx_stats_; }
 
   /// The compartment-crossing counter this stack's calls are charged to.
   /// The scenario layer binds it to the owning cVM's Trampoline (Scenario 1)
@@ -247,6 +271,11 @@ class FfStack final : public TcpEnv {
   /// empty; retriable after recycling). Failed bounces leave the datagram
   /// queued.
   std::int64_t udp_pop_loan(Socket* s, FfZcRxBuf& o);
+  /// The recvmmsg-style coalescing gate both burst receive paths share:
+  /// ready when `want` datagrams are queued, the oldest queued datagram
+  /// has waited `timeout_ns`, or no timeout was requested.
+  [[nodiscard]] bool udp_burst_ready(const UdpPcb& u, std::size_t want,
+                                     std::uint64_t timeout_ns) const;
   std::int64_t udp_emit_dgram(Socket* s, const machine::CapView& buf,
                               std::size_t n, Ipv4Addr ip, std::uint16_t port);
   bool zc_transmit(updk::Mbuf* m, std::size_t len, std::uint16_t src_port,
@@ -267,8 +296,14 @@ class FfStack final : public TcpEnv {
     std::vector<AcceptArm> accept_arms;  // OP_ACCEPT_MULTISHOT listeners
     std::vector<int> epoll_arms;         // epfds sinking CQEs into this ring
   };
+  /// Drain every attached ring under ONE fair-shared per-iteration budget:
+  /// the 64-SQE allowance splits evenly across rings and unused shares
+  /// redistribute, so a heavy ring can no longer starve a light one within
+  /// an iteration.
   bool drain_urings();
-  bool uring_drain_one(UringReg& r);
+  /// Consume up to `budget` SQEs from one ring (decode + one validation
+  /// sweep + execute). Returns SQEs consumed.
+  std::uint32_t uring_drain_sqes(UringReg& r, std::uint32_t budget);
   /// Publish one CQE; false (and the ring's overflow word bumped) when the
   /// CQ is full — the caller defers, never drops.
   bool uring_cq_emit(UringReg& r, std::uint64_t user_data,
@@ -348,6 +383,7 @@ class FfStack final : public TcpEnv {
   std::size_t rx_cur_len_ = 0;
 
   RxStats rx_stats_;
+  TxStats tx_stats_;
   ApiStats api_;
   std::function<std::uint64_t()> crossing_probe_;
 };

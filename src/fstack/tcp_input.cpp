@@ -49,6 +49,7 @@ void TcpPcb::input(const TcpHeader& h, const TcpOptions& opts,
   if (h.has(tcpflag::kRst)) {
     error_ = ECONNRESET;
     state_ = TcpState::kClosed;
+    snd_.release_all();  // RST teardown frees every retained zc TX ref
     return;
   }
 

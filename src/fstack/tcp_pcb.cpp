@@ -22,7 +22,7 @@ const char* to_string(TcpState s) noexcept {
   return "?";
 }
 
-TcpPcb::TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, RxChain rcv)
+TcpPcb::TcpPcb(TcpEnv* env, const TcpConfig& cfg, TxChain snd, RxChain rcv)
     : env_(env), cfg_(cfg), snd_(std::move(snd)), rx_(std::move(rcv)),
       rto_(cfg.initial_rto) {}
 
@@ -47,6 +47,12 @@ void TcpPcb::open_connect(const FourTuple& tuple, std::uint32_t iss) {
 std::size_t TcpPcb::app_writev(std::span<const FfIovec> iov) {
   if (!connected() || fin_queued_) return 0;
   return snd_.writev_from(iov);
+}
+
+bool TcpPcb::app_zc_send(updk::Mbuf* m, std::uint32_t off,
+                         std::uint32_t len) {
+  if (!connected() || fin_queued_) return false;
+  return snd_.push_zc(m, off, len);
 }
 
 std::size_t TcpPcb::app_read(const machine::CapView& dst, std::size_t n) {
@@ -94,6 +100,9 @@ void TcpPcb::abort(int err) {
   }
   error_ = err;
   state_ = TcpState::kClosed;
+  // Hard teardown: nothing will ever be retransmitted again — release
+  // every retained zc TX reference now rather than when the PCB is reaped.
+  snd_.release_all();
 }
 
 void TcpPcb::negotiate_options(const TcpOptions& opts, bool we_offered) {

@@ -17,6 +17,7 @@
 #include "fstack/headers.hpp"
 #include "fstack/rx_chain.hpp"
 #include "fstack/sockbuf.hpp"
+#include "fstack/tx_chain.hpp"
 #include "sim/virtual_clock.hpp"
 
 namespace cherinet::fstack {
@@ -102,7 +103,7 @@ class TcpEnv {
 
 class TcpPcb {
  public:
-  TcpPcb(TcpEnv* env, const TcpConfig& cfg, SockBuf snd, RxChain rcv);
+  TcpPcb(TcpEnv* env, const TcpConfig& cfg, TxChain snd, RxChain rcv);
 
   // ---- lifecycle (socket layer) ----
   void open_listen(Ipv4Addr local_ip, std::uint16_t local_port);
@@ -111,6 +112,12 @@ class TcpPcb {
   /// bytes accepted (short count when the send buffer fills mid-batch).
   /// Single v1 writes arrive here too, as one-element batches.
   std::size_t app_writev(std::span<const FfIovec> iov);
+  /// Zero-copy send: append a retained mbuf slice to the send queue (the
+  /// chain takes over the caller's reference and holds it until cumulative
+  /// ACK — retransmission re-reads the still-live data room). All-or-
+  /// nothing; false when the send window has no room (reference NOT taken,
+  /// the caller's reservation stays valid for retry).
+  bool app_zc_send(updk::Mbuf* m, std::uint32_t off, std::uint32_t len);
   /// Read received bytes into the app capability — a LAZY copy out of the
   /// queued RX chain; returns bytes, 0 when nothing available (check
   /// eof()/error() to distinguish).
@@ -170,8 +177,9 @@ class TcpPcb {
   [[nodiscard]] sim::Ns rto() const noexcept { return rto_; }
   [[nodiscard]] std::uint16_t mss_eff() const noexcept { return mss_eff_; }
 
-  /// Copy unacknowledged send-buffer bytes (for the stack's segment
-  /// builder); `off` is relative to snd_una.
+  /// Gather unacknowledged send-queue bytes (for the stack's segment
+  /// builder); `off` is relative to snd_una. Mbuf-backed spans read
+  /// directly from their still-live data rooms.
   void peek_send(std::size_t off, std::span<std::byte> out) const {
     snd_.peek(off, out);
   }
@@ -251,8 +259,8 @@ class TcpPcb {
 
   TcpEnv* env_;
   TcpConfig cfg_;
-  SockBuf snd_;
-  RxChain rx_;  // loan-based receive queue (replaced the receive SockBuf)
+  TxChain snd_;  // interleaved copy/zc send queue + retransmission store
+  RxChain rx_;   // loan-based receive queue (replaced the receive SockBuf)
 
   TcpState state_ = TcpState::kClosed;
   FourTuple tuple_{};

@@ -14,6 +14,7 @@ bool TcpPcb::fire_rexmit(sim::Ns now) {
   if (++rexmit_shift_ > cfg_.max_rexmit) {
     error_ = ETIMEDOUT;
     state_ = TcpState::kClosed;
+    snd_.release_all();  // giving up: the retained zc TX refs go back too
     return true;
   }
   rto_ = std::min(rto_ * 2, cfg_.max_rto);  // backoff (RFC 6298 §5.5)

@@ -1,0 +1,136 @@
+#include "fstack/tx_chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cherinet::fstack {
+
+TxChain::TxChain(TxChain&& other) noexcept
+    : ring_(std::move(other.ring_)),
+      pool_(other.pool_),
+      stats_(other.stats_),
+      segs_(std::move(other.segs_)),
+      used_(other.used_) {
+  other.segs_.clear();
+  other.used_ = 0;
+  other.pool_ = nullptr;
+}
+
+TxChain& TxChain::operator=(TxChain&& other) noexcept {
+  if (this != &other) {
+    release_all();
+    ring_ = std::move(other.ring_);
+    pool_ = other.pool_;
+    stats_ = other.stats_;
+    segs_ = std::move(other.segs_);
+    used_ = other.used_;
+    other.segs_.clear();
+    other.used_ = 0;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void TxChain::release_all() {
+  for (Seg& s : segs_) {
+    if (s.m != nullptr && pool_ != nullptr) pool_->release_tx(s.m);
+  }
+  segs_.clear();
+  // The copy ring's bytes are dropped with their segments.
+  if (ring_.used() > 0) ring_.consume(ring_.used());
+  used_ = 0;
+}
+
+void TxChain::append_copied(std::size_t n) {
+  // Adjacent copy-backed bytes coalesce into one segment: the ring keeps
+  // them contiguous in chain order, so only a zc slice forces a boundary.
+  if (!segs_.empty() && segs_.back().m == nullptr) {
+    segs_.back().len += static_cast<std::uint32_t>(n);
+  } else {
+    segs_.push_back(Seg{nullptr, 0, static_cast<std::uint32_t>(n)});
+  }
+  used_ += n;
+  if (stats_ != nullptr) stats_->copied_bytes += n;
+}
+
+std::size_t TxChain::writev_from(std::span<const FfIovec> iov) {
+  // Clamp to the CHAIN budget, not just the ring's: zc bytes occupy the
+  // same configured send window even though their bytes live elsewhere.
+  std::size_t budget = free();
+  std::size_t total = 0;
+  for (const FfIovec& e : iov) {
+    if (e.len == 0) continue;
+    const std::size_t want = std::min(e.len, budget);
+    if (want == 0) break;
+    const std::size_t got = ring_.write_from(e.buf, 0, want);
+    total += got;
+    budget -= got;
+    if (got < e.len) break;  // budget filled mid-batch: short count
+  }
+  if (total > 0) append_copied(total);
+  return total;
+}
+
+bool TxChain::push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len) {
+  if (m == nullptr || len == 0 || pool_ == nullptr) return false;
+  if (len > free()) return false;  // all-or-nothing: token stays retriable
+  segs_.push_back(Seg{m, off, len});
+  used_ += len;
+  if (stats_ != nullptr) {
+    stats_->zc_bytes += len;
+    stats_->zc_segs++;
+  }
+  return true;
+}
+
+void TxChain::peek(std::size_t off, std::span<std::byte> out) const {
+  if (off + out.size() > used_) {
+    throw std::out_of_range("TxChain::peek beyond buffered data");
+  }
+  std::size_t done = 0;
+  std::size_t pos = 0;       // logical chain offset of the current segment
+  std::size_t ring_off = 0;  // copy-ring bytes preceding the current segment
+  for (const Seg& s : segs_) {
+    if (done == out.size()) break;
+    const std::size_t seg_end = pos + s.len;
+    if (off + done < seg_end) {
+      const std::size_t in_seg = off + done - pos;
+      const std::size_t k = std::min(out.size() - done, s.len - in_seg);
+      if (s.m != nullptr) {
+        // Gather straight out of the still-live data room (retransmission
+        // re-reads exactly these bytes).
+        s.m->room.window(s.off + in_seg, k).read(0, out.subspan(done, k));
+      } else {
+        ring_.peek(ring_off + in_seg, out.subspan(done, k));
+      }
+      done += k;
+    }
+    pos = seg_end;
+    if (s.m == nullptr) ring_off += s.len;
+  }
+}
+
+void TxChain::consume(std::size_t n) {
+  if (n > used_) {
+    throw std::out_of_range("TxChain::consume beyond buffered data");
+  }
+  used_ -= n;
+  while (n > 0) {
+    Seg& s = segs_.front();
+    const auto k = static_cast<std::uint32_t>(
+        std::min<std::size_t>(n, s.len));
+    if (s.m == nullptr) {
+      ring_.consume(k);
+    } else {
+      s.off += k;  // partial ACK trims the head slice in place
+    }
+    s.len -= k;
+    n -= k;
+    if (s.len == 0) {
+      if (s.m != nullptr && pool_ != nullptr) pool_->release_tx(s.m);
+      segs_.pop_front();
+    }
+  }
+}
+
+}  // namespace cherinet::fstack

@@ -1,0 +1,110 @@
+// TxChain: the TCP send queue / retransmission store, zero-copy capable.
+//
+// v2 send semantics copied every application byte into the send SockBuf and
+// held the BYTES until cumulatively acknowledged — the one remaining copy
+// after the PR-2/PR-3 receive path went loan-based. TxChain interleaves two
+// kinds of segments in strict sequence order instead:
+//
+//   * copy-backed: plain ff_write/ff_writev payload still lands in the
+//     capability-bounded byte ring (SockBuf) exactly as before;
+//   * mbuf-backed: ff_zc_send (and uring OP_ZC_SEND) on a TCP socket
+//     appends a *retained mbuf reference* — an (mbuf, offset, length)
+//     slice whose data room the application filled in place through the
+//     bounded capability ff_zc_alloc handed out. No byte store at all.
+//
+// tcp_output builds segments by gathering at a logical offset from snd_una,
+// reading straight out of the referenced data rooms; retransmission simply
+// re-reads the still-live mbuf. Cumulative ACK releases references from the
+// head — a partial ACK trims the head slice (off advances, len shrinks) so
+// the unacked tail stays addressable. Teardown (FIN completion, RST, RTO
+// give-up, destruction) releases every retained reference back to the pool.
+//
+// Budget: copied and zc bytes share the one configured sndbuf capacity at
+// BYTE granularity (a zc slice charges its payload length, not its data
+// room — TX rooms are dedicated allocations, not shared RX rooms, so pool
+// pressure is already bounded by ff_zc_alloc's -ENOBUFS).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "fstack/api_types.hpp"
+#include "fstack/sockbuf.hpp"
+#include "updk/mempool.hpp"
+
+namespace cherinet::fstack {
+
+/// Send-path census accounting shared by every chain of one stack instance
+/// (the TX mirror of RxStats): the zero-copy gate requires the zc path to
+/// show ZERO copied bytes for the queued volume.
+struct TxStats {
+  std::uint64_t copied_bytes = 0;  // app payload copied into stack TX stores
+  std::uint64_t zc_bytes = 0;      // payload queued as retained mbuf refs
+  std::uint64_t zc_segs = 0;       // mbuf-backed segments queued
+};
+
+class TxChain {
+ public:
+  TxChain() = default;
+  TxChain(SockBuf ring, updk::Mempool* pool, TxStats* stats)
+      : ring_(std::move(ring)), pool_(pool), stats_(stats) {}
+  TxChain(const TxChain&) = delete;
+  TxChain& operator=(const TxChain&) = delete;
+  TxChain(TxChain&& other) noexcept;
+  TxChain& operator=(TxChain&& other) noexcept;
+  ~TxChain() { release_all(); }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.capacity();
+  }
+  /// Unacknowledged bytes queued (copied + zc, in sequence order).
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t free() const noexcept {
+    return capacity() - used_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+
+  /// Gather-append a pre-validated iovec batch through the copy path.
+  /// Returns total bytes appended (short count when the budget fills).
+  std::size_t writev_from(std::span<const FfIovec> iov);
+
+  /// Append one zero-copy slice: the chain takes over the caller's mbuf
+  /// reference (ff_zc_alloc's reservation transfers here on success) and
+  /// holds it until cumulatively ACKed. All-or-nothing against the free
+  /// budget; returns false (reference NOT taken) when len does not fit.
+  bool push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len);
+
+  /// Copy out `out.size()` bytes at logical offset `off` from the head
+  /// (snd_una) — the segment builder's gather, reading mbuf-backed spans
+  /// directly from their still-live data rooms (retransmission re-reads
+  /// the same room).
+  void peek(std::size_t off, std::span<std::byte> out) const;
+
+  /// Drop `n` bytes from the head (cumulative ACK). Fully-acked mbuf
+  /// segments release their reference to the pool; a partial ACK trims the
+  /// head slice in place.
+  void consume(std::size_t n);
+
+  /// Release every retained mbuf reference and drop all queued bytes
+  /// (connection teardown: FIN completion reaps via the destructor, RST /
+  /// RTO give-up call this eagerly so a lingering PCB pins nothing).
+  void release_all();
+
+ private:
+  struct Seg {
+    updk::Mbuf* m = nullptr;  // nullptr => bytes live in the copy ring
+    std::uint32_t off = 0;    // mbuf-backed: data-room offset of byte 0
+    std::uint32_t len = 0;    // unacked bytes remaining in this segment
+  };
+
+  void append_copied(std::size_t n);
+
+  SockBuf ring_;  // copy-backed bytes (in chain order, FIFO)
+  updk::Mempool* pool_ = nullptr;
+  TxStats* stats_ = nullptr;
+  std::deque<Seg> segs_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cherinet::fstack

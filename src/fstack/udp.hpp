@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fstack/inet.hpp"
+#include "sim/virtual_clock.hpp"
 #include "updk/mempool.hpp"
 
 namespace cherinet::fstack {
@@ -19,6 +20,10 @@ namespace cherinet::fstack {
 struct UdpDatagram {
   Ipv4Addr src;
   std::uint16_t src_port = 0;
+  /// Delivery timestamp (stack clock) — what the recvmmsg-style burst
+  /// timeout measures: a batch call coalesces until the OLDEST queued
+  /// datagram has waited out FfMsgBatchOpts::timeout_ns.
+  sim::Ns arrived{0};
   std::vector<std::byte> data;   // copy fallback (mbuf == nullptr)
   updk::Mbuf* mbuf = nullptr;    // loaned data room (one reference held)
   std::uint32_t off = 0;

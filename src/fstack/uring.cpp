@@ -68,11 +68,14 @@ std::size_t FfUring::cq_pop(std::span<FfUringCqe> out) {
     c.aux0 = mem_.load<std::uint64_t>(off + 24);
     c.aux1 = mem_.load<std::uint64_t>(off + 32);
     // A loan CQE (any non-negative result without the EOF flag) carries
-    // the loan capability — including zero-length datagram loans.
-    c.cap = c.op == UringOp::kZcRecv && c.result >= 0 &&
-                    (c.flags & kCqeEof) == 0 && c.aux0 != 0
-                ? mem_.load_cap(off + kCqeCapOff)
-                : machine::CapView{};
+    // the loan capability — including zero-length datagram loans. A zc TX
+    // grant CQE (OP_ZC_ALLOC) carries the writable data-room capability
+    // the same way.
+    const bool carries_cap =
+        (c.op == UringOp::kZcRecv || c.op == UringOp::kZcAlloc) &&
+        c.result >= 0 && (c.flags & kCqeEof) == 0 && c.aux0 != 0;
+    c.cap = carries_cap ? mem_.load_cap(off + kCqeCapOff)
+                        : machine::CapView{};
     ++head;
     ++n;
   }

@@ -1064,68 +1064,69 @@ void probes_end(CensusProbes* p, std::uint64_t e0, std::uint64_t t0) {
   if (p->tramp_now) p->tramp_crossings += p->tramp_now() - t0;
 }
 
-/// TX over the ring: cover `total_bytes` with OP_WRITEV SQEs of up to 8
-/// MSS-sized iovec capabilities each; completions confirm (or shrink) the
-/// offered window. user_data carries the entry's offered byte count, so a
-/// short count or -EAGAIN re-offers the remainder.
-std::uint64_t uring_tx_loop(apps::FfOps& ops, const machine::CapView& buf,
-                            const machine::CapView& ring_mem,
-                            std::uint64_t total_bytes, std::size_t wsize,
-                            UringCensus* out, CensusProbes* probes,
-                            const std::function<bool(bool)>& turn) {
+/// Connection establishment shared by the TX census loops: classic
+/// readiness path; the ring phase begins — and is measured — from the
+/// arming crossing on. Returns the connected fd (and the epoll fd used to
+/// gate on EPOLLOUT) or -1 when the turn callback gave up.
+int census_tx_connect(apps::FfOps& ops, int* ep_out,
+                      const std::function<bool(bool)>& turn) {
   const int fd = ops.socket_stream();
   ops.connect(fd, MorelloTestbed::peer_ip(0), kIperfPort);
-  // Establish the connection with the classic readiness path; the ring
-  // phase begins — and is measured — from the arming crossing on.
   const int ep = ops.epoll_create();
   ops.epoll_ctl(ep, fstack::EpollOp::kAdd, fd, fstack::kEpollOut, 1);
   for (bool writable = false; !writable;) {
     fstack::FfEpollEvent ev[1];
     writable = ops.epoll_wait(ep, ev) > 0 &&
                (ev[0].events & fstack::kEpollOut) != 0;
-    if (!turn(false)) return 0;
+    if (!turn(false)) {
+      ops.close(ep);
+      ops.close(fd);
+      return -1;
+    }
   }
+  *ep_out = ep;
+  return fd;
+}
+
+/// TX over the ring: cover `total_bytes` with OP_WRITEV SQEs of up to 8
+/// MSS-sized iovec capabilities each via the shared UringTxProto
+/// (apps/uring_proto.hpp — the same submit/re-offer protocol the
+/// IperfClient ring port runs); the census adds its SQE/CQE counters and
+/// crossing envelope around it.
+std::uint64_t uring_tx_loop(apps::FfOps& ops, const machine::CapView& buf,
+                            const machine::CapView& ring_mem,
+                            std::uint64_t total_bytes, std::size_t wsize,
+                            UringCensus* out, CensusProbes* probes,
+                            const std::function<bool(bool)>& turn) {
+  int ep = -1;
+  const int fd = census_tx_connect(ops, &ep, turn);
+  if (fd < 0) return 0;
 
   std::uint64_t e0 = 0;
   std::uint64_t t0 = 0;
   probes_begin(probes, &e0, &t0);
   fstack::FfUring ring(ring_mem, kUringSqSlots, kUringCqSlots);
   const int id = ops.uring_attach(ring_mem, kUringSqSlots, kUringCqSlots);
-  if (id < 0) return 0;
+  if (id < 0) {
+    probes_end(probes, e0, t0);
+    ops.close(ep);
+    ops.close(fd);
+    return 0;
+  }
 
-  std::uint64_t offered = 0;  // bytes covered by in-flight SQEs
-  std::uint64_t acked = 0;    // bytes confirmed queued by CQEs
+  apps::UringTxProto proto(&ring, fd, buf, wsize,
+                           fstack::FfUringSqe::kMaxCaps);
   fstack::FfUringDoorbellPolicy bell;
-  while (acked < total_bytes) {
+  while (proto.acked() < total_bytes) {
     bool progress = false;
-    while (offered < total_bytes) {  // submit: plain capability stores
-      fstack::FfUringSqe sqe;
-      sqe.op = fstack::UringOp::kWritev;
-      sqe.fd = fd;
-      std::uint64_t chunk = 0;
-      for (; sqe.ncaps < fstack::FfUringSqe::kMaxCaps &&
-             offered + chunk < total_bytes;
-           ++sqe.ncaps) {
-        const std::size_t n =
-            std::min<std::uint64_t>(wsize, total_bytes - offered - chunk);
-        sqe.caps[sqe.ncaps] = buf.window(0, n);
-        chunk += n;
-      }
-      sqe.user_data = chunk;
-      if (ring.sq_push(sqe) == fstack::FfUring::Push::kFull) break;
-      offered += chunk;
-      out->sqes++;
-      progress = true;
-    }
+    const std::uint32_t pushed = proto.offer(total_bytes);
+    out->sqes += pushed;
+    progress |= pushed > 0;
     fstack::FfUringCqe cq[kUringReap];
     const std::size_t n = ring.cq_pop(cq);
     for (std::size_t i = 0; i < n; ++i) {
       out->cqes++;
-      const std::uint64_t exp = cq[i].user_data;
-      const std::uint64_t got =
-          cq[i].result > 0 ? static_cast<std::uint64_t>(cq[i].result) : 0;
-      acked += got;
-      if (got < exp) offered -= exp - got;  // re-offer the remainder
+      proto.on_cqe(cq[i]);
       progress = true;
     }
     if (bell.should_ring(ring, progress)) {
@@ -1138,7 +1139,69 @@ std::uint64_t uring_tx_loop(apps::FfOps& ops, const machine::CapView& buf,
   ops.uring_detach(id);
   ops.close(ep);
   ops.close(fd);
-  return acked;
+  return proto.acked();
+}
+
+/// Zero-copy TX over the ring: the full v3 TCP zc pipeline. OP_ZC_ALLOC
+/// grants writable bounded capabilities into mbuf data rooms, the payload
+/// is composed in place, OP_ZC_SEND queues retained references the stack
+/// holds until cumulative ACK — zero send-side byte copies AND zero
+/// crossings per op (the alloc round trip rides the ring too, so the
+/// doorbell-only crossing budget is unchanged from the OP_WRITEV path).
+std::uint64_t uring_zc_tx_loop(apps::FfOps& ops, const machine::CapView& buf,
+                               const machine::CapView& ring_mem,
+                               std::uint64_t total_bytes, std::size_t wsize,
+                               UringCensus* out, CensusProbes* probes,
+                               const std::function<bool(bool)>& turn) {
+  int ep = -1;
+  const int fd = census_tx_connect(ops, &ep, turn);
+  if (fd < 0) return 0;
+
+  std::uint64_t e0 = 0;
+  std::uint64_t t0 = 0;
+  probes_begin(probes, &e0, &t0);
+  fstack::FfUring ring(ring_mem, kUringSqSlots, kUringCqSlots);
+  const int id = ops.uring_attach(ring_mem, kUringSqSlots, kUringCqSlots);
+  if (id < 0) {
+    probes_end(probes, e0, t0);
+    ops.close(ep);
+    ops.close(fd);
+    return 0;
+  }
+
+  std::byte scratch[512];
+  apps::UringZcTxProto proto(
+      &ring, fd, wsize,
+      [&buf, &scratch](const machine::CapView& room, std::size_t len) {
+        // The application composes its payload straight into the granted
+        // data room — ITS write through ITS bounded capability, not a
+        // stack-side copy.
+        machine::cap_copy(room, 0, buf, 0, len, scratch);
+      });
+  fstack::FfUringDoorbellPolicy bell;
+  while (proto.acked() < total_bytes && !proto.failed()) {
+    bool progress = false;
+    const std::uint32_t pushed = proto.pump(total_bytes);
+    out->sqes += pushed;
+    progress |= pushed > 0;
+    fstack::FfUringCqe cq[kUringReap];
+    const std::size_t n = ring.cq_pop(cq);
+    for (std::size_t i = 0; i < n; ++i) {
+      out->cqes++;
+      proto.on_cqe(cq[i]);
+      progress = true;
+    }
+    if (bell.should_ring(ring, progress)) {
+      ops.uring_doorbell(id);
+      out->doorbells++;
+    }
+    if (!turn(progress)) break;
+  }
+  probes_end(probes, e0, t0);
+  ops.uring_detach(id);
+  ops.close(ep);
+  ops.close(fd);
+  return proto.acked();
 }
 
 /// RX over the ring: the full v3 pipeline. OP_ACCEPT_MULTISHOT posts the
@@ -1161,26 +1224,15 @@ std::uint64_t uring_rx_loop(apps::FfOps& ops,
   probes_begin(probes, &e0, &t0);
   fstack::FfUring ring(ring_mem, kUringSqSlots, kUringCqSlots);
   const int id = ops.uring_attach(ring_mem, kUringSqSlots, kUringCqSlots);
-  if (id < 0) return 0;
-
-  const auto push_sqe = [&](const fstack::FfUringSqe& sqe) -> bool {
-    if (ring.sq_push(sqe) == fstack::FfUring::Push::kFull) return false;
-    out->sqes++;
-    return true;
-  };
-
-  {
-    fstack::FfUringSqe arm;
-    arm.op = fstack::UringOp::kAcceptMultishot;
-    arm.fd = lfd;
-    arm.user_data = kUdAccept;
-    push_sqe(arm);
-    fstack::FfUringSqe eparm;
-    eparm.op = fstack::UringOp::kEpollArm;
-    eparm.fd = ep;
-    eparm.user_data = kUdEpoll;
-    push_sqe(eparm);
+  if (id < 0) {
+    probes_end(probes, e0, t0);
+    ops.close(ep);
+    ops.close(lfd);
+    return 0;
   }
+
+  if (apps::push_accept_arm(ring, lfd, kUdAccept)) out->sqes++;
+  if (apps::push_epoll_arm(ring, ep, kUdEpoll)) out->sqes++;
 
   int cfd = -1;
   bool hot = false;
@@ -1196,6 +1248,58 @@ std::uint64_t uring_rx_loop(apps::FfOps& ops,
                                    apps::classic_recycle_fallback(&ops));
   fstack::FfUringDoorbellPolicy bell;
 
+  // The shared receive-pipeline CQE discipline (apps/uring_proto.hpp —
+  // the same dispatch the IperfServer ring port runs) bound to the census
+  // loop's probe state.
+  struct CensusRxDispatch {
+    apps::FfOps& ops;
+    int ep;
+    int& cfd;
+    bool& hot;
+    bool& eof;
+    bool& zc_inflight;
+    std::uint64_t& got;
+    std::uint32_t& burst_loans;
+    RxDrainPacer& pacer;
+    std::uint32_t& coalesce;
+    fstack::FfUringRecycler& recycler;
+
+    void on_accept(int fd, const fstack::FfSockAddrIn&) {
+      if (cfd >= 0) return;
+      cfd = fd;
+      // The one residual classic call of the pipeline: register the
+      // accepted fd's readiness interest (one-time, per connection).
+      ops.epoll_ctl(ep, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
+                    static_cast<std::uint64_t>(cfd));
+      hot = true;
+    }
+    void on_readiness(std::uint32_t mask, std::uint64_t) {
+      // Mask-change publications include readable->quiet; only a
+      // readable/hangup mask warrants a drain burst.
+      if ((mask & (fstack::kEpollIn | fstack::kEpollHup)) != 0) hot = true;
+    }
+    void on_loan(const fstack::FfUringCqe& cqe) {
+      got += static_cast<std::uint64_t>(cqe.result);
+      burst_loans++;
+      recycler.add(cqe.aux0);
+    }
+    void on_eof(std::uint64_t) { eof = true; }
+    void on_drained(std::uint64_t) {
+      hot = false;  // drained: wait for the next readiness CQE
+    }
+    void on_coalescing(std::uint64_t) {
+      // stay hot: queued datagrams are waiting out the burst timeout
+    }
+    void on_burst_end(std::uint64_t) {
+      zc_inflight = false;
+      const std::uint32_t window =
+          pacer.on_drain(burst_loans, fstack::FfUringSqe::kMaxCaps);
+      coalesce = burst_loans == fstack::FfUringSqe::kMaxCaps ? window : 0;
+      burst_loans = 0;
+    }
+  } dispatch{ops,  ep,          cfd,   hot,      eof, zc_inflight,
+             got,  burst_loans, pacer, coalesce, recycler};
+
   while ((got < total_bytes && !eof) || zc_inflight) {
     bool progress = false;
     fstack::FfUringCqe cq[kUringReap];
@@ -1203,56 +1307,13 @@ std::uint64_t uring_rx_loop(apps::FfOps& ops,
     for (std::size_t i = 0; i < n; ++i) {
       out->cqes++;
       progress = true;
-      switch (cq[i].op) {
-        case fstack::UringOp::kAcceptMultishot:
-          if (cq[i].result >= 0 && cfd < 0) {
-            cfd = static_cast<int>(cq[i].result);
-            // The one residual classic call of the pipeline: register the
-            // accepted fd's readiness interest (one-time, per connection).
-            ops.epoll_ctl(ep, fstack::EpollOp::kAdd, cfd, fstack::kEpollIn,
-                          static_cast<std::uint64_t>(cfd));
-            hot = true;
-          }
-          break;
-        case fstack::UringOp::kEpollArm:
-          // Mask-change publications include readable->quiet; only a
-          // readable/hangup mask warrants a drain burst.
-          if ((cq[i].result & (fstack::kEpollIn | fstack::kEpollHup)) != 0) {
-            hot = true;
-          }
-          break;
-        case fstack::UringOp::kZcRecv:
-          if ((cq[i].flags & fstack::kCqeEof) != 0) {
-            eof = true;
-          } else if (cq[i].result >= 0) {  // loan (0-length ones included)
-            got += static_cast<std::uint64_t>(cq[i].result);
-            burst_loans++;
-            recycler.add(cq[i].aux0);
-          } else {
-            hot = false;  // drained: wait for the next readiness CQE
-          }
-          if ((cq[i].flags & fstack::kCqeMore) == 0) {
-            zc_inflight = false;
-            const std::uint32_t window = pacer.on_drain(
-                burst_loans, fstack::FfUringSqe::kMaxCaps);
-            coalesce =
-                burst_loans == fstack::FfUringSqe::kMaxCaps ? window : 0;
-            burst_loans = 0;
-          }
-          break;
-        case fstack::UringOp::kRecycle:
-        default:
-          break;
-      }
+      apps::dispatch_rx_cqe(cq[i], dispatch);
     }
     ++coalesce;
     if (cfd >= 0 && hot && !zc_inflight && !eof && got < total_bytes &&
         coalesce >= pacer.window) {
-      fstack::FfUringSqe sqe;
-      sqe.op = fstack::UringOp::kZcRecv;
-      sqe.fd = cfd;
-      sqe.a[0] = fstack::FfUringSqe::kMaxCaps;
-      if (push_sqe(sqe)) {
+      if (apps::push_zc_recv(ring, cfd, fstack::FfUringSqe::kMaxCaps, 0)) {
+        out->sqes++;
         zc_inflight = true;
         burst_loans = 0;
       }
@@ -1283,7 +1344,7 @@ std::uint64_t uring_rx_loop(apps::FfOps& ops,
 }  // namespace
 
 UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
-                                const TestbedOptions& opt) {
+                                const TestbedOptions& opt, bool zero_copy) {
   UringCensus out;
   const std::size_t wsize = 1448;
   const sim::CostModel price = sim::CostModel::morello();
@@ -1298,11 +1359,18 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
   std::atomic<bool> stop{false};
 
   // Like the v1/v2 census: the send buffer holds the whole volume so the
-  // comparison prices the per-call fixed costs, not backpressure.
+  // comparison prices the per-call fixed costs, not backpressure. (On the
+  // zc path the in-flight volume is additionally pool-bounded: alloc
+  // answers -ENOBUFS near exhaustion and the app coasts on ACK progress.)
   InstanceConfig icfg = tb.morello_cfg(0);
   icfg.tcp.sndbuf_bytes =
       std::max<std::size_t>(icfg.tcp.sndbuf_bytes, total_bytes + (64u << 10));
 
+  const auto tx_loop = zero_copy ? uring_zc_tx_loop : uring_tx_loop;
+  const auto sample_tx = [&out](fstack::FfStack& st) {
+    out.tx_copied_bytes = st.tx_stats().copied_bytes;
+    out.tx_zc_bytes = st.tx_stats().zc_bytes;
+  };
   CensusProbes probes;
   if (kind == ScenarioKind::kScenario1) {
     arb.expect_participants(2);
@@ -1316,7 +1384,7 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
       const machine::CapView buf = s1.alloc(wsize);
       const machine::CapView ring_mem = s1.alloc(ring_bytes);
       sim::Participant part(arb, "uring-census-probe");
-      out.bytes = uring_tx_loop(
+      out.bytes = tx_loop(
           s1.ops(), buf, ring_mem, total_bytes, wsize, &out, &probes,
           [&](bool did) {
             const std::uint64_t token = part.prepare();
@@ -1330,6 +1398,7 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
       for (int i = 0; i < 10000; ++i) {
         if (!inst.run_once()) break;  // drain FIN exchange
       }
+      sample_tx(inst.stack());
     });
     s1.cvm().join();
     peer.request_stop();
@@ -1362,15 +1431,14 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
     const machine::CapView buf = app.alloc(wsize);
     const machine::CapView ring_mem = app.alloc(ring_bytes);
     sim::Participant part(arb, "uring-census-probe");
-    out.bytes = uring_tx_loop(*ops, buf, ring_mem, total_bytes, wsize, &out,
-                              &probes, [&](bool did) {
-                                const std::uint64_t token = part.prepare();
-                                if (!did) {
-                                  part.wait(token,
-                                            clock.now() + kProbeHeartbeat);
-                                }
-                                return true;
-                              });
+    out.bytes = tx_loop(*ops, buf, ring_mem, total_bytes, wsize, &out,
+                        &probes, [&](bool did) {
+                          const std::uint64_t token = part.prepare();
+                          if (!did) {
+                            part.wait(token, clock.now() + kProbeHeartbeat);
+                          }
+                          return true;
+                        });
   });
   app.join();
   stop.store(true);
@@ -1378,6 +1446,7 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
   cvm1.join();
   peer.request_stop();
   peer.join();
+  sample_tx(inst.stack());
 
   const double entry_cost = static_cast<double>(
       price.trampoline_crossing().count() + price.domain_switch_extra.count());

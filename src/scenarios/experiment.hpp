@@ -195,14 +195,23 @@ struct UringCensus {
   /// residual per-call setup (e.g. the one epoll_ctl for an accepted fd).
   std::uint64_t crossings = 0;
   std::uint64_t doorbells = 0;  // doorbell crossings the app chose to make
+  /// Send-side bytes the stack copied into TX stores during the run (the
+  /// TCP zc TX gate requires exactly 0 — FfStack::tx_stats()).
+  std::uint64_t tx_copied_bytes = 0;
+  /// Payload bytes queued as retained mbuf references (the zc path).
+  std::uint64_t tx_zc_bytes = 0;
   double modeled_ns_per_mib = 0.0;
 };
 
-/// Send `total_bytes` of MSS-sized TCP payload through OP_WRITEV SQEs
-/// (8 exactly-bounded iovec caps per entry).
+/// Send `total_bytes` of MSS-sized TCP payload through the ring.
+/// zero_copy = false: OP_WRITEV SQEs (8 exactly-bounded iovec caps per
+/// entry). zero_copy = true: the TCP zc TX pipeline — OP_ZC_ALLOC grants
+/// writable mbuf data rooms, the payload is composed in place, OP_ZC_SEND
+/// queues retained references held until cumulative ACK; the gate requires
+/// zero send-side byte copies at the same doorbell-only crossing budget.
 [[nodiscard]] UringCensus run_uring_tx_census(
     ScenarioKind kind, std::uint64_t total_bytes,
-    const TestbedOptions& opt = TestbedOptions{});
+    const TestbedOptions& opt = TestbedOptions{}, bool zero_copy = false);
 
 /// Receive `total_bytes` through the full ring pipeline: OP_ACCEPT_MULTISHOT
 /// (accepted fds as CQEs), OP_EPOLL_ARM (readiness as CQEs), OP_ZC_RECV

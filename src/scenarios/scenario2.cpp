@@ -268,6 +268,38 @@ ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
         }
         return ok;
       }));
+  // Zero-copy TX: the alloc entry delegates a WRITABLE exactly-bounded
+  // view of a cVM1 mbuf data room back to the app (token marshals through
+  // the record buffer); the send entry consumes the token — on TCP the
+  // payload then lives in the network cVM as a retained reference until
+  // cumulative ACK, with no byte ever copied across the boundary.
+  e_zc_alloc_ = reg.install(
+      tag + ":ff_zc_alloc", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfZcBuf z;
+        const int r = fstack::ff_zc_alloc(*st, a.a[0], &z);
+        if (r != 0) return r;
+        a.caps[0] = z.data;  // the writable grant returns in a vector reg
+        a.cap0->store<std::uint64_t>(0, z.token);
+        return 0;
+      }));
+  e_zc_send_ = reg.install(
+      tag + ":ff_zc_send", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfZcBuf z;
+        z.token = a.a[1];
+        return fstack::ff_zc_send(
+            *st, static_cast<int>(a.a[0]), z, a.a[2],
+            {fstack::Ipv4Addr{static_cast<std::uint32_t>(a.a[3])},
+             static_cast<std::uint16_t>(a.a[4])});
+      }));
+  e_zc_abort_ = reg.install(
+      tag + ":ff_zc_abort", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        fstack::FfZcBuf z;
+        z.token = a.a[0];
+        return fstack::ff_zc_abort(*st, z);
+      }));
   e_ep_arm_ms_ = reg.install(
       tag + ":ff_epoll_wait_multishot", target,
       wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
@@ -488,6 +520,52 @@ std::int64_t ProxyFfOps::zc_recycle_batch(std::span<fstack::FfZcRxBuf> zcs) {
     i += n;
   }
   return total;
+}
+
+int ProxyFfOps::zc_alloc(std::size_t len, fstack::FfZcBuf* out) {
+  if (out == nullptr) return -EINVAL;
+  out->token = 0;
+  out->data = machine::CapView{};
+  machine::CrossCallArgs a;
+  a.a[0] = len;
+  a.cap0 = zc_buf_;
+  const int r = static_cast<int>(call(e_zc_alloc_, a));
+  if (r != 0) return r;
+  if (!a.caps[0].has_value()) return -EFAULT;
+  out->data = *a.caps[0];
+  out->token = zc_buf_.load<std::uint64_t>(0);
+  return 0;
+}
+
+std::int64_t ProxyFfOps::zc_send(int fd, fstack::FfZcBuf& zc,
+                                 std::size_t len,
+                                 const fstack::FfSockAddrIn& to) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = zc.token;
+  a.a[2] = len;
+  a.a[3] = to.ip.value;
+  a.a[4] = to.port;
+  const std::int64_t r = call(e_zc_send_, a);
+  // Mirror the stack's token lifecycle in the app-side handle: consumed on
+  // success (and on the UDP driver-full path, where the stack freed the
+  // buffer); kept for retry on -EAGAIN / -EMSGSIZE.
+  if (r >= 0 || r == -ENOBUFS) {
+    zc.token = 0;
+    zc.data = machine::CapView{};
+  }
+  return r;
+}
+
+int ProxyFfOps::zc_abort(fstack::FfZcBuf& zc) {
+  machine::CrossCallArgs a;
+  a.a[0] = zc.token;
+  const int r = static_cast<int>(call(e_zc_abort_, a));
+  if (r == 0) {
+    zc.token = 0;
+    zc.data = machine::CapView{};
+  }
+  return r;
 }
 
 int ProxyFfOps::epoll_wait_multishot(int epfd, const machine::CapView& ring,

@@ -74,6 +74,15 @@ class ProxyFfOps final : public apps::FfOps {
   /// Whole fd batch per sealed-entry crossing (one mutex acquisition
   /// drains the accept queue).
   int accept_batch(int fd, std::span<int> out) override;
+  /// Zero-copy TX across the compartment boundary: the alloc crossing
+  /// returns a WRITABLE exactly-bounded capability into a cVM1 mbuf data
+  /// room (the reverse delegation of zc_recv's read-only loans); the app
+  /// fills its payload in place and the send crossing submits the token —
+  /// on TCP the network cVM then holds the buffer until cumulative ACK.
+  int zc_alloc(std::size_t len, fstack::FfZcBuf* out) override;
+  std::int64_t zc_send(int fd, fstack::FfZcBuf& zc, std::size_t len,
+                       const fstack::FfSockAddrIn& to) override;
+  int zc_abort(fstack::FfZcBuf& zc) override;
   /// Zero-copy RX across the compartment boundary: each crossing returns
   /// up to CrossCallArgs::kMaxVecCaps exactly-bounded read-only loans in
   /// the vector capability registers (tokens + sources marshal through the
@@ -116,8 +125,8 @@ class ProxyFfOps final : public apps::FfOps {
   machine::SealedEntry e_socket_, e_bind_, e_listen_, e_accept_, e_connect_,
       e_write_, e_read_, e_writev_, e_readv_, e_close_, e_ep_create_,
       e_ep_ctl_, e_ep_wait_, e_accept_batch_, e_zc_recv_, e_zc_recycle_,
-      e_ep_arm_ms_, e_ep_cancel_ms_, e_uring_attach_, e_uring_detach_,
-      e_uring_doorbell_;
+      e_zc_alloc_, e_zc_send_, e_zc_abort_, e_ep_arm_ms_, e_ep_cancel_ms_,
+      e_uring_attach_, e_uring_detach_, e_uring_doorbell_;
 };
 
 }  // namespace cherinet::scen

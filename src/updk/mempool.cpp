@@ -87,6 +87,21 @@ void Mempool::free(Mbuf* m) {
   }
 }
 
+void Mempool::release_tx(Mbuf* m) {
+  if (m == nullptr) return;
+  if (m->pool != this) {
+    throw std::invalid_argument("Mempool::release_tx: foreign mbuf");
+  }
+  if (m->refcnt == 0) {
+    throw std::logic_error("Mempool::release_tx: double release");
+  }
+  if (--m->refcnt == 0) {
+    m->reset();
+    ++stats_.tx_releases;
+    free_ring_.enqueue(m->pool_index);
+  }
+}
+
 void Mempool::free_bulk(std::span<Mbuf* const> ms) {
   for (Mbuf* m : ms) {
     if (m != nullptr) free(m);

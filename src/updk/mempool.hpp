@@ -50,6 +50,13 @@ class Mempool {
   /// returns each rx_burst to the ring.
   void free_bulk(std::span<Mbuf* const> ms);
 
+  /// Drop one reference from the TCP send queue (TxChain): a zc TX room
+  /// held until cumulative ACK returns to the free ring pre-reset, exactly
+  /// like an RX loan recycle, but counted on its own so the TX census can
+  /// prove retained send buffers come back through acknowledgement (or
+  /// teardown) and nothing else.
+  void release_tx(Mbuf* m);
+
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(mbufs_.size());
   }
@@ -67,6 +74,7 @@ class Mempool {
     std::uint64_t alloc_failures = 0;
     std::uint64_t retains = 0;
     std::uint64_t recycles = 0;
+    std::uint64_t tx_releases = 0;  // zc TX refs released (ACK / teardown)
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

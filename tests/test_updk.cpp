@@ -128,6 +128,25 @@ TEST_F(PoolFixture, RetainSharesOwnershipRecycleReturnsAtZero) {
   EXPECT_THROW(pool.retain(m), std::logic_error);   // dead mbuf
 }
 
+TEST_F(PoolFixture, ReleaseTxReturnsSendQueueRefsOnItsOwnCounter) {
+  updk::Mempool pool(&heap, 4, 1024);
+  updk::Mbuf* m = pool.alloc();  // a zc TX reservation
+  ASSERT_NE(m, nullptr);
+  m->append(300);
+  // Cumulative ACK (or teardown) drops the send queue's reference: the
+  // room returns pre-reset, counted apart from frees AND recycles so the
+  // TX census can prove retained send buffers come back through exactly
+  // this path.
+  pool.release_tx(m);
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_EQ(pool.stats().tx_releases, 1u);
+  EXPECT_EQ(pool.stats().frees, 0u);
+  EXPECT_EQ(pool.stats().recycles, 0u);
+  EXPECT_EQ(m->data_len, 0u);
+  EXPECT_EQ(m->data_off, updk::kMbufHeadroom);
+  EXPECT_THROW(pool.release_tx(m), std::logic_error);  // double release
+}
+
 TEST_F(PoolFixture, LoanViewIsReadOnlyAndExactlyBounded) {
   updk::Mempool pool(&heap, 2, 1024);
   updk::Mbuf* m = pool.alloc();
