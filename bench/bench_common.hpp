@@ -221,13 +221,15 @@ inline int run_uring_gate(scen::ScenarioKind kind,
               static_cast<unsigned long long>(tx.doorbells),
               tx.modeled_ns_per_mib);
   std::printf("  v3 TX zc   : %8llu sqes  %8llu cqes  %4llu crossings "
-              "(%llu doorbells)  %10llu tx copies  %10llu zc B\n",
+              "(%llu doorbells)  %10llu tx copies  %10llu zc B  "
+              "%6llu emit reads\n",
               static_cast<unsigned long long>(txz.sqes),
               static_cast<unsigned long long>(txz.cqes),
               static_cast<unsigned long long>(txz.crossings),
               static_cast<unsigned long long>(txz.doorbells),
               static_cast<unsigned long long>(txz.tx_copied_bytes),
-              static_cast<unsigned long long>(txz.tx_zc_bytes));
+              static_cast<unsigned long long>(txz.tx_zc_bytes),
+              static_cast<unsigned long long>(txz.tx_emit_payload_reads));
   std::printf("  v3 RX ring : %8llu sqes  %8llu cqes  %4llu crossings "
               "(%llu doorbells)  %10.0f ns/MiB\n",
               static_cast<unsigned long long>(rx.sqes),
@@ -262,6 +264,17 @@ inline int run_uring_gate(scen::ScenarioKind kind,
                  "FAIL: TCP zc TX path queued only %llu zc bytes of %llu\n",
                  static_cast<unsigned long long>(txz.tx_zc_bytes),
                  static_cast<unsigned long long>(census_bytes));
+    return 1;
+  }
+  // Scatter-gather emission gate: frames leave as indirect mbuf chains
+  // with checksums COMPOSED from cached partials — the emission path may
+  // read back exactly zero payload bytes (no staging copy, no checksum
+  // re-read), first transmission and retransmission alike.
+  if (txz.tx_emit_payload_reads != 0) {
+    std::fprintf(stderr,
+                 "FAIL: zc TX emission re-read %llu payload bytes "
+                 "(expected 0: gather + cached checksums)\n",
+                 static_cast<unsigned long long>(txz.tx_emit_payload_reads));
     return 1;
   }
   if (tx.crossings * 2 > art->tx_v2.crossings) {
@@ -338,7 +351,8 @@ inline void emit_bench_json(const char* fig, const BenchArtifacts& a) {
                "\"ns_per_mib\": %.0f},\n"
                "    \"zc\":    {\"sqes\": %llu, \"cqes\": %llu, "
                "\"crossings\": %llu, \"doorbells\": %llu, "
-               "\"tx_copies\": %llu, \"zc_bytes\": %llu}\n  },\n",
+               "\"tx_copies\": %llu, \"zc_bytes\": %llu, "
+               "\"emit_payload_reads\": %llu}\n  },\n",
                u(a.tx_v1.api_calls), u(a.tx_v1.crossings),
                a.tx_v1.modeled_ns_per_mib, u(a.tx_v2.api_calls),
                u(a.tx_v2.crossings), a.tx_v2.modeled_ns_per_mib,
@@ -347,7 +361,8 @@ inline void emit_bench_json(const char* fig, const BenchArtifacts& a) {
                a.tx_uring.modeled_ns_per_mib, u(a.tx_uring_zc.sqes),
                u(a.tx_uring_zc.cqes), u(a.tx_uring_zc.crossings),
                u(a.tx_uring_zc.doorbells), u(a.tx_uring_zc.tx_copied_bytes),
-               u(a.tx_uring_zc.tx_zc_bytes));
+               u(a.tx_uring_zc.tx_zc_bytes),
+               u(a.tx_uring_zc.tx_emit_payload_reads));
   std::fprintf(f,
                "  \"rx\": {\n"
                "    \"v1\":    {\"calls\": %llu, \"crossings\": %llu, "

@@ -31,17 +31,32 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 status=0
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" || status=$?
 
-# Surface the crossing-census artifacts the fig4/fig5 smoke gates emit
-# (v1 / v2-batch / v3-uring crossings per byte volume): the perf
-# trajectory tracked across PRs. Printed even when ctest failed — a
-# failing run's numbers are exactly the ones worth reading.
-for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json; do
+# Table II bandwidth + driver-doorbell census: gates >= 8 frames per
+# tx_burst under sustained send load (the staged scatter-gather emission)
+# and persists goodput + burst figures as BENCH_table2.json. Reduced byte
+# volume keeps the CI run short; run the binary directly for paper scale.
+# Skipped on the sanitizer leg with the other wall-clock-sensitive runs.
+if [[ "$SANITIZE" != "1" ]]; then
+  CHERINET_BENCH_BYTES="${CHERINET_BENCH_BYTES:-2097152}" \
+  CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
+    "$BUILD_DIR"/bench_table2_tcp_bandwidth || status=$?
+fi
+
+# Surface the census artifacts the bench gates emit (v1 / v2-batch /
+# v3-uring crossings per byte volume; table2 goodput + frames per
+# tx_burst): the perf trajectory tracked across PRs. Printed even when a
+# gate failed — a failing run's numbers are exactly the ones worth reading.
+for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
+         "$BUILD_DIR"/BENCH_table2.json; do
   if [[ -f "$f" ]]; then
     echo "== bench artifact: $f"
     cat "$f"
-    # The TCP zc TX gate's persisted evidence: send-side byte copies on
-    # the zero-copy path (must be 0 — grep'able across PR runs).
+    # The zc TX gates' persisted evidence: send-side byte copies AND
+    # emission-time payload re-reads on the zero-copy path (both must be
+    # 0 — grep'able across PR runs).
     grep -o '"tx_copies": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"emit_payload_reads": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"frames_per_burst": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
   fi
 done
 exit "$status"

@@ -106,6 +106,37 @@
 //   * every v2 call above keeps working as a thin shim over the same
 //     stack internals — v3 is additive, not a flag day.
 //
+// v4: scatter-gather wire emission (no new surface; semantics below)
+// ------------------------------------------------------------------------
+// Frame emission is now true scatter-gather end to end (the API is
+// unchanged; what changed is what the stack does with the bytes):
+//   * headers serialize straight into a header mbuf's headroom; payload
+//     leaves as INDIRECT mbufs (updk::Mempool::alloc_indirect) chained
+//     over the still-live send-queue stores — zero payload byte copies at
+//     emission, first transmission and retransmission alike (the
+//     chained-mbuf driver ABI, ownership and the RX linearization rule
+//     are documented in updk/mbuf.hpp);
+//   * every slice admitted into a send queue caches its partial checksum,
+//     computed ONCE when the bytes enter the stack (during the admit copy
+//     for ff_write/ff_writev, one capability walk at ff_zc_send);
+//     per-segment checksumming composes those partials offset-aware
+//     (fstack/checksum.hpp checksum_combine) in O(#slices) — emission
+//     never re-reads payload (TxStats::emit_payload_reads gates at 0 for
+//     the zc census). MSS-sized zc slices keep segments slice-aligned;
+//   * outbound frames STAGE per main-loop turn and leave through one
+//     driver tx_burst of up to 32 chains (every emitting API call flushes
+//     before returning, so inline callers and Scenario-2 proxies keep
+//     synchronous wire progress); a full device ring defers staged frames
+//     to the next flush — backpressure, not loss;
+//   * receivers coalesce ACKs GRO-style (TcpConfig::ack_coalesce_segments,
+//     default every 8th in-order segment; the delayed-ACK timer bounds any
+//     tail), which is what lets the ACK-clocked sender fill those bursts;
+//     congestion control counts acked bytes (RFC 3465), so stretch ACKs
+//     do not slow cwnd growth;
+//   * frames to an unresolved next hop park on the ARP queue as mbufs,
+//     bounded per hop in frames AND bytes with a pending-resolution TTL
+//     (drops and expirations counted in ArpCache::Stats).
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.

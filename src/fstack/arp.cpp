@@ -12,19 +12,52 @@ void ArpCache::insert(Ipv4Addr ip, nic::MacAddr mac, sim::Ns now) {
   cache_[ip] = Entry{mac, now + cfg_.entry_ttl};
 }
 
-bool ArpCache::queue_pending(Ipv4Addr next_hop,
-                             std::vector<std::byte> ip_packet) {
-  auto& q = pending_[next_hop];
-  if (q.size() >= cfg_.max_pending_per_hop) return false;
-  q.push_back(std::move(ip_packet));
+bool ArpCache::park(Ipv4Addr next_hop, updk::Mbuf* frame, sim::Ns now) {
+  if (frame == nullptr) return false;
+  Hop& hop = pending_[next_hop];
+  const std::size_t bytes = frame->pkt_len();
+  if (hop.frames.size() >= cfg_.max_pending_per_hop ||
+      hop.bytes + bytes > cfg_.max_pending_bytes_per_hop) {
+    stats_.drops++;
+    stats_.dropped_bytes += bytes;
+    return false;
+  }
+  if (hop.frames.empty()) hop.oldest = now;
+  hop.frames.push_back(frame);
+  hop.bytes += bytes;
+  stats_.parked++;
   return true;
 }
 
-std::vector<std::vector<std::byte>> ArpCache::take_pending(Ipv4Addr ip) {
+std::vector<updk::Mbuf*> ArpCache::take_expired(sim::Ns now) {
+  std::vector<updk::Mbuf*> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Hop& hop = it->second;
+    if (!hop.frames.empty() && now - hop.oldest >= cfg_.pending_ttl) {
+      stats_.expired += hop.frames.size();
+      out.insert(out.end(), hop.frames.begin(), hop.frames.end());
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<updk::Mbuf*> ArpCache::take_parked(Ipv4Addr ip) {
   const auto it = pending_.find(ip);
   if (it == pending_.end()) return {};
-  auto out = std::move(it->second);
+  auto out = std::move(it->second.frames);
   pending_.erase(it);
+  return out;
+}
+
+std::vector<updk::Mbuf*> ArpCache::take_all_parked() {
+  std::vector<updk::Mbuf*> out;
+  for (auto& [ip, hop] : pending_) {
+    out.insert(out.end(), hop.frames.begin(), hop.frames.end());
+  }
+  pending_.clear();
   return out;
 }
 
@@ -39,7 +72,13 @@ bool ArpCache::should_request(Ipv4Addr ip, sim::Ns now) {
 
 std::size_t ArpCache::pending_packets() const noexcept {
   std::size_t n = 0;
-  for (const auto& [ip, q] : pending_) n += q.size();
+  for (const auto& [ip, hop] : pending_) n += hop.frames.size();
+  return n;
+}
+
+std::size_t ArpCache::pending_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [ip, hop] : pending_) n += hop.bytes;
   return n;
 }
 

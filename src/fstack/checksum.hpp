@@ -1,4 +1,13 @@
 // Internet checksum (RFC 1071) with pseudo-header support for TCP/UDP.
+//
+// Since the scatter-gather emission rework, checksums compose instead of
+// re-reading payload: every slice admitted into a send queue caches its own
+// partial sum (computed once, when the bytes enter the stack), and
+// checksum_combine() folds those cached partials into a segment sum at any
+// byte offset — the one's-complement sum is byte-order sensitive, so a
+// partial that lands on an odd offset is byte-swapped before it is added
+// (the classic RFC 1071 §2(C) trick). Per-segment checksumming is therefore
+// O(#slices), not O(bytes), and emission never touches payload memory.
 #pragma once
 
 #include <cstddef>
@@ -6,6 +15,7 @@
 #include <span>
 
 #include "fstack/inet.hpp"
+#include "machine/cap_view.hpp"
 
 namespace cherinet::fstack {
 
@@ -19,8 +29,47 @@ namespace cherinet::fstack {
                                             std::uint16_t l4_len,
                                             std::uint32_t sum = 0) noexcept;
 
+/// Fold a running sum to 16 bits WITHOUT the final inversion — the form a
+/// cached partial is stored in (checksum_combine byte-swaps it when the
+/// slice lands on an odd offset; an inverted sum could not be swapped).
+[[nodiscard]] constexpr std::uint16_t checksum_fold16(
+    std::uint32_t sum) noexcept {
+  while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
 /// Fold to the final 16-bit one's-complement checksum.
 [[nodiscard]] std::uint16_t checksum_finish(std::uint32_t sum) noexcept;
+
+/// Fold `part` (the partial sum of a slice, computed as if the slice began
+/// on an EVEN offset) into `sum` with the slice actually starting at byte
+/// offset `at` of the checksummed range. Odd offsets byte-swap the folded
+/// partial (RFC 1071 §2(C)): sums stay composable across arbitrary splits.
+[[nodiscard]] constexpr std::uint32_t checksum_combine(
+    std::uint32_t sum, std::uint32_t part, std::size_t at) noexcept {
+  std::uint16_t f = checksum_fold16(part);
+  if ((at & 1) != 0) {
+    f = static_cast<std::uint16_t>(((f & 0xFF) << 8) | (f >> 8));
+  }
+  return sum + f;
+}
+
+/// checksum_partial of `data` combined into `sum` at range offset `at`
+/// (convenience for producers that accumulate a slice sum chunk by chunk).
+[[nodiscard]] inline std::uint32_t checksum_partial_at(
+    std::span<const std::byte> data, std::size_t at,
+    std::uint32_t sum) noexcept {
+  return checksum_combine(sum, checksum_partial(data), at);
+}
+
+/// Partial sum of [off, off+len) read THROUGH a capability view — scalar
+/// loads only, no bounce buffer (the 512-byte scratch loops the datapath
+/// used to checksum through are gone). The result is even-aligned relative
+/// to `off` (combine with checksum_combine at the slice's packet offset).
+[[nodiscard]] std::uint32_t checksum_cap_partial(const machine::CapView& v,
+                                                 std::uint64_t off,
+                                                 std::size_t len,
+                                                 std::uint32_t sum = 0);
 
 /// One-shot checksum of a contiguous region.
 [[nodiscard]] inline std::uint16_t checksum(

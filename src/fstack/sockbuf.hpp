@@ -28,9 +28,13 @@ class SockBuf {
   [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
 
   /// Append from a caller capability (checked on both sides). Returns bytes
-  /// actually written (bounded by free space).
+  /// actually written (bounded by free space). When `csum` is non-null the
+  /// one's-complement partial sum of the admitted bytes (even-aligned
+  /// relative to the first byte written, checksum_combine form) accumulates
+  /// into it during the copy — the ONE pass the bytes make through the
+  /// stack also prices their wire checksum, so emission never re-reads.
   std::size_t write_from(const machine::CapView& src, std::size_t src_off,
-                         std::size_t n);
+                         std::size_t n, std::uint32_t* csum = nullptr);
 
   /// Gather-append a pre-validated iovec batch (the API layer has already
   /// swept bounds/permissions). Fills elements in order until the ring is
@@ -50,6 +54,21 @@ class SockBuf {
 
   /// Drop `n` bytes from the head (cumulative ACK).
   void consume(std::size_t n);
+
+  /// The backing capability view (scatter-gather emission windows it to
+  /// hand ring spans to the driver as indirect mbuf segments).
+  [[nodiscard]] const machine::CapView& memory() const noexcept {
+    return mem_;
+  }
+
+  /// Map logical [off, off+n) onto its <= 2 physical extents (the second
+  /// only when the range wraps the ring edge). Returns the extent count.
+  struct PhysSpan {
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+  std::size_t phys_spans(std::size_t off, std::size_t n,
+                         PhysSpan out[2]) const;
 
  private:
   machine::CapView mem_;

@@ -12,6 +12,10 @@ namespace cherinet::fstack {
 namespace {
 constexpr std::size_t kRxBurst = 32;
 constexpr std::size_t kFrameScratch = 1664;  // MTU + headers + slack
+// Most source extents one emitted frame may gather (header mbuf + this
+// many indirect payload segments). A range more fragmented than this
+// linearizes into the frame instead — a 9-descriptor chain stops paying.
+constexpr std::size_t kMaxTxPieces = 8;
 
 /// Copy a queued datagram out to a caller capability (loan- or copy-backed
 /// alike) — the one block ff_recvfrom and ff_recvmsg_batch share, so the
@@ -59,9 +63,12 @@ FfStack::FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
 
 FfStack::~FfStack() {
   // Release zero-copy reservations the application never submitted and
-  // loans it never recycled.
+  // loans it never recycled; drop staged frames and ARP-parked frames
+  // back to the pool (nothing transmits during teardown).
   for (auto& [token, m] : zc_pending_) pool_->free(m);
   for (auto& [token, loan] : zc_rx_loans_) pool_->recycle(loan.m);
+  for (std::size_t i = 0; i < tx_staged_; ++i) pool_->free_chain(tx_stage_[i]);
+  for (updk::Mbuf* m : arp_.take_all_parked()) pool_->free_chain(m);
 }
 
 // ===========================================================================
@@ -101,6 +108,13 @@ bool FfStack::run_once() {
 
   process_timers(clock_->now(), progress);
 
+  // Unresolvable hops must not pin pool buffers: frames parked past the
+  // ARP pending TTL drop here (their senders' protocols recover).
+  for (updk::Mbuf* m : arp_.take_expired(clock_->now())) {
+    pool_->free_chain(m);
+    progress = true;
+  }
+
   if (!pending_output_.empty()) {
     for (TcpPcb* pcb : pending_output_) progress |= pcb->output();
     pending_output_.clear();
@@ -109,6 +123,10 @@ bool FfStack::run_once() {
   // Drain every attached ff_uring: consume submissions, publish
   // completions, service multishot accept arms — zero crossings per op.
   progress |= drain_urings();
+
+  // Everything this turn emitted leaves in ONE driver burst: the doorbell
+  // amortizes per iteration like the compartment boundary already does.
+  progress |= flush_tx() > 0;
 
   reap_closed();
   publish_multishot();
@@ -160,6 +178,7 @@ void FfStack::reap_closed() {
         if (loan.pcb == pcb) loan.pcb = nullptr;
       }
       pending_output_.erase(pcb);
+      port_unref(pcb->tuple().local_port);
       tcp_pcbs_.erase(pcb->tuple());
       it = detached_.erase(it);
     } else {
@@ -239,9 +258,10 @@ void FfStack::arp_input(std::span<const std::byte> payload) {
   const sim::Ns now = clock_->now();
   arp_.insert(ah->spa, ah->sha, now);
 
-  // Flush anything parked on this resolution.
-  for (auto& pkt : arp_.take_pending(ah->spa)) {
-    transmit_frame(ah->sha, kEtherTypeIpv4, pkt);
+  // Flush anything parked on this resolution: the Ethernet header the
+  // frames were parked without finally prepends into their headroom.
+  for (updk::Mbuf* pkt : arp_.take_parked(ah->spa)) {
+    if (prepend_ether(pkt, ah->sha, kEtherTypeIpv4)) stage_frame(pkt);
   }
 
   if (ah->oper == ArpHeader::kOpRequest && ah->tpa == cfg_.netif.ip) {
@@ -447,44 +467,140 @@ bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
 
 bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
                                  Ipv4Addr next_hop) {
+  // Copy-path packets (ICMP, RST, fragmented/ARP-pending UDP) land in one
+  // owned mbuf and join the same staged chain pipeline as gathered frames.
+  updk::Mbuf* m = pool_->alloc();
+  if (m == nullptr) return false;
+  try {
+    m->append(static_cast<std::uint32_t>(ip_packet.size()))
+        .write(0, ip_packet);
+  } catch (const cheri::CapFault&) {
+    pool_->free(m);
+    return false;
+  }
+  return transmit_ip_chain(m, next_hop);
+}
+
+bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop) {
   const sim::Ns now = clock_->now();
   const auto mac = arp_.lookup(next_hop, now);
   if (!mac) {
     if (arp_.should_request(next_hop, now)) {
       send_arp(ArpHeader::kOpRequest, nic::MacAddr{}, next_hop);
     }
-    return arp_.queue_pending(
-        next_hop,
-        std::vector<std::byte>(ip_packet.begin(), ip_packet.end()));
+    // Park until the hop resolves. A CHAIN may reference live send-queue
+    // memory (ring spans stay valid only until the next ring write), so a
+    // parked frame is first linearized into one owned mbuf; a frame that
+    // is already a single direct buffer parks as-is.
+    updk::Mbuf* flat = head;
+    if (head->next != nullptr || head->indirect) {
+      flat = linearize_chain(head);
+      pool_->free_chain(head);
+      if (flat == nullptr) return false;
+    }
+    if (!arp_.park(next_hop, flat, now)) {  // hop queue capped: counted drop
+      pool_->free(flat);
+      return false;
+    }
+    return true;
   }
-  return transmit_frame(*mac, kEtherTypeIpv4, ip_packet);
+  if (!prepend_ether(head, *mac, kEtherTypeIpv4)) return false;
+  stage_frame(head);
+  return true;
+}
+
+bool FfStack::prepend_ether(updk::Mbuf* head, const nic::MacAddr& dst,
+                            std::uint16_t ethertype) {
+  EtherHeader eh;
+  eh.dst = dst;
+  eh.src = dev_->mac();
+  eh.ethertype = ethertype;
+  std::byte ehb[EtherHeader::kSize];
+  eh.serialize(ehb);
+  try {
+    head->prepend(EtherHeader::kSize).write(0, ehb);
+  } catch (const cheri::CapFault&) {
+    pool_->free_chain(head);
+    return false;
+  }
+  return true;
+}
+
+updk::Mbuf* FfStack::linearize_chain(updk::Mbuf* head) {
+  updk::Mbuf* flat = pool_->alloc();
+  if (flat == nullptr) return nullptr;
+  std::byte scratch[512];
+  try {
+    for (const updk::Mbuf* s = head; s != nullptr; s = s->next) {
+      if (s->data_len == 0) continue;
+      machine::cap_copy(flat->append(s->data_len), 0,
+                        s->room.window(s->data_off, s->data_len), 0,
+                        s->data_len, scratch);
+    }
+  } catch (const cheri::CapFault&) {
+    pool_->free(flat);
+    return nullptr;
+  }
+  // Counted apart from emit_payload_reads: this copy serves ARP parking
+  // (headers included), not segment emission — the gated metric stays a
+  // pure payload-re-read census.
+  tx_stats_.park_linearized_bytes += flat->data_len;
+  return flat;
+}
+
+void FfStack::stage_frame(updk::Mbuf* head) {
+  if (tx_staged_ == kTxStageCap) flush_tx();
+  if (tx_staged_ == kTxStageCap) {
+    // Flush made no progress with a full stage (unreachable with the
+    // polling device model, which drains on every burst): drop the oldest
+    // staged frame rather than overflow the stage — a genuine loss,
+    // counted apart from deferrals.
+    pool_->free_chain(tx_stage_[0]);
+    std::copy(tx_stage_.begin() + 1, tx_stage_.end(), tx_stage_.begin());
+    --tx_staged_;
+    stats_.tx_stage_drops++;
+  }
+  tx_stage_[tx_staged_++] = head;
+}
+
+std::size_t FfStack::flush_tx() {
+  if (tx_staged_ == 0) return 0;
+  // Bursts repeat while they make progress: each tx_burst polls the
+  // device, which drains fetched descriptors, so a small TX ring still
+  // absorbs a large stage in a few calls. Frames the ring cannot take THIS
+  // flush stay staged (backpressure, not loss) and retry at the next
+  // flush point; a chain no ring state could ever fit is consumed and
+  // dropped by the PMD itself.
+  std::size_t off = 0;
+  while (off < tx_staged_) {
+    const std::size_t sent = dev_->tx_burst(
+        {tx_stage_.data() + off, tx_staged_ - off});
+    if (sent == 0) break;
+    off += sent;
+  }
+  stats_.tx_frames += off;
+  if (off < tx_staged_) {
+    stats_.tx_stage_deferred += tx_staged_ - off;
+    std::copy(tx_stage_.begin() + static_cast<std::ptrdiff_t>(off),
+              tx_stage_.begin() + static_cast<std::ptrdiff_t>(tx_staged_),
+              tx_stage_.begin());
+  }
+  tx_staged_ -= off;
+  return off;
 }
 
 bool FfStack::transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
                              std::span<const std::byte> payload) {
   updk::Mbuf* m = pool_->alloc();
   if (m == nullptr) return false;
-  std::byte scratch[kFrameScratch];
-  EtherHeader eh;
-  eh.dst = dst;
-  eh.src = dev_->mac();
-  eh.ethertype = ethertype;
-  eh.serialize(scratch);
-  const std::size_t total = EtherHeader::kSize + payload.size();
-  std::copy(payload.begin(), payload.end(), scratch + EtherHeader::kSize);
   try {
-    auto view = m->append(static_cast<std::uint32_t>(total));
-    view.write(0, std::span<const std::byte>{scratch, total});
+    m->append(static_cast<std::uint32_t>(payload.size())).write(0, payload);
   } catch (const cheri::CapFault&) {
     pool_->free(m);
     return false;
   }
-  updk::Mbuf* burst[1] = {m};
-  if (dev_->tx_burst({burst, 1}) != 1) {
-    pool_->free(m);
-    return false;
-  }
-  stats_.tx_frames++;
+  if (!prepend_ether(m, dst, ethertype)) return false;
+  stage_frame(m);
   return true;
 }
 
@@ -510,24 +626,142 @@ void FfStack::send_arp(std::uint16_t oper, const nic::MacAddr& tha,
 bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
                        const TcpOptions& opts, std::size_t payload_off,
                        std::size_t payload_len) {
-  std::byte seg[kFrameScratch];
+  // Headers serialize into a small stack scratch; PAYLOAD never does — it
+  // leaves as indirect mbufs chained over the live send-queue stores.
+  std::byte hdrb[TcpHeader::kSize + 44];
   TcpHeader h = hdr;
-  h.serialize({seg, TcpHeader::kSize});
+  h.serialize({hdrb, TcpHeader::kSize});
   const std::size_t opt_len = opts.serialize(
-      std::span<std::byte>{seg + TcpHeader::kSize, 44});
+      std::span<std::byte>{hdrb + TcpHeader::kSize, 44});
   const std::size_t hlen = TcpHeader::kSize + opt_len;
-  seg[12] = static_cast<std::byte>((hlen / 4) << 4);
-  if (payload_len > 0) {
-    pcb.peek_send(payload_off, std::span<std::byte>{seg + hlen, payload_len});
-  }
+  hdrb[12] = static_cast<std::byte>((hlen / 4) << 4);
   const std::size_t total = hlen + payload_len;
+
+  if (Ipv4Header::kSize + total > cfg_.netif.mtu) {
+    // Over-MTU segment (never produced by our own PCBs, whose MSS fits one
+    // MTU): the legacy linearizing path still fragments correctly.
+    std::byte seg[kFrameScratch];
+    std::copy_n(hdrb, hlen, seg);
+    if (payload_len > 0) {
+      pcb.peek_send(payload_off,
+                    std::span<std::byte>{seg + hlen, payload_len});
+      tx_stats_.emit_payload_reads += payload_len;
+    }
+    std::uint32_t fsum = checksum_pseudo(pcb.tuple().local_ip,
+                                         pcb.tuple().remote_ip, kIpProtoTcp,
+                                         static_cast<std::uint16_t>(total));
+    fsum = checksum_partial(std::span<const std::byte>{seg, total}, fsum);
+    put_be16(seg + 16, checksum_finish(fsum));
+    return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp,
+                     std::span<const std::byte>{seg, total});
+  }
+
+  // Decompose the payload over the live chain stores. A range more
+  // fragmented than kMaxTxPieces linearizes instead (one bounded copy
+  // beats a 9+-descriptor chain).
+  TxPiece pieces[kMaxTxPieces];
+  std::size_t npieces = 0;
+  bool linearize = false;
+  if (payload_len > 0) {
+    npieces = pcb.gather_send(payload_off, payload_len,
+                              {pieces, kMaxTxPieces});
+    linearize = npieces == 0;
+  }
+
+  // Checksum: pseudo-header + serialized headers + payload COMPOSED from
+  // the chain's cached partials — checksum_combine folds each slice sum in
+  // at its packet offset, O(#slices) with zero payload re-reads on the
+  // aligned path (hlen is a multiple of 4, so payload parity == rel&1).
   std::uint32_t sum = checksum_pseudo(pcb.tuple().local_ip,
                                       pcb.tuple().remote_ip, kIpProtoTcp,
                                       static_cast<std::uint16_t>(total));
-  sum = checksum_partial(std::span<const std::byte>{seg, total}, sum);
-  put_be16(seg + 16, checksum_finish(sum));
-  return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp,
-                   std::span<const std::byte>{seg, total});
+  sum = checksum_partial(std::span<const std::byte>{hdrb, hlen}, sum);
+  std::byte lin[kFrameScratch];
+  if (linearize) {
+    pcb.peek_send(payload_off, std::span<std::byte>{lin, payload_len});
+    tx_stats_.emit_payload_reads += payload_len;
+    sum = checksum_partial_at({lin, payload_len}, 0, sum);
+  } else {
+    std::size_t rel = 0;
+    for (std::size_t i = 0; i < npieces; ++i) {
+      const TxPiece& p = pieces[i];
+      if (p.csum_ok) {
+        sum = checksum_combine(sum, p.csum, rel);
+      } else {
+        // No cached sum covers this exact range (a window-split or
+        // head-trimmed slice): one capability walk, counted.
+        const std::uint32_t part =
+            p.m != nullptr ? checksum_cap_partial(p.m->room, p.off, p.len)
+                           : checksum_cap_partial(p.view, 0, p.len);
+        sum = checksum_combine(sum, part, rel);
+        tx_stats_.emit_payload_reads += p.len;
+      }
+      rel += p.len;
+    }
+  }
+  put_be16(hdrb + 16, checksum_finish(sum));
+
+  // Header mbuf: TCP header/options at data start, headroom kept for the
+  // IP and Ethernet prepends (DPDK-style); payload chained behind it.
+  updk::Mbuf* head = pool_->alloc();
+  if (head == nullptr) return false;
+  try {
+    head->append(static_cast<std::uint32_t>(hlen))
+        .write(0, std::span<const std::byte>{hdrb, hlen});
+    if (linearize && payload_len > 0) {
+      head->append(static_cast<std::uint32_t>(payload_len))
+          .write(0, std::span<const std::byte>{lin, payload_len});
+    } else {
+      for (std::size_t i = 0; i < npieces; ++i) {
+        const TxPiece& p = pieces[i];
+        updk::Mbuf* seg =
+            p.m != nullptr ? pool_->alloc_indirect(p.m, p.off, p.len)
+                           : pool_->alloc_indirect_view(p.view);
+        if (seg == nullptr) {
+          // Indirect headers exhausted mid-chain: copy the remaining
+          // extents into one direct segment so frame byte order holds.
+          updk::Mbuf* copyseg = pool_->alloc();
+          if (copyseg == nullptr) {
+            pool_->free_chain(head);
+            return false;
+          }
+          std::byte scratch[512];
+          for (; i < npieces; ++i) {
+            const TxPiece& q = pieces[i];
+            const machine::CapView src =
+                q.m != nullptr ? q.m->room.window(q.off, q.len) : q.view;
+            machine::cap_copy(copyseg->append(q.len), 0, src, 0, q.len,
+                              scratch);
+            tx_stats_.emit_payload_reads += q.len;
+          }
+          head->chain(copyseg);
+          break;
+        }
+        head->chain(seg);
+      }
+    }
+  } catch (const cheri::CapFault&) {
+    pool_->free_chain(head);
+    return false;
+  }
+
+  // IPv4 header prepended into the headroom.
+  Ipv4Header ih;
+  ih.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize + total);
+  ih.id = ip_id_++;
+  ih.flags_frag = Ipv4Header::kFlagDF;
+  ih.proto = kIpProtoTcp;
+  ih.src = cfg_.netif.ip;
+  ih.dst = pcb.tuple().remote_ip;
+  std::byte ihb[Ipv4Header::kSize];
+  ih.serialize(ihb);
+  try {
+    head->prepend(Ipv4Header::kSize).write(0, ihb);
+  } catch (const cheri::CapFault&) {
+    pool_->free_chain(head);
+    return false;
+  }
+  return transmit_ip_chain(head, next_hop_for(pcb.tuple().remote_ip));
 }
 
 TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
@@ -536,6 +770,7 @@ TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
   auto pcb = std::unique_ptr<TcpPcb>(make_pcb());
   TcpPcb* raw = pcb.get();
   tcp_pcbs_.emplace(tuple, std::move(pcb));
+  port_ref(tuple.local_port);
   return raw;
 }
 
@@ -559,21 +794,26 @@ std::uint32_t FfStack::new_iss() {
   return static_cast<std::uint32_t>(iss_state_ >> 32);
 }
 
+void FfStack::port_ref(std::uint16_t p) { tcp_ports_[p]++; }
+
+void FfStack::port_unref(std::uint16_t p) {
+  const auto it = tcp_ports_.find(p);
+  if (it == tcp_ports_.end()) return;
+  if (--it->second == 0) tcp_ports_.erase(it);
+}
+
 std::uint16_t FfStack::alloc_ephemeral_port() {
+  // O(1) per candidate: the used-port set (tcp_ports_, maintained on PCB
+  // insert/erase) replaces the old scan over every live PCB — allocation
+  // stays constant-time with thousands of connections.
   for (int tries = 0; tries < 16384; ++tries) {
     const std::uint16_t p = next_ephemeral_;
     next_ephemeral_ =
         next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
-    bool used = udp_binds_.contains(p) || tcp_listeners_.contains(p);
-    if (!used) {
-      for (const auto& [t, pcb] : tcp_pcbs_) {
-        if (t.local_port == p) {
-          used = true;
-          break;
-        }
-      }
+    if (!udp_binds_.contains(p) && !tcp_listeners_.contains(p) &&
+        !tcp_ports_.contains(p)) {
+      return p;
     }
-    if (!used) return p;
   }
   return 0;
 }
@@ -660,8 +900,10 @@ int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
   auto pcb = std::unique_ptr<TcpPcb>(make_pcb());
   TcpPcb* raw = pcb.get();
   tcp_pcbs_.emplace(tuple, std::move(pcb));
+  port_ref(tuple.local_port);
   s->pcb = raw;
   raw->open_connect(tuple, new_iss());
+  flush_tx();  // the SYN leaves before the call returns
   return -EINPROGRESS;
 }
 
@@ -697,6 +939,14 @@ std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov,
   bool any_bytes = false;
   for (const FfIovec& e : iov) any_bytes |= e.len != 0;
   if (!any_bytes) return 0;  // empty batch / all zero-length: no-op
+  // Staged frames may hold indirect references into send-ring memory:
+  // flush them to the driver BEFORE this call writes into the ring, so a
+  // span freed by an earlier ACK cannot be overwritten while a staged
+  // frame still gathers from it. If the device ring is so wedged that the
+  // flush could not drain (tx_stage_deferred path), admitting bytes would
+  // break that lifetime contract — backpressure the caller instead.
+  flush_tx();
+  if (tx_staged_ != 0) return -EAGAIN;
   const std::size_t queued = pcb->app_writev(iov);
   if (queued == 0) return -EAGAIN;
   // One TCP push services the whole batch.
@@ -705,6 +955,7 @@ std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov,
   } else {
     pending_output_.insert(pcb);
   }
+  sync_flush();  // synchronous progress: the batch's segments leave now
   return static_cast<std::int64_t>(queued);
 }
 
@@ -740,6 +991,9 @@ std::int64_t FfStack::readv_impl(int fd, std::span<const FfIovec> iov) {
   }
   if (total > 0) {
     if (cfg_.inline_tcp_output) pcb->output();
+    // app_read may have emitted a window-reopening ACK even in deferred
+    // mode: it leaves before the call returns.
+    flush_tx();
     return static_cast<std::int64_t>(total);
   }
   if (!any_bytes) return 0;
@@ -781,7 +1035,9 @@ std::int64_t FfStack::sock_sendto(int fd, const machine::CapView& buf,
   }
   if (n > 65535 - UdpHeader::kSize) return -EMSGSIZE;
   api_.v1_calls++;
-  return udp_emit_dgram(s, buf, n, ip, port);
+  const std::int64_t r = udp_emit_dgram(s, buf, n, ip, port);
+  flush_tx();
+  return r;
 }
 
 std::int64_t FfStack::sock_sendmsg_batch(int fd, std::span<FfMsg> msgs) {
@@ -821,6 +1077,7 @@ std::int64_t FfStack::sendmsg_impl(int fd, std::span<FfMsg> msgs,
     m.result = udp_emit_dgram(s, m.buf, m.len, m.addr.ip, m.addr.port);
     ++sent;
   }
+  sync_flush();  // one driver burst covers the whole datagram batch
   return sent;
 }
 
@@ -996,7 +1253,14 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     if (!pcb->connected()) {
       return pcb->state() == TcpState::kSynSent ? -EAGAIN : -ENOTCONN;
     }
-    if (!pcb->app_zc_send(m, m->data_off, static_cast<std::uint32_t>(len))) {
+    // The slice's checksum is priced HERE, once, as the bytes enter the
+    // stack (one capability walk, no bounce buffer): emission — first
+    // transmission and every retransmission — composes cached sums and
+    // never reads the payload again.
+    const std::uint32_t csum =
+        checksum_cap_partial(m->room, m->data_off, len);
+    if (!pcb->app_zc_send(m, m->data_off, static_cast<std::uint32_t>(len),
+                          csum)) {
       return -EAGAIN;  // send window full: reservation kept for retry
     }
     // Ownership moved to the send chain; the token is consumed.
@@ -1009,6 +1273,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     } else {
       pending_output_.insert(pcb);
     }
+    sync_flush();  // synchronous progress for the inline path
     return static_cast<std::int64_t>(len);
   }
 
@@ -1031,24 +1296,31 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     const std::int64_t r = udp_emit_dgram(s, m->data(), len, ip, port);
     pool_->free(m);
     api_.zc_sends++;
+    sync_flush();
     return r;
   }
+  // Bytes enter the stack here: one capability walk prices the datagram's
+  // checksum (no 512-byte bounce scratch), cached for zc_transmit.
+  const std::uint32_t payload_sum =
+      checksum_cap_partial(m->room, m->data_off, len);
   m->trim(static_cast<std::uint32_t>(m->data_len - len));
-  if (!zc_transmit(m, len, s->local_port, ip, port, *mac)) {
+  if (!zc_transmit(m, len, payload_sum, s->local_port, ip, port, *mac)) {
     pool_->free(m);
     return -ENOBUFS;
   }
   api_.zc_sends++;
   tx_stats_.zc_bytes += len;
+  sync_flush();
   return static_cast<std::int64_t>(len);
 }
 
 bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
-                          std::uint16_t src_port, Ipv4Addr dst,
-                          std::uint16_t dst_port,
+                          std::uint32_t payload_sum, std::uint16_t src_port,
+                          Ipv4Addr dst, std::uint16_t dst_port,
                           const nic::MacAddr& dst_mac) {
-  // UDP checksum over pseudo-header + header + payload. The payload is read
-  // through the mbuf capability for the sum but never copied.
+  // UDP checksum over pseudo-header + header + payload: the payload's
+  // cached partial (computed when the bytes entered) composes in at its
+  // even offset — emission touches no payload byte.
   const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + len);
   std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, dst, kIpProtoUdp,
                                       udp_len);
@@ -1060,17 +1332,7 @@ bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
   uh.checksum = 0;
   uh.serialize(uh_bytes);
   sum = checksum_partial(uh_bytes, sum);
-  {
-    std::byte scratch[512];  // even-sized chunks keep byte pairing intact
-    const machine::CapView payload = m->data();
-    std::size_t done = 0;
-    while (done < len) {
-      const std::size_t chunk = std::min(len - done, sizeof scratch);
-      payload.read(done, std::span<std::byte>{scratch, chunk});
-      sum = checksum_partial(std::span<const std::byte>{scratch, chunk}, sum);
-      done += chunk;
-    }
-  }
+  sum = checksum_combine(sum, payload_sum, UdpHeader::kSize);
   std::uint16_t ck = checksum_finish(sum);
   if (ck == 0) ck = 0xFFFF;  // RFC 768
   put_be16(uh_bytes + 6, ck);
@@ -1095,9 +1357,7 @@ bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
   eh.serialize(eh_bytes);
   m->prepend(EtherHeader::kSize).write(0, eh_bytes);
 
-  updk::Mbuf* burst[1] = {m};
-  if (dev_->tx_burst({burst, 1}) != 1) return false;
-  stats_.tx_frames++;
+  stage_frame(m);
   return true;
 }
 
@@ -1224,6 +1484,7 @@ int FfStack::sock_zc_recycle(FfZcRxBuf& zc) {
   zc.token = 0;
   zc.data = machine::CapView{};
   api_.zc_rx_recycles++;
+  sync_flush();  // a reopened-window ACK leaves before the call returns
   return 0;
 }
 
@@ -1276,6 +1537,7 @@ int FfStack::sock_close(int fd) {
       break;
   }
   socks_.release(fd);
+  flush_tx();  // FIN/RST emission is synchronous with the close
   return 0;
 }
 
@@ -1508,6 +1770,7 @@ int FfStack::uring_doorbell(int id) {
   const std::uint32_t consumed =
       uring_drain_sqes(it->second, kUringDrainBudget);
   uring_service_accept(it->second);
+  flush_tx();  // the doorbell's drain must make synchronous wire progress
   // The doorbell runs on the CALLER's sealed jump; the main loop may well
   // still be parked. Leave the header telling the truth, or the next
   // empty->non-empty push would wrongly skip its doorbell and sit until
@@ -1590,6 +1853,11 @@ bool FfStack::uring_cq_emit(UringReg& r, std::uint64_t user_data,
 
 std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
   std::uint32_t consumed = 0;
+  // Ops executed by the drain defer their tail flushes (sync_flush) to the
+  // ONE flush the caller performs after the whole window — per-SQE driver
+  // doorbells would undo the amortization the ring exists for. The safety
+  // flush before send-ring writes is not affected.
+  in_uring_drain_ = true;
   budget = std::min(budget, kUringDrainBudget);  // decode scratch bound
   const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kSqTail);
   std::uint32_t head = r.mem.atomic_load_u32(FfUring::kSqHead);
@@ -1831,6 +2099,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
     }
     r.mem.atomic_store_u32(FfUring::kSqHead, head);  // release consumed
   }
+  in_uring_drain_ = false;
   return consumed;
 }
 
@@ -1882,6 +2151,7 @@ void FfStack::send_ping(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
   const auto msg =
       build_icmp_echo(IcmpHeader::kEchoRequest, id, seq, payload);
   send_ipv4(dst, kIpProtoIcmp, msg);
+  flush_tx();
 }
 
 }  // namespace cherinet::fstack

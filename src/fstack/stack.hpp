@@ -7,6 +7,7 @@
 // socket-buffer memory lives in tagged memory behind bounded capabilities.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -172,8 +173,20 @@ class FfStack final : public TcpEnv {
     std::uint64_t rx_dropped = 0;
     std::uint64_t tcp_rst_out = 0;
     std::uint64_t csum_errors = 0;
+    /// Frames a flush could not hand to the device (TX ring full): they
+    /// stay staged and retry at the next flush point — backpressure, not
+    /// loss.
+    std::uint64_t tx_stage_deferred = 0;
+    /// Frames dropped because the stage overflowed while the device made
+    /// no progress at all (unreachable with the polling device model;
+    /// counted apart from deferrals, which are never losses).
+    std::uint64_t tx_stage_drops = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// ARP pending-queue accounting (parked frames, capped-queue drops).
+  [[nodiscard]] const ArpCache::Stats& arp_stats() const noexcept {
+    return arp_.stats();
+  }
 
   /// API-v2 accounting: how well callers amortize the per-call fixed costs.
   struct ApiStats {
@@ -243,13 +256,41 @@ class FfStack final : public TcpEnv {
   void send_tcp_rst(const Ipv4Header& ih, const TcpHeader& th,
                     std::size_t payload_len);
 
-  // output path
+  // output path. Frames are STAGED per loop turn and flushed with one
+  // tx_burst of up to kTxStageCap chains (flush_tx) — the driver doorbell
+  // amortizes exactly like the compartment boundary. Every public entry
+  // point that can emit flushes before returning (synchronous progress for
+  // inline callers and Scenario-2 proxies); run_once flushes once per
+  // iteration for everything the datapath produced.
   bool send_ipv4(Ipv4Addr dst, std::uint8_t proto,
                  std::span<const std::byte> l4);
   bool transmit_ip_packet(std::span<const std::byte> ip_packet,
                           Ipv4Addr next_hop);
+  /// Resolve `next_hop`, prepend the Ethernet header into the chain head's
+  /// headroom and stage the frame; an unresolved hop parks the (linearized)
+  /// frame on the bounded ARP queue. Owns `head` — freed on failure.
+  bool transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop);
   bool transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
                       std::span<const std::byte> payload);
+  void stage_frame(updk::Mbuf* head);
+  /// Flush the TX stage with ONE driver burst; returns frames handed over.
+  std::size_t flush_tx();
+  /// The tail flush of an emitting API call: gives inline callers (and
+  /// Scenario-2 proxies) synchronous wire progress. Suppressed while a
+  /// uring drain is executing the ops — the drain flushes ONCE for the
+  /// whole SQE window, which is the doorbell amortization the ring exists
+  /// for (the safety flush before ring writes is never suppressed).
+  void sync_flush() {
+    if (!in_uring_drain_) flush_tx();
+  }
+  /// Prepend the Ethernet header into a chain head's headroom. False (and
+  /// the chain freed) when the headroom cannot take it.
+  bool prepend_ether(updk::Mbuf* head, const nic::MacAddr& dst,
+                     std::uint16_t ethertype);
+  /// Copy a chain into one fresh single-segment mbuf (ARP parking: a
+  /// parked frame may reference live ring spans that must not outlive the
+  /// next ring write). Null when the pool cannot supply the buffer.
+  [[nodiscard]] updk::Mbuf* linearize_chain(updk::Mbuf* head);
   void send_arp(std::uint16_t oper, const nic::MacAddr& tha, Ipv4Addr tpa);
   [[nodiscard]] Ipv4Addr next_hop_for(Ipv4Addr dst) const;
 
@@ -278,9 +319,11 @@ class FfStack final : public TcpEnv {
                                      std::uint64_t timeout_ns) const;
   std::int64_t udp_emit_dgram(Socket* s, const machine::CapView& buf,
                               std::size_t n, Ipv4Addr ip, std::uint16_t port);
-  bool zc_transmit(updk::Mbuf* m, std::size_t len, std::uint16_t src_port,
-                   Ipv4Addr dst, std::uint16_t dst_port,
-                   const nic::MacAddr& dst_mac);
+  /// `payload_sum`: the datagram's cached partial checksum, computed once
+  /// when the bytes entered at ff_zc_send — emission never re-reads them.
+  bool zc_transmit(updk::Mbuf* m, std::size_t len, std::uint32_t payload_sum,
+                   std::uint16_t src_port, Ipv4Addr dst,
+                   std::uint16_t dst_port, const nic::MacAddr& dst_mac);
 
   // ff_uring internals: one registration per attached ring. References
   // into `urings_` stay valid across insertions (std::map), which the
@@ -327,6 +370,11 @@ class FfStack final : public TcpEnv {
   /// publication so the masking/generation keying cannot diverge).
   int publish_ready(EpollInstance& ep);
   [[nodiscard]] std::uint16_t alloc_ephemeral_port();
+  /// Local-port reference counting for connected PCBs (several PCBs may
+  /// share a local port toward different remotes): keeps ephemeral-port
+  /// allocation O(1) instead of scanning every PCB per candidate.
+  void port_ref(std::uint16_t p);
+  void port_unref(std::uint16_t p);
   [[nodiscard]] std::uint32_t new_iss();
   TcpPcb* make_pcb();
 
@@ -346,6 +394,14 @@ class FfStack final : public TcpEnv {
   FragReassembler reasm_;
   PingTracker pings_;
   Stats stats_;
+  // Per-turn TX staging: emitted frames collect here and leave through one
+  // tx_burst per flush (end of run_once / end of each emitting API call).
+  static constexpr std::size_t kTxStageCap = 32;
+  std::array<updk::Mbuf*, kTxStageCap> tx_stage_{};
+  std::size_t tx_staged_ = 0;
+  // Connected-PCB local ports in use (port -> PCB count): O(1) ephemeral
+  // allocation however many thousand connections are live.
+  std::unordered_map<std::uint16_t, std::uint32_t> tcp_ports_;
   std::uint16_t next_ephemeral_ = 49152;
   std::uint16_t ip_id_ = 1;
   std::uint64_t iss_state_;
@@ -376,6 +432,9 @@ class FfStack final : public TcpEnv {
   // Last park state published into the ring headers: the polling word is
   // rewritten only on the parked->polling transition, not every iteration.
   bool urings_parked_ = false;
+  // True while a uring drain executes SQEs: per-op tail flushes defer to
+  // the drain's one end-of-window flush (see sync_flush).
+  bool in_uring_drain_ = false;
 
   // The RX-burst mbuf whose frame is currently being parsed (loan source).
   updk::Mbuf* rx_cur_ = nullptr;

@@ -299,8 +299,11 @@ void TcpPcb::process_payload(const TcpHeader& h,
     rcv_nxt_ += static_cast<std::uint32_t>(n);
     counters_.bytes_in += n;
     absorb_ooo();
-    if (++segs_since_ack_ >= 2) {
-      ack_now_ = true;  // ACK at least every second full segment (RFC 1122)
+    if (++segs_since_ack_ >= std::max(1u, cfg_.ack_coalesce_segments)) {
+      // Stretch-ACK coalescing (TcpConfig::ack_coalesce_segments): ACK on
+      // the Nth in-order segment; the delayed-ACK timer bounds the wait
+      // for any shorter tail.
+      ack_now_ = true;
     } else {
       schedule_ack();
     }

@@ -81,6 +81,18 @@ bool TcpPcb::output() {
       const std::uint32_t usable = wnd > offset ? wnd - offset : 0;
       std::size_t n = std::min<std::size_t>(
           {avail, static_cast<std::size_t>(usable), mss_eff_});
+      // Sender-side silly-window avoidance (RFC 1122 §4.2.3.4): a segment
+      // cut short by the WINDOW (not by running out of data) waits for the
+      // in-flight bytes to be acknowledged instead of emitting a runt.
+      // Keeping segments MSS-sized also keeps them aligned with the send
+      // chain's slices, so emission composes cached checksums instead of
+      // re-reading payload. Safe: offset > 0 here (the window is partly
+      // used), so ACKs are expected and the rexmit timer is armed; windows
+      // smaller than one MSS keep the old behaviour (no deadlock).
+      if (n > 0 && n < mss_eff_ && n < avail &&
+          std::min(snd_wnd_, cwnd_) >= mss_eff_) {
+        break;
+      }
       const bool last_chunk = n == avail;
       const bool fin_rides = fin_queued_ && last_chunk;
       if (n == 0 && !(fin_rides && avail == 0)) break;

@@ -49,10 +49,10 @@ std::size_t TcpPcb::app_writev(std::span<const FfIovec> iov) {
   return snd_.writev_from(iov);
 }
 
-bool TcpPcb::app_zc_send(updk::Mbuf* m, std::uint32_t off,
-                         std::uint32_t len) {
+bool TcpPcb::app_zc_send(updk::Mbuf* m, std::uint32_t off, std::uint32_t len,
+                         std::uint32_t csum) {
   if (!connected() || fin_queued_) return false;
-  return snd_.push_zc(m, off, len);
+  return snd_.push_zc(m, off, len, csum);
 }
 
 std::size_t TcpPcb::app_read(const machine::CapView& dst, std::size_t n) {
@@ -137,8 +137,10 @@ void TcpPcb::rtt_sample(sim::Ns rtt) {
 
 void TcpPcb::cc_on_new_ack(std::uint32_t acked_bytes) {
   if (cwnd_ < ssthresh_) {
-    // Slow start: cwnd grows by bytes acked (RFC 5681 §3.1).
-    cwnd_ += std::min(acked_bytes, std::uint32_t{mss_eff_});
+    // Slow start: appropriate byte counting (RFC 3465) — grow by the bytes
+    // the ACK actually covers, so stretch ACKs (ack_coalesce_segments)
+    // ramp exactly as fast as per-segment ACKs did.
+    cwnd_ += acked_bytes;
   } else {
     // Congestion avoidance: ~one MSS per RTT.
     const std::uint32_t inc =

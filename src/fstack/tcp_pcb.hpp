@@ -68,6 +68,16 @@ struct TcpConfig {
   std::uint32_t init_cwnd_segments = 10;  // RFC 6928
   std::uint32_t max_rexmit = 12;          // give up after ~12 backoffs
   std::uint32_t max_ooo_segments = 64;
+  /// GRO/LRO-style ACK coalescing: force an immediate ACK only every Nth
+  /// in-order full segment (modern stacks behind aggregating NICs stretch
+  /// well past RFC 1122's every-second-segment SHOULD). A PSH-marked
+  /// segment, an out-of-order signal, a window-reopening read, or the
+  /// delayed-ACK timer still ACK at once, so latency-sensitive tails never
+  /// wait. Fewer ACKs is also what lets the SENDER amortize its driver
+  /// doorbell: each ACK-clocked wakeup emits a whole stretch of segments
+  /// in one staged tx_burst. Congestion control counts acked BYTES
+  /// (RFC 3465 style), so stretch ACKs do not starve cwnd growth.
+  std::uint32_t ack_coalesce_segments = 8;
 };
 
 class TcpPcb;
@@ -114,10 +124,13 @@ class TcpPcb {
   std::size_t app_writev(std::span<const FfIovec> iov);
   /// Zero-copy send: append a retained mbuf slice to the send queue (the
   /// chain takes over the caller's reference and holds it until cumulative
-  /// ACK — retransmission re-reads the still-live data room). All-or-
-  /// nothing; false when the send window has no room (reference NOT taken,
-  /// the caller's reservation stays valid for retry).
-  bool app_zc_send(updk::Mbuf* m, std::uint32_t off, std::uint32_t len);
+  /// ACK — retransmission re-reads the still-live data room). `csum` is
+  /// the slice's cached partial checksum, computed once on entry so
+  /// emission never reads the payload again. All-or-nothing; false when
+  /// the send window has no room (reference NOT taken, the caller's
+  /// reservation stays valid for retry).
+  bool app_zc_send(updk::Mbuf* m, std::uint32_t off, std::uint32_t len,
+                   std::uint32_t csum);
   /// Read received bytes into the app capability — a LAZY copy out of the
   /// queued RX chain; returns bytes, 0 when nothing available (check
   /// eof()/error() to distinguish).
@@ -177,11 +190,18 @@ class TcpPcb {
   [[nodiscard]] sim::Ns rto() const noexcept { return rto_; }
   [[nodiscard]] std::uint16_t mss_eff() const noexcept { return mss_eff_; }
 
-  /// Gather unacknowledged send-queue bytes (for the stack's segment
-  /// builder); `off` is relative to snd_una. Mbuf-backed spans read
-  /// directly from their still-live data rooms.
+  /// Gather unacknowledged send-queue bytes (linearizing fallback / test
+  /// hook); `off` is relative to snd_una. Mbuf-backed spans read directly
+  /// from their still-live data rooms.
   void peek_send(std::size_t off, std::span<std::byte> out) const {
     snd_.peek(off, out);
+  }
+  /// Decompose [off, off+len) of the send queue into scatter-gather source
+  /// extents (tcp_emit chains them behind the header mbuf as indirect
+  /// segments). Returns the piece count; 0 = does not fit `out`.
+  std::size_t gather_send(std::size_t off, std::size_t len,
+                          std::span<TxPiece> out) const {
+    return snd_.gather(off, len, out);
   }
   /// Receive window currently advertised (bytes). Queued chain bytes AND
   /// outstanding zero-copy loans both consume it: a slow recycler throttles

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fstack/checksum.hpp"
+
 namespace cherinet::fstack {
 
 TxChain::TxChain(TxChain&& other) noexcept
@@ -41,17 +43,14 @@ void TxChain::release_all() {
   used_ = 0;
 }
 
-void TxChain::append_copied(std::size_t n) {
-  // Adjacent copy-backed bytes coalesce into one segment: the ring keeps
-  // them contiguous in chain order, so only a zc slice forces a boundary.
-  if (!segs_.empty() && segs_.back().m == nullptr) {
-    segs_.back().len += static_cast<std::uint32_t>(n);
-  } else {
-    segs_.push_back(Seg{nullptr, 0, static_cast<std::uint32_t>(n)});
-  }
-  used_ += n;
-  if (stats_ != nullptr) stats_->copied_bytes += n;
-}
+namespace {
+// Copy-backed slices below this size coalesce into their predecessor (sums
+// composing via checksum_combine), so a small-write workload cannot shatter
+// the chain into more extents per segment than gather() can carry. An
+// MSS-sized element stays its own slice — the alignment that lets emission
+// use its cached checksum whole.
+constexpr std::uint32_t kCoalesceBelow = 1448;
+}  // namespace
 
 std::size_t TxChain::writev_from(std::span<const FfIovec> iov) {
   // Clamp to the CHAIN budget, not just the ring's: zc bytes occupy the
@@ -62,19 +61,38 @@ std::size_t TxChain::writev_from(std::span<const FfIovec> iov) {
     if (e.len == 0) continue;
     const std::size_t want = std::min(e.len, budget);
     if (want == 0) break;
-    const std::size_t got = ring_.write_from(e.buf, 0, want);
+    std::uint32_t csum = 0;
+    const std::size_t got = ring_.write_from(e.buf, 0, want, &csum);
+    if (got > 0) {
+      // Adjacent copied bytes are contiguous in ring order, so a small
+      // back slice extends in place — its cached sum composes with the
+      // new bytes' sum at the extension offset's parity.
+      if (!segs_.empty() && segs_.back().m == nullptr &&
+          segs_.back().len < kCoalesceBelow) {
+        Seg& back = segs_.back();
+        if (back.csum_ok) {
+          back.csum = checksum_combine(back.csum, csum, back.len);
+        }
+        back.len += static_cast<std::uint32_t>(got);
+      } else {
+        segs_.push_back(
+            Seg{nullptr, 0, static_cast<std::uint32_t>(got), csum, true});
+      }
+      used_ += got;
+      if (stats_ != nullptr) stats_->copied_bytes += got;
+    }
     total += got;
     budget -= got;
     if (got < e.len) break;  // budget filled mid-batch: short count
   }
-  if (total > 0) append_copied(total);
   return total;
 }
 
-bool TxChain::push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len) {
+bool TxChain::push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len,
+                      std::uint32_t csum) {
   if (m == nullptr || len == 0 || pool_ == nullptr) return false;
   if (len > free()) return false;  // all-or-nothing: token stays retriable
-  segs_.push_back(Seg{m, off, len});
+  segs_.push_back(Seg{m, off, len, csum, true});
   used_ += len;
   if (stats_ != nullptr) {
     stats_->zc_bytes += len;
@@ -110,6 +128,50 @@ void TxChain::peek(std::size_t off, std::span<std::byte> out) const {
   }
 }
 
+std::size_t TxChain::gather(std::size_t off, std::size_t len,
+                            std::span<TxPiece> out) const {
+  if (off + len > used_) {
+    throw std::out_of_range("TxChain::gather beyond buffered data");
+  }
+  std::size_t n = 0;
+  std::size_t done = 0;
+  std::size_t pos = 0;       // logical chain offset of the current segment
+  std::size_t ring_off = 0;  // copy-ring bytes preceding the current segment
+  for (const Seg& s : segs_) {
+    if (done == len) break;
+    const std::size_t seg_end = pos + s.len;
+    if (off + done < seg_end) {
+      const std::size_t in_seg = off + done - pos;
+      const std::size_t k = std::min(len - done, s.len - in_seg);
+      // A cached sum covers the piece only when the piece IS the slice.
+      const bool whole = in_seg == 0 && k == s.len && s.csum_ok;
+      if (s.m != nullptr) {
+        if (n == out.size()) return 0;
+        out[n++] = TxPiece{s.m, machine::CapView{},
+                           static_cast<std::uint32_t>(s.off + in_seg),
+                           static_cast<std::uint32_t>(k), s.csum, whole};
+      } else {
+        SockBuf::PhysSpan ps[2];
+        const std::size_t nspans =
+            ring_.phys_spans(ring_off + in_seg, k, ps);
+        for (std::size_t i = 0; i < nspans; ++i) {
+          if (n == out.size()) return 0;
+          out[n++] = TxPiece{
+              nullptr, ring_.memory().window(ps[i].off, ps[i].len), 0,
+              static_cast<std::uint32_t>(ps[i].len), s.csum,
+              // A wrapped slice splits into two extents; the cached sum
+              // spans both, so only an unwrapped whole slice composes.
+              whole && nspans == 1};
+        }
+      }
+      done += k;
+    }
+    pos = seg_end;
+    if (s.m == nullptr) ring_off += s.len;
+  }
+  return n;
+}
+
 void TxChain::consume(std::size_t n) {
   if (n > used_) {
     throw std::out_of_range("TxChain::consume beyond buffered data");
@@ -129,6 +191,8 @@ void TxChain::consume(std::size_t n) {
     if (s.len == 0) {
       if (s.m != nullptr && pool_ != nullptr) pool_->release_tx(s.m);
       segs_.pop_front();
+    } else {
+      s.csum_ok = false;  // the cached sum covered the untrimmed slice
     }
   }
 }

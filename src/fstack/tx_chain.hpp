@@ -12,12 +12,19 @@
 //     slice whose data room the application filled in place through the
 //     bounded capability ff_zc_alloc handed out. No byte store at all.
 //
-// tcp_output builds segments by gathering at a logical offset from snd_una,
-// reading straight out of the referenced data rooms; retransmission simply
-// re-reads the still-live mbuf. Cumulative ACK releases references from the
-// head — a partial ACK trims the head slice (off advances, len shrinks) so
-// the unacked tail stays addressable. Teardown (FIN completion, RST, RTO
-// give-up, destruction) releases every retained reference back to the pool.
+// Emission is scatter-gather (PR 5): tcp_emit decomposes a segment's
+// [off, off+len) range into TxPieces via gather() — mbuf slices and ring
+// spans the stack turns into indirect mbufs chained behind the header mbuf,
+// so the driver fetches payload straight from the still-live stores and no
+// byte is copied at emission time, first transmission and retransmission
+// alike. Every slice also caches its PARTIAL CHECKSUM, computed exactly
+// once when the bytes enter the stack (during the admit copy for ff_write,
+// from one capability walk at ff_zc_send): a segment covering whole slices
+// checksums in O(#slices) via checksum_combine with zero payload re-reads.
+// Cumulative ACK releases references from the head — a partial ACK trims
+// the head slice (off advances, len shrinks, its cached sum invalidates).
+// Teardown (FIN completion, RST, RTO give-up, destruction) releases every
+// retained reference back to the pool.
 //
 // Budget: copied and zc bytes share the one configured sndbuf capacity at
 // BYTE granularity (a zc slice charges its payload length, not its data
@@ -37,11 +44,32 @@ namespace cherinet::fstack {
 
 /// Send-path census accounting shared by every chain of one stack instance
 /// (the TX mirror of RxStats): the zero-copy gate requires the zc path to
-/// show ZERO copied bytes for the queued volume.
+/// show ZERO copied bytes AND zero emission-time payload reads for the
+/// queued volume.
 struct TxStats {
   std::uint64_t copied_bytes = 0;  // app payload copied into stack TX stores
   std::uint64_t zc_bytes = 0;      // payload queued as retained mbuf refs
   std::uint64_t zc_segs = 0;       // mbuf-backed segments queued
+  /// Payload bytes the EMISSION path had to read back (linearize fallback
+  /// or a checksum over a range no cached partial covers). The gather path
+  /// keeps this at 0; the fig4/fig5 zc census gates on exactly that.
+  std::uint64_t emit_payload_reads = 0;
+  /// Frame bytes (headers included) copied to linearize a chain for ARP
+  /// parking — a cold-path copy counted apart from emission re-reads.
+  std::uint64_t park_linearized_bytes = 0;
+};
+
+/// One source extent of a segment's payload, produced by TxChain::gather:
+/// either a window into a retained mbuf's data room (m != nullptr) or a
+/// bounded view of the copy ring. `csum_ok` marks extents whose cached
+/// partial sum covers exactly this range (whole-slice coverage).
+struct TxPiece {
+  updk::Mbuf* m = nullptr;
+  machine::CapView view;    // ring-backed extents (m == nullptr)
+  std::uint32_t off = 0;    // data-room offset (mbuf-backed only)
+  std::uint32_t len = 0;
+  std::uint32_t csum = 0;   // cached partial, even-aligned at extent start
+  bool csum_ok = false;
 };
 
 class TxChain {
@@ -67,19 +95,29 @@ class TxChain {
 
   /// Gather-append a pre-validated iovec batch through the copy path.
   /// Returns total bytes appended (short count when the budget fills).
+  /// Each element becomes its own slice with its checksum cached during
+  /// the admit copy — emission composes sums instead of re-reading.
   std::size_t writev_from(std::span<const FfIovec> iov);
 
   /// Append one zero-copy slice: the chain takes over the caller's mbuf
   /// reference (ff_zc_alloc's reservation transfers here on success) and
-  /// holds it until cumulatively ACKed. All-or-nothing against the free
-  /// budget; returns false (reference NOT taken) when len does not fit.
-  bool push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len);
+  /// holds it until cumulatively ACKed. `csum` is the slice's partial
+  /// checksum, computed once by the caller when the bytes entered.
+  /// All-or-nothing against the free budget; returns false (reference NOT
+  /// taken) when len does not fit.
+  bool push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len,
+               std::uint32_t csum);
 
   /// Copy out `out.size()` bytes at logical offset `off` from the head
-  /// (snd_una) — the segment builder's gather, reading mbuf-backed spans
-  /// directly from their still-live data rooms (retransmission re-reads
-  /// the same room).
+  /// (snd_una) — the linearizing fallback (and test hook); the emission
+  /// hot path uses gather() instead.
   void peek(std::size_t off, std::span<std::byte> out) const;
+
+  /// Decompose [off, off+len) into source extents for scatter-gather
+  /// emission. Returns the piece count, or 0 when the range needs more
+  /// than out.size() pieces (the caller falls back to peek()).
+  std::size_t gather(std::size_t off, std::size_t len,
+                     std::span<TxPiece> out) const;
 
   /// Drop `n` bytes from the head (cumulative ACK). Fully-acked mbuf
   /// segments release their reference to the pool; a partial ACK trims the
@@ -96,9 +134,9 @@ class TxChain {
     updk::Mbuf* m = nullptr;  // nullptr => bytes live in the copy ring
     std::uint32_t off = 0;    // mbuf-backed: data-room offset of byte 0
     std::uint32_t len = 0;    // unacked bytes remaining in this segment
+    std::uint32_t csum = 0;   // partial sum of [off, off+len), even-aligned
+    bool csum_ok = false;     // false once a head trim stales the sum
   };
-
-  void append_copied(std::size_t n);
 
   SockBuf ring_;  // copy-backed bytes (in chain order, FIFO)
   updk::Mempool* pool_ = nullptr;

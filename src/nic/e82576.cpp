@@ -60,19 +60,32 @@ void E82576Port::process_tx(E82576Device& dev, sim::Ns now) {
   while (tx_count_ != 0 && tdh_ != tdt_) {
     const std::uint64_t daddr = tx_base_ + std::uint64_t{tdh_} * sizeof(TxDesc);
     TxDesc d = mem.load_scalar<TxDesc>(auth, daddr);
-    if ((d.cmd & kTxCmdEOP) != 0 && d.length > 0) {
-      // Fetch the frame through the DMA capability (bounds-checked) and
-      // append the FCS the MAC computes.
-      Frame f;
-      f.data.resize(d.length + 4);
+    if (d.length > 0) {
+      // Fetch this segment through the DMA capability (bounds-checked per
+      // descriptor): a descriptor without EOP extends the frame, so the
+      // device gathers chained-mbuf segments straight from their rooms.
+      const std::size_t at = tx_accum_.size();
+      tx_accum_.resize(at + d.length);
       mem.load(auth, d.buffer_addr,
-               std::span<std::byte>{f.data.data(), d.length});
-      const std::uint32_t fcs = crc32_ieee(
-          std::span<const std::byte>{f.data.data(), d.length});
-      std::memcpy(f.data.data() + d.length, &fcs, 4);
-      stats_.tx_packets++;
-      stats_.tx_bytes += d.length;
-      wire_->transmit(wire_side_, std::move(f), now);
+               std::span<std::byte>{tx_accum_.data() + at, d.length});
+    }
+    if ((d.cmd & kTxCmdEOP) != 0) {
+      if (!tx_accum_.empty()) {
+        // The frame is complete: append the FCS the MAC computes. The wire
+        // carries it linearized — the receive side always lands whole
+        // frames into single descriptor buffers (RX linearization rule).
+        Frame f;
+        const std::size_t len = tx_accum_.size();
+        f.data.resize(len + 4);
+        std::memcpy(f.data.data(), tx_accum_.data(), len);
+        const std::uint32_t fcs = crc32_ieee(
+            std::span<const std::byte>{f.data.data(), len});
+        std::memcpy(f.data.data() + len, &fcs, 4);
+        stats_.tx_packets++;
+        stats_.tx_bytes += len;
+        wire_->transmit(wire_side_, std::move(f), now);
+      }
+      tx_accum_.clear();
     }
     // Descriptor write-back.
     d.status |= kTxStatusDD;

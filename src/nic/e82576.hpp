@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "cheri/capability.hpp"
 #include "cheri/tagged_memory.hpp"
@@ -109,6 +110,10 @@ class E82576Port {
   std::uint32_t rx_count_ = 0, tx_count_ = 0;
   std::uint32_t rx_buf_size_ = 0;
   std::uint32_t rdh_ = 0, rdt_ = 0, tdh_ = 0, tdt_ = 0;
+  // Multi-descriptor TX frames (scatter-gather): segment buffers accumulate
+  // here until the EOP descriptor completes the frame (82576 §7.2.1 —
+  // descriptors without EOP extend the packet).
+  std::vector<std::byte> tx_accum_;
   Stats stats_;
 };
 

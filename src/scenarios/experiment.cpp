@@ -78,6 +78,7 @@ InstanceConfig MorelloTestbed::morello_cfg(int port) const {
   InstanceConfig c;
   c.netif.ip = morello_ip(port);
   c.tcp.mss = opt_.mss;
+  c.tcp.sndbuf_bytes = opt_.sndbuf_bytes;
   c.inline_tcp_output = opt_.inline_tcp_output;
   return c;
 }
@@ -242,6 +243,11 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
         const auto& r = tb.peer(i).server()->report();
         out.endpoints.push_back({sd.label, r.bytes, r.mbit_per_sec()});
       }
+      const updk::EthStats es =
+          (sd.s1 ? sd.s1->instance() : sd.bp->instance()).dev().stats();
+      out.morello_tx.frames += es.opackets;
+      out.morello_tx.bursts += es.tx_bursts;
+      out.morello_tx.segs += es.tx_segs;
     }
     return out;
   }
@@ -303,6 +309,13 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
   cvm1.join();
   peer.request_stop();
   peer.join();
+
+  {
+    const updk::EthStats es = inst.dev().stats();
+    out.morello_tx.frames = es.opackets;
+    out.morello_tx.bursts = es.tx_bursts;
+    out.morello_tx.segs = es.tx_segs;
+  }
 
   if (dir == Direction::kMorelloReceives) {
     for (auto& a : app) {
@@ -1370,6 +1383,7 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
   const auto sample_tx = [&out](fstack::FfStack& st) {
     out.tx_copied_bytes = st.tx_stats().copied_bytes;
     out.tx_zc_bytes = st.tx_stats().zc_bytes;
+    out.tx_emit_payload_reads = st.tx_stats().emit_payload_reads;
   };
   CensusProbes probes;
   if (kind == ScenarioKind::kScenario1) {

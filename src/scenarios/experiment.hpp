@@ -40,6 +40,11 @@ struct TestbedOptions {
   std::size_t memory_bytes = 448u << 20;
   bool inline_tcp_output = true;
   std::uint16_t mss = 1448;
+  /// Morello-side TCP send buffer. Sized ABOVE the peer's receive window
+  /// (BDP-style) so a window-opening ACK always finds a queued backlog to
+  /// emit in one staged burst — emission is ACK-clocked, not app-refill-
+  /// clocked.
+  std::size_t sndbuf_bytes = 512 * 1024;
 };
 
 /// The emulated hardware + OS fixture shared by all scenarios.
@@ -93,6 +98,20 @@ struct BandwidthOutcome {
   ScenarioKind kind{};
   Direction dir{};
   std::vector<EndpointResult> endpoints;
+  /// Driver-doorbell amortization on the Morello side, aggregated over its
+  /// stack instances: opackets / tx_bursts is the frames-per-tx_burst
+  /// figure the table2 bench gates on (>= 8 under sustained send load).
+  struct TxBurstCensus {
+    std::uint64_t frames = 0;  // frames handed to the device (opackets)
+    std::uint64_t bursts = 0;  // tx_burst calls that carried frames
+    std::uint64_t segs = 0;    // descriptors consumed (chain segments)
+    [[nodiscard]] double frames_per_burst() const noexcept {
+      return bursts > 0 ? static_cast<double>(frames) /
+                              static_cast<double>(bursts)
+                        : 0.0;
+    }
+  };
+  TxBurstCensus morello_tx;
 };
 
 /// Run one Table II cell: `bytes_per_stream` of TCP payload per endpoint.
@@ -200,6 +219,10 @@ struct UringCensus {
   std::uint64_t tx_copied_bytes = 0;
   /// Payload bytes queued as retained mbuf references (the zc path).
   std::uint64_t tx_zc_bytes = 0;
+  /// Payload bytes EMISSION read back (linearize fallback or a checksum
+  /// range no cached partial covered) — the scatter-gather gate requires
+  /// exactly 0: frames leave as indirect chains with composed checksums.
+  std::uint64_t tx_emit_payload_reads = 0;
   double modeled_ns_per_mib = 0.0;
 };
 

@@ -30,17 +30,29 @@ struct EthStats {
   std::uint64_t obytes = 0;
   std::uint64_t imissed = 0;  // ring-full drops at the device
   std::uint64_t oerrors = 0;
+  /// tx_burst invocations that carried at least one frame — opackets /
+  /// tx_bursts is the frames-per-doorbell figure the table2 bench gates on
+  /// (>= 8 under sustained load once emission stages per loop turn).
+  std::uint64_t tx_bursts = 0;
+  std::uint64_t tx_segs = 0;  // descriptors consumed (chain segments)
 };
 
 class EthDev {
  public:
   virtual ~EthDev() = default;
 
-  /// Receive up to out.size() packets; returns the number received.
+  /// Receive up to out.size() packets; returns the number received. RX
+  /// frames are always single-segment: the device linearizes each received
+  /// frame into one staged descriptor buffer (the RX linearization rule of
+  /// the chained-mbuf ABI — see mbuf.hpp).
   virtual std::size_t rx_burst(std::span<Mbuf*> out) = 0;
 
-  /// Transmit up to in.size() packets; consumed mbufs are freed after the
-  /// device fetches them. Returns the number accepted.
+  /// Transmit up to in.size() frames, each a chained mbuf (head + linked
+  /// payload segments, possibly indirect — see the driver ABI in mbuf.hpp).
+  /// The driver gathers every segment straight from its data room (one
+  /// descriptor per segment, EOP on the last) and frees the WHOLE chain via
+  /// Mempool::free_chain once the device has fetched it. Returns the number
+  /// of frames accepted; rejected chains remain the caller's to free.
   virtual std::size_t tx_burst(std::span<Mbuf*> in) = 0;
 
   [[nodiscard]] virtual nic::MacAddr mac() const = 0;

@@ -7,6 +7,26 @@
 // fine-grained protection the paper gets from CHERI-porting DPDK, §III-B).
 // Layout mirrors DPDK: headroom for prepending L2/L3 headers, data region,
 // tailroom.
+//
+// ---- Chained-mbuf driver ABI (scatter-gather emission) ----
+//
+// A frame handed to EthDev::tx_burst is a CHAIN: the head mbuf (protocol
+// headers, serialized into its headroom DPDK-style) linked through `next`
+// to payload segments, `nb_segs` counted on the head and pkt_len() the sum
+// of the segments' data_len. Payload segments are usually INDIRECT mbufs
+// (Mempool::alloc_indirect): headers without a data room of their own whose
+// [data_off, data_off+data_len) windows another buffer's still-live room
+// under that buffer's refcount — each slice reachable only through its own
+// exactly-bounded capability, CompartOS-style bounded delegation applied to
+// the wire path.
+//
+// Ownership: tx_burst takes the WHOLE chain on acceptance; the driver frees
+// it with Mempool::free_chain once the device has fetched every segment
+// (freeing an indirect segment detaches it, dropping its reference on the
+// attached buffer). A rejected chain stays the caller's to free. RX never
+// produces chains: the device model linearizes every received frame into
+// the single staged descriptor buffer (the RX linearization rule), so
+// rx_burst hands out plain single-segment mbufs.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +44,15 @@ struct Mbuf {
   std::uint32_t data_off = kMbufHeadroom;
   std::uint32_t data_len = 0;
   std::uint16_t refcnt = 0;
+  std::uint16_t nb_segs = 1;  // head of a chain: segments linked via next
+  Mbuf* next = nullptr;       // next segment of this frame (nullptr = last)
   std::uint32_t pool_index = 0;
   Mempool* pool = nullptr;
+  // Indirect mbufs: `room` windows `attach`'s data room (or a raw stack-
+  // internal view when attach == nullptr) under a reference released at
+  // free time. Direct mbufs keep both fields at their defaults.
+  Mbuf* attach = nullptr;
+  bool indirect = false;
 
   [[nodiscard]] std::uint64_t room_size() const noexcept {
     return room.size();
@@ -33,6 +60,21 @@ struct Mbuf {
   [[nodiscard]] std::uint32_t headroom() const noexcept { return data_off; }
   [[nodiscard]] std::uint64_t tailroom() const noexcept {
     return room_size() - data_off - data_len;
+  }
+
+  /// Total frame bytes across the chain (rte_pktmbuf_pkt_len).
+  [[nodiscard]] std::uint32_t pkt_len() const noexcept {
+    std::uint32_t n = 0;
+    for (const Mbuf* s = this; s != nullptr; s = s->next) n += s->data_len;
+    return n;
+  }
+
+  /// Link `seg` as the last segment of this (head) chain.
+  void chain(Mbuf* seg) noexcept {
+    Mbuf* t = this;
+    while (t->next != nullptr) t = t->next;
+    t->next = seg;
+    nb_segs = static_cast<std::uint16_t>(nb_segs + seg->nb_segs);
   }
 
   /// Capability view of the packet data [data_off, data_off+data_len).
@@ -56,6 +98,8 @@ struct Mbuf {
   void reset() noexcept {
     data_off = kMbufHeadroom;
     data_len = 0;
+    next = nullptr;
+    nb_segs = 1;
   }
 
   /// Grow at the tail; returns a view of the appended region.

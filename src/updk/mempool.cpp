@@ -6,7 +6,9 @@ namespace cherinet::updk {
 
 Mempool::Mempool(machine::CompartmentHeap* heap, std::uint32_t n_mbufs,
                  std::uint32_t data_room)
-    : data_room_(data_room), free_ring_(n_mbufs + 1) {
+    : data_room_(data_room),
+      free_ring_(n_mbufs + 1),
+      indirect_ring_(n_mbufs + 1) {
   if (heap == nullptr || n_mbufs == 0) {
     throw std::invalid_argument("Mempool: bad configuration");
   }
@@ -18,6 +20,17 @@ Mempool::Mempool(machine::CompartmentHeap* heap, std::uint32_t n_mbufs,
     m.pool = this;
     m.refcnt = 0;
     free_ring_.enqueue(i);
+  }
+  // Indirect headers carry no data room: indices continue past the direct
+  // buffers so pool_index stays unique across both arrays.
+  indirect_.resize(n_mbufs);
+  for (std::uint32_t i = 0; i < n_mbufs; ++i) {
+    Mbuf& m = indirect_[i];
+    m.pool_index = n_mbufs + i;
+    m.pool = this;
+    m.refcnt = 0;
+    m.indirect = true;
+    indirect_ring_.enqueue(i);
   }
 }
 
@@ -46,6 +59,47 @@ std::size_t Mempool::alloc_bulk(std::span<Mbuf*> out) {
   return n;
 }
 
+Mbuf* Mempool::alloc_indirect(Mbuf* owner, std::uint32_t off,
+                              std::uint32_t len) {
+  if (owner == nullptr || owner->indirect) {
+    throw std::invalid_argument("Mempool::alloc_indirect: bad owner");
+  }
+  const auto idx = indirect_ring_.dequeue();
+  if (!idx.has_value()) {
+    ++stats_.alloc_failures;
+    return nullptr;
+  }
+  retain(owner);  // the slice stays live until the segment is freed
+  Mbuf& m = indirect_[*idx];
+  m.refcnt = 1;
+  m.room = owner->room;
+  m.data_off = off;
+  m.data_len = len;
+  m.next = nullptr;
+  m.nb_segs = 1;
+  m.attach = owner;
+  ++stats_.indirect_allocs;
+  return &m;
+}
+
+Mbuf* Mempool::alloc_indirect_view(const machine::CapView& view) {
+  const auto idx = indirect_ring_.dequeue();
+  if (!idx.has_value()) {
+    ++stats_.alloc_failures;
+    return nullptr;
+  }
+  Mbuf& m = indirect_[*idx];
+  m.refcnt = 1;
+  m.room = view;
+  m.data_off = 0;
+  m.data_len = static_cast<std::uint32_t>(view.size());
+  m.next = nullptr;
+  m.nb_segs = 1;
+  m.attach = nullptr;
+  ++stats_.indirect_allocs;
+  return &m;
+}
+
 void Mempool::retain(Mbuf* m) {
   if (m == nullptr || m->pool != this) {
     throw std::invalid_argument("Mempool::retain: foreign mbuf");
@@ -57,6 +111,26 @@ void Mempool::retain(Mbuf* m) {
   ++stats_.retains;
 }
 
+void Mempool::retire(Mbuf* m, std::uint64_t Stats::* counter) {
+  if (m->indirect) {
+    Mbuf* owner = m->attach;
+    m->room = machine::CapView{};
+    m->data_off = 0;
+    m->data_len = 0;
+    m->next = nullptr;
+    m->nb_segs = 1;
+    m->attach = nullptr;
+    ++stats_.indirect_frees;
+    indirect_ring_.enqueue(m->pool_index -
+                           static_cast<std::uint32_t>(mbufs_.size()));
+    if (owner != nullptr) free(owner);  // detach: drop the attach reference
+    return;
+  }
+  m->reset();  // data room returns pre-reset: no free/alloc round trip
+  ++(stats_.*counter);
+  free_ring_.enqueue(m->pool_index);
+}
+
 void Mempool::recycle(Mbuf* m) {
   if (m == nullptr) return;
   if (m->pool != this) {
@@ -65,11 +139,7 @@ void Mempool::recycle(Mbuf* m) {
   if (m->refcnt == 0) {
     throw std::logic_error("Mempool::recycle: double recycle");
   }
-  if (--m->refcnt == 0) {
-    m->reset();  // data room returns pre-reset: no free/alloc round trip
-    ++stats_.recycles;
-    free_ring_.enqueue(m->pool_index);
-  }
+  if (--m->refcnt == 0) retire(m, &Stats::recycles);
 }
 
 void Mempool::free(Mbuf* m) {
@@ -80,10 +150,15 @@ void Mempool::free(Mbuf* m) {
   if (m->refcnt == 0) {
     throw std::logic_error("Mempool::free: double free");
   }
-  if (--m->refcnt == 0) {
-    m->reset();
-    ++stats_.frees;
-    free_ring_.enqueue(m->pool_index);
+  if (--m->refcnt == 0) retire(m, &Stats::frees);
+}
+
+void Mempool::free_chain(Mbuf* head) {
+  while (head != nullptr) {
+    Mbuf* next = head->next;  // free() resets the link
+    head->next = nullptr;
+    free(head);
+    head = next;
   }
 }
 
@@ -95,11 +170,7 @@ void Mempool::release_tx(Mbuf* m) {
   if (m->refcnt == 0) {
     throw std::logic_error("Mempool::release_tx: double release");
   }
-  if (--m->refcnt == 0) {
-    m->reset();
-    ++stats_.tx_releases;
-    free_ring_.enqueue(m->pool_index);
-  }
+  if (--m->refcnt == 0) retire(m, &Stats::tx_releases);
 }
 
 void Mempool::free_bulk(std::span<Mbuf* const> ms) {

@@ -4,6 +4,12 @@
 // creation, each as its own exactly-bounded capability. The pool region is
 // also what the driver grants to the NIC DMA engine — so device writes are
 // confined to packet memory even if a descriptor is corrupted.
+//
+// Besides the direct buffers the pool keeps an equal number of INDIRECT
+// mbuf headers (no data room of their own): alloc_indirect attaches one to
+// a window of another buffer's room under that buffer's refcount — the
+// chained-frame segments scatter-gather emission hands the driver (see the
+// driver ABI comment in mbuf.hpp).
 #pragma once
 
 #include <cstdint>
@@ -18,7 +24,8 @@ namespace cherinet::updk {
 
 class Mempool {
  public:
-  /// Create `n_mbufs` buffers of `data_room` bytes each from `heap`.
+  /// Create `n_mbufs` buffers of `data_room` bytes each from `heap` (plus
+  /// `n_mbufs` room-less indirect headers, costing no heap memory).
   Mempool(machine::CompartmentHeap* heap, std::uint32_t n_mbufs,
           std::uint32_t data_room);
 
@@ -30,14 +37,35 @@ class Mempool {
   /// the number obtained.
   [[nodiscard]] std::size_t alloc_bulk(std::span<Mbuf*> out);
 
+  /// Attach an indirect mbuf onto [off, off+len) of `owner`'s data room
+  /// (rte_pktmbuf_attach): the owner gains a reference held until the
+  /// indirect segment is freed, so the slice stays live however the
+  /// original holder releases its own reference. Null when the indirect
+  /// ring is exhausted.
+  [[nodiscard]] Mbuf* alloc_indirect(Mbuf* owner, std::uint32_t off,
+                                     std::uint32_t len);
+
+  /// Attach an indirect mbuf onto a raw bounded view (stack-internal
+  /// memory with no refcount, e.g. a send-ring span). LIFETIME IS THE
+  /// CALLER'S PROBLEM: the view must stay untouched until the chain is
+  /// freed — the stack guarantees it by flushing staged frames before any
+  /// write into ring memory.
+  [[nodiscard]] Mbuf* alloc_indirect_view(const machine::CapView& view);
+
   /// Take an additional reference (shared ownership). The RX path uses this
   /// to loan a received data room onward — to a socket's RX chain or to the
   /// application via ff_zc_recv — while the driver burst still holds its
   /// own reference.
   void retain(Mbuf* m);
 
-  /// Drop one reference; returns the buffer to the ring at zero.
+  /// Drop one reference; returns the buffer to the ring at zero. Freeing
+  /// an indirect mbuf detaches it (releasing its owner reference) and
+  /// returns the header to the indirect ring.
   void free(Mbuf* m);
+
+  /// Free a whole tx chain (head + every linked segment) — how the driver
+  /// releases a fetched frame.
+  void free_chain(Mbuf* head);
 
   /// Drop one reference from a *loan*: at zero the data room goes straight
   /// back onto the free ring. Buffers always enter the ring pre-reset
@@ -63,6 +91,9 @@ class Mempool {
   [[nodiscard]] std::uint32_t available() const noexcept {
     return static_cast<std::uint32_t>(free_ring_.count());
   }
+  [[nodiscard]] std::uint32_t indirect_available() const noexcept {
+    return static_cast<std::uint32_t>(indirect_ring_.count());
+  }
   [[nodiscard]] std::uint32_t data_room() const noexcept {
     return data_room_;
   }
@@ -75,13 +106,21 @@ class Mempool {
     std::uint64_t retains = 0;
     std::uint64_t recycles = 0;
     std::uint64_t tx_releases = 0;  // zc TX refs released (ACK / teardown)
+    std::uint64_t indirect_allocs = 0;
+    std::uint64_t indirect_frees = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  /// Shared refcnt-zero path: direct buffers return to the free ring
+  /// pre-reset; indirect headers detach and return to the indirect ring.
+  void retire(Mbuf* m, std::uint64_t Stats::* counter);
+
   std::uint32_t data_room_;
   std::vector<Mbuf> mbufs_;
+  std::vector<Mbuf> indirect_;
   Ring<std::uint32_t> free_ring_;
+  Ring<std::uint32_t> indirect_ring_;
   Stats stats_;
 };
 

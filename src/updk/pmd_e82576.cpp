@@ -98,7 +98,11 @@ void E82576Pmd::reclaim_tx() {
     TxDesc d = tx_ring_.load<TxDesc>(tx_clean_ * sizeof(TxDesc));
     if ((d.status & kTxStatusDD) == 0) break;
     if (tx_pending_[tx_clean_] != nullptr) {
-      pool_->free(tx_pending_[tx_clean_]);
+      // The chain head is parked on its LAST descriptor slot: every
+      // earlier segment of the frame was fetched before this one wrote
+      // back, so the whole chain (indirect segments detaching their
+      // attached rooms) can return now.
+      pool_->free_chain(tx_pending_[tx_clean_]);
       tx_pending_[tx_clean_] = nullptr;
     }
     tx_clean_ = (tx_clean_ + 1) % conf_.tx_ring_size;
@@ -109,20 +113,53 @@ std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
   dev_->poll_port(port_, clock_->now());
   reclaim_tx();
   std::size_t sent = 0;
-  for (Mbuf* m : in) {
-    const std::uint32_t next = (tx_next_ + 1) % conf_.tx_ring_size;
-    if (next == tx_clean_) break;  // ring full
-    TxDesc d{};
-    d.buffer_addr = m->data_addr();
-    d.length = static_cast<std::uint16_t>(m->data_len);
-    d.cmd = kTxCmdEOP | kTxCmdRS;
-    tx_ring_.store<TxDesc>(tx_next_ * sizeof(TxDesc), d);
-    tx_pending_[tx_next_] = m;
+  for (Mbuf* head : in) {
+    // One descriptor per non-empty segment; frames are all-or-nothing
+    // against the ring space (a torn chain must never reach the wire).
+    std::uint32_t nsegs = 0;
+    std::uint32_t bytes = 0;
+    Mbuf* last = nullptr;
+    for (Mbuf* s = head; s != nullptr; s = s->next) {
+      if (s->data_len == 0) continue;
+      ++nsegs;
+      bytes += s->data_len;
+      last = s;
+    }
+    if (nsegs == 0) {  // nothing to send: consume the frame anyway
+      pool_->free_chain(head);
+      ++sent;
+      continue;
+    }
+    if (nsegs > conf_.tx_ring_size - 1) {
+      // The chain can NEVER fit this ring (even empty it has ring_size-1
+      // usable slots): consume and drop it rather than wedge the queue.
+      pool_->free_chain(head);
+      stats_.oerrors++;
+      ++sent;
+      continue;
+    }
+    const std::uint32_t free_slots =
+        (tx_clean_ + conf_.tx_ring_size - tx_next_ - 1) % conf_.tx_ring_size;
+    if (nsegs > free_slots) break;  // ring full this burst: caller retries
+    for (Mbuf* s = head; s != nullptr; s = s->next) {
+      if (s->data_len == 0) continue;
+      TxDesc d{};
+      d.buffer_addr = s->data_addr();
+      d.length = static_cast<std::uint16_t>(s->data_len);
+      d.cmd = static_cast<std::uint8_t>(kTxCmdRS |
+                                        (s == last ? kTxCmdEOP : 0));
+      tx_ring_.store<TxDesc>(tx_next_ * sizeof(TxDesc), d);
+      // Park the chain on the frame's final slot (null elsewhere): its
+      // write-back proves the device fetched every segment.
+      tx_pending_[tx_next_] = s == last ? head : nullptr;
+      tx_next_ = (tx_next_ + 1) % conf_.tx_ring_size;
+    }
     stats_.opackets++;
-    stats_.obytes += m->data_len;
-    tx_next_ = next;
+    stats_.obytes += bytes;
+    stats_.tx_segs += nsegs;
     ++sent;
   }
+  if (sent > 0) stats_.tx_bursts++;  // only calls that carried frames
   dev_->port(port_).write_tdt(tx_next_);
   // Let the device fetch immediately (polling model), then reclaim.
   dev_->poll_port(port_, clock_->now());

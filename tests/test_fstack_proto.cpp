@@ -2,6 +2,9 @@
 // options, fragmentation planning/reassembly, ARP cache.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "fstack/arp.hpp"
 #include "fstack/checksum.hpp"
 #include "fstack/headers.hpp"
@@ -9,6 +12,7 @@
 #include "fstack/sockbuf.hpp"
 #include "machine/address_space.hpp"
 #include "machine/heap.hpp"
+#include "updk/mempool.hpp"
 
 using namespace cherinet;
 using namespace cherinet::fstack;
@@ -213,16 +217,104 @@ TEST(Arp, CacheLookupInsertExpiry) {
   EXPECT_FALSE(arp.lookup(ip, sim::Ns{1500}));  // expired
 }
 
+TEST(Checksum, CombineOverRandomSplitsEqualsLinear) {
+  // Property: folding per-slice partial sums in via checksum_combine at
+  // the slice's offset — odd or even — always equals the linear checksum.
+  // This is what lets emission compose a segment checksum from the send
+  // chain's cached partials in O(#slices) with zero payload re-reads.
+  std::mt19937 rng(0xC0FFEE);
+  std::vector<std::byte> buf(2048);
+  for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xFF);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = 1 + rng() % buf.size();
+    const std::uint32_t linear =
+        checksum_partial(std::span<const std::byte>{buf.data(), n});
+    std::uint32_t composed = 0;
+    std::size_t at = 0;
+    while (at < n) {
+      const std::size_t k = 1 + rng() % (n - at);  // odd AND even offsets
+      composed = checksum_combine(
+          composed,
+          checksum_partial(std::span<const std::byte>{buf.data() + at, k}),
+          at);
+      at += k;
+    }
+    ASSERT_EQ(checksum_fold16(linear), checksum_fold16(composed))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Checksum, CapPartialMatchesBufferPartial) {
+  // The capability-walking checksum (scalar loads, no bounce buffer) must
+  // agree with the byte-span implementation for every offset/length shape
+  // around the 8-byte bulk loop's boundaries.
+  machine::AddressSpace as(1u << 20);
+  machine::CompartmentHeap heap(
+      &as.mem(), as.carve(64u << 10, cheri::PermSet::data_rw(), "ck"));
+  const machine::CapView v = heap.alloc_view(4096);
+  std::mt19937 rng(7);
+  std::vector<std::byte> buf(2100);
+  for (auto& b : buf) b = static_cast<std::byte>(rng() & 0xFF);
+  v.write(0, buf);
+  for (const std::size_t off : {0u, 1u, 3u, 7u, 8u, 13u}) {
+    for (const std::size_t len :
+         {0u, 1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 100u, 1000u, 1448u}) {
+      const std::uint32_t ref = checksum_partial(
+          std::span<const std::byte>{buf.data() + off, len});
+      const std::uint32_t cap = checksum_cap_partial(v, off, len);
+      EXPECT_EQ(checksum_fold16(ref), checksum_fold16(cap))
+          << "off=" << off << " len=" << len;
+    }
+  }
+}
+
 TEST(Arp, PendingQueueIsBoundedAndFlushable) {
+  machine::AddressSpace as(8u << 20);
+  machine::CompartmentHeap heap(
+      &as.mem(), as.carve(4u << 20, cheri::PermSet::data_rw(), "arp"));
+  updk::Mempool pool(&heap, 32, 2048);
   ArpCache arp;
   const auto ip = Ipv4Addr::of(10, 0, 0, 9);
   for (std::size_t i = 0; i < 20; ++i) {
-    const bool ok = arp.queue_pending(ip, std::vector<std::byte>(64));
-    EXPECT_EQ(ok, i < 16);  // default cap 16 per hop
+    updk::Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    m->append(64);
+    const bool ok = arp.park(ip, m, sim::Ns{0});
+    EXPECT_EQ(ok, i < 16);  // default cap 16 frames per hop
+    if (!ok) pool.free(m);  // refused frames stay the caller's to free
   }
   EXPECT_EQ(arp.pending_packets(), 16u);
-  EXPECT_EQ(arp.take_pending(ip).size(), 16u);
+  EXPECT_EQ(arp.pending_bytes(), 16u * 64u);
+  EXPECT_EQ(arp.stats().drops, 4u);
+  EXPECT_EQ(arp.stats().dropped_bytes, 4u * 64u);
+  const auto flushed = arp.take_parked(ip);
+  EXPECT_EQ(flushed.size(), 16u);
+  for (updk::Mbuf* m : flushed) pool.free(m);
   EXPECT_EQ(arp.pending_packets(), 0u);
+  EXPECT_EQ(pool.available(), 32u);  // nothing leaked through the queue
+}
+
+TEST(Arp, PendingQueueByteCapCountsDrops) {
+  machine::AddressSpace as(8u << 20);
+  machine::CompartmentHeap heap(
+      &as.mem(), as.carve(4u << 20, cheri::PermSet::data_rw(), "arp"));
+  updk::Mempool pool(&heap, 8, 4096);
+  ArpCache::Config cfg;
+  cfg.max_pending_per_hop = 16;
+  cfg.max_pending_bytes_per_hop = 3000;  // bytes bind before the frame cap
+  ArpCache arp(cfg);
+  const auto ip = Ipv4Addr::of(10, 0, 0, 7);
+  for (std::size_t i = 0; i < 3; ++i) {
+    updk::Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    m->append(1400);
+    if (!arp.park(ip, m, sim::Ns{0})) pool.free(m);
+  }
+  EXPECT_EQ(arp.pending_packets(), 2u);  // the third frame burst the cap
+  EXPECT_EQ(arp.stats().drops, 1u);
+  EXPECT_EQ(arp.stats().dropped_bytes, 1400u);
+  for (updk::Mbuf* m : arp.take_all_parked()) pool.free(m);
+  EXPECT_EQ(pool.available(), 8u);
 }
 
 TEST(Arp, RequestRateLimiting) {

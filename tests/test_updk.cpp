@@ -202,6 +202,59 @@ TEST_F(PoolFixture, MbufDataIsCapabilityBounded) {
   pool.free(m);
 }
 
+TEST_F(PoolFixture, IndirectAttachSharesRoomUnderOwnerRefcount) {
+  updk::Mempool pool(&heap, 4, 1024);
+  updk::Mbuf* owner = pool.alloc();
+  ASSERT_NE(owner, nullptr);
+  auto body = owner->append(256);
+  body.store<std::uint8_t>(100, 0xAB);
+  // Attach a window over [data_off+100, +32) of the owner's room.
+  updk::Mbuf* ind = pool.alloc_indirect(owner, owner->data_off + 100, 32);
+  ASSERT_NE(ind, nullptr);
+  EXPECT_TRUE(ind->indirect);
+  EXPECT_EQ(ind->attach, owner);
+  EXPECT_EQ(owner->refcnt, 2);  // the indirect holds its own reference
+  EXPECT_EQ(ind->data().load<std::uint8_t>(0), 0xAB);
+  EXPECT_EQ(pool.indirect_available(), 3u);
+  // The original holder releases first: the room stays live through the
+  // indirect's reference (the property retransmission staging relies on —
+  // an ACK may release the chain's reference while the frame is staged).
+  pool.free(owner);
+  EXPECT_EQ(owner->refcnt, 1);
+  EXPECT_EQ(ind->data().load<std::uint8_t>(0), 0xAB);
+  EXPECT_EQ(pool.available(), 3u);  // room still out
+  // Freeing the indirect detaches it and returns BOTH buffers.
+  pool.free(ind);
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_EQ(pool.indirect_available(), 4u);
+  EXPECT_EQ(pool.stats().indirect_allocs, 1u);
+  EXPECT_EQ(pool.stats().indirect_frees, 1u);
+}
+
+TEST_F(PoolFixture, FreeChainReleasesEverySegment) {
+  updk::Mempool pool(&heap, 8, 1024);
+  updk::Mbuf* head = pool.alloc();
+  updk::Mbuf* owner = pool.alloc();
+  ASSERT_NE(head, nullptr);
+  ASSERT_NE(owner, nullptr);
+  head->append(64);
+  owner->append(500);
+  updk::Mbuf* seg1 = pool.alloc_indirect(owner, owner->data_off, 200);
+  updk::Mbuf* seg2 = pool.alloc_indirect(owner, owner->data_off + 200, 300);
+  ASSERT_NE(seg1, nullptr);
+  ASSERT_NE(seg2, nullptr);
+  head->chain(seg1);
+  head->chain(seg2);
+  EXPECT_EQ(head->nb_segs, 3);
+  EXPECT_EQ(head->pkt_len(), 64u + 200u + 300u);
+  // The chain owns the only direct references once the original holder
+  // lets go (zc send queue released by cumulative ACK mid-flight).
+  pool.free(owner);
+  pool.free_chain(head);
+  EXPECT_EQ(pool.available(), 8u);
+  EXPECT_EQ(pool.indirect_available(), 8u);
+}
+
 // -------- PMD over two connected device models (loopback at L2) ----------
 
 TEST_F(PoolFixture, PmdRoundTrip) {
@@ -243,6 +296,72 @@ TEST_F(PoolFixture, PmdRoundTrip) {
   // Mempools fully recycled after the exchange.
   EXPECT_EQ(b.pool->available(),
             b.pool->size() - 512 /* staged in RX ring */);
+}
+
+TEST_F(PoolFixture, PmdChainedTxGathersAndReceiverLinearizes) {
+  sim::VirtualClock clock;
+  nic::Wire wire(&clock, nullptr, sim::Testbed::unconstrained());
+  nic::E82576Device devA(&as.mem(), &clock,
+                         {nic::MacAddr::local(1), nic::MacAddr::local(2)});
+  nic::E82576Device devB(&as.mem(), &clock,
+                         {nic::MacAddr::local(3), nic::MacAddr::local(4)});
+  devA.connect(0, &wire, 0);
+  devB.connect(0, &wire, 1);
+  machine::CompartmentHeap heapB(
+      &as.mem(), as.carve(8u << 20, cheri::PermSet::data_rw(), "B"));
+  auto a = updk::Eal::attach_port(devA, 0, heap, clock);
+  auto b = updk::Eal::attach_port(devB, 0, heapB, clock);
+  const std::uint32_t quiescent_a = a.pool->available();
+
+  // Frame = header mbuf + indirect slice over another buffer's room +
+  // a direct tail segment: the driver must emit one descriptor per
+  // segment (EOP on the last) and the device must linearize on the wire.
+  updk::Mbuf* head = a.pool->alloc();
+  updk::Mbuf* payload = a.pool->alloc();
+  updk::Mbuf* tail = a.pool->alloc();
+  ASSERT_NE(head, nullptr);
+  ASSERT_NE(payload, nullptr);
+  ASSERT_NE(tail, nullptr);
+  auto hv = head->append(20);
+  for (std::uint32_t i = 0; i < 20; ++i) hv.store<std::uint8_t>(i, 0x10 + i);
+  auto pv = payload->append(300);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    pv.store<std::uint8_t>(i, static_cast<std::uint8_t>(i));
+  }
+  updk::Mbuf* ind =
+      a.pool->alloc_indirect(payload, payload->data_off + 50, 200);
+  ASSERT_NE(ind, nullptr);
+  auto tv = tail->append(40);
+  for (std::uint32_t i = 0; i < 40; ++i) tv.store<std::uint8_t>(i, 0xF0);
+  head->chain(ind);
+  head->chain(tail);
+  EXPECT_EQ(head->nb_segs, 3);
+  EXPECT_EQ(head->pkt_len(), 260u);
+
+  updk::Mbuf* burst[1] = {head};
+  ASSERT_EQ(a.dev->tx_burst({burst, 1}), 1u);
+  // The chain transferred to the driver; the payload owner's own ref can
+  // drop mid-flight (ACK) without invalidating the staged frame.
+  a.pool->free(payload);
+  clock.advance_to(sim::Ns{10'000'000});
+
+  updk::Mbuf* rx[4];
+  ASSERT_EQ(b.dev->rx_burst({rx, 4}), 1u);
+  EXPECT_EQ(rx[0]->data_len, 260u);  // linearized single segment
+  EXPECT_EQ(rx[0]->next, nullptr);
+  EXPECT_EQ(rx[0]->data().load<std::uint8_t>(0), 0x10);
+  EXPECT_EQ(rx[0]->data().load<std::uint8_t>(20), 50);   // payload[50]
+  EXPECT_EQ(rx[0]->data().load<std::uint8_t>(219), 249); // payload[249]
+  EXPECT_EQ(rx[0]->data().load<std::uint8_t>(220), 0xF0);
+  b.pool->free(rx[0]);
+
+  EXPECT_EQ(a.dev->stats().opackets, 1u);
+  EXPECT_EQ(a.dev->stats().tx_segs, 3u);
+  EXPECT_EQ(a.dev->stats().tx_bursts, 1u);
+  EXPECT_EQ(a.dev->stats().obytes, 260u);
+  // Reclaim (inside tx_burst's poll) already freed the chain: pool whole.
+  EXPECT_EQ(a.pool->available(), quiescent_a);
+  EXPECT_EQ(a.pool->indirect_available(), a.pool->size());
 }
 
 TEST_F(PoolFixture, PmdTxRingFullBackpressure) {

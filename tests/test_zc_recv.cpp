@@ -205,15 +205,26 @@ TEST(ZcRecv, PoolExhaustionUnderLoadAndRecycleIsTheOnlyWayBack) {
   EXPECT_EQ(ff_zc_recycle_batch(ts.a(), held), 0);
   EXPECT_EQ(ts.pool_a().available(), avail_after);
 
-  // Traffic resumes: the connection is still alive end to end.
+  // The datapath is fully revived: a FRESH connection establishes and
+  // moves bytes end to end with the recycled buffers. (The original
+  // connection marched through its RTO backoffs while RX was starved —
+  // hundreds of virtual seconds — so it may have timed out; the property
+  // recycling guarantees is the POOL's health, not that flow's.)
+  const TcpPair p2 = connect_b_to_a(ts, 5202);
+  machine::CapView tx2 = ts.heap_b().alloc_view(4096);
+  std::uint64_t sent2 = 0;
   std::uint64_t drained = 0;
   machine::CapView rd = ts.heap_a().alloc_view(8192);
   ts.pump_until([&] {
-    const std::int64_t r = ff_read(ts.a(), p.a_fd, rd, 8192);
+    if (sent2 < 8192) {
+      const std::int64_t w = ff_write(ts.b(), p2.b_fd, tx2, 4096);
+      if (w > 0) sent2 += static_cast<std::uint64_t>(w);
+    }
+    const std::int64_t r = ff_read(ts.a(), p2.a_fd, rd, 8192);
     if (r > 0) drained += static_cast<std::uint64_t>(r);
-    return drained > 0;
+    return drained >= 8192;
   });
-  EXPECT_GT(drained, 0u);
+  EXPECT_GE(drained, 8192u);
 }
 
 TEST(ZcRecv, UdpLoanCarriesDatagramSource) {

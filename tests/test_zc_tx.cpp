@@ -118,6 +118,42 @@ TEST(ZcTcpTx, DeliversWithZeroSendSideCopies) {
   EXPECT_GE(ts.a().tx_stats().zc_segs, kTotal / 1448);
 }
 
+TEST(ZcTcpTx, AlignedStreamEmitsWithZeroPayloadReadsEvenAcrossLoss) {
+  // MSS-sized zc slices align with emitted segments, so scatter-gather
+  // emission composes each segment's checksum from the partial cached at
+  // ff_zc_send time and chains indirect mbufs over the live rooms: ZERO
+  // payload bytes are read back at emission — for the first transmission
+  // AND for the loss-driven retransmissions (which re-reference the same
+  // still-live slices).
+  TwoStacks ts;
+  ts.wire().set_loss([](int side, std::uint64_t idx) {
+    return side == 0 && idx >= 12 && idx < 14;  // drop two A->B data frames
+  });
+  const Conn c = establish(ts, 5201);
+  constexpr std::uint64_t kAligned = 1448 * 48;  // whole MSS-sized slices
+  ASSERT_EQ(zc_send_stream(ts, c.afd, kAligned, 1448), kAligned);
+  std::uint64_t received = 0, corrupt = 0;
+  drain_and_verify(ts, c.bfd, kAligned, &received, &corrupt);
+  EXPECT_EQ(received, kAligned);
+  EXPECT_EQ(corrupt, 0u);
+  const TcpPcb* pcb = nullptr;
+  for (std::uint16_t p = 49152; p < 49160 && !pcb; ++p) {
+    pcb = ts.a().find_pcb({ts.ip_a(), p, ts.ip_b(), 5201});
+  }
+  ASSERT_NE(pcb, nullptr);
+  EXPECT_GT(pcb->counters().rexmits + pcb->counters().fast_rexmits, 0u);
+  EXPECT_EQ(ts.a().tx_stats().copied_bytes, 0u);
+  EXPECT_EQ(ts.a().tx_stats().emit_payload_reads, 0u)
+      << "emission must compose cached checksums and gather via indirect "
+         "chains, never read payload back";
+  // Every indirect segment the emission chained was detached when the
+  // driver reclaimed its frame: allocs and frees balance.
+  ts.pump(2000);
+  EXPECT_EQ(ts.pool_a().stats().indirect_allocs,
+            ts.pool_a().stats().indirect_frees);
+  EXPECT_EQ(ts.pool_a().indirect_available(), ts.pool_a().size());
+}
+
 TEST(ZcTcpTx, RetransmitAfterLossReReadsTheLiveMbuf) {
   TwoStacks ts;
   // Drop a handful of A->B data frames mid-flow: the retransmitted bytes
