@@ -1,0 +1,468 @@
+// Connection-churn census (ISSUE 6 tentpole): the C1M-scale numbers the
+// timing-wheel + ring-native control plane were built for.
+//
+// Part 1 — idle-PCB timer sweep: arm N mostly-idle timers (the keep-alive
+// population of N parked connections) plus a small constant set of hot
+// timers, then measure the per-loop-turn expire() cost. The wheel's O(due)
+// contract makes that cost a function of the HOT set alone, so the gate is
+// sublinearity: 10^5 idle timers must cost <= 2x the 10^3 run per turn
+// (10^6 is env-gated behind CHERINET_CHURN_C1M=1 — same gate, more RAM).
+// The old process_timers walked every PCB per turn and would fail this by
+// two orders of magnitude.
+//
+// Part 2 — ring-native lifecycle churn: drive connect -> transfer -> close
+// cycles where the client compartment touches the stack ONLY through its
+// attached ff_uring (OP_CONNECT / OP_WRITEV / OP_CLOSE SQEs, verdict CQEs).
+// Gates: every lifecycle resolves through the ring, and the client makes
+// ZERO per-op API calls after the one attach — ApiStats must show no v1 or
+// batch calls, with >= 3 SQEs per cycle carrying the whole lifecycle.
+// Reports wall-clock lifecycles/sec through the control plane.
+//
+// Results persist as $CHERINET_BENCH_JSON_DIR/BENCH_churn.json — the
+// connection-scale leg of the cross-PR perf trajectory in scripts/check.sh.
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fstack/api.hpp"
+#include "fstack/timer_wheel.hpp"
+#include "fstack/uring.hpp"
+#include "apps/uring_proto.hpp"
+#include "machine/address_space.hpp"
+#include "nic/e82576.hpp"
+#include "nic/wire.hpp"
+#include "scenarios/stack_instance.hpp"
+#include "sim/testbed.hpp"
+
+using namespace cherinet;
+using namespace cherinet::bench;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Part 1: idle-timer sweep over the hierarchical wheel
+// ---------------------------------------------------------------------------
+
+struct WheelRow {
+  std::size_t population = 0;     // idle timers armed (parked connections)
+  double ns_per_iter = 0.0;       // expire() cost per simulated loop turn
+  double fired_per_iter = 0.0;    // due work per turn (constant by design)
+  double next_deadline_ns = 0.0;  // idle-stall scan cost (reported, ungated)
+};
+
+/// One population point: `idle` keep-alive-like timers parked ~2 h out
+/// (level 3 of the wheel) under a constant hot set of 32 short timers that
+/// re-arm on fire. The timed loop advances one tick per iteration — the
+/// steady-state loop-turn cadence — and only the hot set is ever due.
+WheelRow wheel_sweep(std::size_t idle, std::size_t iters, int reps) {
+  constexpr std::int64_t kTick = 1ll << fstack::TimerWheel::kTickShift;
+  constexpr std::size_t kHot = 32;
+  WheelRow row;
+  row.population = idle;
+  double best_ns = 0.0;
+  double best_scan = 0.0;
+  std::uint64_t fired_total = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    fstack::TimerWheel w;
+    sim::Ns now{0};
+    // Idle population: spread over [1 h, 2 h) so it files into top-level
+    // slots — armed, never due inside the measurement window.
+    const std::int64_t hour = 3'600ll * 1'000'000'000ll;
+    for (std::size_t i = 0; i < idle; ++i) {
+      w.arm(sim::Ns{hour + static_cast<std::int64_t>(i % 3600) *
+                               1'000'000'000ll},
+            i);
+    }
+    // Hot set: fires and re-arms two ticks out — constant due work per turn
+    // regardless of the idle population.
+    std::vector<fstack::TimerWheel::Id> hot(kHot);
+    for (std::size_t i = 0; i < kHot; ++i) {
+      hot[i] = w.arm(now + sim::Ns{kTick * static_cast<std::int64_t>(
+                                              1 + (i % 2))},
+                     ~i);
+    }
+    const std::uint64_t fired_before = w.stats().fired;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      now = now + sim::Ns{kTick};
+      w.expire(now, [&](std::uint64_t cookie) {
+        if (cookie > idle) {  // hot cookie (~i): re-arm, stay hot
+          const std::size_t i = ~cookie;
+          hot[i] = w.arm(now + sim::Ns{2 * kTick}, cookie);
+        }
+      });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    // Idle-stall scan: what run_once pays ONCE per quiet stall (not per
+    // turn) to find the earliest deadline. O(first non-empty slot), so it
+    // scales with slot occupancy — reported for the record, not gated.
+    constexpr int kScans = 64;
+    const auto s0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScans; ++i) (void)w.next_deadline();
+    const auto s1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(iters);
+    const double scan =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+                .count()) /
+        kScans;
+    if (rep == 0 || ns < best_ns) best_ns = ns;       // min-of-reps: noise
+    if (rep == 0 || scan < best_scan) best_scan = scan;  // only ever adds
+    fired_total = w.stats().fired - fired_before;
+  }
+  row.ns_per_iter = best_ns;
+  row.next_deadline_ns = best_scan;
+  row.fired_per_iter =
+      static_cast<double>(fired_total) / static_cast<double>(iters);
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: lifecycle churn through the ring control plane
+// ---------------------------------------------------------------------------
+
+/// Two full stacks on one wire, deterministically pumped (the bench-local
+/// twin of the tests' TwoStacks fixture — benches only link the library).
+struct Rig {
+  sim::VirtualClock clock;
+  machine::AddressSpace as{96u << 20};
+  nic::Wire wire{&clock, nullptr, sim::Testbed::unconstrained()};
+  nic::E82576Device card_a{&as.mem(), &clock,
+                           {nic::MacAddr::local(10), nic::MacAddr::local(11)}};
+  nic::E82576Device card_b{&as.mem(), &clock,
+                           {nic::MacAddr::local(20), nic::MacAddr::local(21)}};
+  std::unique_ptr<machine::CompartmentHeap> heap_a;
+  std::unique_ptr<machine::CompartmentHeap> heap_b;
+  std::unique_ptr<scen::FullStackInstance> a;
+  std::unique_ptr<scen::FullStackInstance> b;
+
+  Rig() {
+    card_a.connect(0, &wire, 0);
+    card_b.connect(0, &wire, 1);
+    heap_a = std::make_unique<machine::CompartmentHeap>(
+        &as.mem(), as.carve(24u << 20, cheri::PermSet::data_rw(), "A"));
+    heap_b = std::make_unique<machine::CompartmentHeap>(
+        &as.mem(), as.carve(24u << 20, cheri::PermSet::data_rw(), "B"));
+    scen::InstanceConfig ca;
+    ca.netif.ip = fstack::Ipv4Addr::of(10, 0, 0, 1);
+    ca.inline_tcp_output = false;
+    scen::InstanceConfig cb = ca;
+    cb.netif.ip = fstack::Ipv4Addr::of(10, 0, 0, 2);
+    a = std::make_unique<scen::FullStackInstance>(card_a, 0, *heap_a, clock,
+                                                  ca);
+    b = std::make_unique<scen::FullStackInstance>(card_b, 0, *heap_b, clock,
+                                                  cb);
+  }
+
+  [[nodiscard]] fstack::Ipv4Addr ip_b() const {
+    return fstack::Ipv4Addr::of(10, 0, 0, 2);
+  }
+
+  bool pump_until(const std::function<bool()>& pred, int max_iters = 200000) {
+    for (int i = 0; i < max_iters; ++i) {
+      if (pred()) return true;
+      bool progress = a->run_once();
+      progress |= b->run_once();
+      if (!progress) {
+        auto d = a->next_deadline();
+        const auto db = b->next_deadline();
+        if (db && (!d || *db < *d)) d = db;
+        if (!d) return pred();
+        clock.advance_to(*d);
+      }
+    }
+    return pred();
+  }
+};
+
+struct ChurnRow {
+  std::size_t cycles = 0;
+  std::size_t completed = 0;
+  double lifecycles_per_sec = 0.0;  // wall clock, full lifecycle + reap
+  std::uint64_t sqes = 0;           // ring submissions across the loop
+  std::uint64_t cqes = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t v1_calls = 0;     // MUST stay 0: client is ring-resident
+  std::uint64_t batch_calls = 0;  // stack-side OP_WRITEV drains (== SQEs)
+};
+
+ChurnRow churn_census(std::size_t cycles) {
+  using fstack::FfUringCqe;
+  Rig rig;
+  fstack::FfStack& a = rig.a->stack();
+  fstack::FfStack& b = rig.b->stack();
+  ChurnRow row;
+  row.cycles = cycles;
+
+  // Server side (B): classic API — the peer compartment is not under test.
+  const int lfd = ff_socket(b, fstack::kAfInet, fstack::kSockStream, 0);
+  ff_bind(b, lfd, {fstack::Ipv4Addr{}, 5400});
+  ff_listen(b, lfd, 16);
+  machine::CapView rx = rig.heap_b->alloc_view(4096);
+
+  // Client side (A): ONE attach, then every lifecycle op rides the ring.
+  constexpr std::uint32_t kSq = 32, kCq = 32;
+  machine::CapView ring_mem =
+      rig.heap_a->alloc_view(fstack::FfUring::bytes_for(kSq, kCq));
+  fstack::FfUring ring(ring_mem, kSq, kCq);
+  if (ff_uring_attach(a, ring_mem, kSq, kCq) <= 0) {
+    std::fprintf(stderr, "FAIL: ff_uring_attach\n");
+    return row;
+  }
+  machine::CapView tx = rig.heap_a->alloc_view(4096);
+
+  const auto stats0 = a.api_stats();
+  const auto await = [&](std::uint64_t ud, FfUringCqe& out) {
+    bool found = false;
+    rig.pump_until([&] {
+      FfUringCqe cq[8];
+      const std::size_t n = ring.cq_pop(cq);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cq[i].user_data == ud) {
+          out = cq[i];
+          found = true;
+        }
+      }
+      return found;
+    });
+    return found;
+  };
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const int fd = ff_socket(a, fstack::kAfInet, fstack::kSockStream, 0);
+    if (fd < 0) break;
+    // Connect: verdict CQE only when the handshake resolves.
+    if (!apps::push_connect(ring, fd, {rig.ip_b(), 5400}, 1)) break;
+    FfUringCqe cqe;
+    if (!await(1, cqe) || cqe.result != 0) break;
+    int afd = -1;
+    rig.pump_until([&] {
+      afd = ff_accept(b, lfd, nullptr);
+      return afd >= 0;
+    });
+    if (afd < 0) break;
+    // Transfer: 4 KiB of OP_WRITEV SQEs (exactly-bounded 1 KiB caps).
+    // Short counts re-offer the shortfall; -EAGAIN (sockbuf full) retries
+    // after the await's pump let ACKs drain it. B reads classically.
+    std::uint64_t queued = 0;
+    bool xfer_ok = true;
+    while (queued < 4096) {
+      fstack::FfUringSqe w;
+      w.op = fstack::UringOp::kWritev;
+      w.fd = fd;
+      w.user_data = 2;
+      std::uint64_t entry = 0;
+      for (; w.ncaps < 4 && queued + entry < 4096; ++w.ncaps) {
+        const auto n =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                1024, 4096 - queued - entry));
+        w.caps[w.ncaps] = tx.window(0, n);
+        entry += n;
+      }
+      if (ring.sq_push(w) == fstack::FfUring::Push::kFull ||
+          !await(2, cqe)) {
+        xfer_ok = false;
+        break;
+      }
+      if (cqe.result > 0) {
+        queued += static_cast<std::uint64_t>(cqe.result);
+      } else if (cqe.result != -EAGAIN) {
+        xfer_ok = false;
+        break;
+      }
+    }
+    if (!xfer_ok) break;
+    std::int64_t got = 0;
+    rig.pump_until([&] {
+      const std::int64_t r = ff_read(b, afd, rx, 4096);
+      if (r > 0) got += r;
+      return got == 4096;
+    });
+    if (got != 4096) break;
+    // Close: ring verdict on A, FIN/EOF handshake with B, then wait for
+    // the reap (A holds the TIME_WAIT — it closed first) so the next
+    // cycle starts from a clean PCB table: steady-state churn, not
+    // accumulation.
+    if (!apps::push_close(ring, fd, 3)) break;
+    if (!await(3, cqe) || cqe.result != 0) break;
+    if (!rig.pump_until([&] { return ff_read(b, afd, rx, 4096) == 0; })) {
+      break;
+    }
+    ff_close(b, afd);
+    // Drain the close handshake AND A's TIME_WAIT hold-down (it closed
+    // first): both connection PCBs must reap (the listener lives in its
+    // own table) so every cycle starts from a clean slate — steady-state
+    // churn, not accumulation.
+    if (!rig.pump_until([&] {
+          return a.tcp_pcb_count() == 0 && b.tcp_pcb_count() == 0;
+        })) {
+      break;
+    }
+    ++row.completed;
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+  const double secs =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              wall1 - wall0)
+                              .count()) /
+      1e9;
+  row.lifecycles_per_sec =
+      secs > 0 ? static_cast<double>(row.completed) / secs : 0.0;
+  const auto& stats1 = a.api_stats();
+  row.sqes = stats1.uring_sqes - stats0.uring_sqes;
+  row.cqes = stats1.uring_cqes - stats0.uring_cqes;
+  row.doorbells = stats1.uring_doorbells - stats0.uring_doorbells;
+  row.v1_calls = stats1.v1_calls - stats0.v1_calls;
+  row.batch_calls = stats1.batch_calls - stats0.batch_calls;
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// JSON artifact
+// ---------------------------------------------------------------------------
+
+void emit_churn_json(const std::vector<WheelRow>& wheel, std::size_t iters,
+                     double sublinearity_x, const ChurnRow& churn) {
+  const char* dir = std::getenv("CHERINET_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                      : std::string()) +
+      "BENCH_churn.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"figure\": \"churn\",\n");
+  std::fprintf(f, "  \"wheel\": {\n    \"iters_per_rep\": %zu,\n"
+                  "    \"sublinearity_x\": %.2f,\n    \"rows\": [\n",
+               iters, sublinearity_x);
+  for (std::size_t i = 0; i < wheel.size(); ++i) {
+    std::fprintf(f,
+                 "      {\"idle_timers\": %zu, \"ns_per_iter\": %.1f, "
+                 "\"fired_per_iter\": %.2f, \"next_deadline_ns\": %.0f}%s\n",
+                 wheel[i].population, wheel[i].ns_per_iter,
+                 wheel[i].fired_per_iter, wheel[i].next_deadline_ns,
+                 i + 1 < wheel.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f,
+               "  \"ring_lifecycle\": {\n"
+               "    \"cycles\": %zu,\n    \"completed\": %zu,\n"
+               "    \"lifecycles_per_sec\": %.0f,\n"
+               "    \"sqes\": %llu,\n    \"cqes\": %llu,\n"
+               "    \"doorbells\": %llu,\n"
+               "    \"v1_calls\": %llu,\n    \"batch_calls\": %llu\n"
+               "  }\n}\n",
+               churn.cycles, churn.completed, churn.lifecycles_per_sec,
+               static_cast<unsigned long long>(churn.sqes),
+               static_cast<unsigned long long>(churn.cqes),
+               static_cast<unsigned long long>(churn.doorbells),
+               static_cast<unsigned long long>(churn.v1_calls),
+               static_cast<unsigned long long>(churn.batch_calls));
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Churn census: timer wheel at scale + ring-native lifecycle",
+               "ISSUE 6 (C1M north star; paper's crossing-tax argument "
+               "applied to connect/close)");
+
+  // ---- Part 1: idle-PCB timer sweep -------------------------------------
+  const auto iters =
+      static_cast<std::size_t>(env_u64("CHERINET_CHURN_ITERS", 50'000));
+  const int reps = static_cast<int>(env_u64("CHERINET_CHURN_REPS", 5));
+  std::vector<std::size_t> pops = {1'000, 10'000, 100'000};
+  if (env_u64("CHERINET_CHURN_C1M", 0) != 0) pops.push_back(1'000'000);
+  std::printf("\ntimer wheel, %zu loop turns x %d reps (min), 32 hot "
+              "timers over an idle keep-alive population:\n",
+              iters, reps);
+  std::vector<WheelRow> rows;
+  for (const std::size_t p : pops) {
+    rows.push_back(wheel_sweep(p, iters, reps));
+    const WheelRow& r = rows.back();
+    std::printf("  %8zu idle: %7.1f ns/turn  (%.2f fired/turn, "
+                "idle-stall scan %.0f ns)\n",
+                r.population, r.ns_per_iter, r.fired_per_iter,
+                r.next_deadline_ns);
+  }
+  // Sublinearity gate: 100x the idle population may cost at most 2x per
+  // turn (plus a whisker of absolute slack so sub-100ns baselines cannot
+  // flake on a noisy host). A per-PCB walk would blow this by ~100x.
+  const double ns3 = rows[0].ns_per_iter;
+  const double ns5 = rows[2].ns_per_iter;
+  const double sublinearity = ns3 > 0 ? ns5 / ns3 : 0.0;
+  int status = 0;
+  if (ns5 > 2.0 * ns3 + 100.0) {
+    std::fprintf(stderr,
+                 "FAIL: timer cost is not sublinear in idle PCBs "
+                 "(10^5: %.1f ns/turn vs 10^3: %.1f — %.1fx, budget 2x)\n",
+                 ns5, ns3, sublinearity);
+    status = 1;
+  } else {
+    std::printf("  sublinear: 10^5 idle costs %.2fx the 10^3 run "
+                "(budget 2x)\n", sublinearity);
+  }
+
+  // ---- Part 2: ring-native lifecycle churn -------------------------------
+  const auto cycles =
+      static_cast<std::size_t>(env_u64("CHERINET_CHURN_CYCLES", 64));
+  std::printf("\nlifecycle churn through the ring control plane "
+              "(%zu connect->4KiB->close cycles):\n", cycles);
+  const ChurnRow churn = churn_census(cycles);
+  std::printf("  %zu/%zu lifecycles, %.0f lifecycles/sec (wall, incl. "
+              "TIME_WAIT reap)\n  %llu sqes  %llu cqes  %llu doorbells  "
+              "%llu v1 calls  %llu batch calls\n",
+              churn.completed, churn.cycles, churn.lifecycles_per_sec,
+              static_cast<unsigned long long>(churn.sqes),
+              static_cast<unsigned long long>(churn.cqes),
+              static_cast<unsigned long long>(churn.doorbells),
+              static_cast<unsigned long long>(churn.v1_calls),
+              static_cast<unsigned long long>(churn.batch_calls));
+  if (churn.completed != churn.cycles) {
+    std::fprintf(stderr,
+                 "FAIL: only %zu of %zu lifecycles resolved through the "
+                 "ring\n", churn.completed, churn.cycles);
+    status = 1;
+  }
+  // Doorbell-only steady state: after the one attach, the whole lifecycle
+  // must ride SQEs/CQEs — any v1 call is a per-op crossing the control
+  // plane was built to eliminate. (batch_calls counts the STACK-side
+  // drains of our OP_WRITEV SQEs — ring traffic, not app crossings.)
+  if (churn.v1_calls != 0) {
+    std::fprintf(stderr,
+                 "FAIL: client compartment made %llu per-op API calls — "
+                 "lifecycle is not ring-resident\n",
+                 static_cast<unsigned long long>(churn.v1_calls));
+    status = 1;
+  }
+  if (churn.sqes < 3 * churn.completed) {
+    std::fprintf(stderr,
+                 "FAIL: %llu SQEs for %zu lifecycles — connect/transfer/"
+                 "close did not all ride the ring\n",
+                 static_cast<unsigned long long>(churn.sqes),
+                 churn.completed);
+    status = 1;
+  }
+  if (status == 0) {
+    std::printf("  doorbell-only: zero per-op API calls across %zu "
+                "lifecycles after one attach\n", churn.completed);
+  }
+
+  // Emit even on failure: a stale artifact from a previous passing run
+  // would misreport the trajectory.
+  emit_churn_json(rows, iters, sublinearity, churn);
+  return status;
+}

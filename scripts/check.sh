@@ -40,6 +40,14 @@ if [[ "$SANITIZE" != "1" ]]; then
   CHERINET_BENCH_BYTES="${CHERINET_BENCH_BYTES:-2097152}" \
   CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
     "$BUILD_DIR"/bench_table2_tcp_bandwidth || status=$?
+
+  # Connection-churn census: gates timer-cost sublinearity over idle-PCB
+  # populations (10^5 <= 2x 10^3 per loop turn; CHERINET_CHURN_C1M=1 adds
+  # the 10^6 point) and the doorbell-only ring lifecycle (zero per-op API
+  # calls across connect->transfer->close after one attach). Persists
+  # BENCH_churn.json.
+  CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
+    "$BUILD_DIR"/bench_churn_connection_scale || status=$?
 fi
 
 # Surface the census artifacts the bench gates emit (v1 / v2-batch /
@@ -47,7 +55,7 @@ fi
 # tx_burst): the perf trajectory tracked across PRs. Printed even when a
 # gate failed — a failing run's numbers are exactly the ones worth reading.
 for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
-         "$BUILD_DIR"/BENCH_table2.json; do
+         "$BUILD_DIR"/BENCH_table2.json "$BUILD_DIR"/BENCH_churn.json; do
   if [[ -f "$f" ]]; then
     echo "== bench artifact: $f"
     cat "$f"
@@ -57,6 +65,11 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
     grep -o '"tx_copies": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"emit_payload_reads": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"frames_per_burst": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    # Churn census evidence: timer-cost sublinearity across idle-PCB
+    # populations and the ring-resident lifecycle (v1_calls must be 0).
+    grep -o '"sublinearity_x": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"lifecycles_per_sec": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"v1_calls": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
   fi
 done
 exit "$status"

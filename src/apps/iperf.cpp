@@ -73,6 +73,10 @@ int IperfServer::use_uring(machine::CapView ring_mem,
   if (id < 0) return id;  // -ENOTSUP bindings keep the classic paths
   uring_ = ring;
   uring_id_ = id;
+  // CQ-sized credit ledger (uring_proto.hpp): bursts may fill at most half
+  // the CQ so completions for accept/readiness/recycle always have room.
+  ur_credits_.configure(
+      cq_capacity, static_cast<std::uint32_t>(fstack::FfUringSqe::kMaxCaps));
   ur_recycler_ =
       fstack::FfUringRecycler(&*uring_, classic_recycle_fallback(ops_));
   // Arm once: accepted fds and readiness arrive as CQEs from here on.
@@ -96,7 +100,7 @@ struct IperfServer::RxDispatch {
   }
   void on_accept(int fd, const fstack::FfSockAddrIn&) {
     if (static_cast<int>(s.conns_.size()) < s.expected_) {
-      s.conns_.push_back(Conn{fd, IperfReport{}, false, true});
+      s.conns_.push_back(Conn{fd, IperfReport{}, false, true, false});
       s.ops_->epoll_ctl(s.epfd_, fstack::EpollOp::kAdd, fd, fstack::kEpollIn,
                         static_cast<std::uint64_t>(fd));
     } else {
@@ -143,7 +147,14 @@ struct IperfServer::RxDispatch {
     // Datagrams ARE queued, the burst timeout is still running: stay hot
     // and repoll — an unchanged readiness mask will never re-publish.
   }
-  void on_burst_end(std::uint64_t) { s.ur_inflight_fd_ = -1; }
+  void on_burst_end(std::uint64_t user_data) {
+    for (Conn& c : s.conns_) {
+      if (c.fd == static_cast<int>(user_data) && c.inflight) {
+        c.inflight = false;
+        s.ur_credits_.release();
+      }
+    }
+  }
 };
 
 bool IperfServer::step_uring() {
@@ -155,22 +166,23 @@ bool IperfServer::step_uring() {
     progress = true;
     dispatch_rx_cqe(cq[i], h);
   }
-  // One zc burst in flight at a time, rotated round-robin across the
-  // connections: a saturating sender that stays hot must not starve its
-  // siblings of harvest bursts (the classic path drained every readable
-  // connection per step).
-  if (ur_inflight_fd_ < 0 && !conns_.empty()) {
-    for (std::size_t k = 0; k < conns_.size(); ++k) {
+  // One zc burst per connection, up to the ledger's credits overlapped
+  // inside the same CQ window, rotated round-robin so a saturating sender
+  // that stays hot cannot starve its siblings of harvest bursts.
+  if (!conns_.empty()) {
+    for (std::size_t k = 0; k < conns_.size() && ur_credits_.available();
+         ++k) {
       Conn& c = conns_[(ur_next_conn_ + k) % conns_.size()];
-      if (c.done || !c.hot) continue;
-      if (push_zc_recv(*uring_, c.fd, fstack::FfUringSqe::kMaxCaps,
-                       static_cast<std::uint64_t>(c.fd))) {
-        ur_inflight_fd_ = c.fd;
-        ur_next_conn_ = (ur_next_conn_ + k + 1) % conns_.size();
-        progress = true;
+      if (c.done || !c.hot || c.inflight) continue;
+      if (!push_zc_recv(*uring_, c.fd, fstack::FfUringSqe::kMaxCaps,
+                        static_cast<std::uint64_t>(c.fd))) {
+        break;  // SQ full: retry next step
       }
-      break;
+      c.inflight = true;
+      ur_credits_.acquire();
+      progress = true;
     }
+    ur_next_conn_ = (ur_next_conn_ + 1) % conns_.size();
   }
   if (ur_bell_.should_ring(*uring_, progress)) {
     ops_->uring_doorbell(uring_id_);
@@ -279,7 +291,7 @@ void IperfServer::accept_ready() {
     const int k = ops_->accept_batch(listen_fd_, {fds, want});
     if (k <= 0) break;
     for (int i = 0; i < k; ++i) {
-      conns_.push_back(Conn{fds[i], IperfReport{}, false});
+      conns_.push_back(Conn{fds[i], IperfReport{}, false, false, false});
       ops_->epoll_ctl(epfd_, fstack::EpollOp::kAdd, fds[i], fstack::kEpollIn,
                       static_cast<std::uint64_t>(fds[i]));
     }

@@ -86,7 +86,8 @@ class IperfServer {
     int fd = -1;
     IperfReport report;
     bool done = false;
-    bool hot = false;  // uring mode: a drain burst is worth submitting
+    bool hot = false;       // uring mode: a drain burst is worth submitting
+    bool inflight = false;  // uring mode: a zc burst CQE train outstanding
   };
   struct RxDispatch;  // uring_proto CQE handler (defined in iperf.cpp)
 
@@ -110,7 +111,11 @@ class IperfServer {
   std::optional<fstack::FfEventRing> ring_;  // multishot consumer side
   std::optional<fstack::FfUring> uring_;     // v3: the whole RX pipeline
   int uring_id_ = -1;
-  int ur_inflight_fd_ = -1;  // conn with an OP_ZC_RECV burst in flight
+  // Per-connection burst credits (shared ledger in uring_proto.hpp): up to
+  // credits() connections overlap one zc burst each inside the CQ window.
+  // Replaces the old single global in-flight burst, which serialized
+  // multi-connection harvests.
+  UringBurstCredits ur_credits_;
   std::size_t ur_next_conn_ = 0;  // round-robin cursor for burst fairness
   fstack::FfUringRecycler ur_recycler_;
   fstack::FfUringDoorbellPolicy ur_bell_;

@@ -11,12 +11,14 @@
 // around these helpers rather than re-implementing the ring discipline.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <unordered_map>
 
+#include "fstack/epoll.hpp"
 #include "fstack/uring.hpp"
 #include "machine/cap_view.hpp"
 
@@ -282,6 +284,38 @@ bool dispatch_rx_cqe(const fstack::FfUringCqe& cqe, Handler&& h) {
   }
 }
 
+/// Per-connection zc-burst credit ledger shared by ring receive consumers:
+/// each connection keeps at most ONE OP_ZC_RECV burst outstanding (its CQE
+/// train is bounded by the per-burst loan cap), and up to credits()
+/// connections may overlap their bursts inside one CQ window — the stack
+/// fills several connections' trains per drain instead of one burst per
+/// doorbell round trip. configure() sizes the ledger so the worst-case
+/// trains fill at most HALF the CQ; the other half stays free for accept/
+/// readiness/recycle completions, so bursts can never push the stack into
+/// its deferred CQ-overflow path.
+class UringBurstCredits {
+ public:
+  /// `max_caps` is the per-burst CQE bound (usually FfUringSqe::kMaxCaps).
+  void configure(std::uint32_t cq_capacity, std::uint32_t max_caps) {
+    credits_ = std::max<std::uint32_t>(
+        1, cq_capacity / (2 * std::max<std::uint32_t>(1, max_caps)));
+    inflight_ = 0;
+  }
+  [[nodiscard]] bool available() const noexcept {
+    return inflight_ < credits_;
+  }
+  void acquire() noexcept { ++inflight_; }
+  void release() noexcept {
+    if (inflight_ > 0) --inflight_;
+  }
+  [[nodiscard]] std::uint32_t inflight() const noexcept { return inflight_; }
+  [[nodiscard]] std::uint32_t credits() const noexcept { return credits_; }
+
+ private:
+  std::uint32_t inflight_ = 0;  // bursts currently outstanding
+  std::uint32_t credits_ = 1;   // max overlapped bursts (CQ-sized)
+};
+
 /// Push one OP_ZC_RECV burst request (shared by every receive consumer so
 /// the a0/a1 argument convention cannot drift): `max_loans` CQEs at most,
 /// `timeout_ns` is the UDP recvmmsg-style coalescing knob (0 on TCP).
@@ -298,13 +332,16 @@ inline bool push_zc_recv(fstack::FfUring& ring, int fd,
 }
 
 /// Arm multishot accept / epoll delivery (the two one-time arms of the
-/// receive pipeline).
+/// receive pipeline). `auto_arm` additionally subscribes every accepted fd
+/// to readiness CQEs in the same ring (kEpollArm-shaped, aux0 = fd) — a
+/// churn-heavy acceptor never issues another control call per connection.
 inline bool push_accept_arm(fstack::FfUring& ring, int listen_fd,
-                            std::uint64_t user_data) {
+                            std::uint64_t user_data, bool auto_arm = false) {
   fstack::FfUringSqe sqe;
   sqe.op = fstack::UringOp::kAcceptMultishot;
   sqe.fd = listen_fd;
   sqe.user_data = user_data;
+  sqe.a[0] = auto_arm ? 1 : 0;
   return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
 }
 
@@ -314,6 +351,53 @@ inline bool push_epoll_arm(fstack::FfUring& ring, int epfd,
   sqe.op = fstack::UringOp::kEpollArm;
   sqe.fd = epfd;
   sqe.user_data = user_data;
+  return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
+}
+
+// ---------------------------------------------------------------------------
+// Ring-native control plane (v5): connection lifecycle without leaving the
+// submission ring. One CQE per verdict; user_data is caller-chosen and aux0
+// always echoes the fd so completions can be routed per connection.
+// ---------------------------------------------------------------------------
+
+/// OP_CONNECT: begin a TCP handshake toward `peer`. The CQE arrives only
+/// once the handshake RESOLVES — result 0 on ESTABLISHED, -errno on
+/// refusal/timeout — never an intermediate -EINPROGRESS.
+inline bool push_connect(fstack::FfUring& ring, int fd,
+                         const fstack::FfSockAddrIn& peer,
+                         std::uint64_t user_data) {
+  fstack::FfUringSqe sqe;
+  sqe.op = fstack::UringOp::kConnect;
+  sqe.fd = fd;
+  sqe.user_data = user_data;
+  sqe.a[0] = fstack::uring_pack_addr(peer);
+  return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
+}
+
+/// OP_CLOSE: immediate-verdict close of `fd` (result = ff_close verdict).
+inline bool push_close(fstack::FfUring& ring, int fd,
+                       std::uint64_t user_data) {
+  fstack::FfUringSqe sqe;
+  sqe.op = fstack::UringOp::kClose;
+  sqe.fd = fd;
+  sqe.user_data = user_data;
+  return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
+}
+
+/// OP_EPOLL_CTL: add/del/mod `target` in epoll instance `epfd` through the
+/// ring (immediate-verdict CQE) instead of a proxied ff_epoll_ctl crossing.
+inline bool push_epoll_ctl(fstack::FfUring& ring, int epfd,
+                           fstack::EpollOp op, int target,
+                           std::uint32_t events, std::uint64_t data,
+                           std::uint64_t user_data) {
+  fstack::FfUringSqe sqe;
+  sqe.op = fstack::UringOp::kEpollCtl;
+  sqe.fd = epfd;
+  sqe.user_data = user_data;
+  sqe.a[0] = static_cast<std::uint64_t>(op);
+  sqe.a[1] = static_cast<std::uint64_t>(target);
+  sqe.a[2] = events;
+  sqe.a[3] = data;
   return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
 }
 

@@ -137,6 +137,57 @@
 //     bounded per hop in frames AND bytes with a pending-resolution TTL
 //     (drops and expirations counted in ArpCache::Stats).
 //
+// v4 -> v5 migration table: the ring-native control plane
+// ------------------------------------------------------------------------
+// v3/v4 left connect, close and epoll_ctl as the last per-call crossings —
+// exactly the tax a churn-heavy proxy pays per CONNECTION rather than per
+// byte. v5 moves the whole connection lifecycle onto the ring: after the
+// one ff_uring_attach, a client never crosses again (doorbells aside).
+//
+//  v4 (one crossing per call)          | v5 (zero crossings per lifecycle)
+// -------------------------------------|----------------------------------
+//  ff_connect(fd, addr) -> -EINPROGRESS| SQE OP_CONNECT (a0 = packed
+//    + epoll EPOLLOUT wait + getsockopt|   addr): ONE verdict CQE when the
+//    -style completion probe           |   handshake RESOLVES — result 0
+//                                      |   on ESTABLISHED, -errno on
+//                                      |   refusal/timeout; never an
+//                                      |   intermediate -EINPROGRESS
+//  ff_close(fd)                        | SQE OP_CLOSE: immediate-verdict
+//                                      |   CQE (result = close verdict,
+//                                      |   aux0 echoes the fd)
+//  ff_epoll_ctl(epfd, op, fd, ev)      | SQE OP_EPOLL_CTL (a0 = EpollOp,
+//                                      |   a1 = target fd, a2 = events,
+//                                      |   a3 = user data): immediate
+//                                      |   per-entry verdict CQE
+//  epoll_ctl(ADD) per accepted fd      | OP_ACCEPT_MULTISHOT a0 bit 0 =
+//                                      |   auto-arm: every accepted fd is
+//                                      |   subscribed to readiness CQEs
+//                                      |   (kEpollArm-shaped, aux0 = fd)
+//                                      |   in the acceptor's own CQ — no
+//                                      |   epoll instance needed at all
+// ------------------------------------------------------------------------
+//  semantics deltas (v5) — control-plane ownership rules:
+//   * OP_CONNECT pins the fd's verdict to the submitting ring: the CQE
+//     arrives on THAT ring even if the app also polls classically; a bad
+//     fd answers an inline -EBADF CQE on the next drain;
+//   * OP_CLOSE ends app ownership of the fd at CQE time — later classic
+//     calls on it are -EBADF — but zc RX loan tokens OUTLIVE the
+//     connection: each outstanding token still owes exactly one
+//     OP_RECYCLE/ff_zc_recycle (a pure pool return once the PCB died) and
+//     replays still answer -EINVAL;
+//   * auto-armed readiness follows the multishot discipline (kCqeMore set
+//     while the subscription persists, mask-change/activity triggered);
+//   * listener SYN queues are BOUNDED (listen backlog caps embryonic
+//     PCBs; a full accept queue also refuses new SYNs): surplus SYNs are
+//     dropped and counted (TcpPcb::syn_backlog_drops), and the client's
+//     retransmit makes overflow a deferral, not a denial;
+//   * per-PCB protocol timers (RTO, delack, TIME_WAIT, keep-alive, ARP
+//     pending TTL) live in a hierarchical timing wheel
+//     (fstack/timer_wheel.hpp): a loop turn costs O(due timers), not
+//     O(connections) — the bench/churn_connection_scale.cpp census gates
+//     10^5 idle PCBs at <= 2x the 10^3 per-turn cost;
+//   * every classic call keeps working — v5 is additive, not a flag day.
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.

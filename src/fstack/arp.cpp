@@ -44,6 +44,16 @@ std::vector<updk::Mbuf*> ArpCache::take_expired(sim::Ns now) {
   return out;
 }
 
+std::optional<sim::Ns> ArpCache::next_expiry() const {
+  std::optional<sim::Ns> d;
+  for (const auto& [ip, hop] : pending_) {
+    if (hop.frames.empty()) continue;
+    const sim::Ns e = hop.oldest + cfg_.pending_ttl;
+    if (!d || e < *d) d = e;
+  }
+  return d;
+}
+
 std::vector<updk::Mbuf*> ArpCache::take_parked(Ipv4Addr ip) {
   const auto it = pending_.find(ip);
   if (it == pending_.end()) return {};

@@ -51,6 +51,11 @@ class ArpCache {
   /// expirations in stats.
   [[nodiscard]] std::vector<updk::Mbuf*> take_expired(sim::Ns now);
 
+  /// Earliest moment a parked frame outwaits pending_ttl (nullopt when no
+  /// frames are parked) — what FfStack registers into its timer wheel so
+  /// expiry is deadline-driven, not polled per loop turn.
+  [[nodiscard]] std::optional<sim::Ns> next_expiry() const;
+
   /// Take all frames waiting on `ip` (called on ARP reply). The caller
   /// owns the returned mbufs.
   [[nodiscard]] std::vector<updk::Mbuf*> take_parked(Ipv4Addr ip);

@@ -106,17 +106,16 @@ bool FfStack::run_once() {
   pool_->free_bulk({rx, n});
   progress |= n > 0;
 
+  // Expire DUE timers only: the hierarchical wheel replaces the old
+  // every-PCB deadline walk (ARP pending-TTL drops ride the same wheel
+  // under the reserved cookie).
   process_timers(clock_->now(), progress);
 
-  // Unresolvable hops must not pin pool buffers: frames parked past the
-  // ARP pending TTL drop here (their senders' protocols recover).
-  for (updk::Mbuf* m : arp_.take_expired(clock_->now())) {
-    pool_->free_chain(m);
-    progress = true;
-  }
-
   if (!pending_output_.empty()) {
-    for (TcpPcb* pcb : pending_output_) progress |= pcb->output();
+    for (TcpPcb* pcb : pending_output_) {
+      progress |= pcb->output();
+      timer_sync(pcb);
+    }
     pending_output_.clear();
   }
 
@@ -151,20 +150,66 @@ std::optional<MbufSlice> FfStack::tcp_rx_loan(
 }
 
 std::optional<sim::Ns> FfStack::next_deadline() const {
+  // O(1)-ish: the wheel's first non-empty slot stands in for every armed
+  // PCB deadline and the ARP pending TTL — no per-PCB scan. The wheel
+  // reports the TICK BOUNDARY at or after the earliest real deadline
+  // (never earlier than a firing time), so advancing the virtual clock to
+  // it always makes at least one timer due.
   std::optional<sim::Ns> d = dev_->next_event();
-  const auto merge = [&d](const std::optional<sim::Ns>& t) {
-    if (t && (!d || *t < *d)) d = t;
-  };
-  for (const auto& [tuple, pcb] : tcp_pcbs_) merge(pcb->next_deadline());
-  for (const auto& [port, pcb] : tcp_listeners_) merge(pcb->next_deadline());
+  const auto w = wheel_.next_deadline();
+  if (w && (!d || *w < *d)) d = w;
   return d;
 }
 
-void FfStack::process_timers(sim::Ns now, bool& progress) {
-  for (auto& [tuple, pcb] : tcp_pcbs_) {
-    const auto d = pcb->next_deadline();
-    if (d && now >= *d) progress |= pcb->on_timer(now);
+void FfStack::timer_sync(TcpPcb* pcb) {
+  const auto d = pcb->next_deadline();
+  if (d == pcb->wheel_deadline) return;  // registration already accurate
+  if (pcb->wheel_id != TimerWheel::kInvalidId) {
+    wheel_.cancel(pcb->wheel_id);
+    pcb->wheel_id = TimerWheel::kInvalidId;
   }
+  pcb->wheel_deadline = d;
+  if (d) {
+    pcb->wheel_id =
+        wheel_.arm(*d, static_cast<std::uint64_t>(
+                           reinterpret_cast<std::uintptr_t>(pcb)));
+  }
+}
+
+void FfStack::arp_timer_sync() {
+  const auto d = arp_.next_expiry();
+  if (d == arp_wheel_deadline_) return;
+  if (arp_wheel_id_ != TimerWheel::kInvalidId) {
+    wheel_.cancel(arp_wheel_id_);
+    arp_wheel_id_ = TimerWheel::kInvalidId;
+  }
+  arp_wheel_deadline_ = d;
+  if (d) arp_wheel_id_ = wheel_.arm(*d, 0);  // cookie 0: the ARP sentinel
+}
+
+void FfStack::process_timers(sim::Ns now, bool& progress) {
+  bool any = false;
+  wheel_.expire(now, [&](std::uint64_t cookie) {
+    if (cookie == 0) {
+      // Unresolvable hops must not pin pool buffers: frames parked past
+      // the ARP pending TTL drop here (their senders' protocols recover).
+      arp_wheel_id_ = TimerWheel::kInvalidId;
+      arp_wheel_deadline_.reset();
+      for (updk::Mbuf* m : arp_.take_expired(now)) {
+        pool_->free_chain(m);
+        any = true;
+      }
+      arp_timer_sync();  // hops still younger than the TTL re-register
+      return;
+    }
+    auto* pcb =
+        reinterpret_cast<TcpPcb*>(static_cast<std::uintptr_t>(cookie));
+    pcb->wheel_id = TimerWheel::kInvalidId;  // the entry just fired
+    pcb->wheel_deadline.reset();
+    any |= pcb->on_timer(now);
+    timer_sync(pcb);  // re-register whatever deadline survives the fire
+  });
+  progress |= any;
 }
 
 void FfStack::reap_closed() {
@@ -176,6 +221,10 @@ void FfStack::reap_closed() {
       // dying PCB so recycling degrades to a pure pool return.
       for (auto& [token, loan] : zc_rx_loans_) {
         if (loan.pcb == pcb) loan.pcb = nullptr;
+      }
+      if (pcb->wheel_id != TimerWheel::kInvalidId) {
+        wheel_.cancel(pcb->wheel_id);  // no wheel cookie may dangle
+        pcb->wheel_id = TimerWheel::kInvalidId;
       }
       pending_output_.erase(pcb);
       port_unref(pcb->tuple().local_port);
@@ -263,6 +312,7 @@ void FfStack::arp_input(std::span<const std::byte> payload) {
   for (updk::Mbuf* pkt : arp_.take_parked(ah->spa)) {
     if (prepend_ether(pkt, ah->sha, kEtherTypeIpv4)) stage_frame(pkt);
   }
+  arp_timer_sync();  // the resolved hop's pending-TTL deadline is gone
 
   if (ah->oper == ArpHeader::kOpRequest && ah->tpa == cfg_.netif.ip) {
     send_arp(ArpHeader::kOpReply, ah->sha, ah->spa);
@@ -387,6 +437,7 @@ void FfStack::tcp_input_seg(const Ipv4Header& ih,
   const FourTuple tuple{ih.dst, th->dst_port, ih.src, th->src_port};
   if (const auto it = tcp_pcbs_.find(tuple); it != tcp_pcbs_.end()) {
     it->second->input(*th, opts, payload);
+    timer_sync(it->second.get());
     return;
   }
   if (const auto lit = tcp_listeners_.find(th->dst_port);
@@ -395,6 +446,11 @@ void FfStack::tcp_input_seg(const Ipv4Header& ih,
        lit->second->tuple().local_ip == Ipv4Addr{})) {
     lit->second->pending_remote_ip = ih.src;
     lit->second->input(*th, opts, payload);
+    // A spawned child armed its SYN-ACK retransmit inside input_listen:
+    // register the fresh PCB's deadline before the loop sleeps on it.
+    if (const auto cit = tcp_pcbs_.find(tuple); cit != tcp_pcbs_.end()) {
+      timer_sync(cit->second.get());
+    }
     return;
   }
   if (!th->has(tcpflag::kRst)) send_tcp_rst(ih, *th, payload.size());
@@ -502,6 +558,7 @@ bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop) {
       pool_->free(flat);
       return false;
     }
+    arp_timer_sync();  // a fresh hop's pending TTL enters the wheel
     return true;
   }
   if (!prepend_ether(head, *mac, kEtherTypeIpv4)) return false;
@@ -874,6 +931,7 @@ int FfStack::sock_accept(int fd, FourTuple* peer_out) {
     Socket* cs = socks_.create(SockKind::kTcp);
     if (cs == nullptr) {
       child->abort(ECONNABORTED);
+      timer_sync(child);
       detached_.insert(child);
       return -EMFILE;
     }
@@ -903,7 +961,8 @@ int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
   port_ref(tuple.local_port);
   s->pcb = raw;
   raw->open_connect(tuple, new_iss());
-  flush_tx();  // the SYN leaves before the call returns
+  timer_sync(raw);  // the SYN's retransmit deadline enters the wheel
+  sync_flush();  // the SYN leaves before the call returns
   return -EINPROGRESS;
 }
 
@@ -955,6 +1014,7 @@ std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov,
   } else {
     pending_output_.insert(pcb);
   }
+  timer_sync(pcb);
   sync_flush();  // synchronous progress: the batch's segments leave now
   return static_cast<std::int64_t>(queued);
 }
@@ -991,6 +1051,7 @@ std::int64_t FfStack::readv_impl(int fd, std::span<const FfIovec> iov) {
   }
   if (total > 0) {
     if (cfg_.inline_tcp_output) pcb->output();
+    timer_sync(pcb);
     // app_read may have emitted a window-reopening ACK even in deferred
     // mode: it leaves before the call returns.
     flush_tx();
@@ -1273,6 +1334,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     } else {
       pending_output_.insert(pcb);
     }
+    timer_sync(pcb);
     sync_flush();  // synchronous progress for the inline path
     return static_cast<std::int64_t>(len);
   }
@@ -1479,7 +1541,10 @@ int FfStack::sock_zc_recycle(FfZcRxBuf& zc) {
   const ZcRxLoan loan = it->second;
   zc_rx_loans_.erase(it);
   pool_->recycle(loan.m);
-  if (loan.pcb != nullptr) loan.pcb->zc_rx_credit(loan.charge);
+  if (loan.pcb != nullptr) {
+    loan.pcb->zc_rx_credit(loan.charge);
+    timer_sync(loan.pcb);  // the credit may have emitted a window ACK
+  }
   if (loan.udp != nullptr) loan.udp->credit_loan(loan.charge);
   zc.token = 0;
   zc.data = machine::CapView{};
@@ -1505,9 +1570,13 @@ int FfStack::sock_close(int fd) {
                 pcb->abort(ECONNABORTED);
                 detached_.insert(pcb.get());
               }
+              timer_sync(pcb.get());
             }
           }
           s->pcb->accept_queue.clear();
+          if (s->pcb->wheel_id != TimerWheel::kInvalidId) {
+            wheel_.cancel(s->pcb->wheel_id);
+          }
           tcp_listeners_.erase(s->local_port);
         }
         // A dying listener ends its multishot accept arms.
@@ -1519,8 +1588,10 @@ int FfStack::sock_close(int fd) {
         }
       } else if (s->pcb != nullptr) {
         s->pcb->app_close();
+        timer_sync(s->pcb);
         detached_.insert(s->pcb);
       }
+      uring_forget_fd(fd);  // the fd's connect/readiness arms end with it
       break;
     case SockKind::kUdp:
       udp_binds_.erase(s->local_port);
@@ -1537,7 +1608,7 @@ int FfStack::sock_close(int fd) {
       break;
   }
   socks_.release(fd);
-  flush_tx();  // FIN/RST emission is synchronous with the close
+  sync_flush();  // FIN/RST emission is synchronous with the close
   return 0;
 }
 
@@ -1693,6 +1764,9 @@ void validate_sqe(DecodedSqe& d) {
     case UringOp::kRecycle:
     case UringOp::kAcceptMultishot:
     case UringOp::kEpollArm:
+    case UringOp::kConnect:
+    case UringOp::kClose:
+    case UringOp::kEpollCtl:
       return;  // no SQE capability payload; tokens/fds verify at execution
     case UringOp::kWritev:
     case UringOp::kSendmsgBatch:
@@ -1739,7 +1813,8 @@ int FfStack::uring_attach(const machine::CapView& mem,
     return -EINVAL;  // header not initialized (FfUring ctor does that)
   }
   const int id = next_uring_id_++;
-  urings_.emplace(id, UringReg{mem, sq_capacity, cq_capacity, {}, {}});
+  urings_.emplace(id,
+                  UringReg{mem, sq_capacity, cq_capacity, {}, {}, {}, {}});
   // A ring attached while the loop is between park and wake still gets an
   // accurate doorbell hint.
   if (urings_parked_) mem.atomic_store_u32(FfUring::kStackState, kStackParked);
@@ -1770,6 +1845,8 @@ int FfStack::uring_doorbell(int id) {
   const std::uint32_t consumed =
       uring_drain_sqes(it->second, kUringDrainBudget);
   uring_service_accept(it->second);
+  uring_service_connect(it->second);
+  uring_service_fd_arms(it->second);
   flush_tx();  // the doorbell's drain must make synchronous wire progress
   // The doorbell runs on the CALLER's sealed jump; the main loop may well
   // still be parked. Leave the header telling the truth, or the next
@@ -1813,7 +1890,11 @@ bool FfStack::drain_urings() {
       }
     }
   }
-  for (auto& [id, r] : urings_) progress |= uring_service_accept(r);
+  for (auto& [id, r] : urings_) {
+    progress |= uring_service_accept(r);
+    progress |= uring_service_connect(r);
+    progress |= uring_service_fd_arms(r);
+  }
   return progress;
 }
 
@@ -2062,7 +2143,45 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                           [&d](const UringReg::AcceptArm& a) {
                             return a.fd == d.fd;
                           });
-            r.accept_arms.push_back({d.fd, d.user_data});
+            r.accept_arms.push_back({d.fd, d.user_data,
+                                     (d.a[0] & 1) != 0});
+            break;
+          }
+          case UringOp::kConnect: {
+            const FfSockAddrIn to = uring_unpack_addr(d.a[0]);
+            const std::int64_t res = sock_connect(d.fd, to.ip, to.port);
+            if (res == -EINPROGRESS) {
+              // The CQE posts when the handshake resolves — the app never
+              // polls or re-crosses for connection establishment.
+              r.connect_arms.push_back({d.fd, d.user_data});
+            } else {
+              uring_cq_emit(r, d.user_data, res, d.op, 0,
+                            static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(d.fd)),
+                            0, nullptr);
+              if (res < 0) api_.uring_sqe_errors++;
+            }
+            break;
+          }
+          case UringOp::kClose: {
+            const std::int64_t res = sock_close(d.fd);
+            uring_cq_emit(r, d.user_data, res, d.op, 0,
+                          static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(d.fd)),
+                          0, nullptr);
+            if (res < 0) api_.uring_sqe_errors++;
+            break;
+          }
+          case UringOp::kEpollCtl: {
+            const auto op_code = static_cast<std::uint64_t>(d.a[0]);
+            std::int64_t res = -EINVAL;
+            if (op_code >= 1 && op_code <= 3) {
+              res = epoll_ctl(d.fd, static_cast<EpollOp>(op_code),
+                              static_cast<int>(d.a[1]),
+                              static_cast<std::uint32_t>(d.a[2]), d.a[3]);
+            }
+            uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
+            if (res < 0) api_.uring_sqe_errors++;
             break;
           }
           case UringOp::kEpollArm: {
@@ -2133,6 +2252,12 @@ bool FfStack::uring_service_accept(UringReg& r) {
                     kCqeMore,
                     uring_pack_addr({peer.remote_ip, peer.remote_port}), 0,
                     nullptr);
+      if (it->auto_arm) {
+        // The accepted fd is born armed: readiness edges post into THIS
+        // ring with the fd as the event payload — no OP_EPOLL_CTL
+        // round trip per connection.
+        r.fd_arms.push_back({nfd, it->user_data, 0, 0});
+      }
       progress = true;
     }
     ++it;
@@ -2140,9 +2265,99 @@ bool FfStack::uring_service_accept(UringReg& r) {
   return progress;
 }
 
+bool FfStack::uring_service_connect(UringReg& r) {
+  bool progress = false;
+  for (auto it = r.connect_arms.begin(); it != r.connect_arms.end();) {
+    const Socket* s = socks_.get(it->fd);
+    const TcpPcb* pcb = s != nullptr ? s->pcb : nullptr;
+    std::int64_t res = 1;  // sentinel: still in flight, no CQE yet
+    if (pcb == nullptr) {
+      res = -EBADF;  // fd closed mid-handshake
+    } else if (pcb->error() != 0) {
+      res = -pcb->error();
+    } else if (pcb->connected()) {
+      res = 0;
+    } else if (pcb->closed()) {
+      res = -ECONNABORTED;
+    }
+    if (res == 1) {
+      ++it;  // SYN_SENT/SYN_RCVD: the rexmit machinery is still trying
+      continue;
+    }
+    if (uring_cq_space(r) == 0) {  // defer (never drop) the verdict
+      r.mem.atomic_store_u32(
+          FfUring::kCqOverflow,
+          r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+      break;
+    }
+    uring_cq_emit(r, it->user_data, res, UringOp::kConnect, 0,
+                  static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(it->fd)),
+                  0, nullptr);
+    if (res < 0) api_.uring_sqe_errors++;
+    it = r.connect_arms.erase(it);
+    progress = true;
+  }
+  return progress;
+}
+
+bool FfStack::uring_service_fd_arms(UringReg& r) {
+  bool progress = false;
+  for (auto it = r.fd_arms.begin(); it != r.fd_arms.end();) {
+    if (socks_.get(it->fd) == nullptr) {
+      it = r.fd_arms.erase(it);  // fd released: the arm ends silently
+      continue;
+    }
+    const std::uint32_t mask = sock_readiness(it->fd);
+    const std::uint64_t gen = sock_rx_activity(it->fd);
+    if (mask == 0) {
+      // Went quiet: remember silently so the next edge republishes.
+      it->last_mask = 0;
+      it->last_gen = gen;
+      ++it;
+      continue;
+    }
+    if (mask == it->last_mask && gen == it->last_gen) {
+      ++it;  // unchanged readiness never spams the CQ
+      continue;
+    }
+    if (uring_cq_space(r) == 0) {  // defer: last_* stays stale, so the
+      r.mem.atomic_store_u32(      // edge re-derives next service pass
+          FfUring::kCqOverflow,
+          r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+      break;
+    }
+    uring_cq_emit(r, it->user_data, static_cast<std::int64_t>(mask),
+                  UringOp::kEpollArm, kCqeMore,
+                  static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(it->fd)),
+                  0, nullptr);
+    it->last_mask = mask;
+    it->last_gen = gen;
+    api_.multishot_events++;
+    progress = true;
+    ++it;
+  }
+  return progress;
+}
+
+void FfStack::uring_forget_fd(int fd) {
+  for (auto& [id, reg] : urings_) {
+    std::erase_if(reg.connect_arms,
+                  [fd](const UringReg::ConnectArm& a) { return a.fd == fd; });
+    std::erase_if(reg.fd_arms,
+                  [fd](const UringReg::FdArm& a) { return a.fd == fd; });
+  }
+}
+
 TcpPcb* FfStack::find_pcb(const FourTuple& t) {
   const auto it = tcp_pcbs_.find(t);
   return it != tcp_pcbs_.end() ? it->second.get() : nullptr;
+}
+
+const TcpPcb* FfStack::find_listener(std::uint16_t port) const {
+  const auto it = tcp_listeners_.find(port);
+  return it != tcp_listeners_.end() ? it->second.get() : nullptr;
 }
 
 void FfStack::send_ping(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,

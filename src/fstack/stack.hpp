@@ -23,6 +23,7 @@
 #include "fstack/icmp.hpp"
 #include "fstack/ipv4.hpp"
 #include "fstack/socket.hpp"
+#include "fstack/timer_wheel.hpp"
 #include "machine/heap.hpp"
 #include "updk/ethdev.hpp"
 #include "updk/mempool.hpp"
@@ -163,6 +164,19 @@ class FfStack final : public TcpEnv {
   [[nodiscard]] updk::EthDev& dev() noexcept { return *dev_; }
   [[nodiscard]] const SocketTable& sockets() const noexcept { return socks_; }
   [[nodiscard]] TcpPcb* find_pcb(const FourTuple& t);
+  /// The listening PCB bound to `port` (tests: SYN-backlog accounting).
+  [[nodiscard]] const TcpPcb* find_listener(std::uint16_t port) const;
+  /// The hierarchical timer wheel (tests/censuses: registration count must
+  /// track live armed PCB deadlines, and per-turn cost must scale with DUE
+  /// timers, not PCBs).
+  [[nodiscard]] const TimerWheel& timer_wheel() const noexcept {
+    return wheel_;
+  }
+  /// Live connected/embryonic TCP PCBs (tests: churn teardown must reap —
+  /// a stable count across connect/transfer/close cycles is the leak gate).
+  [[nodiscard]] std::size_t tcp_pcb_count() const noexcept {
+    return tcp_pcbs_.size();
+  }
   void send_ping(Ipv4Addr dst, std::uint16_t id, std::uint16_t seq,
                  std::size_t payload_len);
   [[nodiscard]] const PingTracker& pings() const noexcept { return pings_; }
@@ -335,9 +349,29 @@ class FfStack final : public TcpEnv {
     struct AcceptArm {
       int fd = -1;
       std::uint64_t user_data = 0;
+      /// OP_ACCEPT_MULTISHOT a0 bit 0: auto-arm every accepted fd for
+      /// readiness CQEs in this ring (no per-fd OP_EPOLL_CTL needed).
+      bool auto_arm = false;
     };
     std::vector<AcceptArm> accept_arms;  // OP_ACCEPT_MULTISHOT listeners
     std::vector<int> epoll_arms;         // epfds sinking CQEs into this ring
+    /// OP_CONNECT submissions in flight: the CQE posts when the handshake
+    /// resolves (0 on ESTABLISHED, -errno on refusal/timeout).
+    struct ConnectArm {
+      int fd = -1;
+      std::uint64_t user_data = 0;
+    };
+    std::vector<ConnectArm> connect_arms;
+    /// Auto-armed accepted fds: readiness edges post as OP_EPOLL_ARM-shaped
+    /// CQEs (result = mask, aux0 = fd). last_mask/last_gen dedup exactly
+    /// like EpollInstance::publish, so steady readable fds do not spam CQEs.
+    struct FdArm {
+      int fd = -1;
+      std::uint64_t user_data = 0;
+      std::uint32_t last_mask = 0;
+      std::uint64_t last_gen = 0;
+    };
+    std::vector<FdArm> fd_arms;
   };
   /// Drain every attached ring under ONE fair-shared per-iteration budget:
   /// the 64-SQE allowance splits evenly across rings and unused shares
@@ -355,6 +389,12 @@ class FfStack final : public TcpEnv {
                      const machine::CapView* cap);
   [[nodiscard]] std::uint32_t uring_cq_space(const UringReg& r) const;
   bool uring_service_accept(UringReg& r);
+  /// Post CQEs for OP_CONNECT handshakes that resolved since submission.
+  bool uring_service_connect(UringReg& r);
+  /// Post readiness-edge CQEs for auto-armed accepted fds.
+  bool uring_service_fd_arms(UringReg& r);
+  /// Drop fd from every ring's connect/fd arms (socket closed or errored).
+  void uring_forget_fd(int fd);
   /// Drop `epfd` from every ring's epoll_arms list. Called whenever an
   /// epoll instance's multishot delivery is replaced (re-armed onto
   /// another ring, onto a v2 event ring, or cancelled): the OLD ring must
@@ -363,6 +403,14 @@ class FfStack final : public TcpEnv {
 
   // housekeeping
   void process_timers(sim::Ns now, bool& progress);
+  /// Reconcile one PCB's earliest deadline with its (single) wheel entry:
+  /// cancel + re-arm only when the deadline actually changed. Called after
+  /// every PCB-mutating operation — input, output, app calls, timer fires —
+  /// so the wheel is the one source of truth for FfStack::next_deadline().
+  void timer_sync(TcpPcb* pcb);
+  /// Same reconciliation for the ARP pending-TTL deadline (one wheel entry
+  /// with the reserved cookie 0).
+  void arp_timer_sync();
   void reap_closed();
   void publish_multishot();
   /// Publish current readiness of every interest-set fd into `ep`'s armed
@@ -391,6 +439,11 @@ class FfStack final : public TcpEnv {
   std::unordered_map<std::uint16_t, UdpPcb*> udp_binds_;  // port -> pcb
 
   ArpCache arp_;
+  // Hierarchical timing wheel: every armed PCB deadline (and the ARP
+  // pending TTL) registers here; a loop turn expires only DUE timers.
+  TimerWheel wheel_;
+  TimerWheel::Id arp_wheel_id_ = TimerWheel::kInvalidId;
+  std::optional<sim::Ns> arp_wheel_deadline_;
   FragReassembler reasm_;
   PingTracker pings_;
   Stats stats_;

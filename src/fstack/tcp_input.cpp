@@ -25,6 +25,13 @@ void TcpPcb::input(const TcpHeader& h, const TcpOptions& opts,
       break;
   }
 
+  // Any segment from the peer (even one we go on to reject) proves the
+  // connection alive: reset the keep-alive idle clock and probe count.
+  if (keepalive_deadline_) {
+    keepalive_probes_sent_ = 0;
+    keepalive_deadline_ = env_->tcp_now() + cfg_.keepalive_idle;
+  }
+
   // ---- sequence acceptability (RFC 793 p.69) ----
   const auto rcv_wnd_now = static_cast<std::uint32_t>(rx_.window_free());
   const auto seg_len = static_cast<std::uint32_t>(payload.size()) +
@@ -48,7 +55,7 @@ void TcpPcb::input(const TcpHeader& h, const TcpOptions& opts,
 
   if (h.has(tcpflag::kRst)) {
     error_ = ECONNRESET;
-    state_ = TcpState::kClosed;
+    set_state(TcpState::kClosed);
     snd_.release_all();  // RST teardown frees every retained zc TX ref
     return;
   }
@@ -66,7 +73,7 @@ void TcpPcb::input(const TcpHeader& h, const TcpOptions& opts,
       send_control(tcpflag::kRst | tcpflag::kAck);
       return;
     }
-    state_ = TcpState::kEstablished;
+    set_state(TcpState::kEstablished);
     snd_wnd_ = std::uint32_t{h.window} << (ws_on_ ? snd_wscale_ : 0);
     snd_wl1_ = h.seq;
     snd_wl2_ = h.ack;
@@ -90,7 +97,18 @@ void TcpPcb::input_listen(const TcpHeader& h, const TcpOptions& opts) {
   // The stack fills remote ip from the IP header; ports from TCP.
   child_tuple.remote_port = h.src_port;
   child_tuple.remote_ip = pending_remote_ip;
-  if (static_cast<int>(accept_queue.size()) >= std::max(backlog, 1)) return;
+  if (static_cast<int>(accept_queue.size()) >= std::max(backlog, 1)) {
+    ++syn_backlog_drops;  // accept queue full: peer retries later
+    return;
+  }
+  // Bounded embryonic queue: half-open children count against the backlog
+  // too, so a SYN flood (or a burst arriving faster than handshakes
+  // complete) cannot spawn unbounded PCBs. Dropping the SYN is safe — the
+  // peer's rexmit machinery retries once earlier handshakes drain.
+  if (syn_backlog >= std::max(backlog, 1)) {
+    ++syn_backlog_drops;
+    return;
+  }
 
   TcpPcb* child = env_->tcp_spawn_child(*this, child_tuple);
   if (child == nullptr) return;
@@ -105,7 +123,7 @@ void TcpPcb::input_listen(const TcpHeader& h, const TcpOptions& opts) {
   child->snd_wnd_ = h.window;  // not scaled in SYN
   child->snd_wl1_ = h.seq;
   child->snd_wl2_ = h.seq;
-  child->state_ = TcpState::kSynReceived;
+  child->set_state(TcpState::kSynReceived);
   child->send_control(tcpflag::kSyn | tcpflag::kAck);
   child->arm_rexmit();
 }
@@ -115,7 +133,7 @@ void TcpPcb::input_syn_sent(const TcpHeader& h, const TcpOptions& opts) {
   if (h.has(tcpflag::kRst)) {
     if (ack_ok) {
       error_ = ECONNREFUSED;
-      state_ = TcpState::kClosed;
+      set_state(TcpState::kClosed);
     }
     return;
   }
@@ -129,7 +147,7 @@ void TcpPcb::input_syn_sent(const TcpHeader& h, const TcpOptions& opts) {
   snd_wnd_ = h.window;  // SYN windows are unscaled
   snd_wl1_ = h.seq;
   snd_wl2_ = h.ack;
-  state_ = TcpState::kEstablished;
+  set_state(TcpState::kEstablished);
   rexmit_deadline_.reset();
   rexmit_shift_ = 0;
   ack_now_ = true;
@@ -249,14 +267,17 @@ void TcpPcb::process_ack(const TcpHeader& h, const TcpOptions& opts) {
     fin_acked_ = true;
     switch (state_) {
       case TcpState::kFinWait1:
-        state_ = fin_received_ ? TcpState::kTimeWait : TcpState::kFinWait2;
-        if (state_ == TcpState::kTimeWait) enter_time_wait();
+        if (fin_received_) {
+          enter_time_wait();
+        } else {
+          set_state(TcpState::kFinWait2);
+        }
         break;
       case TcpState::kClosing:
         enter_time_wait();
         break;
       case TcpState::kLastAck:
-        state_ = TcpState::kClosed;
+        set_state(TcpState::kClosed);
         break;
       default:
         break;
@@ -354,12 +375,15 @@ void TcpPcb::process_fin(const TcpHeader& h, std::size_t payload_len) {
   switch (state_) {
     case TcpState::kSynReceived:
     case TcpState::kEstablished:
-      state_ = TcpState::kCloseWait;
+      set_state(TcpState::kCloseWait);
       break;
     case TcpState::kFinWait1:
       // Our FIN ack status decides CLOSING vs TIME_WAIT (handled on ACK).
-      state_ = fin_acked_ ? TcpState::kTimeWait : TcpState::kClosing;
-      if (state_ == TcpState::kTimeWait) enter_time_wait();
+      if (fin_acked_) {
+        enter_time_wait();
+      } else {
+        set_state(TcpState::kClosing);
+      }
       break;
     case TcpState::kFinWait2:
       enter_time_wait();

@@ -110,8 +110,8 @@ bool TcpPcb::output() {
       if (fin_rides) {
         fin_sent_ = true;
         snd_nxt_ += 1;
-        state_ = state_ == TcpState::kEstablished ? TcpState::kFinWait1
-                                                  : TcpState::kLastAck;
+        set_state(state_ == TcpState::kEstablished ? TcpState::kFinWait1
+                                                   : TcpState::kLastAck);
       }
       arm_rexmit();
       sent_any = true;

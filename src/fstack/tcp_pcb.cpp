@@ -26,10 +26,38 @@ TcpPcb::TcpPcb(TcpEnv* env, const TcpConfig& cfg, TxChain snd, RxChain rcv)
     : env_(env), cfg_(cfg), snd_(std::move(snd)), rx_(std::move(rcv)),
       rto_(cfg.initial_rto) {}
 
+void TcpPcb::set_state(TcpState s) {
+  if (s == state_) return;
+  if (state_ == TcpState::kSynReceived && listener != nullptr &&
+      listener->syn_backlog > 0) {
+    listener->syn_backlog--;  // leaving the embryonic queue (either way)
+  }
+  state_ = s;
+  if (s == TcpState::kSynReceived && listener != nullptr) {
+    listener->syn_backlog++;
+  }
+  if (s == TcpState::kEstablished) {
+    keepalive_probes_sent_ = 0;
+    if (cfg_.keepalive_enabled) {
+      keepalive_deadline_ = env_->tcp_now() + cfg_.keepalive_idle;
+    }
+  } else {
+    keepalive_deadline_.reset();
+  }
+  if (s == TcpState::kClosed) {
+    // A dead connection must never fire again; disarming here is also what
+    // lets FfStack::timer_sync drop the PCB's wheel registration.
+    rexmit_deadline_.reset();
+    delack_deadline_.reset();
+    persist_deadline_.reset();
+    time_wait_deadline_.reset();
+  }
+}
+
 void TcpPcb::open_listen(Ipv4Addr local_ip, std::uint16_t local_port) {
   tuple_.local_ip = local_ip;
   tuple_.local_port = local_port;
-  state_ = TcpState::kListen;
+  set_state(TcpState::kListen);
 }
 
 void TcpPcb::open_connect(const FourTuple& tuple, std::uint32_t iss) {
@@ -37,7 +65,7 @@ void TcpPcb::open_connect(const FourTuple& tuple, std::uint32_t iss) {
   iss_ = iss;
   snd_una_ = iss;
   snd_nxt_ = iss;  // send_control(SYN) advances by one
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
   mss_eff_ = cfg_.mss;
   cwnd_ = cfg_.init_cwnd_segments * cfg_.mss;
   send_control(tcpflag::kSyn);
@@ -82,10 +110,10 @@ void TcpPcb::app_close() {
   switch (state_) {
     case TcpState::kClosed:
     case TcpState::kListen:
-      state_ = TcpState::kClosed;
+      set_state(TcpState::kClosed);
       return;
     case TcpState::kSynSent:
-      state_ = TcpState::kClosed;
+      set_state(TcpState::kClosed);
       return;
     default:
       fin_queued_ = true;
@@ -99,7 +127,7 @@ void TcpPcb::abort(int err) {
     send_control(tcpflag::kRst | tcpflag::kAck);
   }
   error_ = err;
-  state_ = TcpState::kClosed;
+  set_state(TcpState::kClosed);
   // Hard teardown: nothing will ever be retransmitted again — release
   // every retained zc TX reference now rather than when the PCB is reaped.
   snd_.release_all();
@@ -150,7 +178,7 @@ void TcpPcb::cc_on_new_ack(std::uint32_t acked_bytes) {
 }
 
 void TcpPcb::enter_time_wait() {
-  state_ = TcpState::kTimeWait;
+  set_state(TcpState::kTimeWait);
   time_wait_deadline_ = env_->tcp_now() + cfg_.time_wait;
   rexmit_deadline_.reset();
   persist_deadline_.reset();
@@ -172,6 +200,7 @@ std::optional<sim::Ns> TcpPcb::next_deadline() const {
   merge(delack_deadline_);
   merge(persist_deadline_);
   merge(time_wait_deadline_);
+  merge(keepalive_deadline_);
   return d;
 }
 
@@ -179,7 +208,7 @@ bool TcpPcb::on_timer(sim::Ns now) {
   bool progress = false;
   if (time_wait_deadline_ && now >= *time_wait_deadline_) {
     time_wait_deadline_.reset();
-    state_ = TcpState::kClosed;
+    set_state(TcpState::kClosed);
     progress = true;
   }
   if (rexmit_deadline_ && now >= *rexmit_deadline_) {
@@ -190,6 +219,9 @@ bool TcpPcb::on_timer(sim::Ns now) {
   }
   if (delack_deadline_ && now >= *delack_deadline_) {
     progress |= fire_delack(now);
+  }
+  if (keepalive_deadline_ && now >= *keepalive_deadline_) {
+    progress |= fire_keepalive(now);
   }
   return progress;
 }

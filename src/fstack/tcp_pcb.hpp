@@ -78,6 +78,17 @@ struct TcpConfig {
   /// in one staged tx_burst. Congestion control counts acked BYTES
   /// (RFC 3465 style), so stretch ACKs do not starve cwnd growth.
   std::uint32_t ack_coalesce_segments = 8;
+  /// Keep-alive (SO_KEEPALIVE-style, default OFF like BSD/Linux): an idle
+  /// established connection probes the peer with a below-window ACK after
+  /// `keepalive_idle`, re-probing every `keepalive_intvl` until an answer
+  /// arrives or `keepalive_probes` go unanswered (then ETIMEDOUT). Off by
+  /// default so idle test connections do not wake hours into virtual time;
+  /// the C1M churn census enables it to populate the timer wheel with one
+  /// long-dated deadline per idle PCB.
+  bool keepalive_enabled = false;
+  sim::Ns keepalive_idle{7'200'000'000'000};  // 2 h
+  sim::Ns keepalive_intvl{75'000'000'000};    // 75 s
+  std::uint32_t keepalive_probes = 9;
 };
 
 class TcpPcb;
@@ -246,9 +257,23 @@ class TcpPcb {
   /// generation multishot epoll needs (queue length is not monotonic).
   std::uint64_t accept_ready_total = 0;
   int backlog = 0;
+  /// Embryonic (SYN_RECEIVED) children of this listener — the bounded SYN
+  /// queue depth. Maintained by set_state(); input_listen refuses further
+  /// SYNs (counting them in syn_backlog_drops) once it reaches the backlog,
+  /// so a SYN flood cannot spawn unbounded half-open PCBs.
+  int syn_backlog = 0;
+  /// SYNs refused because the embryonic queue (or the accept queue) was
+  /// full. Dropped SYNs are not fatal: the peer retransmits and succeeds
+  /// once earlier handshakes complete.
+  std::uint64_t syn_backlog_drops = 0;
   /// Source IP of the segment being delivered (set by the stack before
   /// input() on listeners — TCP headers do not carry addresses).
   Ipv4Addr pending_remote_ip{};
+
+  // Timer-wheel registration (owned by FfStack::timer_sync): the handle of
+  // this PCB's single wheel entry and the deadline it was registered at.
+  std::uint64_t wheel_id = 0;
+  std::optional<sim::Ns> wheel_deadline;
 
  private:
   friend class StackTcpAccess;  // test/diagnostic backdoor
@@ -276,6 +301,13 @@ class TcpPcb {
   bool fire_rexmit(sim::Ns now);
   bool fire_delack(sim::Ns now);
   bool fire_persist(sim::Ns now);
+  bool fire_keepalive(sim::Ns now);
+
+  /// The single state-transition choke point: maintains the listener's
+  /// embryonic-SYN count, arms/disarms keep-alive with the established
+  /// state, and disarms every timer on entry to kClosed (nothing may fire
+  /// on a dead connection — the wheel unregisters it on the next sync).
+  void set_state(TcpState s);
 
   TcpEnv* env_;
   TcpConfig cfg_;
@@ -327,8 +359,10 @@ class TcpPcb {
   std::optional<sim::Ns> delack_deadline_;
   std::optional<sim::Ns> persist_deadline_;
   std::optional<sim::Ns> time_wait_deadline_;
+  std::optional<sim::Ns> keepalive_deadline_;
   std::uint32_t rexmit_shift_ = 0;
   std::uint32_t persist_shift_ = 0;
+  std::uint32_t keepalive_probes_sent_ = 0;
 
   // ACK strategy.
   bool ack_pending_ = false;  // delayed ACK armed

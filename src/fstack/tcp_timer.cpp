@@ -13,7 +13,7 @@ bool TcpPcb::fire_rexmit(sim::Ns now) {
 
   if (++rexmit_shift_ > cfg_.max_rexmit) {
     error_ = ETIMEDOUT;
-    state_ = TcpState::kClosed;
+    set_state(TcpState::kClosed);
     snd_.release_all();  // giving up: the retained zc TX refs go back too
     return true;
   }
@@ -80,6 +80,26 @@ bool TcpPcb::fire_persist(sim::Ns now) {
   }
   persist_shift_ = std::min(persist_shift_ + 1, 6u);
   persist_deadline_ = now + cfg_.persist_base * (1u << persist_shift_);
+  return true;
+}
+
+bool TcpPcb::fire_keepalive(sim::Ns now) {
+  keepalive_deadline_.reset();
+  if (!cfg_.keepalive_enabled || state_ != TcpState::kEstablished) {
+    return false;
+  }
+  if (keepalive_probes_sent_ >= cfg_.keepalive_probes) {
+    error_ = ETIMEDOUT;
+    set_state(TcpState::kClosed);
+    snd_.release_all();
+    return true;
+  }
+  ++keepalive_probes_sent_;
+  // Probe one byte below the window (seq = snd_una - 1, no payload): the
+  // peer's acceptability check rejects the stale sequence and answers with
+  // a bare ACK — the liveness signal that resets the idle timer on input.
+  send_segment(snd_una_ - 1, 0, 0, tcpflag::kAck);
+  keepalive_deadline_ = now + cfg_.keepalive_intvl;
   return true;
 }
 

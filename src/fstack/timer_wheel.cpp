@@ -1,0 +1,206 @@
+#include "fstack/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace cherinet::fstack {
+
+namespace {
+constexpr std::uint64_t kTickNs = 1ull << TimerWheel::kTickShift;
+
+[[nodiscard]] std::uint64_t to_tick(sim::Ns deadline) noexcept {
+  const auto ns = deadline.count() < 0 ? 0 : deadline.count();
+  // Ceiling: a timer armed mid-tick owns the NEXT boundary, never fires
+  // early (the pump_until contract in the header).
+  return (static_cast<std::uint64_t>(ns) + kTickNs - 1) >>
+         TimerWheel::kTickShift;
+}
+}  // namespace
+
+void TimerWheel::link(std::int32_t idx, std::int16_t list) {
+  std::int32_t* head = head_of(list);
+  Entry& e = slab_[static_cast<std::size_t>(idx)];
+  e.list = list;
+  e.prev = -1;
+  e.next = *head;
+  if (*head >= 0) slab_[static_cast<std::size_t>(*head)].prev = idx;
+  *head = idx;
+}
+
+void TimerWheel::unlink(std::int32_t idx) {
+  Entry& e = slab_[static_cast<std::size_t>(idx)];
+  if (e.prev >= 0) {
+    slab_[static_cast<std::size_t>(e.prev)].next = e.next;
+  } else {
+    *head_of(e.list) = e.next;
+  }
+  if (e.next >= 0) slab_[static_cast<std::size_t>(e.next)].prev = e.prev;
+  e.prev = e.next = -1;
+}
+
+void TimerWheel::place(std::int32_t idx) {
+  const Entry& e = slab_[static_cast<std::size_t>(idx)];
+  if (e.dl_tick <= cur_tick_) {
+    link(idx, kListReady);
+    return;
+  }
+  const std::uint64_t delta = e.dl_tick - cur_tick_;
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    if (delta < (1ull << (kSlotBits * (level + 1)))) {
+      const auto slot = static_cast<std::uint32_t>(
+          (e.dl_tick >> (kSlotBits * level)) & (kSlots - 1));
+      link(idx, static_cast<std::int16_t>(level * kSlots + slot));
+      return;
+    }
+  }
+  link(idx, kListOverflow);
+}
+
+TimerWheel::Id TimerWheel::arm(sim::Ns deadline, std::uint64_t cookie) {
+  std::int32_t idx;
+  if (free_head_ >= 0) {
+    idx = free_head_;
+    free_head_ = slab_[static_cast<std::size_t>(idx)].next;
+  } else {
+    idx = static_cast<std::int32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Entry& e = slab_[static_cast<std::size_t>(idx)];
+  e.cookie = cookie;
+  e.dl_tick = to_tick(deadline);
+  e.prev = e.next = -1;
+  place(idx);
+  ++size_;
+  ++stats_.armed;
+  return (static_cast<std::uint64_t>(e.gen) << 32) |
+         (static_cast<std::uint64_t>(idx) + 1);
+}
+
+bool TimerWheel::cancel(Id id) {
+  if (id == kInvalidId) return false;
+  const auto idx = static_cast<std::int32_t>((id & 0xFFFFFFFFull) - 1);
+  if (idx < 0 || static_cast<std::size_t>(idx) >= slab_.size()) return false;
+  Entry& e = slab_[static_cast<std::size_t>(idx)];
+  if (e.list == kListFree || e.gen != static_cast<std::uint32_t>(id >> 32)) {
+    return false;
+  }
+  unlink(idx);
+  e.list = kListFree;
+  ++e.gen;  // invalidate outstanding handles to this slot
+  e.next = free_head_;
+  free_head_ = idx;
+  --size_;
+  ++stats_.cancelled;
+  return true;
+}
+
+void TimerWheel::collect_due(sim::Ns now, std::vector<std::uint64_t>& due) {
+  // Ready list: armed at-or-before current wheel time, fire unconditionally.
+  while (ready_head_ >= 0) {
+    const std::int32_t idx = ready_head_;
+    Entry& e = slab_[static_cast<std::size_t>(idx)];
+    unlink(idx);
+    due.push_back(e.cookie);
+    e.list = kListFree;
+    ++e.gen;
+    e.next = free_head_;
+    free_head_ = idx;
+    --size_;
+    ++stats_.fired;
+  }
+
+  const std::uint64_t new_tick =
+      static_cast<std::uint64_t>(now.count() < 0 ? 0 : now.count()) >>
+      kTickShift;
+  if (new_tick <= cur_tick_) return;
+  const std::uint64_t old_tick = cur_tick_;
+  cur_tick_ = new_tick;  // cascades re-file relative to the NEW time
+
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    const std::uint64_t lt_old = old_tick >> (kSlotBits * level);
+    const std::uint64_t lt_new = new_tick >> (kSlotBits * level);
+    if (lt_old == lt_new) break;  // higher levels unchanged too
+    const std::uint64_t steps = std::min<std::uint64_t>(lt_new - lt_old,
+                                                        kSlots);
+    for (std::uint64_t i = 1; i <= steps; ++i) {
+      const auto slot = static_cast<std::uint32_t>((lt_old + i) & (kSlots - 1));
+      std::int32_t* head = &slots_[level * kSlots + slot];
+      while (*head >= 0) {
+        const std::int32_t idx = *head;
+        Entry& e = slab_[static_cast<std::size_t>(idx)];
+        unlink(idx);
+        if (e.dl_tick <= new_tick) {
+          due.push_back(e.cookie);
+          e.list = kListFree;
+          ++e.gen;
+          e.next = free_head_;
+          free_head_ = idx;
+          --size_;
+          ++stats_.fired;
+        } else {
+          // Not yet due: cascade into the (strictly lower) level that now
+          // covers its shrunken delta.
+          place(idx);
+          ++stats_.cascaded;
+        }
+      }
+    }
+  }
+
+  // Overflow entries park beyond level 3's span; rescan whenever the
+  // top-level cursor advanced (every ~2.2 min of virtual time) so a
+  // shrinking delta re-files into the wheels long before it is due.
+  if ((old_tick >> (kSlotBits * (kLevels - 1))) !=
+      (new_tick >> (kSlotBits * (kLevels - 1)))) {
+    std::int32_t idx = overflow_head_;
+    while (idx >= 0) {
+      Entry& e = slab_[static_cast<std::size_t>(idx)];
+      const std::int32_t next = e.next;
+      unlink(idx);
+      if (e.dl_tick <= new_tick) {
+        due.push_back(e.cookie);
+        e.list = kListFree;
+        ++e.gen;
+        e.next = free_head_;
+        free_head_ = idx;
+        --size_;
+        ++stats_.fired;
+      } else {
+        place(idx);
+        ++stats_.cascaded;
+      }
+      idx = next;
+    }
+  }
+}
+
+std::optional<sim::Ns> TimerWheel::next_deadline() const {
+  if (size_ == 0) return std::nullopt;
+  std::optional<std::uint64_t> min_tick;
+  const auto consider = [&min_tick](std::uint64_t t) {
+    if (!min_tick || t < *min_tick) min_tick = t;
+  };
+  if (ready_head_ >= 0) consider(cur_tick_);  // fires at the next expire()
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    const std::uint64_t lt = cur_tick_ >> (kSlotBits * level);
+    // First non-empty slot in ring order ahead of the cursor holds the
+    // level's minimum dl_tick group (one wrap == the level's whole span,
+    // so ring order IS deadline order).
+    for (std::uint64_t i = 1; i <= kSlots; ++i) {
+      const auto slot = static_cast<std::uint32_t>((lt + i) & (kSlots - 1));
+      std::int32_t idx = slots_[level * kSlots + slot];
+      if (idx < 0) continue;
+      for (; idx >= 0; idx = slab_[static_cast<std::size_t>(idx)].next) {
+        consider(slab_[static_cast<std::size_t>(idx)].dl_tick);
+      }
+      break;
+    }
+  }
+  for (std::int32_t idx = overflow_head_; idx >= 0;
+       idx = slab_[static_cast<std::size_t>(idx)].next) {
+    consider(slab_[static_cast<std::size_t>(idx)].dl_tick);
+  }
+  if (!min_tick) return std::nullopt;
+  return sim::Ns{static_cast<std::int64_t>(*min_tick << kTickShift)};
+}
+
+}  // namespace cherinet::fstack

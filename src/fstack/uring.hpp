@@ -103,6 +103,19 @@ enum class UringOp : std::uint32_t {
                          //   view into the mbuf data room (zc TX without a
                          //   per-alloc crossing — io_uring's registered-
                          //   buffer analogue)
+  // --- v5: ring-native control plane. A churn-heavy app crosses the
+  // --- boundary once at attach; connects, closes, and readiness re-arms
+  // --- all ride the rings from then on.
+  kConnect = 9,          // a0=packed peer (uring_pack_addr); the CQE posts
+                         //   when the handshake RESOLVES: result 0 on
+                         //   ESTABLISHED, -errno (ECONNREFUSED/ETIMEDOUT)
+                         //   on failure, aux0=fd. No -EINPROGRESS CQE.
+  kClose = 10,           // graceful close of fd; result is the sock_close
+                         //   verdict, aux0=fd. FIN rides the drain's one
+                         //   driver burst — no per-close crossing.
+  kEpollCtl = 11,        // fd=epfd, a0=EpollOp (1 add / 2 del / 3 mod),
+                         //   a1=target fd, a2=events, a3=data; immediate
+                         //   verdict CQE
 };
 
 /// CQE flags.

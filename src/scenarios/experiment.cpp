@@ -404,6 +404,7 @@ std::vector<double> probe_proxy(apps::FfOps& ops, iv::MuslLibc& libc,
                                 std::size_t wsize,
                                 const machine::CapView& buf,
                                 const std::string& name, sim::Ns pace,
+                                std::vector<double>* virtual_out = nullptr,
                                 std::size_t batch = 1) {
   std::vector<double> samples;
   samples.reserve(iters);
@@ -411,20 +412,39 @@ std::vector<double> probe_proxy(apps::FfOps& ops, iv::MuslLibc& libc,
   ops.connect(fd, dst, port);
   sim::Participant part(arb, name);
   int spins = 0;
+  std::optional<sim::Ns> first_try;  // virtual instant of the write's
+                                     // first (possibly failing) attempt
   while (samples.size() < iters) {
     const std::uint64_t token = part.prepare();
+    if (!first_try) first_try = clock.now();
     const std::uint64_t t0 = libc.clock_gettime_mono_raw_ns();
     const std::int64_t r = measured_write(ops, fd, buf, wsize, batch);
     const std::uint64_t t1 = libc.clock_gettime_mono_raw_ns();
     if (r > 0) {
       samples.push_back(static_cast<double>(t1 - t0));
+      if (virtual_out != nullptr) {
+        virtual_out->push_back(
+            static_cast<double>((clock.now() - *first_try).count()));
+      }
+      first_try.reset();
       spins = 0;
       if (pace.count() > 0) part.wait(token, clock.now() + pace);
-    } else if (pace.count() == 0 && ++spins < 64) {
-      // Unpaced (contended) probes retry in a tight loop, racing the
-      // polling main loop and the sibling compartment for the mutex in
-      // real time — the regime the paper's Fig. 6 measures.
+    } else if (++spins < 64) {
+      // Retry in a tight loop first. For unpaced (contended) probes this
+      // races the polling main loop and the sibling compartment for the
+      // mutex in real time — the regime the paper's Fig. 6 measures. For
+      // paced probes it absorbs the wall-clock race where the writer and
+      // the loop woke at the same virtual instant but the loop has not
+      // had host CPU yet: spinning lets it catch up WITHOUT advancing
+      // virtual time, so the virtual_ns series is not charged for host
+      // scheduling.
       continue;
+    } else if (pace.count() > 0) {
+      // Still full after spinning: genuine flow control. Step virtual
+      // time just far enough for the next drain rather than a full
+      // heartbeat, so virtual_ns records flow-control delay alone.
+      spins = 0;
+      part.wait(token, clock.now() + sim::Ns{200});
     } else {
       spins = 0;
       part.wait(token, clock.now() + kProbeHeartbeat);
@@ -510,7 +530,7 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
       tb.peer(i).join();
     }
     for (auto& sd : sides) {
-      out.series.push_back({sd.label, std::move(sd.samples)});
+      out.series.push_back({sd.label, std::move(sd.samples), {}});
     }
     return out;
   }
@@ -530,6 +550,7 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
     iv::CVM* cvm = nullptr;
     std::unique_ptr<apps::FfOps> ops;
     std::vector<double> samples;
+    std::vector<double> vsamples;
     std::string label;
   };
   std::vector<App> app(static_cast<std::size_t>(napps));
@@ -550,7 +571,7 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
       a.samples = probe_proxy(*a.ops, a.cvm->libc(), clock, arb,
                               MorelloTestbed::peer_ip(0), kIperfPort,
                               iterations, write_size, buf,
-                              a.label + "-probe", pace, batch);
+                              a.label + "-probe", pace, &a.vsamples, batch);
     });
   }
   for (auto& a : app) a.cvm->join();
@@ -560,8 +581,11 @@ LatencyOutcome run_ffwrite_latency(ScenarioKind kind, std::size_t iterations,
   peer.request_stop();
   peer.join();
   for (auto& a : app) {
-    out.series.push_back({a.label, std::move(a.samples)});
+    out.series.push_back(
+        {a.label, std::move(a.samples), std::move(a.vsamples)});
   }
+  out.mutex_fast = svc.mutex().fast_acquires();
+  out.mutex_contended = svc.mutex().contended_acquires();
   return out;
 }
 

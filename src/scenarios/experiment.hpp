@@ -126,11 +126,25 @@ struct BandwidthOutcome {
 struct LatencySeries {
   std::string label;
   std::vector<double> samples_ns;
+  /// Scenario 2 only: per successful write, the VIRTUAL-clock span from the
+  /// first ff_write attempt to the attempt that succeeded. The virtual
+  /// clock advances only through the arbiter's all-wait protocol, paced by
+  /// the simulated port drain — so this series measures how long the write
+  /// was held back by the contending sibling and the stack mutex in
+  /// simulated time, immune to host-scheduler load (unlike samples_ns,
+  /// which wall-clocks the successful call itself).
+  std::vector<double> virtual_ns;
 };
 
 struct LatencyOutcome {
   ScenarioKind kind{};
   std::vector<LatencySeries> series;
+  /// Scenario 2 only: the shared stack-mutex acquisition census. A
+  /// CONTENDED acquisition is one that found the word taken and escalated
+  /// to the futex — the Fig. 6 mechanism itself, counted rather than
+  /// timed, so assertions on it hold under arbitrary host load.
+  std::uint64_t mutex_fast = 0;
+  std::uint64_t mutex_contended = 0;
 };
 
 /// Measure `iterations` successful ff_write() calls of `write_size` bytes

@@ -1,0 +1,229 @@
+// TimerWheel property tests: random arm/cancel/advance traces cross-checked
+// against a linear-scan oracle (a flat multimap of deadlines). The wheel's
+// contract is slightly looser than the oracle's — a timer may fire up to one
+// tick (2^19 ns) after its deadline because deadlines map to tick boundaries
+// by ceiling — so the oracle compares against the CEILED deadline, which is
+// exactly what FfStack::next_deadline() exposes to pump_until.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "fstack/timer_wheel.hpp"
+
+using cherinet::fstack::TimerWheel;
+using cherinet::sim::Ns;
+
+namespace {
+
+constexpr std::uint64_t kTickNs = 1ull << TimerWheel::kTickShift;
+
+[[nodiscard]] std::int64_t ceil_tick_ns(std::int64_t deadline) {
+  const auto t = (static_cast<std::uint64_t>(deadline) + kTickNs - 1) >>
+                 TimerWheel::kTickShift;
+  return static_cast<std::int64_t>(t << TimerWheel::kTickShift);
+}
+
+/// Linear-scan reference: cookie -> ceiled deadline.
+class Oracle {
+ public:
+  void arm(std::uint64_t cookie, std::int64_t deadline) {
+    armed_[cookie] = ceil_tick_ns(deadline);
+  }
+  void cancel(std::uint64_t cookie) { armed_.erase(cookie); }
+  std::vector<std::uint64_t> expire(std::int64_t now) {
+    std::vector<std::uint64_t> due;
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (it->second <= now) {
+        due.push_back(it->first);
+        it = armed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return due;
+  }
+  [[nodiscard]] std::optional<std::int64_t> next_deadline() const {
+    std::optional<std::int64_t> d;
+    for (const auto& [cookie, dl] : armed_) {
+      if (!d || dl < *d) d = dl;
+    }
+    return d;
+  }
+  [[nodiscard]] std::size_t size() const { return armed_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::int64_t> armed_;
+};
+
+}  // namespace
+
+TEST(TimerWheel, FiresInOrderAcrossLevels) {
+  TimerWheel w;
+  // One deadline per level plus overflow: ~1 tick, ~100 ticks (L1),
+  // ~10k ticks (L2), ~1M ticks (L3), ~20M ticks (overflow).
+  const std::int64_t deadlines[] = {
+      static_cast<std::int64_t>(1 * kTickNs),
+      static_cast<std::int64_t>(100 * kTickNs),
+      static_cast<std::int64_t>(10'000 * kTickNs),
+      static_cast<std::int64_t>(1'000'000 * kTickNs),
+      static_cast<std::int64_t>(20'000'000 * kTickNs),
+  };
+  for (std::uint64_t i = 0; i < 5; ++i) w.arm(Ns{deadlines[i]}, i);
+  EXPECT_EQ(w.size(), 5u);
+
+  // Advance in steps far smaller than the upper-level spans so far
+  // deadlines demonstrably cascade down through the levels before firing.
+  std::vector<std::uint64_t> fired;
+  std::int64_t now = 0;
+  while (w.size() > 0) {
+    now += static_cast<std::int64_t>(3000 * kTickNs);
+    w.expire(Ns{now}, [&](std::uint64_t cookie) { fired.push_back(cookie); });
+  }
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_GT(w.stats().cascaded, 0u) << "far deadlines must cascade down";
+}
+
+TEST(TimerWheel, NeverFiresEarlyAndNeverLate) {
+  // Random deadlines over five decades; every firing must satisfy
+  // deadline <= now (never early) and happen by the ceiled tick boundary
+  // (never later than next_deadline() promises).
+  TimerWheel w;
+  std::mt19937_64 rng(0xC1000000u);
+  std::map<std::uint64_t, std::int64_t> pending;  // cookie -> raw deadline
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const auto mag = 1ll << (10 + static_cast<int>(rng() % 35));
+    const auto dl = static_cast<std::int64_t>(rng() % mag) + 1;
+    w.arm(Ns{dl}, i);
+    pending[i] = dl;
+  }
+  std::int64_t now = 0;
+  while (w.size() > 0) {
+    const auto d = w.next_deadline();
+    ASSERT_TRUE(d.has_value());
+    now = d->count();
+    w.expire(Ns{now}, [&](std::uint64_t cookie) {
+      auto it = pending.find(cookie);
+      ASSERT_NE(it, pending.end()) << "double fire of " << cookie;
+      EXPECT_LE(it->second, now) << "fired before its deadline";
+      EXPECT_LE(now - it->second, static_cast<std::int64_t>(kTickNs))
+          << "fired later than one tick past its deadline when the clock "
+             "only ever advances to next_deadline()";
+      pending.erase(it);
+    });
+  }
+  EXPECT_TRUE(pending.empty()) << pending.size() << " timers never fired";
+}
+
+TEST(TimerWheel, RandomTraceMatchesLinearScanOracle) {
+  TimerWheel w;
+  Oracle oracle;
+  std::mt19937_64 rng(20260808);
+  std::map<std::uint64_t, TimerWheel::Id> live;  // cookie -> handle
+  std::int64_t now = 0;
+  std::uint64_t next_cookie = 1;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const auto roll = rng() % 100;
+    if (roll < 45) {  // arm a random deadline, near or very far
+      const auto span = 1ll << (8 + static_cast<int>(rng() % 38));
+      const auto dl = now + 1 + static_cast<std::int64_t>(rng() % span);
+      const std::uint64_t cookie = next_cookie++;
+      live[cookie] = w.arm(Ns{dl}, cookie);
+      oracle.arm(cookie, dl);
+    } else if (roll < 60 && !live.empty()) {  // cancel a random live timer
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng() % live.size()));
+      EXPECT_TRUE(w.cancel(it->second));
+      oracle.cancel(it->first);
+      live.erase(it);
+    } else if (roll < 70 && !live.empty()) {  // re-arm (cancel + new deadline)
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng() % live.size()));
+      EXPECT_TRUE(w.cancel(it->second));
+      const auto dl = now + 1 + static_cast<std::int64_t>(rng() % 1'000'000);
+      it->second = w.arm(Ns{dl}, it->first);
+      oracle.arm(it->first, dl);
+    } else {  // advance time: usually a few ticks, sometimes a huge leap
+      const auto leap = (rng() % 10 == 0) ? (1ll << (20 + rng() % 25))
+                                          : static_cast<std::int64_t>(
+                                                rng() % (4 * kTickNs));
+      now += leap;
+      std::vector<std::uint64_t> wheel_due;
+      w.expire(Ns{now},
+               [&](std::uint64_t cookie) { wheel_due.push_back(cookie); });
+      auto oracle_due = oracle.expire(now);
+      std::sort(wheel_due.begin(), wheel_due.end());
+      std::sort(oracle_due.begin(), oracle_due.end());
+      ASSERT_EQ(wheel_due, oracle_due) << "divergence at now=" << now;
+      for (const auto c : wheel_due) live.erase(c);
+    }
+    ASSERT_EQ(w.size(), oracle.size());
+    // The wheel's reported horizon must never pass the oracle's true one
+    // (firing later than promised would stall pump_until).
+    const auto wd = w.next_deadline();
+    const auto od = oracle.next_deadline();
+    ASSERT_EQ(wd.has_value(), od.has_value());
+    if (wd) {
+      ASSERT_EQ(wd->count(), *od) << "horizon mismatch at now=" << now;
+    }
+  }
+}
+
+TEST(TimerWheel, CancelledHandlesAreSafeNoOps) {
+  TimerWheel w;
+  const auto id = w.arm(Ns{1'000'000}, 7);
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_FALSE(w.cancel(id)) << "double cancel must be a no-op";
+  EXPECT_FALSE(w.cancel(TimerWheel::kInvalidId));
+
+  // The slot is recycled by the next arm; the stale handle must not be able
+  // to cancel the new registration (generation tag).
+  const auto id2 = w.arm(Ns{2'000'000}, 8);
+  EXPECT_FALSE(w.cancel(id));
+  std::size_t fired = 0;
+  w.expire(Ns{4'000'000}, [&](std::uint64_t cookie) {
+    EXPECT_EQ(cookie, 8u);
+    ++fired;
+  });
+  EXPECT_EQ(fired, 1u);
+  EXPECT_FALSE(w.cancel(id2)) << "fired handle must be a no-op";
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimerWheel, ReArmFromInsideExpiryCallback) {
+  // The FfStack fire path re-arms PCBs from inside the expire callback
+  // (timer_sync after on_timer); the wheel must file those into fresh slots
+  // without disturbing the in-progress sweep.
+  TimerWheel w;
+  int fires = 0;
+  std::int64_t now = 0;
+  w.arm(Ns{1'000'000}, 1);
+  while (fires < 50) {
+    const auto d = w.next_deadline();
+    ASSERT_TRUE(d.has_value());
+    now = d->count();
+    w.expire(Ns{now}, [&](std::uint64_t cookie) {
+      ++fires;
+      w.arm(Ns{now + 1'000'000}, cookie);  // periodic re-arm
+    });
+  }
+  EXPECT_EQ(fires, 50);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TimerWheel, PastDeadlinesFireOnNextExpire) {
+  TimerWheel w;
+  w.expire(Ns{10'000'000}, [](std::uint64_t) {});  // advance wheel time
+  w.arm(Ns{1'000}, 42);  // long past
+  ASSERT_TRUE(w.next_deadline().has_value());
+  // Must fire even without the clock moving at all.
+  bool fired = false;
+  w.expire(Ns{10'000'000}, [&](std::uint64_t cookie) {
+    EXPECT_EQ(cookie, 42u);
+    fired = true;
+  });
+  EXPECT_TRUE(fired);
+}
