@@ -13,7 +13,9 @@
 // flush boundaries — connect probes, lone ACKs, retransmissions). The
 // census lands in BENCH_table2.json next to the fig4/fig5 artifacts so
 // the goodput/burst trajectory is recorded across PRs.
+#include <cmath>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -28,35 +30,50 @@ struct PaperRow {
 };
 
 struct RowCensus {
-  const char* key;            // JSON object key
+  const char* key = nullptr;  // JSON object key
   double send_mbps = 0;       // Morello-sends goodput (first endpoint)
   double recv_mbps = 0;       // Morello-receives goodput (first endpoint)
+  double send_aggregate = 0;  // all endpoints summed (sharded rows)
+  double recv_aggregate = 0;
   BandwidthOutcome::TxBurstCensus tx;  // Morello-sends direction
   bool gate_bursts = false;   // sustained single-stream send rows gate
+  // Scenario 2 rows: per-shard goodput + mutex census (Morello sends).
+  std::vector<BandwidthOutcome::ShardCensus> shards;
 };
 
 void run_row(ScenarioKind kind, std::uint64_t bytes, double fair_share_mbps,
              const PaperRow& paper, const TestbedOptions& opt,
              RowCensus* census) {
-  std::printf("\n%s\n", to_string(kind));
-  std::printf("  %-12s %-18s %10s %11s %14s\n", "Mode", "endpoint",
+  std::printf("\n%s", to_string(kind));
+  if (opt.s2_shards > 1) {
+    std::printf(" [%u shards, %s]", opt.s2_shards,
+                opt.s2_shards_same_port ? "RSS same-port" : "dual-port");
+  } else if (opt.s2_shards_same_port) {
+    std::printf(" [sharded service, 1 shard]");
+  }
+  std::printf("\n  %-12s %-18s %10s %11s %14s\n", "Mode", "endpoint",
               "Mbit/s", "efficiency", "paper Mbit/s");
   for (const Direction dir :
        {Direction::kMorelloReceives, Direction::kMorelloSends}) {
     const auto r = run_bandwidth(kind, dir, bytes, opt);
     const double paper_val =
         dir == Direction::kMorelloReceives ? paper.server : paper.client;
+    double aggregate = 0;
     for (const auto& e : r.endpoints) {
       std::printf("  %-12s %-18s %10.1f %10.1f%% %14.1f\n", to_string(dir),
                   e.label.c_str(), e.mbps, 100.0 * e.mbps / fair_share_mbps,
                   paper_val);
+      aggregate += e.mbps;
     }
     if (census != nullptr && !r.endpoints.empty()) {
       if (dir == Direction::kMorelloSends) {
         census->send_mbps = r.endpoints[0].mbps;
+        census->send_aggregate = aggregate;
         census->tx = r.morello_tx;
+        census->shards = r.shards;
       } else {
         census->recv_mbps = r.endpoints[0].mbps;
+        census->recv_aggregate = aggregate;
       }
     }
   }
@@ -67,6 +84,16 @@ void run_row(ScenarioKind kind, std::uint64_t bytes, double fair_share_mbps,
                 static_cast<unsigned long long>(census->tx.bursts),
                 census->tx.frames_per_burst(),
                 static_cast<unsigned long long>(census->tx.segs));
+  }
+  if (census != nullptr) {
+    for (std::size_t s = 0; s < census->shards.size(); ++s) {
+      const auto& sc = census->shards[s];
+      std::printf("  shard %zu: %.1f Mbit/s, mutex %llu fast / %llu "
+                  "contended, %llu proxied calls\n",
+                  s, sc.mbps, static_cast<unsigned long long>(sc.mutex_fast),
+                  static_cast<unsigned long long>(sc.mutex_contended),
+                  static_cast<unsigned long long>(sc.proxied_calls));
+    }
   }
 }
 }  // namespace
@@ -85,13 +112,20 @@ int main() {
   TestbedOptions opt;
   opt.inline_tcp_output = false;
 
-  RowCensus rows[] = {
-      {"baseline_2proc", 0, 0, {}, true},
-      {"scenario1", 0, 0, {}, true},
-      {"baseline_1proc", 0, 0, {}, true},
-      {"scenario2_uncontended", 0, 0, {}, true},
-      {"scenario2_contended", 0, 0, {}, false},  // fair-share split rows
-  };
+  RowCensus rows[8];
+  rows[0].key = "baseline_2proc";
+  rows[0].gate_bursts = true;
+  rows[1].key = "scenario1";
+  rows[1].gate_bursts = true;
+  rows[2].key = "baseline_1proc";
+  rows[2].gate_bursts = true;
+  rows[3].key = "scenario2_uncontended";
+  rows[3].gate_bursts = true;
+  rows[4].key = "scenario2_contended";  // fair-share split row: no gate
+  rows[5].key = "scenario2_uncontended_sharded1";
+  rows[5].gate_bursts = true;
+  rows[6].key = "scenario2_contended_sharded2";
+  rows[7].key = "scenario2_contended_rss2q";
   run_row(ScenarioKind::kBaseline2Proc, bytes, 1000.0, {658, 757}, opt,
           &rows[0]);
   run_row(ScenarioKind::kScenario1, bytes, 1000.0, {658, 757}, opt,
@@ -102,6 +136,34 @@ int main() {
           opt, &rows[3]);
   run_row(ScenarioKind::kScenario2Contended, bytes, 500.0, {470, 470}, opt,
           &rows[4]);
+
+  // --- Sharded Scenario 2 rows (per-core FfStack shards + RSS steering) ---
+  // sharded1: the sharded service machinery (vector-of-shards, queue-aware
+  // attach through the multi-queue NIC ABI) with ONE shard — must price in
+  // at the classic single-stack goodput (<= 5% off, gated below).
+  TestbedOptions opt_s1 = opt;
+  opt_s1.s2_shards = 1;
+  opt_s1.s2_shards_same_port = true;  // exercise the RSS attach path
+  run_row(ScenarioKind::kScenario2Uncontended, bytes, 1000.0, {941, 941},
+          opt_s1, &rows[5]);
+  // sharded2 (dual-port): shard j owns port j, so the two contending
+  // streams never share a stack, a mutex, or a wire — contended goodput
+  // scales past the single-port fair share toward the PCI-bus plateau
+  // (the paper's dual-port Table II rows). Gated >= 1.8x below.
+  TestbedOptions opt_s2 = opt;
+  opt_s2.s2_shards = 2;
+  opt_s2.s2_shards_same_port = false;
+  run_row(ScenarioKind::kScenario2Contended, bytes, 1000.0, {658, 757},
+          opt_s2, &rows[6]);
+  // rss2q (same-port): both shards behind ONE port identity, flows split
+  // across two 82576 RSS queues by Toeplitz/RETA + listener L4 filters.
+  // Still wire-fair-share-bound (one port), so census-only: what it shows
+  // is per-shard mutexes with the port shared behind per-queue interfaces.
+  TestbedOptions opt_rss = opt;
+  opt_rss.s2_shards = 2;
+  opt_rss.s2_shards_same_port = true;
+  run_row(ScenarioKind::kScenario2Contended, bytes, 500.0, {470, 470},
+          opt_rss, &rows[7]);
 
   std::printf(
       "\nShape checks (paper §IV): CHERI scenarios match their baselines; "
@@ -122,13 +184,31 @@ int main() {
     for (const RowCensus& r : rows) {
       std::fprintf(f,
                    ",\n  \"%s\": {\"send_mbps\": %.1f, \"recv_mbps\": %.1f, "
+                   "\"send_aggregate_mbps\": %.1f, "
+                   "\"recv_aggregate_mbps\": %.1f, "
                    "\"tx_frames\": %llu, \"tx_bursts\": %llu, "
-                   "\"tx_segs\": %llu, \"frames_per_burst\": %.2f}",
-                   r.key, r.send_mbps, r.recv_mbps,
+                   "\"tx_segs\": %llu, \"frames_per_burst\": %.2f",
+                   r.key, r.send_mbps, r.recv_mbps, r.send_aggregate,
+                   r.recv_aggregate,
                    static_cast<unsigned long long>(r.tx.frames),
                    static_cast<unsigned long long>(r.tx.bursts),
                    static_cast<unsigned long long>(r.tx.segs),
                    r.tx.frames_per_burst());
+      if (!r.shards.empty()) {
+        std::fprintf(f, ", \"shards\": [");
+        for (std::size_t s = 0; s < r.shards.size(); ++s) {
+          const auto& sc = r.shards[s];
+          std::fprintf(f,
+                       "%s{\"mbps\": %.1f, \"mutex_fast\": %llu, "
+                       "\"mutex_contended\": %llu, \"proxied_calls\": %llu}",
+                       s == 0 ? "" : ", ", sc.mbps,
+                       static_cast<unsigned long long>(sc.mutex_fast),
+                       static_cast<unsigned long long>(sc.mutex_contended),
+                       static_cast<unsigned long long>(sc.proxied_calls));
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
@@ -152,6 +232,71 @@ int main() {
                    static_cast<unsigned long long>(r.tx.frames),
                    static_cast<unsigned long long>(r.tx.bursts));
       rc = 1;
+    }
+  }
+
+  // Sharding gate 1: with 2 dual-port shards the contended AGGREGATE must
+  // reach >= 1.8x the single-stack contended per-stream goodput, in both
+  // directions — the wire fair-share ceiling that capped each stream at
+  // ~half a port is gone once the flows stop sharing a stack and a port.
+  {
+    const RowCensus& single = rows[4];
+    const RowCensus& sharded = rows[6];
+    const struct {
+      const char* mode;
+      double base;
+      double agg;
+    } legs[] = {{"send", single.send_mbps, sharded.send_aggregate},
+                {"recv", single.recv_mbps, sharded.recv_aggregate}};
+    for (const auto& l : legs) {
+      if (l.base <= 0 || l.agg < 1.8 * l.base) {
+        std::fprintf(stderr,
+                     "FAIL: sharded2 contended %s aggregate %.1f Mbit/s < "
+                     "1.8x single-stack per-stream %.1f Mbit/s\n",
+                     l.mode, l.agg, l.base);
+        rc = 1;
+      }
+    }
+  }
+
+  // Sharding gate 2: the sharded service at ONE shard must not tax the
+  // uncontended path — within 5% of the classic single-stack row from the
+  // same run (same volume, same transients: self-calibrating).
+  {
+    const RowCensus& classic = rows[3];
+    const RowCensus& sharded1 = rows[5];
+    const struct {
+      const char* mode;
+      double base;
+      double got;
+    } legs[] = {{"send", classic.send_mbps, sharded1.send_mbps},
+                {"recv", classic.recv_mbps, sharded1.recv_mbps}};
+    for (const auto& l : legs) {
+      if (l.base <= 0 || std::fabs(l.got - l.base) > 0.05 * l.base) {
+        std::fprintf(stderr,
+                     "FAIL: sharded1 uncontended %s %.1f Mbit/s is more "
+                     "than 5%% off the classic %.1f Mbit/s\n",
+                     l.mode, l.got, l.base);
+        rc = 1;
+      }
+    }
+  }
+
+  // Sharding gate 3: every sharded row must show traffic on EVERY shard
+  // (steering worked: no shard sat idle while a sibling carried both
+  // flows), and each shard's calls went through its own mutex.
+  for (const RowCensus* r : {&rows[6], &rows[7]}) {
+    for (std::size_t s = 0; s < r->shards.size(); ++s) {
+      const auto& sc = r->shards[s];
+      if (sc.mbps <= 0 || sc.proxied_calls == 0 ||
+          sc.mutex_fast + sc.mutex_contended == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s shard %zu carried no traffic "
+                     "(%.1f Mbit/s, %llu proxied calls)\n",
+                     r->key, s, sc.mbps,
+                     static_cast<unsigned long long>(sc.proxied_calls));
+        rc = 1;
+      }
     }
   }
   return rc;

@@ -33,13 +33,23 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" || status=$?
 
 # Table II bandwidth + driver-doorbell census: gates >= 8 frames per
 # tx_burst under sustained send load (the staged scatter-gather emission)
-# and persists goodput + burst figures as BENCH_table2.json. Reduced byte
-# volume keeps the CI run short; run the binary directly for paper scale.
-# Skipped on the sanitizer leg with the other wall-clock-sensitive runs.
+# and persists goodput + burst figures as BENCH_table2.json. The sharded
+# legs ride in the same binary: contended Scenario 2 at 2 shards must
+# aggregate >= 1.8x the single-stack per-stream figure, the 1-shard run
+# must stay within 5% of the classic service, and every shard must show
+# goodput + proxied calls + mutex traffic in the per-shard census that
+# lands in the JSON. Reduced byte volume keeps the CI run short; run the
+# binary directly for paper scale. Skipped on the sanitizer leg with the
+# other wall-clock-sensitive runs.
 if [[ "$SANITIZE" != "1" ]]; then
   CHERINET_BENCH_BYTES="${CHERINET_BENCH_BYTES:-2097152}" \
   CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
     "$BUILD_DIR"/bench_table2_tcp_bandwidth || status=$?
+
+  # Locking-strategy ablation, now with the sharded-futex leg: per-shard
+  # mutexes must run contention-free (every acquisition a fast path) while
+  # the shared-mutex legs price the umtx escalation for comparison.
+  "$BUILD_DIR"/bench_ablation_locking || status=$?
 
   # Connection-churn census: gates timer-cost sublinearity over idle-PCB
   # populations (10^5 <= 2x 10^3 per loop turn; CHERINET_CHURN_C1M=1 adds
@@ -65,6 +75,11 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
     grep -o '"tx_copies": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"emit_payload_reads": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"frames_per_burst": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    # Sharded-stack census evidence: aggregate goodput of the multi-shard
+    # legs plus each shard's own goodput/mutex/proxy counters.
+    grep -o '"send_aggregate_mbps": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"recv_aggregate_mbps": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"mutex_contended": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     # Churn census evidence: timer-cost sublinearity across idle-PCB
     # populations and the ring-resident lifecycle (v1_calls must be 0).
     grep -o '"sublinearity_x": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true

@@ -188,6 +188,55 @@
 //     10^5 idle PCBs at <= 2x the 10^3 per-turn cost;
 //   * every classic call keeps working — v5 is additive, not a flag day.
 //
+// ------------------------------------------------------------------------
+// v5 -> v6 migration table: sharded stacks + RSS multi-queue steering
+// ------------------------------------------------------------------------
+// v5 scaled the API; the one shared stack mutex still serialized every
+// flow behind it. v6 runs N independent FfStack shards — each with its own
+// mempool, PCB table, ARP cache, timer wheel and uring drain set — and
+// steers flows with the NIC's multi-queue RSS (nic/e82576.hpp: per-queue
+// RX/TX rings, Toeplitz 5-tuple hash through a 128-entry RETA, 8 L4
+// destination-port filters). Nothing in THIS header changed shape: v6 is
+// a topology migration, not a call-signature one.
+//
+//  v5 (one stack, one mutex)           | v6 (N shards, per-shard mutexes)
+// -------------------------------------|----------------------------------
+//  FullStackInstance(card, port, ...)  | FullStackInstance(card, port, q,
+//    single-queue attach               |   queue_count, ...): shard q of
+//                                      |   queue_count on one port; first
+//                                      |   attach configures the port,
+//                                      |   sibling attaches are idempotent
+//  Scenario2Service(iv, cvm1, inst)    | Scenario2Service(iv, cvm1,
+//                                      |   {&inst0, ..., &instN-1}): one
+//                                      |   compartment mutex PER SHARD
+//  svc.make_proxy_ops(app)             | svc.make_proxy_ops(app, shard):
+//                                      |   ATTACH-TIME PINNING — every op,
+//                                      |   uring and mutex word the app
+//                                      |   touches belongs to that shard
+//                                      |   for the app's whole lifetime
+//  svc.run_loop(stop, arb)             | svc.run_shard_loop(s, stop, arb)
+//                                      |   per shard (run_loop = shard 0)
+//  dev.poll(now) (whole device)        | dev.poll_queue(port, q, now):
+//                                      |   TX for the CALLER'S queue only
+//                                      |   + the shared RX classify drain
+//
+//  semantics deltas (v6) — flow placement rules:
+//   * a connection lives and dies on ONE shard: ff_connect picks an
+//     ephemeral port whose REPLY-direction Toeplitz hash RETA-maps to the
+//     owning shard's RX queue; ff_listen pins the listener port to the
+//     shard's queue with an L4 filter (priority over RSS);
+//   * non-IPv4 frames (ARP) replicate to EVERY queue — each shard keeps
+//     its own neighbour cache, so no shard ever asks a sibling;
+//   * the only cross-shard surface is the NIC port itself (doorbells +
+//     wire serialization behind one short per-port mutex) — PCBs, mbufs
+//     and timers are reachable from exactly one shard's capabilities;
+//   * the compartment mutex is now per shard: contention exists only
+//     between an app and ITS OWN service loop, never between flows on
+//     different shards (bench/ablation_locking.cpp gates the sharded leg
+//     at zero contended acquisitions);
+//   * every classic single-instance construction keeps working — shard
+//     count 1 (or the legacy ctor) is byte-for-byte the v5 behaviour.
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.

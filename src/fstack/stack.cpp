@@ -859,16 +859,29 @@ void FfStack::port_unref(std::uint16_t p) {
   if (--it->second == 0) tcp_ports_.erase(it);
 }
 
-std::uint16_t FfStack::alloc_ephemeral_port() {
+std::uint16_t FfStack::alloc_ephemeral_port(Ipv4Addr peer_ip,
+                                            std::uint16_t peer_port) {
   // O(1) per candidate: the used-port set (tcp_ports_, maintained on PCB
   // insert/erase) replaces the old scan over every live PCB — allocation
   // stays constant-time with thousands of connections.
+  //
+  // On a multi-queue port (stack sharding) a connect()-time allocation
+  // additionally requires the peer's replies to RSS-hash back to THIS
+  // shard's queue: with N queues, 1-in-N candidates qualify on average, so
+  // the steered scan stays O(N) expected per allocation.
+  const auto steering = dev_->rx_steering();
+  const bool steered = steering.queue_count > 1 && peer_port != 0;
   for (int tries = 0; tries < 16384; ++tries) {
     const std::uint16_t p = next_ephemeral_;
     next_ephemeral_ =
         next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
     if (!udp_binds_.contains(p) && !tcp_listeners_.contains(p) &&
         !tcp_ports_.contains(p)) {
+      if (steered &&
+          dev_->rx_queue_of(peer_ip.value, peer_port, cfg_.netif.ip.value, p,
+                            6) != steering.queue_id) {
+        continue;
+      }
       return p;
     }
   }
@@ -899,6 +912,9 @@ int FfStack::sock_bind(int fd, Ipv4Addr ip, std::uint16_t port) {
     s->udp->local_ip = s->local_ip;
     s->udp->local_port = s->local_port;
     udp_binds_[s->local_port] = s->udp.get();
+    // Datagram flows have no SYN to steer by: pin the bound port to this
+    // shard's queue so its datagrams never land on a sibling.
+    dev_->steer_local_port(17, s->local_port);
   }
   return 0;
 }
@@ -914,6 +930,10 @@ int FfStack::sock_listen(int fd, int backlog) {
   s->pcb = pcb.get();
   s->listening = true;
   tcp_listeners_.emplace(s->local_port, std::move(pcb));
+  // Pin inbound SYNs (and everything after) for this port to our shard's
+  // RX queue: accepted children inherit the listener's shard, so a
+  // connection's lifetime is single-shard. No-op on single-queue devices.
+  dev_->steer_local_port(6, s->local_port);
   return 0;
 }
 
@@ -950,8 +970,12 @@ int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
   if (s == nullptr || s->kind != SockKind::kTcp) return -EBADF;
   if (s->pcb != nullptr) return -EISCONN;
   if (!s->bound) {
-    const int r = sock_bind(fd, Ipv4Addr{}, 0);
-    if (r != 0) return r;
+    // Peer-aware ephemeral bind: the candidate port must hash the reply
+    // direction onto this shard's RX queue (no-op on single-queue ports).
+    s->local_ip = cfg_.netif.ip;
+    s->local_port = alloc_ephemeral_port(ip, port);
+    if (s->local_port == 0) return -EADDRINUSE;
+    s->bound = true;
   }
   const FourTuple tuple{s->local_ip, s->local_port, ip, port};
   if (tcp_pcbs_.contains(tuple)) return -EADDRINUSE;
@@ -1578,6 +1602,7 @@ int FfStack::sock_close(int fd) {
             wheel_.cancel(s->pcb->wheel_id);
           }
           tcp_listeners_.erase(s->local_port);
+          dev_->unsteer_local_port(6, s->local_port);
         }
         // A dying listener ends its multishot accept arms.
         for (auto& [id, r] : urings_) {
@@ -1595,6 +1620,7 @@ int FfStack::sock_close(int fd) {
       break;
     case SockKind::kUdp:
       udp_binds_.erase(s->local_port);
+      dev_->unsteer_local_port(17, s->local_port);
       // The UdpPcb dies with the fd; outstanding loans detach from its
       // budget and recycle as pure pool returns.
       for (auto& [token, loan] : zc_rx_loans_) {

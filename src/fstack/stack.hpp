@@ -417,7 +417,11 @@ class FfStack final : public TcpEnv {
   /// ring; returns events written (shared by arm-time and per-iteration
   /// publication so the masking/generation keying cannot diverge).
   int publish_ready(EpollInstance& ep);
-  [[nodiscard]] std::uint16_t alloc_ephemeral_port();
+  // With a known peer (connect), only ports whose reply-direction RSS hash
+  // steers back to this shard's RX queue qualify — a flow's whole lifetime
+  // stays on one shard. Peer-less allocation (bind) takes any free port.
+  [[nodiscard]] std::uint16_t alloc_ephemeral_port(
+      Ipv4Addr peer_ip = Ipv4Addr{}, std::uint16_t peer_port = 0);
   /// Local-port reference counting for connected PCBs (several PCBs may
   /// share a local port toward different remotes): keeps ephemeral-port
   /// allocation O(1) instead of scanning every PCB per candidate.

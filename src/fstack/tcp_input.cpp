@@ -26,10 +26,13 @@ void TcpPcb::input(const TcpHeader& h, const TcpOptions& opts,
   }
 
   // Any segment from the peer (even one we go on to reject) proves the
-  // connection alive: reset the keep-alive idle clock and probe count.
+  // connection alive: stamp the activity clock and reset the probe count.
+  // The armed wheel deadline is deliberately NOT touched (lazy re-arm):
+  // fire_keepalive compares against the stamp and re-arms without probing,
+  // so a hot connection costs zero timer_sync churn per segment.
   if (keepalive_deadline_) {
     keepalive_probes_sent_ = 0;
-    keepalive_deadline_ = env_->tcp_now() + cfg_.keepalive_idle;
+    keepalive_last_activity_ = env_->tcp_now();
   }
 
   // ---- sequence acceptability (RFC 793 p.69) ----

@@ -38,6 +38,7 @@ void TcpPcb::set_state(TcpState s) {
   }
   if (s == TcpState::kEstablished) {
     keepalive_probes_sent_ = 0;
+    keepalive_last_activity_ = env_->tcp_now();
     if (cfg_.keepalive_enabled) {
       keepalive_deadline_ = env_->tcp_now() + cfg_.keepalive_idle;
     }

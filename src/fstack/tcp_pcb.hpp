@@ -360,6 +360,12 @@ class TcpPcb {
   std::optional<sim::Ns> persist_deadline_;
   std::optional<sim::Ns> time_wait_deadline_;
   std::optional<sim::Ns> keepalive_deadline_;
+  // Lazy keep-alive arming (Linux-style): input traffic only STAMPS this —
+  // the wheel deadline is left alone, so a hot connection never churns
+  // timer_sync. When the (stale) deadline fires, fire_keepalive compares
+  // against the stamp and silently re-arms at stamp + idle if the
+  // connection was active — the probe cost is paid only on true quiescence.
+  sim::Ns keepalive_last_activity_{};
   std::uint32_t rexmit_shift_ = 0;
   std::uint32_t persist_shift_ = 0;
   std::uint32_t keepalive_probes_sent_ = 0;

@@ -88,6 +88,15 @@ bool TcpPcb::fire_keepalive(sim::Ns now) {
   if (!cfg_.keepalive_enabled || state_ != TcpState::kEstablished) {
     return false;
   }
+  // Lazy arming: traffic since the deadline was set only stamped the
+  // activity clock. If the connection was not truly idle for a full
+  // keepalive_idle window, re-arm relative to the last activity and skip
+  // the probe — the deadline moves once per idle window, not per segment.
+  if (keepalive_probes_sent_ == 0 &&
+      now < keepalive_last_activity_ + cfg_.keepalive_idle) {
+    keepalive_deadline_ = keepalive_last_activity_ + cfg_.keepalive_idle;
+    return true;  // deadline changed: the caller re-syncs the wheel
+  }
   if (keepalive_probes_sent_ >= cfg_.keepalive_probes) {
     error_ = ETIMEDOUT;
     set_state(TcpState::kClosed);

@@ -24,6 +24,12 @@ void TimerWheel::link(std::int32_t idx, std::int16_t list) {
   e.next = *head;
   if (*head >= 0) slab_[static_cast<std::size_t>(*head)].prev = idx;
   *head = idx;
+  // Min-cache: a clean level folds the newcomer in for free (O(1)).
+  const std::int32_t c = cache_of(list);
+  if (c >= 0 && !level_dirty_[static_cast<std::size_t>(c)] &&
+      e.dl_tick < level_min_[static_cast<std::size_t>(c)]) {
+    level_min_[static_cast<std::size_t>(c)] = e.dl_tick;
+  }
 }
 
 void TimerWheel::unlink(std::int32_t idx) {
@@ -35,6 +41,13 @@ void TimerWheel::unlink(std::int32_t idx) {
   }
   if (e.next >= 0) slab_[static_cast<std::size_t>(e.next)].prev = e.prev;
   e.prev = e.next = -1;
+  // Min-cache: only removing the (possibly duplicated) minimum can change
+  // it — mark the level for lazy recompute; anything larger leaves the
+  // cached value exact.
+  const std::int32_t c = cache_of(e.list);
+  if (c >= 0 && e.dl_tick <= level_min_[static_cast<std::size_t>(c)]) {
+    level_dirty_[static_cast<std::size_t>(c)] = true;
+  }
 }
 
 void TimerWheel::place(std::int32_t idx) {
@@ -173,6 +186,34 @@ void TimerWheel::collect_due(sim::Ns now, std::vector<std::uint64_t>& due) {
   }
 }
 
+void TimerWheel::recompute_level_min(std::uint32_t cache) const {
+  std::uint64_t min = kNoMin;
+  if (cache == kLevels) {  // overflow list: no slot structure, walk it all
+    for (std::int32_t idx = overflow_head_; idx >= 0;
+         idx = slab_[static_cast<std::size_t>(idx)].next) {
+      min = std::min(min, slab_[static_cast<std::size_t>(idx)].dl_tick);
+    }
+  } else {
+    const std::uint32_t level = cache;
+    const std::uint64_t lt = cur_tick_ >> (kSlotBits * level);
+    // First non-empty slot in ring order ahead of the cursor holds the
+    // level's minimum dl_tick group: every linked entry is strictly ahead
+    // of the cursor (collect_due fired or cascaded the rest), and one wrap
+    // == the level's whole span, so ring order IS deadline order.
+    for (std::uint64_t i = 1; i <= kSlots; ++i) {
+      const auto slot = static_cast<std::uint32_t>((lt + i) & (kSlots - 1));
+      std::int32_t idx = slots_[level * kSlots + slot];
+      if (idx < 0) continue;
+      for (; idx >= 0; idx = slab_[static_cast<std::size_t>(idx)].next) {
+        min = std::min(min, slab_[static_cast<std::size_t>(idx)].dl_tick);
+      }
+      break;
+    }
+  }
+  level_min_[cache] = min;
+  level_dirty_[cache] = false;
+}
+
 std::optional<sim::Ns> TimerWheel::next_deadline() const {
   if (size_ == 0) return std::nullopt;
   std::optional<std::uint64_t> min_tick;
@@ -180,24 +221,9 @@ std::optional<sim::Ns> TimerWheel::next_deadline() const {
     if (!min_tick || t < *min_tick) min_tick = t;
   };
   if (ready_head_ >= 0) consider(cur_tick_);  // fires at the next expire()
-  for (std::uint32_t level = 0; level < kLevels; ++level) {
-    const std::uint64_t lt = cur_tick_ >> (kSlotBits * level);
-    // First non-empty slot in ring order ahead of the cursor holds the
-    // level's minimum dl_tick group (one wrap == the level's whole span,
-    // so ring order IS deadline order).
-    for (std::uint64_t i = 1; i <= kSlots; ++i) {
-      const auto slot = static_cast<std::uint32_t>((lt + i) & (kSlots - 1));
-      std::int32_t idx = slots_[level * kSlots + slot];
-      if (idx < 0) continue;
-      for (; idx >= 0; idx = slab_[static_cast<std::size_t>(idx)].next) {
-        consider(slab_[static_cast<std::size_t>(idx)].dl_tick);
-      }
-      break;
-    }
-  }
-  for (std::int32_t idx = overflow_head_; idx >= 0;
-       idx = slab_[static_cast<std::size_t>(idx)].next) {
-    consider(slab_[static_cast<std::size_t>(idx)].dl_tick);
+  for (std::uint32_t c = 0; c <= kLevels; ++c) {
+    if (level_dirty_[c]) recompute_level_min(c);
+    if (level_min_[c] != kNoMin) consider(level_min_[c]);
   }
   if (!min_tick) return std::nullopt;
   return sim::Ns{static_cast<std::int64_t>(*min_tick << kTickShift)};

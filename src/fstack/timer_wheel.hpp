@@ -31,6 +31,7 @@
 // FfStack wants (it blindly cancels the old registration on every change).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -49,7 +50,11 @@ class TimerWheel {
   static constexpr std::uint32_t kSlots = 1u << kSlotBits;
   static constexpr std::uint32_t kLevels = 4;
 
-  TimerWheel() { slots_.assign(kLevels * kSlots, -1); }
+  TimerWheel() {
+    slots_.assign(kLevels * kSlots, -1);
+    level_min_.fill(kNoMin);
+    level_dirty_.fill(false);
+  }
 
   /// Register `cookie` to fire once `now >= deadline`. Returns a handle for
   /// cancel(); arming is O(1). Deadlines at or before the current wheel
@@ -74,6 +79,16 @@ class TimerWheel {
 
   /// Tick boundary of the earliest armed timer (>= its actual deadline —
   /// see the pump_until contract above); nullopt when nothing is armed.
+  ///
+  /// O(1) in steady state: each level (and the overflow list) caches its
+  /// minimum armed tick. link() folds a new entry into the cache for free;
+  /// removing the cached minimum just marks the level dirty, and the next
+  /// call recomputes that one level with the first-non-empty-slot ring scan
+  /// (valid because every slot entry is strictly ahead of the cursor, so
+  /// ring order is deadline order). The old behaviour — re-walking the
+  /// first occupied slot's whole chain on EVERY idle stall, ~92 µs with
+  /// 10^6 idle timers parked in one keep-alive slot — is now paid only when
+  /// the cached minimum actually left the level.
   [[nodiscard]] std::optional<sim::Ns> next_deadline() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -108,6 +123,19 @@ class TimerWheel {
   void place(std::int32_t idx);  // file by dl_tick relative to cur_tick_
   void collect_due(sim::Ns now, std::vector<std::uint64_t>& due);
 
+  // --- next_deadline() min-tick cache ---
+  // Index kLevels aliases the overflow list; kNoMin = level empty. Mutable:
+  // the recompute happens lazily inside the const next_deadline().
+  static constexpr std::uint64_t kNoMin = ~0ull;
+  /// Cache slot a linked-list code belongs to; -1 for ready/free (the ready
+  /// list needs no cache — next_deadline answers cur_tick_ when non-empty).
+  [[nodiscard]] static constexpr std::int32_t cache_of(
+      std::int16_t list) noexcept {
+    if (list >= 0) return list >> kSlotBits;  // level index
+    return list == kListOverflow ? static_cast<std::int32_t>(kLevels) : -1;
+  }
+  void recompute_level_min(std::uint32_t cache) const;
+
   [[nodiscard]] std::int32_t* head_of(std::int16_t list) {
     if (list == kListReady) return &ready_head_;
     if (list == kListOverflow) return &overflow_head_;
@@ -123,6 +151,8 @@ class TimerWheel {
   std::size_t size_ = 0;
   Stats stats_;
   std::vector<std::uint64_t> due_scratch_;
+  mutable std::array<std::uint64_t, kLevels + 1> level_min_{};
+  mutable std::array<bool, kLevels + 1> level_dirty_{};
 };
 
 }  // namespace cherinet::fstack

@@ -1,10 +1,31 @@
 #include "nic/e82576.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "nic/crc32.hpp"
 
 namespace cherinet::nic {
+
+namespace {
+
+constexpr std::uint16_t be16_at(std::span<const std::byte> f, std::size_t i) {
+  return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(f[i])
+                                     << 8) |
+                                    std::to_integer<std::uint16_t>(f[i + 1]));
+}
+
+constexpr std::uint32_t be32_at(std::span<const std::byte> f, std::size_t i) {
+  return (std::to_integer<std::uint32_t>(f[i]) << 24) |
+         (std::to_integer<std::uint32_t>(f[i + 1]) << 16) |
+         (std::to_integer<std::uint32_t>(f[i + 2]) << 8) |
+         std::to_integer<std::uint32_t>(f[i + 3]);
+}
+
+constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
+
+}  // namespace
 
 E82576Device::E82576Device(cheri::TaggedMemory* mem, sim::VirtualClock* clock,
                            std::array<MacAddr, 2> macs)
@@ -28,117 +49,288 @@ void E82576Device::poll(sim::Ns now) {
   for (auto& p : ports_) p.process(*this, now);
 }
 
-void E82576Port::set_rx_ring(std::uint64_t base, std::uint32_t count,
-                             std::uint32_t buf_size) {
-  rx_base_ = base;
-  rx_count_ = count;
-  rx_buf_size_ = buf_size;
-  rdh_ = 0;
-  rdt_ = 0;
+void E82576Port::configure_queues(std::uint32_t n) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const std::uint32_t count = std::clamp(n, 1u, kMaxQueues);
+  queues_.assign(count, Queue{});
+  reta_ = make_default_reta(count);
+  l4_filters_.fill(L4Filter{});
 }
 
-void E82576Port::set_tx_ring(std::uint64_t base, std::uint32_t count) {
-  tx_base_ = base;
-  tx_count_ = count;
-  tdh_ = 0;
-  tdt_ = 0;
+void E82576Port::set_rx_ring(std::uint32_t q, std::uint64_t base,
+                             std::uint32_t count, std::uint32_t buf_size) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Queue& qu = queues_.at(q);
+  qu.rx_base = base;
+  qu.rx_count = count;
+  qu.rx_buf_size = buf_size;
+  qu.rdh = 0;
+  qu.rdt = 0;
 }
 
-void E82576Port::write_tdt(std::uint32_t v) {
-  tdt_ = v % std::max(1u, tx_count_);
+void E82576Port::set_tx_ring(std::uint32_t q, std::uint64_t base,
+                             std::uint32_t count) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Queue& qu = queues_.at(q);
+  qu.tx_base = base;
+  qu.tx_count = count;
+  qu.tdh = 0;
+  qu.tdt = 0;
+}
+
+void E82576Port::write_rdt(std::uint32_t q, std::uint32_t v) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Queue& qu = queues_.at(q);
+  qu.rdt = v % std::max(1u, qu.rx_count);
+}
+
+void E82576Port::write_tdt(std::uint32_t q, std::uint32_t v) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Queue& qu = queues_.at(q);
+  qu.tdt = v % std::max(1u, qu.tx_count);
+}
+
+std::uint32_t E82576Port::read_rdh(std::uint32_t q) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return queues_.at(q).rdh;
+}
+
+std::uint32_t E82576Port::read_tdh(std::uint32_t q) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return queues_.at(q).tdh;
+}
+
+void E82576Port::set_reta(const RssReta& r) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  reta_ = r;
+}
+
+void E82576Port::set_reta_entry(std::uint32_t idx, std::uint8_t queue) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  reta_.at(idx) = queue;
+}
+
+RssReta E82576Port::reta() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return reta_;
+}
+
+int E82576Port::set_l4_filter(std::uint8_t proto, std::uint16_t dst_port,
+                              std::uint8_t queue) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  // Re-steering an existing (proto, port) pair reuses its slot.
+  for (std::size_t i = 0; i < l4_filters_.size(); ++i) {
+    L4Filter& f = l4_filters_[i];
+    if (f.valid && f.proto == proto && f.dst_port == dst_port) {
+      f.queue = queue;
+      return static_cast<int>(i);
+    }
+  }
+  for (std::size_t i = 0; i < l4_filters_.size(); ++i) {
+    L4Filter& f = l4_filters_[i];
+    if (!f.valid) {
+      f = L4Filter{true, proto, dst_port, queue};
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void E82576Port::clear_l4_filter(std::uint8_t proto, std::uint16_t dst_port) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (L4Filter& f : l4_filters_) {
+    if (f.valid && f.proto == proto && f.dst_port == dst_port) {
+      f = L4Filter{};
+    }
+  }
+}
+
+std::uint32_t E82576Port::rx_queue_of(std::uint32_t src_ip,
+                                      std::uint32_t dst_ip,
+                                      std::uint16_t src_port,
+                                      std::uint16_t dst_port,
+                                      std::uint8_t proto) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto nq = static_cast<std::uint32_t>(queues_.size());
+  if (nq <= 1) return 0;
+  for (const L4Filter& f : l4_filters_) {
+    if (f.valid && f.proto == proto && f.dst_port == dst_port) {
+      return f.queue % nq;
+    }
+  }
+  const std::uint32_t hash =
+      proto == 6 || proto == 17
+          ? rss_hash_ipv4_l4(src_ip, dst_ip, src_port, dst_port)
+          : rss_hash_ipv4(src_ip, dst_ip);
+  return reta_lookup(reta_, hash) % nq;
+}
+
+E82576Port::Stats E82576Port::stats() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Stats agg;
+  for (const Queue& q : queues_) {
+    agg.rx_packets += q.stats.rx_packets;
+    agg.rx_bytes += q.stats.rx_bytes;
+    agg.tx_packets += q.stats.tx_packets;
+    agg.tx_bytes += q.stats.tx_bytes;
+    agg.rx_no_desc += q.stats.rx_no_desc;
+  }
+  // Pre-classification rejects (CRC, MAC filter) are port-level.
+  agg.rx_crc_errors = port_stats_.rx_crc_errors;
+  agg.rx_filtered = port_stats_.rx_filtered;
+  return agg;
+}
+
+E82576Port::Stats E82576Port::queue_stats(std::uint32_t q) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return queues_.at(q).stats;
 }
 
 void E82576Port::process(E82576Device& dev, sim::Ns now) {
   if (!enabled_ || wire_ == nullptr) return;
-  process_tx(dev, now);
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (Queue& q : queues_) process_tx(dev, q, now);
   process_rx(dev);
 }
 
-void E82576Port::process_tx(E82576Device& dev, sim::Ns now) {
+void E82576Port::process_queue(E82576Device& dev, std::uint32_t q,
+                               sim::Ns now) {
+  if (!enabled_ || wire_ == nullptr) return;
+  const std::lock_guard<std::mutex> lk(mu_);
+  process_tx(dev, queues_.at(q), now);
+  process_rx(dev);
+}
+
+void E82576Port::process_tx(E82576Device& dev, Queue& q, sim::Ns now) {
   const cheri::Capability& auth = dev.dma_cap(index_);
   auto& mem = dev.mem();
-  while (tx_count_ != 0 && tdh_ != tdt_) {
-    const std::uint64_t daddr = tx_base_ + std::uint64_t{tdh_} * sizeof(TxDesc);
+  while (q.tx_count != 0 && q.tdh != q.tdt) {
+    const std::uint64_t daddr =
+        q.tx_base + std::uint64_t{q.tdh} * sizeof(TxDesc);
     TxDesc d = mem.load_scalar<TxDesc>(auth, daddr);
     if (d.length > 0) {
       // Fetch this segment through the DMA capability (bounds-checked per
       // descriptor): a descriptor without EOP extends the frame, so the
       // device gathers chained-mbuf segments straight from their rooms.
-      const std::size_t at = tx_accum_.size();
-      tx_accum_.resize(at + d.length);
+      const std::size_t at = q.tx_accum.size();
+      q.tx_accum.resize(at + d.length);
       mem.load(auth, d.buffer_addr,
-               std::span<std::byte>{tx_accum_.data() + at, d.length});
+               std::span<std::byte>{q.tx_accum.data() + at, d.length});
     }
     if ((d.cmd & kTxCmdEOP) != 0) {
-      if (!tx_accum_.empty()) {
+      if (!q.tx_accum.empty()) {
         // The frame is complete: append the FCS the MAC computes. The wire
         // carries it linearized — the receive side always lands whole
         // frames into single descriptor buffers (RX linearization rule).
         Frame f;
-        const std::size_t len = tx_accum_.size();
+        const std::size_t len = q.tx_accum.size();
         f.data.resize(len + 4);
-        std::memcpy(f.data.data(), tx_accum_.data(), len);
-        const std::uint32_t fcs = crc32_ieee(
-            std::span<const std::byte>{f.data.data(), len});
+        std::memcpy(f.data.data(), q.tx_accum.data(), len);
+        const std::uint32_t fcs =
+            crc32_ieee(std::span<const std::byte>{f.data.data(), len});
         std::memcpy(f.data.data() + len, &fcs, 4);
-        stats_.tx_packets++;
-        stats_.tx_bytes += len;
+        q.stats.tx_packets++;
+        q.stats.tx_bytes += len;
         wire_->transmit(wire_side_, std::move(f), now);
       }
-      tx_accum_.clear();
+      q.tx_accum.clear();
     }
     // Descriptor write-back.
     d.status |= kTxStatusDD;
     mem.store_scalar<TxDesc>(auth, daddr, d);
-    tdh_ = (tdh_ + 1) % tx_count_;
+    q.tdh = (q.tdh + 1) % q.tx_count;
   }
 }
 
-void E82576Port::process_rx(E82576Device& dev) {
-  if (rx_count_ == 0) return;
+std::optional<std::uint32_t> E82576Port::classify_rx(
+    std::span<const std::byte> f) const {
+  if (queues_.size() <= 1) return 0;
+  // Non-IPv4 (ARP and friends) replicates to every queue: each shard's
+  // stack resolves neighbours independently.
+  if (f.size() < kEtherHdrLen + 20) return std::nullopt;
+  if (be16_at(f, 12) != kEthertypeIpv4) return std::nullopt;
+  const auto vihl = std::to_integer<std::uint8_t>(f[kEtherHdrLen]);
+  if ((vihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(vihl & 0x0F) * 4;
+  if (ihl < 20 || f.size() < kEtherHdrLen + ihl) return std::nullopt;
+  const auto proto = std::to_integer<std::uint8_t>(f[kEtherHdrLen + 9]);
+  const std::uint32_t src = be32_at(f, kEtherHdrLen + 12);
+  const std::uint32_t dst = be32_at(f, kEtherHdrLen + 16);
+  // MF set or a nonzero fragment offset: ports are only in fragment 0, so
+  // every fragment of a datagram hashes the IP pair — reassembly stays on
+  // one queue.
+  const bool fragmented = (be16_at(f, kEtherHdrLen + 6) & 0x3FFF) != 0;
+  std::uint32_t hash = 0;
+  if (!fragmented && (proto == 6 || proto == 17) &&
+      f.size() >= kEtherHdrLen + ihl + 4) {
+    const std::uint16_t sport = be16_at(f, kEtherHdrLen + ihl);
+    const std::uint16_t dport = be16_at(f, kEtherHdrLen + ihl + 2);
+    for (const L4Filter& fl : l4_filters_) {
+      if (fl.valid && fl.proto == proto && fl.dst_port == dport) {
+        return fl.queue % queues_.size();
+      }
+    }
+    hash = rss_hash_ipv4_l4(src, dst, sport, dport);
+  } else {
+    hash = rss_hash_ipv4(src, dst);
+  }
+  return reta_lookup(reta_, hash) % queues_.size();
+}
+
+void E82576Port::deliver_rx(E82576Device& dev, Queue& q,
+                            std::span<const std::byte> payload) {
   const cheri::Capability& auth = dev.dma_cap(index_);
   auto& mem = dev.mem();
+  // Ring occupancy: the device may fill up to (but not including) RDT.
+  if (q.rx_count == 0 || q.rdh == q.rdt) {
+    q.stats.rx_no_desc++;
+    return;
+  }
+  const std::uint64_t daddr = q.rx_base + std::uint64_t{q.rdh} * sizeof(RxDesc);
+  RxDesc d = mem.load_scalar<RxDesc>(auth, daddr);
+  if (payload.size() > q.rx_buf_size) {
+    port_stats_.rx_crc_errors++;  // oversize for configured buffer
+    return;
+  }
+  mem.store(auth, d.buffer_addr, payload);
+  d.length = static_cast<std::uint16_t>(payload.size());
+  d.status = kRxStatusDD | kRxStatusEOP;
+  d.errors = 0;
+  mem.store_scalar<RxDesc>(auth, daddr, d);
+  q.stats.rx_packets++;
+  q.stats.rx_bytes += payload.size();
+  q.rdh = (q.rdh + 1) % q.rx_count;
+}
+
+void E82576Port::process_rx(E82576Device& dev) {
   for (Frame& f : wire_->poll(wire_side_)) {
     if (f.data.size() < kEtherHdrLen + 4) {
-      stats_.rx_crc_errors++;
+      port_stats_.rx_crc_errors++;
       continue;
     }
     // Verify and strip the FCS.
     const std::size_t payload_len = f.data.size() - 4;
     std::uint32_t fcs = 0;
     std::memcpy(&fcs, f.data.data() + payload_len, 4);
-    if (fcs != crc32_ieee(std::span<const std::byte>{f.data.data(),
-                                                     payload_len})) {
-      stats_.rx_crc_errors++;
+    if (fcs !=
+        crc32_ieee(std::span<const std::byte>{f.data.data(), payload_len})) {
+      port_stats_.rx_crc_errors++;
       continue;
     }
     // MAC destination filter.
     MacAddr dst;
     std::memcpy(dst.bytes.data(), f.data.data(), 6);
     if (!promisc_ && !(dst == mac_) && !dst.is_broadcast()) {
-      stats_.rx_filtered++;
+      port_stats_.rx_filtered++;
       continue;
     }
-    // Ring occupancy: the device may fill up to (but not including) RDT.
-    if (rdh_ == rdt_) {
-      stats_.rx_no_desc++;
-      continue;
+    const std::span<const std::byte> payload{f.data.data(), payload_len};
+    const std::optional<std::uint32_t> target = classify_rx(payload);
+    if (target.has_value()) {
+      deliver_rx(dev, queues_[*target], payload);
+    } else {
+      for (Queue& q : queues_) deliver_rx(dev, q, payload);
     }
-    const std::uint64_t daddr = rx_base_ + std::uint64_t{rdh_} * sizeof(RxDesc);
-    RxDesc d = mem.load_scalar<RxDesc>(auth, daddr);
-    if (payload_len > rx_buf_size_) {
-      stats_.rx_crc_errors++;  // oversize for configured buffer
-      continue;
-    }
-    mem.store(auth, d.buffer_addr,
-              std::span<const std::byte>{f.data.data(), payload_len});
-    d.length = static_cast<std::uint16_t>(payload_len);
-    d.status = kRxStatusDD | kRxStatusEOP;
-    d.errors = 0;
-    mem.store_scalar<RxDesc>(auth, daddr, d);
-    stats_.rx_packets++;
-    stats_.rx_bytes += payload_len;
-    rdh_ = (rdh_ + 1) % rx_count_;
   }
 }
 

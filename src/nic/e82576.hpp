@@ -1,7 +1,7 @@
 // Device model of an Intel 82576-style dual-port Gigabit NIC.
 //
-// The programming model is the one DPDK's igb driver speaks: per-port
-// descriptor rings in host memory, head/tail registers, DD status
+// The programming model is the one DPDK's igb driver speaks: per-port,
+// per-queue descriptor rings in host memory, head/tail registers, DD status
 // write-back, polling (no interrupts — DPDK detaches the NIC from the
 // kernel and polls, paper §II-C).
 //
@@ -11,18 +11,33 @@
 // model, and the reason a compromised compartment cannot aim the NIC at
 // another compartment's memory.
 //
-// Threading: each port is owned by exactly one driver thread (its stack's
-// main loop); the Wire is the only cross-thread boundary.
+// Multi-queue RSS (datasheet §7.1): each port owns up to kMaxQueues RX/TX
+// queue pairs. Inbound frames are classified once — L4 port filter first
+// (§7.1.2, proto + destination port, 8 entries), then the Toeplitz 5-tuple
+// hash through the 128-entry RETA — and land on exactly one queue's ring;
+// non-IP frames (ARP) replicate to EVERY queue so each shard's stack keeps
+// its own neighbour cache warm. Fragmented datagrams hash the IP pair only,
+// keeping reassembly single-queue.
+//
+// Threading: each QUEUE is owned by exactly one driver thread (its shard's
+// main loop). Queue TX state is only touched through poll_queue by the
+// owner; RX classification and all register writes serialize on one
+// per-port mutex — the narrow shared-fate interface (doorbells + the wire),
+// NOT a stack-level lock. The single-queue legacy register surface
+// (set_rx_ring(base,...), write_rdt(v), ...) aliases queue 0.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cheri/capability.hpp"
 #include "cheri/tagged_memory.hpp"
 #include "nic/mac.hpp"
+#include "nic/rss.hpp"
 #include "nic/wire.hpp"
 
 namespace cherinet::nic {
@@ -57,25 +72,73 @@ inline constexpr std::uint8_t kTxCmdRS = 0x08;
 inline constexpr std::uint8_t kTxStatusDD = 0x01;
 inline constexpr std::uint8_t kRxErrorCRC = 0x02;
 
+/// Queue pairs per port (real 82576: 16; enough for the shard counts here).
+inline constexpr std::uint32_t kMaxQueues = 8;
+/// L4 destination-port steering filters per port (§7.1.2 "2-tuple" filters).
+inline constexpr std::size_t kMaxL4Filters = 8;
+
 class E82576Device;
 
 /// One MAC+PHY port of the card.
 class E82576Port {
  public:
-  // --- "register" interface used by the poll-mode driver ---
-  void set_rx_ring(std::uint64_t base, std::uint32_t count,
+  // --- queue configuration ---
+  /// Resize to `n` RX/TX queue pairs (clamped to [1, kMaxQueues]). RESETS
+  /// every queue's ring state, clears the L4 filters and re-fills the RETA
+  /// round-robin — call before per-queue ring setup, never while live.
+  void configure_queues(std::uint32_t n);
+  [[nodiscard]] std::uint32_t queue_count() const noexcept {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  // --- "register" interface used by the poll-mode driver (per queue) ---
+  void set_rx_ring(std::uint32_t q, std::uint64_t base, std::uint32_t count,
                    std::uint32_t buf_size);
-  void set_tx_ring(std::uint64_t base, std::uint32_t count);
-  void write_rdt(std::uint32_t v) { rdt_ = v % std::max(1u, rx_count_); }
-  void write_tdt(std::uint32_t v);
-  [[nodiscard]] std::uint32_t read_rdh() const noexcept { return rdh_; }
-  [[nodiscard]] std::uint32_t read_tdh() const noexcept { return tdh_; }
+  void set_tx_ring(std::uint32_t q, std::uint64_t base, std::uint32_t count);
+  void write_rdt(std::uint32_t q, std::uint32_t v);
+  void write_tdt(std::uint32_t q, std::uint32_t v);
+  [[nodiscard]] std::uint32_t read_rdh(std::uint32_t q) const;
+  [[nodiscard]] std::uint32_t read_tdh(std::uint32_t q) const;
+
+  // Single-queue legacy surface: queue 0 (pre-multi-queue drivers/tests).
+  void set_rx_ring(std::uint64_t base, std::uint32_t count,
+                   std::uint32_t buf_size) {
+    set_rx_ring(0, base, count, buf_size);
+  }
+  void set_tx_ring(std::uint64_t base, std::uint32_t count) {
+    set_tx_ring(0, base, count);
+  }
+  void write_rdt(std::uint32_t v) { write_rdt(0, v); }
+  void write_tdt(std::uint32_t v) { write_tdt(0, v); }
+  [[nodiscard]] std::uint32_t read_rdh() const { return read_rdh(0); }
+  [[nodiscard]] std::uint32_t read_tdh() const { return read_tdh(0); }
+
   void enable() noexcept { enabled_ = true; }
   void set_promiscuous(bool on) noexcept { promisc_ = on; }
   [[nodiscard]] bool link_up() const noexcept {
     return enabled_ && wire_ != nullptr;
   }
   [[nodiscard]] const MacAddr& mac() const noexcept { return mac_; }
+
+  // --- RSS steering "registers" ---
+  void set_reta(const RssReta& r);
+  void set_reta_entry(std::uint32_t idx, std::uint8_t queue);
+  [[nodiscard]] RssReta reta() const;
+  /// Install an L4 destination-port filter (takes priority over RSS —
+  /// listeners pin their port to the accepting shard's queue). Returns the
+  /// filter index, or -1 when all kMaxL4Filters slots are taken.
+  int set_l4_filter(std::uint8_t proto, std::uint16_t dst_port,
+                    std::uint8_t queue);
+  void clear_l4_filter(std::uint8_t proto, std::uint16_t dst_port);
+
+  /// The queue an inbound frame with this tuple would land on (filter
+  /// first, then Toeplitz + RETA) — src is the remote peer. connect() uses
+  /// this to pick an ephemeral port whose replies steer home.
+  [[nodiscard]] std::uint32_t rx_queue_of(std::uint32_t src_ip,
+                                          std::uint32_t dst_ip,
+                                          std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::uint8_t proto) const;
 
   struct Stats {
     std::uint64_t rx_packets = 0;
@@ -86,7 +149,12 @@ class E82576Port {
     std::uint64_t rx_crc_errors = 0;
     std::uint64_t rx_filtered = 0;  // MAC filter rejects
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Port-aggregate counters (all queues). Snapshot by value: the port may
+  /// be concurrently polled by other queue owners.
+  [[nodiscard]] Stats stats() const;
+  /// Per-queue counters (rx/tx packets+bytes, ring-full drops) — the shard
+  /// isolation tests pin "my frames arrived on MY queue" with these.
+  [[nodiscard]] Stats queue_stats(std::uint32_t q) const;
 
   /// Earliest pending wire delivery (poll deadline for the driver loop).
   [[nodiscard]] std::optional<sim::Ns> next_rx_event() const {
@@ -95,9 +163,36 @@ class E82576Port {
 
  private:
   friend class E82576Device;
+
+  struct Queue {
+    std::uint64_t rx_base = 0, tx_base = 0;
+    std::uint32_t rx_count = 0, tx_count = 0;
+    std::uint32_t rx_buf_size = 0;
+    std::uint32_t rdh = 0, rdt = 0, tdh = 0, tdt = 0;
+    // Multi-descriptor TX frames (scatter-gather): segment buffers
+    // accumulate here until the EOP descriptor completes the frame (82576
+    // §7.2.1 — descriptors without EOP extend the packet).
+    std::vector<std::byte> tx_accum;
+    Stats stats;
+  };
+
+  struct L4Filter {
+    bool valid = false;
+    std::uint8_t proto = 0;
+    std::uint16_t dst_port = 0;
+    std::uint8_t queue = 0;
+  };
+
   void process(E82576Device& dev, sim::Ns now);
-  void process_tx(E82576Device& dev, sim::Ns now);
+  void process_queue(E82576Device& dev, std::uint32_t q, sim::Ns now);
+  void process_tx(E82576Device& dev, Queue& q, sim::Ns now);
   void process_rx(E82576Device& dev);
+  void deliver_rx(E82576Device& dev, Queue& q,
+                  std::span<const std::byte> payload);
+  /// Queue for one classified frame; nullopt = replicate to every queue
+  /// (non-IPv4: ARP and friends). Caller holds mu_.
+  [[nodiscard]] std::optional<std::uint32_t> classify_rx(
+      std::span<const std::byte> frame) const;
 
   MacAddr mac_;
   Wire* wire_ = nullptr;
@@ -106,15 +201,15 @@ class E82576Port {
   bool enabled_ = false;
   bool promisc_ = true;  // DPDK default for these experiments
 
-  std::uint64_t rx_base_ = 0, tx_base_ = 0;
-  std::uint32_t rx_count_ = 0, tx_count_ = 0;
-  std::uint32_t rx_buf_size_ = 0;
-  std::uint32_t rdh_ = 0, rdt_ = 0, tdh_ = 0, tdt_ = 0;
-  // Multi-descriptor TX frames (scatter-gather): segment buffers accumulate
-  // here until the EOP descriptor completes the frame (82576 §7.2.1 —
-  // descriptors without EOP extend the packet).
-  std::vector<std::byte> tx_accum_;
-  Stats stats_;
+  // One mutex per port: RX classification (wire drain + descriptor fill for
+  // ANY queue) and register writes serialize here. TX descriptor fetch for
+  // a queue also runs under it — the walk is short and the lock is
+  // uncontended unless two shards share a port.
+  mutable std::mutex mu_;
+  std::vector<Queue> queues_{1};
+  RssReta reta_ = make_default_reta(1);
+  std::array<L4Filter, kMaxL4Filters> l4_filters_{};
+  Stats port_stats_;  // pre-classification rejects (CRC, MAC filter)
 };
 
 class E82576Device {
@@ -131,10 +226,16 @@ class E82576Device {
 
   [[nodiscard]] E82576Port& port(int i) { return ports_.at(i); }
 
-  /// Device poll: advance TX/RX state machines of both ports. Called from
-  /// driver rx/tx burst paths (polling model).
+  /// Device poll: advance TX/RX state machines of both ports, all queues.
+  /// Called from driver rx/tx burst paths (polling model).
   void poll(sim::Ns now);
   void poll_port(int i, sim::Ns now) { ports_.at(i).process(*this, now); }
+  /// Per-queue poll: TX for the CALLER'S queue only, plus the shared RX
+  /// drain (which classifies into every queue). The only device entry a
+  /// shard's driver thread uses.
+  void poll_queue(int i, std::uint32_t q, sim::Ns now) {
+    ports_.at(i).process_queue(*this, q, now);
+  }
 
   [[nodiscard]] cheri::TaggedMemory& mem() noexcept { return *mem_; }
   [[nodiscard]] const cheri::Capability& dma_cap(int port) const {

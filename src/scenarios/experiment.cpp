@@ -254,12 +254,50 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
 
   // ---- Scenario 2 ----
   const int napps = kind == ScenarioKind::kScenario2Contended ? 2 : 1;
-  arb.expect_participants(2 + static_cast<std::size_t>(napps));
-  PeerHost& peer = tb.make_peer(0);
+  const std::uint32_t nshards = std::max<std::uint32_t>(opt.s2_shards, 1);
+  const bool same_port = opt.s2_shards_same_port || nshards == 1;
+  // Dual-port scale-out puts shard j on port j; the card has two ports.
+  const int nports =
+      same_port ? 1 : static_cast<int>(std::min<std::uint32_t>(nshards, 2));
+  // App cVM j is pinned to shard j % nshards at make_proxy_ops time; the
+  // shard's frames arrive on its own port (dual-port mode) or its own RSS
+  // queue of port 0 (same-port mode).
+  const auto shard_of = [nshards](int j) {
+    return static_cast<std::uint32_t>(j) % nshards;
+  };
+  const auto port_of_shard = [same_port, nports](std::uint32_t s) {
+    return same_port ? 0 : static_cast<int>(s) % nports;
+  };
+  arb.expect_participants(static_cast<std::size_t>(nports) + nshards +
+                          static_cast<std::size_t>(napps));
+  for (int p = 0; p < nports; ++p) tb.make_peer(p);
   iv::CVM& cvm1 = iv.create_cvm("cVM1", 96u << 20);
-  FullStackInstance inst(tb.card(), 0, cvm1.heap(), clock, tb.morello_cfg(0));
-  Scenario2Service svc(iv, cvm1, inst);
-  cvm1.start([&] { svc.run_loop(stop, arb); });
+  std::vector<std::unique_ptr<FullStackInstance>> insts;
+  std::vector<FullStackInstance*> shard_ptrs;
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    if (opt.s2_shards_same_port) {
+      // RSS mode: every shard shares port 0's identity (IP + MAC); the
+      // 82576's Toeplitz/RETA steering and the listeners' L4 filters split
+      // the flows across the shards' queues.
+      insts.push_back(std::make_unique<FullStackInstance>(
+          tb.card(), 0, s, nshards, cvm1.heap(), clock, tb.morello_cfg(0)));
+    } else {
+      const int p = port_of_shard(s);
+      insts.push_back(std::make_unique<FullStackInstance>(
+          tb.card(), p, cvm1.heap(), clock, tb.morello_cfg(p)));
+    }
+    shard_ptrs.push_back(insts.back().get());
+  }
+  Scenario2Service svc(iv, cvm1, shard_ptrs);
+  cvm1.start([&] { svc.run_shard_loop(0, stop, arb); });
+  // Sibling shard loops: cVM1 threads in the model, plain threads here
+  // (one CVM body slot). They share cvm1's libc futex path via their own
+  // per-shard mutexes.
+  std::vector<std::thread> shard_threads;
+  for (std::uint32_t s = 1; s < nshards; ++s) {
+    shard_threads.emplace_back(
+        [&svc, s, &stop, &arb] { svc.run_shard_loop(s, stop, arb); });
+  }
 
   struct App {
     iv::CVM* cvm = nullptr;
@@ -272,9 +310,11 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
   std::vector<App> app(static_cast<std::size_t>(napps));
   for (int j = 0; j < napps; ++j) {
     App& a = app[static_cast<std::size_t>(j)];
+    const std::uint32_t s = shard_of(j);
+    const int p = port_of_shard(s);
     a.label = "cVM" + std::to_string(2 + j);
     a.cvm = &iv.create_cvm(a.label, 16u << 20);
-    a.ops = svc.make_proxy_ops(*a.cvm);
+    a.ops = svc.make_proxy_ops(*a.cvm, s);
     machine::CapView buf = a.cvm->alloc(64 * 1024);
     // Interval reports flush through ONE SyscallBatch envelope per report
     // instead of one write(2) crossing per line (apps::TelemetryBatch).
@@ -285,19 +325,28 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
       a.srv = std::make_unique<apps::IperfServer>(a.ops.get(), &clock, port,
                                                   buf, 1);
       a.srv->set_telemetry(a.telemetry.get(), sim::Ns{250'000'000});
-      peer.run_iperf_client(MorelloTestbed::morello_ip(0), port,
-                            bytes_per_stream);
+      tb.peer(p).run_iperf_client(MorelloTestbed::morello_ip(p), port,
+                                  bytes_per_stream);
       done.push_back([&a] { return a.srv->finished(); });
     } else {
       a.cli = std::make_unique<apps::IperfClient>(
-          a.ops.get(), &clock, MorelloTestbed::peer_ip(0), kIperfPort,
+          a.ops.get(), &clock, MorelloTestbed::peer_ip(p), kIperfPort,
           bytes_per_stream, buf.window(0, 16 * 1024));
       a.cli->set_telemetry(a.telemetry.get(), sim::Ns{250'000'000});
-      done.push_back([&peer] { return peer.workload_finished(); });
     }
   }
-  if (dir == Direction::kMorelloSends) peer.serve_iperf(kIperfPort, napps);
-  peer.start();
+  if (dir == Direction::kMorelloSends) {
+    for (int p = 0; p < nports; ++p) {
+      int streams = 0;
+      for (int j = 0; j < napps; ++j) {
+        if (port_of_shard(shard_of(j)) == p) ++streams;
+      }
+      tb.peer(p).serve_iperf(kIperfPort, streams);
+      done.push_back(
+          [peer = &tb.peer(p)] { return peer->workload_finished(); });
+    }
+  }
+  for (int p = 0; p < nports; ++p) tb.peer(p).start();
   for (auto& a : app) {
     a.cvm->start([&a, &clock, &arb, &stop] {
       proxy_endpoint_loop(a.srv.get(), a.cli.get(), clock, arb, stop,
@@ -307,28 +356,47 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
   wait_all_finished(done, stop, arb);
   for (auto& a : app) a.cvm->join();
   cvm1.join();
-  peer.request_stop();
-  peer.join();
-
-  {
-    const updk::EthStats es = inst.dev().stats();
-    out.morello_tx.frames = es.opackets;
-    out.morello_tx.bursts = es.tx_bursts;
-    out.morello_tx.segs = es.tx_segs;
+  for (auto& t : shard_threads) t.join();
+  for (int p = 0; p < nports; ++p) {
+    tb.peer(p).request_stop();
+    tb.peer(p).join();
   }
 
+  for (auto& inst : insts) {
+    const updk::EthStats es = inst->dev().stats();
+    out.morello_tx.frames += es.opackets;
+    out.morello_tx.bursts += es.tx_bursts;
+    out.morello_tx.segs += es.tx_segs;
+  }
+
+  out.shards.resize(nshards);
   if (dir == Direction::kMorelloReceives) {
-    for (auto& a : app) {
+    for (int j = 0; j < napps; ++j) {
+      App& a = app[static_cast<std::size_t>(j)];
       const auto& r = a.srv->report();
       out.endpoints.push_back({a.label, r.bytes, r.mbit_per_sec()});
+      out.shards[shard_of(j)].mbps += r.mbit_per_sec();
     }
   } else {
-    const auto reports = peer.server()->connection_reports();
-    for (std::size_t j = 0; j < reports.size(); ++j) {
-      out.endpoints.push_back({"cVM" + std::to_string(2 + j),
-                               reports[j].bytes,
-                               reports[j].mbit_per_sec()});
+    // Each peer reports its connections in accept order; apps mapped to a
+    // port connected in increasing j, so zip them back in that order.
+    std::vector<std::size_t> next_report(static_cast<std::size_t>(nports), 0);
+    for (int j = 0; j < napps; ++j) {
+      const int p = port_of_shard(shard_of(j));
+      const auto reports = tb.peer(p).server()->connection_reports();
+      const std::size_t idx = next_report[static_cast<std::size_t>(p)]++;
+      if (idx < reports.size()) {
+        out.endpoints.push_back({"cVM" + std::to_string(2 + j),
+                                 reports[idx].bytes,
+                                 reports[idx].mbit_per_sec()});
+        out.shards[shard_of(j)].mbps += reports[idx].mbit_per_sec();
+      }
     }
+  }
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    out.shards[s].mutex_fast = svc.mutex(s).fast_acquires();
+    out.shards[s].mutex_contended = svc.mutex(s).contended_acquires();
+    out.shards[s].proxied_calls = svc.proxied_calls(s);
   }
   return out;
 }

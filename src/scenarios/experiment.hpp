@@ -45,6 +45,15 @@ struct TestbedOptions {
   /// emit in one staged burst — emission is ACK-clocked, not app-refill-
   /// clocked.
   std::size_t sndbuf_bytes = 512 * 1024;
+  /// Scenario 2 sharding: number of independent FfStack shards inside cVM1,
+  /// each with its own mempool, PCB table, ARP cache, timer wheel, uring
+  /// drain set — and its own coordination mutex. 1 = the classic
+  /// single-stack service. App cVM j pins to shard j % s2_shards.
+  std::uint32_t s2_shards = 1;
+  /// true: all shards share port 0 through RSS multi-queue steering (one
+  /// queue per shard, flows steered by Toeplitz hash / L4 filter). false:
+  /// shard j owns port j outright (dual-port scale-out; at most 2 shards).
+  bool s2_shards_same_port = false;
 };
 
 /// The emulated hardware + OS fixture shared by all scenarios.
@@ -112,6 +121,17 @@ struct BandwidthOutcome {
     }
   };
   TxBurstCensus morello_tx;
+  /// Scenario 2 only: the per-shard goodput and mutex census. With one
+  /// shard this is the classic shared-mutex picture; with N shards each
+  /// entry counts ONLY its own shard's mutex — cross-flow contention is
+  /// structurally gone, which is what the sharded table2 legs gate on.
+  struct ShardCensus {
+    double mbps = 0.0;  // goodput of the stream(s) pinned to this shard
+    std::uint64_t mutex_fast = 0;
+    std::uint64_t mutex_contended = 0;
+    std::uint64_t proxied_calls = 0;
+  };
+  std::vector<ShardCensus> shards;
 };
 
 /// Run one Table II cell: `bytes_per_stream` of TCP payload per endpoint.

@@ -16,19 +16,35 @@ constexpr std::size_t kMaxZcRecords = 64;
 
 Scenario2Service::Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
                                    FullStackInstance& inst)
-    : iv_(iv), cvm1_(cvm1), inst_(inst) {
-  mutex_word_ = iv_.grant_shared(64, "s2-stack-mutex");
-  mutex_word_.store<std::uint32_t>(0, 0);
-  mutex_ = std::make_unique<iv::CompartmentMutex>(&cvm1_.libc(),
-                                                  mutex_word_.window(0, 4));
-  // Every proxied ff_* call reaches this stack through a sealed-entry
-  // crossing; surface that counter through the stack's own stats.
-  inst_.stack().set_crossing_probe(
-      [reg = &iv_.entries()] { return reg->crossings(); });
+    : Scenario2Service(iv, cvm1, std::vector<FullStackInstance*>{&inst}) {}
+
+Scenario2Service::Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
+                                   std::vector<FullStackInstance*> shards)
+    : iv_(iv),
+      cvm1_(cvm1),
+      shards_(std::move(shards)),
+      proxied_calls_(shards_.size()) {
+  mutex_words_.reserve(shards_.size());
+  mutexes_.reserve(shards_.size());
+  for (std::size_t j = 0; j < shards_.size(); ++j) {
+    // Shard 0 keeps the historical grant name; siblings get a suffix so the
+    // shared-memory census stays legible.
+    const std::string name =
+        j == 0 ? "s2-stack-mutex" : "s2-stack-mutex-s" + std::to_string(j);
+    mutex_words_.push_back(iv_.grant_shared(64, name));
+    mutex_words_.back().store<std::uint32_t>(0, 0);
+    mutexes_.push_back(std::make_unique<iv::CompartmentMutex>(
+        &cvm1_.libc(), mutex_words_.back().window(0, 4)));
+    // Every proxied ff_* call reaches a shard through a sealed-entry
+    // crossing; surface that counter through the stack's own stats.
+    shards_[j]->stack().set_crossing_probe(
+        [reg = &iv_.entries()] { return reg->crossings(); });
+  }
 }
 
-void Scenario2Service::run_loop(std::atomic<bool>& stop,
-                                sim::TimeArbiter& arb) {
+void Scenario2Service::run_shard_loop(std::size_t shard,
+                                      std::atomic<bool>& stop,
+                                      sim::TimeArbiter& arb) {
   // DPDK/F-Stack's main loop is a *polling* loop: while traffic flows it
   // iterates continuously with the coordination mutex held, so a
   // cross-compartment ff_* call almost always finds the mutex taken and
@@ -37,31 +53,35 @@ void Scenario2Service::run_loop(std::atomic<bool>& stop,
   // virtual clock can only advance while every participant is idle).
   constexpr std::chrono::microseconds kPollWindow{10};
   constexpr std::chrono::microseconds kWaiterGrace{3};
-  sim::Participant part(arb, "cvm1-netsvc");
+  FullStackInstance& inst = *shards_[shard];
+  iv::CompartmentMutex& mutex = *mutexes_[shard];
+  const std::string pname =
+      shard == 0 ? "cvm1-netsvc" : "cvm1-netsvc-s" + std::to_string(shard);
+  sim::Participant part(arb, pname);
   sim::VirtualClock* clock = iv_.host().vclock();
   while (!stop.load(std::memory_order_acquire)) {
     const std::uint64_t token = part.prepare();
     bool progress;
     std::optional<sim::Ns> d;
     {
-      iv::CompartmentLockGuard lk(*mutex_);
-      progress = inst_.run_once();
+      iv::CompartmentLockGuard lk(mutex);
+      progress = inst.run_once();
       if (progress) {
         // Busy traffic: keep polling under the lock for one window, as the
         // real main loop would between two scheduler-visible instants.
         const auto t_end = std::chrono::steady_clock::now() + kPollWindow;
         while (std::chrono::steady_clock::now() < t_end) {
-          progress |= inst_.run_once();
+          progress |= inst.run_once();
         }
       }
-      d = inst_.next_deadline();
+      d = inst.next_deadline();
       // About to park: tell attached ff_urings so an app pushing into an
       // empty SQ knows the one doorbell crossing is worth making (a
       // polling loop would pick the SQE up by itself — that is the
       // zero-crossings-per-op steady state).
-      if (!progress) inst_.stack().urings_set_parked(true);
+      if (!progress) inst.stack().urings_set_parked(true);
     }
-    if (mutex_->has_waiters()) {
+    if (mutex.has_waiters()) {
       // Blocked API callers wake through the kernel; give them a real
       // window to win the word before the loop re-acquires it, otherwise
       // the polling loop starves them entirely (total starvation is not
@@ -74,33 +94,41 @@ void Scenario2Service::run_loop(std::atomic<bool>& stop,
   }
 }
 
-std::unique_ptr<apps::FfOps> Scenario2Service::make_proxy_ops(iv::CVM& app) {
-  return std::make_unique<ProxyFfOps>(this, &app);
+std::unique_ptr<apps::FfOps> Scenario2Service::make_proxy_ops(
+    iv::CVM& app, std::size_t shard) {
+  return std::make_unique<ProxyFfOps>(this, &app, shard);
 }
 
 // ---------------------------------------------------------------------------
 // ProxyFfOps
 // ---------------------------------------------------------------------------
 
-ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app)
+ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app, std::size_t shard)
     : svc_(svc), app_(app) {
   event_buf_ = app_->heap().alloc_view(kMaxProxyEvents * 12);
   zc_buf_ = app_->heap().alloc_view(kMaxZcRecords * kZcRecordBytes);
 
   auto& reg = svc_->iv_.entries();
   const machine::CompartmentContext* target = &svc_->cvm1_.context();
-  fstack::FfStack* st = &svc_->inst_.stack();
-  iv::CompartmentMutex* mtx = svc_->mutex_.get();
+  // Attach-time shard pinning: every entry this app installs captures the
+  // shard's OWN stack and OWN mutex — no call of this app's ever touches a
+  // sibling shard's state.
+  fstack::FfStack* st = &svc_->shards_.at(shard)->stack();
+  iv::CompartmentMutex* mtx = svc_->mutexes_.at(shard).get();
+  std::atomic<std::uint64_t>* calls = &svc_->proxied_calls_[shard];
   iv::MuslLibc* libc = &app_->libc();  // the *caller's* futex path
-  const std::string tag = app_->name();
+  // Entry names are global: suffix the shard so one app may pin proxies to
+  // several shards without colliding.
+  const std::string tag =
+      app_->name() + (shard == 0 ? "" : ":s" + std::to_string(shard));
 
-  // Each wrapper: take the stack mutex (serializing against the main loop),
-  // run the ff_* function inside cVM1. The sealed entry itself performed
-  // the domain transition before we get here.
-  const auto wrap = [svc, mtx, libc](auto fn) {
-    return [svc, mtx, libc, fn](machine::CrossCallArgs& a) -> std::uint64_t {
+  // Each wrapper: take the shard's mutex (serializing against that shard's
+  // main loop), run the ff_* function inside cVM1. The sealed entry itself
+  // performed the domain transition before we get here.
+  const auto wrap = [calls, mtx, libc](auto fn) {
+    return [calls, mtx, libc, fn](machine::CrossCallArgs& a) -> std::uint64_t {
       iv::CompartmentLockGuard lk(*mtx, libc);
-      svc->proxied_calls_.fetch_add(1, std::memory_order_relaxed);
+      calls->fetch_add(1, std::memory_order_relaxed);
       return static_cast<std::uint64_t>(fn(a));
     };
   };

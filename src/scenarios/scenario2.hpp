@@ -6,10 +6,19 @@
 // the "wrapper functions ... to do the cross-compartment jump" of §III-B.
 // A mutex in shared memory coordinates the F-Stack main loop with the
 // proxied API calls; its contention is the subject of the paper's Fig. 6.
+//
+// Sharded mode: cVM1 may run N independent FfStack SHARDS, each with its
+// own mempool, PCB table, ARP cache, timer wheel, uring drain set — and its
+// own coordination mutex. An app compartment is pinned to ONE shard at
+// make_proxy_ops time (the attach-time pinning of the RSS design: the
+// shard's NIC queue receives every frame of the app's flows), so no mutex
+// is ever shared across flows of different shards. Shard 0 preserves the
+// original single-stack behaviour exactly.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <vector>
 
 #include "apps/ff_ops.hpp"
 #include "intravisor/compartment_mutex.hpp"
@@ -25,19 +34,48 @@ class Scenario2Service {
   Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
                    FullStackInstance& inst);
 
-  /// Build the proxied ff_* ops for one application compartment. Entries
-  /// are installed per app so each contender's futex escalation goes
-  /// through its own trampoline.
-  [[nodiscard]] std::unique_ptr<apps::FfOps> make_proxy_ops(iv::CVM& app);
+  /// Sharded service: every instance must be built on cvm1's heap, each
+  /// attached to its own NIC queue (or its own port). One coordination
+  /// mutex per shard.
+  Scenario2Service(iv::Intravisor& iv, iv::CVM& cvm1,
+                   std::vector<FullStackInstance*> shards);
 
-  /// The cVM1 main loop body: serialize stack iterations against proxied
-  /// API calls via the shared mutex; park on the arbiter when idle.
-  void run_loop(std::atomic<bool>& stop, sim::TimeArbiter& arb);
+  /// Build the proxied ff_* ops for one application compartment, pinned to
+  /// `shard`. Entries are installed per app so each contender's futex
+  /// escalation goes through its own trampoline.
+  [[nodiscard]] std::unique_ptr<apps::FfOps> make_proxy_ops(
+      iv::CVM& app, std::size_t shard = 0);
 
-  [[nodiscard]] iv::CompartmentMutex& mutex() noexcept { return *mutex_; }
-  [[nodiscard]] FullStackInstance& instance() noexcept { return inst_; }
+  /// One shard's main loop body: serialize that shard's stack iterations
+  /// against its proxied API calls via the shard's mutex; park on the
+  /// arbiter when idle. Shard 0 conventionally runs on cvm1's thread; the
+  /// others on sibling cVM1 threads.
+  void run_shard_loop(std::size_t shard, std::atomic<bool>& stop,
+                      sim::TimeArbiter& arb);
+  /// Single-shard legacy entry point (shard 0).
+  void run_loop(std::atomic<bool>& stop, sim::TimeArbiter& arb) {
+    run_shard_loop(0, stop, arb);
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] iv::CompartmentMutex& mutex(std::size_t shard = 0) noexcept {
+    return *mutexes_[shard];
+  }
+  [[nodiscard]] FullStackInstance& instance(std::size_t shard = 0) noexcept {
+    return *shards_[shard];
+  }
+  [[nodiscard]] std::uint64_t proxied_calls(std::size_t shard) const noexcept {
+    return proxied_calls_[shard].load(std::memory_order_relaxed);
+  }
+  /// All-shard total (legacy single-shard accessor).
   [[nodiscard]] std::uint64_t proxied_calls() const noexcept {
-    return proxied_calls_.load(std::memory_order_relaxed);
+    std::uint64_t sum = 0;
+    for (const auto& c : proxied_calls_) {
+      sum += c.load(std::memory_order_relaxed);
+    }
+    return sum;
   }
 
  private:
@@ -45,16 +83,17 @@ class Scenario2Service {
 
   iv::Intravisor& iv_;
   iv::CVM& cvm1_;
-  FullStackInstance& inst_;
-  machine::CapView mutex_word_;
-  std::unique_ptr<iv::CompartmentMutex> mutex_;
-  std::atomic<std::uint64_t> proxied_calls_{0};
+  std::vector<FullStackInstance*> shards_;
+  std::vector<machine::CapView> mutex_words_;
+  std::vector<std::unique_ptr<iv::CompartmentMutex>> mutexes_;
+  // Fixed-size after construction (atomics are not movable).
+  std::vector<std::atomic<std::uint64_t>> proxied_calls_;
 };
 
 /// Client-side stubs living in the application compartment.
 class ProxyFfOps final : public apps::FfOps {
  public:
-  ProxyFfOps(Scenario2Service* svc, iv::CVM* app);
+  ProxyFfOps(Scenario2Service* svc, iv::CVM* app, std::size_t shard = 0);
 
   int socket_stream() override;
   int bind(int fd, fstack::Ipv4Addr ip, std::uint16_t port) override;

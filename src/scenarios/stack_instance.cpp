@@ -16,4 +16,21 @@ FullStackInstance::FullStackInstance(nic::E82576Device& card, int port,
                                              res_.pool.get(), &heap, &clock);
 }
 
+FullStackInstance::FullStackInstance(nic::E82576Device& card, int port,
+                                     std::uint32_t queue,
+                                     std::uint32_t queue_count,
+                                     machine::CompartmentHeap& heap,
+                                     sim::VirtualClock& clock,
+                                     const InstanceConfig& cfg) {
+  res_ = updk::Eal::attach_port_queue(card, port, queue, queue_count, heap,
+                                      clock, cfg.eal,
+                                      "eth-p" + std::to_string(port));
+  fstack::StackConfig scfg;
+  scfg.netif = cfg.netif;
+  scfg.tcp = cfg.tcp;
+  scfg.inline_tcp_output = cfg.inline_tcp_output;
+  stack_ = std::make_unique<fstack::FfStack>(scfg, res_.dev.get(),
+                                             res_.pool.get(), &heap, &clock);
+}
+
 }  // namespace cherinet::scen

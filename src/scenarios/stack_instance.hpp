@@ -25,6 +25,16 @@ class FullStackInstance {
                     machine::CompartmentHeap& heap, sim::VirtualClock& clock,
                     const InstanceConfig& cfg);
 
+  /// Sharded attach: bind this instance to ONE RSS queue of a multi-queue
+  /// port. The first shard to attach configures the port for `queue_count`
+  /// queues; siblings must pass the same count (the attach is idempotent —
+  /// it never resets rings sibling shards already own). Each shard gets its
+  /// own mempool, PCB table, ARP cache, timer wheel and uring drain set —
+  /// nothing but the NIC's per-queue doorbells is shared.
+  FullStackInstance(nic::E82576Device& card, int port, std::uint32_t queue,
+                    std::uint32_t queue_count, machine::CompartmentHeap& heap,
+                    sim::VirtualClock& clock, const InstanceConfig& cfg);
+
   [[nodiscard]] fstack::FfStack& stack() noexcept { return *stack_; }
   [[nodiscard]] updk::EthDev& dev() noexcept { return *res_.dev; }
   [[nodiscard]] updk::Mempool& pool() noexcept { return *res_.pool; }

@@ -21,4 +21,27 @@ PortResources Eal::attach_port(nic::E82576Device& card, int port,
   return res;
 }
 
+PortResources Eal::attach_port_queue(nic::E82576Device& card, int port,
+                                     std::uint32_t queue,
+                                     std::uint32_t queue_count,
+                                     machine::CompartmentHeap& heap,
+                                     sim::VirtualClock& clock,
+                                     const EalConfig& cfg,
+                                     const std::string& name) {
+  const cheri::Capability dma_grant =
+      heap.region().with_perms(cheri::PermSet{cheri::Perm::kLoad} |
+                               cheri::Perm::kStore | cheri::Perm::kGlobal);
+  card.attach_dma(port, dma_grant);
+  // Size the port once; re-configuring would wipe sibling shards' rings.
+  if (card.port(port).queue_count() != queue_count) {
+    card.port(port).configure_queues(queue_count);
+  }
+  PortResources res;
+  res.pool = std::make_unique<Mempool>(&heap, cfg.n_mbufs, cfg.data_room);
+  res.dev = std::make_unique<E82576Pmd>(
+      name + std::to_string(port) + "q" + std::to_string(queue), &card, port,
+      queue, &heap, res.pool.get(), &clock, cfg.eth);
+  return res;
+}
+
 }  // namespace cherinet::updk

@@ -38,6 +38,17 @@ class Eal {
       nic::E82576Device& card, int port, machine::CompartmentHeap& heap,
       sim::VirtualClock& clock, const EalConfig& cfg = EalConfig{},
       const std::string& name = "eth");
+
+  /// Multi-queue attach: bring up ONE queue pair of `port` for a stack
+  /// shard. The first caller sizes the port to `queue_count` queues
+  /// (resetting ring state — attach every shard before any traffic);
+  /// later callers with the same count leave sibling queues alone. Each
+  /// shard gets its own mempool; the DMA grant covers the shared heap.
+  [[nodiscard]] static PortResources attach_port_queue(
+      nic::E82576Device& card, int port, std::uint32_t queue,
+      std::uint32_t queue_count, machine::CompartmentHeap& heap,
+      sim::VirtualClock& clock, const EalConfig& cfg = EalConfig{},
+      const std::string& name = "eth");
 };
 
 }  // namespace cherinet::updk

@@ -63,6 +63,46 @@ class EthDev {
   /// Earliest future event the device knows about (next wire delivery) —
   /// the main loop's idle deadline.
   [[nodiscard]] virtual std::optional<sim::Ns> next_event() const = 0;
+
+  // --- RX flow steering (multi-queue RSS; defaults = single-queue no-op) ---
+
+  /// Which RX queue this driver instance polls, out of how many the port
+  /// runs. queue_count == 1 means no steering: every flow lands here.
+  struct RxSteering {
+    std::uint16_t queue_count = 1;
+    std::uint16_t queue_id = 0;
+  };
+  [[nodiscard]] virtual RxSteering rx_steering() const { return {}; }
+
+  /// The RX queue an INBOUND frame with this tuple would land on (remote =
+  /// the frame's source). A connect()ing stack filters ephemeral-port
+  /// candidates with this so replies steer back to its own queue.
+  /// Addresses/ports in host order; proto is the IP protocol number.
+  [[nodiscard]] virtual std::uint16_t rx_queue_of(
+      std::uint32_t remote_ip, std::uint16_t remote_port,
+      std::uint32_t local_ip, std::uint16_t local_port,
+      std::uint8_t proto) const {
+    (void)remote_ip;
+    (void)remote_port;
+    (void)local_ip;
+    (void)local_port;
+    (void)proto;
+    return 0;
+  }
+
+  /// Pin inbound frames for (proto, local_port) to THIS driver's queue
+  /// (listener steering: accepted flows inherit the listener's shard).
+  /// Returns false when the device is out of filter slots.
+  virtual bool steer_local_port(std::uint8_t proto, std::uint16_t local_port) {
+    (void)proto;
+    (void)local_port;
+    return true;
+  }
+  virtual void unsteer_local_port(std::uint8_t proto,
+                                  std::uint16_t local_port) {
+    (void)proto;
+    (void)local_port;
+  }
 };
 
 }  // namespace cherinet::updk

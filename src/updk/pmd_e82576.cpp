@@ -12,17 +12,22 @@ using nic::RxDesc;
 using nic::TxDesc;
 
 E82576Pmd::E82576Pmd(std::string name, nic::E82576Device* dev, int port,
-                     machine::CompartmentHeap* heap, Mempool* pool,
-                     sim::VirtualClock* clock, const EthConf& conf)
+                     std::uint32_t queue, machine::CompartmentHeap* heap,
+                     Mempool* pool, sim::VirtualClock* clock,
+                     const EthConf& conf)
     : name_(std::move(name)),
       dev_(dev),
       port_(port),
+      queue_(queue),
       heap_(heap),
       pool_(pool),
       clock_(clock),
       conf_(conf) {
   if (conf_.rx_ring_size == 0 || conf_.tx_ring_size == 0) {
     throw std::invalid_argument("E82576Pmd: zero ring size");
+  }
+  if (queue_ >= dev_->port(port_).queue_count()) {
+    throw std::invalid_argument("E82576Pmd: queue not configured on port");
   }
   setup_rx_ring();
   setup_tx_ring();
@@ -45,10 +50,10 @@ void E82576Pmd::setup_rx_ring() {
     rx_ring_.store<RxDesc>(i * sizeof(RxDesc), d);
   }
   auto& p = dev_->port(port_);
-  p.set_rx_ring(rx_ring_.address(), conf_.rx_ring_size,
+  p.set_rx_ring(queue_, rx_ring_.address(), conf_.rx_ring_size,
                 pool_->data_room() - kMbufHeadroom);
   // Leave one slot of slack: device fills up to (RDT - 1).
-  p.write_rdt(conf_.rx_ring_size - 1);
+  p.write_rdt(queue_, conf_.rx_ring_size - 1);
 }
 
 void E82576Pmd::setup_tx_ring() {
@@ -59,11 +64,12 @@ void E82576Pmd::setup_tx_ring() {
     d.status = kTxStatusDD;  // start reclaimable
     tx_ring_.store<TxDesc>(i * sizeof(TxDesc), d);
   }
-  dev_->port(port_).set_tx_ring(tx_ring_.address(), conf_.tx_ring_size);
+  dev_->port(port_).set_tx_ring(queue_, tx_ring_.address(),
+                                conf_.tx_ring_size);
 }
 
 std::size_t E82576Pmd::rx_burst(std::span<Mbuf*> out) {
-  dev_->poll_port(port_, clock_->now());
+  dev_->poll_queue(port_, queue_, clock_->now());
   std::size_t got = 0;
   while (got < out.size()) {
     RxDesc d = rx_ring_.load<RxDesc>(rx_next_ * sizeof(RxDesc));
@@ -86,10 +92,10 @@ std::size_t E82576Pmd::rx_burst(std::span<Mbuf*> out) {
     rx_ring_.store<RxDesc>(rx_next_ * sizeof(RxDesc), nd);
     // RDT chases the just-refilled slot (igb convention: device may fill
     // up to RDT-1, keeping one slot of slack).
-    dev_->port(port_).write_rdt(rx_next_);
+    dev_->port(port_).write_rdt(queue_, rx_next_);
     rx_next_ = (rx_next_ + 1) % conf_.rx_ring_size;
   }
-  stats_.imissed = dev_->port(port_).stats().rx_no_desc;
+  stats_.imissed = dev_->port(port_).queue_stats(queue_).rx_no_desc;
   return got;
 }
 
@@ -110,7 +116,7 @@ void E82576Pmd::reclaim_tx() {
 }
 
 std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
-  dev_->poll_port(port_, clock_->now());
+  dev_->poll_queue(port_, queue_, clock_->now());
   reclaim_tx();
   std::size_t sent = 0;
   for (Mbuf* head : in) {
@@ -160,9 +166,9 @@ std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
     ++sent;
   }
   if (sent > 0) stats_.tx_bursts++;  // only calls that carried frames
-  dev_->port(port_).write_tdt(tx_next_);
+  dev_->port(port_).write_tdt(queue_, tx_next_);
   // Let the device fetch immediately (polling model), then reclaim.
-  dev_->poll_port(port_, clock_->now());
+  dev_->poll_queue(port_, queue_, clock_->now());
   reclaim_tx();
   return sent;
 }

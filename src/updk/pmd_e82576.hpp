@@ -1,10 +1,17 @@
 // Poll-mode driver for the e82576 device model (igb analogue).
 //
-// Owns one port: allocates descriptor rings in compartment memory, keeps an
-// mbuf staged per RX descriptor, refills RDT as it harvests DD-marked
+// Owns one RX/TX queue pair of one port (default: queue 0 of a single-queue
+// port): allocates descriptor rings in compartment memory, keeps an mbuf
+// staged per RX descriptor, refills RDT as it harvests DD-marked
 // descriptors, and reclaims TX descriptors after device write-back. All
 // descriptor and buffer memory is reachable only through the DMA capability
 // granted at attach (see e82576.hpp).
+//
+// Sharding: N PMDs on N queues of one port give each stack shard its own
+// rings and doorbells; the device's RSS classifier (Toeplitz + RETA + L4
+// port filters) decides which queue an inbound frame lands on. This PMD
+// only ever polls ITS queue — the EthDev steering surface (rx_steering /
+// rx_queue_of / steer_local_port) exposes the classifier to the stack.
 #pragma once
 
 #include <memory>
@@ -21,10 +28,42 @@ class E82576Pmd final : public EthDev {
  public:
   E82576Pmd(std::string name, nic::E82576Device* dev, int port,
             machine::CompartmentHeap* heap, Mempool* pool,
-            sim::VirtualClock* clock, const EthConf& conf);
+            sim::VirtualClock* clock, const EthConf& conf)
+      : E82576Pmd(std::move(name), dev, port, /*queue=*/0, heap, pool, clock,
+                  conf) {}
+
+  /// Queue-pinned driver: polls only `queue` of `port`. The port must have
+  /// been configured (E82576Port::configure_queues) for at least queue+1
+  /// queues first — Eal::attach_port_queue does this.
+  E82576Pmd(std::string name, nic::E82576Device* dev, int port,
+            std::uint32_t queue, machine::CompartmentHeap* heap,
+            Mempool* pool, sim::VirtualClock* clock, const EthConf& conf);
 
   std::size_t rx_burst(std::span<Mbuf*> out) override;
   std::size_t tx_burst(std::span<Mbuf*> in) override;
+  [[nodiscard]] RxSteering rx_steering() const override {
+    return {static_cast<std::uint16_t>(dev_->port(port_).queue_count()),
+            static_cast<std::uint16_t>(queue_)};
+  }
+  [[nodiscard]] std::uint16_t rx_queue_of(std::uint32_t remote_ip,
+                                          std::uint16_t remote_port,
+                                          std::uint32_t local_ip,
+                                          std::uint16_t local_port,
+                                          std::uint8_t proto) const override {
+    return static_cast<std::uint16_t>(dev_->port(port_).rx_queue_of(
+        remote_ip, local_ip, remote_port, local_port, proto));
+  }
+  bool steer_local_port(std::uint8_t proto,
+                        std::uint16_t local_port) override {
+    if (dev_->port(port_).queue_count() <= 1) return true;  // nothing to pin
+    return dev_->port(port_).set_l4_filter(
+               proto, local_port, static_cast<std::uint8_t>(queue_)) >= 0;
+  }
+  void unsteer_local_port(std::uint8_t proto,
+                          std::uint16_t local_port) override {
+    if (dev_->port(port_).queue_count() <= 1) return;
+    dev_->port(port_).clear_l4_filter(proto, local_port);
+  }
   [[nodiscard]] nic::MacAddr mac() const override {
     return dev_->port(port_).mac();
   }
@@ -45,6 +84,7 @@ class E82576Pmd final : public EthDev {
   std::string name_;
   nic::E82576Device* dev_;
   int port_;
+  std::uint32_t queue_ = 0;
   machine::CompartmentHeap* heap_;
   Mempool* pool_;
   sim::VirtualClock* clock_;
