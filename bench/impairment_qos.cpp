@@ -1,0 +1,607 @@
+// Hostile-wire census (ISSUE 8 tentpole): what the netem-style impairment
+// stage and the classed QoS TX scheduler buy, measured in virtual time.
+//
+// Leg 1 — goodput-vs-loss curve: one bulk TCP flow across the 1 GbE testbed
+// wire under uniform loss {0, 0.1%, 1%, 3%} plus a Gilbert-Elliott burst
+// profile. Gates: goodput is monotonically non-increasing in the uniform
+// loss rate, and 1% loss retains >= 50% of the lossless goodput (NewReno
+// fast recovery must be doing the work — pure RTO stalls would crater it).
+// The RTO clamps scale with the testbed (min_rto 5 ms against a ~30 us
+// RTT), mirroring how production stacks tune RTO floors to their RTT class.
+//
+// Leg 2 — mixed-class latency: a rate-limited bulk flow (class 0) and a
+// 64-byte echo flow (class 2) share one stack. Gates: the echo p99 under
+// bulk load stays within 5x the unloaded p99, and BOTH classes make
+// progress (DRR shares the burst window; the bucket paces bulk).
+//
+// Leg 3 — corruption: bit-flips on the wire must die at the MAC's FCS
+// check (rx_crc_errors > 0), never reach the app (zero corrupt bytes
+// delivered), and TCP must still complete the stream.
+//
+// Leg 4 — determinism: the same impairment seed over the same workload
+// must replay the identical per-cause drop/dup/reorder/corrupt/jitter
+// census (the property that makes hostile-wire bugs reproducible).
+//
+// Results persist as $CHERINET_BENCH_JSON_DIR/BENCH_impairment.json.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fstack/api.hpp"
+#include "fstack/qos.hpp"
+#include "machine/address_space.hpp"
+#include "nic/e82576.hpp"
+#include "nic/impairment.hpp"
+#include "nic/wire.hpp"
+#include "scenarios/stack_instance.hpp"
+#include "sim/testbed.hpp"
+
+using namespace cherinet;
+using namespace cherinet::bench;
+
+namespace {
+
+/// Two full stacks on the default (1 GbE-paced) wire, deterministically
+/// pumped — the bench-local twin of the tests' TwoStacks fixture.
+struct Rig {
+  sim::VirtualClock clock;
+  machine::AddressSpace as{96u << 20};
+  nic::Wire wire{&clock, nullptr, sim::Testbed::unconstrained()};
+  nic::E82576Device card_a{&as.mem(), &clock,
+                           {nic::MacAddr::local(10), nic::MacAddr::local(11)}};
+  nic::E82576Device card_b{&as.mem(), &clock,
+                           {nic::MacAddr::local(20), nic::MacAddr::local(21)}};
+  std::unique_ptr<machine::CompartmentHeap> heap_a;
+  std::unique_ptr<machine::CompartmentHeap> heap_b;
+  std::unique_ptr<scen::FullStackInstance> a;
+  std::unique_ptr<scen::FullStackInstance> b;
+
+  explicit Rig(const fstack::TcpConfig& tcp = fstack::TcpConfig{}) {
+    card_a.connect(0, &wire, 0);
+    card_b.connect(0, &wire, 1);
+    heap_a = std::make_unique<machine::CompartmentHeap>(
+        &as.mem(), as.carve(24u << 20, cheri::PermSet::data_rw(), "A"));
+    heap_b = std::make_unique<machine::CompartmentHeap>(
+        &as.mem(), as.carve(24u << 20, cheri::PermSet::data_rw(), "B"));
+    scen::InstanceConfig ca;
+    ca.netif.ip = fstack::Ipv4Addr::of(10, 0, 0, 1);
+    ca.tcp = tcp;
+    scen::InstanceConfig cb = ca;
+    cb.netif.ip = fstack::Ipv4Addr::of(10, 0, 0, 2);
+    a = std::make_unique<scen::FullStackInstance>(card_a, 0, *heap_a, clock,
+                                                  ca);
+    b = std::make_unique<scen::FullStackInstance>(card_b, 0, *heap_b, clock,
+                                                  cb);
+  }
+
+  [[nodiscard]] fstack::Ipv4Addr ip_b() const {
+    return fstack::Ipv4Addr::of(10, 0, 0, 2);
+  }
+
+  bool pump_until(const std::function<bool()>& pred,
+                  int max_iters = 4'000'000) {
+    for (int i = 0; i < max_iters; ++i) {
+      if (pred()) return true;
+      bool progress = a->run_once();
+      progress |= b->run_once();
+      if (!progress) {
+        auto d = a->next_deadline();
+        const auto db = b->next_deadline();
+        if (db && (!d || *db < *d)) d = db;
+        if (!d) return pred();
+        clock.advance_to(*d);
+      }
+    }
+    return pred();
+  }
+};
+
+/// Timer clamps scaled to the testbed's ~30 us RTT (the defaults' 200 ms
+/// RTO floor is three decades above the RTT and would turn every tail
+/// loss into a goodput cliff no deployment at this RTT class would see).
+/// The delayed-ACK timeout scales WITH the floor and stays below it — a
+/// min_rto under the delack timer makes every stretch-ACK wait a spurious
+/// RTO, which is a misconfiguration, not a wire property.
+fstack::TcpConfig scaled_rto_config() {
+  fstack::TcpConfig tcp;
+  tcp.delack_timeout = sim::Ns{2'000'000};  // 2 ms
+  tcp.min_rto = sim::Ns{10'000'000};        // 10 ms (5x delack, as default)
+  tcp.initial_rto = sim::Ns{40'000'000};    // 40 ms until the first sample
+  // Socket buffers sized to the network (~20x the 3.5 KB BDP, still wire-
+  // saturating): the default 256 KB lets cwnd hold ~177 segments in flight,
+  // more than max_ooo_segments can reassemble past a hole — every loss
+  // would degenerate into a go-back-N drain of data the wire delivered.
+  tcp.sndbuf_bytes = 64 * 1024;
+  tcp.rcvbuf_bytes = 64 * 1024;
+  return tcp;
+}
+
+std::uint8_t stamp(std::uint64_t pos) {
+  return static_cast<std::uint8_t>((pos * 131) >> 3);
+}
+
+struct Xfer {
+  bool ok = false;
+  std::uint64_t received = 0;
+  std::uint64_t corrupt_bytes = 0;
+  double virt_secs = 0.0;
+  double goodput_mbps = 0.0;
+};
+
+/// Pattern-stamped bulk transfer A->B over a fresh connection; every
+/// delivered byte is checked against its position stamp, so corruption
+/// that leaks past the MAC is counted, not silently absorbed.
+Xfer run_transfer(Rig& rig, std::uint64_t total, std::uint16_t port) {
+  fstack::FfStack& a = rig.a->stack();
+  fstack::FfStack& b = rig.b->stack();
+  Xfer res;
+  const int lfd = ff_socket(b, fstack::kAfInet, fstack::kSockStream, 0);
+  if (ff_bind(b, lfd, {fstack::Ipv4Addr{}, port}) != 0) return res;
+  if (ff_listen(b, lfd, 4) != 0) return res;
+  const int afd = ff_socket(a, fstack::kAfInet, fstack::kSockStream, 0);
+  ff_connect(a, afd, {rig.ip_b(), port});
+  int bfd = -1;
+  rig.pump_until([&] {
+    bfd = ff_accept(b, lfd, nullptr);
+    return bfd >= 0;
+  });
+  if (bfd < 0) return res;
+
+  machine::CapView src = rig.heap_a->alloc_view(4096);
+  machine::CapView dst = rig.heap_b->alloc_view(4096);
+  std::uint64_t sent = 0;
+  const sim::Ns t0 = rig.clock.now();
+  const bool done = rig.pump_until([&] {
+    while (sent < total) {
+      const auto n = std::min<std::uint64_t>(4096, total - sent);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        src.store<std::uint8_t>(i, stamp(sent + i));
+      }
+      const auto w = ff_write(a, afd, src, n);
+      if (w <= 0) break;
+      sent += static_cast<std::uint64_t>(w);
+    }
+    while (true) {
+      const auto r = ff_read(b, bfd, dst, 4096);
+      if (r <= 0) break;
+      for (std::int64_t i = 0; i < r; ++i) {
+        if (dst.load<std::uint8_t>(static_cast<std::uint64_t>(i)) !=
+            stamp(res.received + static_cast<std::uint64_t>(i))) {
+          res.corrupt_bytes++;
+        }
+      }
+      res.received += static_cast<std::uint64_t>(r);
+    }
+    return res.received == total;
+  });
+  res.virt_secs =
+      static_cast<double>((rig.clock.now() - t0).count()) * 1e-9;
+  res.goodput_mbps = res.virt_secs > 0
+                         ? static_cast<double>(res.received) * 8.0 /
+                               res.virt_secs / 1e6
+                         : 0.0;
+  res.ok = done && res.corrupt_bytes == 0;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Leg 1: goodput vs loss
+// ---------------------------------------------------------------------------
+
+struct CurveRow {
+  std::string label;
+  double uniform_loss = -1.0;  // < 0: not part of the monotonicity gate
+  nic::ImpairmentProfile profile;
+  Xfer xfer;
+  fstack::FfStack::TcpRecoveryStats rec;
+  std::uint64_t wire_drops = 0;
+};
+
+std::vector<CurveRow> run_goodput_curve(std::uint64_t volume) {
+  std::vector<CurveRow> rows;
+  rows.push_back({"clean", 0.0, nic::ImpairmentProfile{}, {}, {}, 0});
+  rows.push_back({"0.1% uniform", 0.001,
+                  nic::ImpairmentProfile::uniform_loss(0.001, 101), {}, {}, 0});
+  rows.push_back({"1% uniform", 0.01,
+                  nic::ImpairmentProfile::uniform_loss(0.01, 102), {}, {}, 0});
+  rows.push_back({"3% uniform", 0.03,
+                  nic::ImpairmentProfile::uniform_loss(0.03, 103), {}, {}, 0});
+  rows.push_back({"GE bursts", -1.0,
+                  nic::ImpairmentProfile::gilbert_elliott(0.01, 0.33, 104),
+                  {}, {}, 0});
+  for (CurveRow& row : rows) {
+    Rig rig(scaled_rto_config());
+    rig.wire.set_impairment(0, row.profile);  // data direction only
+    row.xfer = run_transfer(rig, volume, 5500);
+    row.rec = rig.a->stack().tcp_recovery_stats();
+    row.wire_drops = rig.wire.stats(0).dropped;
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Leg 2: mixed-class p99 latency
+// ---------------------------------------------------------------------------
+
+struct QosLeg {
+  bool ok = false;
+  double p99_unloaded_us = 0.0;
+  double p99_loaded_us = 0.0;
+  double bulk_goodput_mbps = 0.0;
+  std::uint64_t sent_class0 = 0;
+  std::uint64_t sent_class2 = 0;
+  std::uint64_t throttled_class0 = 0;
+  std::uint64_t drr_rounds = 0;
+};
+
+double p99_us(std::vector<double>& us) {
+  std::sort(us.begin(), us.end());
+  const std::size_t idx =
+      us.empty() ? 0 : (us.size() * 99 + 99) / 100 - 1;
+  return us.empty() ? 0.0 : us[std::min(idx, us.size() - 1)];
+}
+
+QosLeg run_mixed_class(std::size_t probes) {
+  Rig rig;
+  fstack::FfStack& a = rig.a->stack();
+  fstack::FfStack& b = rig.b->stack();
+  QosLeg leg;
+
+  // Echo service on class 2: the listener is classed BEFORE any accept, so
+  // children inherit; A classes its probe socket explicitly.
+  const int elfd = ff_socket(b, fstack::kAfInet, fstack::kSockStream, 0);
+  ff_bind(b, elfd, {fstack::Ipv4Addr{}, 5600});
+  ff_listen(b, elfd, 4);
+  if (ff_set_class(b, elfd, 2) != 0) return leg;
+  const int efd = ff_socket(a, fstack::kAfInet, fstack::kSockStream, 0);
+  ff_connect(a, efd, {rig.ip_b(), 5600});
+  int ebfd = -1;
+  rig.pump_until([&] {
+    ebfd = ff_accept(b, elfd, nullptr);
+    return ebfd >= 0;
+  });
+  if (ebfd < 0 || ff_set_class(a, efd, 2) != 0) return leg;
+
+  // Bulk flow on the default class 0, token-bucketed to ~600 Mbit/s with a
+  // shallow bucket: pacing keeps the staged-burst backlog ahead of a probe
+  // to a frame or two instead of a full 32-chain tx_burst.
+  const int blfd = ff_socket(b, fstack::kAfInet, fstack::kSockStream, 0);
+  ff_bind(b, blfd, {fstack::Ipv4Addr{}, 5601});
+  ff_listen(b, blfd, 4);
+  const int bfd_a = ff_socket(a, fstack::kAfInet, fstack::kSockStream, 0);
+  ff_connect(a, bfd_a, {rig.ip_b(), 5601});
+  int bbfd = -1;
+  rig.pump_until([&] {
+    bbfd = ff_accept(b, blfd, nullptr);
+    return bbfd >= 0;
+  });
+  if (bbfd < 0) return leg;
+  fstack::QosConfig qcfg;
+  qcfg.cls[0].rate_bytes_per_sec = 75'000'000;  // 600 Mbit/s
+  qcfg.cls[0].burst_bytes = 4096;
+  a.set_qos_config(qcfg);
+
+  machine::CapView probe_tx = rig.heap_a->alloc_view(64);
+  machine::CapView probe_rx = rig.heap_a->alloc_view(64);
+  machine::CapView echo_buf = rig.heap_b->alloc_view(64);
+  machine::CapView bulk_tx = rig.heap_a->alloc_view(4096);
+  machine::CapView bulk_rx = rig.heap_b->alloc_view(4096);
+  std::uint64_t bulk_received = 0;
+  bool bulk_on = false;
+
+  // One echo round trip in virtual time; the pump also services the echo
+  // peer and (when enabled) keeps the bulk flow saturated. Every stage
+  // retries on -EAGAIN (a momentarily staged class queue backpressures).
+  const auto probe_rtt_us = [&]() -> double {
+    const sim::Ns t0 = rig.clock.now();
+    int st = 0;  // 0 probe-write, 1 echo-read, 2 echo-write, 3 reply-read
+    const bool done = rig.pump_until([&] {
+      if (bulk_on) {
+        while (ff_write(a, bfd_a, bulk_tx, 4096) > 0) {
+        }
+        while (true) {
+          const auto r = ff_read(b, bbfd, bulk_rx, 4096);
+          if (r <= 0) break;
+          bulk_received += static_cast<std::uint64_t>(r);
+        }
+      }
+      if (st == 0 && ff_write(a, efd, probe_tx, 64) == 64) st = 1;
+      if (st == 1 && ff_read(b, ebfd, echo_buf, 64) == 64) st = 2;
+      if (st == 2 && ff_write(b, ebfd, echo_buf, 64) == 64) st = 3;
+      if (st == 3 && ff_read(a, efd, probe_rx, 64) == 64) st = 4;
+      return st == 4;
+    });
+    return done ? static_cast<double>((rig.clock.now() - t0).count()) / 1e3
+                : -1.0;
+  };
+
+  std::vector<double> unloaded, loaded;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const double rtt = probe_rtt_us();
+    if (rtt < 0) return leg;
+    unloaded.push_back(rtt);
+  }
+  bulk_on = true;
+  const sim::Ns bulk_t0 = rig.clock.now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    const double rtt = probe_rtt_us();
+    if (rtt < 0) return leg;
+    loaded.push_back(rtt);
+  }
+  const double bulk_secs =
+      static_cast<double>((rig.clock.now() - bulk_t0).count()) * 1e-9;
+
+  leg.p99_unloaded_us = p99_us(unloaded);
+  leg.p99_loaded_us = p99_us(loaded);
+  leg.bulk_goodput_mbps =
+      bulk_secs > 0
+          ? static_cast<double>(bulk_received) * 8.0 / bulk_secs / 1e6
+          : 0.0;
+  const auto& qs = a.qos().stats();
+  leg.sent_class0 = qs.sent[0];
+  leg.sent_class2 = qs.sent[2];
+  leg.throttled_class0 = qs.throttled[0];
+  leg.drr_rounds = qs.drr_rounds;
+  leg.ok = true;
+  return leg;
+}
+
+// ---------------------------------------------------------------------------
+// Legs 3+4: corruption containment, seed determinism
+// ---------------------------------------------------------------------------
+
+struct CorruptionLeg {
+  Xfer xfer;
+  std::uint64_t wire_corrupts = 0;
+  std::uint64_t rx_crc_errors = 0;
+};
+
+CorruptionLeg run_corruption(std::uint64_t volume) {
+  Rig rig(scaled_rto_config());
+  nic::ImpairmentProfile prof;
+  prof.corrupt = 0.02;
+  prof.seed = 301;
+  rig.wire.set_impairment(0, prof);
+  CorruptionLeg leg;
+  leg.xfer = run_transfer(rig, volume, 5700);
+  leg.wire_corrupts = rig.wire.stats(0).impair_corrupts;
+  leg.rx_crc_errors = rig.card_b.port(0).stats().rx_crc_errors;
+  return leg;
+}
+
+struct CauseCensus {
+  std::uint64_t loss, burst_loss, dups, reorders, corrupts, jittered;
+  bool operator==(const CauseCensus&) const = default;
+};
+
+CauseCensus run_seeded_census(std::uint64_t volume) {
+  Rig rig(scaled_rto_config());
+  nic::ImpairmentProfile prof;
+  prof.seed = 77;
+  prof.loss = 0.005;
+  prof.duplicate = 0.005;
+  prof.reorder = 0.01;
+  prof.corrupt = 0.002;
+  prof.jitter = sim::Ns{200'000};
+  rig.wire.set_impairment(0, prof);
+  (void)run_transfer(rig, volume, 5800);
+  const nic::Wire::Stats s = rig.wire.stats(0);
+  return {s.impair_loss, s.impair_burst_loss, s.impair_dups,
+          s.impair_reorders, s.impair_corrupts, s.impair_jittered};
+}
+
+// ---------------------------------------------------------------------------
+// JSON artifact
+// ---------------------------------------------------------------------------
+
+void emit_json(const std::vector<CurveRow>& curve, std::uint64_t volume,
+               double retained_at_1pct, const QosLeg& qos,
+               const CorruptionLeg& corr, bool seed_identical) {
+  const char* dir = std::getenv("CHERINET_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                      : std::string()) +
+      "BENCH_impairment.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::fprintf(f, "{\n  \"figure\": \"impairment\",\n");
+  std::fprintf(f, "  \"volume_bytes\": %llu,\n", u(volume));
+  std::fprintf(f, "  \"goodput_curve\": [\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const CurveRow& r = curve[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"uniform_loss\": %.4f, "
+                 "\"goodput_mbps\": %.1f, \"virt_secs\": %.6f, "
+                 "\"rexmits\": %llu, \"fast_rexmits\": %llu, "
+                 "\"rto_expirations\": %llu, \"wire_drops\": %llu}%s\n",
+                 r.label.c_str(), r.uniform_loss, r.xfer.goodput_mbps,
+                 r.xfer.virt_secs, u(r.rec.rexmits), u(r.rec.fast_rexmits),
+                 u(r.rec.rto_expirations), u(r.wire_drops),
+                 i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"retained_at_1pct\": %.3f,\n", retained_at_1pct);
+  std::fprintf(f,
+               "  \"qos\": {\"p99_unloaded_us\": %.1f, "
+               "\"p99_loaded_us\": %.1f, \"bulk_goodput_mbps\": %.1f, "
+               "\"sent_class0\": %llu, \"sent_class2\": %llu, "
+               "\"throttled_class0\": %llu, \"drr_rounds\": %llu},\n",
+               qos.p99_unloaded_us, qos.p99_loaded_us,
+               qos.bulk_goodput_mbps, u(qos.sent_class0), u(qos.sent_class2),
+               u(qos.throttled_class0), u(qos.drr_rounds));
+  std::fprintf(f,
+               "  \"corruption\": {\"wire_corrupts\": %llu, "
+               "\"rx_crc_errors\": %llu, \"corrupt_bytes_delivered\": %llu, "
+               "\"completed\": %s},\n",
+               u(corr.wire_corrupts), u(corr.rx_crc_errors),
+               u(corr.xfer.corrupt_bytes), corr.xfer.ok ? "true" : "false");
+  std::fprintf(f, "  \"seed_replay_identical\": %s\n}\n",
+               seed_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Hostile wire: goodput under impairment + classed QoS p99",
+               "ISSUE 8 (netem-style impairment stage; DRR + token-bucket "
+               "TX classes)");
+  int status = 0;
+
+  // ---- Leg 1: goodput vs loss --------------------------------------------
+  const std::uint64_t volume =
+      env_u64("CHERINET_IMP_KB", 4096) * 1024;
+  std::printf("\ngoodput vs loss (%llu KiB per row, 1 GbE wire, data "
+              "direction impaired):\n",
+              static_cast<unsigned long long>(volume / 1024));
+  const std::vector<CurveRow> curve = run_goodput_curve(volume);
+  for (const CurveRow& r : curve) {
+    std::printf("  %-12s %8.1f Mbit/s  (%llu rexmits: %llu fast + %llu rto, "
+                "%llu wire drops)%s\n",
+                r.label.c_str(), r.xfer.goodput_mbps,
+                static_cast<unsigned long long>(r.rec.rexmits),
+                static_cast<unsigned long long>(r.rec.fast_rexmits),
+                static_cast<unsigned long long>(r.rec.rto_expirations),
+                static_cast<unsigned long long>(r.wire_drops),
+                r.xfer.ok ? "" : "  [INCOMPLETE]");
+    if (!r.xfer.ok) {
+      std::fprintf(stderr, "FAIL: %s leg did not complete the stream\n",
+                   r.label.c_str());
+      status = 1;
+    }
+  }
+  // Monotone in the uniform rows (tiny slack for recovery-path noise).
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].uniform_loss < 0 || curve[i - 1].uniform_loss < 0) continue;
+    if (curve[i].xfer.goodput_mbps >
+        curve[i - 1].xfer.goodput_mbps * 1.02) {
+      std::fprintf(stderr,
+                   "FAIL: goodput rose with loss (%s %.1f -> %s %.1f)\n",
+                   curve[i - 1].label.c_str(),
+                   curve[i - 1].xfer.goodput_mbps, curve[i].label.c_str(),
+                   curve[i].xfer.goodput_mbps);
+      status = 1;
+    }
+  }
+  const double retained_at_1pct =
+      curve[0].xfer.goodput_mbps > 0
+          ? curve[2].xfer.goodput_mbps / curve[0].xfer.goodput_mbps
+          : 0.0;
+  if (retained_at_1pct < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: 1%% loss retains only %.0f%% of lossless goodput "
+                 "(budget >= 50%%: fast recovery is not carrying losses)\n",
+                 retained_at_1pct * 100.0);
+    status = 1;
+  } else {
+    std::printf("  1%% loss retains %.0f%% of lossless goodput "
+                "(budget >= 50%%)\n",
+                retained_at_1pct * 100.0);
+  }
+
+  // ---- Leg 2: mixed-class p99 --------------------------------------------
+  const auto probes =
+      static_cast<std::size_t>(env_u64("CHERINET_IMP_PROBES", 200));
+  std::printf("\nmixed-class latency (%zu echo probes on class 2, "
+              "token-bucketed bulk on class 0):\n", probes);
+  const QosLeg qos = run_mixed_class(probes);
+  if (!qos.ok) {
+    std::fprintf(stderr, "FAIL: mixed-class leg did not run to completion\n");
+    status = 1;
+  } else {
+    std::printf("  echo p99: %.1f us unloaded -> %.1f us under bulk "
+                "(%.1fx)\n  bulk: %.1f Mbit/s while probed "
+                "(%llu class-0 sends, %llu throttles, %llu class-2 sends, "
+                "%llu DRR rounds)\n",
+                qos.p99_unloaded_us, qos.p99_loaded_us,
+                qos.p99_unloaded_us > 0
+                    ? qos.p99_loaded_us / qos.p99_unloaded_us
+                    : 0.0,
+                qos.bulk_goodput_mbps,
+                static_cast<unsigned long long>(qos.sent_class0),
+                static_cast<unsigned long long>(qos.throttled_class0),
+                static_cast<unsigned long long>(qos.sent_class2),
+                static_cast<unsigned long long>(qos.drr_rounds));
+    if (qos.p99_loaded_us > 5.0 * qos.p99_unloaded_us) {
+      std::fprintf(stderr,
+                   "FAIL: high-class p99 blew the 5x budget under bulk "
+                   "(%.1f us vs %.1f us unloaded)\n",
+                   qos.p99_loaded_us, qos.p99_unloaded_us);
+      status = 1;
+    }
+    if (qos.sent_class0 == 0 || qos.sent_class2 == 0 ||
+        qos.bulk_goodput_mbps < 100.0) {
+      std::fprintf(stderr,
+                   "FAIL: a class starved (class 0: %llu sends at %.1f "
+                   "Mbit/s, class 2: %llu sends)\n",
+                   static_cast<unsigned long long>(qos.sent_class0),
+                   qos.bulk_goodput_mbps,
+                   static_cast<unsigned long long>(qos.sent_class2));
+      status = 1;
+    }
+  }
+
+  // ---- Leg 3: corruption dies at the MAC ---------------------------------
+  const std::uint64_t corr_volume =
+      std::min<std::uint64_t>(volume, 512 * 1024);
+  const CorruptionLeg corr = run_corruption(corr_volume);
+  std::printf("\ncorruption containment (2%% bit-flip rate, %llu KiB):\n"
+              "  %llu frames corrupted on the wire, %llu FCS rejects at the "
+              "MAC, %llu corrupt bytes delivered\n",
+              static_cast<unsigned long long>(corr_volume / 1024),
+              static_cast<unsigned long long>(corr.wire_corrupts),
+              static_cast<unsigned long long>(corr.rx_crc_errors),
+              static_cast<unsigned long long>(corr.xfer.corrupt_bytes));
+  if (!corr.xfer.ok || corr.rx_crc_errors == 0 ||
+      corr.xfer.corrupt_bytes != 0) {
+    std::fprintf(stderr,
+                 "FAIL: corruption leg (completed=%d, rx_crc_errors=%llu, "
+                 "corrupt bytes=%llu) — flips must die at the FCS check\n",
+                 corr.xfer.ok ? 1 : 0,
+                 static_cast<unsigned long long>(corr.rx_crc_errors),
+                 static_cast<unsigned long long>(corr.xfer.corrupt_bytes));
+    status = 1;
+  }
+
+  // ---- Leg 4: seed determinism -------------------------------------------
+  const std::uint64_t seed_volume =
+      std::min<std::uint64_t>(volume, 256 * 1024);
+  const CauseCensus census_a = run_seeded_census(seed_volume);
+  const CauseCensus census_b = run_seeded_census(seed_volume);
+  const bool seed_identical = census_a == census_b;
+  std::printf("\nseed determinism (mixed profile, seed 77, two fresh runs):\n"
+              "  loss %llu/%llu  dups %llu/%llu  reorders %llu/%llu  "
+              "corrupts %llu/%llu  jittered %llu/%llu  -> %s\n",
+              static_cast<unsigned long long>(census_a.loss),
+              static_cast<unsigned long long>(census_b.loss),
+              static_cast<unsigned long long>(census_a.dups),
+              static_cast<unsigned long long>(census_b.dups),
+              static_cast<unsigned long long>(census_a.reorders),
+              static_cast<unsigned long long>(census_b.reorders),
+              static_cast<unsigned long long>(census_a.corrupts),
+              static_cast<unsigned long long>(census_b.corrupts),
+              static_cast<unsigned long long>(census_a.jittered),
+              static_cast<unsigned long long>(census_b.jittered),
+              seed_identical ? "identical" : "DIVERGED");
+  if (!seed_identical) {
+    std::fprintf(stderr,
+                 "FAIL: same seed replayed a different per-cause census\n");
+    status = 1;
+  }
+
+  // Emit even on failure: a stale artifact from a previous passing run
+  // would misreport the trajectory.
+  emit_json(curve, volume, retained_at_1pct, qos, corr, seed_identical);
+  return status;
+}

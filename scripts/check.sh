@@ -58,6 +58,15 @@ if [[ "$SANITIZE" != "1" ]]; then
   # BENCH_churn.json.
   CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
     "$BUILD_DIR"/bench_churn_connection_scale || status=$?
+
+  # Hostile-wire census: gates the goodput-vs-loss curve (monotone in the
+  # loss rate; 1% uniform loss retains >= 50% of lossless goodput via
+  # NewReno fast recovery + limited transmit + the GRO ack flush), the
+  # mixed-class p99 under DRR/token-bucket TX scheduling (<= 5x unloaded),
+  # corruption containment at the MAC FCS (zero corrupt bytes delivered),
+  # and seeded-impairment replay determinism. Persists BENCH_impairment.json.
+  CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
+    "$BUILD_DIR"/bench_impairment_qos || status=$?
 fi
 
 # Surface the census artifacts the bench gates emit (v1 / v2-batch /
@@ -65,7 +74,8 @@ fi
 # tx_burst): the perf trajectory tracked across PRs. Printed even when a
 # gate failed — a failing run's numbers are exactly the ones worth reading.
 for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
-         "$BUILD_DIR"/BENCH_table2.json "$BUILD_DIR"/BENCH_churn.json; do
+         "$BUILD_DIR"/BENCH_table2.json "$BUILD_DIR"/BENCH_churn.json \
+         "$BUILD_DIR"/BENCH_impairment.json; do
   if [[ -f "$f" ]]; then
     echo "== bench artifact: $f"
     cat "$f"
@@ -85,6 +95,13 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
     grep -o '"sublinearity_x": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"lifecycles_per_sec": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"v1_calls": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    # Hostile-wire census evidence: loss-recovery efficiency, classed-QoS
+    # tail latency, and FCS containment (corrupt_bytes_delivered must be 0).
+    grep -o '"retained_at_1pct": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"p99_unloaded_us": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"p99_loaded_us": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"rx_crc_errors": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"corrupt_bytes_delivered": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
   fi
 done
 exit "$status"

@@ -146,6 +146,15 @@ class FfOps {
     return -ENOTSUP;
   }
 
+  /// API v7: assign fd's flow to a QoS TX class (see fstack/qos.hpp). The
+  /// default declines so every binding keeps working; Direct/Proxy bindings
+  /// delegate to ff_set_class.
+  virtual int set_class(int fd, std::uint32_t cls) {
+    (void)fd;
+    (void)cls;
+    return -ENOTSUP;
+  }
+
   virtual int close(int fd) = 0;
   virtual int epoll_create() = 0;
   virtual int epoll_ctl(int epfd, fstack::EpollOp op, int fd,
@@ -229,6 +238,9 @@ class DirectFfOps final : public FfOps {
   }
   int uring_doorbell(int id) override {
     return fstack::ff_uring_doorbell(*st_, id);
+  }
+  int set_class(int fd, std::uint32_t cls) override {
+    return fstack::ff_set_class(*st_, fd, cls);
   }
   int close(int fd) override { return fstack::ff_close(*st_, fd); }
   int epoll_create() override { return fstack::ff_epoll_create(*st_); }

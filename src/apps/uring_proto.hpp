@@ -401,4 +401,17 @@ inline bool push_epoll_ctl(fstack::FfUring& ring, int epfd,
   return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
 }
 
+/// OP_SET_CLASS (v7): assign `fd`'s flow to QoS TX class `cls` through the
+/// ring (immediate-verdict CQE). On a listener the class propagates to
+/// subsequently accepted children.
+inline bool push_set_class(fstack::FfUring& ring, int fd, std::uint32_t cls,
+                           std::uint64_t user_data) {
+  fstack::FfUringSqe sqe;
+  sqe.op = fstack::UringOp::kSetClass;
+  sqe.fd = fd;
+  sqe.user_data = user_data;
+  sqe.a[0] = cls;
+  return ring.sq_push(sqe) != fstack::FfUring::Push::kFull;
+}
+
 }  // namespace cherinet::apps

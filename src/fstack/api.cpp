@@ -120,6 +120,10 @@ std::int64_t ff_recvfrom(FfStack& st, int fd, const machine::CapView& buf,
 
 int ff_close(FfStack& st, int fd) { return st.sock_close(fd); }
 
+int ff_set_class(FfStack& st, int fd, std::uint32_t cls) {
+  return st.sock_set_class(fd, cls);
+}
+
 int ff_epoll_create(FfStack& st) { return st.epoll_create(); }
 
 int ff_epoll_ctl(FfStack& st, int epfd, EpollOp op, int fd,

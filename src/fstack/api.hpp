@@ -129,10 +129,13 @@
 //     synchronous wire progress); a full device ring defers staged frames
 //     to the next flush — backpressure, not loss;
 //   * receivers coalesce ACKs GRO-style (TcpConfig::ack_coalesce_segments,
-//     default every 8th in-order segment; the delayed-ACK timer bounds any
-//     tail), which is what lets the ACK-clocked sender fill those bursts;
-//     congestion control counts acked bytes (RFC 3465), so stretch ACKs
-//     do not slow cwnd growth;
+//     default every 8th in-order segment), which is what lets the
+//     ACK-clocked sender fill those bursts; a µs-scale idle flush
+//     (TcpConfig::ack_flush_timeout, the napi gro_flush_timeout analogue)
+//     ACKs a paused sub-threshold tail so small-cwnd flows stay
+//     ACK-clocked instead of delack-clocked, with the delayed-ACK timer
+//     as the outer protocol bound; congestion control counts acked bytes
+//     (RFC 3465), so stretch ACKs do not slow cwnd growth;
 //   * frames to an unresolved next hop park on the ARP queue as mbufs,
 //     bounded per hop in frames AND bytes with a pending-resolution TTL
 //     (drops and expirations counted in ArpCache::Stats).
@@ -237,6 +240,45 @@
 //   * every classic single-instance construction keeps working — shard
 //     count 1 (or the legacy ctor) is byte-for-byte the v5 behaviour.
 //
+// ------------------------------------------------------------------------
+// v6 -> v7 migration table: classed QoS TX scheduling
+// ------------------------------------------------------------------------
+// v6 emission drained the per-turn TX stage FIFO, so one bulk flow could
+// fill every burst slot and park a latency-critical flow behind 32
+// full-size frames. v7 stages frames into per-class queues drained by
+// deficit round-robin with optional per-class token-bucket pacing
+// (fstack/qos.hpp); every v6 call keeps working and every flow defaults to
+// class 0 — v7 is additive.
+//
+//  v6 (FIFO TX stage)                  | v7 (classed QoS stage)
+// -------------------------------------|----------------------------------
+//  (no per-flow class)                 | ff_set_class(st, fd, cls):
+//                                      |   fd's flow rides QoS class
+//                                      |   cls (0..kQosClasses-1); on a
+//                                      |   listener, subsequently accepted
+//                                      |   children inherit the class
+//  (no ring-native equivalent)         | OP_SET_CLASS (uring.hpp): a0 =
+//                                      |   class; immediate verdict CQE —
+//                                      |   class changes ride the ring like
+//                                      |   every other v5 control op
+//  (no scheduler config)               | FfStack::set_qos_config(QosConfig):
+//                                      |   per-class rate_bytes_per_sec
+//                                      |   (token bucket; 0 = unlimited),
+//                                      |   burst_bytes, quantum_bytes
+//                                      |   (DRR), queue_cap
+//  stats().tx_stage_deferred/_drops    | same fields, same meaning; plus
+//                                      |   FfStack::qos().stats() per-class
+//                                      |   enqueued/sent/throttled counters
+//
+//  semantics deltas (v7):
+//   * a token-paced frame STAYS STAGED until virtual time refills its
+//     bucket (pacing, not loss); FfStack::next_deadline() reports the
+//     release instant so arbiter-driven loops wake exactly then;
+//   * TCP carries the class on the PCB — ACKs, retransmits and FIN ride
+//     the flow's class, and accepted children inherit the listener's;
+//   * the stack's own control traffic (ARP) rides the top class
+//     (kQosClassControl), so bulk data cannot starve next-hop resolution.
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.
@@ -339,6 +381,12 @@ int ff_zc_recycle(FfStack& st, FfZcRxBuf& zc);
 std::int64_t ff_zc_recycle_batch(FfStack& st, std::span<FfZcRxBuf> zcs);
 
 int ff_close(FfStack& st, int fd);
+
+// ------------------------------------------------------------------ v7 QoS
+/// Assign fd's flow to TX traffic class `cls` (0 = default/bulk ..
+/// kQosClasses-1 = highest; see qos.hpp). Listeners propagate the class to
+/// subsequently accepted children. 0, -EBADF, or -EINVAL.
+int ff_set_class(FfStack& st, int fd, std::uint32_t cls);
 
 // epoll (the mechanism the paper ported iperf3 onto).
 int ff_epoll_create(FfStack& st);

@@ -1,0 +1,146 @@
+#include "fstack/qos.hpp"
+
+#include <algorithm>
+
+namespace cherinet::fstack {
+
+void QosScheduler::configure(const QosConfig& cfg) {
+  cfg_ = cfg;
+  for (QosClassConfig& cc : cfg_.cls) {
+    cc.quantum_bytes = std::max(cc.quantum_bytes, 1u);  // DRR must converge
+    if (cc.queue_cap == 0) cc.queue_cap = 1;
+  }
+  for (std::size_t c = 0; c < kQosClasses; ++c) {
+    cls_[c].tokens = static_cast<double>(cfg_.cls[c].burst_bytes);
+    cls_[c].last_fill = sim::Ns{0};
+    cls_[c].deficit = 0;
+  }
+}
+
+bool QosScheduler::enqueue(std::uint8_t cls, updk::Mbuf* chain,
+                           std::uint32_t bytes) {
+  ClassQ& cq = cls_.at(cls);
+  if (cq.q.size() >= cfg_.cls[cls].queue_cap) return false;
+  cq.q.push_back(Waiting{chain, bytes});
+  ++staged_;
+  stats_.enqueued[cls]++;
+  return true;
+}
+
+updk::Mbuf* QosScheduler::evict_oldest(std::uint8_t cls) {
+  ClassQ& cq = cls_.at(cls);
+  if (cq.q.empty()) return nullptr;
+  updk::Mbuf* chain = cq.q.front().chain;
+  cq.q.pop_front();
+  --staged_;
+  return chain;
+}
+
+void QosScheduler::refill(ClassQ& cq, const QosClassConfig& cc, sim::Ns now) {
+  if (cc.rate_bytes_per_sec == 0) return;
+  if (now > cq.last_fill) {
+    const double dt = static_cast<double>((now - cq.last_fill).count()) * 1e-9;
+    cq.tokens = std::min(cq.tokens + dt * static_cast<double>(cc.rate_bytes_per_sec),
+                         static_cast<double>(cc.burst_bytes));
+  }
+  cq.last_fill = now;
+}
+
+std::size_t QosScheduler::select(sim::Ns now, std::span<Picked> out) {
+  if (staged_ == 0 || out.empty()) return 0;
+  for (std::size_t c = 0; c < kQosClasses; ++c) refill(cls_[c], cfg_.cls[c], now);
+
+  std::size_t n = 0;
+  bool keep_rounding = true;
+  while (n < out.size() && keep_rounding) {
+    keep_rounding = false;
+    stats_.drr_rounds++;
+    for (int c = kQosClasses - 1; c >= 0; --c) {
+      ClassQ& cq = cls_[static_cast<std::size_t>(c)];
+      const QosClassConfig& cc = cfg_.cls[static_cast<std::size_t>(c)];
+      if (cq.q.empty()) {
+        cq.deficit = 0;  // classic DRR: an idle class banks nothing
+        continue;
+      }
+      cq.deficit += cc.quantum_bytes;
+      bool token_blocked = false;
+      while (n < out.size() && !cq.q.empty()) {
+        const Waiting& f = cq.q.front();
+        if (cq.deficit < static_cast<std::int64_t>(f.bytes)) break;
+        if (cc.rate_bytes_per_sec != 0 &&
+            cq.tokens < static_cast<double>(f.bytes)) {
+          token_blocked = true;
+          stats_.throttled[static_cast<std::size_t>(c)]++;
+          break;
+        }
+        cq.deficit -= f.bytes;
+        if (cc.rate_bytes_per_sec != 0) cq.tokens -= f.bytes;
+        out[n++] = Picked{f.chain, f.bytes, static_cast<std::uint8_t>(c)};
+        stats_.sent[static_cast<std::size_t>(c)]++;
+        cq.q.pop_front();
+        --staged_;
+        keep_rounding = true;
+      }
+      // A class still deficit-limited (not bucket-limited) earns more next
+      // round — keep rounding so an over-quantum frame eventually clears.
+      if (!cq.q.empty() && !token_blocked &&
+          cq.deficit < static_cast<std::int64_t>(cq.q.front().bytes)) {
+        keep_rounding = true;
+      }
+    }
+  }
+  return n;
+}
+
+void QosScheduler::unselect(std::span<const Picked> rejected) {
+  for (std::size_t i = rejected.size(); i-- > 0;) {
+    const Picked& p = rejected[i];
+    ClassQ& cq = cls_[p.cls];
+    cq.q.push_front(Waiting{p.chain, p.bytes});
+    ++staged_;
+    cq.deficit += p.bytes;
+    if (cfg_.cls[p.cls].rate_bytes_per_sec != 0) {
+      cq.tokens = std::min(cq.tokens + static_cast<double>(p.bytes),
+                           static_cast<double>(cfg_.cls[p.cls].burst_bytes));
+    }
+    stats_.sent[p.cls]--;
+  }
+}
+
+std::optional<sim::Ns> QosScheduler::next_release(sim::Ns now) const {
+  std::optional<sim::Ns> next;
+  for (std::size_t c = 0; c < kQosClasses; ++c) {
+    const ClassQ& cq = cls_[c];
+    const QosClassConfig& cc = cfg_.cls[c];
+    if (cq.q.empty() || cc.rate_bytes_per_sec == 0) continue;
+    // Tokens accrued since last_fill but not yet folded in.
+    double tokens = cq.tokens;
+    if (now > cq.last_fill) {
+      const double dt =
+          static_cast<double>((now - cq.last_fill).count()) * 1e-9;
+      tokens = std::min(tokens + dt * static_cast<double>(cc.rate_bytes_per_sec),
+                        static_cast<double>(cc.burst_bytes));
+    }
+    const double need = static_cast<double>(cq.q.front().bytes) - tokens;
+    if (need <= 0.0) {
+      return now;  // eligible already: the next flush sends it
+    }
+    const double wait_s = need / static_cast<double>(cc.rate_bytes_per_sec);
+    const sim::Ns t =
+        now + sim::Ns{static_cast<std::int64_t>(wait_s * 1e9) + 1};
+    if (!next || t < *next) next = t;
+  }
+  return next;
+}
+
+std::vector<updk::Mbuf*> QosScheduler::drain_all() {
+  std::vector<updk::Mbuf*> all;
+  for (ClassQ& cq : cls_) {
+    for (const Waiting& w : cq.q) all.push_back(w.chain);
+    cq.q.clear();
+  }
+  staged_ = 0;
+  return all;
+}
+
+}  // namespace cherinet::fstack

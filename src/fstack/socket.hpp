@@ -20,6 +20,10 @@ struct Socket {
   std::unique_ptr<EpollInstance> epoll;   // kEpoll
   bool bound = false;
   bool listening = false;
+  /// QoS traffic class (0 = default/bulk; see qos.hpp). TCP keeps the
+  /// authoritative copy on the PCB so pure-protocol emissions (ACKs,
+  /// retransmits) classify too; this mirror covers UDP and zc paths.
+  std::uint8_t tclass = 0;
   Ipv4Addr local_ip{};
   std::uint16_t local_port = 0;
 };

@@ -67,7 +67,7 @@ FfStack::~FfStack() {
   // back to the pool (nothing transmits during teardown).
   for (auto& [token, m] : zc_pending_) pool_->free(m);
   for (auto& [token, loan] : zc_rx_loans_) pool_->recycle(loan.m);
-  for (std::size_t i = 0; i < tx_staged_; ++i) pool_->free_chain(tx_stage_[i]);
+  for (updk::Mbuf* m : qos_.drain_all()) pool_->free_chain(m);
   for (updk::Mbuf* m : arp_.take_all_parked()) pool_->free_chain(m);
 }
 
@@ -158,10 +158,29 @@ std::optional<sim::Ns> FfStack::next_deadline() const {
   std::optional<sim::Ns> d = dev_->next_event();
   const auto w = wheel_.next_deadline();
   if (w && (!d || *w < *d)) d = w;
+  // Token-bucket pacing: a frame waiting on a QoS bucket becomes eligible
+  // at a known virtual instant — the arbiter must wake then or a paced
+  // class stalls until unrelated traffic happens to arrive.
+  const auto q = qos_.next_release(clock_->now());
+  if (q && (!d || *q < *d)) d = q;
+  // GRO ack-flush deadlines are reported EXACTLY (no tick ceiling): the
+  // arbiter must wake µs after an arrival pause or the flush degrades
+  // into the delack it exists to pre-empt.
+  for (const TcpPcb* pcb : ack_flush_) {
+    const auto f = pcb->ack_flush_deadline();
+    if (f && (!d || *f < *d)) d = f;
+  }
   return d;
 }
 
 void FfStack::timer_sync(TcpPcb* pcb) {
+  // The µs-scale GRO ack-flush deadline rides a side list with EXACT
+  // reporting (see ack_flush_ in stack.hpp); membership is lazily pruned
+  // in process_timers once the deadline disarms.
+  if (pcb->ack_flush_deadline() && !pcb->flush_listed) {
+    ack_flush_.push_back(pcb);
+    pcb->flush_listed = true;
+  }
   const auto d = pcb->next_deadline();
   if (d == pcb->wheel_deadline) return;  // registration already accurate
   if (pcb->wheel_id != TimerWheel::kInvalidId) {
@@ -209,6 +228,23 @@ void FfStack::process_timers(sim::Ns now, bool& progress) {
     any |= pcb->on_timer(now);
     timer_sync(pcb);  // re-register whatever deadline survives the fire
   });
+  // GRO ack-flush sweep: fire due idle-flush ACKs, prune entries whose
+  // deadline disarmed (the ACK piggybacked on data, or the count trigger
+  // sent it first). Swap-erase keeps the sweep allocation-free.
+  for (std::size_t i = 0; i < ack_flush_.size();) {
+    TcpPcb* pcb = ack_flush_[i];
+    if (pcb->ack_flush_deadline()) {
+      any |= pcb->fire_ack_flush(now);
+      timer_sync(pcb);
+    }
+    if (!pcb->ack_flush_deadline()) {
+      pcb->flush_listed = false;
+      ack_flush_[i] = ack_flush_.back();
+      ack_flush_.pop_back();
+    } else {
+      ++i;
+    }
+  }
   progress |= any;
 }
 
@@ -226,14 +262,38 @@ void FfStack::reap_closed() {
         wheel_.cancel(pcb->wheel_id);  // no wheel cookie may dangle
         pcb->wheel_id = TimerWheel::kInvalidId;
       }
+      if (pcb->flush_listed) std::erase(ack_flush_, pcb);
       pending_output_.erase(pcb);
       port_unref(pcb->tuple().local_port);
+      accumulate_reaped(*pcb);  // recovery history survives the reap
       tcp_pcbs_.erase(pcb->tuple());
       it = detached_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+void FfStack::accumulate_reaped(const TcpPcb& pcb) {
+  const TcpPcb::Counters& c = pcb.counters();
+  reaped_counters_.rexmits += c.rexmits;
+  reaped_counters_.fast_rexmits += c.fast_rexmits;
+  reaped_counters_.rto_expirations += c.rto_expirations;
+  reaped_counters_.spurious_rexmit_bytes += c.spurious_rexmit_bytes;
+}
+
+FfStack::TcpRecoveryStats FfStack::tcp_recovery_stats() const {
+  TcpRecoveryStats out;
+  const auto add = [&out](const TcpPcb::Counters& c) {
+    out.rexmits += c.rexmits;
+    out.fast_rexmits += c.fast_rexmits;
+    out.rto_expirations += c.rto_expirations;
+    out.spurious_rexmit_bytes += c.spurious_rexmit_bytes;
+  };
+  add(reaped_counters_);
+  for (const auto& [tuple, pcb] : tcp_pcbs_) add(pcb->counters());
+  for (const auto& [port, pcb] : tcp_listeners_) add(pcb->counters());
+  return out;
 }
 
 std::uint64_t FfStack::sock_rx_activity(int fd) const {
@@ -494,7 +554,7 @@ Ipv4Addr FfStack::next_hop_for(Ipv4Addr dst) const {
 }
 
 bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
-                        std::span<const std::byte> l4) {
+                        std::span<const std::byte> l4, std::uint8_t cls) {
   const std::uint16_t id = ip_id_++;
   const auto plan = plan_fragments(l4.size(), cfg_.netif.mtu,
                                    Ipv4Header::kSize);
@@ -516,13 +576,13 @@ bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
     h.serialize(pkt);
     std::copy_n(l4.begin() + f.payload_off, f.payload_len,
                 pkt.begin() + Ipv4Header::kSize);
-    ok &= transmit_ip_packet(pkt, hop);
+    ok &= transmit_ip_packet(pkt, hop, cls);
   }
   return ok;
 }
 
 bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
-                                 Ipv4Addr next_hop) {
+                                 Ipv4Addr next_hop, std::uint8_t cls) {
   // Copy-path packets (ICMP, RST, fragmented/ARP-pending UDP) land in one
   // owned mbuf and join the same staged chain pipeline as gathered frames.
   updk::Mbuf* m = pool_->alloc();
@@ -534,10 +594,11 @@ bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
     pool_->free(m);
     return false;
   }
-  return transmit_ip_chain(m, next_hop);
+  return transmit_ip_chain(m, next_hop, cls);
 }
 
-bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop) {
+bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop,
+                                std::uint8_t cls) {
   const sim::Ns now = clock_->now();
   const auto mac = arp_.lookup(next_hop, now);
   if (!mac) {
@@ -562,7 +623,7 @@ bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop) {
     return true;
   }
   if (!prepend_ether(head, *mac, kEtherTypeIpv4)) return false;
-  stage_frame(head);
+  stage_frame(head, cls);
   return true;
 }
 
@@ -605,49 +666,65 @@ updk::Mbuf* FfStack::linearize_chain(updk::Mbuf* head) {
   return flat;
 }
 
-void FfStack::stage_frame(updk::Mbuf* head) {
-  if (tx_staged_ == kTxStageCap) flush_tx();
-  if (tx_staged_ == kTxStageCap) {
-    // Flush made no progress with a full stage (unreachable with the
-    // polling device model, which drains on every burst): drop the oldest
-    // staged frame rather than overflow the stage — a genuine loss,
-    // counted apart from deferrals.
-    pool_->free_chain(tx_stage_[0]);
-    std::copy(tx_stage_.begin() + 1, tx_stage_.end(), tx_stage_.begin());
-    --tx_staged_;
-    stats_.tx_stage_drops++;
+void FfStack::stage_frame(updk::Mbuf* head, std::uint8_t cls) {
+  std::uint32_t bytes = 0;
+  for (const updk::Mbuf* s = head; s != nullptr; s = s->next) {
+    bytes += s->data_len;
   }
-  tx_stage_[tx_staged_++] = head;
+  if (qos_.enqueue(cls, head, bytes)) return;
+  flush_tx();
+  if (qos_.enqueue(cls, head, bytes)) return;
+  // The class queue is still full after a flush (token-paced class, or the
+  // device made no progress at all): drop the class's OLDEST staged frame
+  // rather than overflow — a genuine loss, counted apart from deferrals,
+  // and confined to the offending class.
+  if (updk::Mbuf* oldest = qos_.evict_oldest(cls)) {
+    pool_->free_chain(oldest);
+    stats_.tx_stage_drops++;
+    if (qos_.enqueue(cls, head, bytes)) return;
+  }
+  pool_->free_chain(head);  // unreachable unless queue_cap is pathological
+  stats_.tx_stage_drops++;
 }
 
 std::size_t FfStack::flush_tx() {
-  if (tx_staged_ == 0) return 0;
-  // Bursts repeat while they make progress: each tx_burst polls the
-  // device, which drains fetched descriptors, so a small TX ring still
-  // absorbs a large stage in a few calls. Frames the ring cannot take THIS
-  // flush stay staged (backpressure, not loss) and retry at the next
-  // flush point; a chain no ring state could ever fit is consumed and
-  // dropped by the PMD itself.
-  std::size_t off = 0;
-  while (off < tx_staged_) {
-    const std::size_t sent = dev_->tx_burst(
-        {tx_stage_.data() + off, tx_staged_ - off});
-    if (sent == 0) break;
-    off += sent;
+  // DRR over the class queues fills each driver burst (highest class first
+  // within a round, token buckets honored); bursts repeat while they make
+  // progress, so a small TX ring still absorbs a large stage in a few
+  // calls. Frames the ring cannot take THIS flush are handed back to the
+  // scheduler with their tokens/deficit refunded (backpressure, not loss)
+  // and retry at the next flush point; token-paced frames stay queued
+  // until virtual time refills their bucket (next_deadline wakes the
+  // arbiter at that instant).
+  std::size_t total = 0;
+  const sim::Ns now = clock_->now();
+  while (qos_.staged() > 0) {
+    std::array<QosScheduler::Picked, kTxStageCap> picks;
+    const std::size_t k = qos_.select(now, picks);
+    if (k == 0) break;  // everything left is waiting on a token bucket
+    std::array<updk::Mbuf*, kTxStageCap> burst;
+    for (std::size_t i = 0; i < k; ++i) burst[i] = picks[i].chain;
+    std::size_t off = 0;
+    while (off < k) {
+      const std::size_t sent = dev_->tx_burst({burst.data() + off, k - off});
+      if (sent == 0) break;
+      off += sent;
+    }
+    total += off;
+    if (off < k) {
+      stats_.tx_stage_deferred += k - off;
+      qos_.unselect(std::span<const QosScheduler::Picked>{picks.data() + off,
+                                                          k - off});
+      break;
+    }
   }
-  stats_.tx_frames += off;
-  if (off < tx_staged_) {
-    stats_.tx_stage_deferred += tx_staged_ - off;
-    std::copy(tx_stage_.begin() + static_cast<std::ptrdiff_t>(off),
-              tx_stage_.begin() + static_cast<std::ptrdiff_t>(tx_staged_),
-              tx_stage_.begin());
-  }
-  tx_staged_ -= off;
-  return off;
+  stats_.tx_frames += total;
+  return total;
 }
 
 bool FfStack::transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
-                             std::span<const std::byte> payload) {
+                             std::span<const std::byte> payload,
+                             std::uint8_t cls) {
   updk::Mbuf* m = pool_->alloc();
   if (m == nullptr) return false;
   try {
@@ -657,7 +734,7 @@ bool FfStack::transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
     return false;
   }
   if (!prepend_ether(m, dst, ethertype)) return false;
-  stage_frame(m);
+  stage_frame(m, cls);
   return true;
 }
 
@@ -710,7 +787,7 @@ bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
     fsum = checksum_partial(std::span<const std::byte>{seg, total}, fsum);
     put_be16(seg + 16, checksum_finish(fsum));
     return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp,
-                     std::span<const std::byte>{seg, total});
+                     std::span<const std::byte>{seg, total}, pcb.tclass());
   }
 
   // Decompose the payload over the live chain stores. A range more
@@ -818,14 +895,15 @@ bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
     pool_->free_chain(head);
     return false;
   }
-  return transmit_ip_chain(head, next_hop_for(pcb.tuple().remote_ip));
+  return transmit_ip_chain(head, next_hop_for(pcb.tuple().remote_ip),
+                           pcb.tclass());
 }
 
 TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
-  (void)listener;
   if (tcp_pcbs_.contains(tuple)) return nullptr;
   auto pcb = std::unique_ptr<TcpPcb>(make_pcb());
   TcpPcb* raw = pcb.get();
+  raw->set_tclass(listener.tclass());  // children ride the listener's class
   tcp_pcbs_.emplace(tuple, std::move(pcb));
   port_ref(tuple.local_port);
   return raw;
@@ -956,6 +1034,7 @@ int FfStack::sock_accept(int fd, FourTuple* peer_out) {
       return -EMFILE;
     }
     cs->pcb = child;
+    cs->tclass = child->tclass();  // inherited from the listener at spawn
     cs->bound = true;
     cs->local_ip = child->tuple().local_ip;
     cs->local_port = child->tuple().local_port;
@@ -988,6 +1067,21 @@ int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
   timer_sync(raw);  // the SYN's retransmit deadline enters the wheel
   sync_flush();  // the SYN leaves before the call returns
   return -EINPROGRESS;
+}
+
+int FfStack::sock_set_class(int fd, std::uint32_t cls) {
+  Socket* s = socks_.get(fd);
+  if (s == nullptr || s->kind == SockKind::kEpoll) return -EBADF;
+  if (cls >= kQosClasses) return -EINVAL;
+  s->tclass = static_cast<std::uint8_t>(cls);
+  // TCP: the PCB carries the authoritative class so pure-protocol
+  // emissions (ACKs, retransmits) classify too. On a listener this is the
+  // class future accepted children inherit; already-queued children keep
+  // the class they spawned with.
+  if (s->kind == SockKind::kTcp && s->pcb != nullptr) {
+    s->pcb->set_tclass(static_cast<std::uint8_t>(cls));
+  }
+  return 0;
 }
 
 std::int64_t FfStack::sock_write(int fd, const machine::CapView& buf,
@@ -1025,11 +1119,14 @@ std::int64_t FfStack::writev_impl(int fd, std::span<const FfIovec> iov,
   // Staged frames may hold indirect references into send-ring memory:
   // flush them to the driver BEFORE this call writes into the ring, so a
   // span freed by an earlier ACK cannot be overwritten while a staged
-  // frame still gathers from it. If the device ring is so wedged that the
-  // flush could not drain (tx_stage_deferred path), admitting bytes would
-  // break that lifetime contract — backpressure the caller instead.
+  // frame still gathers from it. If this flow's class could not drain
+  // (device wedged, or its token bucket is pacing it), admitting bytes
+  // would break that lifetime contract — backpressure the caller instead.
+  // Scoped to the flow's OWN class: frames staged by other classes gather
+  // from other flows' memory, and a token-paced bulk backlog must not
+  // starve a higher class's writes at the API boundary.
   flush_tx();
-  if (tx_staged_ != 0) return -EAGAIN;
+  if (qos_.staged(pcb->tclass()) != 0) return -EAGAIN;
   const std::size_t queued = pcb->app_writev(iov);
   if (queued == 0) return -EAGAIN;
   // One TCP push services the whole batch.
@@ -1105,7 +1202,7 @@ std::int64_t FfStack::udp_emit_dgram(Socket* s, const machine::CapView& buf,
   std::uint16_t ck = checksum_finish(sum);
   if (ck == 0) ck = 0xFFFF;  // RFC 768: 0 means "no checksum"
   put_be16(seg.data() + 6, ck);
-  send_ipv4(ip, kIpProtoUdp, seg);
+  send_ipv4(ip, kIpProtoUdp, seg, s->tclass);
   return static_cast<std::int64_t>(n);
 }
 
@@ -1390,7 +1487,8 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
   const std::uint32_t payload_sum =
       checksum_cap_partial(m->room, m->data_off, len);
   m->trim(static_cast<std::uint32_t>(m->data_len - len));
-  if (!zc_transmit(m, len, payload_sum, s->local_port, ip, port, *mac)) {
+  if (!zc_transmit(m, len, payload_sum, s->local_port, ip, port, *mac,
+                   s->tclass)) {
     pool_->free(m);
     return -ENOBUFS;
   }
@@ -1403,7 +1501,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
 bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
                           std::uint32_t payload_sum, std::uint16_t src_port,
                           Ipv4Addr dst, std::uint16_t dst_port,
-                          const nic::MacAddr& dst_mac) {
+                          const nic::MacAddr& dst_mac, std::uint8_t cls) {
   // UDP checksum over pseudo-header + header + payload: the payload's
   // cached partial (computed when the bytes entered) composes in at its
   // even offset — emission touches no payload byte.
@@ -1443,7 +1541,7 @@ bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
   eh.serialize(eh_bytes);
   m->prepend(EtherHeader::kSize).write(0, eh_bytes);
 
-  stage_frame(m);
+  stage_frame(m, cls);
   return true;
 }
 
@@ -1601,6 +1699,7 @@ int FfStack::sock_close(int fd) {
           if (s->pcb->wheel_id != TimerWheel::kInvalidId) {
             wheel_.cancel(s->pcb->wheel_id);
           }
+          accumulate_reaped(*s->pcb);
           tcp_listeners_.erase(s->local_port);
           dev_->unsteer_local_port(6, s->local_port);
         }
@@ -1793,6 +1892,7 @@ void validate_sqe(DecodedSqe& d) {
     case UringOp::kConnect:
     case UringOp::kClose:
     case UringOp::kEpollCtl:
+    case UringOp::kSetClass:
       return;  // no SQE capability payload; tokens/fds verify at execution
     case UringOp::kWritev:
     case UringOp::kSendmsgBatch:
@@ -2207,6 +2307,18 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                               static_cast<std::uint32_t>(d.a[2]), d.a[3]);
             }
             uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
+            if (res < 0) api_.uring_sqe_errors++;
+            break;
+          }
+          case UringOp::kSetClass: {
+            // Immediate verdict, like OP_EPOLL_CTL: class changes are
+            // control-plane ops that ride the ring with zero crossings.
+            const std::int64_t res =
+                sock_set_class(d.fd, static_cast<std::uint32_t>(d.a[0]));
+            uring_cq_emit(r, d.user_data, res, d.op, 0,
+                          static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(d.fd)),
+                          0, nullptr);
             if (res < 0) api_.uring_sqe_errors++;
             break;
           }

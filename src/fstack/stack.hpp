@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fstack/api_types.hpp"
+#include "fstack/qos.hpp"
 #include "fstack/uring.hpp"
 #include "fstack/arp.hpp"
 #include "fstack/icmp.hpp"
@@ -140,6 +141,14 @@ class FfStack final : public TcpEnv {
   /// it to decide whether a doorbell crossing is needed at all).
   void urings_set_parked(bool parked);
 
+  /// Assign fd's flow to QoS traffic class `cls` (API v7; OP_SET_CLASS /
+  /// ff_set_class). Listeners propagate the class to accepted children.
+  /// -EBADF on a bad fd, -EINVAL when cls >= kQosClasses.
+  int sock_set_class(int fd, std::uint32_t cls);
+  /// Replace the TX scheduler's per-class config (rates, quanta, caps).
+  void set_qos_config(const QosConfig& cfg) { qos_.configure(cfg); }
+  [[nodiscard]] const QosScheduler& qos() const noexcept { return qos_; }
+
   int sock_close(int fd);
   [[nodiscard]] std::uint32_t sock_readiness(int fd) const;
   /// Monotonic readiness-activity counter (bytes delivered / connections
@@ -197,6 +206,19 @@ class FfStack final : public TcpEnv {
     std::uint64_t tx_stage_drops = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Loss-recovery accounting aggregated over every TCP PCB this stack has
+  /// ever owned — live connected/embryonic PCBs, listeners, and (via the
+  /// reap-time accumulator) connections already torn down. The impairment
+  /// bench reads these to tie wire-level loss causes to protocol response.
+  struct TcpRecoveryStats {
+    std::uint64_t rexmits = 0;            // retransmitted segments (all causes)
+    std::uint64_t fast_rexmits = 0;       // dupack-triggered (RFC 5681)
+    std::uint64_t rto_expirations = 0;    // RTO fires (backoff events)
+    std::uint64_t spurious_rexmit_bytes = 0;  // rx-side duplicate payload
+  };
+  [[nodiscard]] TcpRecoveryStats tcp_recovery_stats() const;
+
   /// ARP pending-queue accounting (parked frames, capped-queue drops).
   [[nodiscard]] const ArpCache::Stats& arp_stats() const noexcept {
     return arp_.stats();
@@ -270,24 +292,30 @@ class FfStack final : public TcpEnv {
   void send_tcp_rst(const Ipv4Header& ih, const TcpHeader& th,
                     std::size_t payload_len);
 
-  // output path. Frames are STAGED per loop turn and flushed with one
-  // tx_burst of up to kTxStageCap chains (flush_tx) — the driver doorbell
-  // amortizes exactly like the compartment boundary. Every public entry
-  // point that can emit flushes before returning (synchronous progress for
-  // inline callers and Scenario-2 proxies); run_once flushes once per
-  // iteration for everything the datapath produced.
+  // output path. Frames are STAGED per loop turn into the per-class QoS
+  // scheduler and flushed with tx_bursts of up to kTxStageCap chains
+  // (flush_tx) — the driver doorbell amortizes exactly like the compartment
+  // boundary, and deficit round-robin picks which classes fill each burst.
+  // Every public entry point that can emit flushes before returning
+  // (synchronous progress for inline callers and Scenario-2 proxies);
+  // run_once flushes once per iteration for everything the datapath
+  // produced. `cls` is the QoS class the frame rides (TCP: pcb.tclass();
+  // UDP/zc: the socket mirror; ARP/control: kQosClassControl).
   bool send_ipv4(Ipv4Addr dst, std::uint8_t proto,
-                 std::span<const std::byte> l4);
+                 std::span<const std::byte> l4, std::uint8_t cls = 0);
   bool transmit_ip_packet(std::span<const std::byte> ip_packet,
-                          Ipv4Addr next_hop);
+                          Ipv4Addr next_hop, std::uint8_t cls = 0);
   /// Resolve `next_hop`, prepend the Ethernet header into the chain head's
   /// headroom and stage the frame; an unresolved hop parks the (linearized)
   /// frame on the bounded ARP queue. Owns `head` — freed on failure.
-  bool transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop);
+  bool transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop,
+                         std::uint8_t cls = 0);
   bool transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
-                      std::span<const std::byte> payload);
-  void stage_frame(updk::Mbuf* head);
-  /// Flush the TX stage with ONE driver burst; returns frames handed over.
+                      std::span<const std::byte> payload,
+                      std::uint8_t cls = kQosClassControl);
+  void stage_frame(updk::Mbuf* head, std::uint8_t cls = 0);
+  /// Flush the QoS stage with driver bursts (DRR-ordered, token-bucket
+  /// paced); returns frames handed over.
   std::size_t flush_tx();
   /// The tail flush of an emitting API call: gives inline callers (and
   /// Scenario-2 proxies) synchronous wire progress. Suppressed while a
@@ -337,7 +365,8 @@ class FfStack final : public TcpEnv {
   /// when the bytes entered at ff_zc_send — emission never re-reads them.
   bool zc_transmit(updk::Mbuf* m, std::size_t len, std::uint32_t payload_sum,
                    std::uint16_t src_port, Ipv4Addr dst,
-                   std::uint16_t dst_port, const nic::MacAddr& dst_mac);
+                   std::uint16_t dst_port, const nic::MacAddr& dst_mac,
+                   std::uint8_t cls = 0);
 
   // ff_uring internals: one registration per attached ring. References
   // into `urings_` stay valid across insertions (std::map), which the
@@ -412,6 +441,9 @@ class FfStack final : public TcpEnv {
   /// with the reserved cookie 0).
   void arp_timer_sync();
   void reap_closed();
+  /// Fold a dying PCB's recovery counters into the reaped accumulator so
+  /// tcp_recovery_stats() keeps counting across connection churn.
+  void accumulate_reaped(const TcpPcb& pcb);
   void publish_multishot();
   /// Publish current readiness of every interest-set fd into `ep`'s armed
   /// ring; returns events written (shared by arm-time and per-iteration
@@ -451,11 +483,15 @@ class FfStack final : public TcpEnv {
   FragReassembler reasm_;
   PingTracker pings_;
   Stats stats_;
-  // Per-turn TX staging: emitted frames collect here and leave through one
-  // tx_burst per flush (end of run_once / end of each emitting API call).
+  // Per-turn TX staging: emitted frames collect in the per-class QoS
+  // scheduler and leave through DRR-ordered tx_bursts per flush (end of
+  // run_once / end of each emitting API call). kTxStageCap is the burst
+  // width handed to the driver per tx_burst call.
   static constexpr std::size_t kTxStageCap = 32;
-  std::array<updk::Mbuf*, kTxStageCap> tx_stage_{};
-  std::size_t tx_staged_ = 0;
+  QosScheduler qos_;
+  // Counters of TCP PCBs already reaped (reap_closed / listener teardown):
+  // tcp_recovery_stats() folds these in so churn does not lose history.
+  TcpPcb::Counters reaped_counters_{};
   // Connected-PCB local ports in use (port -> PCB count): O(1) ephemeral
   // allocation however many thousand connections are live.
   std::unordered_map<std::uint16_t, std::uint32_t> tcp_ports_;
@@ -466,6 +502,11 @@ class FfStack final : public TcpEnv {
   std::unordered_set<TcpPcb*> detached_;
   // Deferred-output mode: PCBs with freshly queued app data.
   std::unordered_set<TcpPcb*> pending_output_;
+  // PCBs with an armed GRO ack-flush deadline (TcpConfig::ack_flush_timeout).
+  // A side list, not a wheel entry: the wheel's ~0.5 ms tick ceiling would
+  // erase a µs-scale flush bound. Only actively-receiving PCBs appear here,
+  // so the per-turn sweep is O(receivers with an ACK owed), not O(PCBs).
+  std::vector<TcpPcb*> ack_flush_;
 
   // Outstanding zero-copy TX reservations (token -> owned mbuf).
   std::unordered_map<std::uint64_t, updk::Mbuf*> zc_pending_;

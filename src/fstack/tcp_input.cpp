@@ -205,6 +205,10 @@ void TcpPcb::process_ack(const TcpHeader& h, const TcpOptions& opts) {
       }
       cwnd_ = ssthresh_ + 3 * mss_eff_;
       arm_rexmit();
+    } else {
+      // Dupacks one and two: limited transmit (RFC 3042) — output() sees
+      // the dupack count and releases up to two new segments beyond cwnd.
+      output();
     }
     return;
   }
@@ -301,9 +305,11 @@ void TcpPcb::process_payload(const TcpHeader& h,
   if (seq_lt(seq, rcv_nxt_)) {  // head-trim retransmitted overlap
     const std::uint32_t skip = rcv_nxt_ - seq;
     if (skip >= data.size()) {
+      counters_.spurious_rexmit_bytes += data.size();
       ack_now_ = true;  // full duplicate: re-ACK immediately
       return;
     }
+    counters_.spurious_rexmit_bytes += skip;
     data = data.subspan(skip);
     seq = rcv_nxt_;
   }

@@ -47,6 +47,7 @@ bool TcpPcb::send_segment(std::uint32_t seq, std::size_t payload_off,
   ack_now_ = false;
   segs_since_ack_ = 0;
   delack_deadline_.reset();
+  ack_flush_deadline_.reset();
   return true;
 }
 
@@ -73,7 +74,16 @@ bool TcpPcb::output() {
   const bool may_send_data = state_ == TcpState::kEstablished ||
                              state_ == TcpState::kCloseWait;
   if (may_send_data && syn_acked_ && !fin_sent_) {
-    const std::uint32_t wnd = std::min(snd_wnd_, cwnd_);
+    // Limited transmit (RFC 3042): the first two dupacks each extend the
+    // usable window by one MSS of NEW data, keeping the ACK clock alive
+    // when a tail loss leaves too little in flight to raise the three
+    // dupacks fast retransmit needs — without it those losses only ever
+    // resolve by RTO. The allowance vanishes once recovery starts (the
+    // inflation term takes over) or a new ACK resets dupacks_.
+    const std::uint32_t limited_xmit =
+        (!in_recovery_ && dupacks_ > 0) ? std::min(dupacks_, 2u) * mss_eff_
+                                        : 0;
+    const std::uint32_t wnd = std::min(snd_wnd_, cwnd_ + limited_xmit);
     while (true) {
       const std::uint32_t offset = snd_nxt_ - snd_una_;
       const std::size_t avail =
@@ -89,8 +99,7 @@ bool TcpPcb::output() {
       // re-reading payload. Safe: offset > 0 here (the window is partly
       // used), so ACKs are expected and the rexmit timer is armed; windows
       // smaller than one MSS keep the old behaviour (no deadlock).
-      if (n > 0 && n < mss_eff_ && n < avail &&
-          std::min(snd_wnd_, cwnd_) >= mss_eff_) {
+      if (n > 0 && n < mss_eff_ && n < avail && wnd >= mss_eff_) {
         break;
       }
       const bool last_chunk = n == avail;

@@ -50,6 +50,7 @@ void TcpPcb::set_state(TcpState s) {
     // lets FfStack::timer_sync drop the PCB's wheel registration.
     rexmit_deadline_.reset();
     delack_deadline_.reset();
+    ack_flush_deadline_.reset();
     persist_deadline_.reset();
     time_wait_deadline_.reset();
   }
@@ -190,6 +191,13 @@ void TcpPcb::schedule_ack() {
   if (!delack_deadline_) {
     delack_deadline_ = env_->tcp_now() + cfg_.delack_timeout;
   }
+  // Sliding GRO flush: each coalesced segment pushes the idle deadline
+  // forward, so back-to-back arrivals keep aggregating (up to the Nth-
+  // segment count trigger) and the ACK leaves ack_flush_timeout after the
+  // stream pauses — never a full delack_timeout later.
+  if (cfg_.ack_flush_timeout.count() > 0) {
+    ack_flush_deadline_ = env_->tcp_now() + cfg_.ack_flush_timeout;
+  }
 }
 
 std::optional<sim::Ns> TcpPcb::next_deadline() const {
@@ -199,6 +207,9 @@ std::optional<sim::Ns> TcpPcb::next_deadline() const {
   };
   merge(rexmit_deadline_);
   merge(delack_deadline_);
+  // ack_flush_deadline_ is deliberately absent: the wheel's ~0.5 ms tick
+  // ceiling would swallow a µs-scale flush bound, so FfStack tracks it
+  // exactly in its ack-flush side list instead.
   merge(persist_deadline_);
   merge(time_wait_deadline_);
   merge(keepalive_deadline_);

@@ -60,6 +60,18 @@ struct TcpConfig {
   bool use_wscale = true;
   std::uint8_t wscale = 7;
   sim::Ns delack_timeout{40'000'000};     // 40 ms
+  /// GRO/NAPI-style idle flush bound on ACK coalescing: every in-order
+  /// segment slides this deadline forward, so a pending coalesced ACK
+  /// leaves this soon after the arrival stream PAUSES (the delayed-ACK
+  /// timer stays as the outer protocol bound). Without it a sender whose
+  /// flight is below ack_coalesce_segments becomes delack-clocked — each
+  /// window waits the full delack_timeout for its ACK, collapsing goodput
+  /// exactly when loss recovery has shrunk cwnd. Real aggregating NICs
+  /// bound the stretch the same way (napi gro_flush_timeout, tens of µs).
+  /// 0 disables the flush (pure count + delack coalescing). Wheel-free:
+  /// FfStack tracks these µs-scale deadlines exactly in a side list — the
+  /// timing wheel's ~0.5 ms tick would erase the point of the bound.
+  sim::Ns ack_flush_timeout{50'000};      // 50 µs
   sim::Ns min_rto{200'000'000};           // 200 ms
   sim::Ns max_rto{60'000'000'000};        // 60 s
   sim::Ns initial_rto{1'000'000'000};     // RFC 6298 §2
@@ -201,6 +213,13 @@ class TcpPcb {
   [[nodiscard]] sim::Ns rto() const noexcept { return rto_; }
   [[nodiscard]] std::uint16_t mss_eff() const noexcept { return mss_eff_; }
 
+  // ---- QoS traffic class (API v7) ----
+  // Kept on the PCB (not only the socket) so every segment the protocol
+  // emits — ACKs, retransmits, FIN, RST on this connection — rides the
+  // flow's class; accepted children inherit the listener's class at spawn.
+  void set_tclass(std::uint8_t cls) noexcept { tclass_ = cls; }
+  [[nodiscard]] std::uint8_t tclass() const noexcept { return tclass_; }
+
   /// Gather unacknowledged send-queue bytes (linearizing fallback / test
   /// hook); `off` is relative to snd_una. Mbuf-backed spans read directly
   /// from their still-live data rooms.
@@ -245,6 +264,11 @@ class TcpPcb {
     std::uint64_t bytes_out = 0;
     std::uint64_t rexmits = 0;
     std::uint64_t fast_rexmits = 0;
+    std::uint64_t rto_expirations = 0;  // RTO fires (backoff events)
+    // Bytes the peer retransmitted that this side had already received
+    // (head-trimmed duplicate payload) — the receiver-side evidence of
+    // spurious retransmission under reordering/jitter.
+    std::uint64_t spurious_rexmit_bytes = 0;
     std::uint64_t dup_acks_in = 0;
     std::uint64_t ooo_segs = 0;
   };
@@ -274,6 +298,17 @@ class TcpPcb {
   // this PCB's single wheel entry and the deadline it was registered at.
   std::uint64_t wheel_id = 0;
   std::optional<sim::Ns> wheel_deadline;
+  // Membership flag for FfStack's ack-flush side list (owned by the stack,
+  // like wheel_id): µs-scale GRO flush deadlines bypass the wheel.
+  bool flush_listed = false;
+
+  /// Armed GRO-flush deadline for the pending coalesced ACK (nullopt when
+  /// no ACK is owed or ack_flush_timeout is 0). Tracked exactly by FfStack.
+  [[nodiscard]] std::optional<sim::Ns> ack_flush_deadline() const noexcept {
+    return ack_flush_deadline_;
+  }
+  /// Emit the owed coalesced ACK if the flush deadline has been reached.
+  bool fire_ack_flush(sim::Ns now);
 
  private:
   friend class StackTcpAccess;  // test/diagnostic backdoor
@@ -357,6 +392,7 @@ class TcpPcb {
   // Timers (absolute virtual deadlines; nullopt = disarmed).
   std::optional<sim::Ns> rexmit_deadline_;
   std::optional<sim::Ns> delack_deadline_;
+  std::optional<sim::Ns> ack_flush_deadline_;  // GRO idle-flush (sub-tick)
   std::optional<sim::Ns> persist_deadline_;
   std::optional<sim::Ns> time_wait_deadline_;
   std::optional<sim::Ns> keepalive_deadline_;
@@ -383,6 +419,8 @@ class TcpPcb {
 
   // Out-of-order reassembly (seq -> payload).
   std::map<std::uint32_t, std::vector<std::byte>> ooo_;
+
+  std::uint8_t tclass_ = 0;  // QoS class every emission on this flow rides
 
   Counters counters_;
 };

@@ -19,6 +19,7 @@ bool TcpPcb::fire_rexmit(sim::Ns now) {
   }
   rto_ = std::min(rto_ * 2, cfg_.max_rto);  // backoff (RFC 6298 §5.5)
   rtt_timing_ = false;                      // Karn: never time retransmits
+  counters_.rto_expirations++;
 
   if (state_ == TcpState::kSynSent) {
     send_segment(iss_, 0, 0, tcpflag::kSyn);
@@ -60,6 +61,13 @@ bool TcpPcb::fire_rexmit(sim::Ns now) {
 
 bool TcpPcb::fire_delack(sim::Ns) {
   delack_deadline_.reset();
+  if (!ack_pending_) return false;
+  return send_control(tcpflag::kAck);
+}
+
+bool TcpPcb::fire_ack_flush(sim::Ns now) {
+  if (!ack_flush_deadline_ || now < *ack_flush_deadline_) return false;
+  ack_flush_deadline_.reset();
   if (!ack_pending_) return false;
   return send_control(tcpflag::kAck);
 }

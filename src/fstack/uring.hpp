@@ -116,6 +116,10 @@ enum class UringOp : std::uint32_t {
   kEpollCtl = 11,        // fd=epfd, a0=EpollOp (1 add / 2 del / 3 mod),
                          //   a1=target fd, a2=events, a3=data; immediate
                          //   verdict CQE
+  // --- v7: classed QoS TX scheduling (see qos.hpp).
+  kSetClass = 12,        // a0=traffic class (0..kQosClasses-1) for fd;
+                         //   immediate verdict CQE. On a listener the class
+                         //   propagates to subsequently accepted children.
 };
 
 /// CQE flags.

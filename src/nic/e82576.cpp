@@ -315,6 +315,15 @@ void E82576Port::process_rx(E82576Device& dev) {
     if (fcs !=
         crc32_ieee(std::span<const std::byte>{f.data.data(), payload_len})) {
       port_stats_.rx_crc_errors++;
+      // Attribute the reject to the queue the frame was steered toward so a
+      // shard can see ITS flow suffering corruption. A payload bit flip
+      // leaves the classification headers intact; a frame too damaged to
+      // classify uniquely stays a port-level-only reject.
+      if (const auto bad = classify_rx(
+              std::span<const std::byte>{f.data.data(), payload_len});
+          bad.has_value()) {
+        queues_[*bad].stats.rx_crc_errors++;
+      }
       continue;
     }
     // MAC destination filter.

@@ -152,8 +152,10 @@ class E82576Port {
   /// Port-aggregate counters (all queues). Snapshot by value: the port may
   /// be concurrently polled by other queue owners.
   [[nodiscard]] Stats stats() const;
-  /// Per-queue counters (rx/tx packets+bytes, ring-full drops) — the shard
-  /// isolation tests pin "my frames arrived on MY queue" with these.
+  /// Per-queue counters (rx/tx packets+bytes, ring-full drops, and CRC
+  /// rejects attributed to the queue the corrupt frame was steered toward)
+  /// — the shard isolation tests pin "my frames arrived on MY queue" with
+  /// these.
   [[nodiscard]] Stats queue_stats(std::uint32_t q) const;
 
   /// Earliest pending wire delivery (poll deadline for the driver loop).

@@ -1,0 +1,44 @@
+#include "nic/impairment.hpp"
+
+namespace cherinet::nic {
+
+std::uint64_t ImpairmentEngine::next_u64() {
+  // splitmix64: full-period, seedable, no allocation.
+  std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+ImpairmentVerdict ImpairmentEngine::next_frame() {
+  ImpairmentVerdict v;
+  if (!enabled()) return v;
+  // Gilbert-Elliott state machine + state-conditional drop.
+  if (prof_.ge_p_good_to_bad > 0.0 || prof_.ge_p_bad_to_good > 0.0) {
+    if (ge_bad_) {
+      if (draw() < prof_.ge_p_bad_to_good) ge_bad_ = false;
+    } else {
+      if (draw() < prof_.ge_p_good_to_bad) ge_bad_ = true;
+    }
+    const double p = ge_bad_ ? prof_.ge_loss_bad : prof_.ge_loss_good;
+    if (p > 0.0 && draw() < p) v.burst_drop = true;
+  }
+  if (prof_.loss > 0.0 && draw() < prof_.loss) v.drop = true;
+  if (v.drop || v.burst_drop) return v;  // a lost frame has no afterlife
+  if (prof_.duplicate > 0.0 && draw() < prof_.duplicate) v.duplicate = true;
+  if (prof_.reorder > 0.0 && draw() < prof_.reorder) {
+    v.reorder = true;
+    v.hold_frames = prof_.reorder_hold;
+  }
+  if (prof_.corrupt > 0.0 && draw() < prof_.corrupt) {
+    v.corrupt = true;
+    v.corrupt_bit = next_u64();
+  }
+  if (prof_.jitter.count() > 0) {
+    v.extra_delay = sim::Ns{static_cast<std::int64_t>(
+        next_u64() % static_cast<std::uint64_t>(prof_.jitter.count() + 1))};
+  }
+  return v;
+}
+
+}  // namespace cherinet::nic

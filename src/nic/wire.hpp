@@ -7,8 +7,15 @@
 // lossless backpressure that reproduces the paper's clean PCI-limited
 // plateaus (see shared_bus.hpp).
 //
-// Loss/corruption injection hooks support the TCP robustness tests
-// (retransmission, fast recovery) without touching protocol code.
+// Hostility is injected between serialization and delivery by a per-
+// direction netem-style impairment stage (nic/impairment.hpp): uniform and
+// Gilbert-Elliott burst loss, duplication, hold-back-N reordering, bit-flip
+// corruption (the receiving MAC's FCS check must catch it) and delay
+// jitter, all replayable from a seed. Delivery is arrival-SORTED, not FIFO:
+// jitter and reordering insert frames by arrival time, and `poll` /
+// `next_delivery` see the earliest undelivered arrival either way. The
+// legacy `set_loss` hook survives as a surgical per-frame shim (it runs
+// before the impairment stage and indexes real transmit attempts).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "nic/impairment.hpp"
 #include "nic/shared_bus.hpp"
 #include "sim/testbed.hpp"
 #include "sim/time_arbiter.hpp"
@@ -44,11 +52,18 @@ class Wire {
   void set_bus(int side, SharedBus* bus) { ep_[side].bus = bus; }
 
   /// Decide per-frame drops (true = drop). Index counts frames per side.
+  /// Kept as the surgical shim for single-frame protocol tests; runs before
+  /// the impairment stage.
   using LossFn = std::function<bool(int side, std::uint64_t tx_index)>;
   void set_loss(LossFn fn) {
     std::scoped_lock lk(ep_[0].m, ep_[1].m);
     loss_ = std::move(fn);
   }
+
+  /// Impair frames transmitted BY `side` (seed-deterministic; see
+  /// impairment.hpp for the knob reference). Resets the engine's PRNG and
+  /// burst state. A default-constructed profile restores the clean wire.
+  void set_impairment(int side, const ImpairmentProfile& profile);
 
   /// Transmit `frame` out of endpoint `side`, available for DMA at `ready`.
   void transmit(int side, Frame frame, sim::Ns ready);
@@ -63,7 +78,14 @@ class Wire {
     std::uint64_t tx_frames = 0;
     std::uint64_t tx_bytes = 0;
     std::uint64_t rx_frames = 0;
-    std::uint64_t dropped = 0;
+    std::uint64_t dropped = 0;  // all causes: set_loss + impairment drops
+    // Per-cause impairment census (counted on the transmitting side).
+    std::uint64_t impair_loss = 0;        // uniform-probability drops
+    std::uint64_t impair_burst_loss = 0;  // Gilbert-Elliott bad-state drops
+    std::uint64_t impair_dups = 0;
+    std::uint64_t impair_reorders = 0;
+    std::uint64_t impair_corrupts = 0;
+    std::uint64_t impair_jittered = 0;
   };
   [[nodiscard]] Stats stats(int side) const;
 
@@ -75,14 +97,27 @@ class Wire {
     sim::Ns arrive;
     Frame frame;
   };
+  /// A reorder-held frame: released after `remaining` later same-direction
+  /// frames pass it, or unconditionally at `deadline` (never stranded).
+  struct Held {
+    sim::Ns deadline;
+    Frame frame;
+    std::uint32_t remaining;
+  };
   struct Endpoint {
     mutable std::mutex m;
     sim::Ns lane_free{0};         // outbound serialization horizon
     std::deque<InFlight> inbox;   // frames heading *to* this endpoint
+    std::vector<Held> held;       // reorder hold-back, same direction
     SharedBus* bus = nullptr;
     Stats stats;
     std::uint64_t tx_index = 0;
+    ImpairmentEngine impair;      // impairs this endpoint's TRANSMITS
   };
+
+  // Callers hold `ep.m`.
+  static void insert_sorted(Endpoint& ep, sim::Ns arrive, Frame frame);
+  static void release_due_held(Endpoint& ep, sim::Ns now);
 
   sim::VirtualClock* clock_;
   sim::TimeArbiter* arbiter_;

@@ -215,6 +215,12 @@ ProxyFfOps::ProxyFfOps(Scenario2Service* svc, iv::CVM* app, std::size_t shard)
                            return fstack::ff_close(*st,
                                                    static_cast<int>(a.a[0]));
                          }));
+  e_set_class_ = reg.install(
+      tag + ":ff_set_class", target,
+      wrap([st](machine::CrossCallArgs& a) -> std::int64_t {
+        return fstack::ff_set_class(*st, static_cast<int>(a.a[0]),
+                                    static_cast<std::uint32_t>(a.a[1]));
+      }));
   e_ep_create_ = reg.install(
       tag + ":ff_epoll_create", target,
       wrap([st](machine::CrossCallArgs&) -> std::int64_t {
@@ -631,6 +637,13 @@ int ProxyFfOps::uring_doorbell(int id) {
   machine::CrossCallArgs a;
   a.a[0] = static_cast<std::uint64_t>(id);
   return static_cast<int>(call(e_uring_doorbell_, a));
+}
+
+int ProxyFfOps::set_class(int fd, std::uint32_t cls) {
+  machine::CrossCallArgs a;
+  a.a[0] = static_cast<std::uint64_t>(fd);
+  a.a[1] = cls;
+  return static_cast<int>(call(e_set_class_, a));
 }
 
 int ProxyFfOps::close(int fd) {

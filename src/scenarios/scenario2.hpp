@@ -146,6 +146,8 @@ class ProxyFfOps final : public apps::FfOps {
                    std::uint32_t cq_capacity) override;
   int uring_detach(int id) override;
   int uring_doorbell(int id) override;
+  /// API v7: one sealed-entry crossing assigns fd's QoS class.
+  int set_class(int fd, std::uint32_t cls) override;
   int close(int fd) override;
   int epoll_create() override;
   int epoll_ctl(int epfd, fstack::EpollOp op, int fd, std::uint32_t events,
@@ -165,7 +167,7 @@ class ProxyFfOps final : public apps::FfOps {
       e_write_, e_read_, e_writev_, e_readv_, e_close_, e_ep_create_,
       e_ep_ctl_, e_ep_wait_, e_accept_batch_, e_zc_recv_, e_zc_recycle_,
       e_zc_alloc_, e_zc_send_, e_zc_abort_, e_ep_arm_ms_, e_ep_cancel_ms_,
-      e_uring_attach_, e_uring_detach_, e_uring_doorbell_;
+      e_uring_attach_, e_uring_detach_, e_uring_doorbell_, e_set_class_;
 };
 
 }  // namespace cherinet::scen

@@ -51,6 +51,9 @@ class TwoStacks {
   [[nodiscard]] machine::CompartmentHeap& heap_b() { return *heap_b_; }
   [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
   [[nodiscard]] nic::Wire& wire() { return wire_; }
+  /// The NIC device models (MAC-level stats: FCS rejects, filter drops).
+  [[nodiscard]] nic::E82576Device& card_a() { return card_a_; }
+  [[nodiscard]] nic::E82576Device& card_b() { return card_b_; }
   [[nodiscard]] fstack::Ipv4Addr ip_a() const {
     return fstack::Ipv4Addr::of(10, 0, 0, 1);
   }

@@ -1,0 +1,343 @@
+// Classed QoS TX scheduling (ISSUE 8, API v7): deficit-round-robin over the
+// staged tx_burst with per-class token buckets. Scheduler-level unit tests
+// pin the DRR/bucket mechanics on fake chains (the scheduler never
+// dereferences them); stack-level tests pin the v7 surface (ff_set_class /
+// OP_SET_CLASS, listener inheritance) and the end-to-end behaviours: token
+// pacing in virtual time and no class starving another.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/uring_proto.hpp"
+#include "fixtures.hpp"
+#include "fstack/api.hpp"
+#include "fstack/qos.hpp"
+#include "fstack/uring.hpp"
+
+using namespace cherinet;
+using namespace cherinet::fstack;
+using cherinet::test::TwoStacks;
+
+namespace {
+
+/// Distinct, never-dereferenced chain handles for scheduler unit tests.
+updk::Mbuf* chain(std::uintptr_t i) {
+  return reinterpret_cast<updk::Mbuf*>((i + 1) << 4);
+}
+
+struct Conn {
+  int afd = -1;
+  int bfd = -1;
+  int lfd = -1;
+};
+
+Conn establish(TwoStacks& ts, std::uint16_t port) {
+  Conn c;
+  c.lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  EXPECT_EQ(ff_bind(ts.b(), c.lfd, {Ipv4Addr{}, port}), 0);
+  EXPECT_EQ(ff_listen(ts.b(), c.lfd, 4), 0);
+  c.afd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  EXPECT_EQ(ff_connect(ts.a(), c.afd, {ts.ip_b(), port}), -EINPROGRESS);
+  ts.pump_until([&] {
+    c.bfd = ff_accept(ts.b(), c.lfd, nullptr);
+    return c.bfd >= 0;
+  });
+  EXPECT_GE(c.bfd, 0);
+  return c;
+}
+
+/// B's PCB for the connection accepted on `port` (scans A's ephemerals).
+const TcpPcb* accepted_pcb(TwoStacks& ts, std::uint16_t port) {
+  for (std::uint16_t p = 49152; p < 49252; ++p) {
+    if (const auto* pcb =
+            ts.b().find_pcb({ts.ip_b(), port, ts.ip_a(), p})) {
+      return pcb;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scheduler unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(QosScheduler, HigherClassLeavesFirstWithinARound) {
+  QosScheduler q;
+  ASSERT_TRUE(q.enqueue(0, chain(0), 1000));
+  ASSERT_TRUE(q.enqueue(0, chain(1), 1000));
+  ASSERT_TRUE(q.enqueue(2, chain(2), 200));
+  std::array<QosScheduler::Picked, 8> out;
+  const std::size_t n = q.select(sim::Ns{0}, out);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0].cls, 2);  // highest backlogged class drains first
+  EXPECT_EQ(out[0].chain, chain(2));
+  EXPECT_EQ(out[1].chain, chain(0));  // then FIFO within the class
+  EXPECT_EQ(out[2].chain, chain(1));
+  EXPECT_EQ(q.staged(), 0u);
+}
+
+TEST(QosScheduler, DrrSharesTheBurstWindowByQuantum) {
+  // A bulk class with a deep backlog cannot fill the whole window: with
+  // equal quanta, a burst of 8 splits ~half/half between two backlogged
+  // classes instead of 8x the first-staged flow (the pre-v7 FIFO outcome).
+  QosConfig cfg;
+  cfg.cls[0].quantum_bytes = 3000;
+  cfg.cls[1].quantum_bytes = 3000;
+  QosScheduler q;
+  q.configure(cfg);
+  for (std::uintptr_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(q.enqueue(0, chain(i), 1500));
+    ASSERT_TRUE(q.enqueue(1, chain(100 + i), 1500));
+  }
+  std::array<QosScheduler::Picked, 8> out;
+  const std::size_t n = q.select(sim::Ns{0}, out);
+  ASSERT_EQ(n, 8u);
+  int per_cls[2] = {0, 0};
+  for (std::size_t i = 0; i < n; ++i) per_cls[out[i].cls]++;
+  EXPECT_EQ(per_cls[0], 4);
+  EXPECT_EQ(per_cls[1], 4);
+}
+
+TEST(QosScheduler, OverQuantumFrameAccruesDeficitAndClears) {
+  QosConfig cfg;
+  cfg.cls[0].quantum_bytes = 1000;
+  QosScheduler q;
+  q.configure(cfg);
+  ASSERT_TRUE(q.enqueue(0, chain(0), 4000));  // 4 rounds of deficit needed
+  std::array<QosScheduler::Picked, 4> out;
+  const std::size_t n = q.select(sim::Ns{0}, out);
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(out[0].chain, chain(0));
+  EXPECT_GE(q.stats().drr_rounds, 4u);
+}
+
+TEST(QosScheduler, TokenBucketPacesInVirtualTime) {
+  QosConfig cfg;
+  cfg.cls[1].rate_bytes_per_sec = 1'000'000;  // 1 MB/s
+  cfg.cls[1].burst_bytes = 2000;
+  QosScheduler q;
+  q.configure(cfg);
+  for (std::uintptr_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.enqueue(1, chain(i), 1500));
+  }
+  std::array<QosScheduler::Picked, 4> out;
+  // t=0: bucket holds 2000 tokens — exactly one 1500B frame fits.
+  ASSERT_EQ(q.select(sim::Ns{0}, out), 1u);
+  EXPECT_EQ(out[0].chain, chain(0));
+  EXPECT_GT(q.stats().throttled[1], 0u);
+  // The next frame needs 1000 more tokens = 1 ms at 1 MB/s.
+  const auto rel = q.next_release(sim::Ns{0});
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_GE(rel->count(), 900'000);
+  EXPECT_LE(rel->count(), 1'100'000);
+  ASSERT_EQ(q.select(sim::Ns{500'000}, out), 0u);  // too early: still blocked
+  ASSERT_EQ(q.select(*rel, out), 1u);              // eligible at the instant
+  EXPECT_EQ(out[0].chain, chain(1));
+}
+
+TEST(QosScheduler, UnselectRestoresOrderTokensAndDeficit) {
+  QosConfig cfg;
+  cfg.cls[0].rate_bytes_per_sec = 1'000'000;
+  cfg.cls[0].burst_bytes = 8000;
+  QosScheduler q;
+  q.configure(cfg);
+  for (std::uintptr_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.enqueue(0, chain(i), 1500));
+  }
+  std::array<QosScheduler::Picked, 4> out;
+  ASSERT_EQ(q.select(sim::Ns{0}, out), 4u);
+  // Device refused the last two: hand them back.
+  q.unselect(std::span<const QosScheduler::Picked>{out.data() + 2, 2});
+  EXPECT_EQ(q.staged(), 2u);
+  EXPECT_EQ(q.stats().sent[0], 2u);  // refusals are not sends
+  // Re-select at the same instant: same frames, same order, no double
+  // token charge (the refund covered them).
+  std::array<QosScheduler::Picked, 4> again;
+  ASSERT_EQ(q.select(sim::Ns{0}, again), 2u);
+  EXPECT_EQ(again[0].chain, chain(2));
+  EXPECT_EQ(again[1].chain, chain(3));
+}
+
+TEST(QosScheduler, QueueCapRefusesAndEvictOldestFrees) {
+  QosConfig cfg;
+  cfg.cls[0].queue_cap = 2;
+  QosScheduler q;
+  q.configure(cfg);
+  ASSERT_TRUE(q.enqueue(0, chain(0), 100));
+  ASSERT_TRUE(q.enqueue(0, chain(1), 100));
+  EXPECT_FALSE(q.enqueue(0, chain(2), 100));  // at cap: not taken
+  EXPECT_EQ(q.evict_oldest(0), chain(0));
+  ASSERT_TRUE(q.enqueue(0, chain(2), 100));
+  const auto drained = q.drain_all();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(q.staged(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// API v7 surface.
+// ---------------------------------------------------------------------------
+
+TEST(QosApi, SetClassValidatesAndListenerPropagates) {
+  TwoStacks ts;
+  const int lfd = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ASSERT_EQ(ff_bind(ts.b(), lfd, {Ipv4Addr{}, 5301}), 0);
+  ASSERT_EQ(ff_listen(ts.b(), lfd, 4), 0);
+  EXPECT_EQ(ff_set_class(ts.b(), lfd, kQosClasses), -EINVAL);
+  EXPECT_EQ(ff_set_class(ts.b(), 12345, 1), -EBADF);
+  ASSERT_EQ(ff_set_class(ts.b(), lfd, 2), 0);
+
+  const int afd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ASSERT_EQ(ff_connect(ts.a(), afd, {ts.ip_b(), 5301}), -EINPROGRESS);
+  int bfd = -1;
+  ts.pump_until([&] {
+    bfd = ff_accept(ts.b(), lfd, nullptr);
+    return bfd >= 0;
+  });
+  ASSERT_GE(bfd, 0);
+  // The accepted child inherited the listener's class at spawn: its pure
+  // protocol traffic (ACKs, FIN) classifies with the flow.
+  const TcpPcb* child = accepted_pcb(ts, 5301);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->tclass(), 2);
+}
+
+TEST(QosApi, OpSetClassRidesTheRing) {
+  TwoStacks ts;
+  const Conn c = establish(ts, 5302);
+  constexpr std::uint32_t kSq = 8, kCq = 8;
+  machine::CapView ring_mem =
+      ts.heap_a().alloc_view(FfUring::bytes_for(kSq, kCq));
+  FfUring ring(ring_mem, kSq, kCq);
+  ASSERT_GT(ff_uring_attach(ts.a(), ring_mem, kSq, kCq), 0);
+
+  ASSERT_TRUE(apps::push_set_class(ring, c.afd, 1, 7));
+  FfUringCqe cqe{};
+  bool got = false;
+  ts.pump_until([&] {
+    FfUringCqe tmp[4];
+    const std::size_t n = ring.cq_pop(tmp);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tmp[i].user_data == 7) {
+        cqe = tmp[i];
+        got = true;
+      }
+    }
+    return got;
+  });
+  ASSERT_TRUE(got);
+  EXPECT_EQ(cqe.result, 0);
+
+  // Invalid class: immediate -EINVAL verdict, ring stays healthy.
+  ASSERT_TRUE(apps::push_set_class(ring, c.afd, kQosClasses, 8));
+  got = false;
+  ts.pump_until([&] {
+    FfUringCqe tmp[4];
+    const std::size_t n = ring.cq_pop(tmp);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tmp[i].user_data == 8) {
+        cqe = tmp[i];
+        got = true;
+      }
+    }
+    return got;
+  });
+  ASSERT_TRUE(got);
+  EXPECT_EQ(cqe.result, -EINVAL);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end behaviours.
+// ---------------------------------------------------------------------------
+
+TEST(QosEndToEnd, TokenBucketPacesAFlowInVirtualTime) {
+  TwoStacks ts;
+  const Conn c = establish(ts, 5303);
+  // Rate-limit the default class AFTER the handshake: 10 MB/s with a
+  // shallow bucket. 256 KiB must take >= ~24 ms of virtual time (wire alone
+  // would take ~2 ms).
+  QosConfig cfg;
+  cfg.cls[0].rate_bytes_per_sec = 10'000'000;
+  cfg.cls[0].burst_bytes = 8 * 1024;
+  ts.a().set_qos_config(cfg);
+
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  auto src = ts.heap_a().alloc_view(4096);
+  auto dst = ts.heap_b().alloc_view(4096);
+  std::uint64_t sent = 0, received = 0;
+  const sim::Ns t0 = ts.clock().now();
+  const bool done = ts.pump_until(
+      [&] {
+        while (sent < kTotal) {
+          const auto w = ff_write(ts.a(), c.afd, src,
+                                  std::min<std::uint64_t>(4096, kTotal - sent));
+          if (w <= 0) break;
+          sent += static_cast<std::uint64_t>(w);
+        }
+        while (true) {
+          const auto r = ff_read(ts.b(), c.bfd, dst, 4096);
+          if (r <= 0) break;
+          received += static_cast<std::uint64_t>(r);
+        }
+        return received == kTotal;
+      },
+      3'000'000);
+  ASSERT_TRUE(done) << received << " of " << kTotal;
+  const double secs =
+      static_cast<double>((ts.clock().now() - t0).count()) * 1e-9;
+  EXPECT_GE(secs, 0.020) << "paced flow finished impossibly fast";
+  EXPECT_LE(secs, 0.120) << "pacing stalled far below the configured rate";
+  EXPECT_GT(ts.a().qos().stats().throttled[0], 0u);
+}
+
+TEST(QosEndToEnd, BulkCannotStarveAHigherClass) {
+  TwoStacks ts;
+  // Bulk flow on class 0 (default), message flow on class 2.
+  const Conn bulk = establish(ts, 5304);
+  const int lfd2 = ff_socket(ts.b(), kAfInet, kSockStream, 0);
+  ASSERT_EQ(ff_bind(ts.b(), lfd2, {Ipv4Addr{}, 5305}), 0);
+  ASSERT_EQ(ff_listen(ts.b(), lfd2, 4), 0);
+  ASSERT_EQ(ff_set_class(ts.b(), lfd2, 2), 0);
+  const int mfd = ff_socket(ts.a(), kAfInet, kSockStream, 0);
+  ASSERT_EQ(ff_connect(ts.a(), mfd, {ts.ip_b(), 5305}), -EINPROGRESS);
+  int mbfd = -1;
+  ts.pump_until([&] {
+    mbfd = ff_accept(ts.b(), lfd2, nullptr);
+    return mbfd >= 0;
+  });
+  ASSERT_GE(mbfd, 0);
+  ASSERT_EQ(ff_set_class(ts.a(), mfd, 2), 0);
+
+  auto bulk_src = ts.heap_a().alloc_view(4096);
+  auto bulk_dst = ts.heap_b().alloc_view(4096);
+  auto msg_src = ts.heap_a().alloc_view(64);
+  auto msg_dst = ts.heap_b().alloc_view(64);
+  std::uint64_t bulk_rx = 0;
+  int msgs_rx = 0, msgs_tx = 0;
+  // The bulk sender keeps its sockbuf full the whole run; 32 small messages
+  // must still land while bulk bytes keep flowing — DRR shares the burst
+  // window, neither class starves.
+  const bool done = ts.pump_until(
+      [&] {
+        while (ff_write(ts.a(), bulk.afd, bulk_src, 4096) > 0) {
+        }
+        if (msgs_tx == msgs_rx && msgs_tx < 32) {
+          if (ff_write(ts.a(), mfd, msg_src, 64) == 64) ++msgs_tx;
+        }
+        while (true) {
+          const auto r = ff_read(ts.b(), bulk.bfd, bulk_dst, 4096);
+          if (r <= 0) break;
+          bulk_rx += static_cast<std::uint64_t>(r);
+        }
+        if (ff_read(ts.b(), mbfd, msg_dst, 64) == 64) ++msgs_rx;
+        return msgs_rx >= 32;
+      },
+      3'000'000);
+  ASSERT_TRUE(done) << msgs_rx << " of 32 messages";
+  EXPECT_GT(bulk_rx, 64u * 1024u) << "bulk starved instead";
+  const auto& qs = ts.a().qos().stats();
+  EXPECT_GT(qs.sent[0], 0u);
+  EXPECT_GT(qs.sent[2], 0u);
+  EXPECT_GT(qs.drr_rounds, 0u);
+}

@@ -4,9 +4,13 @@
 // compartments disjoint.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
 #include "fixtures.hpp"
 #include "fstack/api.hpp"
 #include "machine/heap.hpp"
+#include "nic/impairment.hpp"
 
 using namespace cherinet;
 using namespace cherinet::fstack;
@@ -138,6 +142,199 @@ TEST(TcpNagleFree, SmallWriteWithNoOutstandingDataGoesImmediately) {
     EXPECT_EQ(r, 10);
     EXPECT_LT((ts.clock().now() - t0).count(), 5'000'000) << "iteration " << i;
   }
+}
+
+// ---------------------------------------------------------------------
+// RTO properties under a jittery wire (ISSUE 8): exponential backoff must
+// stay inside the [min_rto, max_rto] clamps while a blackout starves the
+// flow of ACKs, the connection must survive well under the max_rexmit
+// give-up, and Karn's rule must keep retransmit-inflated samples out of
+// SRTT so recovery leaves the timer sane.
+// ---------------------------------------------------------------------
+
+TEST(TcpRtoProps, BackoffUnderJitterStaysClampedAndKarnProtectsSrtt) {
+  TcpConfig tcp;
+  tcp.max_rto = sim::Ns{1'600'000'000};  // clamp reachable inside the test
+  TwoStacks ts(sim::Testbed::unconstrained(), tcp);
+  // Symmetric 5 ms jitter: RTT samples are noisy and ACKs arrive reordered.
+  nic::ImpairmentProfile jit;
+  jit.seed = 11;
+  jit.jitter = sim::Ns{5'000'000};
+  ts.wire().set_impairment(0, jit);
+  jit.seed = 12;
+  ts.wire().set_impairment(1, jit);
+
+  const Conn c = establish(ts, 5201);
+  auto src = ts.heap_a().alloc_view(1024);
+  auto dst = ts.heap_b().alloc_view(4096);
+  // Warm up with real round trips: RTT is microseconds-to-milliseconds, so
+  // the computed RTO must sit on the min clamp.
+  for (int i = 0; i < 20; ++i) {
+    ts.pump_until([&] { return ff_write(ts.a(), c.afd, src, 512) == 512; });
+    std::uint64_t got = 0;
+    ts.pump_until([&] {
+      const auto r = ff_read(ts.b(), c.bfd, dst, 4096);
+      if (r > 0) got += static_cast<std::uint64_t>(r);
+      return got == 512;
+    });
+  }
+  const auto* pcb = sender_pcb(ts);
+  ASSERT_NE(pcb, nullptr);
+  ts.pump_until([&] {
+    const auto s = pcb->debug_snapshot();
+    return s.snd_una == s.snd_nxt;
+  });
+  EXPECT_GE(pcb->rto(), tcp.min_rto);
+
+  // Total blackout (both directions) via the surgical shim, on top of the
+  // jitter profiles; one unacked write now drives pure RTO backoff.
+  std::atomic<bool> blackout{true};
+  ts.wire().set_loss([&](int, std::uint64_t) { return blackout.load(); });
+  ts.pump_until([&] { return ff_write(ts.a(), c.afd, src, 700) == 700; });
+
+  std::vector<sim::Ns> backed_off;
+  std::uint64_t expirations = pcb->counters().rto_expirations;
+  const std::uint64_t before = expirations;
+  const sim::Ns t_end = ts.clock().now() + sim::Ns{8'000'000'000};
+  ts.pump_until(
+      [&] {
+        if (pcb->counters().rto_expirations != expirations) {
+          expirations = pcb->counters().rto_expirations;
+          backed_off.push_back(pcb->rto());
+        }
+        return ts.clock().now() >= t_end;
+      },
+      2'000'000);
+  // 0.2 + 0.4 + 0.8 + 1.6 + ... within 8 s: at least four backoff events,
+  // and nowhere near the max_rexmit=12 give-up (the flow must still exist).
+  ASSERT_GE(backed_off.size(), 4u);
+  EXPECT_LT(expirations - before, tcp.max_rexmit);
+  ASSERT_NE(sender_pcb(ts), nullptr) << "blackout aborted the connection";
+  for (std::size_t i = 0; i < backed_off.size(); ++i) {
+    EXPECT_GE(backed_off[i], tcp.min_rto) << "sample " << i;
+    EXPECT_LE(backed_off[i], tcp.max_rto) << "sample " << i;
+    if (i > 0) {
+      EXPECT_GE(backed_off[i], backed_off[i - 1]) << "backoff shrank at " << i;
+      EXPECT_LE(backed_off[i].count(), 2 * backed_off[i - 1].count())
+          << "backoff grew faster than doubling at " << i;
+    }
+  }
+  EXPECT_EQ(backed_off.back(), tcp.max_rto) << "never reached the clamp";
+
+  // Lift the blackout: the retransmission must complete the stream.
+  blackout.store(false);
+  std::uint64_t got = 0;
+  const bool recovered = ts.pump_until(
+      [&] {
+        const auto r = ff_read(ts.b(), c.bfd, dst, 4096);
+        if (r > 0) got += static_cast<std::uint64_t>(r);
+        return got == 700;
+      },
+      2'000'000);
+  ASSERT_TRUE(recovered) << got << " of 700 after blackout lifted";
+  // Karn's rule: the ~8 s the retransmitted segment sat in backoff must
+  // never have been taken as an RTT sample — SRTT stays at wire scale.
+  EXPECT_LT(pcb->srtt().count(), 200'000'000);
+  // And one fresh, timed round trip restores a sane RTO from that SRTT.
+  ts.pump_until([&] { return ff_write(ts.a(), c.afd, src, 64) == 64; });
+  ts.pump_until([&] {
+    const auto s = pcb->debug_snapshot();
+    return s.snd_una == s.snd_nxt;
+  });
+  EXPECT_LE(pcb->rto().count(), 2 * tcp.min_rto.count())
+      << "RTO still inflated after a valid sample";
+}
+
+// A sender whose flight sits below ack_coalesce_segments must stay
+// ACK-clocked, not delack-clocked: the GRO idle flush
+// (TcpConfig::ack_flush_timeout) ACKs a paused sub-threshold burst µs after
+// the arrival stream stops, so a small-cwnd flow never waits the full
+// 40 ms delayed-ACK timeout per window.
+TEST(TcpAckFlush, SmallCwndFlowIsNotDelackClocked) {
+  const auto timed_transfer = [](const TcpConfig& tcp) {
+    TwoStacks ts(sim::Testbed::unconstrained(), tcp);
+    const Conn c = establish(ts, 5201);
+    auto src = ts.heap_a().alloc_view(4096);
+    auto dst = ts.heap_b().alloc_view(4096);
+    const std::uint64_t total = 64 * 1024;
+    std::uint64_t sent = 0, received = 0;
+    const auto start = ts.clock().now();
+    ts.pump_until([&] {
+      while (sent < total) {
+        const auto w = ff_write(ts.a(), c.afd, src,
+                                std::min<std::uint64_t>(4096, total - sent));
+        if (w <= 0) break;
+        sent += static_cast<std::uint64_t>(w);
+      }
+      while (true) {
+        const auto r = ff_read(ts.b(), c.bfd, dst, 4096);
+        if (r <= 0) break;
+        received += static_cast<std::uint64_t>(r);
+      }
+      return received == total;
+    });
+    EXPECT_EQ(received, total);
+    return (ts.clock().now() - start).count();
+  };
+  TcpConfig tcp;
+  tcp.init_cwnd_segments = 4;  // below ack_coalesce_segments (8)
+  // The first window is 4 full segments with data still queued behind them
+  // (no PSH): without the flush the receiver holds that ACK for the 40 ms
+  // delack timeout and the whole transfer pays it. One delack round alone
+  // would blow the flushed bound.
+  EXPECT_LT(timed_transfer(tcp), 20'000'000)
+      << "sub-coalesce-threshold window stalled on the delayed-ACK timer";
+  // Control: flush disabled reverts to delack clocking — proving the bound
+  // above is the flush at work, not some other ACK trigger.
+  tcp.ack_flush_timeout = sim::Ns{0};
+  EXPECT_GE(timed_transfer(tcp), 40'000'000)
+      << "flush disabled, yet no delack stall: the test lost its subject";
+}
+
+// Limited transmit (RFC 3042): a loss at the head of a cwnd-filling burst
+// leaves only cwnd-1 segments to raise dupacks. With cwnd = 3 that is two
+// dupacks — one short of fast retransmit — so without limited transmit the
+// hole can only resolve by RTO. The first two dupacks must each release a
+// new segment, whose out-of-order arrival supplies the third dupack.
+TEST(TcpLimitedTransmit, HeadLossAtTinyCwndRecoversWithoutRto) {
+  TcpConfig tcp;
+  tcp.init_cwnd_segments = 3;
+  TwoStacks ts(sim::Testbed::unconstrained(), tcp);
+  const Conn c = establish(ts, 5201);
+  const TcpPcb* pcb = sender_pcb(ts);
+  ASSERT_NE(pcb, nullptr);
+  // Everything A transmits from here on is bulk data; drop the first frame
+  // (the head of the initial 3-segment window), exactly once.
+  const std::uint64_t head = ts.wire().stats(0).tx_frames;
+  ts.wire().set_loss([head](int side, std::uint64_t idx) {
+    return side == 0 && idx == head;
+  });
+  auto src = ts.heap_a().alloc_view(4096);
+  auto dst = ts.heap_b().alloc_view(4096);
+  const std::uint64_t total = 64 * 1024;
+  std::uint64_t sent = 0, received = 0;
+  const auto start = ts.clock().now();
+  ts.pump_until([&] {
+    while (sent < total) {
+      const auto w = ff_write(ts.a(), c.afd, src,
+                              std::min<std::uint64_t>(4096, total - sent));
+      if (w <= 0) break;
+      sent += static_cast<std::uint64_t>(w);
+    }
+    while (true) {
+      const auto r = ff_read(ts.b(), c.bfd, dst, 4096);
+      if (r <= 0) break;
+      received += static_cast<std::uint64_t>(r);
+    }
+    return received == total;
+  });
+  ASSERT_EQ(received, total);
+  EXPECT_GE(pcb->counters().fast_rexmits, 1u)
+      << "head loss did not trigger fast retransmit";
+  EXPECT_EQ(pcb->counters().rto_expirations, 0u)
+      << "limited transmit failed to feed the third dupack; RTO carried it";
+  // The RTO path would cost at least min_rto (200 ms).
+  EXPECT_LT((ts.clock().now() - start).count(), 100'000'000);
 }
 
 // ---------------------------------------------------------------------
