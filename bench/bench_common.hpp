@@ -54,6 +54,9 @@ struct BenchArtifacts {
   scen::UringCensus tx_uring;
   scen::UringCensus tx_uring_zc;  // TCP zc TX (OP_ZC_ALLOC + OP_ZC_SEND)
   scen::UringCensus rx_uring;
+  scen::UringCensus tx_tso;      // zc TX with TSO negotiated
+  scen::UringCensus tx_tso_ctl;  // same run, TSO masked off (control)
+  scen::UringCensus rx_lossy;    // RX through a corrupting wire
 };
 
 /// API v2 regression gate shared by fig4/fig5: run the crossing census over
@@ -222,14 +225,15 @@ inline int run_uring_gate(scen::ScenarioKind kind,
               tx.modeled_ns_per_mib);
   std::printf("  v3 TX zc   : %8llu sqes  %8llu cqes  %4llu crossings "
               "(%llu doorbells)  %10llu tx copies  %10llu zc B  "
-              "%6llu emit reads\n",
+              "%6llu emit reads  %6llu sw-csum B\n",
               static_cast<unsigned long long>(txz.sqes),
               static_cast<unsigned long long>(txz.cqes),
               static_cast<unsigned long long>(txz.crossings),
               static_cast<unsigned long long>(txz.doorbells),
               static_cast<unsigned long long>(txz.tx_copied_bytes),
               static_cast<unsigned long long>(txz.tx_zc_bytes),
-              static_cast<unsigned long long>(txz.tx_emit_payload_reads));
+              static_cast<unsigned long long>(txz.tx_emit_payload_reads),
+              static_cast<unsigned long long>(txz.stack_checksum_bytes));
   std::printf("  v3 RX ring : %8llu sqes  %8llu cqes  %4llu crossings "
               "(%llu doorbells)  %10.0f ns/MiB\n",
               static_cast<unsigned long long>(rx.sqes),
@@ -277,6 +281,19 @@ inline int run_uring_gate(scen::ScenarioKind kind,
                  static_cast<unsigned long long>(txz.tx_emit_payload_reads));
     return 1;
   }
+  // Hardware-offload gate: with TX checksum insertion negotiated (the
+  // default EthConf), the stack seeds pseudo-headers and never walks
+  // payload bytes for a checksum — on top of the zero-copy and zero-re-read
+  // gates above, at the same doorbell-only crossing budget.
+  if ((opt.offloads & updk::kOffloadTxTcpCsum) != 0 &&
+      (tx.stack_checksum_bytes != 0 || txz.stack_checksum_bytes != 0)) {
+    std::fprintf(stderr,
+                 "FAIL: offload path software-checksummed %llu (writev) / "
+                 "%llu (zc) payload bytes (expected 0: device inserts)\n",
+                 static_cast<unsigned long long>(tx.stack_checksum_bytes),
+                 static_cast<unsigned long long>(txz.stack_checksum_bytes));
+    return 1;
+  }
   if (tx.crossings * 2 > art->tx_v2.crossings) {
     std::fprintf(stderr,
                  "FAIL: uring TX crossed %llu times, v2 batch %llu — "
@@ -319,6 +336,150 @@ inline int run_uring_gate(scen::ScenarioKind kind,
               static_cast<unsigned long long>(tx.sqes),
               static_cast<unsigned long long>(rx.crossings),
               static_cast<unsigned long long>(rx.sqes));
+  return 0;
+}
+
+/// TSO ablation gate: the same fully-acked TCP volume once with TSO
+/// negotiated and once with it masked off (checksum insertion stays on in
+/// both). The TSO leg must hand super-segment chains to the device
+/// (tso_frames > 0) and consume >= 2x fewer TX descriptors per emitted
+/// byte than the control — the descriptor amortization TSO exists for.
+/// Runs over run_bandwidth (not the uring census) so emission completes:
+/// the census app exits with queued bytes unemitted, which would leave the
+/// descriptor sample dominated by handshake frames. A sub-sockbuf-slice
+/// MSS makes the win visible: the control pays a header descriptor per
+/// MSS, the TSO leg one per 8-MSS super-segment. Returns process exit
+/// code (0 pass).
+inline int run_offload_gate(scen::ScenarioKind kind,
+                            const scen::TestbedOptions& opt,
+                            BenchArtifacts* art) {
+  const std::uint64_t census_bytes =
+      std::max<std::uint64_t>(env_u64("CHERINET_CENSUS_KB", 4096), 256) * 1024;
+  scen::TestbedOptions copt = opt;
+  copt.cost = sim::CostModel::disabled();  // counting, not timing
+  copt.inline_tcp_output = true;           // staged emission, full batches
+  copt.mss = 724;
+  copt.offloads = updk::kOffloadAll;
+  const auto tso = run_bandwidth(kind, scen::Direction::kMorelloSends,
+                                 census_bytes, copt);
+  copt.offloads = updk::kOffloadDefault;  // csum insertion stays, TSO off
+  const auto ctl = run_bandwidth(kind, scen::Direction::kMorelloSends,
+                                 census_bytes, copt);
+  // Keep the JSON artifact shape: fold the bandwidth TX census into the
+  // UringCensus-typed slots.
+  art->tx_tso.tx_descs = tso.morello_tx.segs;
+  art->tx_tso.tx_wire_bytes = tso.morello_tx.bytes;
+  art->tx_tso.tso_frames = tso.morello_tx.tso_frames;
+  art->tx_tso.tso_bytes = tso.morello_tx.tso_bytes;
+  art->tx_tso_ctl.tx_descs = ctl.morello_tx.segs;
+  art->tx_tso_ctl.tx_wire_bytes = ctl.morello_tx.bytes;
+  const auto moved = [](const scen::BandwidthOutcome& o) {
+    std::uint64_t b = 0;
+    for (const auto& e : o.endpoints) b += e.bytes;
+    return b;
+  };
+  const auto per_kib = [](const scen::BandwidthOutcome::TxBurstCensus& c) {
+    return c.bytes > 0 ? static_cast<double>(c.segs) * 1024.0 /
+                             static_cast<double>(c.bytes)
+                       : 0.0;
+  };
+  std::printf("\nTSO ablation (%llu KiB acked TCP, mss=%u):\n",
+              static_cast<unsigned long long>(census_bytes / 1024), copt.mss);
+  std::printf("  tso on  [%s]: %6llu descs / %llu wire B  %6.2f descs/KiB  "
+              "%llu tso frames (%llu B sliced)\n",
+              updk::offload_names(updk::kOffloadAll).c_str(),
+              static_cast<unsigned long long>(tso.morello_tx.segs),
+              static_cast<unsigned long long>(tso.morello_tx.bytes),
+              per_kib(tso.morello_tx),
+              static_cast<unsigned long long>(tso.morello_tx.tso_frames),
+              static_cast<unsigned long long>(tso.morello_tx.tso_bytes));
+  std::printf("  tso off [%s]: %6llu descs / %llu wire B  %6.2f descs/KiB\n",
+              updk::offload_names(updk::kOffloadDefault).c_str(),
+              static_cast<unsigned long long>(ctl.morello_tx.segs),
+              static_cast<unsigned long long>(ctl.morello_tx.bytes),
+              per_kib(ctl.morello_tx));
+  if (moved(tso) < census_bytes || moved(ctl) < census_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: TSO ablation did not move the byte volume "
+                 "(tso %llu, ctl %llu of %llu)\n",
+                 static_cast<unsigned long long>(moved(tso)),
+                 static_cast<unsigned long long>(moved(ctl)),
+                 static_cast<unsigned long long>(census_bytes));
+    return 1;
+  }
+  if (tso.morello_tx.tso_frames == 0 || tso.morello_tx.tso_bytes == 0) {
+    std::fprintf(stderr, "FAIL: TSO leg handed the device no super-segments\n");
+    return 1;
+  }
+  if (ctl.morello_tx.tso_frames != 0) {
+    std::fprintf(stderr,
+                 "FAIL: control leg sent %llu TSO frames with TSO masked\n",
+                 static_cast<unsigned long long>(ctl.morello_tx.tso_frames));
+    return 1;
+  }
+  // Cross-multiplied to stay in integers: ctl descs/byte >= 2x tso's.
+  if (ctl.morello_tx.segs * tso.morello_tx.bytes <
+      2 * tso.morello_tx.segs * ctl.morello_tx.bytes) {
+    std::fprintf(stderr,
+                 "FAIL: TSO saved too few descriptors (%.2f vs %.2f "
+                 "descs/KiB — expected >= 2x fewer)\n",
+                 per_kib(tso.morello_tx), per_kib(ctl.morello_tx));
+    return 1;
+  }
+  std::printf("  amortization: %.1fx fewer descriptors per emitted byte\n",
+              per_kib(ctl.morello_tx) / per_kib(tso.morello_tx));
+  return 0;
+}
+
+/// Lossy-wire gate: the RX census volume through a wire that bit-flips a
+/// fraction of the peer's data frames. Every corruption must die at the
+/// Morello port's FCS check (rx_crc_errors == the wire's own corruption
+/// census) or — had it slipped through — at the RX checksum verdict; the
+/// socket stream itself must still deliver every byte via retransmission.
+/// Returns the process exit code (0 pass).
+inline int run_lossy_wire_gate(scen::ScenarioKind kind,
+                               const scen::TestbedOptions& opt,
+                               BenchArtifacts* art) {
+  const std::uint64_t census_bytes =
+      std::max<std::uint64_t>(env_u64("CHERINET_CENSUS_KB", 4096), 256) * 1024;
+  scen::TestbedOptions lopt = opt;
+  lopt.cost = sim::CostModel::disabled();  // counting, not timing
+  lopt.impair.corrupt = 0.02;
+  lopt.impair.seed = 7;
+  const auto rx = run_uring_rx_census(kind, census_bytes, lopt);
+  art->rx_lossy = rx;
+  std::printf("\nlossy wire (%llu KiB RX, corrupt=%.0f%%):\n",
+              static_cast<unsigned long long>(census_bytes / 1024),
+              lopt.impair.corrupt * 100.0);
+  std::printf("  %llu wire corrupts  %llu FCS rejects  %llu verdict drops  "
+              "%llu B delivered\n",
+              static_cast<unsigned long long>(rx.wire_corrupts),
+              static_cast<unsigned long long>(rx.rx_crc_errors),
+              static_cast<unsigned long long>(rx.stack_csum_drops),
+              static_cast<unsigned long long>(rx.bytes));
+  if (rx.bytes < census_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: lossy-wire RX delivered %llu of %llu bytes\n",
+                 static_cast<unsigned long long>(rx.bytes),
+                 static_cast<unsigned long long>(census_bytes));
+    return 1;
+  }
+  if (rx.wire_corrupts == 0) {
+    std::fprintf(stderr, "FAIL: impairment stage corrupted nothing — the "
+                         "leg tested a clean wire\n");
+    return 1;
+  }
+  if (rx.rx_crc_errors + rx.stack_csum_drops != rx.wire_corrupts) {
+    std::fprintf(stderr,
+                 "FAIL: corruption census disagrees (%llu corrupts vs %llu "
+                 "FCS + %llu verdict drops) — a corrupt frame reached a "
+                 "socket\n",
+                 static_cast<unsigned long long>(rx.wire_corrupts),
+                 static_cast<unsigned long long>(rx.rx_crc_errors),
+                 static_cast<unsigned long long>(rx.stack_csum_drops));
+    return 1;
+  }
+  std::printf("  every corrupt frame died at FCS/verdict; stream intact\n");
   return 0;
 }
 
@@ -372,7 +533,7 @@ inline void emit_bench_json(const char* fig, const BenchArtifacts& a) {
                "\"recycles\": %llu, \"ns_per_mib\": %.0f},\n"
                "    \"uring\": {\"sqes\": %llu, \"cqes\": %llu, "
                "\"crossings\": %llu, \"doorbells\": %llu, "
-               "\"ns_per_mib\": %.0f}\n  }\n}\n",
+               "\"ns_per_mib\": %.0f}\n  },\n",
                u(a.rx_v1.api_calls), u(a.rx_v1.crossings),
                u(a.rx_v1.copied_bytes), a.rx_v1.modeled_ns_per_mib,
                u(a.rx_zc.api_calls), u(a.rx_zc.crossings),
@@ -381,6 +542,24 @@ inline void emit_bench_json(const char* fig, const BenchArtifacts& a) {
                u(a.rx_uring.sqes), u(a.rx_uring.cqes),
                u(a.rx_uring.crossings), u(a.rx_uring.doorbells),
                a.rx_uring.modeled_ns_per_mib);
+  // Hardware-offload trajectory: stack_checksum_bytes from the default
+  // (offload-negotiated) zc census, the TSO ablation descriptor counts, and
+  // the lossy-wire corruption agreement. scripts/check.sh greps these.
+  std::fprintf(f,
+               "  \"offload\": {\n"
+               "    \"stack_checksum_bytes\": %llu,\n"
+               "    \"tso\": {\"tso_frames\": %llu, \"tso_bytes\": %llu, "
+               "\"descs\": %llu, \"payload\": %llu},\n"
+               "    \"tso_ctl\": {\"descs\": %llu, \"payload\": %llu},\n"
+               "    \"lossy\": {\"wire_corrupts\": %llu, "
+               "\"rx_crc_errors\": %llu, \"stack_csum_drops\": %llu}\n"
+               "  }\n}\n",
+               u(a.tx_uring_zc.stack_checksum_bytes), u(a.tx_tso.tso_frames),
+               u(a.tx_tso.tso_bytes), u(a.tx_tso.tx_descs),
+               u(a.tx_tso.tx_wire_bytes), u(a.tx_tso_ctl.tx_descs),
+               u(a.tx_tso_ctl.tx_wire_bytes),
+               u(a.rx_lossy.wire_corrupts), u(a.rx_lossy.rx_crc_errors),
+               u(a.rx_lossy.stack_csum_drops));
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -49,8 +49,15 @@ int main() {
   const int ur =
       tx == 0 && rx == 0 ? run_uring_gate(ScenarioKind::kScenario1, opt, &art)
                          : 0;
+  // Hardware-offload ablation: TSO on vs off over the same zc volume must
+  // amortize TX descriptors >= 2x (and the uring gate above already pinned
+  // stack_checksum_bytes == 0 on the offload-negotiated default path).
+  const int off =
+      tx == 0 && rx == 0 && ur == 0
+          ? run_offload_gate(ScenarioKind::kScenario1, opt, &art)
+          : 0;
   // Emit whatever was measured even when a gate failed: a stale artifact
   // from a previous (passing) run would misreport the perf trajectory.
   emit_bench_json("fig4", art);
-  return tx != 0 ? tx : rx != 0 ? rx : ur;
+  return tx != 0 ? tx : rx != 0 ? rx : ur != 0 ? ur : off;
 }

@@ -51,8 +51,21 @@ int main() {
       tx == 0 && rx == 0
           ? run_uring_gate(ScenarioKind::kScenario2Uncontended, opt, &art)
           : 0;
+  // Hardware-offload ablation (TSO descriptor amortization) and the
+  // lossy-wire leg: bit-flip corruption on the peer's egress must be fully
+  // accounted by the Morello port's FCS rejects + RX checksum verdicts
+  // while the stream still delivers every byte.
+  const int off =
+      tx == 0 && rx == 0 && ur == 0
+          ? run_offload_gate(ScenarioKind::kScenario2Uncontended, opt, &art)
+          : 0;
+  const int lw =
+      tx == 0 && rx == 0 && ur == 0 && off == 0
+          ? run_lossy_wire_gate(ScenarioKind::kScenario2Uncontended, opt,
+                                &art)
+          : 0;
   // Emit whatever was measured even when a gate failed: a stale artifact
   // from a previous (passing) run would misreport the perf trajectory.
   emit_bench_json("fig5", art);
-  return tx != 0 ? tx : rx != 0 ? rx : ur;
+  return tx != 0 ? tx : rx != 0 ? rx : ur != 0 ? ur : off != 0 ? off : lw;
 }

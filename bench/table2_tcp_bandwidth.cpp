@@ -112,7 +112,7 @@ int main() {
   TestbedOptions opt;
   opt.inline_tcp_output = false;
 
-  RowCensus rows[8];
+  RowCensus rows[9];
   rows[0].key = "baseline_2proc";
   rows[0].gate_bursts = true;
   rows[1].key = "scenario1";
@@ -126,6 +126,11 @@ int main() {
   rows[5].gate_bursts = true;
   rows[6].key = "scenario2_contended_sharded2";
   rows[7].key = "scenario2_contended_rss2q";
+  // TSO ablation: frames-per-burst is NOT gated here — a super-segment
+  // counts as one opacket carrying up to 8 MSS, so the ratio's meaning
+  // changes; the tso_frames census and the no-regression gate below are
+  // the row's checks.
+  rows[8].key = "scenario2_uncontended_tso";
   run_row(ScenarioKind::kBaseline2Proc, bytes, 1000.0, {658, 757}, opt,
           &rows[0]);
   run_row(ScenarioKind::kScenario1, bytes, 1000.0, {658, 757}, opt,
@@ -164,6 +169,15 @@ int main() {
   opt_rss.s2_shards_same_port = true;
   run_row(ScenarioKind::kScenario2Contended, bytes, 500.0, {470, 470},
           opt_rss, &rows[7]);
+  // --- TSO on/off ablation (hardware offload path) ---
+  // Same uncontended Scenario 2 leg as rows[3] (the TSO-off control: the
+  // default offloads already negotiate checksum insertion) but with the
+  // device slicing 8-MSS super-segments. Goodput must not regress and the
+  // device must actually have sliced (gated below).
+  TestbedOptions opt_tso = opt;
+  opt_tso.offloads = updk::kOffloadAll;
+  run_row(ScenarioKind::kScenario2Uncontended, bytes, 1000.0, {941, 941},
+          opt_tso, &rows[8]);
 
   std::printf(
       "\nShape checks (paper §IV): CHERI scenarios match their baselines; "
@@ -187,13 +201,16 @@ int main() {
                    "\"send_aggregate_mbps\": %.1f, "
                    "\"recv_aggregate_mbps\": %.1f, "
                    "\"tx_frames\": %llu, \"tx_bursts\": %llu, "
-                   "\"tx_segs\": %llu, \"frames_per_burst\": %.2f",
+                   "\"tx_segs\": %llu, \"frames_per_burst\": %.2f, "
+                   "\"tso_frames\": %llu, \"tso_bytes\": %llu",
                    r.key, r.send_mbps, r.recv_mbps, r.send_aggregate,
                    r.recv_aggregate,
                    static_cast<unsigned long long>(r.tx.frames),
                    static_cast<unsigned long long>(r.tx.bursts),
                    static_cast<unsigned long long>(r.tx.segs),
-                   r.tx.frames_per_burst());
+                   r.tx.frames_per_burst(),
+                   static_cast<unsigned long long>(r.tx.tso_frames),
+                   static_cast<unsigned long long>(r.tx.tso_bytes));
       if (!r.shards.empty()) {
         std::fprintf(f, ", \"shards\": [");
         for (std::size_t s = 0; s < r.shards.size(); ++s) {
@@ -279,6 +296,26 @@ int main() {
                      l.mode, l.got, l.base);
         rc = 1;
       }
+    }
+  }
+
+  // TSO ablation gate: the offload row must actually have sliced in the
+  // device (super-segments reached the wire) and goodput must not regress
+  // against the TSO-off control from the same run.
+  {
+    const RowCensus& ctl = rows[3];
+    const RowCensus& tso = rows[8];
+    if (tso.tx.tso_frames == 0 || tso.tx.tso_bytes == 0) {
+      std::fprintf(stderr,
+                   "FAIL: TSO row handed the device no super-segments\n");
+      rc = 1;
+    }
+    if (ctl.send_mbps <= 0 || tso.send_mbps < 0.95 * ctl.send_mbps) {
+      std::fprintf(stderr,
+                   "FAIL: TSO send goodput %.1f Mbit/s regressed vs "
+                   "TSO-off control %.1f Mbit/s\n",
+                   tso.send_mbps, ctl.send_mbps);
+      rc = 1;
     }
   }
 

@@ -102,6 +102,32 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
     grep -o '"p99_loaded_us": [0-9.]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"rx_crc_errors": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"corrupt_bytes_delivered": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    # Hardware-offload census evidence: software checksum bytes on the
+    # negotiated TX path and the TSO slicer's output.
+    grep -o '"stack_checksum_bytes": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"tso_frames": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+  fi
+done
+
+# Hardware-offload regression gates over the fig4/fig5 artifacts: with TX
+# checksum offload negotiated (the default), the stack must not have walked
+# a single payload byte for checksums (stack_checksum_bytes == 0), and the
+# TSO ablation leg must actually have sliced super-segments in the device
+# (tso_frames > 0). Either drifting is a silent loss of the offload path.
+for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json; do
+  if [[ -f "$f" ]]; then
+    scb="$(grep -o '"stack_checksum_bytes": [0-9]*' "$f" | head -n1 \
+           | grep -o '[0-9]*$' || true)"
+    tsf="$(grep -o '"tso_frames": [0-9]*' "$f" | head -n1 \
+           | grep -o '[0-9]*$' || true)"
+    if [[ "${scb:-}" != "0" ]]; then
+      echo "== OFFLOAD REGRESSION: $(basename "$f") stack_checksum_bytes=${scb:-missing} (want 0)"
+      status=1
+    fi
+    if [[ -z "${tsf:-}" || "$tsf" == "0" ]]; then
+      echo "== OFFLOAD REGRESSION: $(basename "$f") tso_frames=${tsf:-missing} (want > 0)"
+      status=1
+    fi
   fi
 done
 exit "$status"

@@ -279,6 +279,69 @@
 //   * the stack's own control traffic (ARP) rides the top class
 //     (kQosClassControl), so bulk data cannot starve next-hop resolution.
 //
+// ------------------------------------------------------------------------
+// v7 -> v8 migration table: hardware offload through the device model
+// ------------------------------------------------------------------------
+// v7 checksummed every TX segment in software (composable cached partials,
+// but still a fold per segment) and software-verified every RX datagram.
+// v8 negotiates offload capabilities against the device at attach
+// (updk/ethdev.hpp kOffload* bits, masked by the PMD to what the silicon
+// supports) and moves the work into the 82576 model: legacy css/cso
+// checksum insertion over gathered chains, advanced context descriptors,
+// RX descriptor checksum verdicts, and TSO slicing of super-segments.
+// Nothing in THIS header changed shape — v8 is a capability negotiation,
+// not a call-signature change; a queue attached with offloads = 0 runs the
+// v7 software path byte-for-byte.
+//
+//  v7 (software checksums)             | v8 (negotiated offloads)
+// -------------------------------------|----------------------------------
+//  (stack always folds checksums)      | EthConf.offloads requests
+//                                      |   kOffloadTxTcpCsum / TxUdpCsum /
+//                                      |   TxTso / RxCsum; EthDev::
+//                                      |   offloads() reports the masked
+//                                      |   set; FfStack::
+//                                      |   negotiated_offloads() is what
+//                                      |   the stack actually elides work
+//                                      |   against (default: checksums on,
+//                                      |   TSO opt-in)
+//  checksum walk per emitted segment   | tcp_emit/udp_emit seed the L4
+//                                      |   field with the folded pseudo
+//                                      |   sum and hand geometry to the
+//                                      |   driver via mbuf ol_flags +
+//                                      |   l2/l3/l4_len (updk/mbuf.hpp
+//                                      |   offload ABI); tx_stats().
+//                                      |   stack_checksum_bytes counts
+//                                      |   software-walked bytes — 0 on
+//                                      |   the offload path
+//  segments capped at MSS              | with kOffloadTxTso negotiated the
+//                                      |   PCB emits super-segments up to
+//                                      |   TcpConfig.tso_max_segs * MSS;
+//                                      |   the device slices to wire MSS
+//                                      |   with per-frame IP id/seq/csum
+//                                      |   fixup (FIN/PSH only on the last
+//                                      |   slice); dev().stats().
+//                                      |   tso_frames / tso_bytes census
+//  software verify per RX datagram     | RX descriptors carry device
+//                                      |   checksum verdicts (mbuf
+//                                      |   kRxCsumIpGood/Bad, L4Good/Bad);
+//                                      |   Good elides the software fold,
+//                                      |   Bad drops at the stack's
+//                                      |   verdict check (stats().
+//                                      |   csum_errors) — corruption past
+//                                      |   the FCS cannot reach a socket
+//
+//  semantics deltas (v8):
+//   * offload capability is PER QUEUE: shards of one port may negotiate
+//     different sets, and a masked queue falls back to software with
+//     identical wire bytes (tests/test_offload.cpp pins both);
+//   * frames the device could not parse (non-IPv4, fragments, UDP
+//     checksum 0) carry no verdict and verify in software as before;
+//     reassembled datagrams always software-verify their L4 sum;
+//   * TSO is excluded from kOffloadDefault: it changes emission
+//     granularity (one super-segment = one descriptor chain), which the
+//     frames-per-doorbell gates in bench/table2 would misread as a
+//     regression — enable it per queue via EthConf.offloads = kOffloadAll.
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.

@@ -56,7 +56,7 @@ void ArpHeader::serialize(std::span<std::byte> b) const noexcept {
 
 // --------------------------------------------------------------------- IPv4
 std::optional<Ipv4Header> Ipv4Header::parse(
-    std::span<const std::byte> b) noexcept {
+    std::span<const std::byte> b, bool verify_checksum) noexcept {
   if (b.size() < kSize) return std::nullopt;
   const auto vihl = static_cast<std::uint8_t>(b[0]);
   if ((vihl >> 4) != 4) return std::nullopt;
@@ -73,7 +73,8 @@ std::optional<Ipv4Header> Ipv4Header::parse(
   h.src.value = get_be32(b.data() + 12);
   h.dst.value = get_be32(b.data() + 16);
   // Qualified call: the member field `checksum` shadows the free function.
-  if (cherinet::fstack::checksum(b.subspan(0, h.header_len())) != 0) {
+  if (verify_checksum &&
+      cherinet::fstack::checksum(b.subspan(0, h.header_len())) != 0) {
     return std::nullopt;
   }
   return h;

@@ -78,9 +78,12 @@ struct Ipv4Header {
     return std::size_t{ihl} * 4;
   }
 
-  /// Parses and verifies the header checksum.
+  /// Parses the header; `verify_checksum` = false skips the software sum
+  /// (the RX path passes false when the device's descriptor write-back
+  /// already carries an IP checksum verdict — see the offload ABI in
+  /// updk/mbuf.hpp).
   [[nodiscard]] static std::optional<Ipv4Header> parse(
-      std::span<const std::byte> b) noexcept;
+      std::span<const std::byte> b, bool verify_checksum = true) noexcept;
   /// Serializes with a freshly computed checksum.
   void serialize(std::span<std::byte> b) const noexcept;
 };

@@ -15,8 +15,13 @@ std::vector<std::byte> build_icmp_echo(std::uint8_t type, std::uint16_t id,
   h.checksum = 0;
   h.serialize(msg);
   std::copy(payload.begin(), payload.end(), msg.begin() + IcmpHeader::kSize);
-  const std::uint16_t ck = checksum(msg);
-  put_be16(msg.data() + 2, ck);
+  // Composable-checksum idiom shared with the TCP/UDP emit paths: sum the
+  // 8-byte header once and fold the payload's partial in at its (even)
+  // offset, instead of a second full walk over the zero-stuffed message.
+  std::uint32_t sum =
+      checksum_partial(std::span<const std::byte>{msg.data(), IcmpHeader::kSize});
+  sum = checksum_partial_at(payload, IcmpHeader::kSize, sum);
+  put_be16(msg.data() + 2, checksum_finish(sum));
   return msg;
 }
 

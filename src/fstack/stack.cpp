@@ -16,6 +16,11 @@ constexpr std::size_t kFrameScratch = 1664;  // MTU + headers + slack
 // many indirect payload segments). A range more fragmented than this
 // linearizes into the frame instead — a 9-descriptor chain stops paying.
 constexpr std::size_t kMaxTxPieces = 8;
+// A TSO super-segment spans up to tso_max_segs MSS of payload, so its
+// gather budget scales with the slice count (worst case: every MSS its own
+// zc slice plus ring-wrap splits). The descriptor cost is amortized over
+// the whole super-segment, so the 8-piece economy bound does not apply.
+constexpr std::size_t kMaxTsoPieces = 40;
 
 /// Copy a queued datagram out to a caller capability (loan- or copy-backed
 /// alike) — the one block ff_recvfrom and ff_recvmsg_batch share, so the
@@ -59,7 +64,20 @@ FfStack::FfStack(StackConfig cfg, updk::EthDev* dev, updk::Mempool* pool,
       heap_(heap),
       clock_(clock),
       socks_(cfg_.max_sockets),
-      iss_state_(cfg_.iss_seed) {}
+      iss_state_(cfg_.iss_seed) {
+  // Negotiate offloads once at attach: the device reports its effective
+  // per-queue capability set and the stack never requests past it, so a
+  // masked-off queue runs the pure software path with no per-packet branch
+  // ever consulting the device again.
+  offloads_neg_ = dev_->offloads();
+  tx_tcp_csum_ = (offloads_neg_ & updk::kOffloadTxTcpCsum) != 0;
+  tx_udp_csum_ = (offloads_neg_ & updk::kOffloadTxUdpCsum) != 0;
+  tso_ = (offloads_neg_ & updk::kOffloadTxTso) != 0;
+  // Without TSO every PCB stays on per-MSS emission, whatever the config
+  // requested — a super-segment without a slicing device would hit the
+  // over-MTU fragmentation fallback on every send.
+  if (!tso_) cfg_.tcp.tso_max_segs = 1;
+}
 
 FfStack::~FfStack() {
   // Release zero-copy reservations the application never submitted and
@@ -96,10 +114,12 @@ bool FfStack::run_once() {
     rx_cur_ = rx[i];
     rx_cur_base_ = scratch;
     rx_cur_len_ = len;
+    rx_cur_ol_ = rx[i]->ol_flags;  // the driver's checksum verdicts
     ether_input(std::span<const std::byte>{scratch, len});
     rx_cur_ = nullptr;
     rx_cur_base_ = nullptr;
     rx_cur_len_ = 0;
+    rx_cur_ol_ = 0;
   }
   // Return the burst in one pass; data rooms queued onward as loans stay
   // alive through their extra reference and return via Mempool::recycle.
@@ -380,7 +400,16 @@ void FfStack::arp_input(std::span<const std::byte> payload) {
 }
 
 void FfStack::ipv4_input(std::span<const std::byte> packet) {
-  const auto ih = Ipv4Header::parse(packet);
+  // Trust the descriptor's IP checksum verdict when the device rendered
+  // one: a Bad verdict kills the frame before any field is interpreted,
+  // a Good verdict skips the software header sum entirely. Frames without
+  // a verdict (offload masked off, non-IP) verify in software as always.
+  if ((rx_cur_ol_ & updk::kRxCsumIpBad) != 0) {
+    stats_.csum_errors++;
+    return;
+  }
+  const bool ip_checked = (rx_cur_ol_ & updk::kRxCsumIpGood) != 0;
+  const auto ih = Ipv4Header::parse(packet, /*verify_checksum=*/!ip_checked);
   if (!ih) {
     stats_.csum_errors++;
     return;
@@ -402,6 +431,9 @@ void FfStack::ipv4_input(std::span<const std::byte> packet) {
     if (!whole) return;
     reassembled = std::move(*whole);
     l4 = reassembled;
+    // Any L4 verdict covered ONE fragment's bytes, not the reassembled
+    // datagram: invalidate it so the L4 handlers verify in software.
+    rx_cur_ol_ &= ~(updk::kRxCsumL4Good | updk::kRxCsumL4Bad);
   }
 
   switch (ih->proto) {
@@ -441,7 +473,14 @@ void FfStack::icmp_input(const Ipv4Header& ih,
 void FfStack::udp_input(const Ipv4Header& ih, std::span<const std::byte> l4) {
   const auto uh = UdpHeader::parse(l4);
   if (!uh || uh->length < UdpHeader::kSize || l4.size() < uh->length) return;
-  if (uh->checksum != 0) {
+  // Device L4 verdict: Bad drops (a corrupted datagram that somehow kept a
+  // valid FCS still dies here), Good skips the software walk. No verdict
+  // (offload off, checksum-0 datagram, reassembled) verifies in software.
+  if ((rx_cur_ol_ & updk::kRxCsumL4Bad) != 0) {
+    stats_.csum_errors++;
+    return;
+  }
+  if (uh->checksum != 0 && (rx_cur_ol_ & updk::kRxCsumL4Good) == 0) {
     std::uint32_t sum =
         checksum_pseudo(ih.src, ih.dst, kIpProtoUdp, uh->length);
     sum = checksum_partial(l4.subspan(0, uh->length), sum);
@@ -480,7 +519,13 @@ void FfStack::tcp_input_seg(const Ipv4Header& ih,
                             std::span<const std::byte> l4) {
   const auto th = TcpHeader::parse(l4);
   if (!th) return;
-  {
+  // Same verdict contract as udp_input: Bad is fatal, Good elides the
+  // software verification walk, absent falls back to software.
+  if ((rx_cur_ol_ & updk::kRxCsumL4Bad) != 0) {
+    stats_.csum_errors++;
+    return;
+  }
+  if ((rx_cur_ol_ & updk::kRxCsumL4Good) == 0) {
     std::uint32_t sum = checksum_pseudo(
         ih.src, ih.dst, kIpProtoTcp, static_cast<std::uint16_t>(l4.size()));
     sum = checksum_partial(l4, sum);
@@ -554,10 +599,16 @@ Ipv4Addr FfStack::next_hop_for(Ipv4Addr dst) const {
 }
 
 bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
-                        std::span<const std::byte> l4, std::uint8_t cls) {
+                        std::span<const std::byte> l4, std::uint8_t cls,
+                        const TxOffloadMeta* ol) {
   const std::uint16_t id = ip_id_++;
   const auto plan = plan_fragments(l4.size(), cfg_.netif.mtu,
                                    Ipv4Header::kSize);
+  // Offload metadata only rides unfragmented packets: the device checksums
+  // whole L4 messages, never fragments (callers guarantee this by checking
+  // the MTU before seeding, so a fragmented ol != nullptr is a logic bug
+  // we neutralize rather than ship a bad frame).
+  if (plan.size() != 1) ol = nullptr;
   const Ipv4Addr hop = next_hop_for(dst);
   bool ok = true;
   for (const FragmentPlan& f : plan) {
@@ -576,13 +627,14 @@ bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
     h.serialize(pkt);
     std::copy_n(l4.begin() + f.payload_off, f.payload_len,
                 pkt.begin() + Ipv4Header::kSize);
-    ok &= transmit_ip_packet(pkt, hop, cls);
+    ok &= transmit_ip_packet(pkt, hop, cls, ol);
   }
   return ok;
 }
 
 bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
-                                 Ipv4Addr next_hop, std::uint8_t cls) {
+                                 Ipv4Addr next_hop, std::uint8_t cls,
+                                 const TxOffloadMeta* ol) {
   // Copy-path packets (ICMP, RST, fragmented/ARP-pending UDP) land in one
   // owned mbuf and join the same staged chain pipeline as gathered frames.
   updk::Mbuf* m = pool_->alloc();
@@ -593,6 +645,12 @@ bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
   } catch (const cheri::CapFault&) {
     pool_->free(m);
     return false;
+  }
+  if (ol != nullptr) {
+    m->ol_flags = ol->ol_flags;
+    m->l2_len = EtherHeader::kSize;
+    m->l3_len = Ipv4Header::kSize;
+    m->l4_len = ol->l4_len;
   }
   return transmit_ip_chain(m, next_hop, cls);
 }
@@ -659,6 +717,13 @@ updk::Mbuf* FfStack::linearize_chain(updk::Mbuf* head) {
     pool_->free(flat);
     return nullptr;
   }
+  // A parked offload frame keeps its checksum/TSO request: the flattening
+  // changed the segment layout, not the frame the metadata describes.
+  flat->ol_flags = head->ol_flags;
+  flat->l2_len = head->l2_len;
+  flat->l3_len = head->l3_len;
+  flat->l4_len = head->l4_len;
+  flat->tso_segsz = head->tso_segsz;
   // Counted apart from emit_payload_reads: this copy serves ARP parking
   // (headers included), not segment emission — the gated metric stays a
   // pure payload-re-read census.
@@ -771,69 +836,98 @@ bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
   hdrb[12] = static_cast<std::byte>((hlen / 4) << 4);
   const std::size_t total = hlen + payload_len;
 
-  if (Ipv4Header::kSize + total > cfg_.netif.mtu) {
-    // Over-MTU segment (never produced by our own PCBs, whose MSS fits one
-    // MTU): the legacy linearizing path still fragments correctly.
-    std::byte seg[kFrameScratch];
-    std::copy_n(hdrb, hlen, seg);
+  // A segment larger than one MTU leaves as a TSO super-segment when the
+  // queue negotiated slicing (the device restores per-MSS wire frames with
+  // per-slice header fixups); tso_max_segs is pinned to 1 otherwise, so a
+  // non-TSO stack only ever sees this for over-MTU peer configurations.
+  const bool tso_frame =
+      tso_ && payload_len > 0 && Ipv4Header::kSize + total > cfg_.netif.mtu;
+
+  // Decompose the payload over the live chain stores. A range more
+  // fragmented than the piece budget linearizes instead (one bounded copy
+  // beats a 9+-descriptor chain); super-segments get the larger TSO budget.
+  TxPiece pieces[kMaxTsoPieces];
+  std::size_t npieces = 0;
+  bool linearize = false;
+  if (payload_len > 0) {
+    npieces = pcb.gather_send(
+        payload_off, payload_len,
+        {pieces, tso_frame ? kMaxTsoPieces : kMaxTxPieces});
+    linearize = npieces == 0;
+  }
+
+  if ((!tso_frame && Ipv4Header::kSize + total > cfg_.netif.mtu) ||
+      (tso_frame && linearize)) {
+    // Over-MTU segment without (usable) TSO: the legacy linearizing path
+    // still fragments correctly, software-checksummed — IP fragments carry
+    // partial L4 messages the device cannot checksum.
+    std::vector<std::byte> seg(total);
+    std::copy_n(hdrb, hlen, seg.begin());
     if (payload_len > 0) {
       pcb.peek_send(payload_off,
-                    std::span<std::byte>{seg + hlen, payload_len});
+                    std::span<std::byte>{seg.data() + hlen, payload_len});
       tx_stats_.emit_payload_reads += payload_len;
+      tx_stats_.stack_checksum_bytes += payload_len;
     }
     std::uint32_t fsum = checksum_pseudo(pcb.tuple().local_ip,
                                          pcb.tuple().remote_ip, kIpProtoTcp,
                                          static_cast<std::uint16_t>(total));
-    fsum = checksum_partial(std::span<const std::byte>{seg, total}, fsum);
-    put_be16(seg + 16, checksum_finish(fsum));
-    return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp,
-                     std::span<const std::byte>{seg, total}, pcb.tclass());
+    fsum = checksum_partial(seg, fsum);
+    put_be16(seg.data() + 16, checksum_finish(fsum));
+    return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp, seg, pcb.tclass());
   }
 
-  // Decompose the payload over the live chain stores. A range more
-  // fragmented than kMaxTxPieces linearizes instead (one bounded copy
-  // beats a 9+-descriptor chain).
-  TxPiece pieces[kMaxTxPieces];
-  std::size_t npieces = 0;
-  bool linearize = false;
-  if (payload_len > 0) {
-    npieces = pcb.gather_send(payload_off, payload_len,
-                              {pieces, kMaxTxPieces});
-    linearize = npieces == 0;
-  }
-
-  // Checksum: pseudo-header + serialized headers + payload COMPOSED from
-  // the chain's cached partials — checksum_combine folds each slice sum in
-  // at its packet offset, O(#slices) with zero payload re-reads on the
-  // aligned path (hlen is a multiple of 4, so payload parity == rel&1).
-  std::uint32_t sum = checksum_pseudo(pcb.tuple().local_ip,
-                                      pcb.tuple().remote_ip, kIpProtoTcp,
-                                      static_cast<std::uint16_t>(total));
-  sum = checksum_partial(std::span<const std::byte>{hdrb, hlen}, sum);
   std::byte lin[kFrameScratch];
-  if (linearize) {
-    pcb.peek_send(payload_off, std::span<std::byte>{lin, payload_len});
-    tx_stats_.emit_payload_reads += payload_len;
-    sum = checksum_partial_at({lin, payload_len}, 0, sum);
-  } else {
-    std::size_t rel = 0;
-    for (std::size_t i = 0; i < npieces; ++i) {
-      const TxPiece& p = pieces[i];
-      if (p.csum_ok) {
-        sum = checksum_combine(sum, p.csum, rel);
-      } else {
-        // No cached sum covers this exact range (a window-split or
-        // head-trimmed slice): one capability walk, counted.
-        const std::uint32_t part =
-            p.m != nullptr ? checksum_cap_partial(p.m->room, p.off, p.len)
-                           : checksum_cap_partial(p.view, 0, p.len);
-        sum = checksum_combine(sum, part, rel);
-        tx_stats_.emit_payload_reads += p.len;
-      }
-      rel += p.len;
+  if (tx_tcp_csum_) {
+    // Hardware checksum insertion: the composed-checksum walk disappears
+    // entirely. The checksum field carries the folded, NON-inverted
+    // pseudo-header sum as the device's seed — with the length term for
+    // single-frame insertion, WITHOUT it for TSO (each slice's length
+    // differs; the device adds it per frame, the DPDK/igb convention).
+    const std::uint32_t ps = checksum_pseudo(
+        pcb.tuple().local_ip, pcb.tuple().remote_ip, kIpProtoTcp,
+        tso_frame ? 0 : static_cast<std::uint16_t>(total));
+    put_be16(hdrb + 16, checksum_fold16(ps));
+    if (linearize && payload_len > 0) {
+      pcb.peek_send(payload_off, std::span<std::byte>{lin, payload_len});
+      tx_stats_.emit_payload_reads += payload_len;
     }
+  } else {
+    // Software path. Checksum: pseudo-header + serialized headers + payload
+    // COMPOSED from the chain's cached partials — checksum_combine folds
+    // each slice sum in at its packet offset, O(#slices) with zero payload
+    // re-reads on the aligned path (hlen is a multiple of 4, so payload
+    // parity == rel&1).
+    std::uint32_t sum = checksum_pseudo(pcb.tuple().local_ip,
+                                        pcb.tuple().remote_ip, kIpProtoTcp,
+                                        static_cast<std::uint16_t>(total));
+    sum = checksum_partial(std::span<const std::byte>{hdrb, hlen}, sum);
+    if (linearize) {
+      pcb.peek_send(payload_off, std::span<std::byte>{lin, payload_len});
+      tx_stats_.emit_payload_reads += payload_len;
+      tx_stats_.stack_checksum_bytes += payload_len;
+      sum = checksum_partial_at({lin, payload_len}, 0, sum);
+    } else {
+      std::size_t rel = 0;
+      for (std::size_t i = 0; i < npieces; ++i) {
+        const TxPiece& p = pieces[i];
+        if (p.csum_ok) {
+          sum = checksum_combine(sum, p.csum, rel);
+        } else {
+          // No cached sum covers this exact range (a window-split or
+          // head-trimmed slice): one capability walk, counted.
+          const std::uint32_t part =
+              p.m != nullptr ? checksum_cap_partial(p.m->room, p.off, p.len)
+                             : checksum_cap_partial(p.view, 0, p.len);
+          sum = checksum_combine(sum, part, rel);
+          tx_stats_.emit_payload_reads += p.len;
+          tx_stats_.stack_checksum_bytes += p.len;
+        }
+        rel += p.len;
+      }
+    }
+    put_be16(hdrb + 16, checksum_finish(sum));
   }
-  put_be16(hdrb + 16, checksum_finish(sum));
 
   // Header mbuf: TCP header/options at data start, headroom kept for the
   // IP and Ethernet prepends (DPDK-style); payload chained behind it.
@@ -895,6 +989,18 @@ bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
     pool_->free_chain(head);
     return false;
   }
+  if (tx_tcp_csum_) {
+    // Offload request on the chain head (driver ABI, updk/mbuf.hpp): the
+    // PMD translates this to IC/css/cso descriptors (single frame) or a
+    // context descriptor + TSE tagging (super-segment).
+    head->ol_flags = updk::kTxOffloadTcpCsum;
+    if (tso_frame) head->ol_flags |= updk::kTxOffloadTso;
+    head->l2_len = EtherHeader::kSize;
+    head->l3_len = Ipv4Header::kSize;
+    head->l4_len = static_cast<std::uint8_t>(hlen);
+    head->tso_segsz =
+        tso_frame ? static_cast<std::uint16_t>(pcb.mss_eff()) : 0;
+  }
   return transmit_ip_chain(head, next_hop_for(pcb.tuple().remote_ip),
                            pcb.tclass());
 }
@@ -917,9 +1023,11 @@ void FfStack::tcp_accept_ready(TcpPcb& listener, TcpPcb& child) {
 TcpPcb* FfStack::make_pcb() {
   // The send side interleaves the copy ring with retained zc mbuf slices
   // (TxChain) — ff_zc_send payload is never byte-copied; the receive side
-  // is a loan chain over RX mbufs.
+  // is a loan chain over RX mbufs. With TCP checksum insertion negotiated
+  // the chain skips admission-time partial sums (the device prices the
+  // wire checksum), so no TX byte is ever software-summed.
   TxChain snd(SockBuf(heap_->alloc_view(cfg_.tcp.sndbuf_bytes)), pool_,
-              &tx_stats_);
+              &tx_stats_, /*cache_csums=*/!tx_tcp_csum_);
   RxChain rcv(cfg_.tcp.rcvbuf_bytes, pool_, &rx_stats_);
   return new TcpPcb(this, cfg_.tcp, std::move(snd), std::move(rcv));
 }
@@ -1196,9 +1304,21 @@ std::int64_t FfStack::udp_emit_dgram(Socket* s, const machine::CapView& buf,
   uh.serialize(seg);
   buf.read(0, std::span<std::byte>{seg.data() + UdpHeader::kSize, n});
   tx_stats_.copied_bytes += n;  // app payload copied into the TX datagram
+  if (tx_udp_csum_ && Ipv4Header::kSize + seg.size() <= cfg_.netif.mtu) {
+    // Hardware insertion: seed the checksum field with the folded,
+    // non-inverted pseudo sum and let the device walk the bytes. Only for
+    // single-frame datagrams — fragments carry partial L4 messages.
+    const std::uint32_t ps =
+        checksum_pseudo(cfg_.netif.ip, ip, kIpProtoUdp, uh.length);
+    put_be16(seg.data() + 6, checksum_fold16(ps));
+    const TxOffloadMeta ol{updk::kTxOffloadUdpCsum, UdpHeader::kSize};
+    send_ipv4(ip, kIpProtoUdp, seg, s->tclass, &ol);
+    return static_cast<std::int64_t>(n);
+  }
   std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, ip, kIpProtoUdp,
                                       uh.length);
   sum = checksum_partial(seg, sum);
+  tx_stats_.stack_checksum_bytes += n;
   std::uint16_t ck = checksum_finish(sum);
   if (ck == 0) ck = 0xFFFF;  // RFC 768: 0 means "no checksum"
   put_be16(seg.data() + 6, ck);
@@ -1438,9 +1558,14 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     // The slice's checksum is priced HERE, once, as the bytes enter the
     // stack (one capability walk, no bounce buffer): emission — first
     // transmission and every retransmission — composes cached sums and
-    // never reads the payload again.
-    const std::uint32_t csum =
-        checksum_cap_partial(m->room, m->data_off, len);
+    // never reads the payload again. With checksum insertion negotiated
+    // even this walk disappears: the device sums the bytes on the wire
+    // path, and the stack never touches them at all.
+    std::uint32_t csum = 0;
+    if (!tx_tcp_csum_) {
+      csum = checksum_cap_partial(m->room, m->data_off, len);
+      tx_stats_.stack_checksum_bytes += len;
+    }
     if (!pcb->app_zc_send(m, m->data_off, static_cast<std::uint32_t>(len),
                           csum)) {
       return -EAGAIN;  // send window full: reservation kept for retry
@@ -1483,9 +1608,14 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
     return r;
   }
   // Bytes enter the stack here: one capability walk prices the datagram's
-  // checksum (no 512-byte bounce scratch), cached for zc_transmit.
-  const std::uint32_t payload_sum =
-      checksum_cap_partial(m->room, m->data_off, len);
+  // checksum (no 512-byte bounce scratch), cached for zc_transmit. With
+  // UDP checksum insertion negotiated the walk is skipped — zc_transmit
+  // seeds the pseudo sum and the device does the pricing.
+  std::uint32_t payload_sum = 0;
+  if (!tx_udp_csum_) {
+    payload_sum = checksum_cap_partial(m->room, m->data_off, len);
+    tx_stats_.stack_checksum_bytes += len;
+  }
   m->trim(static_cast<std::uint32_t>(m->data_len - len));
   if (!zc_transmit(m, len, payload_sum, s->local_port, ip, port, *mac,
                    s->tclass)) {
@@ -1504,10 +1634,11 @@ bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
                           const nic::MacAddr& dst_mac, std::uint8_t cls) {
   // UDP checksum over pseudo-header + header + payload: the payload's
   // cached partial (computed when the bytes entered) composes in at its
-  // even offset — emission touches no payload byte.
+  // even offset — emission touches no payload byte. With insertion
+  // negotiated the field carries the folded pseudo seed instead and the
+  // device sums the frame (the datagram was bounded to one MTU at alloc
+  // time, so no fragment can reach this path).
   const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + len);
-  std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, dst, kIpProtoUdp,
-                                      udp_len);
   std::byte uh_bytes[UdpHeader::kSize];
   UdpHeader uh;
   uh.src_port = src_port;
@@ -1515,12 +1646,26 @@ bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
   uh.length = udp_len;
   uh.checksum = 0;
   uh.serialize(uh_bytes);
-  sum = checksum_partial(uh_bytes, sum);
-  sum = checksum_combine(sum, payload_sum, UdpHeader::kSize);
-  std::uint16_t ck = checksum_finish(sum);
-  if (ck == 0) ck = 0xFFFF;  // RFC 768
-  put_be16(uh_bytes + 6, ck);
+  if (tx_udp_csum_) {
+    const std::uint32_t ps =
+        checksum_pseudo(cfg_.netif.ip, dst, kIpProtoUdp, udp_len);
+    put_be16(uh_bytes + 6, checksum_fold16(ps));
+  } else {
+    std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, dst, kIpProtoUdp,
+                                        udp_len);
+    sum = checksum_partial(uh_bytes, sum);
+    sum = checksum_combine(sum, payload_sum, UdpHeader::kSize);
+    std::uint16_t ck = checksum_finish(sum);
+    if (ck == 0) ck = 0xFFFF;  // RFC 768
+    put_be16(uh_bytes + 6, ck);
+  }
   m->prepend(UdpHeader::kSize).write(0, uh_bytes);
+  if (tx_udp_csum_) {
+    m->ol_flags = updk::kTxOffloadUdpCsum;
+    m->l2_len = EtherHeader::kSize;
+    m->l3_len = Ipv4Header::kSize;
+    m->l4_len = UdpHeader::kSize;
+  }
 
   Ipv4Header ih;
   ih.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize + udp_len);

@@ -253,6 +253,14 @@ class FfStack final : public TcpEnv {
   /// on the TCP zc path reporting zero send-side byte copies).
   [[nodiscard]] const TxStats& tx_stats() const noexcept { return tx_stats_; }
 
+  /// Offload capabilities negotiated against the device at construction
+  /// (kOffload* bits from EthDev::offloads()). What the TX path may request
+  /// via ol_flags and whether RX trusts descriptor checksum verdicts —
+  /// tests assert a masked-off queue reports the bit absent here.
+  [[nodiscard]] std::uint32_t negotiated_offloads() const noexcept {
+    return offloads_neg_;
+  }
+
   /// The compartment-crossing counter this stack's calls are charged to.
   /// The scenario layer binds it to the owning cVM's Trampoline (Scenario 1)
   /// or to the Intravisor's sealed-entry registry (Scenario 2); unbound
@@ -301,10 +309,19 @@ class FfStack final : public TcpEnv {
   // run_once flushes once per iteration for everything the datapath
   // produced. `cls` is the QoS class the frame rides (TCP: pcb.tclass();
   // UDP/zc: the socket mirror; ARP/control: kQosClassControl).
+  /// TX offload metadata threaded from the protocol layer down to the mbuf
+  /// that carries the frame (head mbuf ol_flags ABI — see updk/mbuf.hpp).
+  /// Null = software frame (no flags set; the device leaves it untouched).
+  struct TxOffloadMeta {
+    std::uint32_t ol_flags = 0;
+    std::uint8_t l4_len = 0;
+  };
   bool send_ipv4(Ipv4Addr dst, std::uint8_t proto,
-                 std::span<const std::byte> l4, std::uint8_t cls = 0);
+                 std::span<const std::byte> l4, std::uint8_t cls = 0,
+                 const TxOffloadMeta* ol = nullptr);
   bool transmit_ip_packet(std::span<const std::byte> ip_packet,
-                          Ipv4Addr next_hop, std::uint8_t cls = 0);
+                          Ipv4Addr next_hop, std::uint8_t cls = 0,
+                          const TxOffloadMeta* ol = nullptr);
   /// Resolve `next_hop`, prepend the Ethernet header into the chain head's
   /// headroom and stage the frame; an unresolved hop parks the (linearized)
   /// frame on the bounded ARP queue. Owns `head` — freed on failure.
@@ -538,6 +555,16 @@ class FfStack final : public TcpEnv {
   updk::Mbuf* rx_cur_ = nullptr;
   const std::byte* rx_cur_base_ = nullptr;  // scratch copy of its payload
   std::size_t rx_cur_len_ = 0;
+  // The current frame's checksum verdict flags (kRxCsum* from the driver's
+  // descriptor translation). Reassembly clears the L4 bits: a verdict
+  // covers ONE wire frame, never a recomposed datagram.
+  std::uint32_t rx_cur_ol_ = 0;
+
+  // Offload negotiation (read once from dev_->offloads() at construction).
+  std::uint32_t offloads_neg_ = 0;
+  bool tx_tcp_csum_ = false;  // device inserts TCP checksums
+  bool tx_udp_csum_ = false;  // device inserts UDP checksums
+  bool tso_ = false;          // device slices TCP super-segments
 
   RxStats rx_stats_;
   TxStats tx_stats_;

@@ -84,13 +84,21 @@ bool TcpPcb::output() {
         (!in_recovery_ && dupacks_ > 0) ? std::min(dupacks_, 2u) * mss_eff_
                                         : 0;
     const std::uint32_t wnd = std::min(snd_wnd_, cwnd_ + limited_xmit);
+    // Segment size bound: one MSS on the software path, up to tso_max_segs
+    // MSS as a single TSO super-segment when the queue negotiated slicing
+    // (make_pcb pins tso_max_segs to 1 otherwise). The device restores the
+    // per-MSS wire framing; cwnd/window arithmetic is byte-based throughout
+    // so a super-segment consumes exactly what its MSS frames would.
+    const std::size_t seg_cap =
+        static_cast<std::size_t>(mss_eff_) *
+        std::max<std::uint32_t>(1, cfg_.tso_max_segs);
     while (true) {
       const std::uint32_t offset = snd_nxt_ - snd_una_;
       const std::size_t avail =
           snd_.used() > offset ? snd_.used() - offset : 0;
       const std::uint32_t usable = wnd > offset ? wnd - offset : 0;
       std::size_t n = std::min<std::size_t>(
-          {avail, static_cast<std::size_t>(usable), mss_eff_});
+          {avail, static_cast<std::size_t>(usable), seg_cap});
       // Sender-side silly-window avoidance (RFC 1122 §4.2.3.4): a segment
       // cut short by the WINDOW (not by running out of data) waits for the
       // in-flight bytes to be acknowledged instead of emitting a runt.

@@ -101,6 +101,13 @@ struct TcpConfig {
   sim::Ns keepalive_idle{7'200'000'000'000};  // 2 h
   sim::Ns keepalive_intvl{75'000'000'000};    // 75 s
   std::uint32_t keepalive_probes = 9;
+  /// TSO super-segment bound in MSS multiples: output() may emit up to
+  /// tso_max_segs * mss_eff bytes as ONE segment when the queue negotiated
+  /// kOffloadTxTso (the device slices it back into MSS wire frames).
+  /// FfStack::make_pcb forces this to 1 when TSO was not negotiated, so a
+  /// software-path PCB always stays on per-MSS emission. The SWS and
+  /// Nagle-ish runt checks remain single-MSS-based either way.
+  std::uint32_t tso_max_segs = 8;
 };
 
 class TcpPcb;

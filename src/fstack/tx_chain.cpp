@@ -11,6 +11,7 @@ TxChain::TxChain(TxChain&& other) noexcept
     : ring_(std::move(other.ring_)),
       pool_(other.pool_),
       stats_(other.stats_),
+      cache_csums_(other.cache_csums_),
       segs_(std::move(other.segs_)),
       used_(other.used_) {
   other.segs_.clear();
@@ -24,6 +25,7 @@ TxChain& TxChain::operator=(TxChain&& other) noexcept {
     ring_ = std::move(other.ring_);
     pool_ = other.pool_;
     stats_ = other.stats_;
+    cache_csums_ = other.cache_csums_;
     segs_ = std::move(other.segs_);
     used_ = other.used_;
     other.segs_.clear();
@@ -62,7 +64,11 @@ std::size_t TxChain::writev_from(std::span<const FfIovec> iov) {
     const std::size_t want = std::min(e.len, budget);
     if (want == 0) break;
     std::uint32_t csum = 0;
-    const std::size_t got = ring_.write_from(e.buf, 0, want, &csum);
+    // With checksum offload negotiated the admit copy does not price a
+    // wire sum at all — the device inserts it, so the copy walk stays a
+    // pure copy and stack_checksum_bytes never moves.
+    const std::size_t got =
+        ring_.write_from(e.buf, 0, want, cache_csums_ ? &csum : nullptr);
     if (got > 0) {
       // Adjacent copied bytes are contiguous in ring order, so a small
       // back slice extends in place — its cached sum composes with the
@@ -70,16 +76,21 @@ std::size_t TxChain::writev_from(std::span<const FfIovec> iov) {
       if (!segs_.empty() && segs_.back().m == nullptr &&
           segs_.back().len < kCoalesceBelow) {
         Seg& back = segs_.back();
-        if (back.csum_ok) {
+        if (back.csum_ok && cache_csums_) {
           back.csum = checksum_combine(back.csum, csum, back.len);
+        } else {
+          back.csum_ok = false;
         }
         back.len += static_cast<std::uint32_t>(got);
       } else {
-        segs_.push_back(
-            Seg{nullptr, 0, static_cast<std::uint32_t>(got), csum, true});
+        segs_.push_back(Seg{nullptr, 0, static_cast<std::uint32_t>(got),
+                            csum, cache_csums_});
       }
       used_ += got;
-      if (stats_ != nullptr) stats_->copied_bytes += got;
+      if (stats_ != nullptr) {
+        stats_->copied_bytes += got;
+        if (cache_csums_) stats_->stack_checksum_bytes += got;
+      }
     }
     total += got;
     budget -= got;
@@ -92,7 +103,7 @@ bool TxChain::push_zc(updk::Mbuf* m, std::uint32_t off, std::uint32_t len,
                       std::uint32_t csum) {
   if (m == nullptr || len == 0 || pool_ == nullptr) return false;
   if (len > free()) return false;  // all-or-nothing: token stays retriable
-  segs_.push_back(Seg{m, off, len, csum, true});
+  segs_.push_back(Seg{m, off, len, csum, cache_csums_});
   used_ += len;
   if (stats_ != nullptr) {
     stats_->zc_bytes += len;

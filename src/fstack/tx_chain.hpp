@@ -57,6 +57,12 @@ struct TxStats {
   /// Frame bytes (headers included) copied to linearize a chain for ARP
   /// parking — a cold-path copy counted apart from emission re-reads.
   std::uint64_t park_linearized_bytes = 0;
+  /// Payload bytes the STACK one's-complement-summed on the TX path —
+  /// admission-time cached partials, ff_zc_send capability walks, emission
+  /// cache-miss walks, software-fallback composes. A queue that negotiated
+  /// L4 checksum insertion keeps this at 0 (the device sums instead); the
+  /// fig4/fig5 offload census gates on exactly that.
+  std::uint64_t stack_checksum_bytes = 0;
 };
 
 /// One source extent of a segment's payload, produced by TxChain::gather:
@@ -75,8 +81,15 @@ struct TxPiece {
 class TxChain {
  public:
   TxChain() = default;
-  TxChain(SockBuf ring, updk::Mempool* pool, TxStats* stats)
-      : ring_(std::move(ring)), pool_(pool), stats_(stats) {}
+  /// `cache_csums` = false when the queue negotiated L4 checksum insertion:
+  /// admission skips the per-slice partial sums entirely (the device prices
+  /// the wire checksum), so no TX byte is ever software-summed.
+  TxChain(SockBuf ring, updk::Mempool* pool, TxStats* stats,
+          bool cache_csums = true)
+      : ring_(std::move(ring)),
+        pool_(pool),
+        stats_(stats),
+        cache_csums_(cache_csums) {}
   TxChain(const TxChain&) = delete;
   TxChain& operator=(const TxChain&) = delete;
   TxChain(TxChain&& other) noexcept;
@@ -92,6 +105,8 @@ class TxChain {
     return capacity() - used_;
   }
   [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+  /// Whether admission caches per-slice partial checksums (software path).
+  [[nodiscard]] bool caches_csums() const noexcept { return cache_csums_; }
 
   /// Gather-append a pre-validated iovec batch through the copy path.
   /// Returns total bytes appended (short count when the budget fills).
@@ -141,6 +156,7 @@ class TxChain {
   SockBuf ring_;  // copy-backed bytes (in chain order, FIFO)
   updk::Mempool* pool_ = nullptr;
   TxStats* stats_ = nullptr;
+  bool cache_csums_ = true;
   std::deque<Seg> segs_;
   std::size_t used_ = 0;
 };

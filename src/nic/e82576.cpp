@@ -25,6 +25,37 @@ constexpr std::uint32_t be32_at(std::span<const std::byte> f, std::size_t i) {
 
 constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
 
+void put_be16_at(std::span<std::byte> f, std::size_t i, std::uint16_t v) {
+  f[i] = static_cast<std::byte>(v >> 8);
+  f[i + 1] = static_cast<std::byte>(v & 0xFF);
+}
+
+void put_be32_at(std::span<std::byte> f, std::size_t i, std::uint32_t v) {
+  f[i] = static_cast<std::byte>(v >> 24);
+  f[i + 1] = static_cast<std::byte>((v >> 16) & 0xFF);
+  f[i + 2] = static_cast<std::byte>((v >> 8) & 0xFF);
+  f[i + 3] = static_cast<std::byte>(v & 0xFF);
+}
+
+// One's-complement accumulation (RFC 1071) — the MAC's own adder, kept
+// deliberately independent of the stack's composable checksum helpers so
+// the offload property tests compare two implementations, not one with
+// itself.
+std::uint32_t ocsum(std::span<const std::byte> b, std::uint32_t sum = 0) {
+  std::size_t i = 0;
+  for (; i + 1 < b.size(); i += 2) {
+    sum += (std::to_integer<std::uint32_t>(b[i]) << 8) |
+           std::to_integer<std::uint32_t>(b[i + 1]);
+  }
+  if (i < b.size()) sum += std::to_integer<std::uint32_t>(b[i]) << 8;
+  return sum;
+}
+
+std::uint16_t ocsum_fold(std::uint32_t sum) {
+  while ((sum >> 16) != 0) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
 }  // namespace
 
 E82576Device::E82576Device(cheri::TaggedMemory* mem, sim::VirtualClock* clock,
@@ -174,6 +205,8 @@ E82576Port::Stats E82576Port::stats() const {
     agg.tx_packets += q.stats.tx_packets;
     agg.tx_bytes += q.stats.tx_bytes;
     agg.rx_no_desc += q.stats.rx_no_desc;
+    agg.tso_frames += q.stats.tso_frames;
+    agg.tso_bytes += q.stats.tso_bytes;
   }
   // Pre-classification rejects (CRC, MAC filter) are port-level.
   agg.rx_crc_errors = port_stats_.rx_crc_errors;
@@ -208,6 +241,17 @@ void E82576Port::process_tx(E82576Device& dev, Queue& q, sim::Ns now) {
     const std::uint64_t daddr =
         q.tx_base + std::uint64_t{q.tdh} * sizeof(TxDesc);
     TxDesc d = mem.load_scalar<TxDesc>(auth, daddr);
+    if ((d.cmd & kTxCmdCtx) != 0) {
+      // Context descriptor: latch the queue's offload state (persists until
+      // the next context descriptor), write back DD, fetch no buffer.
+      TxCtxDesc c = mem.load_scalar<TxCtxDesc>(auth, daddr);
+      q.tx_ctx = c;
+      q.tx_ctx_valid = true;
+      c.status |= kTxStatusDD;
+      mem.store_scalar<TxCtxDesc>(auth, daddr, c);
+      q.tdh = (q.tdh + 1) % q.tx_count;
+      continue;
+    }
     if (d.length > 0) {
       // Fetch this segment through the DMA capability (bounds-checked per
       // descriptor): a descriptor without EOP extends the frame, so the
@@ -217,28 +261,112 @@ void E82576Port::process_tx(E82576Device& dev, Queue& q, sim::Ns now) {
       mem.load(auth, d.buffer_addr,
                std::span<std::byte>{q.tx_accum.data() + at, d.length});
     }
+    // Any descriptor of the frame may arm the offload latches; the PMD puts
+    // them on the first one.
+    if ((d.cmd & kTxCmdIC) != 0) {
+      q.tx_ic = true;
+      q.tx_css = d.css;
+      q.tx_cso = d.cso;
+    }
+    if ((d.cmd & kTxCmdTse) != 0) q.tx_tse = true;
     if ((d.cmd & kTxCmdEOP) != 0) {
-      if (!q.tx_accum.empty()) {
-        // The frame is complete: append the FCS the MAC computes. The wire
-        // carries it linearized — the receive side always lands whole
-        // frames into single descriptor buffers (RX linearization rule).
-        Frame f;
-        const std::size_t len = q.tx_accum.size();
-        f.data.resize(len + 4);
-        std::memcpy(f.data.data(), q.tx_accum.data(), len);
-        const std::uint32_t fcs =
-            crc32_ieee(std::span<const std::byte>{f.data.data(), len});
-        std::memcpy(f.data.data() + len, &fcs, 4);
-        q.stats.tx_packets++;
-        q.stats.tx_bytes += len;
-        wire_->transmit(wire_side_, std::move(f), now);
-      }
+      if (!q.tx_accum.empty()) emit_tx_frame(q, now);
       q.tx_accum.clear();
+      q.tx_ic = false;
+      q.tx_tse = false;
     }
     // Descriptor write-back.
     d.status |= kTxStatusDD;
     mem.store_scalar<TxDesc>(auth, daddr, d);
     q.tdh = (q.tdh + 1) % q.tx_count;
+  }
+}
+
+void E82576Port::emit_wire_frame(Queue& q, std::span<const std::byte> frame,
+                                 sim::Ns now) {
+  // Append the FCS the MAC computes. The wire carries the frame linearized
+  // — the receive side always lands whole frames into single descriptor
+  // buffers (RX linearization rule).
+  Frame f;
+  f.data.resize(frame.size() + 4);
+  std::memcpy(f.data.data(), frame.data(), frame.size());
+  const std::uint32_t fcs = crc32_ieee(frame);
+  std::memcpy(f.data.data() + frame.size(), &fcs, 4);
+  q.stats.tx_packets++;
+  q.stats.tx_bytes += frame.size();
+  wire_->transmit(wire_side_, std::move(f), now);
+}
+
+void E82576Port::emit_tx_frame(Queue& q, sim::Ns now) {
+  std::span<std::byte> frame{q.tx_accum};
+  const TxCtxDesc& c = q.tx_ctx;
+  const std::size_t hdr =
+      std::size_t{c.l2_len} + c.l3_len + c.l4_len;
+  const bool tso = q.tx_tse && q.tx_ctx_valid &&
+                   (c.olflags & kTxCtxOlTso) != 0 &&
+                   (c.olflags & kTxCtxOlTcp) != 0 && c.mss > 0 &&
+                   frame.size() > hdr;
+  if (!tso) {
+    // Legacy checksum insertion: one's-complement-sum [css, end of frame)
+    // — the driver-seeded pseudo-header partial sits in the 16-bit field
+    // at cso and contributes to the sum like any other word (cso - css is
+    // even for TCP and UDP) — then insert the inverted fold at cso.
+    if (q.tx_ic && std::size_t{q.tx_css} < frame.size() &&
+        std::size_t{q.tx_cso} + 2 <= frame.size()) {
+      const auto ck = static_cast<std::uint16_t>(
+          ~ocsum_fold(ocsum(frame.subspan(q.tx_css))) & 0xFFFF);
+      put_be16_at(frame, q.tx_cso, ck);
+    }
+    emit_wire_frame(q, frame, now);
+    return;
+  }
+  // TSO: slice the payload into mss-sized wire frames, replaying the
+  // gathered headers with per-slice fixups. The driver seeded the TCP
+  // checksum field with the folded pseudo-header sum EXCLUDING the length
+  // term (it differs per slice); the device adds each slice's l4 length
+  // before folding — the DPDK/igb TSO convention.
+  const std::size_t l3off = c.l2_len;
+  const std::size_t l4off = l3off + c.l3_len;
+  const std::size_t payload_len = frame.size() - hdr;
+  const std::uint16_t base_id = be16_at(frame, l3off + 4);
+  const std::uint32_t base_seq = be32_at(frame, l4off + 4);
+  const auto base_flags = std::to_integer<std::uint8_t>(frame[l4off + 13]);
+  std::vector<std::byte> slice(hdr + c.mss);
+  std::size_t off = 0;
+  std::uint16_t idx = 0;
+  while (off < payload_len) {
+    const std::size_t n = std::min<std::size_t>(c.mss, payload_len - off);
+    const bool last = off + n == payload_len;
+    std::span<std::byte> s{slice.data(), hdr + n};
+    std::memcpy(s.data(), frame.data(), hdr);
+    std::memcpy(s.data() + hdr, frame.data() + hdr + off, n);
+    // IPv4 fixup: per-slice total length, advancing identification, fresh
+    // header checksum.
+    put_be16_at(s, l3off + 2,
+                static_cast<std::uint16_t>(c.l3_len + c.l4_len + n));
+    put_be16_at(s, l3off + 4, static_cast<std::uint16_t>(base_id + idx));
+    put_be16_at(s, l3off + 10, 0);
+    put_be16_at(s, l3off + 10,
+                static_cast<std::uint16_t>(
+                    ~ocsum_fold(ocsum(s.subspan(l3off, c.l3_len))) & 0xFFFF));
+    // TCP fixup: sequence advances by the payload already emitted; FIN and
+    // PSH ride only the last slice.
+    put_be32_at(s, l4off + 4,
+                base_seq + static_cast<std::uint32_t>(off));
+    std::uint8_t fl = base_flags;
+    if (!last) fl &= static_cast<std::uint8_t>(~(0x01u | 0x08u));  // FIN|PSH
+    s[l4off + 13] = std::byte{fl};
+    // Checksum: the copied header still carries the driver's seed in the
+    // checksum field; sum the slice's L4 range and add its length term.
+    const auto l4_total = static_cast<std::uint32_t>(c.l4_len + n);
+    const std::uint32_t sum = ocsum(s.subspan(l4off), l4_total);
+    put_be16_at(s, l4off + 16,
+                static_cast<std::uint16_t>(~ocsum_fold(sum) & 0xFFFF));
+    emit_wire_frame(q, s, now);
+    q.stats.tso_frames++;
+    q.stats.tso_bytes += n;
+    off += n;
+    ++idx;
   }
 }
 
@@ -296,6 +424,45 @@ void E82576Port::deliver_rx(E82576Device& dev, Queue& q,
   d.length = static_cast<std::uint16_t>(payload.size());
   d.status = kRxStatusDD | kRxStatusEOP;
   d.errors = 0;
+  // Checksum verdict write-back (§7.1.5): the device verifies the IPv4
+  // header sum and — for unfragmented TCP/UDP it can parse whole — the L4
+  // sum, reporting "checked" in status and "failed" in errors. Frames it
+  // cannot parse (non-IP, truncated, UDP checksum 0) carry no verdict and
+  // stay the driver's problem.
+  if (payload.size() >= kEtherHdrLen + 20 &&
+      be16_at(payload, 12) == kEthertypeIpv4) {
+    const auto vihl = std::to_integer<std::uint8_t>(payload[kEtherHdrLen]);
+    const std::size_t ihl = static_cast<std::size_t>(vihl & 0x0F) * 4;
+    if ((vihl >> 4) == 4 && ihl >= 20 &&
+        payload.size() >= kEtherHdrLen + ihl) {
+      d.status |= kRxStatusIpCs;
+      const bool ip_ok =
+          ocsum_fold(ocsum(payload.subspan(kEtherHdrLen, ihl))) == 0xFFFF;
+      if (!ip_ok) d.errors |= kRxErrorIpE;
+      const auto proto = std::to_integer<std::uint8_t>(
+          payload[kEtherHdrLen + 9]);
+      const std::uint16_t total_len = be16_at(payload, kEtherHdrLen + 2);
+      const bool fragmented =
+          (be16_at(payload, kEtherHdrLen + 6) & 0x3FFF) != 0;
+      if (ip_ok && !fragmented && (proto == 6 || proto == 17) &&
+          total_len >= ihl + (proto == 6 ? 20u : 8u) &&
+          payload.size() >= kEtherHdrLen + total_len) {
+        const std::size_t l4off = kEtherHdrLen + ihl;
+        const auto l4len = static_cast<std::uint16_t>(total_len - ihl);
+        // UDP checksum 0 means "not used": nothing to verify.
+        if (proto != 17 || be16_at(payload, l4off + 6) != 0) {
+          std::uint32_t sum = ocsum(payload.subspan(l4off, l4len));
+          const std::uint32_t src = be32_at(payload, kEtherHdrLen + 12);
+          const std::uint32_t dst = be32_at(payload, kEtherHdrLen + 16);
+          sum += (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF);
+          sum += proto;
+          sum += l4len;
+          d.status |= kRxStatusL4Cs;
+          if (ocsum_fold(sum) != 0xFFFF) d.errors |= kRxErrorL4E;
+        }
+      }
+    }
+  }
   mem.store_scalar<RxDesc>(auth, daddr, d);
   q.stats.rx_packets++;
   q.stats.rx_bytes += payload.size();

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -53,7 +54,13 @@ struct RxDesc {
 };
 static_assert(sizeof(RxDesc) == 16);
 
-/// Legacy transmit descriptor (16 bytes, 82576 datasheet §7.2.2).
+/// Legacy transmit descriptor (16 bytes, 82576 datasheet §7.2.2). The
+/// `css`/`cso` fields drive legacy checksum insertion: when the frame's
+/// descriptor carries kTxCmdIC, the device one's-complement-sums the bytes
+/// from `css` to the end of the (gathered) frame and writes the inverted
+/// fold at byte offset `cso`. The driver pre-seeds the 16-bit field at
+/// `cso` with the folded, NON-inverted pseudo-header sum, so the inserted
+/// value is a complete TCP/UDP checksum without the device parsing IP.
 struct TxDesc {
   std::uint64_t buffer_addr;
   std::uint16_t length;
@@ -65,12 +72,54 @@ struct TxDesc {
 };
 static_assert(sizeof(TxDesc) == 16);
 
+/// Advanced context descriptor (16 bytes) — a simplified rendering of the
+/// 82576 TCP/IP context descriptor (datasheet §7.2.2.2). It occupies a TX
+/// ring slot, fetches no buffer, and latches per-queue offload state
+/// (header geometry + MSS) that subsequent data descriptors reference; the
+/// state persists until the next context descriptor overwrites it. The
+/// `cmd` byte overlays TxDesc::cmd exactly, so the device dispatches on
+/// kTxCmdCtx before reinterpreting the other 15 bytes.
+struct TxCtxDesc {
+  std::uint8_t l2_len;    // MAC header bytes (14 without VLAN)
+  std::uint8_t l3_len;    // IPv4 header bytes (incl. options)
+  std::uint8_t l4_len;    // TCP header bytes incl. options; 8 for UDP
+  std::uint8_t olflags;   // kTxCtxOl* request bits
+  std::uint16_t mss;      // TSO payload bytes per sliced wire frame
+  std::uint16_t paylen;   // reserved (real hw: total payload; unused here)
+  std::uint16_t reserved0;
+  std::uint8_t reserved1;
+  std::uint8_t cmd;       // must contain kTxCmdCtx; kTxCmdRS honoured
+  std::uint8_t status;    // kTxStatusDD written back
+  std::uint8_t reserved2;
+  std::uint16_t reserved3;
+};
+static_assert(sizeof(TxCtxDesc) == 16);
+static_assert(offsetof(TxCtxDesc, cmd) == offsetof(TxDesc, cmd));
+static_assert(offsetof(TxCtxDesc, status) == offsetof(TxDesc, status));
+
+/// TxCtxDesc::olflags request bits.
+inline constexpr std::uint8_t kTxCtxOlIp = 0x01;   // insert IPv4 header csum
+inline constexpr std::uint8_t kTxCtxOlTcp = 0x02;  // L4 is TCP
+inline constexpr std::uint8_t kTxCtxOlUdp = 0x04;  // L4 is UDP
+inline constexpr std::uint8_t kTxCtxOlTso = 0x08;  // segmentation requested
+
 inline constexpr std::uint8_t kRxStatusDD = 0x01;
 inline constexpr std::uint8_t kRxStatusEOP = 0x02;
+/// RX checksum verdicts (§7.1.5 write-back): the status bit says the device
+/// CHECKED the header; the paired error bit says the check FAILED. A frame
+/// the device could not parse (non-IPv4, truncated L4, UDP checksum 0)
+/// carries neither — the driver must fall back to software verification.
+inline constexpr std::uint8_t kRxStatusIpCs = 0x40;  // IPv4 header checked
+inline constexpr std::uint8_t kRxStatusL4Cs = 0x20;  // TCP/UDP checked
 inline constexpr std::uint8_t kTxCmdEOP = 0x01;
+inline constexpr std::uint8_t kTxCmdIC = 0x04;   // legacy checksum insert
 inline constexpr std::uint8_t kTxCmdRS = 0x08;
+inline constexpr std::uint8_t kTxCmdCtx = 0x20;  // descriptor is TxCtxDesc
+inline constexpr std::uint8_t kTxCmdTse = 0x40;  // frame uses TSO context
 inline constexpr std::uint8_t kTxStatusDD = 0x01;
 inline constexpr std::uint8_t kRxErrorCRC = 0x02;
+inline constexpr std::uint8_t kRxErrorL4E = 0x20;  // L4 checksum bad
+inline constexpr std::uint8_t kRxErrorIpE = 0x40;  // IPv4 header csum bad
 
 /// Queue pairs per port (real 82576: 16; enough for the shard counts here).
 inline constexpr std::uint32_t kMaxQueues = 8;
@@ -148,6 +197,8 @@ class E82576Port {
     std::uint64_t rx_no_desc = 0;   // ring-full drops
     std::uint64_t rx_crc_errors = 0;
     std::uint64_t rx_filtered = 0;  // MAC filter rejects
+    std::uint64_t tso_frames = 0;   // wire frames produced by TSO slicing
+    std::uint64_t tso_bytes = 0;    // payload bytes carried by those frames
   };
   /// Port-aggregate counters (all queues). Snapshot by value: the port may
   /// be concurrently polled by other queue owners.
@@ -175,6 +226,16 @@ class E82576Port {
     // accumulate here until the EOP descriptor completes the frame (82576
     // §7.2.1 — descriptors without EOP extend the packet).
     std::vector<std::byte> tx_accum;
+    // Offload state. The context descriptor persists until overwritten
+    // (per-queue, like real silicon); the legacy IC latch (css/cso) and the
+    // TSE request are armed by the frame's own descriptors and cleared at
+    // EOP.
+    TxCtxDesc tx_ctx{};
+    bool tx_ctx_valid = false;
+    bool tx_ic = false;
+    std::uint8_t tx_css = 0;
+    std::uint8_t tx_cso = 0;
+    bool tx_tse = false;
     Stats stats;
   };
 
@@ -191,6 +252,11 @@ class E82576Port {
   void process_rx(E82576Device& dev);
   void deliver_rx(E82576Device& dev, Queue& q,
                   std::span<const std::byte> payload);
+  /// Complete one gathered TX frame: legacy css/cso checksum insertion,
+  /// TSO slicing with per-frame header fixup, FCS append, wire transmit.
+  void emit_tx_frame(Queue& q, sim::Ns now);
+  void emit_wire_frame(Queue& q, std::span<const std::byte> frame,
+                       sim::Ns now);
   /// Queue for one classified frame; nullopt = replicate to every queue
   /// (non-IPv4: ARP and friends). Caller holds mu_.
   [[nodiscard]] std::optional<std::uint32_t> classify_rx(

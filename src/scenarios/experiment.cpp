@@ -60,6 +60,10 @@ MorelloTestbed::MorelloTestbed(TestbedOptions opt)
     wires_[i] = std::make_unique<nic::Wire>(&clock_, &arb_, opt_.phys);
     wires_[i]->set_bus(0, bus_.get());  // only the Morello card shares a PCI bus
     card_->connect(i, wires_[i].get(), 0);
+    if (opt_.impair.enabled()) {
+      wires_[i]->set_impairment(0, opt_.impair);  // Morello egress
+      wires_[i]->set_impairment(1, opt_.impair);  // peer egress
+    }
   }
 }
 
@@ -80,6 +84,7 @@ InstanceConfig MorelloTestbed::morello_cfg(int port) const {
   c.tcp.mss = opt_.mss;
   c.tcp.sndbuf_bytes = opt_.sndbuf_bytes;
   c.inline_tcp_output = opt_.inline_tcp_output;
+  c.eal.eth.offloads = opt_.offloads;
   return c;
 }
 
@@ -87,6 +92,7 @@ InstanceConfig MorelloTestbed::peer_cfg(int port) const {
   InstanceConfig c;
   c.netif.ip = peer_ip(port);
   c.tcp.mss = opt_.mss;
+  c.eal.eth.offloads = opt_.offloads;
   return c;
 }
 
@@ -248,6 +254,9 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
       out.morello_tx.frames += es.opackets;
       out.morello_tx.bursts += es.tx_bursts;
       out.morello_tx.segs += es.tx_segs;
+      out.morello_tx.bytes += es.obytes;
+      out.morello_tx.tso_frames += es.tso_frames;
+      out.morello_tx.tso_bytes += es.tso_bytes;
     }
     return out;
   }
@@ -367,6 +376,9 @@ BandwidthOutcome run_bandwidth(ScenarioKind kind, Direction dir,
     out.morello_tx.frames += es.opackets;
     out.morello_tx.bursts += es.tx_bursts;
     out.morello_tx.segs += es.tx_segs;
+    out.morello_tx.bytes += es.obytes;
+    out.morello_tx.tso_frames += es.tso_frames;
+    out.morello_tx.tso_bytes += es.tso_bytes;
   }
 
   out.shards.resize(nshards);
@@ -1476,6 +1488,17 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
     out.tx_copied_bytes = st.tx_stats().copied_bytes;
     out.tx_zc_bytes = st.tx_stats().zc_bytes;
     out.tx_emit_payload_reads = st.tx_stats().emit_payload_reads;
+    out.stack_checksum_bytes = st.tx_stats().stack_checksum_bytes;
+    out.stack_csum_drops = st.stats().csum_errors;
+    const updk::EthStats es = st.dev().stats();
+    out.tso_frames = es.tso_frames;
+    out.tso_bytes = es.tso_bytes;
+    out.tx_descs = es.tx_segs;
+    out.tx_wire_bytes = es.obytes;
+  };
+  const auto sample_wire = [&out, &tb]() {
+    out.rx_crc_errors = tb.card().port(0).stats().rx_crc_errors;
+    out.wire_corrupts = tb.wire(0).stats(1).impair_corrupts;
   };
   CensusProbes probes;
   if (kind == ScenarioKind::kScenario1) {
@@ -1509,6 +1532,7 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
     s1.cvm().join();
     peer.request_stop();
     peer.join();
+    sample_wire();
     out.crossings = probes.entry_crossings + probes.tramp_crossings;
     out.modeled_ns_per_mib =
         mib > 0 ? static_cast<double>(out.crossings) *
@@ -1553,6 +1577,7 @@ UringCensus run_uring_tx_census(ScenarioKind kind, std::uint64_t total_bytes,
   peer.request_stop();
   peer.join();
   sample_tx(inst.stack());
+  sample_wire();
 
   const double entry_cost = static_cast<double>(
       price.trampoline_crossing().count() + price.domain_switch_extra.count());
@@ -1582,6 +1607,14 @@ UringCensus run_uring_rx_census(ScenarioKind kind, std::uint64_t total_bytes,
   std::atomic<bool> stop{false};
   const InstanceConfig icfg = tb.morello_cfg(0);
 
+  // Lossy-wire instrumentation: FCS rejects at the Morello port must match
+  // the wire's peer-egress corruption census one for one, and the stack's
+  // checksum drop count says whether anything leaked past FCS.
+  const auto sample_rx = [&out, &tb](fstack::FfStack& st) {
+    out.stack_csum_drops = st.stats().csum_errors;
+    out.rx_crc_errors = tb.card().port(0).stats().rx_crc_errors;
+    out.wire_corrupts = tb.wire(0).stats(1).impair_corrupts;
+  };
   CensusProbes probes;
   if (kind == ScenarioKind::kScenario1) {
     arb.expect_participants(2);
@@ -1612,6 +1645,7 @@ UringCensus run_uring_rx_census(ScenarioKind kind, std::uint64_t total_bytes,
     s1.cvm().join();
     peer.request_stop();
     peer.join();
+    sample_rx(s1.instance().stack());
     out.crossings = probes.entry_crossings + probes.tramp_crossings;
     out.modeled_ns_per_mib =
         mib > 0 ? static_cast<double>(out.crossings) *
@@ -1656,6 +1690,7 @@ UringCensus run_uring_rx_census(ScenarioKind kind, std::uint64_t total_bytes,
   cvm1.join();
   peer.request_stop();
   peer.join();
+  sample_rx(inst.stack());
 
   const double entry_cost = static_cast<double>(
       price.trampoline_crossing().count() + price.domain_switch_extra.count());

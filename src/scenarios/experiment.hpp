@@ -17,6 +17,7 @@
 #include "scenarios/stack_instance.hpp"
 #include "sim/testbed.hpp"
 #include "sim/time_arbiter.hpp"
+#include "updk/ethdev.hpp"
 
 namespace cherinet::scen {
 
@@ -54,6 +55,16 @@ struct TestbedOptions {
   /// queue per shard, flows steered by Toeplitz hash / L4 filter). false:
   /// shard j owns port j outright (dual-port scale-out; at most 2 shards).
   bool s2_shards_same_port = false;
+  /// Device offloads requested at eth attach, for BOTH the Morello side and
+  /// the peers (updk::kOffload* bits). The default negotiates TX checksum
+  /// insertion and RX checksum verdicts; pass 0 for the pure software
+  /// control leg and | updk::kOffloadTxTso for the super-segment TSO legs.
+  std::uint32_t offloads = updk::kOffloadDefault;
+  /// Wire hostility applied to BOTH directions of every wire (see
+  /// nic/impairment.hpp). Default-constructed = clean wire. The lossy-wire
+  /// fig5 leg uses this to check the RX verdict path against the wire's own
+  /// corruption census.
+  nic::ImpairmentProfile impair;
 };
 
 /// The emulated hardware + OS fixture shared by all scenarios.
@@ -113,7 +124,14 @@ struct BandwidthOutcome {
   struct TxBurstCensus {
     std::uint64_t frames = 0;  // frames handed to the device (opackets)
     std::uint64_t bursts = 0;  // tx_burst calls that carried frames
-    std::uint64_t segs = 0;    // descriptors consumed (chain segments)
+    std::uint64_t segs = 0;    // descriptors consumed (chain segments +
+                               // context descriptors)
+    std::uint64_t bytes = 0;   // frame bytes those descriptors emitted
+    /// TSO census: super-segment chains handed down for device slicing and
+    /// the payload bytes they carried (the table2 ablation row gates
+    /// descriptors-per-byte against an offload-off control on these).
+    std::uint64_t tso_frames = 0;
+    std::uint64_t tso_bytes = 0;
     [[nodiscard]] double frames_per_burst() const noexcept {
       return bursts > 0 ? static_cast<double>(frames) /
                               static_cast<double>(bursts)
@@ -257,6 +275,30 @@ struct UringCensus {
   /// range no cached partial covered) — the scatter-gather gate requires
   /// exactly 0: frames leave as indirect chains with composed checksums.
   std::uint64_t tx_emit_payload_reads = 0;
+  /// Payload bytes the STACK software-checksummed on the TX path. With TX
+  /// checksum offload negotiated the stack seeds the pseudo-header and the
+  /// device walks the bytes, so the fig4/fig5 offload gate requires exactly
+  /// 0 here (FfStack::tx_stats().stack_checksum_bytes).
+  std::uint64_t stack_checksum_bytes = 0;
+  /// TSO census from the device (EthStats): oversized chains the hardware
+  /// sliced into wire frames, and the payload bytes those chains carried.
+  std::uint64_t tso_frames = 0;
+  std::uint64_t tso_bytes = 0;
+  /// TX descriptors the driver consumed (EthStats::tx_segs) and the frame
+  /// bytes those descriptors actually emitted (EthStats::obytes) — the TSO
+  /// gate compares descriptors per EMITTED byte against an offload-off
+  /// control, since the census app may exit with queued bytes unemitted
+  /// (zc send completion is queue-time, emission is ACK-clocked).
+  std::uint64_t tx_descs = 0;
+  std::uint64_t tx_wire_bytes = 0;
+  /// Lossy-wire leg instrumentation: frames the Morello port rejected at
+  /// FCS, the wire's own peer-egress corruption census, and frames the
+  /// stack dropped on a checksum (software or device-verdict) mismatch.
+  /// Wire bit flips must die at FCS; a bad frame that somehow passes FCS
+  /// must die at the verdict check — never reach a socket.
+  std::uint64_t rx_crc_errors = 0;
+  std::uint64_t wire_corrupts = 0;
+  std::uint64_t stack_csum_drops = 0;
   double modeled_ns_per_mib = 0.0;
 };
 

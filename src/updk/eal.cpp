@@ -2,6 +2,15 @@
 
 namespace cherinet::updk {
 
+namespace {
+// TSO slicing re-inserts the TCP checksum per wire frame, so a TSO request
+// without TCP checksum insertion is incoherent — imply it, like igb does.
+EthConf normalized_eth(EthConf eth) {
+  if ((eth.offloads & kOffloadTxTso) != 0) eth.offloads |= kOffloadTxTcpCsum;
+  return eth;
+}
+}  // namespace
+
 PortResources Eal::attach_port(nic::E82576Device& card, int port,
                                machine::CompartmentHeap& heap,
                                sim::VirtualClock& clock, const EalConfig& cfg,
@@ -17,7 +26,7 @@ PortResources Eal::attach_port(nic::E82576Device& card, int port,
   res.pool = std::make_unique<Mempool>(&heap, cfg.n_mbufs, cfg.data_room);
   res.dev = std::make_unique<E82576Pmd>(name + std::to_string(port), &card,
                                         port, &heap, res.pool.get(), &clock,
-                                        cfg.eth);
+                                        normalized_eth(cfg.eth));
   return res;
 }
 
@@ -40,7 +49,7 @@ PortResources Eal::attach_port_queue(nic::E82576Device& card, int port,
   res.pool = std::make_unique<Mempool>(&heap, cfg.n_mbufs, cfg.data_room);
   res.dev = std::make_unique<E82576Pmd>(
       name + std::to_string(port) + "q" + std::to_string(queue), &card, port,
-      queue, &heap, res.pool.get(), &clock, cfg.eth);
+      queue, &heap, res.pool.get(), &clock, normalized_eth(cfg.eth));
   return res;
 }
 

@@ -1,2 +1,19 @@
 #include "updk/ethdev.hpp"
-namespace cherinet::updk { static_assert(sizeof(EthConf) > 0); }
+
+namespace cherinet::updk {
+
+std::string offload_names(std::uint32_t offloads) {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  if ((offloads & kOffloadTxTcpCsum) != 0) add("tx-tcp-csum");
+  if ((offloads & kOffloadTxUdpCsum) != 0) add("tx-udp-csum");
+  if ((offloads & kOffloadTxTso) != 0) add("tx-tso");
+  if ((offloads & kOffloadRxCsum) != 0) add("rx-csum");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace cherinet::updk

@@ -17,10 +17,31 @@
 
 namespace cherinet::updk {
 
+// Offload capability bits (EthConf::offloads request mask and the
+// EthDev::offloads() effective set — rte_eth_conf tx/rx offload idiom).
+// TSO is deliberately NOT in kOffloadDefault: a TSO queue changes the
+// stack's emission granularity (super-segments), which benches and tests
+// opt into explicitly; the checksum offloads are behaviour-preserving.
+inline constexpr std::uint32_t kOffloadTxTcpCsum = 1u << 0;
+inline constexpr std::uint32_t kOffloadTxUdpCsum = 1u << 1;
+inline constexpr std::uint32_t kOffloadTxTso = 1u << 2;
+inline constexpr std::uint32_t kOffloadRxCsum = 1u << 3;
+inline constexpr std::uint32_t kOffloadDefault =
+    kOffloadTxTcpCsum | kOffloadTxUdpCsum | kOffloadRxCsum;
+inline constexpr std::uint32_t kOffloadAll = kOffloadDefault | kOffloadTxTso;
+
+/// Human-readable offload set ("tx-tcp-csum|tx-udp-csum|rx-csum", "none") —
+/// bench legs and attach-time logging.
+[[nodiscard]] std::string offload_names(std::uint32_t offloads);
+
 struct EthConf {
   std::uint32_t rx_ring_size = 512;
   std::uint32_t tx_ring_size = 512;
   bool promiscuous = true;
+  /// Requested offload capabilities. The driver masks this to what the
+  /// hardware supports; EthDev::offloads() reports the effective set the
+  /// stack negotiates against at attach. 0 = pure software path.
+  std::uint32_t offloads = kOffloadDefault;
 };
 
 struct EthStats {
@@ -34,7 +55,12 @@ struct EthStats {
   /// tx_bursts is the frames-per-doorbell figure the table2 bench gates on
   /// (>= 8 under sustained load once emission stages per loop turn).
   std::uint64_t tx_bursts = 0;
-  std::uint64_t tx_segs = 0;  // descriptors consumed (chain segments)
+  std::uint64_t tx_segs = 0;  // descriptors consumed (chain segments +
+                              // context descriptors)
+  /// TSO accounting: super-segment frames handed down with kTxOffloadTso
+  /// and the payload bytes the device sliced for them.
+  std::uint64_t tso_frames = 0;
+  std::uint64_t tso_bytes = 0;
 };
 
 class EthDev {
@@ -59,6 +85,12 @@ class EthDev {
   [[nodiscard]] virtual bool link_up() const = 0;
   [[nodiscard]] virtual EthStats stats() const = 0;
   [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Effective offload capability set of THIS queue (kOffload* bits): the
+  /// configured request masked to hardware support. The stack reads it once
+  /// at attach and never sets an ol_flag the mask lacks — per-queue
+  /// software fallback falls out of the negotiation. Default: none.
+  [[nodiscard]] virtual std::uint32_t offloads() const { return 0; }
 
   /// Earliest future event the device knows about (next wire delivery) —
   /// the main loop's idle deadline.

@@ -27,6 +27,47 @@
 // produces chains: the device model linearizes every received frame into
 // the single staged descriptor buffer (the RX linearization rule), so
 // rx_burst hands out plain single-segment mbufs.
+//
+// ---- Offload descriptor/flag ABI (hardware checksum + TSO, API v8) ----
+//
+// Offload metadata rides the HEAD mbuf of a chain (rte_mbuf ol_flags
+// idiom); segments ignore it. All fields are requests/verdicts about the
+// fully assembled frame the chain describes, not about any one segment.
+//
+//   ol_flags   TX request bits (set by the stack iff the queue negotiated
+//              the capability through EthDev::offloads()):
+//                kTxOffloadIpCsum   insert the IPv4 header checksum
+//                kTxOffloadTcpCsum  insert the TCP checksum; the stack
+//                                   seeds the header's checksum field with
+//                                   the folded, NON-inverted pseudo-header
+//                                   sum (length term included)
+//                kTxOffloadUdpCsum  same contract for UDP
+//                kTxOffloadTso      frame is one TCP super-segment; the
+//                                   device slices it into tso_segsz-sized
+//                                   wire frames with per-slice header
+//                                   fixups. Seed EXCLUDES the length term
+//                                   (it differs per slice; the device adds
+//                                   it) — the DPDK/igb TSO convention.
+//              RX verdict bits (set by the driver from the descriptor
+//              status/error write-back when the queue negotiated
+//              kOffloadRxCsum):
+//                kRxCsumIpGood/_Bad   IPv4 header sum checked good/bad
+//                kRxCsumL4Good/_Bad   TCP/UDP sum checked good/bad
+//              A frame with NEITHER Good nor Bad for a layer was not
+//              checked (non-IP, fragment, UDP checksum 0): software must
+//              verify.
+//   l2_len     MAC header bytes (14 here — no VLAN on these testbeds).
+//   l3_len     IPv4 header bytes including options.
+//   l4_len     TCP header bytes including options (8 for UDP).
+//   tso_segsz  TSO slice payload size (the connection MSS); 0 otherwise.
+//
+// The PMD translates these to the 82576 descriptor surface: checksum-only
+// frames use the legacy IC/css/cso insertion on the first data descriptor;
+// TSO frames spend one extra ring slot on a TxCtxDesc (cached per queue —
+// re-emitted only when the {l2,l3,l4,mss} tuple changes) and tag their
+// data descriptors with TSE. A queue whose EthConf::offloads mask drops a
+// capability never sees the corresponding flag: the stack's negotiation at
+// attach time keeps the pure software path byte-identical per queue.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +79,17 @@ namespace cherinet::updk {
 class Mempool;
 
 inline constexpr std::uint32_t kMbufHeadroom = 128;
+
+// Mbuf::ol_flags — TX offload requests (stack → driver)…
+inline constexpr std::uint32_t kTxOffloadIpCsum = 1u << 0;
+inline constexpr std::uint32_t kTxOffloadTcpCsum = 1u << 1;
+inline constexpr std::uint32_t kTxOffloadUdpCsum = 1u << 2;
+inline constexpr std::uint32_t kTxOffloadTso = 1u << 3;
+// …and RX checksum verdicts (driver → stack). See the ABI block above.
+inline constexpr std::uint32_t kRxCsumIpGood = 1u << 8;
+inline constexpr std::uint32_t kRxCsumIpBad = 1u << 9;
+inline constexpr std::uint32_t kRxCsumL4Good = 1u << 10;
+inline constexpr std::uint32_t kRxCsumL4Bad = 1u << 11;
 
 struct Mbuf {
   machine::CapView room;      // the whole data room (bounded capability)
@@ -53,6 +105,12 @@ struct Mbuf {
   // free time. Direct mbufs keep both fields at their defaults.
   Mbuf* attach = nullptr;
   bool indirect = false;
+  // Offload metadata (head mbuf of a chain; see the ABI block above).
+  std::uint32_t ol_flags = 0;
+  std::uint8_t l2_len = 0;
+  std::uint8_t l3_len = 0;
+  std::uint8_t l4_len = 0;
+  std::uint16_t tso_segsz = 0;
 
   [[nodiscard]] std::uint64_t room_size() const noexcept {
     return room.size();
@@ -100,6 +158,11 @@ struct Mbuf {
     data_len = 0;
     next = nullptr;
     nb_segs = 1;
+    ol_flags = 0;
+    l2_len = 0;
+    l3_len = 0;
+    l4_len = 0;
+    tso_segsz = 0;
   }
 
   /// Grow at the tail; returns a view of the appended region.

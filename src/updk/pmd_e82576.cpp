@@ -29,6 +29,9 @@ E82576Pmd::E82576Pmd(std::string name, nic::E82576Device* dev, int port,
   if (queue_ >= dev_->port(port_).queue_count()) {
     throw std::invalid_argument("E82576Pmd: queue not configured on port");
   }
+  // Negotiate offloads: the 82576 model implements every kOffload* bit, so
+  // the effective set is exactly what the configuration requested.
+  offloads_ = conf_.offloads & kOffloadAll;
   setup_rx_ring();
   setup_tx_ring();
   auto& p = dev_->port(port_);
@@ -82,6 +85,20 @@ std::size_t E82576Pmd::rx_burst(std::span<Mbuf*> out) {
     Mbuf* filled = rx_staged_[rx_next_];
     filled->data_off = kMbufHeadroom;
     filled->data_len = d.length;
+    // Translate the descriptor's checksum verdict write-back into mbuf
+    // flags — only when this queue negotiated RX checksum offload, so a
+    // masked-off queue's stack falls back to software verification.
+    filled->ol_flags = 0;
+    if ((offloads_ & kOffloadRxCsum) != 0) {
+      if ((d.status & nic::kRxStatusIpCs) != 0) {
+        filled->ol_flags |= (d.errors & nic::kRxErrorIpE) != 0 ? kRxCsumIpBad
+                                                               : kRxCsumIpGood;
+      }
+      if ((d.status & nic::kRxStatusL4Cs) != 0) {
+        filled->ol_flags |= (d.errors & nic::kRxErrorL4E) != 0 ? kRxCsumL4Bad
+                                                               : kRxCsumL4Good;
+      }
+    }
     out[got++] = filled;
     stats_.ipackets++;
     stats_.ibytes += d.length;
@@ -136,7 +153,23 @@ std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
       ++sent;
       continue;
     }
-    if (nsegs > conf_.tx_ring_size - 1) {
+    // Offload translation (head mbuf ol_flags → descriptor surface). TSO
+    // frames reference a context descriptor; checksum-only frames use the
+    // legacy IC/css/cso insertion on their first data descriptor.
+    const bool tso = (head->ol_flags & kTxOffloadTso) != 0 &&
+                     (offloads_ & kOffloadTxTso) != 0;
+    const bool csum_tcp = (head->ol_flags & kTxOffloadTcpCsum) != 0 &&
+                          (offloads_ & kOffloadTxTcpCsum) != 0;
+    const bool csum_udp = (head->ol_flags & kTxOffloadUdpCsum) != 0 &&
+                          (offloads_ & kOffloadTxUdpCsum) != 0;
+    const bool csum = !tso && (csum_tcp || csum_udp);
+    const bool need_ctx =
+        tso && (!tx_ctx_cached_ || tx_ctx_cache_.l2_len != head->l2_len ||
+                tx_ctx_cache_.l3_len != head->l3_len ||
+                tx_ctx_cache_.l4_len != head->l4_len ||
+                tx_ctx_cache_.mss != head->tso_segsz);
+    const std::uint32_t slots = nsegs + (need_ctx ? 1u : 0u);
+    if (slots > conf_.tx_ring_size - 1) {
       // The chain can NEVER fit this ring (even empty it has ring_size-1
       // usable slots): consume and drop it rather than wedge the queue.
       pool_->free_chain(head);
@@ -146,7 +179,22 @@ std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
     }
     const std::uint32_t free_slots =
         (tx_clean_ + conf_.tx_ring_size - tx_next_ - 1) % conf_.tx_ring_size;
-    if (nsegs > free_slots) break;  // ring full this burst: caller retries
+    if (slots > free_slots) break;  // ring full this burst: caller retries
+    if (need_ctx) {
+      nic::TxCtxDesc c{};
+      c.l2_len = head->l2_len;
+      c.l3_len = head->l3_len;
+      c.l4_len = head->l4_len;
+      c.olflags = nic::kTxCtxOlTso | nic::kTxCtxOlTcp | nic::kTxCtxOlIp;
+      c.mss = head->tso_segsz;
+      c.cmd = nic::kTxCmdCtx | nic::kTxCmdRS;
+      tx_ring_.store<nic::TxCtxDesc>(tx_next_ * sizeof(nic::TxCtxDesc), c);
+      tx_pending_[tx_next_] = nullptr;
+      tx_next_ = (tx_next_ + 1) % conf_.tx_ring_size;
+      tx_ctx_cache_ = c;
+      tx_ctx_cached_ = true;
+    }
+    bool first = true;
     for (Mbuf* s = head; s != nullptr; s = s->next) {
       if (s->data_len == 0) continue;
       TxDesc d{};
@@ -154,6 +202,13 @@ std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
       d.length = static_cast<std::uint16_t>(s->data_len);
       d.cmd = static_cast<std::uint8_t>(kTxCmdRS |
                                         (s == last ? kTxCmdEOP : 0));
+      if (first && csum) {
+        d.cmd |= nic::kTxCmdIC;
+        d.css = static_cast<std::uint8_t>(head->l2_len + head->l3_len);
+        d.cso = static_cast<std::uint8_t>(d.css + (csum_tcp ? 16 : 6));
+      }
+      if (first && tso) d.cmd |= nic::kTxCmdTse;
+      first = false;
       tx_ring_.store<TxDesc>(tx_next_ * sizeof(TxDesc), d);
       // Park the chain on the frame's final slot (null elsewhere): its
       // write-back proves the device fetched every segment.
@@ -162,7 +217,13 @@ std::size_t E82576Pmd::tx_burst(std::span<Mbuf*> in) {
     }
     stats_.opackets++;
     stats_.obytes += bytes;
-    stats_.tx_segs += nsegs;
+    stats_.tx_segs += slots;
+    if (tso) {
+      const std::uint32_t hdr = static_cast<std::uint32_t>(head->l2_len) +
+                                head->l3_len + head->l4_len;
+      stats_.tso_frames++;
+      stats_.tso_bytes += bytes > hdr ? bytes - hdr : 0;
+    }
     ++sent;
   }
   if (sent > 0) stats_.tx_bursts++;  // only calls that carried frames

@@ -72,6 +72,11 @@ class E82576Pmd final : public EthDev {
   }
   [[nodiscard]] EthStats stats() const override;
   [[nodiscard]] const std::string& name() const override { return name_; }
+  /// Effective offloads: the configured request masked to what the 82576
+  /// model implements (all four kOffload* bits). Per-queue: each PMD owns
+  /// one queue, so masking a capability off one queue's EthConf leaves its
+  /// siblings' negotiations untouched.
+  [[nodiscard]] std::uint32_t offloads() const override { return offloads_; }
   [[nodiscard]] std::optional<sim::Ns> next_event() const override {
     return dev_->port(port_).next_rx_event();
   }
@@ -98,6 +103,12 @@ class E82576Pmd final : public EthDev {
   std::uint32_t tx_next_ = 0;  // next descriptor the driver will fill
   std::uint32_t tx_clean_ = 0; // next descriptor to reclaim
   EthStats stats_;
+  std::uint32_t offloads_ = 0;
+  // Context-descriptor cache (igb idiom): a TSO frame only spends a ring
+  // slot on a TxCtxDesc when its {l2,l3,l4,mss} tuple differs from the one
+  // the queue already latched.
+  nic::TxCtxDesc tx_ctx_cache_{};
+  bool tx_ctx_cached_ = false;
 };
 
 }  // namespace cherinet::updk
