@@ -6,11 +6,21 @@
 # SANITIZE=1 switches to the AddressSanitizer + UBSan configuration in its
 # own build tree — the memory-safety net over the loan-based RX pipeline
 # (mbuf refcounts, capability views, SPSC event rings).
+#
+# TSAN=1 switches to the ThreadSanitizer configuration, again in its own
+# build tree, and runs only the thread-spawning suites (the arbiter-paced
+# scenario fleets, the sharded stacks, the intravisor host shims): the
+# data-race net over the multi-tenant fleet and per-core shard paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE="${SANITIZE:-0}"
+TSAN="${TSAN:-0}"
+if [[ "$SANITIZE" == "1" && "$TSAN" == "1" ]]; then
+  echo "SANITIZE=1 and TSAN=1 are exclusive (ASan and TSan cannot share a binary)" >&2
+  exit 2
+fi
 if [[ "$SANITIZE" == "1" ]]; then
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   EXTRA_FLAGS=(-DCHERINET_SANITIZE=ON)
@@ -20,6 +30,14 @@ if [[ "$SANITIZE" == "1" ]]; then
   # Sanitizer slowdown distorts wall-clock contention ratios; this leg is
   # for the memory-safety signal, not the timing figures.
   export CHERINET_SKIP_TIMING_TESTS=1
+elif [[ "$TSAN" == "1" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  EXTRA_FLAGS=(-DCHERINET_TSAN=ON)
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  export CHERINET_SKIP_TIMING_TESTS=1
+  # The MPMC ring stress spins six threads; full volume is pathological
+  # under TSan's serialization on small machines.
+  export CHERINET_STRESS_LIGHT=1
 else
   BUILD_DIR="${BUILD_DIR:-build-check}"
   EXTRA_FLAGS=()
@@ -29,6 +47,14 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S . -DCHERINET_WERROR=ON "${EXTRA_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 status=0
+if [[ "$TSAN" == "1" ]]; then
+  # Only the suites that actually spawn threads: everything else is
+  # single-threaded virtual-time simulation with nothing for TSan to see.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R '^(test_scenarios|test_tenants|test_shards|test_host_intravisor|test_sim_stats|test_updk)$' \
+    || status=$?
+  exit "$status"
+fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" || status=$?
 
 # Table II bandwidth + driver-doorbell census: gates >= 8 frames per
@@ -67,6 +93,15 @@ if [[ "$SANITIZE" != "1" ]]; then
   # and seeded-impairment replay determinism. Persists BENCH_impairment.json.
   CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
     "$BUILD_DIR"/bench_impairment_qos || status=$?
+
+  # Tenant-fleet census: three victim streams vs each seeded hostile-tenant
+  # profile on one shared stack. Gates >= 90% per-victim goodput retention
+  # against the adversary-free control, per-cause accounting of every
+  # offender failure (quota rejects / deferral evictions / drain throttles /
+  # SQE errors), and exact post-eviction reclamation (gauges to zero, PCB
+  # and mbuf-pool baselines restored). Persists BENCH_tenants.json.
+  CHERINET_BENCH_JSON_DIR="$BUILD_DIR" \
+    "$BUILD_DIR"/bench_tenant_fleet || status=$?
 fi
 
 # Surface the census artifacts the bench gates emit (v1 / v2-batch /
@@ -75,7 +110,7 @@ fi
 # gate failed — a failing run's numbers are exactly the ones worth reading.
 for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
          "$BUILD_DIR"/BENCH_table2.json "$BUILD_DIR"/BENCH_churn.json \
-         "$BUILD_DIR"/BENCH_impairment.json; do
+         "$BUILD_DIR"/BENCH_impairment.json "$BUILD_DIR"/BENCH_tenants.json; do
   if [[ -f "$f" ]]; then
     echo "== bench artifact: $f"
     cat "$f"
@@ -106,6 +141,13 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json \
     # negotiated TX path and the TSO slicer's output.
     grep -o '"stack_checksum_bytes": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
     grep -o '"tso_frames": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    # Tenant-fleet census evidence: the worst per-victim goodput retention
+    # under any hostile profile, and the offender's per-cause failure
+    # counters (how each abuse was actually absorbed).
+    grep -o '"min_retention": [0-9.]*' "$f" | head -n1 | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"sq_drain_throttled": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"cq_deferral_evictions": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
+    grep -o '"sqe_errors": [0-9]*' "$f" | sed "s|^|== $(basename "$f") |" || true
   fi
 done
 
@@ -130,4 +172,23 @@ for f in "$BUILD_DIR"/BENCH_fig4.json "$BUILD_DIR"/BENCH_fig5.json; do
     fi
   fi
 done
+
+# Tenant-isolation regression gates over the fleet artifact: the bench's own
+# verdict must be green (every hostile profile kept every victim >= 90% of
+# control, was accounted per-cause, and reclaimed exactly), and the
+# retention floor itself is re-checked here so a silent weakening of the
+# in-binary gate cannot slip through.
+f="$BUILD_DIR"/BENCH_tenants.json
+if [[ -f "$f" ]]; then
+  if ! grep -q '"gates_passed": true' "$f"; then
+    echo "== TENANT REGRESSION: $(basename "$f") gates_passed != true"
+    status=1
+  fi
+  minret="$(grep -o '"min_retention": [0-9.]*' "$f" | tail -n1 \
+            | grep -o '[0-9.]*$' || true)"
+  if [[ -z "${minret:-}" ]] || ! awk -v r="$minret" 'BEGIN{exit !(r >= 0.90)}'; then
+    echo "== TENANT REGRESSION: $(basename "$f") min_retention=${minret:-missing} (want >= 0.90)"
+    status=1
+  fi
+fi
 exit "$status"

@@ -219,7 +219,7 @@ void IperfServer::finish(Conn& c) {
   c.done = true;
   ops_->epoll_ctl(epfd_, fstack::EpollOp::kDel, c.fd, 0, 0);
   ops_->close(c.fd);
-  ++completed_;
+  completed_.fetch_add(1, std::memory_order_release);
   if (total_.bytes == 0 || c.report.first_byte < total_.first_byte) {
     total_.first_byte = c.report.first_byte;
   }
@@ -394,7 +394,7 @@ void IperfClient::client_summary() {
   report_.last_byte = clock_->now();
   ops_->close(fd_);
   state_ = State::kClosed;
-  done_ = true;
+  done_.store(true, std::memory_order_release);
   if (reporter_) {
     char line[128];
     std::snprintf(line, sizeof line,

@@ -4,6 +4,7 @@
 // behind proxied ops (Scenario 2).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -66,13 +67,16 @@ class IperfServer {
 
   /// Drive the server; returns true when progress was made.
   bool step();
+  /// Safe to poll from a coordinating thread while another thread steps the
+  /// server (the scenario harnesses do exactly that); everything else on
+  /// this class is single-stepper-thread only.
   [[nodiscard]] bool finished() const noexcept {
-    return completed_ == expected_;
+    return completed_.load(std::memory_order_acquire) == expected_;
   }
   /// Aggregate report across connections.
   [[nodiscard]] const IperfReport& report() const noexcept { return total_; }
   [[nodiscard]] int connections_completed() const noexcept {
-    return completed_;
+    return completed_.load(std::memory_order_acquire);
   }
   /// Per-connection reports (Table II lists each cVM's stream separately).
   [[nodiscard]] std::vector<IperfReport> connection_reports() const {
@@ -106,7 +110,7 @@ class IperfServer {
   int listen_fd_ = -1;
   int epfd_ = -1;  // iperf3 was ported onto epoll (paper §III-B)
   int expected_;
-  int completed_ = 0;
+  std::atomic<int> completed_{0};
   bool zero_copy_;
   std::optional<fstack::FfEventRing> ring_;  // multishot consumer side
   std::optional<fstack::FfUring> uring_;     // v3: the whole RX pipeline
@@ -154,7 +158,10 @@ class IperfClient {
                 std::uint32_t cq_capacity, bool zero_copy = false);
 
   bool step();
-  [[nodiscard]] bool finished() const noexcept { return done_; }
+  /// Poll-safe from a coordinating thread, like IperfServer::finished().
+  [[nodiscard]] bool finished() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] const IperfReport& report() const noexcept { return report_; }
 
  private:
@@ -174,7 +181,7 @@ class IperfClient {
   int fd_ = -1;
   State state_ = State::kConnecting;
   std::uint64_t sent_ = 0;
-  bool done_ = false;
+  std::atomic<bool> done_{false};
   std::optional<fstack::FfUring> uring_;  // v3: ring-submitted send stream
   int uring_id_ = -1;
   bool ur_zero_copy_ = false;

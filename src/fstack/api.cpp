@@ -154,4 +154,23 @@ int ff_uring_detach(FfStack& st, int id) { return st.uring_detach(id); }
 
 int ff_uring_doorbell(FfStack& st, int id) { return st.uring_doorbell(id); }
 
+int ff_tenant_register(FfStack& st, std::string name,
+                       const TenantQuota& quota) {
+  return st.tenant_register(std::move(name), quota);
+}
+
+int ff_set_tenant(FfStack& st, int fd, int tid) {
+  return st.sock_set_tenant(fd, tid);
+}
+
+int ff_uring_bind_tenant(FfStack& st, int ring_id, int tid) {
+  return st.uring_bind_tenant(ring_id, tid);
+}
+
+int ff_tenant_evict(FfStack& st, int tid) { return st.tenant_evict(tid); }
+
+const TenantStats* ff_tenant_stats(const FfStack& st, int tid) {
+  return st.tenant_stats(tid);
+}
+
 }  // namespace cherinet::fstack

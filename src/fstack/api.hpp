@@ -342,6 +342,63 @@
 //     frames-per-doorbell gates in bench/table2 would misread as a
 //     regression — enable it per queue via EthConf.offloads = kOffloadAll.
 //
+// ------------------------------------------------------------------------
+// v8 -> v9 migration table: multi-tenant quotas and graceful degradation
+// ------------------------------------------------------------------------
+// v8 assumed the app compartments sharing one stack trust each other with
+// the stack's SHARED resources: any ring could pin the whole mbuf pool in
+// loans, monopolize the 64-SQE drain budget, or force unbounded stack-side
+// completion state by never reaping its CQ. v9 adds per-tenant accounting
+// so a hostile or buggy compartment degrades ONLY itself. Every v8 call
+// keeps its exact signature and semantics — tenancy is opt-in per fd/ring;
+// an app that never calls ff_tenant_register runs the v8 behaviour
+// byte-for-byte (tenant id 0 = unlimited, uncounted).
+//
+//  v8 (mutual trust)                    | v9 (per-tenant quotas)
+// -------------------------------------|----------------------------------
+//  all sockets/rings share one pool    | ff_tenant_register(name, quota)
+//    and drain budget, first come      |   mints a tenant id; ff_set_tenant
+//    first served                      |   (fd) and ff_uring_bind_tenant
+//                                      |   (ring) bill resources to it
+//                                      |   (tenant.hpp quota-knob table)
+//  a loan/reservation/parked frame     | each pinned room charges the
+//    pins a pool room anonymously      |   owner's max_pool_mbufs budget
+//                                      |   (plus per-cause caps); over
+//                                      |   budget the OFFENDER alone gets
+//                                      |   -ENOBUFS/-EMFILE, retriable by
+//                                      |   recycling — neighbours' calls
+//                                      |   never see a tenant's verdicts
+//  SQ drain round-robins equally       | rings drain DRR-style under
+//                                      |   sq_drain_weight; a throttled
+//                                      |   ring's SQEs stay queued in ITS
+//                                      |   ring memory (-EAGAIN shape) and
+//                                      |   the cut is counted
+//  a full, never-reaped CQ forces the  | full-CQ-with-work rounds count as
+//    stack to retain and re-walk arms  |   cq_deferrals; past the tenant's
+//    forever                           |   max_cq_stall_rounds the ring's
+//                                      |   RE-DERIVABLE accept/readiness
+//                                      |   arms are evicted (counted) —
+//                                      |   stack-side deferral state is
+//                                      |   bounded per ring
+//  misbehaviour diagnosed from global  | ff_tenant_stats(st, tid): per-
+//    ApiStats only                     |   tenant gauges + per-cause
+//                                      |   reject counters; gauges return
+//                                      |   to 0 on release, proving no leak
+//  no recovery from a hostile peer     | ff_tenant_evict(st, tid) reclaims
+//    short of stack teardown           |   every PCB, wheel timer, loan,
+//                                      |   reservation and parked frame to
+//                                      |   baseline; neighbours untouched
+//
+//  semantics deltas (v9):
+//   * zc tokens are tenant-scoped: a token submitted from a ring bound to
+//     a DIFFERENT tenant answers -EINVAL with all state intact (replay/
+//     forgery across compartments is inert);
+//   * accepted children inherit the listener's tenant (as with tclass) and
+//     charge its socket gauge at accept — past max_sockets the child is
+//     aborted at the accept boundary, not left half-open;
+//   * scenarios/scenario3.hpp drives N tenant compartments over one stack
+//     with hostile-profile fault injection (scenarios/adversary.hpp).
+//
 // The capability-qualified buffer handle is machine::CapView — the
 // `void* __capability` of the paper's modified F-Stack API; this header
 // remains the surface Table I's "modified LoC" census counts.
@@ -481,6 +538,26 @@ int ff_uring_detach(FfStack& st, int id);
 /// went empty->non-empty while the stack reported itself parked; a polling
 /// stack drains every iteration on its own. Returns SQEs consumed.
 int ff_uring_doorbell(FfStack& st, int id);
+
+// ---- v9: per-tenant quotas (tenant.hpp has the quota-knob reference) ----
+
+/// Register a tenant under `quota`; returns its id (>= 1). Id 0 is the
+/// reserved unlimited/uncounted context every pre-v9 caller implicitly
+/// uses — never returned here.
+int ff_tenant_register(FfStack& st, std::string name,
+                       const TenantQuota& quota);
+/// Move fd into tenant `tid` (0 detaches it). -EMFILE past the tenant's
+/// socket cap; TCP listeners pass the tenant to future accepted children.
+int ff_set_tenant(FfStack& st, int fd, int tid);
+/// Bind an attached ring to a tenant: weighted SQ drain, adopted charging
+/// context for its ops, CQ-stall accounting against the tenant's cap.
+int ff_uring_bind_tenant(FfStack& st, int ring_id, int tid);
+/// Hard-evict a tenant: detach its rings, abort+close its sockets, reclaim
+/// every loan/reservation/parked frame back to baseline. Neighbours are
+/// untouched; the tenant's stats row survives for the census.
+int ff_tenant_evict(FfStack& st, int tid);
+/// The tenant's live gauges and per-cause counters (nullptr: unknown id).
+const TenantStats* ff_tenant_stats(const FfStack& st, int tid);
 
 /// One iteration of the F-Stack main loop: process ring buffers of the
 /// DPDK driver, then run the user-defined function (paper §III-B).

@@ -63,6 +63,32 @@ class ArpCache {
   /// Drain every parked frame (stack teardown frees them to the pool).
   [[nodiscard]] std::vector<updk::Mbuf*> take_all_parked();
 
+  /// Take every parked frame for which `pred(mbuf)` holds, across all hops
+  /// (tenant eviction: reclaim ONE tenant's parked frames while its
+  /// neighbours' keep waiting for resolution). The caller owns the
+  /// returned mbufs; per-hop byte accounting is adjusted.
+  template <typename Pred>
+  [[nodiscard]] std::vector<updk::Mbuf*> take_parked_if(Pred&& pred) {
+    std::vector<updk::Mbuf*> out;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      Hop& hop = it->second;
+      std::size_t keep = 0;
+      for (updk::Mbuf* f : hop.frames) {
+        if (pred(f)) {
+          hop.bytes -= f->pkt_len();
+          out.push_back(f);
+        } else {
+          hop.frames[keep++] = f;
+        }
+      }
+      hop.frames.resize(keep);
+      // hop.oldest is left as-is: it can only be pessimistic (an earlier
+      // park time), so pending-TTL expiry never fires late.
+      it = hop.frames.empty() ? pending_.erase(it) : std::next(it);
+    }
+    return out;
+  }
+
   /// True if a request to `ip` should be transmitted now (rate limit).
   [[nodiscard]] bool should_request(Ipv4Addr ip, sim::Ns now);
 

@@ -24,6 +24,10 @@ struct Socket {
   /// authoritative copy on the PCB so pure-protocol emissions (ACKs,
   /// retransmits) classify too; this mirror covers UDP and zc paths.
   std::uint8_t tclass = 0;
+  /// Owning tenant (0 = untenanted; see tenant.hpp). Mirrors tclass: the
+  /// PCB keeps the authoritative copy for TCP so protocol-only emissions
+  /// attribute their parked/pinned buffers too.
+  int tenant = 0;
   Ipv4Addr local_ip{};
   std::uint16_t local_port = 0;
 };

@@ -83,7 +83,7 @@ FfStack::~FfStack() {
   // Release zero-copy reservations the application never submitted and
   // loans it never recycled; drop staged frames and ARP-parked frames
   // back to the pool (nothing transmits during teardown).
-  for (auto& [token, m] : zc_pending_) pool_->free(m);
+  for (auto& [token, res] : zc_pending_) pool_->free(res.m);
   for (auto& [token, loan] : zc_rx_loans_) pool_->recycle(loan.m);
   for (updk::Mbuf* m : qos_.drain_all()) pool_->free_chain(m);
   for (updk::Mbuf* m : arp_.take_all_parked()) pool_->free_chain(m);
@@ -235,6 +235,7 @@ void FfStack::process_timers(sim::Ns now, bool& progress) {
       arp_wheel_id_ = TimerWheel::kInvalidId;
       arp_wheel_deadline_.reset();
       for (updk::Mbuf* m : arp_.take_expired(now)) {
+        credit_parked_frame(m);
         pool_->free_chain(m);
         any = true;
       }
@@ -390,6 +391,7 @@ void FfStack::arp_input(std::span<const std::byte> payload) {
   // Flush anything parked on this resolution: the Ethernet header the
   // frames were parked without finally prepends into their headroom.
   for (updk::Mbuf* pkt : arp_.take_parked(ah->spa)) {
+    credit_parked_frame(pkt);  // the frame leaves park: unpin its budget
     if (prepend_ether(pkt, ah->sha, kEtherTypeIpv4)) stage_frame(pkt);
   }
   arp_timer_sync();  // the resolved hop's pending-TTL deadline is gone
@@ -600,7 +602,7 @@ Ipv4Addr FfStack::next_hop_for(Ipv4Addr dst) const {
 
 bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
                         std::span<const std::byte> l4, std::uint8_t cls,
-                        const TxOffloadMeta* ol) {
+                        const TxOffloadMeta* ol, int tenant) {
   const std::uint16_t id = ip_id_++;
   const auto plan = plan_fragments(l4.size(), cfg_.netif.mtu,
                                    Ipv4Header::kSize);
@@ -627,14 +629,14 @@ bool FfStack::send_ipv4(Ipv4Addr dst, std::uint8_t proto,
     h.serialize(pkt);
     std::copy_n(l4.begin() + f.payload_off, f.payload_len,
                 pkt.begin() + Ipv4Header::kSize);
-    ok &= transmit_ip_packet(pkt, hop, cls, ol);
+    ok &= transmit_ip_packet(pkt, hop, cls, ol, tenant);
   }
   return ok;
 }
 
 bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
                                  Ipv4Addr next_hop, std::uint8_t cls,
-                                 const TxOffloadMeta* ol) {
+                                 const TxOffloadMeta* ol, int tenant) {
   // Copy-path packets (ICMP, RST, fragmented/ARP-pending UDP) land in one
   // owned mbuf and join the same staged chain pipeline as gathered frames.
   updk::Mbuf* m = pool_->alloc();
@@ -652,11 +654,11 @@ bool FfStack::transmit_ip_packet(std::span<const std::byte> ip_packet,
     m->l3_len = Ipv4Header::kSize;
     m->l4_len = ol->l4_len;
   }
-  return transmit_ip_chain(m, next_hop, cls);
+  return transmit_ip_chain(m, next_hop, cls, tenant);
 }
 
 bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop,
-                                std::uint8_t cls) {
+                                std::uint8_t cls, int tenant) {
   const sim::Ns now = clock_->now();
   const auto mac = arp_.lookup(next_hop, now);
   if (!mac) {
@@ -673,10 +675,19 @@ bool FfStack::transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop,
       pool_->free_chain(head);
       if (flat == nullptr) return false;
     }
-    if (!arp_.park(next_hop, flat, now)) {  // hop queue capped: counted drop
+    // A parked frame pins a pool buffer against the OWNER's budget: an
+    // over-budget tenant's frame drops here (its protocol retransmits or
+    // reports the loss) while neighbours' frames keep parking.
+    if (tenant != 0 && !tenants_.charge_parked(tenant)) {
       pool_->free(flat);
       return false;
     }
+    if (!arp_.park(next_hop, flat, now)) {  // hop queue capped: counted drop
+      if (tenant != 0) tenants_.credit_parked(tenant);
+      pool_->free(flat);
+      return false;
+    }
+    if (tenant != 0) parked_tenant_.emplace(flat, tenant);
     arp_timer_sync();  // a fresh hop's pending TTL enters the wheel
     return true;
   }
@@ -874,7 +885,8 @@ bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
                                          static_cast<std::uint16_t>(total));
     fsum = checksum_partial(seg, fsum);
     put_be16(seg.data() + 16, checksum_finish(fsum));
-    return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp, seg, pcb.tclass());
+    return send_ipv4(pcb.tuple().remote_ip, kIpProtoTcp, seg, pcb.tclass(),
+                     nullptr, pcb.tenant());
   }
 
   std::byte lin[kFrameScratch];
@@ -1002,7 +1014,7 @@ bool FfStack::tcp_emit(TcpPcb& pcb, const TcpHeader& hdr,
         tso_frame ? static_cast<std::uint16_t>(pcb.mss_eff()) : 0;
   }
   return transmit_ip_chain(head, next_hop_for(pcb.tuple().remote_ip),
-                           pcb.tclass());
+                           pcb.tclass(), pcb.tenant());
 }
 
 TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
@@ -1010,6 +1022,7 @@ TcpPcb* FfStack::tcp_spawn_child(TcpPcb& listener, const FourTuple& tuple) {
   auto pcb = std::unique_ptr<TcpPcb>(make_pcb());
   TcpPcb* raw = pcb.get();
   raw->set_tclass(listener.tclass());  // children ride the listener's class
+  raw->set_tenant(listener.tenant());  // ...and bill the listener's tenant
   tcp_pcbs_.emplace(tuple, std::move(pcb));
   port_ref(tuple.local_port);
   return raw;
@@ -1113,6 +1126,7 @@ int FfStack::sock_listen(int fd, int backlog) {
   auto pcb = std::make_unique<TcpPcb>(this, cfg_.tcp, TxChain{}, RxChain{});
   pcb->open_listen(s->local_ip, s->local_port);
   pcb->backlog = std::max(backlog, 1);
+  pcb->set_tenant(s->tenant);  // children spawned here bill this tenant
   s->pcb = pcb.get();
   s->listening = true;
   tcp_listeners_.emplace(s->local_port, std::move(pcb));
@@ -1134,8 +1148,18 @@ int FfStack::sock_accept(int fd, FourTuple* peer_out) {
       detached_.insert(child);
       continue;
     }
+    // The child bills the listener's tenant; past the tenant's socket cap
+    // the connection aborts HERE (the offender's accept fails) rather than
+    // occupying a table slot its neighbours could use.
+    if (!tenants_.charge_socket(child->tenant())) {
+      child->abort(ECONNABORTED);
+      timer_sync(child);
+      detached_.insert(child);
+      return -EMFILE;
+    }
     Socket* cs = socks_.create(SockKind::kTcp);
     if (cs == nullptr) {
+      tenants_.credit_socket(child->tenant());
       child->abort(ECONNABORTED);
       timer_sync(child);
       detached_.insert(child);
@@ -1143,6 +1167,7 @@ int FfStack::sock_accept(int fd, FourTuple* peer_out) {
     }
     cs->pcb = child;
     cs->tclass = child->tclass();  // inherited from the listener at spawn
+    cs->tenant = child->tenant();
     cs->bound = true;
     cs->local_ip = child->tuple().local_ip;
     cs->local_port = child->tuple().local_port;
@@ -1171,6 +1196,7 @@ int FfStack::sock_connect(int fd, Ipv4Addr ip, std::uint16_t port) {
   tcp_pcbs_.emplace(tuple, std::move(pcb));
   port_ref(tuple.local_port);
   s->pcb = raw;
+  raw->set_tenant(s->tenant);  // protocol emissions (SYN parks) bill us
   raw->open_connect(tuple, new_iss());
   timer_sync(raw);  // the SYN's retransmit deadline enters the wheel
   sync_flush();  // the SYN leaves before the call returns
@@ -1312,7 +1338,7 @@ std::int64_t FfStack::udp_emit_dgram(Socket* s, const machine::CapView& buf,
         checksum_pseudo(cfg_.netif.ip, ip, kIpProtoUdp, uh.length);
     put_be16(seg.data() + 6, checksum_fold16(ps));
     const TxOffloadMeta ol{updk::kTxOffloadUdpCsum, UdpHeader::kSize};
-    send_ipv4(ip, kIpProtoUdp, seg, s->tclass, &ol);
+    send_ipv4(ip, kIpProtoUdp, seg, s->tclass, &ol, s->tenant);
     return static_cast<std::int64_t>(n);
   }
   std::uint32_t sum = checksum_pseudo(cfg_.netif.ip, ip, kIpProtoUdp,
@@ -1322,7 +1348,7 @@ std::int64_t FfStack::udp_emit_dgram(Socket* s, const machine::CapView& buf,
   std::uint16_t ck = checksum_finish(sum);
   if (ck == 0) ck = 0xFFFF;  // RFC 768: 0 means "no checksum"
   put_be16(seg.data() + 6, ck);
-  send_ipv4(ip, kIpProtoUdp, seg, s->tclass);
+  send_ipv4(ip, kIpProtoUdp, seg, s->tclass, nullptr, s->tenant);
   return static_cast<std::int64_t>(n);
 }
 
@@ -1501,17 +1527,26 @@ int FfStack::sock_zc_alloc(std::size_t len, FfZcBuf* out) {
   // guarantees the datapath keeps moving.
   const std::uint32_t reserve = std::min<std::uint32_t>(64, pool_->size() / 8);
   if (pool_->available() <= reserve) return -ENOBUFS;
+  // The reservation bills the draining ring's tenant BEFORE the room is
+  // pinned: an over-budget tenant's alloc fails while the pool still has
+  // rooms for its neighbours.
+  const int tenant = active_tenant_;
+  if (!tenants_.charge_zc_reservation(tenant)) return -ENOBUFS;
   updk::Mbuf* m = pool_->alloc();
-  if (m == nullptr) return -ENOBUFS;
+  if (m == nullptr) {
+    tenants_.credit_zc_reservation(tenant);
+    return -ENOBUFS;
+  }
   constexpr std::uint32_t kL2L3L4 =
       EtherHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize;
   if (m->headroom() < kL2L3L4 || m->tailroom() < len) {
+    tenants_.credit_zc_reservation(tenant);
     pool_->free(m);
     return -EMSGSIZE;
   }
   out->data = m->append(static_cast<std::uint32_t>(len));
   out->token = next_zc_token_++;
-  zc_pending_.emplace(out->token, m);
+  zc_pending_.emplace(out->token, ZcTxRes{m, tenant});
   api_.zc_allocs++;
   return 0;
 }
@@ -1530,7 +1565,13 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
   if (zc.token == 0 || it == zc_pending_.end()) {
     return -EINVAL;  // double submit / send after abort / forged token
   }
-  updk::Mbuf* m = it->second;
+  // A tenant may only spend tokens IT reserved: a replayed neighbour token
+  // (guessed or leaked) answers -EINVAL without touching the reservation.
+  if (active_tenant_ != 0 && it->second.tenant != 0 &&
+      it->second.tenant != active_tenant_) {
+    return -EINVAL;
+  }
+  updk::Mbuf* m = it->second.m;
   if (len > m->data_len) return -EMSGSIZE;  // reservation kept for retry
 
   if (s->kind == SockKind::kTcp) {
@@ -1547,6 +1588,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
       // talk to (and a retry pipeline must not leak one room per attempt).
       const int err = pcb->error();
       pool_->free(m);
+      tenants_.credit_zc_reservation(it->second.tenant);
       zc_pending_.erase(it);
       zc.token = 0;
       zc.data = machine::CapView{};
@@ -1571,6 +1613,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
       return -EAGAIN;  // send window full: reservation kept for retry
     }
     // Ownership moved to the send chain; the token is consumed.
+    tenants_.credit_zc_reservation(it->second.tenant);
     zc_pending_.erase(it);
     zc.token = 0;
     zc.data = machine::CapView{};
@@ -1592,6 +1635,7 @@ std::int64_t FfStack::sock_zc_send(int fd, FfZcBuf& zc, std::size_t len,
   // The token is consumed from here on, whatever the outcome — and so is
   // the data view: a consumed handle must not keep aliasing a data room the
   // pool may hand to another flow.
+  tenants_.credit_zc_reservation(it->second.tenant);
   zc_pending_.erase(it);
   zc.token = 0;
   zc.data = machine::CapView{};
@@ -1693,7 +1737,12 @@ bool FfStack::zc_transmit(updk::Mbuf* m, std::size_t len,
 int FfStack::sock_zc_abort(FfZcBuf& zc) {
   const auto it = zc_pending_.find(zc.token);
   if (zc.token == 0 || it == zc_pending_.end()) return -EINVAL;
-  pool_->free(it->second);
+  if (active_tenant_ != 0 && it->second.tenant != 0 &&
+      it->second.tenant != active_tenant_) {
+    return -EINVAL;  // a neighbour's token aborts nothing
+  }
+  pool_->free(it->second.m);
+  tenants_.credit_zc_reservation(it->second.tenant);
   zc_pending_.erase(it);
   zc.token = 0;
   zc.data = machine::CapView{};  // drop the alias along with the token
@@ -1710,10 +1759,11 @@ int FfStack::sock_zc_abort(FfZcBuf& zc) {
 
 void FfStack::zc_issue_loan(FfZcRxBuf& o, const MbufSlice& slice,
                             std::size_t charge, const FfSockAddrIn& from,
-                            TcpPcb* pcb, UdpPcb* udp) {
+                            TcpPcb* pcb, UdpPcb* udp, int tenant) {
   const std::uint64_t token = next_zc_rx_token_++;
-  zc_rx_loans_.emplace(
-      token, ZcRxLoan{slice.m, pcb, udp, static_cast<std::uint32_t>(charge)});
+  zc_rx_loans_.emplace(token,
+                       ZcRxLoan{slice.m, pcb, udp,
+                                static_cast<std::uint32_t>(charge), tenant});
   if (udp != nullptr) udp->charge_loan(charge);
   o.token = token;
   o.data = slice.m->loan(slice.off, slice.len);
@@ -1723,6 +1773,11 @@ void FfStack::zc_issue_loan(FfZcRxBuf& o, const MbufSlice& slice,
 
 std::int64_t FfStack::udp_pop_loan(Socket* s, FfZcRxBuf& o) {
   if (!s->udp->readable()) return -EAGAIN;
+  // The loan pins a whole data room against the owner's budget; charging
+  // BEFORE the pop keeps an over-budget rejection retriable (the datagram
+  // stays queued until the tenant recycles).
+  const int tenant = effective_tenant(s);
+  if (!tenants_.charge_loan(tenant)) return -ENOBUFS;
   if (s->udp->front().mbuf == nullptr) {
     // Copy-backed datagram (reassembled): bounce through a fresh mbuf so
     // the recycle lifecycle stays uniform. A datagram too large for any
@@ -1732,23 +1787,27 @@ std::int64_t FfStack::udp_pop_loan(Socket* s, FfZcRxBuf& o) {
     // leaves the datagram queued and genuinely retriable.
     if (s->udp->front().data.size() + updk::kMbufHeadroom >
         pool_->data_room()) {
+      tenants_.credit_loan(tenant);
       return -EMSGSIZE;
     }
     updk::Mbuf* fresh =
         bounce_into_mbuf(pool_, s->udp->front().data, &rx_stats_);
-    if (fresh == nullptr) return -ENOBUFS;
+    if (fresh == nullptr) {
+      tenants_.credit_loan(tenant);
+      return -ENOBUFS;
+    }
     const UdpDatagram d = s->udp->pop();
     zc_issue_loan(o,
                   MbufSlice{fresh, fresh->data_off,
                             static_cast<std::uint32_t>(d.data.size())},
                   fresh->room_size(), {d.src, d.src_port}, nullptr,
-                  s->udp.get());
+                  s->udp.get(), tenant);
   } else {
     // The queue's reference transfers to the loan table; the loan pins
     // (and charges) the whole data room until recycled.
     UdpDatagram d = s->udp->pop();
     zc_issue_loan(o, MbufSlice{d.mbuf, d.off, d.len}, d.mbuf->room_size(),
-                  {d.src, d.src_port}, nullptr, s->udp.get());
+                  {d.src, d.src_port}, nullptr, s->udp.get(), tenant);
   }
   return 1;
 }
@@ -1765,16 +1824,24 @@ std::int64_t FfStack::sock_zc_recv(int fd, std::span<FfZcRxBuf> out,
   if (s->kind == SockKind::kTcp) {
     if (s->pcb == nullptr || s->listening) return -EBADF;
     TcpPcb* pcb = s->pcb;
+    const int tenant = effective_tenant(s);
     const FfSockAddrIn peer{pcb->tuple().remote_ip, pcb->tuple().remote_port};
     for (FfZcRxBuf& o : out) {
+      // Over-budget mid-batch keeps the partial fill; a first-loan
+      // rejection is -ENOBUFS the tenant clears by recycling.
+      if (!tenants_.charge_loan(tenant)) {
+        if (filled > 0) break;
+        return -ENOBUFS;
+      }
       const bool had_data = pcb->rx_used() > 0;
       std::size_t charge = 0;
       const auto slice = pcb->zc_rx_pop(&charge);
       if (!slice.has_value()) {
+        tenants_.credit_loan(tenant);
         if (had_data) return filled > 0 ? filled : -ENOBUFS;  // bounce failed
         break;
       }
-      zc_issue_loan(o, *slice, charge, peer, pcb, nullptr);
+      zc_issue_loan(o, *slice, charge, peer, pcb, nullptr, tenant);
       ++filled;
     }
     if (filled > 0) return filled;
@@ -1805,9 +1872,14 @@ int FfStack::sock_zc_recycle(FfZcRxBuf& zc) {
   if (zc.token == 0 || it == zc_rx_loans_.end()) {
     return -EINVAL;  // double recycle / forged token
   }
+  if (active_tenant_ != 0 && it->second.tenant != 0 &&
+      it->second.tenant != active_tenant_) {
+    return -EINVAL;  // a neighbour's loan cannot be recycled out from under it
+  }
   const ZcRxLoan loan = it->second;
   zc_rx_loans_.erase(it);
   pool_->recycle(loan.m);
+  tenants_.credit_loan(loan.tenant);
   if (loan.pcb != nullptr) {
     loan.pcb->zc_rx_credit(loan.charge);
     timer_sync(loan.pcb);  // the credit may have emitted a window ACK
@@ -1877,6 +1949,7 @@ int FfStack::sock_close(int fd) {
       for (auto& [id, r] : urings_) std::erase(r.epoll_arms, fd);
       break;
   }
+  tenants_.credit_socket(s->tenant);
   socks_.release(fd);
   sync_flush();  // FIN/RST emission is synchronous with the close
   return 0;
@@ -2110,11 +2183,18 @@ int FfStack::uring_doorbell(int id) {
   const auto it = urings_.find(id);
   if (it == urings_.end()) return -EBADF;
   api_.uring_doorbells++;
+  if (tenants_.valid(it->second.tenant)) {
+    tenants_.mutable_stats(it->second.tenant).doorbells++;
+  }
   // A doorbell is the one ring's own crossing: it gets the full budget
   // (fair-sharing applies to the loop's per-iteration drain, where every
-  // attached ring competes).
+  // attached ring competes) — unless its own CQ is full with work pending,
+  // in which case ringing the bell harder must not buy a drain the fair
+  // loop would have skipped.
   const std::uint32_t consumed =
-      uring_drain_sqes(it->second, kUringDrainBudget);
+      uring_cq_stalled(it->second)
+          ? 0
+          : uring_drain_sqes(it->second, kUringDrainBudget);
   uring_service_accept(it->second);
   uring_service_connect(it->second);
   uring_service_fd_arms(it->second);
@@ -2141,23 +2221,38 @@ bool FfStack::drain_urings() {
   bool progress = false;
   if (!urings_.empty()) {
     // Fair-share the per-iteration budget across attached rings: every
-    // ring gets an equal slice of the 64-SQE allowance each pass, and a
+    // ring gets a slice of the 64-SQE allowance proportional to its
+    // tenant's DRR weight each pass (untenanted rings weigh 1), and a
     // pass's unused remainder redistributes to rings that still have
     // pending submissions — a saturated ring can take at most the leftover
-    // after every light ring drained its share.
+    // after every light ring drained its share. A ring whose CQ is full
+    // while work is pending is SKIPPED — its backpressure confines to it.
+    std::uint32_t total_w = 0;
+    for (auto& [id, r] : urings_) total_w += tenants_.drain_weight(r.tenant);
     std::uint32_t budget = kUringDrainBudget;
     bool spent_any = true;
     while (budget > 0 && spent_any) {
       spent_any = false;
-      const auto share = std::max<std::uint32_t>(
-          1, budget / static_cast<std::uint32_t>(urings_.size()));
       for (auto& [id, r] : urings_) {
         if (budget == 0) break;
-        const std::uint32_t spent =
-            uring_drain_sqes(r, std::min(share, budget));
+        if (uring_cq_stalled(r)) continue;
+        const std::uint32_t w = tenants_.drain_weight(r.tenant);
+        const auto share = std::max<std::uint32_t>(
+            1, kUringDrainBudget * w / std::max<std::uint32_t>(1, total_w));
+        const std::uint32_t allotted = std::min(share, budget);
+        const std::uint32_t spent = uring_drain_sqes(r, allotted);
         budget -= spent;
         spent_any |= spent > 0;
         progress |= spent > 0;
+        // A ring cut off by its share with submissions still queued was
+        // THROTTLED by weight, not starved by neighbours: count it so the
+        // census can tell scheduling pressure from stack failure.
+        if (spent == allotted && spent > 0 && uring_sq_pending(r) > 0) {
+          api_.sq_drain_throttled++;
+          if (tenants_.valid(r.tenant)) {
+            tenants_.mutable_stats(r.tenant).sq_drain_throttled++;
+          }
+        }
       }
     }
   }
@@ -2173,6 +2268,50 @@ std::uint32_t FfStack::uring_cq_space(const UringReg& r) const {
   const std::uint32_t head = r.mem.atomic_load_u32(FfUring::kCqHead);
   const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kCqTail);
   return r.cq_cap - (tail - head);
+}
+
+std::uint32_t FfStack::uring_sq_pending(const UringReg& r) const {
+  return r.mem.atomic_load_u32(FfUring::kSqTail) -
+         r.mem.atomic_load_u32(FfUring::kSqHead);
+}
+
+bool FfStack::uring_cq_stalled(UringReg& r) {
+  if (uring_cq_space(r) > 0) {
+    r.cq_stall_rounds = 0;
+    return false;
+  }
+  // CQ completely full. Only count a STALL when this ring actually has
+  // work the full CQ is blocking — a quiet ring whose app reaps lazily is
+  // not deferring anything.
+  const bool work_pending = uring_sq_pending(r) > 0 ||
+                            !r.accept_arms.empty() || !r.connect_arms.empty()
+                            || !r.fd_arms.empty();
+  if (!work_pending) return true;  // nothing to defer, nothing to charge
+  api_.cq_deferrals++;
+  if (tenants_.valid(r.tenant)) tenants_.mutable_stats(r.tenant).cq_deferrals++;
+  r.cq_stall_rounds++;
+  // Past the tenant's stall allowance the ring's RE-DERIVABLE subscription
+  // state is evicted: multishot accept and readiness arms can be re-armed
+  // by the app once it reaps, but until then they are the only stack-side
+  // state a never-reaping ring forces the stack to retain and re-walk.
+  // Queued SQEs are NOT touched — they live in the tenant's own ring
+  // memory, bounded by its sq_cap, not by stack-side memory.
+  const std::uint32_t cap =
+      tenants_.valid(r.tenant) ? tenants_.quota(r.tenant).max_cq_stall_rounds
+                               : 0;
+  if (cap != 0 && r.cq_stall_rounds > cap &&
+      (!r.accept_arms.empty() || !r.fd_arms.empty())) {
+    r.accept_arms.clear();
+    r.fd_arms.clear();
+    api_.cq_deferral_evictions++;
+    tenants_.mutable_stats(r.tenant).cq_deferral_evictions++;
+  }
+  return true;
+}
+
+void FfStack::note_sqe_error(const UringReg& r) {
+  api_.uring_sqe_errors++;
+  if (tenants_.valid(r.tenant)) tenants_.mutable_stats(r.tenant).sqe_errors++;
 }
 
 bool FfStack::uring_cq_emit(UringReg& r, std::uint64_t user_data,
@@ -2210,6 +2349,9 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
   // doorbells would undo the amortization the ring exists for. The safety
   // flush before send-ring writes is not affected.
   in_uring_drain_ = true;
+  // Ops executed from this ring charge its tenant: zc reservations, loans
+  // and token-table lookups all read the adopted context.
+  active_tenant_ = r.tenant;
   budget = std::min(budget, kUringDrainBudget);  // decode scratch bound
   const std::uint32_t tail = r.mem.atomic_load_u32(FfUring::kSqTail);
   std::uint32_t head = r.mem.atomic_load_u32(FfUring::kSqHead);
@@ -2233,6 +2375,12 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
       r.mem.atomic_store_u32(
           FfUring::kCqOverflow,
           r.mem.atomic_load_u32(FfUring::kCqOverflow) + 1);
+      // A partially-full CQ that cannot take the head's multi-CQE burst is
+      // the same deferral the stall check counts for a fully-full one.
+      api_.cq_deferrals++;
+      if (tenants_.valid(r.tenant)) {
+        tenants_.mutable_stats(r.tenant).cq_deferrals++;
+      }
       pending = 0;
     }
   }
@@ -2274,7 +2422,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
       }
       if (d.err != 0) {  // sweep verdict: this entry alone fails
         uring_cq_emit(r, d.user_data, d.err, d.op, 0, 0, 0, nullptr);
-        api_.uring_sqe_errors++;
+        note_sqe_error(r);
       } else {
         switch (d.op) {
           case UringOp::kNop:
@@ -2314,6 +2462,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                 d.fd, z, d.a[1], Ipv4Addr{static_cast<std::uint32_t>(d.a[2])},
                 static_cast<std::uint16_t>(d.a[3]));
             uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
+            if (res < 0) note_sqe_error(r);  // forged tokens land here
             break;
           }
           case UringOp::kZcAlloc: {
@@ -2333,7 +2482,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
             }
             if (got == 0) {
               uring_cq_emit(r, d.user_data, err, d.op, 0, 0, 0, nullptr);
-              api_.uring_sqe_errors++;
+              note_sqe_error(r);
             } else {
               for (std::uint32_t k = 0; k < got; ++k) {
                 uring_cq_emit(r, d.user_data,
@@ -2393,7 +2542,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
             if (cnt > 0 && ok == 0) {
               uring_cq_emit(r, d.user_data, -EINVAL, d.op, 0, cnt, 0,
                             nullptr);
-              api_.uring_sqe_errors++;
+              note_sqe_error(r);
             } else {
               uring_cq_emit(r, d.user_data, ok, d.op, 0, cnt - ok, 0,
                             nullptr);
@@ -2430,7 +2579,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                             static_cast<std::uint64_t>(
                                 static_cast<std::uint32_t>(d.fd)),
                             0, nullptr);
-              if (res < 0) api_.uring_sqe_errors++;
+              if (res < 0) note_sqe_error(r);
             }
             break;
           }
@@ -2440,7 +2589,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                           static_cast<std::uint64_t>(
                               static_cast<std::uint32_t>(d.fd)),
                           0, nullptr);
-            if (res < 0) api_.uring_sqe_errors++;
+            if (res < 0) note_sqe_error(r);
             break;
           }
           case UringOp::kEpollCtl: {
@@ -2452,7 +2601,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                               static_cast<std::uint32_t>(d.a[2]), d.a[3]);
             }
             uring_cq_emit(r, d.user_data, res, d.op, 0, 0, 0, nullptr);
-            if (res < 0) api_.uring_sqe_errors++;
+            if (res < 0) note_sqe_error(r);
             break;
           }
           case UringOp::kSetClass: {
@@ -2464,7 +2613,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
                           static_cast<std::uint64_t>(
                               static_cast<std::uint32_t>(d.fd)),
                           0, nullptr);
-            if (res < 0) api_.uring_sqe_errors++;
+            if (res < 0) note_sqe_error(r);
             break;
           }
           case UringOp::kEpollArm: {
@@ -2502,6 +2651,7 @@ std::uint32_t FfStack::uring_drain_sqes(UringReg& r, std::uint32_t budget) {
     r.mem.atomic_store_u32(FfUring::kSqHead, head);  // release consumed
   }
   in_uring_drain_ = false;
+  active_tenant_ = 0;
   return consumed;
 }
 
@@ -2577,7 +2727,7 @@ bool FfStack::uring_service_connect(UringReg& r) {
                   static_cast<std::uint64_t>(
                       static_cast<std::uint32_t>(it->fd)),
                   0, nullptr);
-    if (res < 0) api_.uring_sqe_errors++;
+    if (res < 0) note_sqe_error(r);
     it = r.connect_arms.erase(it);
     progress = true;
   }

@@ -24,6 +24,7 @@
 #include "fstack/icmp.hpp"
 #include "fstack/ipv4.hpp"
 #include "fstack/socket.hpp"
+#include "fstack/tenant.hpp"
 #include "fstack/timer_wheel.hpp"
 #include "machine/heap.hpp"
 #include "updk/ethdev.hpp"
@@ -149,6 +150,30 @@ class FfStack final : public TcpEnv {
   void set_qos_config(const QosConfig& cfg) { qos_.configure(cfg); }
   [[nodiscard]] const QosScheduler& qos() const noexcept { return qos_; }
 
+  // ---- tenants (API v9): per-tenant resource accounting ----
+  // See tenant.hpp for the quota-knob reference. Defined in tenant.cpp.
+  /// Register a tenant; returns its id (>= 1).
+  int tenant_register(std::string name, const TenantQuota& quota);
+  /// Move fd into tenant `tid` (0 detaches it). Charges the socket gauge;
+  /// -EMFILE when the tenant is at its socket cap, -EBADF/-EINVAL.
+  int sock_set_tenant(int fd, int tid);
+  /// Bind an attached ring to a tenant: its SQ drains under the tenant's
+  /// weight, ops executed from it adopt the tenant as charging context,
+  /// and its CQ-stall rounds count against the tenant's cap.
+  int uring_bind_tenant(int ring_id, int tid);
+  /// Hard-evict a tenant: detach its rings, abort + close its sockets,
+  /// reclaim every outstanding loan, zc reservation and ARP-parked frame,
+  /// and reap the aborted PCBs — pool/PCB/wheel baselines are restored
+  /// before the call returns. Neighbours are untouched.
+  int tenant_evict(int tid);
+  [[nodiscard]] const TenantStats* tenant_stats(int tid) const {
+    return tenants_.valid(tid) ? &tenants_.stats(tid) : nullptr;
+  }
+  [[nodiscard]] TenantTable& tenants() noexcept { return tenants_; }
+  [[nodiscard]] const TenantTable& tenants() const noexcept {
+    return tenants_;
+  }
+
   int sock_close(int fd);
   [[nodiscard]] std::uint32_t sock_readiness(int fd) const;
   /// Monotonic readiness-activity counter (bytes delivered / connections
@@ -244,6 +269,10 @@ class FfStack final : public TcpEnv {
     std::uint64_t uring_sqes = 0;       // submissions consumed
     std::uint64_t uring_cqes = 0;       // completions published
     std::uint64_t uring_sqe_errors = 0; // per-entry -EINVAL verdicts
+    // ---- deferred-CQE bounding (API v9) ----
+    std::uint64_t cq_deferrals = 0;  // full-CQ rounds with work pending
+    std::uint64_t cq_deferral_evictions = 0;  // stalled rings' arms dropped
+    std::uint64_t sq_drain_throttled = 0;     // weighted-share cutoffs
   };
   [[nodiscard]] const ApiStats& api_stats() const noexcept { return api_; }
   /// Receive-path copy/loan accounting across all sockets (the RX census
@@ -316,17 +345,20 @@ class FfStack final : public TcpEnv {
     std::uint32_t ol_flags = 0;
     std::uint8_t l4_len = 0;
   };
+  // `tenant` attributes any frame the call parks on an unresolved ARP hop
+  // (the park pins a pool buffer, so it charges the flow's tenant budget;
+  // over budget the offender's OWN frame is dropped and counted).
   bool send_ipv4(Ipv4Addr dst, std::uint8_t proto,
                  std::span<const std::byte> l4, std::uint8_t cls = 0,
-                 const TxOffloadMeta* ol = nullptr);
+                 const TxOffloadMeta* ol = nullptr, int tenant = 0);
   bool transmit_ip_packet(std::span<const std::byte> ip_packet,
                           Ipv4Addr next_hop, std::uint8_t cls = 0,
-                          const TxOffloadMeta* ol = nullptr);
+                          const TxOffloadMeta* ol = nullptr, int tenant = 0);
   /// Resolve `next_hop`, prepend the Ethernet header into the chain head's
   /// headroom and stage the frame; an unresolved hop parks the (linearized)
   /// frame on the bounded ARP queue. Owns `head` — freed on failure.
   bool transmit_ip_chain(updk::Mbuf* head, Ipv4Addr next_hop,
-                         std::uint8_t cls = 0);
+                         std::uint8_t cls = 0, int tenant = 0);
   bool transmit_frame(const nic::MacAddr& dst, std::uint16_t ethertype,
                       std::span<const std::byte> payload,
                       std::uint8_t cls = kQosClassControl);
@@ -364,7 +396,22 @@ class FfStack final : public TcpEnv {
   /// view (shared by ff_zc_recv, the uring OP_ZC_RECV path and the
   /// recvmsg_batch loan mode, so the accounting cannot diverge).
   void zc_issue_loan(FfZcRxBuf& o, const MbufSlice& slice, std::size_t charge,
-                     const FfSockAddrIn& from, TcpPcb* pcb, UdpPcb* udp);
+                     const FfSockAddrIn& from, TcpPcb* pcb, UdpPcb* udp,
+                     int tenant);
+  /// The tenant an operation on socket `s` charges: the socket's own
+  /// tenant, or — for untenanted sockets driven through a tenant-bound
+  /// ring — the ring's tenant (adopted for the duration of the drain).
+  [[nodiscard]] int effective_tenant(const Socket* s) const noexcept {
+    return s != nullptr && s->tenant != 0 ? s->tenant : active_tenant_;
+  }
+  /// Credit the tenant an ARP-parked frame was charged to (expiry, flush,
+  /// eviction, teardown all funnel here before releasing the mbuf).
+  void credit_parked_frame(updk::Mbuf* m) {
+    auto it = parked_tenant_.find(m);
+    if (it == parked_tenant_.end()) return;
+    tenants_.credit_parked(it->second);
+    parked_tenant_.erase(it);
+  }
   /// Pop one queued UDP datagram as a loan into `o`. Returns 1, -EAGAIN
   /// (queue empty), -EMSGSIZE (copy-backed datagram can never bounce into
   /// a data room — drain it with the copy path), or -ENOBUFS (bounce pool
@@ -418,6 +465,14 @@ class FfStack final : public TcpEnv {
       std::uint64_t last_gen = 0;
     };
     std::vector<FdArm> fd_arms;
+    /// Owning tenant (0 = untenanted): drain weight, charging context for
+    /// the ops this ring submits, and the CQ-stall accounting below.
+    int tenant = 0;
+    /// Consecutive drain passes this ring sat with a FULL, unreaped CQ
+    /// while work was pending. Reset the moment the CQ has space again;
+    /// crossing the tenant's max_cq_stall_rounds evicts the ring's
+    /// re-derivable subscription state (accept/readiness arms).
+    std::uint32_t cq_stall_rounds = 0;
   };
   /// Drain every attached ring under ONE fair-shared per-iteration budget:
   /// the 64-SQE allowance splits evenly across rings and unused shares
@@ -434,6 +489,16 @@ class FfStack final : public TcpEnv {
                      std::uint64_t aux0, std::uint64_t aux1,
                      const machine::CapView* cap);
   [[nodiscard]] std::uint32_t uring_cq_space(const UringReg& r) const;
+  /// SQEs currently pending in one ring's submission queue.
+  [[nodiscard]] std::uint32_t uring_sq_pending(const UringReg& r) const;
+  /// Deferred-CQE bounding: true when `r`'s CQ is full while work is
+  /// pending — the caller must skip this ring's drain (backpressure
+  /// confined to the one ring). Counts the deferral, advances the stall
+  /// round, and past the tenant's max_cq_stall_rounds evicts the ring's
+  /// re-derivable multishot arms (counted as cq_deferral_evictions).
+  bool uring_cq_stalled(UringReg& r);
+  /// Count one per-entry SQE verdict against the ring's tenant.
+  void note_sqe_error(const UringReg& r);
   bool uring_service_accept(UringReg& r);
   /// Post CQEs for OP_CONNECT handshakes that resolved since submission.
   bool uring_service_connect(UringReg& r);
@@ -525,8 +590,13 @@ class FfStack final : public TcpEnv {
   // so the per-turn sweep is O(receivers with an ACK owed), not O(PCBs).
   std::vector<TcpPcb*> ack_flush_;
 
-  // Outstanding zero-copy TX reservations (token -> owned mbuf).
-  std::unordered_map<std::uint64_t, updk::Mbuf*> zc_pending_;
+  // Outstanding zero-copy TX reservations (token -> owned mbuf + the
+  // tenant whose budget the pinned room is charged to).
+  struct ZcTxRes {
+    updk::Mbuf* m = nullptr;
+    int tenant = 0;
+  };
+  std::unordered_map<std::uint64_t, ZcTxRes> zc_pending_;
   std::uint64_t next_zc_token_ = 1;
 
   // Outstanding zero-copy RX loans. `pcb`/`udp` point at the budget to
@@ -537,6 +607,7 @@ class FfStack final : public TcpEnv {
     TcpPcb* pcb = nullptr;  // TCP: receive window to credit
     UdpPcb* udp = nullptr;  // UDP: queue budget to credit
     std::uint32_t charge = 0;  // pinned-memory charge held until recycle
+    int tenant = 0;            // tenant budget the pinned room counts against
   };
   std::unordered_map<std::uint64_t, ZcRxLoan> zc_rx_loans_;
   std::uint64_t next_zc_rx_token_ = 1;
@@ -550,6 +621,15 @@ class FfStack final : public TcpEnv {
   // True while a uring drain executes SQEs: per-op tail flushes defer to
   // the drain's one end-of-window flush (see sync_flush).
   bool in_uring_drain_ = false;
+
+  // ---- tenants (API v9) ----
+  TenantTable tenants_;
+  // The tenant whose ring is currently being drained (0 outside drains):
+  // ops on untenanted sockets adopt it as their charging context, and
+  // token-table lookups reject cross-tenant tokens against it.
+  int active_tenant_ = 0;
+  // ARP-parked frame -> charged tenant (eviction and expiry credit it).
+  std::unordered_map<updk::Mbuf*, int> parked_tenant_;
 
   // The RX-burst mbuf whose frame is currently being parsed (loan source).
   updk::Mbuf* rx_cur_ = nullptr;

@@ -227,6 +227,13 @@ class TcpPcb {
   void set_tclass(std::uint8_t cls) noexcept { tclass_ = cls; }
   [[nodiscard]] std::uint8_t tclass() const noexcept { return tclass_; }
 
+  // ---- owning tenant (API v9) ----
+  // Same placement argument as tclass: pure-protocol emissions (ACKs,
+  // retransmits) must attribute any frame they park on an unresolved ARP
+  // hop to the flow's tenant; accepted children inherit at spawn.
+  void set_tenant(int tid) noexcept { tenant_ = tid; }
+  [[nodiscard]] int tenant() const noexcept { return tenant_; }
+
   /// Gather unacknowledged send-queue bytes (linearizing fallback / test
   /// hook); `off` is relative to snd_una. Mbuf-backed spans read directly
   /// from their still-live data rooms.
@@ -428,6 +435,7 @@ class TcpPcb {
   std::map<std::uint32_t, std::vector<std::byte>> ooo_;
 
   std::uint8_t tclass_ = 0;  // QoS class every emission on this flow rides
+  int tenant_ = 0;           // owning tenant (0 = untenanted; tenant.hpp)
 
   Counters counters_;
 };

@@ -7,7 +7,7 @@
 namespace cherinet::iv {
 
 std::int64_t MuslLibc::issue(SyscallRequest& req) {
-  ++syscalls_;
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
   if (trampoline_ != nullptr) return trampoline_->invoke(req);
   if (cost_ != nullptr) cost_->charge(cost_->direct_syscall);
   return router_->route(req);
@@ -45,7 +45,7 @@ int MuslLibc::futex_wake(const machine::CapView& word, int count) {
 
 std::size_t MuslLibc::batch(std::span<SyscallRequest> reqs,
                             std::span<std::int64_t> results) {
-  syscalls_ += reqs.size();
+  syscalls_.fetch_add(reqs.size(), std::memory_order_relaxed);
   SyscallBatch b{reqs, results};
   if (trampoline_ != nullptr) return trampoline_->invoke_batch(b);
   if (cost_ != nullptr) cost_->charge(cost_->direct_syscall);

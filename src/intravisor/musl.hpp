@@ -9,6 +9,7 @@
 // changes, exactly as in the paper).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "intravisor/syscall_router.hpp"
@@ -56,7 +57,7 @@ class MuslLibc {
     return trampoline_ != nullptr;
   }
   [[nodiscard]] std::uint64_t syscall_count() const noexcept {
-    return syscalls_;
+    return syscalls_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -66,7 +67,10 @@ class MuslLibc {
   const sim::CostModel* cost_ = nullptr; // direct mode
   Trampoline* trampoline_ = nullptr;     // trampoline mode
   machine::CapView scratch_;             // timespec landing zone
-  std::uint64_t syscalls_ = 0;
+  // One MuslLibc is shared by every thread of its cVM (the shard loops
+  // issue futex wait/wake through it concurrently), so the census counter
+  // must be atomic.
+  std::atomic<std::uint64_t> syscalls_{0};
 };
 
 }  // namespace cherinet::iv

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "intravisor/compartment_mutex.hpp"
 #include "scenarios/experiment.hpp"
 #include "scenarios/scenario2.hpp"
 
@@ -110,11 +111,17 @@ TEST(ShardIsolation, ConcurrentChurnStaysWithinShards) {
   // Let FINs, final ACKs and the 2MSL reaps drain (virtual time idle-jumps
   // to the TIME_WAIT deadlines once every participant is parked), then
   // require both shards back at their baselines — the per-shard leak gate.
+  // Each shard's state is read under ITS compartment mutex: the shard loop
+  // holds that mutex around run_once, so this is the one legal way to peek
+  // at a live shard's PCB table from outside.
+  const auto shard_quiet = [&](FullStackInstance& inst, std::size_t s,
+                               std::uint64_t base) {
+    iv::CompartmentLockGuard g(svc.mutex(s));
+    return inst.stack().tcp_pcb_count() == 0 && outstanding(inst) == base;
+  };
   const auto drained = [&] {
-    return peer.workload_finished() &&
-           inst0.stack().tcp_pcb_count() == 0 &&
-           inst1.stack().tcp_pcb_count() == 0 &&
-           outstanding(inst0) == base_out0 && outstanding(inst1) == base_out1;
+    return peer.workload_finished() && shard_quiet(inst0, 0, base_out0) &&
+           shard_quiet(inst1, 1, base_out1);
   };
   for (int i = 0; i < 10000 && !drained(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));

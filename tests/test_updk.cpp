@@ -2,6 +2,7 @@
 // accounting, mbuf headroom algebra, PMD rx/tx over the device model.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "machine/address_space.hpp"
@@ -39,13 +40,18 @@ TEST(Ring, CapacityRoundsToPowerOfTwo) {
 
 TEST(Ring, MpmcStressConservesItems) {
   updk::Ring<std::uint64_t> r(1024);
-  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 50000;
+  constexpr int kProducers = 3, kConsumers = 3;
+  // Six spinning threads are pathological under ThreadSanitizer on small
+  // machines; the TSan CI leg dials the volume down via this knob.
+  const char* light = std::getenv("CHERINET_STRESS_LIGHT");
+  const int kPerProducer = light != nullptr && light[0] == '1' ? 2000 : 50000;
   std::atomic<std::uint64_t> consumed_sum{0};
   std::atomic<int> consumed_count{0};
   std::vector<std::thread> ts;
   for (int p = 0; p < kProducers; ++p) {
-    ts.emplace_back([&r, p] {
-      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+    ts.emplace_back([&r, p, kPerProducer] {
+      for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(kPerProducer);
+           ++i) {
         const std::uint64_t v = (std::uint64_t{static_cast<unsigned>(p)} << 32) | i;
         while (!r.enqueue(v)) std::this_thread::yield();
       }
@@ -64,8 +70,8 @@ TEST(Ring, MpmcStressConservesItems) {
   for (auto& t : ts) t.join();
   EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
   const std::uint64_t expect =
-      std::uint64_t{kProducers} * (std::uint64_t{kPerProducer} *
-                                   (kPerProducer - 1) / 2);
+      std::uint64_t{kProducers} *
+      (static_cast<std::uint64_t>(kPerProducer) * (kPerProducer - 1) / 2);
   EXPECT_EQ(consumed_sum.load(), expect);
 }
 
